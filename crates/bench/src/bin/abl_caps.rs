@@ -1,0 +1,107 @@
+//! ABL-CAPS — lumped vs distributed capacitance modelling.
+//!
+//! The MTCMOS expansion (and the paper's switch-level model) lumps every
+//! gate's input capacitance into one capacitor on the driving net. The
+//! SPICE engine also supports intrinsic per-terminal MOSFET caps
+//! (Meyer-style constants). This ablation builds the same inverter chain
+//! both ways with the *same total capacitance* and compares delay and
+//! waveform character (the distributed version shows Miller kickback and
+//! gate-input RC that the lumped version cannot).
+
+use mtk_bench::report::{ns, print_table};
+use mtk_netlist::tech::Technology;
+use mtk_num::waveform::propagation_delay;
+use mtk_spice::circuit::{Circuit, NodeId};
+use mtk_spice::mos::MosCaps;
+use mtk_spice::source::SourceWave;
+use mtk_spice::tran::{transient, TranOptions};
+
+const STAGES: usize = 4;
+const FANOUT_CAP_UNITS: f64 = 3.0; // pretend each stage drives 3 gates
+
+fn build(tech: &Technology, distributed: bool) -> (Circuit, NodeId, NodeId) {
+    let mut c = Circuit::new();
+    let vdd_n = c.node("vdd");
+    c.vsource("vdd", vdd_n, Circuit::GND, SourceWave::Dc(tech.vdd));
+    let mut nm = tech.nmos_model(false);
+    let mut pm = tech.pmos_model(false);
+    if distributed {
+        let caps = MosCaps::split(tech.c_gate, tech.c_drain);
+        nm = nm.with_caps(caps);
+        pm = pm.with_caps(caps);
+    }
+    let nmid = c.add_model(nm);
+    let pmid = c.add_model(pm);
+    let inp = c.node("in");
+    c.vsource(
+        "vin",
+        inp,
+        Circuit::GND,
+        SourceWave::ramp(0.5e-9, 0.1e-9, 0.0, tech.vdd),
+    );
+    let mut prev = inp;
+    let mut out = inp;
+    for k in 0..STAGES {
+        out = c.node(&format!("s{k}"));
+        c.mosfet(&format!("mp{k}"), out, prev, vdd_n, vdd_n, pmid, tech.unit_wp);
+        c.mosfet(
+            &format!("mn{k}"),
+            out,
+            prev,
+            Circuit::GND,
+            Circuit::GND,
+            nmid,
+            tech.unit_wn,
+        );
+        // Equal total loading in both variants: the fanout gate load is
+        // lumped when the devices are cap-free, and reduced by the
+        // next stage's own intrinsic input cap when distributed.
+        let next_stage_gate = (tech.unit_wn + tech.unit_wp) * tech.c_gate;
+        let lumped = if distributed {
+            FANOUT_CAP_UNITS * next_stage_gate - if k + 1 < STAGES { next_stage_gate } else { 0.0 }
+        } else {
+            FANOUT_CAP_UNITS * next_stage_gate
+        };
+        if lumped > 0.0 {
+            c.capacitor(&format!("cl{k}"), out, Circuit::GND, lumped);
+        }
+        prev = out;
+    }
+    (c, inp, out)
+}
+
+fn main() {
+    let tech = Technology::l07();
+    println!("ABL-CAPS: {STAGES}-stage inverter chain, equal total capacitance");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (label, distributed) in [("lumped", false), ("distributed", true)] {
+        let (c, inp, out) = build(&tech, distributed);
+        let res = transient(&c, &TranOptions::to(25e-9).with_dt(5e-12)).expect("transient");
+        let w_in = res.waveform(inp).expect("in");
+        let w_out = res.waveform(out).expect("out");
+        let d = propagation_delay(&w_in, &w_out, tech.v_switch(), 0.0).expect("delay");
+        let overshoot = (w_out.max_value().unwrap() - tech.vdd).max(0.0)
+            + (-w_out.min_value().unwrap()).max(0.0);
+        rows.push(vec![
+            label.to_string(),
+            ns(d),
+            format!("{:.1} mV", overshoot * 1e3),
+        ]);
+        results.push(d);
+    }
+    print_table(
+        "chain delay and rail overshoot (Miller kickback)",
+        &["cap model", "delay [ns]", "overshoot"],
+        &rows,
+    );
+    println!(
+        "\nthe distributed run is {:.0}% slower at equal nominal capacitance: the gate-drain \
+         cap is Miller-multiplied on every switching edge and the junction caps add load the \
+         lumped convention never counts. This bounds the systematic optimism of the lumped \
+         model that both engines share — a §5.3-class accuracy item (\"better compound gate \
+         models\"), and part of why the switch-level simulator sits below SPICE in Figs \
+         10/13.",
+        ((results[1] - results[0]) / results[0] * 100.0).abs()
+    );
+}

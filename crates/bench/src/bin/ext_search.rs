@@ -1,0 +1,114 @@
+//! EXT-SEARCH / §4 — worst-vector search where enumeration is
+//! impossible.
+//!
+//! The 8×8 multiplier has 2³² input transitions; "it soon becomes
+//! impossible" to enumerate them even with the fast simulator. This
+//! experiment runs the random + hill-climbing search on the multiplier
+//! and checks it (a) beats the paper's named vector A, or at least finds
+//! its regime, and (b) on the 3-bit adder, lands in the top percentile
+//! of the exhaustively known distribution at a fraction of the cost.
+
+use mtk_bench::report::{pct, print_table};
+use mtk_bench::transition_of;
+use mtk_circuits::adder::RippleAdder;
+use mtk_circuits::multiplier::ArrayMultiplier;
+use mtk_circuits::vectors::{exhaustive_transitions, multiplier_vector_a};
+use mtk_core::search::{search_worst_vector, SearchOptions};
+use mtk_core::sizing::{screen_vectors, vbsim_delay_pair, Transition};
+use mtk_core::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use mtk_netlist::tech::Technology;
+use std::time::Instant;
+
+fn main() {
+    // --- (a) 8x8 multiplier: search the 2^32 transition space. ---
+    let m = ArrayMultiplier::paper();
+    let tech = Technology::l03();
+    let engine = Engine::new(&m.netlist, &tech);
+    let sleep = SleepNetwork::Transistor { w_over_l: 100.0 };
+    let base = VbsimOptions::default();
+
+    let tr_a = transition_of(multiplier_vector_a(), 16);
+    let a = vbsim_delay_pair(&engine, &tr_a, None, sleep, &base)
+        .expect("run")
+        .expect("switches");
+
+    println!("EXT-SEARCH (a): 8x8 multiplier @ sleep W/L=100 (2^32 possible transitions)");
+    println!(
+        "paper's hand-picked vector A: {} degradation",
+        pct(a.degradation())
+    );
+    let t0 = Instant::now();
+    let result = search_worst_vector(
+        &engine,
+        &SearchOptions {
+            random_samples: 400,
+            restarts: 4,
+            max_passes: 10,
+            ..SearchOptions::at_sleep(sleep)
+        },
+    )
+    .expect("search");
+    println!(
+        "search found {} degradation in {} evaluations ({:.2} s)",
+        pct(result.degradation),
+        result.evaluations,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "search vs vector A: {:.2}x — {}",
+        result.degradation / a.degradation(),
+        if result.degradation >= a.degradation() {
+            "the heuristic matches or beats the expert-chosen worst case"
+        } else {
+            "vector A remains worse (expert knowledge wins at this budget)"
+        }
+    );
+
+    // --- (b) 3-bit adder: calibrate against exhaustive truth. ---
+    let add = RippleAdder::paper();
+    let tech07 = Technology::l07();
+    let engine = Engine::new(&add.netlist, &tech07);
+    let sleep = SleepNetwork::Transistor { w_over_l: 10.0 };
+    let transitions: Vec<Transition> = exhaustive_transitions(6)
+        .into_iter()
+        .map(|p| transition_of(p, 6))
+        .collect();
+    let screened =
+        screen_vectors(&engine, &transitions, None, 10.0, &VbsimOptions::default()).expect("screen");
+    let exhaustive_worst = screened[0].delays.degradation();
+    let mut rows = Vec::new();
+    for &(samples, restarts) in &[(50usize, 1usize), (150, 2), (400, 4)] {
+        let res = search_worst_vector(
+            &engine,
+            &SearchOptions {
+                random_samples: samples,
+                restarts,
+                max_passes: 8,
+                ..SearchOptions::at_sleep(sleep)
+            },
+        )
+        .expect("search");
+        // Percentile of the found degradation in the exhaustive ranking.
+        let better = screened
+            .iter()
+            .filter(|e| e.delays.degradation() > res.degradation + 1e-12)
+            .count();
+        rows.push(vec![
+            format!("{samples}+{restarts} restarts"),
+            format!("{}", res.evaluations),
+            pct(res.degradation),
+            format!("top {:.2}%", (better + 1) as f64 / screened.len() as f64 * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "exhaustive (4096)".into(),
+        "4096".into(),
+        pct(exhaustive_worst),
+        "top 0.03%".into(),
+    ]);
+    print_table(
+        "EXT-SEARCH (b): 3-bit adder, search budget vs rank of the found worst case",
+        &["budget", "evaluations", "found degradation", "exhaustive rank"],
+        &rows,
+    );
+}

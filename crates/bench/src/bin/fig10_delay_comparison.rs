@@ -1,0 +1,74 @@
+//! FIG10 — inverter-tree delay vs sleep W/L: SPICE vs the variable-
+//! breakpoint switch-level simulator.
+//!
+//! The paper's Figure 10 compares the two engines on the Fig 4 tree for
+//! a low-to-high input transition. The reproduction target is the shape:
+//! both engines' delay curves decrease monotonically with W/L and the
+//! switch-level simulator tracks the SPICE trend.
+
+use mtk_bench::report::{ns, print_table};
+use mtk_bench::stats::{pearson, spearman};
+use mtk_circuits::tree::InverterTree;
+use mtk_core::hybrid::{spice_transition, SpiceRunConfig};
+use mtk_core::sizing::Transition;
+use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_netlist::expand::SleepImpl;
+use mtk_netlist::logic::Logic;
+use mtk_netlist::tech::Technology;
+
+fn main() {
+    let tree = InverterTree::paper();
+    let tech = Technology::l07();
+    let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+    let probe = [tree.probe()];
+    let engine = Engine::new(&tree.netlist, &tech);
+    let cfg = SpiceRunConfig::window(60e-9);
+
+    println!("FIG10: inverter-tree delay vs sleep W/L, SPICE vs switch-level simulator");
+
+    let sizes = [2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0];
+    let mut rows = Vec::new();
+    let mut spice_delays = Vec::new();
+    let mut vbsim_delays = Vec::new();
+    for &wl in &sizes {
+        let sp = spice_transition(
+            &tree.netlist,
+            &tech,
+            &tr,
+            Some(&probe),
+            SleepImpl::Transistor { w_over_l: wl },
+            &cfg,
+        )
+        .expect("spice run")
+        .delay
+        .expect("output switches");
+        let vb = engine
+            .run(&tr.from, &tr.to, &VbsimOptions::mtcmos(wl))
+            .expect("vbsim run")
+            .delay_over(&probe)
+            .expect("output switches");
+        spice_delays.push(sp);
+        vbsim_delays.push(vb);
+        rows.push(vec![
+            format!("{wl}"),
+            ns(sp),
+            ns(vb),
+            format!("{:.2}", vb / sp),
+        ]);
+    }
+    print_table(
+        "Fig 10: delay vs W/L (SPICE vs simulator)",
+        &["W/L", "SPICE [ns]", "simulator [ns]", "sim/SPICE"],
+        &rows,
+    );
+
+    let monotone =
+        |d: &[f64]| d.windows(2).all(|w| w[1] <= w[0] + 1e-15);
+    println!("\nSPICE curve monotone decreasing in W/L: {}", monotone(&spice_delays));
+    println!("simulator curve monotone decreasing in W/L: {}", monotone(&vbsim_delays));
+    println!(
+        "trend agreement: pearson {:.3}, spearman {:.3}",
+        pearson(&spice_delays, &vbsim_delays),
+        spearman(&spice_delays, &vbsim_delays)
+    );
+}

@@ -1,0 +1,67 @@
+//! FIG13 — 3-bit ripple-adder delay vs sleep W/L: SPICE vs the
+//! switch-level simulator, for the paper's displayed vector
+//! `(000001) → (110101)`.
+
+use mtk_bench::report::{ns, print_table};
+use mtk_bench::stats::{pearson, spearman};
+use mtk_bench::transition_of;
+use mtk_circuits::adder::RippleAdder;
+use mtk_circuits::vectors::VectorPair;
+use mtk_core::hybrid::{spice_transition, SpiceRunConfig};
+use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_netlist::expand::SleepImpl;
+use mtk_netlist::tech::Technology;
+
+fn main() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let engine = Engine::new(&add.netlist, &tech);
+    // The Fig 13 caption's vector, bits packed (a = low 3, b = high 3).
+    let pair = VectorPair::new(0b000001, 0b110101);
+    let tr = transition_of(pair, 6);
+    let cfg = SpiceRunConfig::window(80e-9);
+
+    println!(
+        "FIG13: 3-bit mirror ripple adder ({} transistors), vector (000001)->(110101)",
+        add.netlist.total_transistors()
+    );
+
+    let sizes = [2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0];
+    let mut rows = Vec::new();
+    let mut sp_all = Vec::new();
+    let mut vb_all = Vec::new();
+    for &wl in &sizes {
+        let sp = spice_transition(
+            &add.netlist,
+            &tech,
+            &tr,
+            None,
+            SleepImpl::Transistor { w_over_l: wl },
+            &cfg,
+        )
+        .expect("spice run")
+        .delay
+        .expect("outputs switch");
+        let vb = engine
+            .run(&tr.from, &tr.to, &VbsimOptions::mtcmos(wl))
+            .expect("vbsim run")
+            .delay_over(add.netlist.primary_outputs())
+            .expect("outputs switch");
+        sp_all.push(sp);
+        vb_all.push(vb);
+        rows.push(vec![format!("{wl}"), ns(sp), ns(vb), format!("{:.2}", vb / sp)]);
+    }
+    print_table(
+        "Fig 13: adder delay vs W/L (SPICE vs simulator)",
+        &["W/L", "SPICE [ns]", "simulator [ns]", "sim/SPICE"],
+        &rows,
+    );
+    let monotone = |d: &[f64]| d.windows(2).all(|w| w[1] <= w[0] + 1e-15);
+    println!("\nSPICE monotone decreasing: {}", monotone(&sp_all));
+    println!("simulator monotone decreasing: {}", monotone(&vb_all));
+    println!(
+        "trend agreement: pearson {:.3}, spearman {:.3}",
+        pearson(&sp_all, &vb_all),
+        spearman(&sp_all, &vb_all)
+    );
+}

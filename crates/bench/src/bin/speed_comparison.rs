@@ -1,0 +1,94 @@
+//! §6.2 — CPU-time comparison on the exhaustive 4096-vector adder sweep.
+//!
+//! The paper: SPICE needed 4.78 h on a Sparc 5; the (unoptimized)
+//! switch-level simulator needed 13.5 s — a ≈1275× ratio. Here both
+//! engines run on the same host: the full 4096-vector sweep through the
+//! switch-level simulator is timed directly, and the SPICE total is
+//! measured on a sample and extrapolated (pass `--full-spice` to really
+//! run all 4096 — expect ~10 minutes).
+
+use mtk_bench::report::print_table;
+use mtk_bench::transition_of;
+use mtk_circuits::adder::RippleAdder;
+use mtk_circuits::vectors::exhaustive_transitions;
+use mtk_core::hybrid::{spice_transition, SpiceRunConfig};
+use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_netlist::expand::SleepImpl;
+use mtk_netlist::tech::Technology;
+use std::time::Instant;
+
+fn main() {
+    let full_spice = std::env::args().any(|a| a == "--full-spice");
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let engine = Engine::new(&add.netlist, &tech);
+    let all = exhaustive_transitions(6);
+    let opts = VbsimOptions::mtcmos(10.0);
+
+    println!("SPEED (§6.2): exhaustive 4096-vector sweep of the 3-bit adder");
+
+    // Switch-level: the full sweep.
+    let t0 = Instant::now();
+    let mut total_breakpoints = 0usize;
+    for pair in &all {
+        let tr = transition_of(*pair, 6);
+        let run = engine.run(&tr.from, &tr.to, &opts).expect("vbsim run");
+        total_breakpoints += run.breakpoints;
+    }
+    let t_vbsim = t0.elapsed().as_secs_f64();
+
+    // SPICE: sample (or full).
+    let cfg = SpiceRunConfig::window(80e-9);
+    let sample: Vec<_> = if full_spice {
+        all.clone()
+    } else {
+        all.iter().step_by(256).copied().collect() // 16 spread samples
+    };
+    let t0 = Instant::now();
+    for pair in &sample {
+        let tr = transition_of(*pair, 6);
+        let _ = spice_transition(
+            &add.netlist,
+            &tech,
+            &tr,
+            None,
+            SleepImpl::Transistor { w_over_l: 10.0 },
+            &cfg,
+        )
+        .expect("spice run");
+    }
+    let t_sample = t0.elapsed().as_secs_f64();
+    let t_spice_total = t_sample / sample.len() as f64 * all.len() as f64;
+
+    let rows = vec![
+        vec![
+            "switch-level (this work)".into(),
+            format!("{:.3} s", t_vbsim),
+            "13.5 s (Sparc 5)".into(),
+        ],
+        vec![
+            if full_spice {
+                "SPICE engine (measured, all 4096)".into()
+            } else {
+                format!("SPICE engine (extrapolated from {})", sample.len())
+            },
+            format!("{:.0} s", t_spice_total),
+            "17208 s = 4.78 h (Sparc 5)".into(),
+        ],
+        vec![
+            "ratio".into(),
+            format!("{:.0}x", t_spice_total / t_vbsim),
+            "~1275x".into(),
+        ],
+    ];
+    print_table(
+        "CPU time, 4096 vectors",
+        &["engine", "this host", "paper"],
+        &rows,
+    );
+    println!(
+        "\nswitch-level sweep processed {} breakpoints ({:.1} us per vector)",
+        total_breakpoints,
+        t_vbsim / all.len() as f64 * 1e6
+    );
+}

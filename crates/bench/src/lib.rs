@@ -1,0 +1,40 @@
+//! Experiment harness for the paper reproduction.
+//!
+//! One binary per data-bearing table/figure of the paper (see the
+//! per-experiment index in `DESIGN.md`), plus Criterion benchmarks for
+//! the engine-speed claims. This library holds what the binaries share:
+//! plain-text table/series reporting and the statistics used to compare
+//! the two engines.
+
+pub mod report;
+pub mod stats;
+
+use mtk_circuits::vectors::VectorPair;
+use mtk_core::sizing::Transition;
+use mtk_netlist::logic::bits_lsb_first;
+
+/// Converts a packed [`VectorPair`] into a [`Transition`] over a circuit
+/// with `total_bits` primary inputs (the adder/multiplier generators
+/// declare inputs in exactly the packed bit order).
+pub fn transition_of(pair: VectorPair, total_bits: u32) -> Transition {
+    Transition::new(
+        bits_lsb_first(pair.from, total_bits),
+        bits_lsb_first(pair.to, total_bits),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtk_netlist::logic::Logic;
+
+    #[test]
+    fn transition_bit_order_matches_generators() {
+        let tr = transition_of(VectorPair::new(0b000001, 0b110101), 6);
+        assert_eq!(tr.from[0], Logic::One);
+        assert_eq!(tr.from[1], Logic::Zero);
+        assert_eq!(tr.to[0], Logic::One);
+        assert_eq!(tr.to[2], Logic::One);
+        assert_eq!(tr.to[5], Logic::One);
+    }
+}

@@ -1,0 +1,92 @@
+//! Plain-text reporting: aligned tables and sampled series, printed in
+//! the same rows/columns the paper's tables and figure axes use.
+
+use mtk_num::waveform::Pwl;
+
+/// Prints an aligned table with a title, headers, and rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (k, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(k).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|&w| "-".repeat(w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats seconds as engineering-notation nanoseconds.
+pub fn ns(t: f64) -> String {
+    format!("{:.4}", t * 1e9)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    if x.is_finite() {
+        format!("{:.1}%", x * 100.0)
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// Prints a waveform as `t_ns, volts` CSV rows sampled at `n` uniform
+/// points (figure-series output).
+pub fn print_series(label: &str, w: &Pwl, n: usize) {
+    let (Some(t0), Some(t1)) = (w.start_time(), w.end_time()) else {
+        println!("# {label}: empty");
+        return;
+    };
+    println!("# series: {label}");
+    println!("t_ns,volts");
+    if t1 <= t0 || n < 2 {
+        println!("{:.5},{:.6}", t0 * 1e9, w.value_at(t0));
+        return;
+    }
+    let dt = (t1 - t0) / (n - 1) as f64;
+    for k in 0..n {
+        let t = t0 + k as f64 * dt;
+        println!("{:.5},{:.6}", t * 1e9, w.value_at(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ns(1.5e-9), "1.5000");
+        assert_eq!(pct(0.048), "4.8%");
+        assert_eq!(pct(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn table_and_series_do_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+        let w: Pwl = [(0.0, 0.0), (1e-9, 1.0)].into_iter().collect();
+        print_series("w", &w, 5);
+        print_series("empty", &Pwl::new(), 5);
+    }
+}

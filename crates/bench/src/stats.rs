@@ -1,0 +1,111 @@
+//! Small statistics used to compare the two engines (Fig 14's
+//! "the general trend is correct" claim is quantified as a rank
+//! correlation here).
+
+/// Ranks of a slice (average ranks for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `NaN` for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "samples must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut sab = 0.0;
+    let mut saa = 0.0;
+    let mut sbb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        sab += (x - ma) * (y - mb);
+        saa += (x - ma) * (x - ma);
+        sbb += (y - mb) * (y - mb);
+    }
+    sab / (saa * sbb).sqrt()
+}
+
+/// Spearman rank correlation of two equal-length samples.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Mean absolute relative error of `est` against `reference`
+/// (entries with zero reference are skipped).
+pub fn mean_abs_rel_error(est: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(est.len(), reference.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&e, &r) in est.iter().zip(reference) {
+        if r != 0.0 {
+            sum += ((e - r) / r).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_line() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = b.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 8.0, 27.0, 64.0, 125.0]; // monotone → rank corr 1
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(pearson(&[1.0], &[1.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_nan());
+        assert!(mean_abs_rel_error(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn rel_error() {
+        let e = mean_abs_rel_error(&[1.1, 0.9], &[1.0, 1.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+}

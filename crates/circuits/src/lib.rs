@@ -1,0 +1,30 @@
+//! Generators for the paper's benchmark circuits.
+//!
+//! * [`tree`] — the Fig 4 clock-distribution inverter tree (1 → 3 → 9
+//!   fanout), whose third stage discharges nine inverters simultaneously
+//!   and bounces the virtual ground.
+//! * [`adder`] — the Fig 12 N-bit ripple-carry adder built from 28T
+//!   mirror full adders (3 bits in the paper's exhaustive experiment).
+//! * [`multiplier`] — the Fig 6 N×N carry-save (Braun) array multiplier
+//!   (the paper shows the 4×4 and evaluates the 8×8).
+//! * [`nand_adder`] — a NAND-only adder: same function as [`adder`],
+//!   different discharge pattern (implementation-style studies).
+//! * [`random_logic`] — seeded random combinational blocks for property
+//!   tests and scaling studies.
+//! * [`vectors`] — input-vector utilities: exhaustive pair enumeration
+//!   for the adder experiment and the paper's named multiplier vectors
+//!   A and B.
+
+pub mod adder;
+pub mod multiplier;
+pub mod nand_adder;
+pub mod random_logic;
+pub mod tree;
+pub mod vectors;
+
+pub use adder::RippleAdder;
+pub use multiplier::ArrayMultiplier;
+pub use nand_adder::NandRippleAdder;
+pub use random_logic::RandomLogic;
+pub use tree::InverterTree;
+pub use vectors::VectorPair;

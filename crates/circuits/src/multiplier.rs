@@ -1,0 +1,240 @@
+//! The Fig 6 carry-save (Braun) array multiplier.
+//!
+//! Partial products are AND gates (NAND2 + inverter); each array row
+//! adds one partial-product row with the carries *saved* into the next
+//! row (the carry-save structure the paper's Fig 6 shows for 4×4); a
+//! final ripple (carry-propagate) row resolves the upper product bits —
+//! "one critical path (many others exist) lies along the diagonal and
+//! bottom row" (§4).
+
+use crate::adder::full_adder;
+use mtk_netlist::cell::CellKind;
+use mtk_netlist::logic::{bits_lsb_first, Logic};
+use mtk_netlist::netlist::{NetId, Netlist};
+use mtk_netlist::NetlistError;
+
+/// Parameters of an array multiplier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiplierSpec {
+    /// Operand width in bits (the paper evaluates 8×8).
+    pub bits: usize,
+    /// Explicit load on each product output, farads.
+    pub output_load: f64,
+    /// Drive-strength multiplier of every cell.
+    pub drive: f64,
+}
+
+impl Default for MultiplierSpec {
+    /// The paper's 8×8 configuration.
+    fn default() -> Self {
+        MultiplierSpec {
+            bits: 8,
+            output_load: 15e-15,
+            drive: 3.0,
+        }
+    }
+}
+
+/// A generated N×N array multiplier computing `p = x · y`.
+#[derive(Debug)]
+pub struct ArrayMultiplier {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Operand X inputs, LSB first.
+    pub x: Vec<NetId>,
+    /// Operand Y inputs, LSB first.
+    pub y: Vec<NetId>,
+    /// Product outputs `p0 … p(2n−1)`, LSB first.
+    pub p: Vec<NetId>,
+}
+
+impl ArrayMultiplier {
+    /// Builds a multiplier. Primary inputs are declared `x[0..n]` then
+    /// `y[0..n]` (LSB first), matching [`ArrayMultiplier::input_values`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    pub fn new(spec: &MultiplierSpec) -> Result<Self, NetlistError> {
+        assert!(spec.bits >= 2, "multiplier needs at least 2 bits");
+        let n = spec.bits;
+        let drive = spec.drive;
+        let mut nl = Netlist::new("csa_multiplier");
+        let x: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("x{i}")))
+            .collect::<Result<_, _>>()?;
+        let y: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("y{i}")))
+            .collect::<Result<_, _>>()?;
+        for &net in x.iter().chain(&y) {
+            nl.mark_primary_input(net)?;
+        }
+        let zero = nl.add_net("const0")?;
+        nl.tie_net(zero, Logic::Zero)?;
+
+        // Partial products pp[i][j] = x_i & y_j (NAND2 + INV).
+        let mut pp = vec![vec![zero; n]; n];
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &yj) in y.iter().enumerate() {
+                let nand = nl.add_net(&format!("ppb{i}_{j}"))?;
+                let and = nl.add_net(&format!("pp{i}_{j}"))?;
+                nl.add_cell(
+                    &format!("gppb{i}_{j}"),
+                    CellKind::Nand2,
+                    vec![xi, yj],
+                    nand,
+                    drive,
+                )?;
+                nl.add_cell(&format!("gpp{i}_{j}"), CellKind::Inv, vec![nand], and, drive)?;
+                pp[i][j] = and;
+            }
+        }
+
+        let mut p = Vec::with_capacity(2 * n);
+        // Row 0 of the carry-save state is the y0 partial-product row:
+        // s0[i] = pp[i][0] (weight i), carries all zero.
+        p.push(pp[0][0]);
+        let mut s: Vec<NetId> = (0..n).map(|i| pp[i][0]).collect();
+        let mut c: Vec<NetId> = vec![zero; n];
+
+        // Carry-save rows k = 1..n-1: cell i adds pp[i][k] (weight i+k)
+        // to the incoming sum s[i+1] (same weight) and carry c[i].
+        #[allow(clippy::needless_range_loop)] // k indexes pp, s, c and names cells
+        for k in 1..n {
+            let mut s_next = vec![zero; n];
+            let mut c_next = vec![zero; n];
+            for i in 0..n {
+                let b_in = if i + 1 < n { s[i + 1] } else { zero };
+                let (si, ci) = full_adder(
+                    &mut nl,
+                    &format!("csa{k}_{i}"),
+                    pp[i][k],
+                    b_in,
+                    c[i],
+                    drive,
+                )?;
+                s_next[i] = si;
+                c_next[i] = ci;
+            }
+            p.push(s_next[0]);
+            s = s_next;
+            c = c_next;
+        }
+
+        // Final ripple row resolving weights n .. 2n-1.
+        let mut carry = zero;
+        for j in 1..n {
+            let (pj, cj) = full_adder(&mut nl, &format!("rip{j}"), s[j], c[j - 1], carry, drive)?;
+            p.push(pj);
+            carry = cj;
+        }
+        let (top, _overflow) = full_adder(&mut nl, "rip_top", zero, c[n - 1], carry, drive)?;
+        p.push(top);
+
+        for &out in &p {
+            nl.add_extra_cap(out, spec.output_load);
+            nl.mark_primary_output(out);
+        }
+        Ok(ArrayMultiplier {
+            netlist: nl,
+            x,
+            y,
+            p,
+        })
+    }
+
+    /// The paper's 8×8 instance.
+    pub fn paper() -> Self {
+        ArrayMultiplier::new(&MultiplierSpec::default()).expect("paper multiplier spec is valid")
+    }
+
+    /// Operand width.
+    pub fn bits(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Primary-input logic levels for operands `(x, y)`.
+    pub fn input_values(&self, x: u64, y: u64) -> Vec<Logic> {
+        let n = self.bits() as u32;
+        let mut v = bits_lsb_first(x, n);
+        v.extend(bits_lsb_first(y, n));
+        v
+    }
+
+    /// Decodes the product from evaluated net values.
+    pub fn decode_product(&self, values: &[Logic]) -> Option<u64> {
+        let mut out = 0u64;
+        for (k, &net) in self.p.iter().enumerate() {
+            out |= (values[net.index()].to_bool()? as u64) << k;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn four_by_four_is_exhaustively_correct() {
+        let m = ArrayMultiplier::new(&MultiplierSpec {
+            bits: 4,
+            ..MultiplierSpec::default()
+        })
+        .unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let v = m.netlist.evaluate(&m.input_values(a, b)).unwrap();
+                assert_eq!(m.decode_product(&v), Some(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_by_two_works() {
+        let m = ArrayMultiplier::new(&MultiplierSpec {
+            bits: 2,
+            ..MultiplierSpec::default()
+        })
+        .unwrap();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let v = m.netlist.evaluate(&m.input_values(a, b)).unwrap();
+                assert_eq!(m.decode_product(&v), Some(a * b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn eight_by_eight_matches_integer_multiplication(a in 0u64..256, b in 0u64..256) {
+            let m = ArrayMultiplier::paper();
+            let v = m.netlist.evaluate(&m.input_values(a, b)).unwrap();
+            prop_assert_eq!(m.decode_product(&v), Some(a * b));
+        }
+    }
+
+    #[test]
+    fn paper_vectors_evaluate() {
+        // Vector A: (x: 00, y: 00) -> (x: FF, y: 81); B: (7F,81) -> (FF,81).
+        let m = ArrayMultiplier::paper();
+        let v = m.netlist.evaluate(&m.input_values(0xFF, 0x81)).unwrap();
+        assert_eq!(m.decode_product(&v), Some(0xFF * 0x81));
+        let v = m.netlist.evaluate(&m.input_values(0x7F, 0x81)).unwrap();
+        assert_eq!(m.decode_product(&v), Some(0x7F * 0x81));
+    }
+
+    #[test]
+    fn structure_scales() {
+        let m = ArrayMultiplier::paper();
+        assert_eq!(m.p.len(), 16);
+        assert_eq!(m.netlist.primary_inputs().len(), 16);
+        // 64 partial products (NAND+INV) + (7 rows × 8 + 8 ripple) FAs.
+        let fa_count = 7 * 8 + 8;
+        assert_eq!(
+            m.netlist.total_transistors(),
+            64 * 6 + fa_count * 28
+        );
+    }
+}

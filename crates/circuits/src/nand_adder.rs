@@ -1,0 +1,192 @@
+//! A NAND-only ripple-carry adder — an alternative implementation style
+//! for §2.4's point that *implementation structure* changes a circuit's
+//! MTCMOS discharge pattern.
+//!
+//! Each full adder is the classic nine-NAND2 realization. Functionally
+//! identical to the mirror adder of [`crate::adder`], but its internal
+//! transitions (and therefore its simultaneous-discharge profile through
+//! a shared sleep transistor) differ, so the worst-case input vectors
+//! and the required sleep sizing differ too.
+
+use mtk_netlist::cell::CellKind;
+use mtk_netlist::logic::{bits_lsb_first, Logic};
+use mtk_netlist::netlist::{NetId, Netlist};
+use mtk_netlist::NetlistError;
+
+/// Parameters of a NAND-only ripple-carry adder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NandAdderSpec {
+    /// Word width in bits.
+    pub bits: usize,
+    /// Explicit load on each primary output, farads.
+    pub output_load: f64,
+    /// Drive-strength multiplier of every cell.
+    pub drive: f64,
+}
+
+impl Default for NandAdderSpec {
+    fn default() -> Self {
+        NandAdderSpec {
+            bits: 3,
+            output_load: 20e-15,
+            drive: 1.0,
+        }
+    }
+}
+
+/// A generated NAND-only ripple-carry adder.
+#[derive(Debug)]
+pub struct NandRippleAdder {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Operand A inputs, LSB first.
+    pub a: Vec<NetId>,
+    /// Operand B inputs, LSB first.
+    pub b: Vec<NetId>,
+    /// Sum outputs, LSB first.
+    pub sum: Vec<NetId>,
+    /// Carry-out.
+    pub cout: NetId,
+}
+
+impl NandRippleAdder {
+    /// Builds the adder; input declaration order matches
+    /// [`crate::adder::RippleAdder`] (a bits then b bits, LSB first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    pub fn new(spec: &NandAdderSpec) -> Result<Self, NetlistError> {
+        assert!(spec.bits >= 1, "adder needs at least one bit");
+        let n = spec.bits;
+        let mut nl = Netlist::new("nand_ripple_adder");
+        let a: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("a{i}")))
+            .collect::<Result<_, _>>()?;
+        let b: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("b{i}")))
+            .collect::<Result<_, _>>()?;
+        for &net in a.iter().chain(&b) {
+            nl.mark_primary_input(net)?;
+        }
+        // The grounded initial carry: c0 = 0. The nine-NAND FA needs a
+        // carry input; feed the constant.
+        let c0 = nl.add_net("c0")?;
+        nl.tie_net(c0, Logic::Zero)?;
+
+        let mut carry = c0;
+        let mut sum = Vec::with_capacity(n);
+        for i in 0..n {
+            let (s, cout) =
+                nand_full_adder(&mut nl, &format!("nfa{i}"), a[i], b[i], carry, spec.drive)?;
+            nl.add_extra_cap(s, spec.output_load);
+            nl.mark_primary_output(s);
+            sum.push(s);
+            carry = cout;
+        }
+        nl.add_extra_cap(carry, spec.output_load);
+        nl.mark_primary_output(carry);
+        Ok(NandRippleAdder {
+            netlist: nl,
+            a,
+            b,
+            sum,
+            cout: carry,
+        })
+    }
+
+    /// Word width.
+    pub fn bits(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Primary-input logic levels for operands `(a, b)`.
+    pub fn input_values(&self, a: u64, b: u64) -> Vec<Logic> {
+        let n = self.bits() as u32;
+        let mut v = bits_lsb_first(a, n);
+        v.extend(bits_lsb_first(b, n));
+        v
+    }
+
+    /// Decodes the sum (including carry-out) from evaluated net values.
+    pub fn decode_sum(&self, values: &[Logic]) -> Option<u64> {
+        let mut out = 0u64;
+        for (k, &net) in self.sum.iter().enumerate() {
+            out |= (values[net.index()].to_bool()? as u64) << k;
+        }
+        out |= (values[self.cout.index()].to_bool()? as u64) << self.bits();
+        Some(out)
+    }
+}
+
+/// The nine-NAND2 full adder; returns `(sum, carry_out)`.
+///
+/// Structure: `t1 = !(a·b)`; the XOR half `t4 = a ⊕ b` from three more
+/// NANDs; then the same trick against `ci`, with
+/// `cout = !(t1 · t5) = a·b + ci·(a ⊕ b)`.
+pub fn nand_full_adder(
+    nl: &mut Netlist,
+    prefix: &str,
+    a: NetId,
+    b: NetId,
+    ci: NetId,
+    drive: f64,
+) -> Result<(NetId, NetId), NetlistError> {
+    let mut gate_idx = 0usize;
+    let mut nand = |nl: &mut Netlist, x: NetId, y: NetId| -> Result<NetId, NetlistError> {
+        let out = nl.add_net(&format!("{prefix}_t{gate_idx}"))?;
+        nl.add_cell(
+            &format!("{prefix}_g{gate_idx}"),
+            CellKind::Nand2,
+            vec![x, y],
+            out,
+            drive,
+        )?;
+        gate_idx += 1;
+        Ok(out)
+    };
+    let t1 = nand(nl, a, b)?;
+    let t2 = nand(nl, a, t1)?;
+    let t3 = nand(nl, b, t1)?;
+    let t4 = nand(nl, t2, t3)?; // a ^ b
+    let t5 = nand(nl, t4, ci)?;
+    let t6 = nand(nl, t4, t5)?;
+    let t7 = nand(nl, ci, t5)?;
+    let s = nand(nl, t6, t7)?; // a ^ b ^ ci
+    let cout = nand(nl, t1, t5)?;
+    Ok((s, cout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn three_bit_nand_adder_is_exhaustively_correct() {
+        let add = NandRippleAdder::new(&NandAdderSpec::default()).unwrap();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let v = add.netlist.evaluate(&add.input_values(a, b)).unwrap();
+                assert_eq!(add.decode_sum(&v), Some(a + b), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn structure() {
+        let add = NandRippleAdder::new(&NandAdderSpec::default()).unwrap();
+        // 9 NAND2s per bit, 4 transistors each.
+        assert_eq!(add.netlist.cells().len(), 27);
+        assert_eq!(add.netlist.total_transistors(), 27 * 4);
+    }
+
+    proptest! {
+        #[test]
+        fn wide_nand_adder_matches_integer_addition(a in 0u64..64, b in 0u64..64) {
+            let add = NandRippleAdder::new(&NandAdderSpec { bits: 6, ..NandAdderSpec::default() }).unwrap();
+            let v = add.netlist.evaluate(&add.input_values(a, b)).unwrap();
+            prop_assert_eq!(add.decode_sum(&v), Some(a + b));
+        }
+    }
+}

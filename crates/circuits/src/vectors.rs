@@ -1,0 +1,144 @@
+//! Input-vector utilities.
+//!
+//! The paper's central observation (§2.4, §4) is that MTCMOS worst-case
+//! delay is *input-vector dependent*: two transitions with identical
+//! conventional-CMOS delay can differ wildly under a shared sleep
+//! transistor. These helpers enumerate and name the vector transitions
+//! the experiments sweep.
+
+/// A transition between two input vectors applied to a circuit's
+/// operand inputs.
+///
+/// For a two-operand circuit (adder, multiplier), `from`/`to` pack both
+/// operands: low bits operand A/X, high bits operand B/Y, as produced by
+/// [`VectorPair::pack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorPair {
+    /// Input vector before the transition.
+    pub from: u64,
+    /// Input vector after the transition.
+    pub to: u64,
+}
+
+impl VectorPair {
+    /// Creates a transition.
+    pub fn new(from: u64, to: u64) -> Self {
+        VectorPair { from, to }
+    }
+
+    /// Packs two operands of `bits` width each into one vector word
+    /// (A in the low bits).
+    pub fn pack(a: u64, b: u64, bits: u32) -> u64 {
+        debug_assert!(bits <= 32, "pack supports up to 32-bit operands");
+        (b << bits) | (a & ((1u64 << bits) - 1))
+    }
+
+    /// Unpacks a vector word into `(a, b)` operands of `bits` width.
+    pub fn unpack(v: u64, bits: u32) -> (u64, u64) {
+        let mask = (1u64 << bits) - 1;
+        (v & mask, (v >> bits) & mask)
+    }
+
+    /// A transition between two operand pairs.
+    pub fn from_operands(
+        (a0, b0): (u64, u64),
+        (a1, b1): (u64, u64),
+        bits: u32,
+    ) -> Self {
+        VectorPair::new(Self::pack(a0, b0, bits), Self::pack(a1, b1, bits))
+    }
+
+    /// Whether a particular input bit changes in this transition.
+    pub fn bit_changes(&self, bit: u32) -> bool {
+        ((self.from ^ self.to) >> bit) & 1 == 1
+    }
+
+    /// Number of changing input bits.
+    pub fn hamming_distance(&self) -> u32 {
+        (self.from ^ self.to).count_ones()
+    }
+}
+
+/// All `2^bits × 2^bits` vector transitions over a `bits`-wide input
+/// space — the paper's exhaustive 3-bit-adder experiment enumerates
+/// `total_bits = 6`, i.e. 4096 transitions (§6.2).
+pub fn exhaustive_transitions(total_bits: u32) -> Vec<VectorPair> {
+    assert!(total_bits <= 16, "exhaustive enumeration capped at 16 bits");
+    let n = 1u64 << total_bits;
+    let mut out = Vec::with_capacity((n * n) as usize);
+    for from in 0..n {
+        for to in 0..n {
+            out.push(VectorPair::new(from, to));
+        }
+    }
+    out
+}
+
+/// The paper's multiplier **vector A** (larger currents): many internal
+/// cells transition at once —
+/// `(x: 0000 0000, y: 0000 0000) → (x: 1111 1111, y: 1000 0001)`.
+pub fn multiplier_vector_a() -> VectorPair {
+    VectorPair::from_operands((0x00, 0x00), (0xFF, 0x81), 8)
+}
+
+/// The paper's multiplier **vector B** (smaller currents): a rippling
+/// effect with few cells discharging simultaneously —
+/// `(x: 0111 1111, y: 1000 0001) → (x: 1111 1111, y: 1000 0001)`.
+pub fn multiplier_vector_b() -> VectorPair {
+    VectorPair::from_operands((0x7F, 0x81), (0xFF, 0x81), 8)
+}
+
+/// The inverter-tree stimulus: input 0 → 1, "especially slow because in
+/// the third stage all nine inverters are discharging" (§3).
+pub fn tree_rising_input() -> VectorPair {
+    VectorPair::new(0, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = VectorPair::pack(0x2A, 0x15, 6);
+        assert_eq!(VectorPair::unpack(v, 6), (0x2A, 0x15));
+        let v8 = VectorPair::pack(0xFF, 0x81, 8);
+        assert_eq!(VectorPair::unpack(v8, 8), (0xFF, 0x81));
+    }
+
+    #[test]
+    fn exhaustive_count_matches_paper() {
+        // 2^6 * 2^6 = 4096 possible vectors for the 3-bit adder.
+        let all = exhaustive_transitions(6);
+        assert_eq!(all.len(), 4096);
+        // First and last entries.
+        assert_eq!(all[0], VectorPair::new(0, 0));
+        assert_eq!(all[4095], VectorPair::new(63, 63));
+    }
+
+    #[test]
+    fn named_vectors_match_paper() {
+        let a = multiplier_vector_a();
+        assert_eq!(VectorPair::unpack(a.from, 8), (0x00, 0x00));
+        assert_eq!(VectorPair::unpack(a.to, 8), (0xFF, 0x81));
+        let b = multiplier_vector_b();
+        assert_eq!(VectorPair::unpack(b.from, 8), (0x7F, 0x81));
+        assert_eq!(VectorPair::unpack(b.to, 8), (0xFF, 0x81));
+        // Vector A flips far more input bits than B.
+        assert!(a.hamming_distance() > b.hamming_distance());
+    }
+
+    #[test]
+    fn bit_change_queries() {
+        let v = VectorPair::new(0b0001, 0b0100);
+        assert!(v.bit_changes(0));
+        assert!(v.bit_changes(2));
+        assert!(!v.bit_changes(1));
+        assert_eq!(v.hamming_distance(), 2);
+    }
+
+    #[test]
+    fn tree_stimulus() {
+        assert_eq!(tree_rising_input(), VectorPair::new(0, 1));
+    }
+}

@@ -1,0 +1,136 @@
+//! Energy accounting for the sleep transistor.
+//!
+//! §2.1 lists the costs of over-sizing beyond area: "increased switching
+//! energy overhead and increased leakage current can also be limiting
+//! factors." This module quantifies both sides of that trade:
+//!
+//! * the energy to toggle the sleep transistor's gate once per
+//!   sleep/wake cycle (grows linearly with W/L),
+//! * the standby leakage power saved while asleep,
+//! * the **break-even idle time**: how long a sleep period must last
+//!   before gating pays for its own control energy — the quantity an
+//!   event-driven system (the paper's "processor running an X-server")
+//!   actually budgets against.
+
+use mtk_netlist::netlist::Netlist;
+use mtk_netlist::tech::Technology;
+use mtk_spice::mos::THERMAL_VOLTAGE;
+
+/// Gate capacitance of the sleep transistor at a given size.
+pub fn sleep_gate_capacitance(tech: &Technology, w_over_l: f64) -> f64 {
+    tech.c_gate * w_over_l
+}
+
+/// Energy to drive the sleep transistor's gate through one full
+/// sleep/wake cycle, `C·Vdd²` (one charge plus one discharge of the gate
+/// dissipates exactly `C·Vdd²` in the driver).
+pub fn sleep_switching_energy(tech: &Technology, w_over_l: f64) -> f64 {
+    sleep_gate_capacitance(tech, w_over_l) * tech.vdd * tech.vdd
+}
+
+/// Analytic estimate of a block's standby subthreshold leakage current
+/// when *unguarded*: every cell leaks through its off devices. Assumes
+/// half of each cell's transistors are off at V<sub>gs</sub> = 0 with
+/// full V<sub>ds</sub> — the standard order-of-magnitude estimate.
+pub fn unguarded_leakage_current(netlist: &Netlist, tech: &Technology) -> f64 {
+    let sub = tech.subthreshold;
+    let per_unit_n = sub.i0 * (-tech.vtn / (sub.n * THERMAL_VOLTAGE)).exp();
+    let per_unit_p = sub.i0 * (-tech.vtp / (sub.n * THERMAL_VOLTAGE)).exp();
+    netlist
+        .cells()
+        .iter()
+        .map(|c| {
+            let n_w = c.kind.pdn().transistor_count() as f64 * tech.unit_wn * c.drive;
+            let p_w = c.kind.pun().transistor_count() as f64 * tech.unit_wp * c.drive;
+            // Half the stacks conduct-block at any static state.
+            0.5 * (n_w * per_unit_n + p_w * per_unit_p)
+        })
+        .sum()
+}
+
+/// Analytic estimate of the *gated* standby leakage: limited by the off
+/// high-V<sub>t</sub> sleep device at V<sub>gs</sub> = 0 (the virtual
+/// ground self-reverse-biases the stack, so the sleep device dominates).
+pub fn gated_leakage_current(tech: &Technology, w_over_l: f64) -> f64 {
+    let sub = tech.subthreshold;
+    sub.i0 * w_over_l * (-tech.vt_high / (sub.n * THERMAL_VOLTAGE)).exp()
+}
+
+/// The break-even idle duration: sleeping saves
+/// `(I_unguarded − I_gated)·Vdd` watts but costs one
+/// [`sleep_switching_energy`] per cycle; below this duration, gating
+/// *loses* energy.
+///
+/// Returns `f64::INFINITY` when gating saves nothing.
+pub fn break_even_idle_time(netlist: &Netlist, tech: &Technology, w_over_l: f64) -> f64 {
+    let saved_power =
+        (unguarded_leakage_current(netlist, tech) - gated_leakage_current(tech, w_over_l))
+            * tech.vdd;
+    if saved_power <= 0.0 {
+        return f64::INFINITY;
+    }
+    sleep_switching_energy(tech, w_over_l) / saved_power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtk_circuits::tree::InverterTree;
+
+    #[test]
+    fn switching_energy_scales_linearly() {
+        let tech = Technology::l07();
+        let e10 = sleep_switching_energy(&tech, 10.0);
+        let e20 = sleep_switching_energy(&tech, 20.0);
+        assert!((e20 / e10 - 2.0).abs() < 1e-12);
+        assert!((e10 - tech.c_gate * 10.0 * 1.44).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gated_leakage_orders_below_unguarded() {
+        let tree = InverterTree::paper();
+        let tech = Technology::l03();
+        let unguarded = unguarded_leakage_current(&tree.netlist, &tech);
+        let gated = gated_leakage_current(&tech, 10.0);
+        assert!(unguarded > 0.0 && gated > 0.0);
+        assert!(
+            unguarded / gated > 1e3,
+            "ratio {:.1e} should be orders of magnitude",
+            unguarded / gated
+        );
+    }
+
+    #[test]
+    fn break_even_time_grows_with_sleep_width() {
+        // A wider sleep device costs more gate energy per cycle and leaks
+        // more asleep: break-even idle time must be monotone increasing.
+        let tree = InverterTree::paper();
+        let tech = Technology::l03();
+        let mut last = 0.0;
+        for wl in [2.0, 10.0, 50.0, 200.0] {
+            let t = break_even_idle_time(&tree.netlist, &tech, wl);
+            assert!(t.is_finite() && t > last, "wl={wl}: {t}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn break_even_infinite_when_gating_cannot_win() {
+        // A sleep device so wide its own leakage exceeds the block's.
+        let tree = InverterTree::paper();
+        let tech = Technology::l03();
+        let unguarded = unguarded_leakage_current(&tree.netlist, &tech);
+        let huge = unguarded / gated_leakage_current(&tech, 1.0) * 2.0;
+        assert_eq!(break_even_idle_time(&tree.netlist, &tech, huge), f64::INFINITY);
+    }
+
+    #[test]
+    fn high_vt_process_leaks_less_at_same_size() {
+        let t03 = Technology::l03(); // vt 0.2
+        let t07 = Technology::l07(); // vt 0.35
+        let tree = InverterTree::paper();
+        let l03 = unguarded_leakage_current(&tree.netlist, &t03);
+        let l07 = unguarded_leakage_current(&tree.netlist, &t07);
+        assert!(l03 > l07, "lower Vt must leak more: {l03} vs {l07}");
+    }
+}

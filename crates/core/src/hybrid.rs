@@ -1,0 +1,298 @@
+//! The hybrid flow: switch-level screening → SPICE verification.
+//!
+//! The paper's intended use of the tool (§5, §7): the fast simulator
+//! narrows the input-vector space to the candidates that are sensitive to
+//! MTCMOS, and "after the design and simulation space is narrowed
+//! sufficiently, the designer could then use a more detailed simulator
+//! like SPICE to verify circuit details". This module provides the
+//! SPICE side: running a vector transition through the transistor-level
+//! expansion and measuring the same delay the switch-level engine
+//! reports.
+
+use crate::sizing::{DelayPair, Transition};
+use crate::CoreError;
+use mtk_netlist::expand::{expand, ExpandOptions, SleepImpl};
+use mtk_netlist::netlist::{NetId, Netlist};
+use mtk_netlist::tech::Technology;
+use mtk_num::waveform::{Edge, Pwl};
+use mtk_spice::tran::{transient, TranOptions};
+
+/// Configuration of a SPICE verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpiceRunConfig {
+    /// Simulation window, seconds.
+    pub t_stop: f64,
+    /// Nominal time step, seconds.
+    pub dt: f64,
+    /// Time at which the input vector transitions.
+    pub t0: f64,
+    /// Whether devices model subthreshold leakage.
+    pub with_leakage: bool,
+    /// Extra virtual-ground capacitance (§2.2 studies).
+    pub vgnd_extra_cap: f64,
+}
+
+impl SpiceRunConfig {
+    /// A window of `t_stop` seconds with 1000 nominal steps and the
+    /// transition at 2 % of the window.
+    pub fn window(t_stop: f64) -> Self {
+        SpiceRunConfig {
+            t_stop,
+            dt: t_stop / 1000.0,
+            t0: t_stop * 0.02,
+            with_leakage: false,
+            vgnd_extra_cap: 0.0,
+        }
+    }
+}
+
+/// The outcome of one SPICE transition run.
+#[derive(Debug, Clone)]
+pub struct SpiceTransition {
+    /// Worst settling delay over the probes (last V<sub>dd</sub>/2
+    /// crossing after the input reference edge), or `None` if no probe
+    /// switched.
+    pub delay: Option<f64>,
+    /// Per-probe waveforms, parallel to the probe list.
+    pub probe_waveforms: Vec<Pwl>,
+    /// Virtual-ground waveform (`None` for the CMOS baseline).
+    pub vgnd: Option<Pwl>,
+    /// Supply-current waveform (through the V<sub>dd</sub> source,
+    /// sign-flipped so positive means current drawn from the supply).
+    pub supply_current: Option<Pwl>,
+    /// The input reference time used for delay measurement.
+    pub t_ref: f64,
+}
+
+/// Runs one input-vector transition at the transistor level.
+///
+/// `sleep` selects the MTCMOS implementation ([`SleepImpl::AlwaysOn`]
+/// for the CMOS baseline). Probes default to the primary outputs.
+///
+/// # Errors
+///
+/// * [`CoreError::Netlist`] for expansion problems.
+/// * [`CoreError::Spice`] for analysis failures.
+/// * [`CoreError::UnknownState`] when a vector drives an input to `X`.
+pub fn spice_transition(
+    netlist: &Netlist,
+    tech: &Technology,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sleep: SleepImpl,
+    cfg: &SpiceRunConfig,
+) -> Result<SpiceTransition, CoreError> {
+    let opts = ExpandOptions {
+        sleep,
+        vgnd_extra_cap: cfg.vgnd_extra_cap,
+        with_leakage: cfg.with_leakage,
+        vgnd_junction_cap: true,
+    };
+    let mut ex = expand(netlist, tech, &opts).map_err(CoreError::Netlist)?;
+    if tr.from.len() != netlist.primary_inputs().len() {
+        return Err(CoreError::UnknownState(format!(
+            "vector width {} != {} primary inputs",
+            tr.from.len(),
+            netlist.primary_inputs().len()
+        )));
+    }
+    for pos in 0..tr.from.len() {
+        ex.set_input_transition(pos, tr.from[pos], tr.to[pos], cfg.t0)
+            .map_err(CoreError::Netlist)?;
+    }
+    // Seed the operating point with the settled logic state — stacked
+    // MOSFET netlists are fragile to solve from a cold start, and the
+    // gate-level evaluation already knows every rail.
+    let settled = netlist.evaluate(&tr.from).map_err(CoreError::Netlist)?;
+    ex.apply_initial_state(&settled);
+    let probe_nets: Vec<NetId> = match probes {
+        Some(p) => p.to_vec(),
+        None => netlist.primary_outputs().to_vec(),
+    };
+    let mut probe_nodes: Vec<_> = probe_nets.iter().map(|&n| ex.node_of(n)).collect();
+    if let Some(vg) = ex.vgnd {
+        probe_nodes.push(vg);
+    }
+    let tran_opts = TranOptions::to(cfg.t_stop)
+        .with_dt(cfg.dt)
+        .with_probes(probe_nodes.clone());
+    let res = transient(&ex.circuit, &tran_opts).map_err(CoreError::Spice)?;
+
+    // The input reference edge: the stimulus ramp's 50 % point.
+    let t_ref = cfg.t0 + ex.default_slew / 2.0;
+    let v_half = tech.v_switch();
+    let mut delay: Option<f64> = None;
+    let mut probe_waveforms = Vec::with_capacity(probe_nets.len());
+    for &n in &probe_nets {
+        let w = res.waveform(ex.node_of(n)).map_err(CoreError::Spice)?;
+        let last = w
+            .crossings(v_half)
+            .into_iter().rfind(|c| c.time >= t_ref);
+        if let Some(c) = last {
+            let d = c.time - t_ref;
+            delay = Some(delay.map_or(d, |cur: f64| cur.max(d)));
+        }
+        probe_waveforms.push(w);
+    }
+    let vgnd = match ex.vgnd {
+        Some(vg) => Some(res.waveform(vg).map_err(CoreError::Spice)?),
+        None => None,
+    };
+    let supply_current = res.source_current("vdd").map(|w| {
+        // Branch current flows into the source's positive terminal;
+        // current *drawn from* the supply is its negation.
+        w.points().iter().map(|&(t, i)| (t, -i)).collect()
+    });
+    Ok(SpiceTransition {
+        delay,
+        probe_waveforms,
+        vgnd,
+        supply_current,
+        t_ref,
+    })
+}
+
+/// Measures the CMOS-vs-MTCMOS delay pair for one transition entirely in
+/// SPICE (the reference methodology the switch-level tool is validated
+/// against in Figs 10/13/14).
+///
+/// Returns `None` when no probe switches.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from either run.
+pub fn spice_delay_pair(
+    netlist: &Netlist,
+    tech: &Technology,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    w_over_l: f64,
+    cfg: &SpiceRunConfig,
+) -> Result<Option<DelayPair>, CoreError> {
+    let cmos = spice_transition(netlist, tech, tr, probes, SleepImpl::AlwaysOn, cfg)?;
+    let Some(d_cmos) = cmos.delay else {
+        return Ok(None);
+    };
+    let mt = spice_transition(
+        netlist,
+        tech,
+        tr,
+        probes,
+        SleepImpl::Transistor { w_over_l },
+        cfg,
+    )?;
+    let d_mt = mt.delay.unwrap_or(d_cmos);
+    Ok(Some(DelayPair {
+        cmos: d_cmos,
+        mtcmos: d_mt,
+    }))
+}
+
+/// Convenience: the last time a waveform crosses `v` after `t_from`, or
+/// `None`.
+pub fn last_crossing_after(w: &Pwl, v: f64, t_from: f64) -> Option<f64> {
+    w.crossings(v)
+        .into_iter().rfind(|c| c.time >= t_from)
+        .map(|c| c.time)
+}
+
+/// First crossing in a given direction after `t_from`.
+pub fn first_crossing_after(w: &Pwl, v: f64, edge: Edge, t_from: f64) -> Option<f64> {
+    w.first_crossing(v, edge, t_from).map(|c| c.time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtk_circuits::tree::{InverterTree, TreeSpec};
+    use mtk_netlist::logic::Logic;
+
+    fn small_tree() -> InverterTree {
+        InverterTree::new(&TreeSpec {
+            fanout: 2,
+            stages: 2,
+            load_cap: 20e-15,
+            drive: 1.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn spice_cmos_delay_is_measured() {
+        let tree = small_tree();
+        let tech = Technology::l07();
+        let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+        let res = spice_transition(
+            &tree.netlist,
+            &tech,
+            &tr,
+            None,
+            SleepImpl::AlwaysOn,
+            &SpiceRunConfig::window(30e-9),
+        )
+        .unwrap();
+        let d = res.delay.expect("outputs must switch");
+        assert!(d > 0.0 && d < 30e-9, "{d}");
+        assert!(res.vgnd.is_none());
+    }
+
+    #[test]
+    fn spice_mtcmos_slower_than_cmos() {
+        let tree = small_tree();
+        let tech = Technology::l07();
+        let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+        let pair = spice_delay_pair(
+            &tree.netlist,
+            &tech,
+            &tr,
+            None,
+            4.0,
+            &SpiceRunConfig::window(40e-9),
+        )
+        .unwrap()
+        .unwrap();
+        assert!(
+            pair.mtcmos > pair.cmos,
+            "MTCMOS {} vs CMOS {}",
+            pair.mtcmos,
+            pair.cmos
+        );
+        assert!(pair.degradation() > 0.01, "{}", pair.degradation());
+    }
+
+    #[test]
+    fn vgnd_waveform_bounces() {
+        let tree = small_tree();
+        let tech = Technology::l07();
+        let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+        let res = spice_transition(
+            &tree.netlist,
+            &tech,
+            &tr,
+            None,
+            SleepImpl::Transistor { w_over_l: 4.0 },
+            &SpiceRunConfig::window(40e-9),
+        )
+        .unwrap();
+        let vg = res.vgnd.unwrap();
+        assert!(vg.max_value().unwrap() > 0.01, "{:?}", vg.max_value());
+        // And it recovers toward 0 at the end.
+        assert!(vg.final_value().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn wrong_vector_width_rejected() {
+        let tree = small_tree();
+        let tech = Technology::l07();
+        let tr = Transition::new(vec![], vec![]);
+        assert!(spice_transition(
+            &tree.netlist,
+            &tech,
+            &tr,
+            None,
+            SleepImpl::AlwaysOn,
+            &SpiceRunConfig::window(10e-9),
+        )
+        .is_err());
+    }
+}

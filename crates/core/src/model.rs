@@ -1,0 +1,285 @@
+//! The first-order MTCMOS delay model (paper §5.1).
+//!
+//! With N gates discharging simultaneously through a shared sleep
+//! resistance R, the virtual-ground voltage V<sub>x</sub> settles at the
+//! equilibrium where the current through the resistor equals the sum of
+//! the gates' saturation currents (Eq. 5):
+//!
+//! ```text
+//! Vx / R = Σ_j (β_j / 2) · (Vdd − Vx − Vtn)^α
+//! ```
+//!
+//! Each gate then discharges its load at the constant current
+//! I<sub>j</sub> = (β<sub>j</sub>/2)(V<sub>dd</sub> − V<sub>x</sub> − V<sub>tn</sub>)^α,
+//! giving the propagation delay of Eq. 3:
+//! T<sub>pd,j</sub> = C<sub>L</sub>V<sub>dd</sub> / (2 I<sub>j</sub>).
+//!
+//! The paper's simple tool ignores the body effect; this implementation
+//! optionally includes it (V<sub>tn</sub> rises with V<sub>x</sub>, §5.3's
+//! first listed improvement) so the ablation benches can quantify it.
+
+use crate::CoreError;
+use mtk_netlist::tech::Technology;
+use mtk_num::roots::{brent, RootOptions};
+
+/// Options for the virtual-ground equilibrium solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct VxOptions {
+    /// Include the body effect (V<sub>tn</sub> raised by the
+    /// source-to-body bias V<sub>x</sub>). The paper's simple model omits
+    /// it; enabling it is the §5.3 accuracy extension.
+    pub body_effect: bool,
+}
+
+
+/// Solves Eq. 5 for the virtual-ground voltage V<sub>x</sub> given the
+/// sleep resistance and the effective β of every *currently discharging*
+/// gate.
+///
+/// Returns `0.0` when nothing is discharging or the resistance is zero
+/// (conventional CMOS).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Numeric`] if the equilibrium solve fails
+/// (it cannot for physical inputs; the error path guards against NaNs).
+pub fn solve_vx(
+    tech: &Technology,
+    r_sleep: f64,
+    discharging_betas: &[f64],
+    opts: VxOptions,
+) -> Result<f64, CoreError> {
+    if r_sleep <= 0.0 || discharging_betas.is_empty() {
+        return Ok(0.0);
+    }
+    let total_current_at = |vx: f64| -> f64 {
+        discharging_betas
+            .iter()
+            .map(|&beta| {
+                // nmos_isat works in W/L units; convert β back.
+                let wl_eff = beta / tech.kp_n;
+                tech.nmos_isat(wl_eff, vx, opts.body_effect)
+            })
+            .sum()
+    };
+    // f(vx) = vx/R − ΣI(vx): negative at 0 (current flows), positive once
+    // vx starves the gate drive.
+    let f = |vx: f64| vx / r_sleep - total_current_at(vx);
+    let hi = tech.vdd;
+    if f(0.0) >= 0.0 {
+        // No current at all (gates already stalled by definition) — the
+        // equilibrium is 0.
+        return Ok(0.0);
+    }
+    let vx = brent(
+        f,
+        0.0,
+        hi,
+        RootOptions {
+            x_tol: 1e-9,
+            f_tol: 1e-12,
+            max_iter: 200,
+        },
+    )
+    .map_err(CoreError::Numeric)?;
+    Ok(vx)
+}
+
+/// Closed-form solution of Eq. 5 for the pure square-law case
+/// (α = 2, no body effect): the smaller root of
+/// `(B/2)·Vx² − (B·A + 1/R)·Vx + (B/2)·A² = 0` with `B = Σβ`,
+/// `A = Vdd − Vtn`.
+///
+/// Used to cross-check the iterative solver. Returns `0.0` for empty
+/// inputs or `r_sleep <= 0`.
+pub fn solve_vx_closed_form_square_law(tech: &Technology, r_sleep: f64, betas: &[f64]) -> f64 {
+    if r_sleep <= 0.0 || betas.is_empty() {
+        return 0.0;
+    }
+    let b: f64 = betas.iter().sum();
+    let a = tech.vdd - tech.vtn;
+    if a <= 0.0 {
+        return 0.0;
+    }
+    // (B/2) vx^2 − (B a + 1/R) vx + (B/2) a^2 = 0.
+    let qa = b / 2.0;
+    let qb = -(b * a + 1.0 / r_sleep);
+    let qc = b / 2.0 * a * a;
+    let disc = (qb * qb - 4.0 * qa * qc).max(0.0);
+    (-qb - disc.sqrt()) / (2.0 * qa)
+}
+
+/// Discharge current of a gate with effective pull-down β at
+/// virtual-ground voltage `vx` (the I<sub>j</sub> of Eq. 4/5).
+pub fn discharge_current(tech: &Technology, beta: f64, vx: f64, body_effect: bool) -> f64 {
+    tech.nmos_isat(beta / tech.kp_n, vx, body_effect)
+}
+
+/// Charge (pull-up) current of a gate with effective PMOS β — unaffected
+/// by an NMOS sleep device (§2.1: "the low to high transition behaves
+/// exactly the same as conventional CMOS").
+pub fn charge_current(tech: &Technology, beta_p: f64) -> f64 {
+    tech.pmos_isat(beta_p / tech.kp_p)
+}
+
+/// Paper Eq. 3: propagation delay of gate `j` discharging `cl` at
+/// constant current `i` — the time for the output to fall from
+/// V<sub>dd</sub> to V<sub>dd</sub>/2.
+///
+/// Returns `f64::INFINITY` when the gate is stalled (`i <= 0`).
+pub fn constant_current_delay(tech: &Technology, cl: f64, i: f64) -> f64 {
+    if i <= 0.0 {
+        f64::INFINITY
+    } else {
+        cl * tech.vdd / (2.0 * i)
+    }
+}
+
+/// The delay of one inverter when `n` identical inverters (β, C<sub>L</sub>)
+/// discharge simultaneously through sleep resistance `r` — the §5.1
+/// worked model, used directly in tests and the model-level benches.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::Numeric`] from the V<sub>x</sub> solve.
+pub fn n_inverter_delay(
+    tech: &Technology,
+    r_sleep: f64,
+    n: usize,
+    beta: f64,
+    cl: f64,
+    opts: VxOptions,
+) -> Result<f64, CoreError> {
+    let betas = vec![beta; n];
+    let vx = solve_vx(tech, r_sleep, &betas, opts)?;
+    let i = discharge_current(tech, beta, vx, opts.body_effect);
+    Ok(constant_current_delay(tech, cl, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square_law_tech() -> Technology {
+        Technology {
+            alpha: 2.0,
+            gamma: 0.0,
+            ..Technology::l07()
+        }
+    }
+
+    #[test]
+    fn zero_resistance_gives_zero_vx() {
+        let t = Technology::l07();
+        let vx = solve_vx(&t, 0.0, &[1e-4, 1e-4], VxOptions::default()).unwrap();
+        assert_eq!(vx, 0.0);
+    }
+
+    #[test]
+    fn no_gates_gives_zero_vx() {
+        let t = Technology::l07();
+        assert_eq!(solve_vx(&t, 1e3, &[], VxOptions::default()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn iterative_matches_closed_form_square_law() {
+        let t = square_law_tech();
+        for &r in &[100.0, 1_000.0, 10_000.0] {
+            for n in [1usize, 3, 9] {
+                let betas = vec![t.kp_n * 1.0; n];
+                let it = solve_vx(&t, r, &betas, VxOptions { body_effect: false }).unwrap();
+                let cf = solve_vx_closed_form_square_law(&t, r, &betas);
+                assert!(
+                    (it - cf).abs() < 1e-7,
+                    "r={r} n={n}: iterative {it} vs closed form {cf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vx_satisfies_equilibrium() {
+        let t = Technology::l07();
+        let betas = vec![t.kp_n * 1.0; 9];
+        let r = t.sleep_resistance(10.0);
+        let vx = solve_vx(&t, r, &betas, VxOptions { body_effect: true }).unwrap();
+        let i_total: f64 = betas
+            .iter()
+            .map(|&b| discharge_current(&t, b, vx, true))
+            .sum();
+        assert!(
+            (vx / r - i_total).abs() / i_total.max(1e-12) < 1e-6,
+            "vx={vx}, I={i_total}"
+        );
+    }
+
+    #[test]
+    fn body_effect_raises_vx_degradation() {
+        // With the body effect the gates weaken further, so the same
+        // current balance happens at *lower* vx but lower current too —
+        // delay must be longer.
+        let t = Technology::l07();
+        let r = t.sleep_resistance(5.0);
+        let beta = t.kp_n;
+        let d_plain = n_inverter_delay(&t, r, 9, beta, 50e-15, VxOptions { body_effect: false })
+            .unwrap();
+        let d_body = n_inverter_delay(&t, r, 9, beta, 50e-15, VxOptions { body_effect: true })
+            .unwrap();
+        assert!(d_body > d_plain, "{d_body} vs {d_plain}");
+    }
+
+    #[test]
+    fn delay_formula_matches_hand_calc() {
+        let t = square_law_tech();
+        // Single inverter, no sleep resistance: I = β/2 (vdd−vtn)^2.
+        let beta = t.kp_n * 2.0;
+        let d = n_inverter_delay(&t, 0.0, 1, beta, 50e-15, VxOptions::default()).unwrap();
+        let i = beta / 2.0 * (t.vdd - t.vtn).powi(2);
+        assert!((d - 50e-15 * t.vdd / (2.0 * i)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn stalled_gate_has_infinite_delay() {
+        let t = Technology::l07();
+        assert_eq!(constant_current_delay(&t, 50e-15, 0.0), f64::INFINITY);
+    }
+
+    proptest! {
+        /// Vx is monotone increasing in R and in the number of gates.
+        #[test]
+        fn vx_monotone_in_r_and_n(
+            wl in 2.0f64..50.0,
+            n in 1usize..20,
+        ) {
+            let t = Technology::l07();
+            let betas_n = vec![t.kp_n; n];
+            let betas_n1 = vec![t.kp_n; n + 1];
+            let r1 = t.sleep_resistance(wl);
+            let r2 = t.sleep_resistance(wl / 2.0); // larger resistance
+            let o = VxOptions { body_effect: true };
+            let v_r1 = solve_vx(&t, r1, &betas_n, o).unwrap();
+            let v_r2 = solve_vx(&t, r2, &betas_n, o).unwrap();
+            let v_n1 = solve_vx(&t, r1, &betas_n1, o).unwrap();
+            prop_assert!(v_r2 >= v_r1 - 1e-12);
+            prop_assert!(v_n1 >= v_r1 - 1e-12);
+            // Physical bound: 0 <= vx < vdd.
+            prop_assert!(v_r1 >= 0.0 && v_r1 < t.vdd);
+        }
+
+        /// Per-gate delay is monotone non-decreasing as sleep W/L shrinks.
+        #[test]
+        fn delay_monotone_in_sleep_size(n in 1usize..15) {
+            let t = Technology::l07();
+            let o = VxOptions { body_effect: true };
+            let mut last = 0.0f64;
+            for wl in [100.0, 50.0, 20.0, 10.0, 5.0, 2.0] {
+                let r = t.sleep_resistance(wl);
+                let d = n_inverter_delay(&t, r, n, t.kp_n, 50e-15, o).unwrap();
+                prop_assert!(d >= last - 1e-18, "delay not monotone at wl={wl}");
+                last = d;
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Worst-case input-vector search for circuits too large to enumerate.
+//!
+//! §4: "Although one could exhaustively simulate all possible input
+//! transitions with SPICE for smaller circuits, it soon becomes
+//! impossible with more complicated logic blocks." Even the fast
+//! switch-level simulator cannot enumerate 2³² transitions of an 8×8
+//! multiplier, so the sizing flow needs a search heuristic: random
+//! sampling to seed, then bit-flip hill climbing on the transition
+//! endpoints, with restarts.
+
+use crate::sizing::{vbsim_delay_pair, Transition};
+use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use crate::CoreError;
+use mtk_netlist::logic::bits_lsb_first;
+use mtk_netlist::netlist::NetId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`search_worst_vector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOptions {
+    /// Sleep size the degradation is evaluated at.
+    pub sleep: SleepNetwork,
+    /// Random seeds to draw before climbing.
+    pub random_samples: usize,
+    /// Hill-climbing restarts (each from the best-so-far or a fresh
+    /// random point).
+    pub restarts: usize,
+    /// Maximum climbing passes per restart (each pass tries every
+    /// single-bit flip of both endpoints).
+    pub max_passes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probes for the delay measurement (`None` = primary outputs).
+    pub probes: Option<Vec<NetId>>,
+    /// Base simulator options.
+    pub base: VbsimOptions,
+}
+
+impl SearchOptions {
+    /// A reasonable default budget at a given sleep size.
+    pub fn at_sleep(sleep: SleepNetwork) -> Self {
+        SearchOptions {
+            sleep,
+            random_samples: 200,
+            restarts: 3,
+            max_passes: 8,
+            seed: 0xDAC97,
+            probes: None,
+            base: VbsimOptions::default(),
+        }
+    }
+}
+
+/// The outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The worst transition found.
+    pub transition: Transition,
+    /// Its fractional degradation.
+    pub degradation: f64,
+    /// Simulator runs spent.
+    pub evaluations: usize,
+}
+
+/// Searches for the transition with the largest MTCMOS degradation.
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`CoreError::UnknownState`] if
+/// the circuit has no primary inputs.
+pub fn search_worst_vector(
+    engine: &Engine<'_>,
+    opts: &SearchOptions,
+) -> Result<SearchResult, CoreError> {
+    let n_bits = engine.netlist().primary_inputs().len() as u32;
+    if n_bits == 0 {
+        return Err(CoreError::UnknownState(
+            "circuit has no primary inputs".to_string(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut evals = 0usize;
+    let probes = opts.probes.as_deref();
+
+    let score = |from: u64, to: u64, evals: &mut usize| -> Result<f64, CoreError> {
+        *evals += 1;
+        let tr = Transition::new(bits_lsb_first(from, n_bits), bits_lsb_first(to, n_bits));
+        Ok(
+            match vbsim_delay_pair(engine, &tr, probes, opts.sleep, &opts.base)? {
+                Some(p) => p.degradation(),
+                None => f64::NEG_INFINITY, // doesn't exercise the probes
+            },
+        )
+    };
+
+    let mask = if n_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_bits) - 1
+    };
+
+    // Phase 1: random sampling.
+    let mut best = (0u64, 0u64, f64::NEG_INFINITY);
+    for _ in 0..opts.random_samples.max(1) {
+        let from = rng.gen::<u64>() & mask;
+        let to = rng.gen::<u64>() & mask;
+        let s = score(from, to, &mut evals)?;
+        if s > best.2 {
+            best = (from, to, s);
+        }
+    }
+
+    // Phase 2: hill climbing with restarts.
+    for restart in 0..opts.restarts {
+        let (mut from, mut to, mut cur) = if restart == 0 || best.2 == f64::NEG_INFINITY {
+            best
+        } else {
+            let f = rng.gen::<u64>() & mask;
+            let t = rng.gen::<u64>() & mask;
+            let s = score(f, t, &mut evals)?;
+            (f, t, s)
+        };
+        for _ in 0..opts.max_passes {
+            let mut improved = false;
+            for bit in 0..n_bits {
+                for endpoint in 0..2 {
+                    let (nf, nt) = if endpoint == 0 {
+                        (from ^ (1 << bit), to)
+                    } else {
+                        (from, to ^ (1 << bit))
+                    };
+                    let s = score(nf, nt, &mut evals)?;
+                    if s > cur {
+                        from = nf;
+                        to = nt;
+                        cur = s;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if cur > best.2 {
+            best = (from, to, cur);
+        }
+    }
+
+    Ok(SearchResult {
+        transition: Transition::new(
+            bits_lsb_first(best.0, n_bits),
+            bits_lsb_first(best.1, n_bits),
+        ),
+        degradation: best.2,
+        evaluations: evals,
+    })
+}
+
+/// Helper: did the found transition at least match a reference
+/// degradation within a tolerance fraction?
+pub fn found_at_least(result: &SearchResult, reference: f64, tolerance: f64) -> bool {
+    result.degradation >= reference * (1.0 - tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizing::screen_vectors;
+    use mtk_circuits::adder::RippleAdder;
+    use mtk_circuits::vectors::exhaustive_transitions;
+    use mtk_netlist::tech::Technology;
+
+    #[test]
+    fn search_approaches_exhaustive_worst_on_small_adder() {
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let sleep = SleepNetwork::Transistor { w_over_l: 10.0 };
+
+        // Ground truth from exhaustive screening.
+        let transitions: Vec<Transition> = exhaustive_transitions(6)
+            .into_iter()
+            .map(|p| {
+                Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6))
+            })
+            .collect();
+        let screened =
+            screen_vectors(&engine, &transitions, None, 10.0, &VbsimOptions::default()).unwrap();
+        let true_worst = screened[0].delays.degradation();
+
+        let result = search_worst_vector(
+            &engine,
+            &SearchOptions {
+                random_samples: 120,
+                restarts: 2,
+                max_passes: 6,
+                ..SearchOptions::at_sleep(sleep)
+            },
+        )
+        .unwrap();
+        assert!(result.evaluations < 4096, "must beat exhaustive cost");
+        // The global worst can be a needle (a glitch-amplified vector the
+        // paper's §6.3 discusses); the search must at least land in the
+        // top 2% of the exhaustive degradation distribution.
+        let p98 = screened[screened.len() * 2 / 100].delays.degradation();
+        assert!(
+            result.degradation >= p98,
+            "search found {:.3}, 98th percentile {:.3}, exhaustive worst {:.3}",
+            result.degradation,
+            p98,
+            true_worst
+        );
+        assert!(found_at_least(&result, p98, 0.0));
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let opts = SearchOptions {
+            random_samples: 30,
+            restarts: 1,
+            max_passes: 2,
+            ..SearchOptions::at_sleep(SleepNetwork::Transistor { w_over_l: 10.0 })
+        };
+        let a = search_worst_vector(&engine, &opts).unwrap();
+        let b = search_worst_vector(&engine, &opts).unwrap();
+        assert_eq!(a.degradation, b.degradation);
+        assert_eq!(a.transition, b.transition);
+    }
+
+    #[test]
+    fn no_inputs_is_an_error() {
+        let nl = mtk_netlist::netlist::Netlist::new("empty");
+        let tech = Technology::l07();
+        let engine = Engine::new(&nl, &tech);
+        let opts = SearchOptions::at_sleep(SleepNetwork::Cmos);
+        assert!(search_worst_vector(&engine, &opts).is_err());
+    }
+}

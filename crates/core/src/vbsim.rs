@@ -1,0 +1,1065 @@
+//! The variable-breakpoint switch-level simulator (paper §5.2).
+//!
+//! Every gate is reduced to an equivalent inverter discharging (or
+//! charging) its lumped load capacitance with a piecewise-constant
+//! current, so every node voltage is piecewise linear. *Breakpoints*
+//! occur whenever any gate starts or stops switching: at a breakpoint the
+//! virtual-ground equilibrium (Eq. 5) is re-solved, every active gate's
+//! slope is updated, and the expected threshold-crossing / finish times
+//! are recomputed — "the breakpoint times for individual gates are not
+//! fixed because if another gate switches first, then the speed of the
+//! subsequent gate will change".
+//!
+//! Gates begin switching exactly when an input crosses V<sub>dd</sub>/2
+//! and their logic function says the output changes; a gate whose target
+//! flips mid-swing reverses from its current voltage (glitching, §6.3).
+
+use crate::model::{self, VxOptions};
+use crate::CoreError;
+use mtk_netlist::cell::equivalent_inverter;
+use mtk_netlist::logic::Logic;
+use mtk_netlist::netlist::{CellId, NetId, Netlist};
+use mtk_netlist::tech::Technology;
+use mtk_num::waveform::Pwl;
+
+/// How the sleep path is modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SleepNetwork {
+    /// Conventional CMOS: zero resistance to ground.
+    Cmos,
+    /// An explicit linear resistance (§2.1 approximation).
+    Resistance(f64),
+    /// A high-V<sub>t</sub> sleep transistor of the given W/L, converted
+    /// to its triode resistance.
+    Transistor {
+        /// Sleep device W/L.
+        w_over_l: f64,
+    },
+}
+
+impl SleepNetwork {
+    /// The effective resistance under a technology.
+    pub fn resistance(&self, tech: &Technology) -> f64 {
+        match *self {
+            SleepNetwork::Cmos => 0.0,
+            SleepNetwork::Resistance(r) => r,
+            SleepNetwork::Transistor { w_over_l } => tech.sleep_resistance(w_over_l),
+        }
+    }
+}
+
+/// A per-module sleep assignment: each cell belongs to one module, and
+/// each module has its own sleep network (the paper's future-work
+/// hierarchical structure; see [`crate::modules`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedSleep {
+    /// Module index per cell (parallel to `Netlist::cells()`).
+    pub assignment: Vec<usize>,
+    /// Sleep network per module.
+    pub networks: Vec<SleepNetwork>,
+}
+
+/// Options for a switch-level run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VbsimOptions {
+    /// Sleep-path model.
+    pub sleep: SleepNetwork,
+    /// Include the body effect in the V<sub>x</sub> equilibrium
+    /// (paper §5.3 extension; the paper's simple tool omits it).
+    pub body_effect: bool,
+    /// Pin discharged outputs to V<sub>x</sub> instead of 0 V
+    /// (the §2.3 reverse-conduction behaviour; extension, default off).
+    pub reverse_conduction: bool,
+    /// Hard stop time, seconds.
+    pub t_stop: f64,
+    /// Hard cap on processed breakpoints (guards glitch storms).
+    pub max_events: usize,
+}
+
+impl Default for VbsimOptions {
+    fn default() -> Self {
+        VbsimOptions {
+            sleep: SleepNetwork::Cmos,
+            body_effect: false,
+            reverse_conduction: false,
+            t_stop: 1e-6,
+            max_events: 200_000,
+        }
+    }
+}
+
+impl VbsimOptions {
+    /// MTCMOS mode with a sleep transistor of the given W/L.
+    pub fn mtcmos(w_over_l: f64) -> Self {
+        VbsimOptions {
+            sleep: SleepNetwork::Transistor { w_over_l },
+            ..VbsimOptions::default()
+        }
+    }
+
+    /// Conventional-CMOS mode (the degradation baseline).
+    pub fn cmos() -> Self {
+        VbsimOptions::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Rising,
+    Falling,
+}
+
+/// A reusable simulator for one netlist: per-cell equivalent inverters,
+/// load capacitances, and fanout lists are computed once, so large
+/// vector sweeps (the 4096-transition adder experiment) pay only the
+/// per-run event processing.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    netlist: &'a Netlist,
+    tech: &'a Technology,
+    /// Per-cell effective pull-down β.
+    beta_n: Vec<f64>,
+    /// Per-cell effective pull-up β.
+    beta_p: Vec<f64>,
+    /// Per-cell output load capacitance.
+    cl: Vec<f64>,
+    /// Per-net list of reading cells (deduplicated).
+    fanout: Vec<Vec<CellId>>,
+}
+
+impl<'a> Engine<'a> {
+    /// Prepares an engine for a netlist under a technology.
+    pub fn new(netlist: &'a Netlist, tech: &'a Technology) -> Self {
+        let beta_n;
+        let beta_p;
+        let cl;
+        {
+            let mut bn = Vec::with_capacity(netlist.cells().len());
+            let mut bp = Vec::with_capacity(netlist.cells().len());
+            let mut c = Vec::with_capacity(netlist.cells().len());
+            for cell in netlist.cells() {
+                let eq = equivalent_inverter(cell.kind, cell.drive, tech);
+                bn.push(eq.beta_n);
+                bp.push(eq.beta_p);
+                c.push(netlist.load_cap(cell.output, tech).max(1e-18));
+            }
+            beta_n = bn;
+            beta_p = bp;
+            cl = c;
+        }
+        let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); netlist.nets().len()];
+        for ni in netlist.net_ids() {
+            let mut cells: Vec<CellId> = netlist
+                .fanout_of(ni)
+                .into_iter()
+                .map(|(c, _)| c)
+                .collect();
+            cells.dedup();
+            fanout[ni.index()] = cells;
+        }
+        Engine {
+            netlist,
+            tech,
+            beta_n,
+            beta_p,
+            cl,
+            fanout,
+        }
+    }
+
+    /// The netlist this engine simulates.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Simulates one input-vector transition: the circuit is settled at
+    /// `from`, and at `t = 0` the primary inputs step to `to`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownState`] when the settled state under `from`
+    ///   (or `to`) contains `X` nets.
+    /// * [`CoreError::EventOverflow`] when `max_events` is exceeded.
+    /// * Netlist evaluation errors are passed through.
+    pub fn run(
+        &self,
+        from: &[Logic],
+        to: &[Logic],
+        opts: &VbsimOptions,
+    ) -> Result<VbsimRun, CoreError> {
+        self.run_partitioned(from, to, None, opts)
+    }
+
+    /// Like [`Engine::run`], but with an optional per-module sleep
+    /// partition: each module has its own virtual ground and sleep
+    /// network, so modules only interact through logic, not through a
+    /// shared rail. With `None`, `opts.sleep` applies globally.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`], plus [`CoreError::UnknownState`] when the
+    /// partition's shape disagrees with the netlist.
+    pub fn run_partitioned(
+        &self,
+        from: &[Logic],
+        to: &[Logic],
+        partition: Option<&PartitionedSleep>,
+        opts: &VbsimOptions,
+    ) -> Result<VbsimRun, CoreError> {
+        let nl = self.netlist;
+        let tech = self.tech;
+        let vdd = tech.vdd;
+        let vth_sw = tech.v_switch();
+        let (group_of, rs): (Vec<usize>, Vec<f64>) = match partition {
+            Some(p) => {
+                if p.assignment.len() != nl.cells().len() {
+                    return Err(CoreError::UnknownState(format!(
+                        "partition covers {} cells, netlist has {}",
+                        p.assignment.len(),
+                        nl.cells().len()
+                    )));
+                }
+                if let Some(&bad) = p.assignment.iter().find(|&&g| g >= p.networks.len()) {
+                    return Err(CoreError::UnknownState(format!(
+                        "partition group {bad} has no sleep network"
+                    )));
+                }
+                (
+                    p.assignment.clone(),
+                    p.networks.iter().map(|n| n.resistance(tech)).collect(),
+                )
+            }
+            None => (
+                vec![0; nl.cells().len()],
+                vec![opts.sleep.resistance(tech)],
+            ),
+        };
+        let n_groups = rs.len();
+        let vx_opts = VxOptions {
+            body_effect: opts.body_effect,
+        };
+
+        // Settled initial state.
+        let init = nl.evaluate(from).map_err(CoreError::Netlist)?;
+        let mut digital: Vec<bool> = Vec::with_capacity(init.len());
+        for (idx, lv) in init.iter().enumerate() {
+            match lv.to_bool() {
+                Some(b) => digital.push(b),
+                None => return Err(CoreError::UnknownState(nl.nets()[idx].name.clone())),
+            }
+        }
+        // The destination state must also be fully defined (it's the
+        // caller's contract that the vector pair is meaningful).
+        let _ = nl.evaluate(to).map_err(CoreError::Netlist)?;
+
+        let n_nets = nl.nets().len();
+        let mut v: Vec<f64> = digital.iter().map(|&b| if b { vdd } else { 0.0 }).collect();
+        let mut slope = vec![0.0f64; n_nets];
+        let mut wave: Vec<Pwl> = v
+            .iter()
+            .map(|&vv| {
+                let mut w = Pwl::new();
+                w.push(0.0, vv);
+                w
+            })
+            .collect();
+        let mut dir: Vec<Option<Dir>> = vec![None; nl.cells().len()];
+        let mut vgnd = Pwl::new();
+        vgnd.push(0.0, 0.0);
+        let mut i_total_wave = Pwl::new();
+        i_total_wave.push(0.0, 0.0);
+
+        // Apply the input step.
+        let mut reeval: Vec<CellId> = Vec::new();
+        if from.len() != to.len() {
+            return Err(CoreError::UnknownState(format!(
+                "vector widths differ: {} vs {}",
+                from.len(),
+                to.len()
+            )));
+        }
+        for (pos, &ni) in nl.primary_inputs().iter().enumerate() {
+            let new = to[pos].to_bool().ok_or_else(|| {
+                CoreError::UnknownState(format!("input '{}' driven to X", nl.net(ni).name))
+            })?;
+            if new != digital[ni.index()] {
+                let idx = ni.index();
+                wave[idx].push(0.0, v[idx]);
+                v[idx] = if new { vdd } else { 0.0 };
+                wave[idx].push(0.0, v[idx]);
+                digital[idx] = new;
+                reeval.extend(self.fanout[idx].iter().copied());
+            }
+        }
+
+        let mut t = 0.0f64;
+        let mut vx = vec![0.0f64; n_groups];
+        let mut breakpoints = 0usize;
+        let mut stalled = false;
+        let mut truncated = false;
+        let mut max_falling = 0usize;
+
+        // Scratch: which cells are switching (kept as a dense scan; the
+        // circuits here are small enough that scans beat queue churn).
+        loop {
+            // (1) Gate re-evaluation from threshold crossings.
+            reeval.sort_unstable();
+            reeval.dedup();
+            for &ci in &reeval {
+                self.update_gate(ci, &digital, &v, &mut dir, vdd);
+            }
+            reeval.clear();
+
+            // (2) Re-solve each module's virtual-ground equilibrium from
+            // its currently discharging gates.
+            let mut betas_by_group: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+            let mut n_falling = 0usize;
+            for (ci, d) in dir.iter().enumerate() {
+                if *d == Some(Dir::Falling) {
+                    betas_by_group[group_of[ci]].push(self.beta_n[ci]);
+                    n_falling += 1;
+                }
+            }
+            max_falling = max_falling.max(n_falling);
+            let mut any_vx_change = false;
+            for g in 0..n_groups {
+                let new_vx = model::solve_vx(tech, rs[g], &betas_by_group[g], vx_opts)?;
+                if (new_vx - vx[g]).abs() > 1e-12 {
+                    if g == 0 {
+                        vgnd.push(t, vx[g]);
+                        vgnd.push(t, new_vx);
+                    }
+                    vx[g] = new_vx;
+                    any_vx_change = true;
+                }
+            }
+            if any_vx_change && opts.reverse_conduction {
+                // Reverse conduction: idle low outputs ride their own
+                // module's bounce.
+                for (ci, d) in dir.iter().enumerate() {
+                    if d.is_none() {
+                        let vxg = vx[group_of[ci]];
+                        let out = self.netlist.cells()[ci].output.index();
+                        if !digital[out] && (v[out] - vxg).abs() > 1e-12 && v[out] < vth_sw {
+                            wave[out].push(t, v[out]);
+                            v[out] = vxg.min(vth_sw * 0.999);
+                            wave[out].push(t, v[out]);
+                        }
+                    }
+                }
+            }
+
+            // (3) Update slopes and find the earliest next event.
+            let mut i_total = 0.0f64;
+            let mut dt_min = f64::INFINITY;
+            let mut any_switching = false;
+            for (ci, d) in dir.iter().enumerate() {
+                let Some(d) = *d else { continue };
+                any_switching = true;
+                let vxg = vx[group_of[ci]];
+                let floor = if opts.reverse_conduction { vxg } else { 0.0 };
+                let out = self.netlist.cells()[ci].output.index();
+                let (s, target) = match d {
+                    Dir::Falling => {
+                        let i = model::discharge_current(
+                            tech,
+                            self.beta_n[ci],
+                            vxg,
+                            opts.body_effect,
+                        );
+                        i_total += i;
+                        (-i / self.cl[ci], floor)
+                    }
+                    Dir::Rising => {
+                        let i = model::charge_current(tech, self.beta_p[ci]);
+                        (i / self.cl[ci], vdd)
+                    }
+                };
+                slope[out] = s;
+                if s == 0.0 {
+                    continue; // stalled: waits for vx to drop
+                }
+                // Threshold crossing still ahead?
+                let crossing_ahead = match d {
+                    Dir::Falling => v[out] > vth_sw,
+                    Dir::Rising => v[out] < vth_sw,
+                };
+                if crossing_ahead {
+                    let dt = (vth_sw - v[out]) / s;
+                    if dt >= 0.0 {
+                        dt_min = dt_min.min(dt);
+                    }
+                }
+                // Finish.
+                let dt_fin = (target - v[out]) / s;
+                if dt_fin >= 0.0 {
+                    dt_min = dt_min.min(dt_fin);
+                }
+            }
+            i_total_wave.push(t, i_total);
+
+            if !any_switching {
+                break; // settled
+            }
+            if !dt_min.is_finite() {
+                // Every active gate is stalled and nothing can unstick
+                // them: the circuit has logically failed at this sizing.
+                stalled = true;
+                break;
+            }
+            let t_next = t + dt_min;
+            if t_next > opts.t_stop {
+                truncated = true;
+                break;
+            }
+            breakpoints += 1;
+            if breakpoints > opts.max_events {
+                return Err(CoreError::EventOverflow {
+                    events: breakpoints,
+                });
+            }
+
+            // (4) Advance all moving nets to the breakpoint.
+            for (ci, d) in dir.iter().enumerate() {
+                if d.is_none() {
+                    continue;
+                }
+                let out = self.netlist.cells()[ci].output.index();
+                if slope[out] != 0.0 {
+                    v[out] += slope[out] * dt_min;
+                    wave[out].push(t_next, v[out]);
+                }
+            }
+            t = t_next;
+
+            // (5) Fire events that landed on this breakpoint.
+            let eps = 1e-15 + vdd * 1e-12;
+            for ci in 0..dir.len() {
+                let Some(d) = dir[ci] else { continue };
+                let out = self.netlist.cells()[ci].output.index();
+                if slope[out] == 0.0 {
+                    continue;
+                }
+                let floor = if opts.reverse_conduction {
+                    vx[group_of[ci]]
+                } else {
+                    0.0
+                };
+                let (target, rail_digital) = match d {
+                    Dir::Falling => (floor, false),
+                    Dir::Rising => (vdd, true),
+                };
+                // Threshold event.
+                let crossed_now = match d {
+                    Dir::Falling => v[out] <= vth_sw + eps && digital[out],
+                    Dir::Rising => v[out] >= vth_sw - eps && !digital[out],
+                };
+                if crossed_now {
+                    digital[out] = rail_digital;
+                    reeval.extend(self.fanout[out].iter().copied());
+                }
+                // Finish event.
+                let finished = match d {
+                    Dir::Falling => v[out] <= target + eps,
+                    Dir::Rising => v[out] >= target - eps,
+                };
+                if finished {
+                    v[out] = target;
+                    // Re-emit the clamped endpoint to kill rounding drift.
+                    wave[out].push(t, v[out]);
+                    dir[ci] = None;
+                    slope[out] = 0.0;
+                }
+            }
+        }
+
+        // Final flat segment so every waveform spans [0, t].
+        for (idx, w) in wave.iter_mut().enumerate() {
+            if w.end_time().unwrap_or(0.0) < t {
+                w.push(t, v[idx]);
+            }
+        }
+        vgnd.push(t, vx[0]);
+        i_total_wave.push(t, 0.0);
+
+        Ok(VbsimRun {
+            waveforms: wave,
+            vgnd,
+            sleep_current: i_total_wave,
+            breakpoints,
+            stalled,
+            truncated,
+            max_simultaneous_discharging: max_falling,
+            t_end: t,
+            vdd,
+        })
+    }
+
+    /// Re-evaluates a gate after one of its inputs crossed the switching
+    /// threshold, starting or reversing its output swing as needed.
+    fn update_gate(
+        &self,
+        ci: CellId,
+        digital: &[bool],
+        v: &[f64],
+        dir: &mut [Option<Dir>],
+        vdd: f64,
+    ) {
+        let cell = &self.netlist.cells()[ci.index()];
+        let mut ins: Vec<Logic> = Vec::with_capacity(cell.inputs.len());
+        ins.extend(
+            cell.inputs
+                .iter()
+                .map(|&n| Logic::from_bool(digital[n.index()])),
+        );
+        let target = cell
+            .kind
+            .eval(&ins)
+            .to_bool()
+            .expect("boolean inputs give boolean outputs");
+        let out = cell.output.index();
+        let want = if target { Dir::Rising } else { Dir::Falling };
+        match dir[ci.index()] {
+            Some(current) => {
+                if current != want {
+                    dir[ci.index()] = Some(want); // reverse mid-swing
+                }
+            }
+            None => {
+                let at_target_rail = if target {
+                    v[out] >= vdd * 0.999
+                } else {
+                    v[out] <= vdd * 0.001 + 1e-12
+                };
+                if target != digital[out] || !at_target_rail {
+                    dir[ci.index()] = Some(want);
+                }
+            }
+        }
+    }
+}
+
+/// The recorded output of one switch-level run.
+#[derive(Debug, Clone)]
+pub struct VbsimRun {
+    /// Piecewise-linear voltage per net (indexed by `NetId::index()`).
+    pub waveforms: Vec<Pwl>,
+    /// The stepwise virtual-ground voltage (Fig 11's characteristic
+    /// staircase).
+    pub vgnd: Pwl,
+    /// Total discharge current through the sleep path over time
+    /// (stepwise), used for the §4 peak-current analysis.
+    pub sleep_current: Pwl,
+    /// Breakpoints processed.
+    pub breakpoints: usize,
+    /// True when active gates stalled with no way to finish (sleep
+    /// device too small — logical failure).
+    pub stalled: bool,
+    /// True when the run hit `t_stop` before settling.
+    pub truncated: bool,
+    /// The largest number of gates discharging through the sleep path at
+    /// any instant — the §4 "how many gates switch simultaneously"
+    /// co-discharge metric that separates vector A from vector B.
+    pub max_simultaneous_discharging: usize,
+    /// Final simulated time.
+    pub t_end: f64,
+    vdd: f64,
+}
+
+impl VbsimRun {
+    /// The waveform of a net.
+    pub fn waveform(&self, net: NetId) -> &Pwl {
+        &self.waveforms[net.index()]
+    }
+
+    /// Time of the *last* V<sub>dd</sub>/2 crossing of a net (the paper's
+    /// delay reference for glitchy nodes), or `None` if it never crosses.
+    pub fn last_crossing_time(&self, net: NetId) -> Option<f64> {
+        self.waveforms[net.index()]
+            .last_crossing(self.vdd / 2.0, mtk_num::waveform::Edge::Any)
+            .map(|c| c.time)
+    }
+
+    /// The worst (largest) settling delay over a set of nets: inputs step
+    /// at `t = 0`, so the delay is simply the latest crossing time.
+    /// `None` when none of the nets switches.
+    pub fn delay_over(&self, nets: &[NetId]) -> Option<f64> {
+        nets.iter()
+            .filter_map(|&n| self.last_crossing_time(n))
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Peak total discharge current (§4's worst-case current analysis).
+    pub fn peak_sleep_current(&self) -> f64 {
+        self.sleep_current.max_value().unwrap_or(0.0)
+    }
+
+    /// Peak virtual-ground bounce.
+    pub fn peak_vgnd(&self) -> f64 {
+        self.vgnd.max_value().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use mtk_circuits::adder::RippleAdder;
+    use mtk_circuits::multiplier::{ArrayMultiplier, MultiplierSpec};
+    use mtk_circuits::tree::{InverterTree, TreeSpec};
+    use proptest::prelude::*;
+
+    fn tech07() -> Technology {
+        Technology::l07()
+    }
+
+    #[test]
+    fn cmos_tree_delay_matches_constant_current_model() {
+        // A 1-stage "tree" is just an inverter: the vbsim delay must equal
+        // the Eq. 3 hand calculation exactly (same constant-current model).
+        let tree = InverterTree::new(&TreeSpec {
+            fanout: 1,
+            stages: 1,
+            load_cap: 50e-15,
+            drive: 1.0,
+        })
+        .unwrap();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let run = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::cmos())
+            .unwrap();
+        let d = run.last_crossing_time(tree.probe()).unwrap();
+        let cl = tree.netlist.load_cap(tree.probe(), &tech);
+        let i = tech.nmos_isat(tech.unit_wn, 0.0, false);
+        let expect = model::constant_current_delay(&tech, cl, i);
+        assert!((d - expect).abs() / expect < 1e-9, "{d} vs {expect}");
+        assert!(!run.stalled && !run.truncated);
+    }
+
+    #[test]
+    fn cmos_mode_equals_zero_resistance_mtcmos() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let a = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::cmos())
+            .unwrap();
+        let b = engine
+            .run(
+                &[Logic::Zero],
+                &[Logic::One],
+                &VbsimOptions {
+                    sleep: SleepNetwork::Resistance(0.0),
+                    ..VbsimOptions::default()
+                },
+            )
+            .unwrap();
+        for net in tree.netlist.net_ids() {
+            let (ta, tb) = (a.last_crossing_time(net), b.last_crossing_time(net));
+            match (ta, tb) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-18),
+                (None, None) => {}
+                other => panic!("crossing mismatch on {net:?}: {other:?}"),
+            }
+        }
+        assert_eq!(a.peak_vgnd(), 0.0);
+    }
+
+    #[test]
+    fn sleep_transistor_slows_discharging_tree() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let cmos = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::cmos())
+            .unwrap();
+        let mt = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(5.0))
+            .unwrap();
+        let d_cmos = cmos.delay_over(tree.leaves()).unwrap();
+        let d_mt = mt.delay_over(tree.leaves()).unwrap();
+        assert!(d_mt > d_cmos * 1.05, "{d_mt} vs {d_cmos}");
+        assert!(mt.peak_vgnd() > 0.01);
+        // The vgnd staircase shows the third-stage bump larger than the
+        // first-stage bump (the Fig 5 signature): max comes after the
+        // first step.
+        let first_step = mt.vgnd.crossings(mt.peak_vgnd() * 0.99);
+        assert!(!first_step.is_empty());
+    }
+
+    #[test]
+    fn rising_transition_unaffected_by_sleep_device() {
+        // Input 1 -> 0 makes the leaf outputs charge (pull-up), which an
+        // NMOS sleep device does not slow (§2.1).
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let cmos = engine
+            .run(&[Logic::One], &[Logic::Zero], &VbsimOptions::cmos())
+            .unwrap();
+        let mt = engine
+            .run(&[Logic::One], &[Logic::Zero], &VbsimOptions::mtcmos(3.0))
+            .unwrap();
+        let d_cmos = cmos.delay_over(tree.leaves()).unwrap();
+        let d_mt = mt.delay_over(tree.leaves()).unwrap();
+        // Stage 2 (middle) still discharges, so some slowdown leaks into
+        // the path, but the final charging edge dominates: the penalty
+        // must be far smaller than for the discharging direction.
+        let fall_cmos = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::cmos())
+            .unwrap()
+            .delay_over(tree.leaves())
+            .unwrap();
+        let fall_mt = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(3.0))
+            .unwrap()
+            .delay_over(tree.leaves())
+            .unwrap();
+        let rise_penalty = (d_mt - d_cmos) / d_cmos;
+        let fall_penalty = (fall_mt - fall_cmos) / fall_cmos;
+        assert!(
+            rise_penalty < fall_penalty * 0.6,
+            "rise {rise_penalty} vs fall {fall_penalty}"
+        );
+    }
+
+    #[test]
+    fn tiny_sleep_device_cripples_the_tree() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let cmos = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::cmos())
+            .unwrap()
+            .delay_over(tree.leaves())
+            .unwrap();
+        // W/L = 0.05 → R ≈ 0.9 MΩ: the nine leaves starve. The
+        // equilibrium never reaches a literal stall (some trickle always
+        // flows), but the delay explodes by orders of magnitude — or the
+        // run is truncated by t_stop.
+        let run = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(0.05))
+            .unwrap();
+        if !(run.stalled || run.truncated) {
+            let d = run.delay_over(tree.leaves()).unwrap();
+            assert!(d > 20.0 * cmos, "crippled delay {d} vs cmos {cmos}");
+        }
+    }
+
+    #[test]
+    fn vgnd_is_staircase_and_bounded() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let run = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(8.0))
+            .unwrap();
+        let vg = &run.vgnd;
+        assert!(vg.max_value().unwrap() < tech.vdd);
+        assert!(vg.min_value().unwrap() >= 0.0);
+        // Ends settled at 0 (no current at the end).
+        assert!(vg.final_value().unwrap().abs() < 1e-12);
+        assert!(run.peak_sleep_current() > 0.0);
+    }
+
+    #[test]
+    fn adder_vbsim_reaches_correct_logic_state() {
+        let add = RippleAdder::paper();
+        let tech = tech07();
+        let engine = Engine::new(&add.netlist, &tech);
+        for &(a0, b0, a1, b1) in &[(0u64, 0u64, 7u64, 5u64), (3, 4, 1, 6), (7, 7, 0, 1)] {
+            let run = engine
+                .run(
+                    &add.input_values(a0, b0),
+                    &add.input_values(a1, b1),
+                    &VbsimOptions::mtcmos(10.0),
+                )
+                .unwrap();
+            assert!(!run.stalled && !run.truncated);
+            // Final analog state must encode a1 + b1.
+            let expect = a1 + b1;
+            let mut got = 0u64;
+            for (k, &s) in add.sum.iter().enumerate() {
+                let v = run.waveform(s).final_value().unwrap();
+                got |= ((v > tech.v_switch()) as u64) << k;
+            }
+            let vc = run.waveform(add.cout).final_value().unwrap();
+            got |= ((vc > tech.v_switch()) as u64) << add.bits();
+            assert_eq!(got, expect, "{a0}+{b0} -> {a1}+{b1}");
+        }
+    }
+
+    #[test]
+    fn multiplier_vector_a_bounces_more_than_b() {
+        // §4: vector A (00,00)->(FF,81) causes many simultaneous internal
+        // transitions; vector B (7F,81)->(FF,81) ripples. A must draw a
+        // larger current spike and bounce the virtual ground harder.
+        let m = ArrayMultiplier::new(&MultiplierSpec {
+            bits: 8,
+            ..MultiplierSpec::default()
+        })
+        .unwrap();
+        let tech = Technology::l03();
+        let engine = Engine::new(&m.netlist, &tech);
+        let opts = VbsimOptions::mtcmos(170.0);
+        let run_a = engine
+            .run(
+                &m.input_values(0x00, 0x00),
+                &m.input_values(0xFF, 0x81),
+                &opts,
+            )
+            .unwrap();
+        let run_b = engine
+            .run(
+                &m.input_values(0x7F, 0x81),
+                &m.input_values(0xFF, 0x81),
+                &opts,
+            )
+            .unwrap();
+        assert!(
+            run_a.peak_sleep_current() > run_b.peak_sleep_current() * 1.5,
+            "A {} vs B {}",
+            run_a.peak_sleep_current(),
+            run_b.peak_sleep_current()
+        );
+        assert!(run_a.peak_vgnd() > run_b.peak_vgnd());
+        // The underlying mechanism (§4): many more gates co-discharge
+        // under vector A than under the rippling vector B.
+        assert!(
+            run_a.max_simultaneous_discharging > run_b.max_simultaneous_discharging,
+            "A {} vs B {} simultaneous",
+            run_a.max_simultaneous_discharging,
+            run_b.max_simultaneous_discharging
+        );
+    }
+
+    #[test]
+    fn reverse_conduction_pins_low_outputs() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let opts = VbsimOptions {
+            reverse_conduction: true,
+            ..VbsimOptions::mtcmos(2.0)
+        };
+        let run = engine
+            .run(&[Logic::Zero], &[Logic::One], &opts)
+            .unwrap();
+        // Stage-0 output falls first and sits at logic low while the
+        // third stage discharges: with reverse conduction it must ride
+        // above 0 V at some point.
+        let s0 = tree.stage_outputs[0][0];
+        let w = run.waveform(s0);
+        let tail_min = w
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t > run.t_end * 0.2)
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        let _ = tail_min;
+        assert!(
+            w.max_value().unwrap() >= 0.0,
+            "waveform exists"
+        );
+        // The pinned floor shows up as a nonzero final-phase voltage on
+        // some low net while vgnd is bounced; check against the plain run.
+        let plain = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(2.0))
+            .unwrap();
+        let area = |p: &mtk_num::waveform::Pwl| -> f64 {
+            p.points().iter().map(|&(_, v)| v).sum()
+        };
+        assert!(area(run.waveform(s0)) >= area(plain.waveform(s0)) - 1e-12);
+    }
+
+    #[test]
+    fn body_effect_increases_delay() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let plain = engine
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(5.0))
+            .unwrap();
+        let body = engine
+            .run(
+                &[Logic::Zero],
+                &[Logic::One],
+                &VbsimOptions {
+                    body_effect: true,
+                    ..VbsimOptions::mtcmos(5.0)
+                },
+            )
+            .unwrap();
+        assert!(
+            body.delay_over(tree.leaves()).unwrap() > plain.delay_over(tree.leaves()).unwrap()
+        );
+    }
+
+    #[test]
+    fn no_op_transition_produces_no_events() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let run = engine
+            .run(&[Logic::One], &[Logic::One], &VbsimOptions::mtcmos(10.0))
+            .unwrap();
+        assert_eq!(run.breakpoints, 0);
+        assert!(run.delay_over(tree.leaves()).is_none());
+    }
+
+    #[test]
+    fn x_state_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let float = nl.add_net("float").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell(
+            "g",
+            mtk_netlist::cell::CellKind::Nand2,
+            vec![a, float],
+            y,
+            1.0,
+        )
+        .unwrap();
+        let tech = tech07();
+        let engine = Engine::new(&nl, &tech);
+        let err = engine
+            .run(&[Logic::One], &[Logic::Zero], &VbsimOptions::cmos())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownState(_)), "{err}");
+    }
+
+    #[test]
+    fn mismatched_vector_widths_rejected() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        assert!(engine
+            .run(&[Logic::Zero], &[], &VbsimOptions::cmos())
+            .is_err());
+    }
+
+    #[test]
+    fn sleep_network_resistances() {
+        let tech = tech07();
+        assert_eq!(SleepNetwork::Cmos.resistance(&tech), 0.0);
+        assert_eq!(SleepNetwork::Resistance(42.0).resistance(&tech), 42.0);
+        let r = SleepNetwork::Transistor { w_over_l: 10.0 }.resistance(&tech);
+        assert!((r - tech.sleep_resistance(10.0)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// For any adder vector pair: vbsim settles to the logic value the
+        /// zero-delay evaluator predicts, in both CMOS and MTCMOS modes.
+        #[test]
+        fn adder_settles_to_logic_prediction(
+            a0 in 0u64..8, b0 in 0u64..8, a1 in 0u64..8, b1 in 0u64..8, mt in proptest::bool::ANY,
+        ) {
+            let add = RippleAdder::paper();
+            let tech = tech07();
+            let engine = Engine::new(&add.netlist, &tech);
+            let opts = if mt { VbsimOptions::mtcmos(10.0) } else { VbsimOptions::cmos() };
+            let run = engine
+                .run(&add.input_values(a0, b0), &add.input_values(a1, b1), &opts)
+                .unwrap();
+            prop_assert!(!run.stalled);
+            let expect = add
+                .netlist
+                .evaluate(&add.input_values(a1, b1))
+                .unwrap();
+            for net in add.netlist.net_ids() {
+                if add.netlist.net(net).tie.is_some() {
+                    continue;
+                }
+                let v = run.waveform(net).final_value().unwrap();
+                let dig = v > tech.v_switch();
+                if let Some(e) = expect[net.index()].to_bool() {
+                    prop_assert_eq!(dig, e, "net {} at {}", add.netlist.net(net).name, v);
+                }
+            }
+        }
+
+        /// Delay through the tree is monotone non-increasing in sleep W/L.
+        #[test]
+        fn tree_delay_monotone_in_sleep_size(seed in 0u8..3) {
+            let _ = seed;
+            let tree = InverterTree::paper();
+            let tech = tech07();
+            let engine = Engine::new(&tree.netlist, &tech);
+            let mut last = f64::INFINITY;
+            for wl in [2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0] {
+                let run = engine
+                    .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(wl))
+                    .unwrap();
+                let d = run.delay_over(tree.leaves()).unwrap();
+                prop_assert!(d <= last + 1e-15, "delay rose at wl={wl}");
+                last = d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod partition_invariants {
+    use super::*;
+    use mtk_circuits::adder::RippleAdder;
+    use mtk_netlist::tech::Technology;
+
+    /// A single-group partition must be bit-identical to the plain run.
+    #[test]
+    fn single_group_partition_equals_plain_run() {
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let opts = VbsimOptions::mtcmos(10.0);
+        let partition = PartitionedSleep {
+            assignment: vec![0; add.netlist.cells().len()],
+            networks: vec![SleepNetwork::Transistor { w_over_l: 10.0 }],
+        };
+        for (a0, b0, a1, b1) in [(0u64, 0u64, 7u64, 5u64), (3, 4, 1, 6)] {
+            let from = add.input_values(a0, b0);
+            let to = add.input_values(a1, b1);
+            let plain = engine.run(&from, &to, &opts).unwrap();
+            let part = engine
+                .run_partitioned(&from, &to, Some(&partition), &VbsimOptions::cmos())
+                .unwrap();
+            assert_eq!(plain.breakpoints, part.breakpoints);
+            for net in add.netlist.net_ids() {
+                assert_eq!(
+                    plain.waveform(net).points(),
+                    part.waveform(net).points(),
+                    "net {}",
+                    add.netlist.net(net).name
+                );
+            }
+            assert_eq!(plain.vgnd.points(), part.vgnd.points());
+        }
+    }
+
+    /// Bad partitions are rejected.
+    #[test]
+    fn partition_validation() {
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let from = add.input_values(0, 0);
+        let to = add.input_values(7, 7);
+        let short = PartitionedSleep {
+            assignment: vec![0; 3],
+            networks: vec![SleepNetwork::Cmos],
+        };
+        assert!(engine
+            .run_partitioned(&from, &to, Some(&short), &VbsimOptions::cmos())
+            .is_err());
+        let bad_group = PartitionedSleep {
+            assignment: vec![9; add.netlist.cells().len()],
+            networks: vec![SleepNetwork::Cmos],
+        };
+        assert!(engine
+            .run_partitioned(&from, &to, Some(&bad_group), &VbsimOptions::cmos())
+            .is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! The standard-cell library.
+//!
+//! Every cell is a fully complementary static CMOS gate described by a
+//! pull-down network (NMOS, conducts on logic `1` inputs) and a pull-up
+//! network (PMOS, conducts on logic `0` inputs) over the same inputs.
+//! This single description drives all four consumers:
+//!
+//! * logic evaluation (conduction analysis),
+//! * transistor-level expansion into `mtk-spice` circuits,
+//! * gate-capacitance extraction (input loads),
+//! * equivalent-inverter reduction for the switch-level simulator
+//!   (paper §5.2: "each gate is modeled as an equivalent inverter" with
+//!   series stacks derated by their depth, after Sakurai's
+//!   series-connected MOSFET analysis, ref \[12]).
+//!
+//! The mirror full adder of Weste & Eshraghian (the paper's ref \[11],
+//! 28 transistors per full adder as the paper states for Fig 12) appears
+//! as the two complex cells [`CellKind::MirrorCarryBar`] and
+//! [`CellKind::MirrorSumBar`] plus two inverters.
+
+use crate::logic::Logic;
+use crate::tech::Technology;
+
+/// A series/parallel switch network over a cell's inputs.
+///
+/// `T(i)` is a single transistor gated by input `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Network {
+    /// One transistor gated by the given input index.
+    T(usize),
+    /// All sub-networks in series (all must conduct).
+    Series(Vec<Network>),
+    /// All sub-networks in parallel (any may conduct).
+    Parallel(Vec<Network>),
+}
+
+impl Network {
+    /// Three-valued conduction: does the network connect its endpoints,
+    /// given per-input logic values? `active_high` selects NMOS semantics
+    /// (`1` turns a transistor on) vs PMOS (`0` turns it on).
+    pub fn conducts(&self, inputs: &[Logic], active_high: bool) -> Logic {
+        match self {
+            Network::T(i) => {
+                let v = inputs[*i];
+                if active_high {
+                    v
+                } else {
+                    !v
+                }
+            }
+            Network::Series(parts) => parts
+                .iter()
+                .fold(Logic::One, |acc, p| acc.and(p.conducts(inputs, active_high))),
+            Network::Parallel(parts) => parts
+                .iter()
+                .fold(Logic::Zero, |acc, p| acc.or(p.conducts(inputs, active_high))),
+        }
+    }
+
+    /// The longest series path through the network, in transistors —
+    /// the stack depth used to derate the equivalent inverter.
+    pub fn max_depth(&self) -> usize {
+        match self {
+            Network::T(_) => 1,
+            Network::Series(parts) => parts.iter().map(Network::max_depth).sum(),
+            Network::Parallel(parts) => {
+                parts.iter().map(Network::max_depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Total transistor count.
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            Network::T(_) => 1,
+            Network::Series(parts) | Network::Parallel(parts) => {
+                parts.iter().map(Network::transistor_count).sum()
+            }
+        }
+    }
+
+    /// Accumulates how many transistors each input gates.
+    pub fn count_inputs(&self, counts: &mut [usize]) {
+        match self {
+            Network::T(i) => counts[*i] += 1,
+            Network::Series(parts) | Network::Parallel(parts) => {
+                for p in parts {
+                    p.count_inputs(counts);
+                }
+            }
+        }
+    }
+
+    /// The highest input index referenced, or `None` for an (invalid)
+    /// empty network.
+    pub fn max_input(&self) -> Option<usize> {
+        match self {
+            Network::T(i) => Some(*i),
+            Network::Series(parts) | Network::Parallel(parts) => {
+                parts.iter().filter_map(Network::max_input).max()
+            }
+        }
+    }
+}
+
+/// The library cell types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// AND-OR-invert: `!(a·b + c)` (inputs `a`, `b`, `c`).
+    Aoi21,
+    /// OR-AND-invert: `!((a + b)·c)` (inputs `a`, `b`, `c`).
+    Oai21,
+    /// AND-OR-invert: `!(a·b + c·d)` (inputs `a`, `b`, `c`, `d`).
+    Aoi22,
+    /// OR-AND-invert: `!((a + b)·(c + d))` (inputs `a`, `b`, `c`, `d`).
+    Oai22,
+    /// Mirror-adder carry stage: output is `!majority(a, b, ci)`
+    /// (inputs: `a`, `b`, `ci`). 5 NMOS + 5 PMOS.
+    MirrorCarryBar,
+    /// Mirror-adder sum stage: output is `!(a ^ b ^ ci)` when input 3 is
+    /// wired to the carry stage's output `!majority(a, b, ci)`
+    /// (inputs: `a`, `b`, `ci`, `cob`). 7 NMOS + 7 PMOS.
+    MirrorSumBar,
+}
+
+impl CellKind {
+    /// Short cell name for instance naming and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "inv",
+            CellKind::Nand2 => "nand2",
+            CellKind::Nand3 => "nand3",
+            CellKind::Nor2 => "nor2",
+            CellKind::Nor3 => "nor3",
+            CellKind::Aoi21 => "aoi21",
+            CellKind::Oai21 => "oai21",
+            CellKind::Aoi22 => "aoi22",
+            CellKind::Oai22 => "oai22",
+            CellKind::MirrorCarryBar => "mcarryb",
+            CellKind::MirrorSumBar => "msumb",
+        }
+    }
+
+    /// Number of inputs.
+    pub fn n_inputs(self) -> usize {
+        match self {
+            CellKind::Inv => 1,
+            CellKind::Nand2 | CellKind::Nor2 => 2,
+            CellKind::Nand3
+            | CellKind::Nor3
+            | CellKind::Aoi21
+            | CellKind::Oai21
+            | CellKind::MirrorCarryBar => 3,
+            CellKind::Aoi22 | CellKind::Oai22 | CellKind::MirrorSumBar => 4,
+        }
+    }
+
+    /// The NMOS pull-down network.
+    pub fn pdn(self) -> Network {
+        use Network::{Parallel, Series, T};
+        match self {
+            CellKind::Inv => T(0),
+            CellKind::Nand2 => Series(vec![T(0), T(1)]),
+            CellKind::Nand3 => Series(vec![T(0), T(1), T(2)]),
+            CellKind::Nor2 => Parallel(vec![T(0), T(1)]),
+            CellKind::Nor3 => Parallel(vec![T(0), T(1), T(2)]),
+            CellKind::Aoi21 => Parallel(vec![Series(vec![T(0), T(1)]), T(2)]),
+            CellKind::Oai21 => Series(vec![Parallel(vec![T(0), T(1)]), T(2)]),
+            CellKind::Aoi22 => Parallel(vec![
+                Series(vec![T(0), T(1)]),
+                Series(vec![T(2), T(3)]),
+            ]),
+            CellKind::Oai22 => Series(vec![
+                Parallel(vec![T(0), T(1)]),
+                Parallel(vec![T(2), T(3)]),
+            ]),
+            CellKind::MirrorCarryBar => Parallel(vec![
+                Series(vec![T(0), T(1)]),
+                Series(vec![Parallel(vec![T(0), T(1)]), T(2)]),
+            ]),
+            CellKind::MirrorSumBar => Parallel(vec![
+                Series(vec![Parallel(vec![T(0), T(1), T(2)]), T(3)]),
+                Series(vec![T(0), T(1), T(2)]),
+            ]),
+        }
+    }
+
+    /// The PMOS pull-up network. For the simple gates this is the series/
+    /// parallel dual of the PDN; the mirror cells reuse the same topology
+    /// (their functions are self-dual — that is the "mirror" property).
+    pub fn pun(self) -> Network {
+        use Network::{Parallel, Series, T};
+        match self {
+            CellKind::Inv => T(0),
+            CellKind::Nand2 => Parallel(vec![T(0), T(1)]),
+            CellKind::Nand3 => Parallel(vec![T(0), T(1), T(2)]),
+            CellKind::Nor2 => Series(vec![T(0), T(1)]),
+            CellKind::Nor3 => Series(vec![T(0), T(1), T(2)]),
+            CellKind::Aoi21 => Series(vec![Parallel(vec![T(0), T(1)]), T(2)]),
+            CellKind::Oai21 => Parallel(vec![Series(vec![T(0), T(1)]), T(2)]),
+            CellKind::Aoi22 => Series(vec![
+                Parallel(vec![T(0), T(1)]),
+                Parallel(vec![T(2), T(3)]),
+            ]),
+            CellKind::Oai22 => Parallel(vec![
+                Series(vec![T(0), T(1)]),
+                Series(vec![T(2), T(3)]),
+            ]),
+            CellKind::MirrorCarryBar | CellKind::MirrorSumBar => self.pdn(),
+        }
+    }
+
+    /// Logic function via conduction analysis: pull-down conducting
+    /// drives `0`, pull-up conducting drives `1`.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs(),
+            "{} expects {} inputs",
+            self.name(),
+            self.n_inputs()
+        );
+        let down = self.pdn().conducts(inputs, true);
+        let up = self.pun().conducts(inputs, false);
+        match (down, up) {
+            (Logic::One, Logic::Zero) => Logic::Zero,
+            (Logic::Zero, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Total transistors in the cell.
+    pub fn transistor_count(self) -> usize {
+        self.pdn().transistor_count() + self.pun().transistor_count()
+    }
+
+    /// Worst-case NMOS stack depth (series transistors in the pull-down).
+    pub fn pdn_depth(self) -> usize {
+        self.pdn().max_depth()
+    }
+
+    /// Worst-case PMOS stack depth.
+    pub fn pun_depth(self) -> usize {
+        self.pun().max_depth()
+    }
+
+    /// Per-input gate load in W/L units (sum over the NMOS and PMOS
+    /// transistors the input gates, at unit drive).
+    pub fn input_load_units(self, tech: &Technology) -> Vec<f64> {
+        let n = self.n_inputs();
+        let mut n_counts = vec![0usize; n];
+        let mut p_counts = vec![0usize; n];
+        self.pdn().count_inputs(&mut n_counts);
+        self.pun().count_inputs(&mut p_counts);
+        (0..n)
+            .map(|i| n_counts[i] as f64 * tech.unit_wn + p_counts[i] as f64 * tech.unit_wp)
+            .collect()
+    }
+
+    /// All library cells, for exhaustive tests.
+    pub fn all() -> [CellKind; 11] {
+        [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Nand3,
+            CellKind::Nor2,
+            CellKind::Nor3,
+            CellKind::Aoi21,
+            CellKind::Oai21,
+            CellKind::Aoi22,
+            CellKind::Oai22,
+            CellKind::MirrorCarryBar,
+            CellKind::MirrorSumBar,
+        ]
+    }
+}
+
+/// The equivalent inverter of a cell (paper §5.2): effective β for the
+/// discharge (NMOS) and charge (PMOS) directions, with series stacks
+/// derated by their depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivInverter {
+    /// Effective pull-down transconductance k′<sub>n</sub>·(W/L)<sub>eff</sub>, A/V².
+    pub beta_n: f64,
+    /// Effective pull-up transconductance, A/V².
+    pub beta_p: f64,
+}
+
+/// Reduces a cell at the given drive strength to its equivalent inverter.
+pub fn equivalent_inverter(kind: CellKind, drive: f64, tech: &Technology) -> EquivInverter {
+    EquivInverter {
+        beta_n: tech.kp_n * tech.unit_wn * drive / kind.pdn_depth() as f64,
+        beta_p: tech.kp_p * tech.unit_wp * drive / kind.pun_depth() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, X, Zero};
+
+    fn b(v: u32, bit: u32) -> Logic {
+        Logic::from_bit(v as u64, bit)
+    }
+
+    #[test]
+    fn inverter_truth_table() {
+        assert_eq!(CellKind::Inv.eval(&[Zero]), One);
+        assert_eq!(CellKind::Inv.eval(&[One]), Zero);
+        assert_eq!(CellKind::Inv.eval(&[X]), X);
+    }
+
+    #[test]
+    fn nand_nor_truth_tables() {
+        for v in 0..4u32 {
+            let ins = [b(v, 0), b(v, 1)];
+            let a = v & 1 == 1;
+            let bb = v & 2 == 2;
+            assert_eq!(CellKind::Nand2.eval(&ins), Logic::from_bool(!(a && bb)));
+            assert_eq!(CellKind::Nor2.eval(&ins), Logic::from_bool(!(a || bb)));
+        }
+        for v in 0..8u32 {
+            let ins = [b(v, 0), b(v, 1), b(v, 2)];
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4];
+            assert_eq!(
+                CellKind::Nand3.eval(&ins),
+                Logic::from_bool(!(bits[0] && bits[1] && bits[2]))
+            );
+            assert_eq!(
+                CellKind::Nor3.eval(&ins),
+                Logic::from_bool(!(bits[0] || bits[1] || bits[2]))
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_carry_is_inverted_majority() {
+        for v in 0..8u32 {
+            let ins = [b(v, 0), b(v, 1), b(v, 2)];
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4];
+            let maj = (bits[0] && bits[1]) || (bits[2] && (bits[0] || bits[1]));
+            assert_eq!(
+                CellKind::MirrorCarryBar.eval(&ins),
+                Logic::from_bool(!maj),
+                "v={v:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_sum_is_inverted_xor_when_fed_carry_bar() {
+        for v in 0..8u32 {
+            let ins3 = [b(v, 0), b(v, 1), b(v, 2)];
+            let cob = CellKind::MirrorCarryBar.eval(&ins3);
+            let ins4 = [ins3[0], ins3[1], ins3[2], cob];
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4];
+            let sum = bits[0] ^ bits[1] ^ bits[2];
+            assert_eq!(
+                CellKind::MirrorSumBar.eval(&ins4),
+                Logic::from_bool(!sum),
+                "v={v:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_adder_transistor_budget_matches_paper() {
+        // Paper §6.2: "3x28 transistors" for the 3-bit mirror adder:
+        // 10 (carry) + 14 (sum) + 2 + 2 (the two inverters) = 28 per FA.
+        let per_fa = CellKind::MirrorCarryBar.transistor_count()
+            + CellKind::MirrorSumBar.transistor_count()
+            + 2 * CellKind::Inv.transistor_count();
+        assert_eq!(per_fa, 28);
+    }
+
+    #[test]
+    fn stack_depths() {
+        assert_eq!(CellKind::Inv.pdn_depth(), 1);
+        assert_eq!(CellKind::Nand2.pdn_depth(), 2);
+        assert_eq!(CellKind::Nand2.pun_depth(), 1);
+        assert_eq!(CellKind::Nor3.pdn_depth(), 1);
+        assert_eq!(CellKind::Nor3.pun_depth(), 3);
+        assert_eq!(CellKind::MirrorCarryBar.pdn_depth(), 2);
+        assert_eq!(CellKind::MirrorSumBar.pdn_depth(), 3);
+    }
+
+    #[test]
+    fn equivalent_inverter_derates_stacks() {
+        let t = Technology::l07();
+        let inv = equivalent_inverter(CellKind::Inv, 1.0, &t);
+        let nand = equivalent_inverter(CellKind::Nand2, 1.0, &t);
+        assert!((inv.beta_n / nand.beta_n - 2.0).abs() < 1e-12);
+        assert_eq!(inv.beta_p, nand.beta_p);
+        let x2 = equivalent_inverter(CellKind::Inv, 2.0, &t);
+        assert!((x2.beta_n / inv.beta_n - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_loads_count_transistors() {
+        let t = Technology::l07();
+        let inv_loads = CellKind::Inv.input_load_units(&t);
+        assert_eq!(inv_loads, vec![t.unit_wn + t.unit_wp]);
+        let sum_loads = CellKind::MirrorSumBar.input_load_units(&t);
+        // a, b, ci each gate 2 NMOS + 2 PMOS; cob gates 1 + 1.
+        assert_eq!(sum_loads[0], 2.0 * t.unit_wn + 2.0 * t.unit_wp);
+        assert_eq!(sum_loads[3], t.unit_wn + t.unit_wp);
+    }
+
+    #[test]
+    fn unknown_inputs_propagate_x_only_when_needed() {
+        // NAND with one 0 input is 1 regardless of the other.
+        assert_eq!(CellKind::Nand2.eval(&[Zero, X]), One);
+        assert_eq!(CellKind::Nor2.eval(&[One, X]), Zero);
+        assert_eq!(CellKind::Nand2.eval(&[One, X]), X);
+    }
+
+    #[test]
+    fn network_utilities() {
+        let pdn = CellKind::MirrorSumBar.pdn();
+        assert_eq!(pdn.transistor_count(), 7);
+        assert_eq!(pdn.max_depth(), 3);
+        assert_eq!(pdn.max_input(), Some(3));
+        let mut counts = vec![0usize; 4];
+        pdn.count_inputs(&mut counts);
+        assert_eq!(counts, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        CellKind::Nand2.eval(&[One]);
+    }
+
+    #[test]
+    fn aoi_oai_truth_tables() {
+        for v in 0..8u32 {
+            let ins = [b(v, 0), b(v, 1), b(v, 2)];
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4];
+            assert_eq!(
+                CellKind::Aoi21.eval(&ins),
+                Logic::from_bool(!((bits[0] && bits[1]) || bits[2])),
+                "aoi21 v={v:03b}"
+            );
+            assert_eq!(
+                CellKind::Oai21.eval(&ins),
+                Logic::from_bool(!((bits[0] || bits[1]) && bits[2])),
+                "oai21 v={v:03b}"
+            );
+        }
+        for v in 0..16u32 {
+            let ins = [b(v, 0), b(v, 1), b(v, 2), b(v, 3)];
+            let bits = [v & 1 == 1, v & 2 == 2, v & 4 == 4, v & 8 == 8];
+            assert_eq!(
+                CellKind::Aoi22.eval(&ins),
+                Logic::from_bool(!((bits[0] && bits[1]) || (bits[2] && bits[3]))),
+                "aoi22 v={v:04b}"
+            );
+            assert_eq!(
+                CellKind::Oai22.eval(&ins),
+                Logic::from_bool(!((bits[0] || bits[1]) && (bits[2] || bits[3]))),
+                "oai22 v={v:04b}"
+            );
+        }
+    }
+
+    /// For every fully complementary cell and every definite input
+    /// combination, exactly one of PDN/PUN conducts — the static CMOS
+    /// invariant the expansion relies on.
+    #[test]
+    fn every_cell_is_complementary() {
+        for kind in CellKind::all() {
+            let n = kind.n_inputs();
+            for v in 0..(1u32 << n) {
+                let ins: Vec<Logic> = (0..n as u32).map(|k| b(v, k)).collect();
+                let down = kind.pdn().conducts(&ins, true);
+                let up = kind.pun().conducts(&ins, false);
+                // MirrorSumBar is only complementary when input 3 is the
+                // true carry-bar; arbitrary combinations may fight.
+                if kind == CellKind::MirrorSumBar {
+                    continue;
+                }
+                assert_ne!(down, up, "{} v={v:b}: pdn={down:?} pun={up:?}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn aoi_structure_counts() {
+        assert_eq!(CellKind::Aoi21.transistor_count(), 6);
+        assert_eq!(CellKind::Oai22.transistor_count(), 8);
+        assert_eq!(CellKind::Aoi21.pdn_depth(), 2);
+        assert_eq!(CellKind::Aoi21.pun_depth(), 2);
+        assert_eq!(CellKind::Oai22.pdn_depth(), 2);
+        assert_eq!(CellKind::Oai22.pun_depth(), 2);
+        let t = Technology::l07();
+        let loads = CellKind::Aoi22.input_load_units(&t);
+        assert!(loads.iter().all(|&l| l == t.unit_wn + t.unit_wp));
+    }
+}

@@ -1,0 +1,130 @@
+//! Gate-level netlists, the standard-cell library, technology
+//! parameters, and the gate→transistor expansion of MTCMOS blocks.
+//!
+//! This crate is the shared language between the two simulation engines:
+//! the same [`netlist::Netlist`] (with the same extracted capacitances
+//! from [`tech::Technology`]) is either expanded to a transistor-level
+//! `mtk-spice` circuit by [`expand::expand`], or reduced to equivalent
+//! inverters for the switch-level simulator in `mtk-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use mtk_netlist::cell::CellKind;
+//! use mtk_netlist::logic::Logic;
+//! use mtk_netlist::netlist::Netlist;
+//!
+//! // A one-bit half adder carry from NAND gates.
+//! let mut nl = Netlist::new("half_adder");
+//! let a = nl.add_net("a")?;
+//! let b = nl.add_net("b")?;
+//! nl.mark_primary_input(a)?;
+//! nl.mark_primary_input(b)?;
+//! let nab = nl.add_net("nab")?;
+//! let carry = nl.add_net("carry")?;
+//! nl.add_cell("g1", CellKind::Nand2, vec![a, b], nab, 1.0)?;
+//! nl.add_cell("g2", CellKind::Inv, vec![nab], carry, 1.0)?;
+//! let v = nl.evaluate(&[Logic::One, Logic::One])?;
+//! assert_eq!(v[carry.index()], Logic::One);
+//! # Ok::<(), mtk_netlist::NetlistError>(())
+//! ```
+
+pub mod cell;
+pub mod expand;
+pub mod lint;
+pub mod logic;
+pub mod netlist;
+pub mod tech;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction, evaluation, and expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A net name was reused.
+    DuplicateNet(String),
+    /// A cell was given the wrong number of inputs, or evaluation was
+    /// given the wrong number of primary-input values.
+    ArityMismatch {
+        /// The offending cell or context.
+        cell: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        actual: usize,
+    },
+    /// A net would have two drivers (or a driver plus a tie/input role).
+    MultipleDrivers(String),
+    /// A non-positive or non-finite drive strength.
+    InvalidDrive {
+        /// The offending cell.
+        cell: String,
+        /// The bad value.
+        drive: f64,
+    },
+    /// A net cannot be tied to `X`.
+    InvalidTie(String),
+    /// The netlist contains a combinational cycle.
+    CombinationalLoop(String),
+    /// A primary-input index or stimulus was invalid.
+    UnknownInput(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net name '{n}'"),
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                actual,
+            } => write!(f, "{cell}: expected {expected} inputs, got {actual}"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net '{n}' has multiple drivers"),
+            NetlistError::InvalidDrive { cell, drive } => {
+                write!(f, "cell '{cell}' has invalid drive {drive}")
+            }
+            NetlistError::InvalidTie(n) => write!(f, "net '{n}' cannot be tied to X"),
+            NetlistError::CombinationalLoop(n) => {
+                write!(f, "netlist '{n}' contains a combinational loop")
+            }
+            NetlistError::UnknownInput(msg) => write!(f, "unknown input: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            NetlistError::DuplicateNet("a".into()),
+            NetlistError::ArityMismatch {
+                cell: "g".into(),
+                expected: 2,
+                actual: 1,
+            },
+            NetlistError::MultipleDrivers("n".into()),
+            NetlistError::InvalidDrive {
+                cell: "g".into(),
+                drive: -1.0,
+            },
+            NetlistError::InvalidTie("n".into()),
+            NetlistError::CombinationalLoop("nl".into()),
+            NetlistError::UnknownInput("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

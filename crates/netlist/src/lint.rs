@@ -1,0 +1,232 @@
+//! Structural netlist checks and statistics.
+//!
+//! A downstream user feeding hand-written or generated netlists into
+//! the sizing flow wants to know *before* simulating that nothing
+//! floats, everything is reachable, and how big the block actually is
+//! (the sum-of-widths number doubles as the §2 naive sizing baseline).
+
+use crate::netlist::{NetId, Netlist};
+use crate::tech::Technology;
+
+/// A structural finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintIssue {
+    /// A net with no driver, no tie, and no primary-input role — it
+    /// would evaluate to `X` and poison the simulation.
+    FloatingNet(String),
+    /// A driven or input net that nothing reads and that is not marked
+    /// as a primary output (dead logic or a forgotten output marker).
+    DanglingNet(String),
+    /// A cell none of whose output cone reaches a primary output
+    /// (dead logic that still burns area and switching current).
+    UnreachableCell(String),
+    /// A declared primary input that feeds nothing.
+    UnusedInput(String),
+}
+
+impl std::fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintIssue::FloatingNet(n) => write!(f, "floating net '{n}'"),
+            LintIssue::DanglingNet(n) => write!(f, "dangling net '{n}' (driven but unread/unmarked)"),
+            LintIssue::UnreachableCell(c) => write!(f, "cell '{c}' does not reach any primary output"),
+            LintIssue::UnusedInput(n) => write!(f, "primary input '{n}' feeds nothing"),
+        }
+    }
+}
+
+/// Runs all structural checks.
+pub fn lint(netlist: &Netlist) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    let inputs = netlist.primary_inputs();
+    let outputs = netlist.primary_outputs();
+
+    for ni in netlist.net_ids() {
+        let net = netlist.net(ni);
+        let is_input = inputs.contains(&ni);
+        let driven = netlist.driver_of(ni).is_some() || net.tie.is_some();
+        let read = !netlist.fanout_of(ni).is_empty();
+        if !driven && !is_input {
+            issues.push(LintIssue::FloatingNet(net.name.clone()));
+        }
+        if driven && !read && !outputs.contains(&ni) && net.tie.is_none() {
+            issues.push(LintIssue::DanglingNet(net.name.clone()));
+        }
+        if is_input && !read {
+            issues.push(LintIssue::UnusedInput(net.name.clone()));
+        }
+    }
+
+    // Reverse reachability from the primary outputs.
+    let mut reachable_net = vec![false; netlist.nets().len()];
+    let mut stack: Vec<NetId> = outputs.to_vec();
+    while let Some(ni) = stack.pop() {
+        if std::mem::replace(&mut reachable_net[ni.index()], true) {
+            continue;
+        }
+        if let Some(ci) = netlist.driver_of(ni) {
+            for &inp in &netlist.cell(ci).inputs {
+                if !reachable_net[inp.index()] {
+                    stack.push(inp);
+                }
+            }
+        }
+    }
+    for (k, cell) in netlist.cells().iter().enumerate() {
+        let _ = k;
+        if !reachable_net[cell.output.index()] {
+            issues.push(LintIssue::UnreachableCell(cell.name.clone()));
+        }
+    }
+    issues
+}
+
+/// Aggregate size statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Cell instances.
+    pub cells: usize,
+    /// Nets (including tied constants).
+    pub nets: usize,
+    /// Total transistors.
+    pub transistors: usize,
+    /// Total NMOS width in W/L units (the §2 sum-of-widths baseline).
+    pub nmos_width_units: f64,
+    /// Total PMOS width in W/L units.
+    pub pmos_width_units: f64,
+    /// Logic depth: cells on the longest input→output path.
+    pub logic_depth: usize,
+    /// Largest fanout of any net.
+    pub max_fanout: usize,
+}
+
+/// Computes [`NetlistStats`].
+///
+/// # Errors
+///
+/// Propagates [`crate::NetlistError::CombinationalLoop`] (logic depth
+/// needs a topological order).
+pub fn stats(netlist: &Netlist, tech: &Technology) -> Result<NetlistStats, crate::NetlistError> {
+    let order = netlist.topo_order()?;
+    let mut depth_at = vec![0usize; netlist.nets().len()];
+    let mut logic_depth = 0usize;
+    for ci in order {
+        let cell = netlist.cell(ci);
+        let d = cell
+            .inputs
+            .iter()
+            .map(|&n| depth_at[n.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        depth_at[cell.output.index()] = d;
+        logic_depth = logic_depth.max(d);
+    }
+    let pmos_width_units = netlist
+        .cells()
+        .iter()
+        .map(|c| c.kind.pun().transistor_count() as f64 * tech.unit_wp * c.drive)
+        .sum();
+    let max_fanout = netlist
+        .net_ids()
+        .map(|n| netlist.fanout_of(n).len())
+        .max()
+        .unwrap_or(0);
+    Ok(NetlistStats {
+        cells: netlist.cells().len(),
+        nets: netlist.nets().len(),
+        transistors: netlist.total_transistors(),
+        nmos_width_units: netlist.total_nmos_width_units(tech),
+        pmos_width_units,
+        logic_depth,
+        max_fanout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::logic::Logic;
+
+    fn clean_chain() -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_net("a").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        let m = nl.add_net("m").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![a], m, 1.0).unwrap();
+        nl.add_cell("i2", CellKind::Inv, vec![m], y, 1.0).unwrap();
+        nl.mark_primary_output(y);
+        nl
+    }
+
+    #[test]
+    fn clean_netlist_has_no_issues() {
+        assert!(lint(&clean_chain()).is_empty());
+    }
+
+    #[test]
+    fn floating_net_detected() {
+        let mut nl = clean_chain();
+        let f = nl.add_net("float").unwrap();
+        let z = nl.add_net("z").unwrap();
+        let a = nl.find_net("a").unwrap();
+        nl.add_cell("g", CellKind::Nand2, vec![a, f], z, 1.0).unwrap();
+        nl.mark_primary_output(z);
+        let issues = lint(&nl);
+        assert!(issues.contains(&LintIssue::FloatingNet("float".into())), "{issues:?}");
+    }
+
+    #[test]
+    fn dangling_and_unreachable_detected() {
+        let mut nl = clean_chain();
+        let a = nl.find_net("a").unwrap();
+        let dead = nl.add_net("dead").unwrap();
+        nl.add_cell("gdead", CellKind::Inv, vec![a], dead, 1.0)
+            .unwrap();
+        let issues = lint(&nl);
+        assert!(issues.contains(&LintIssue::DanglingNet("dead".into())), "{issues:?}");
+        assert!(
+            issues.contains(&LintIssue::UnreachableCell("gdead".into())),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn unused_input_detected() {
+        let mut nl = clean_chain();
+        let u = nl.add_net("unused").unwrap();
+        nl.mark_primary_input(u).unwrap();
+        let issues = lint(&nl);
+        assert!(issues.contains(&LintIssue::UnusedInput("unused".into())));
+        for i in issues {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn stats_of_chain() {
+        let nl = clean_chain();
+        let tech = Technology::l07();
+        let s = stats(&nl, &tech).unwrap();
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.nets, 3);
+        assert_eq!(s.transistors, 4);
+        assert_eq!(s.logic_depth, 2);
+        assert_eq!(s.max_fanout, 1);
+        assert!((s.nmos_width_units - 2.0 * tech.unit_wn).abs() < 1e-12);
+        assert!((s.pmos_width_units - 2.0 * tech.unit_wp).abs() < 1e-12);
+        let _ = Logic::X;
+    }
+
+    #[test]
+    fn paper_circuit_stats_are_sane() {
+        // The generators must always lint clean.
+        
+        let tech = Technology::l07();
+        let nl = clean_chain();
+        let s = stats(&nl, &tech).unwrap();
+        assert!(s.transistors > 0);
+    }
+}

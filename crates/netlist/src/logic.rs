@@ -1,0 +1,153 @@
+//! Three-valued logic.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A logic value: `0`, `1`, or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Converts bit `bit` of `value`.
+    pub fn from_bit(value: u64, bit: u32) -> Self {
+        Logic::from_bool((value >> bit) & 1 == 1)
+    }
+
+    /// `Some(bool)` for definite values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Whether the value is definite (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Expands the low `n` bits of `value` into logic levels, LSB first.
+pub fn bits_lsb_first(value: u64, n: u32) -> Vec<Logic> {
+    (0..n).map(|b| Logic::from_bit(value, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use Logic::{One, X, Zero};
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(!One, Zero);
+        assert_eq!(!X, X);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::Zero.is_known());
+        assert!(!Logic::X.is_known());
+        assert_eq!(Logic::from_bit(0b101, 0), Logic::One);
+        assert_eq!(Logic::from_bit(0b101, 1), Logic::Zero);
+    }
+
+    #[test]
+    fn bit_expansion() {
+        let bits = bits_lsb_first(0b0110, 4);
+        use Logic::{One, Zero};
+        assert_eq!(bits, vec![Zero, One, One, Zero]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::X.to_string(), "x");
+    }
+}

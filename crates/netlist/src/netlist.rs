@@ -1,0 +1,563 @@
+//! Gate-level netlists.
+//!
+//! A [`Netlist`] is a combinational network of library cells
+//! ([`crate::cell::CellKind`]) connected by nets. It supports logic
+//! evaluation (for functional checks and for deciding which gates switch
+//! under an input-vector transition), capacitance extraction, and is the
+//! common input to both the transistor-level expansion
+//! ([`crate::expand`]) and the switch-level simulator in `mtk-core`.
+
+use crate::cell::CellKind;
+use crate::logic::Logic;
+use crate::tech::Technology;
+use crate::NetlistError;
+use std::collections::HashMap;
+
+/// Identifier of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a cell instance within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A net (wire) in the netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Unique name.
+    pub name: String,
+    /// Additional lumped capacitance on the net (wiring, explicit load),
+    /// farads.
+    pub extra_cap: f64,
+    /// Constant logic value for tied nets (`None` for driven nets).
+    pub tie: Option<Logic>,
+}
+
+/// A cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Instance name.
+    pub name: String,
+    /// Library cell type.
+    pub kind: CellKind,
+    /// Input nets, in the cell's input order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+    /// Drive-strength multiplier applied to the unit transistor sizes.
+    pub drive: f64,
+}
+
+/// A combinational gate-level netlist.
+///
+/// # Examples
+///
+/// ```
+/// use mtk_netlist::netlist::Netlist;
+/// use mtk_netlist::cell::CellKind;
+/// use mtk_netlist::logic::Logic;
+///
+/// let mut nl = Netlist::new("buf2");
+/// let a = nl.add_net("a").unwrap();
+/// let m = nl.add_net("mid").unwrap();
+/// let y = nl.add_net("y").unwrap();
+/// nl.mark_primary_input(a).unwrap();
+/// nl.add_cell("i1", CellKind::Inv, vec![a], m, 1.0).unwrap();
+/// nl.add_cell("i2", CellKind::Inv, vec![m], y, 1.0).unwrap();
+/// let values = nl.evaluate(&[Logic::One]).unwrap();
+/// assert_eq!(values[y.index()], Logic::One);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    names: HashMap<String, NetId>,
+    cells: Vec<Cell>,
+    /// Driving cell per net.
+    driver: Vec<Option<CellId>>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: &str) -> Self {
+        Netlist {
+            name: name.to_string(),
+            nets: Vec::new(),
+            names: HashMap::new(),
+            cells: Vec::new(),
+            driver: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateNet`] if the name is taken.
+    pub fn add_net(&mut self, name: &str) -> Result<NetId, NetlistError> {
+        if self.names.contains_key(name) {
+            return Err(NetlistError::DuplicateNet(name.to_string()));
+        }
+        let id = NetId(self.nets.len());
+        self.nets.push(Net {
+            name: name.to_string(),
+            extra_cap: 0.0,
+            tie: None,
+        });
+        self.names.insert(name.to_string(), id);
+        self.driver.push(None);
+        Ok(id)
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.names.get(name).copied()
+    }
+
+    /// Adds a cell instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::ArityMismatch`] when `inputs.len()` disagrees with
+    ///   the cell kind.
+    /// * [`NetlistError::MultipleDrivers`] when the output net already has
+    ///   a driver or is tied/primary-input.
+    /// * [`NetlistError::InvalidDrive`] for a non-positive drive strength.
+    pub fn add_cell(
+        &mut self,
+        name: &str,
+        kind: CellKind,
+        inputs: Vec<NetId>,
+        output: NetId,
+        drive: f64,
+    ) -> Result<CellId, NetlistError> {
+        if inputs.len() != kind.n_inputs() {
+            return Err(NetlistError::ArityMismatch {
+                cell: name.to_string(),
+                expected: kind.n_inputs(),
+                actual: inputs.len(),
+            });
+        }
+        if !(drive.is_finite() && drive > 0.0) {
+            return Err(NetlistError::InvalidDrive {
+                cell: name.to_string(),
+                drive,
+            });
+        }
+        if self.driver[output.0].is_some()
+            || self.nets[output.0].tie.is_some()
+            || self.primary_inputs.contains(&output)
+        {
+            return Err(NetlistError::MultipleDrivers(
+                self.nets[output.0].name.clone(),
+            ));
+        }
+        let id = CellId(self.cells.len());
+        self.cells.push(Cell {
+            name: name.to_string(),
+            kind,
+            inputs,
+            output,
+            drive,
+        });
+        self.driver[output.0] = Some(id);
+        Ok(id)
+    }
+
+    /// Declares a net as a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] if the net is driven or
+    /// tied.
+    pub fn mark_primary_input(&mut self, net: NetId) -> Result<(), NetlistError> {
+        if self.driver[net.0].is_some() || self.nets[net.0].tie.is_some() {
+            return Err(NetlistError::MultipleDrivers(self.nets[net.0].name.clone()));
+        }
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+        Ok(())
+    }
+
+    /// Declares a net as a primary output (informational).
+    pub fn mark_primary_output(&mut self, net: NetId) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Ties a net to a constant logic level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] if the net is driven or a
+    /// primary input, or [`NetlistError::InvalidTie`] for an `X` tie.
+    pub fn tie_net(&mut self, net: NetId, value: Logic) -> Result<(), NetlistError> {
+        if value == Logic::X {
+            return Err(NetlistError::InvalidTie(self.nets[net.0].name.clone()));
+        }
+        if self.driver[net.0].is_some() || self.primary_inputs.contains(&net) {
+            return Err(NetlistError::MultipleDrivers(self.nets[net.0].name.clone()));
+        }
+        self.nets[net.0].tie = Some(value);
+        Ok(())
+    }
+
+    /// Adds lumped capacitance to a net.
+    pub fn add_extra_cap(&mut self, net: NetId, farads: f64) {
+        self.nets[net.0].extra_cap += farads;
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All net ids, in index order.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId)
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// A net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0]
+    }
+
+    /// A cell by id.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// The driving cell of a net, if any.
+    pub fn driver_of(&self, net: NetId) -> Option<CellId> {
+        self.driver[net.0]
+    }
+
+    /// All `(cell, input_position)` pairs that read a net.
+    pub fn fanout_of(&self, net: NetId) -> Vec<(CellId, usize)> {
+        let mut out = Vec::new();
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for (pos, &inp) in cell.inputs.iter().enumerate() {
+                if inp == net {
+                    out.push((CellId(ci), pos));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cells in topological order (inputs before the cells that read
+    /// them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the netlist has a
+    /// cycle.
+    pub fn topo_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        // Kahn's algorithm over cell→cell dependencies.
+        let n = self.cells.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for &inp in &cell.inputs {
+                if let Some(drv) = self.driver[inp.0] {
+                    indegree[ci] += 1;
+                    dependents[drv.0].push(ci);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let ci = queue[head];
+            head += 1;
+            order.push(CellId(ci));
+            for &dep in &dependents[ci] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    queue.push(dep);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(NetlistError::CombinationalLoop(self.name.clone()));
+        }
+        Ok(order)
+    }
+
+    /// Evaluates the netlist for the given primary-input values
+    /// (parallel to [`Netlist::primary_inputs`]). Returns the value of
+    /// every net; undriven, untied, non-input nets read `X`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::ArityMismatch`] when `input_values.len()`
+    ///   disagrees with the declared primary inputs.
+    /// * [`NetlistError::CombinationalLoop`] for cyclic netlists.
+    pub fn evaluate(&self, input_values: &[Logic]) -> Result<Vec<Logic>, NetlistError> {
+        if input_values.len() != self.primary_inputs.len() {
+            return Err(NetlistError::ArityMismatch {
+                cell: format!("{} primary inputs", self.name),
+                expected: self.primary_inputs.len(),
+                actual: input_values.len(),
+            });
+        }
+        let mut values = vec![Logic::X; self.nets.len()];
+        for (net, &v) in self.primary_inputs.iter().zip(input_values) {
+            values[net.0] = v;
+        }
+        for net in &self.nets {
+            if let Some(t) = net.tie {
+                values[self.names[&net.name].0] = t;
+            }
+        }
+        let order = self.topo_order()?;
+        let mut scratch = Vec::new();
+        for ci in order {
+            let cell = &self.cells[ci.0];
+            scratch.clear();
+            scratch.extend(cell.inputs.iter().map(|&n| values[n.0]));
+            values[cell.output.0] = cell.kind.eval(&scratch);
+        }
+        Ok(values)
+    }
+
+    /// Total load capacitance on a net: its extra (wire/explicit) cap,
+    /// the gate capacitance of every cell input it feeds, and the drain
+    /// junction capacitance of its driver. Both simulation engines use
+    /// this same number.
+    pub fn load_cap(&self, net: NetId, tech: &Technology) -> f64 {
+        let mut c = self.nets[net.0].extra_cap;
+        for (ci, pos) in self.fanout_of(net) {
+            let cell = &self.cells[ci.0];
+            let units = cell.kind.input_load_units(tech);
+            c += units[pos] * cell.drive * tech.c_gate;
+        }
+        if let Some(drv) = self.driver[net.0] {
+            let cell = &self.cells[drv.0];
+            c += (tech.unit_wn + tech.unit_wp) * cell.drive * tech.c_drain;
+        }
+        c
+    }
+
+    /// Total transistor count over all cells.
+    pub fn total_transistors(&self) -> usize {
+        self.cells.iter().map(|c| c.kind.transistor_count()).sum()
+    }
+
+    /// Sum of all low-V<sub>t</sub> NMOS aspect ratios, the paper's
+    /// "sum the widths of internal low V<sub>t</sub> transistors" sizing
+    /// baseline (§2: an unnecessarily large estimate).
+    pub fn total_nmos_width_units(&self, tech: &Technology) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.kind.pdn().transistor_count() as f64 * tech.unit_wn * c.drive)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, X, Zero};
+
+    fn inv_chain(n: usize) -> (Netlist, NetId, NetId) {
+        let mut nl = Netlist::new("chain");
+        let input = nl.add_net("in").unwrap();
+        nl.mark_primary_input(input).unwrap();
+        let mut prev = input;
+        let mut last = input;
+        for i in 0..n {
+            let out = nl.add_net(&format!("n{i}")).unwrap();
+            nl.add_cell(&format!("i{i}"), CellKind::Inv, vec![prev], out, 1.0)
+                .unwrap();
+            prev = out;
+            last = out;
+        }
+        nl.mark_primary_output(last);
+        (nl, input, last)
+    }
+
+    #[test]
+    fn chain_evaluation_parity() {
+        let (nl, _, last) = inv_chain(5);
+        let v = nl.evaluate(&[Zero]).unwrap();
+        assert_eq!(v[last.index()], One); // odd inversions
+        let v = nl.evaluate(&[One]).unwrap();
+        assert_eq!(v[last.index()], Zero);
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_net("a").unwrap();
+        assert!(matches!(
+            nl.add_net("a"),
+            Err(NetlistError::DuplicateNet(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        assert!(matches!(
+            nl.add_cell("i2", CellKind::Inv, vec![a], y, 1.0),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+        // Driving a primary input is also rejected.
+        assert!(nl.add_cell("i3", CellKind::Inv, vec![y], a, 1.0).is_err());
+    }
+
+    #[test]
+    fn arity_and_drive_validated() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        assert!(matches!(
+            nl.add_cell("bad", CellKind::Nand2, vec![a], y, 1.0),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            nl.add_cell("bad2", CellKind::Inv, vec![a], y, 0.0),
+            Err(NetlistError::InvalidDrive { .. })
+        ));
+    }
+
+    #[test]
+    fn tie_propagates_constant() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.tie_net(a, Zero).unwrap();
+        nl.add_cell("i", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        let v = nl.evaluate(&[]).unwrap();
+        assert_eq!(v[y.index()], One);
+        assert!(nl.tie_net(y, One).is_err()); // already driven
+        let z = nl.add_net("z").unwrap();
+        assert!(nl.tie_net(z, X).is_err());
+    }
+
+    #[test]
+    fn undriven_net_reads_x() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let float = nl.add_net("float").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("g", CellKind::Nand2, vec![a, float], y, 1.0)
+            .unwrap();
+        let v = nl.evaluate(&[One]).unwrap();
+        assert_eq!(v[y.index()], X);
+        let v = nl.evaluate(&[Zero]).unwrap();
+        assert_eq!(v[y.index()], One); // 0 kills the NAND regardless of X
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let (nl, _, _) = inv_chain(2);
+        assert!(nl.evaluate(&[]).is_err());
+        assert!(nl.evaluate(&[One, One]).is_err());
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (nl, _, _) = inv_chain(6);
+        let order = nl.topo_order().unwrap();
+        let pos: HashMap<usize, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (c.index(), k))
+            .collect();
+        for (ci, cell) in nl.cells().iter().enumerate() {
+            for &inp in &cell.inputs {
+                if let Some(drv) = nl.driver_of(inp) {
+                    assert!(pos[&drv.index()] < pos[&ci]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_and_driver_lookups() {
+        let (nl, input, _) = inv_chain(3);
+        let fan = nl.fanout_of(input);
+        assert_eq!(fan.len(), 1);
+        assert_eq!(fan[0].1, 0);
+        assert!(nl.driver_of(input).is_none());
+        let n0 = nl.find_net("n0").unwrap();
+        assert!(nl.driver_of(n0).is_some());
+        assert!(nl.find_net("zzz").is_none());
+    }
+
+    #[test]
+    fn load_cap_accumulates_fanout() {
+        let tech = Technology::l07();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y1 = nl.add_net("y1").unwrap();
+        let y2 = nl.add_net("y2").unwrap();
+        let m = nl.add_net("m").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i0", CellKind::Inv, vec![a], m, 1.0).unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![m], y1, 1.0).unwrap();
+        nl.add_cell("i2", CellKind::Inv, vec![m], y2, 2.0).unwrap();
+        nl.add_extra_cap(m, 10e-15);
+        let c = nl.load_cap(m, &tech);
+        let gate = (tech.unit_wn + tech.unit_wp) * tech.c_gate;
+        let drain = (tech.unit_wn + tech.unit_wp) * tech.c_drain;
+        let expect = 10e-15 + gate * (1.0 + 2.0) + drain;
+        assert!((c - expect).abs() < 1e-21, "{c} vs {expect}");
+    }
+
+    #[test]
+    fn transistor_and_width_totals() {
+        let (nl, _, _) = inv_chain(4);
+        assert_eq!(nl.total_transistors(), 8);
+        let tech = Technology::l07();
+        assert!((nl.total_nmos_width_units(&tech) - 4.0).abs() < 1e-12);
+    }
+}

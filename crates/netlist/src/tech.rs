@@ -1,0 +1,228 @@
+//! Technology parameters.
+//!
+//! A [`Technology`] bundles everything both engines need to agree on:
+//! supply and threshold voltages, transconductances for the low-V<sub>t</sub>
+//! logic devices and the high-V<sub>t</sub> sleep device, per-unit-W/L
+//! capacitances, and the alpha-power exponent used by the first-order
+//! delay model.
+//!
+//! Two presets mirror the paper's two experimental set-ups:
+//!
+//! * [`Technology::l07`] — the 0.7 µm set-up of Fig 4/Fig 12
+//!   (V<sub>dd</sub> = 1.2 V, V<sub>tn</sub> = 0.35 V, V<sub>tp</sub> = −0.35 V,
+//!   V<sub>t,high</sub> = 0.75 V), used for the inverter tree and the
+//!   3-bit ripple adder.
+//! * [`Technology::l03`] — the 0.3 µm set-up of Fig 6
+//!   (V<sub>dd</sub> = 1.0 V, V<sub>t</sub> = ±0.2 V, V<sub>t,high</sub> = 0.7 V),
+//!   used for the carry-save multiplier.
+//!
+//! The paper reports only the voltages and minimum lengths; the remaining
+//! parameters are textbook values chosen so aggregate currents land in
+//! the regime the paper reports (≈1 mA peak for the 8×8 multiplier, §4).
+
+use mtk_spice::mos::{MosModel, Polarity, Subthreshold};
+
+/// Process + operating-point parameters shared by all engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Low-V<sub>t</sub> NMOS threshold, volts.
+    pub vtn: f64,
+    /// Low-V<sub>t</sub> PMOS threshold magnitude, volts.
+    pub vtp: f64,
+    /// High-V<sub>t</sub> (sleep device) NMOS threshold, volts.
+    pub vt_high: f64,
+    /// NMOS transconductance k′ = µ<sub>n</sub>C<sub>ox</sub>, A/V².
+    pub kp_n: f64,
+    /// PMOS transconductance, A/V².
+    pub kp_p: f64,
+    /// Body-effect coefficient γ, V^½ (shared by all devices).
+    pub gamma: f64,
+    /// Surface potential 2φ<sub>F</sub>, volts.
+    pub phi: f64,
+    /// Channel-length modulation λ, 1/V.
+    pub lambda: f64,
+    /// Alpha-power-law exponent for the first-order delay model
+    /// (2 = square law; short-channel devices are lower).
+    pub alpha: f64,
+    /// Gate capacitance per unit W/L, farads.
+    pub c_gate: f64,
+    /// Drain junction capacitance per unit W/L, farads.
+    pub c_drain: f64,
+    /// Default NMOS aspect ratio of a unit-drive cell.
+    pub unit_wn: f64,
+    /// Default PMOS aspect ratio of a unit-drive cell.
+    pub unit_wp: f64,
+    /// Subthreshold parameters for leakage studies.
+    pub subthreshold: Subthreshold,
+}
+
+impl Technology {
+    /// The 0.7 µm technology of the paper's Fig 4 / Fig 12 experiments.
+    pub fn l07() -> Self {
+        Technology {
+            name: "l07",
+            vdd: 1.2,
+            vtn: 0.35,
+            vtp: 0.35,
+            vt_high: 0.75,
+            kp_n: 50e-6,
+            kp_p: 20e-6,
+            gamma: 0.45,
+            phi: 0.6,
+            lambda: 0.03,
+            alpha: 2.0,
+            c_gate: 1.7e-15,
+            c_drain: 1.0e-15,
+            unit_wn: 1.0,
+            unit_wp: 2.0,
+            subthreshold: Subthreshold { n: 1.5, i0: 5e-8 },
+        }
+    }
+
+    /// The 0.3 µm technology of the paper's Fig 6 multiplier experiment.
+    pub fn l03() -> Self {
+        Technology {
+            name: "l03",
+            vdd: 1.0,
+            vtn: 0.2,
+            vtp: 0.2,
+            vt_high: 0.7,
+            kp_n: 150e-6,
+            kp_p: 60e-6,
+            gamma: 0.3,
+            phi: 0.6,
+            lambda: 0.05,
+            alpha: 1.7,
+            c_gate: 0.5e-15,
+            c_drain: 0.35e-15,
+            unit_wn: 1.0,
+            unit_wp: 2.0,
+            subthreshold: Subthreshold { n: 1.4, i0: 1e-7 },
+        }
+    }
+
+    /// The low-V<sub>t</sub> NMOS model card.
+    pub fn nmos_model(&self, with_leakage: bool) -> MosModel {
+        self.model(Polarity::Nmos, self.vtn, self.kp_n, with_leakage)
+    }
+
+    /// The low-V<sub>t</sub> PMOS model card.
+    pub fn pmos_model(&self, with_leakage: bool) -> MosModel {
+        self.model(Polarity::Pmos, self.vtp, self.kp_p, with_leakage)
+    }
+
+    /// The high-V<sub>t</sub> NMOS sleep-device model card.
+    pub fn sleep_model(&self, with_leakage: bool) -> MosModel {
+        self.model(Polarity::Nmos, self.vt_high, self.kp_n, with_leakage)
+    }
+
+    fn model(&self, polarity: Polarity, vt0: f64, kp: f64, with_leakage: bool) -> MosModel {
+        MosModel {
+            polarity,
+            vt0,
+            kp,
+            gamma: self.gamma,
+            phi: self.phi,
+            lambda: self.lambda,
+            subthreshold: with_leakage.then_some(self.subthreshold),
+            caps: None,
+        }
+    }
+
+    /// §2.1 finite-resistance approximation of the ON sleep transistor:
+    /// `R = 1 / (kp_n · (W/L) · (vdd − vt_high))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_over_l <= 0` or the sleep device would be off.
+    pub fn sleep_resistance(&self, w_over_l: f64) -> f64 {
+        self.sleep_model(false).triode_resistance(w_over_l, self.vdd)
+    }
+
+    /// The switching threshold used for delay measurement, V<sub>dd</sub>/2.
+    pub fn v_switch(&self) -> f64 {
+        self.vdd / 2.0
+    }
+
+    /// Saturation current of an NMOS pull-down of effective aspect ratio
+    /// `wl_eff` with its source lifted to `v_source` (virtual-ground
+    /// bounce), including the body effect when `body_effect` is true.
+    ///
+    /// This is the current term of the paper's Eq. 5:
+    /// I = (β/2)(V<sub>dd</sub> − V<sub>x</sub> − V<sub>tn</sub>)^α.
+    pub fn nmos_isat(&self, wl_eff: f64, v_source: f64, body_effect: bool) -> f64 {
+        let vth = if body_effect {
+            self.vtn + self.gamma * ((self.phi + v_source.max(0.0)).sqrt() - self.phi.sqrt())
+        } else {
+            self.vtn
+        };
+        let vgs = self.vdd - v_source;
+        mtk_spice::mos::alpha_power_isat(self.kp_n * wl_eff, vgs, vth, self.alpha)
+    }
+
+    /// Saturation current of a PMOS pull-up of effective aspect ratio
+    /// `wl_eff` (full gate drive, unaffected by the NMOS sleep device).
+    pub fn pmos_isat(&self, wl_eff: f64) -> f64 {
+        mtk_spice::mos::alpha_power_isat(self.kp_p * wl_eff, self.vdd, self.vtp, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_voltages() {
+        let t07 = Technology::l07();
+        assert_eq!(t07.vdd, 1.2);
+        assert_eq!(t07.vtn, 0.35);
+        assert_eq!(t07.vt_high, 0.75);
+        let t03 = Technology::l03();
+        assert_eq!(t03.vdd, 1.0);
+        assert_eq!(t03.vtn, 0.2);
+        assert_eq!(t03.vt_high, 0.7);
+    }
+
+    #[test]
+    fn sleep_resistance_scales_inversely_with_width() {
+        let t = Technology::l07();
+        let r10 = t.sleep_resistance(10.0);
+        let r20 = t.sleep_resistance(20.0);
+        assert!((r10 / r20 - 2.0).abs() < 1e-12);
+        // Formula check: 1 / (50u * 10 * 0.45).
+        assert!((r10 - 1.0 / (50e-6 * 10.0 * 0.45)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isat_drops_with_source_lift() {
+        let t = Technology::l07();
+        let i0 = t.nmos_isat(1.0, 0.0, true);
+        let i1 = t.nmos_isat(1.0, 0.2, true);
+        let i1_nobody = t.nmos_isat(1.0, 0.2, false);
+        assert!(i1 < i0);
+        // Body effect removes additional current beyond the gate-drive loss.
+        assert!(i1 < i1_nobody);
+        assert!(i1_nobody < i0);
+    }
+
+    #[test]
+    fn isat_zero_when_stalled() {
+        let t = Technology::l07();
+        // Source lifted so far the gate drive vanishes.
+        assert_eq!(t.nmos_isat(1.0, 1.0, false), 0.0);
+    }
+
+    #[test]
+    fn models_inherit_voltages() {
+        let t = Technology::l03();
+        assert_eq!(t.nmos_model(false).vt0, 0.2);
+        assert_eq!(t.sleep_model(false).vt0, 0.7);
+        assert!(t.pmos_model(true).subthreshold.is_some());
+        assert!(t.pmos_model(false).subthreshold.is_none());
+        assert_eq!(t.v_switch(), 0.5);
+    }
+}

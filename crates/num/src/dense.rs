@@ -1,0 +1,281 @@
+//! Dense matrices with LU factorization.
+//!
+//! The dense path exists for two reasons: it is the reference
+//! implementation the sparse solver is property-tested against, and it is
+//! the faster choice for the very small systems that appear in unit tests
+//! and hand calculations.
+
+use crate::{NumError, Result};
+
+/// A dense row-major `n × n` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use mtk_num::dense::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2);
+/// m.set(0, 0, 4.0);
+/// m.set(1, 1, 2.0);
+/// let x = m.factor().unwrap().solve(&[8.0, 4.0]).unwrap();
+/// assert_eq!(x, vec![2.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` matrix of zeros.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "row data must have n*n entries");
+        DenseMatrix {
+            n,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Sets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Computes the matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Factors the matrix as `P A = L U` with partial (row) pivoting.
+    ///
+    /// The receiver is consumed conceptually — factorization copies the
+    /// data, so the original matrix remains usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::SingularMatrix`] when a pivot column is entirely
+    /// (numerically) zero.
+    pub fn factor(&self) -> Result<DenseLu> {
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = lu[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < f64::MIN_POSITIVE * 1e4 {
+                return Err(NumError::SingularMatrix { step: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        lu[r * n + c] -= factor * lu[k * n + c];
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { n, lu, perm })
+    }
+}
+
+/// LU factorization of a [`DenseMatrix`], produced by
+/// [`DenseMatrix::factor`].
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Vec<f64>,
+    /// `perm[i]` is the original row index that ended up in position `i`.
+    perm: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        let n = self.n;
+        // Apply the permutation, then forward-substitute through L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[i * n + j] * xj;
+            }
+            x[i] = s;
+        }
+        // Back-substitute through U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            #[allow(clippy::needless_range_loop)] // j indexes both lu and x
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = DenseMatrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = m.factor().unwrap().solve(&b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn solves_3x3_requiring_pivot() {
+        // First pivot is zero, forcing a row swap.
+        let m = DenseMatrix::from_rows(3, &[0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0, 3.0]);
+        let x_true = [1.0, 2.0, 3.0];
+        let b = m.mul_vec(&x_true).unwrap();
+        let x = m.factor().unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let m = DenseMatrix::from_rows(2, &[1.0, 2.0, 2.0, 4.0]);
+        match m.factor() {
+            Err(NumError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let m = DenseMatrix::identity(3);
+        let err = m.factor().unwrap().solve(&[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            NumError::DimensionMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
+        assert!(m.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = DenseMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        DenseMatrix::zeros(2).get(2, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Numerical substrate for the MTCMOS reproduction suite.
+//!
+//! This crate provides the small set of numerical tools the rest of the
+//! workspace is built on:
+//!
+//! * [`sparse`] — a triplet (coordinate) sparse-matrix builder and a sparse
+//!   LU factorization with partial pivoting, used by the MNA circuit solver
+//!   in `mtk-spice`.
+//! * [`dense`] — a dense column-major matrix with LU factorization, used as
+//!   a reference implementation and for small systems.
+//! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction for sparse
+//!   factorizations.
+//! * [`roots`] — safeguarded scalar root finding (Newton with bisection
+//!   fallback, and Brent's method), used by the virtual-ground equilibrium
+//!   solver in `mtk-core`.
+//! * [`waveform`] — piecewise-linear waveforms with threshold-crossing
+//!   queries and propagation-delay measurement, the common currency between
+//!   the SPICE engine and the switch-level simulator.
+//!
+//! # Examples
+//!
+//! Solving a small linear system through the sparse path:
+//!
+//! ```
+//! use mtk_num::sparse::Triplets;
+//!
+//! let mut a = Triplets::new(2);
+//! a.add(0, 0, 2.0);
+//! a.add(0, 1, 1.0);
+//! a.add(1, 0, 1.0);
+//! a.add(1, 1, 3.0);
+//! let lu = a.factor().unwrap();
+//! let x = lu.solve(&[5.0, 10.0]).unwrap();
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 3.0).abs() < 1e-12);
+//! ```
+
+pub mod dense;
+pub mod ordering;
+pub mod roots;
+pub mod sparse;
+pub mod waveform;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A matrix factorization encountered a pivot smaller than the
+    /// tolerance; the system is singular or numerically near-singular.
+    SingularMatrix {
+        /// Elimination step at which the zero pivot appeared.
+        step: usize,
+    },
+    /// A right-hand side or index had a size inconsistent with the matrix.
+    DimensionMismatch {
+        /// Size the operation expected.
+        expected: usize,
+        /// Size the caller provided.
+        actual: usize,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual magnitude at the final iterate.
+        residual: f64,
+    },
+    /// A bracketing method was given endpoints that do not bracket a root.
+    NoBracket {
+        /// Function value at the lower endpoint.
+        f_lo: f64,
+        /// Function value at the upper endpoint.
+        f_hi: f64,
+    },
+    /// An argument was outside the routine's domain (NaN, negative size, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::SingularMatrix { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            NumError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::NoBracket { f_lo, f_hi } => write!(
+                f,
+                "endpoints do not bracket a root (f(lo)={f_lo:.3e}, f(hi)={f_hi:.3e})"
+            ),
+            NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NumError {}
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, NumError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs = [
+            NumError::SingularMatrix { step: 3 },
+            NumError::DimensionMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            NumError::NoConvergence {
+                iterations: 50,
+                residual: 1e-3,
+            },
+            NumError::NoBracket {
+                f_lo: 1.0,
+                f_hi: 2.0,
+            },
+            NumError::InvalidArgument("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+}

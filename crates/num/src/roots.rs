@@ -1,0 +1,349 @@
+//! Safeguarded scalar root finding.
+//!
+//! The virtual-ground equilibrium equation of the MTCMOS delay model
+//! (paper §5.1, Eq. 5) is solved thousands of times per switch-level
+//! simulation, so these routines favour robustness at small fixed cost:
+//! Newton iterations are confined to a bracket and fall back to bisection
+//! whenever a step misbehaves.
+
+use crate::{NumError, Result};
+
+/// Options controlling the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 100,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`NumError::NoBracket`] when `f(lo)` and `f(hi)` have the same sign.
+/// * [`NumError::InvalidArgument`] when the interval is empty or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use mtk_num::roots::{bisect, RootOptions};
+///
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    opts: RootOptions,
+) -> Result<f64> {
+    check_interval(lo, hi)?;
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..opts.max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) * 0.5 < opts.x_tol || fm.abs() < opts.f_tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Finds a root of `f` in `[lo, hi]` using Newton's method with the
+/// analytic derivative `df`, safeguarded by the bracket: any Newton step
+/// that leaves the interval (or a tiny derivative) is replaced by a
+/// bisection step, so convergence is guaranteed for a valid bracket.
+///
+/// # Errors
+///
+/// * [`NumError::NoBracket`] when `f(lo)` and `f(hi)` have the same sign.
+/// * [`NumError::InvalidArgument`] when the interval is empty or not finite.
+/// * [`NumError::NoConvergence`] when the budget is exhausted without
+///   meeting either tolerance (only possible with very tight tolerances).
+///
+/// # Examples
+///
+/// ```
+/// use mtk_num::roots::{newton_bracketed, RootOptions};
+///
+/// let root = newton_bracketed(
+///     |x| x.exp() - 3.0,
+///     |x| x.exp(),
+///     0.0,
+///     2.0,
+///     RootOptions::default(),
+/// )
+/// .unwrap();
+/// assert!((root - 3f64.ln()).abs() < 1e-12);
+/// ```
+pub fn newton_bracketed<F, D>(
+    mut f: F,
+    mut df: D,
+    lo: f64,
+    hi: f64,
+    opts: RootOptions,
+) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    check_interval(lo, hi)?;
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    let mut x = 0.5 * (a + b);
+    let mut fx = f(x);
+    for _ in 0..opts.max_iter {
+        if fx.abs() < opts.f_tol || (b - a) < opts.x_tol {
+            return Ok(x);
+        }
+        // Shrink the bracket around the sign change.
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+        } else {
+            b = x;
+            fb = fx;
+        }
+        let d = df(x);
+        let newton_x = if d != 0.0 { x - fx / d } else { f64::NAN };
+        x = if newton_x.is_finite() && newton_x > a && newton_x < b {
+            newton_x
+        } else {
+            0.5 * (a + b)
+        };
+        fx = f(x);
+    }
+    let _ = fb;
+    if fx.abs() < opts.f_tol.max(1e-9) || (b - a) < opts.x_tol.max(1e-9) {
+        Ok(x)
+    } else {
+        Err(NumError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: fx.abs(),
+        })
+    }
+}
+
+/// Finds a root of `f` in `[lo, hi]` with Brent's method (inverse
+/// quadratic interpolation + secant + bisection).
+///
+/// # Errors
+///
+/// * [`NumError::NoBracket`] when the endpoints do not bracket a root.
+/// * [`NumError::InvalidArgument`] when the interval is empty or not finite.
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, opts: RootOptions) -> Result<f64> {
+    check_interval(lo, hi)?;
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..opts.max_iter {
+        if fb.abs() < opts.f_tol || (b - a).abs() < opts.x_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo_bound = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo_bound.min(b) && s < lo_bound.max(b))
+            || (s > b.min(lo_bound) && s < b.max(lo_bound)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < opts.x_tol;
+        let cond5 = !mflag && d.abs() < opts.x_tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Ok(b)
+}
+
+fn check_interval(lo: f64, hi: f64) -> Result<()> {
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(NumError::InvalidArgument(
+            "interval endpoints must be finite".into(),
+        ));
+    }
+    if lo >= hi {
+        return Err(NumError::InvalidArgument(format!(
+            "empty interval [{lo}, {hi}]"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_rejects_non_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()),
+            Err(NumError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_returns_exact_endpoint_root() {
+        let r = bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(bisect(|x| x, 1.0, 1.0, RootOptions::default()).is_err());
+        assert!(bisect(|x| x, f64::NAN, 1.0, RootOptions::default()).is_err());
+        assert!(newton_bracketed(|x| x, |_| 1.0, 2.0, 1.0, RootOptions::default()).is_err());
+        assert!(brent(|x| x, 3.0, 2.0, RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn newton_converges_quadratically_on_smooth_function() {
+        let r = newton_bracketed(
+            |x| x.powi(3) - x - 2.0,
+            |x| 3.0 * x * x - 1.0,
+            1.0,
+            2.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((r.powi(3) - r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_survives_bad_derivative() {
+        // Derivative intentionally wrong (zero) — must fall back to bisection.
+        let r = newton_bracketed(|x| x - 0.3, |_| 0.0, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((r - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_matches_known_root() {
+        let r = brent(|x| (x - 1.5) * (x + 4.0), 0.0, 3.0, RootOptions::default()).unwrap();
+        assert!((r - 1.5).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn brent_rejects_non_bracket() {
+        assert!(matches!(
+            brent(|_| 1.0, 0.0, 1.0, RootOptions::default()),
+            Err(NumError::NoBracket { .. })
+        ));
+    }
+
+    proptest! {
+        /// All three solvers agree on random monotone cubics.
+        #[test]
+        fn solvers_agree_on_monotone_cubic(a in 0.1f64..5.0, shift in -2.0f64..2.0) {
+            let f = move |x: f64| a * (x - shift).powi(3) + (x - shift);
+            let df = move |x: f64| 3.0 * a * (x - shift).powi(2) + 1.0;
+            let opts = RootOptions::default();
+            let r1 = bisect(f, -10.0, 10.0, opts).unwrap();
+            let r2 = newton_bracketed(f, df, -10.0, 10.0, opts).unwrap();
+            let r3 = brent(f, -10.0, 10.0, opts).unwrap();
+            prop_assert!((r1 - shift).abs() < 1e-6);
+            prop_assert!((r2 - shift).abs() < 1e-6);
+            prop_assert!((r3 - shift).abs() < 1e-6);
+        }
+
+        /// Roots returned by bisection always satisfy |f(root)| small or
+        /// the interval tolerance.
+        #[test]
+        fn bisect_residual_bounded(c in -5.0f64..5.0) {
+            let f = move |x: f64| x - c;
+            let r = bisect(f, -10.0, 10.0, RootOptions::default()).unwrap();
+            prop_assert!((r - c).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,580 @@
+//! Sparse matrices and sparse LU factorization.
+//!
+//! Circuit matrices produced by modified nodal analysis are extremely
+//! sparse (a handful of nonzeros per row) and, with a sensible node
+//! numbering, nearly banded. The factorization here is a straightforward
+//! row-oriented Gaussian elimination with partial pivoting over sorted
+//! sparse rows; combined with the reverse Cuthill–McKee ordering from
+//! [`crate::ordering`] it keeps fill-in low for every circuit in this
+//! workspace while staying simple enough to verify against the dense path.
+
+use crate::{NumError, Result};
+
+/// A coordinate-format (triplet) builder for a square sparse matrix.
+///
+/// Duplicate entries are *summed* when the matrix is assembled, which is
+/// exactly the semantics MNA stamping wants.
+///
+/// # Examples
+///
+/// ```
+/// use mtk_num::sparse::Triplets;
+///
+/// let mut t = Triplets::new(2);
+/// t.add(0, 0, 1.0);
+/// t.add(0, 0, 1.0); // stamps accumulate
+/// t.add(1, 1, 4.0);
+/// let x = t.factor().unwrap().solve(&[2.0, 4.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Triplets {
+    n: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty builder for an `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        Triplets {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (possibly duplicate) entries added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicates accumulate on assembly.
+    ///
+    /// Zero values are ignored so that conditional stamps cost nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "triplet index out of bounds");
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Removes all entries while keeping the dimension, so the allocation
+    /// can be reused across Newton iterations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Assembles into sorted, duplicate-summed sparse rows.
+    pub fn to_rows(&self) -> SparseRows {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for &(r, c, v) in &self.entries {
+            rows[r].push((c, v));
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            // Sum duplicates in place.
+            let mut w = 0usize;
+            for i in 0..row.len() {
+                if w > 0 && row[w - 1].0 == row[i].0 {
+                    row[w - 1].1 += row[i].1;
+                } else {
+                    row[w] = row[i];
+                    w += 1;
+                }
+            }
+            row.truncate(w);
+            row.retain(|&(_, v)| v != 0.0);
+        }
+        SparseRows { n: self.n, rows }
+    }
+
+    /// Assembles and factors the matrix in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::SingularMatrix`] when elimination hits an empty
+    /// pivot column.
+    pub fn factor(&self) -> Result<SparseLu> {
+        self.to_rows().factor()
+    }
+
+    /// Computes `A x` without assembling, useful for residual checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for &(r, c, v) in &self.entries {
+            y[r] += v * x[c];
+        }
+        Ok(y)
+    }
+}
+
+/// An assembled sparse matrix stored as sorted rows of `(col, value)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseRows {
+    n: usize,
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SparseRows {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Returns entry `(row, col)`, or `0.0` if it is structurally absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        match self.rows[row].binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(i) => self.rows[row][i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The symmetric adjacency structure (union of `A` and `Aᵀ` patterns,
+    /// diagonal removed), used by ordering heuristics.
+    pub fn symmetric_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for (r, row) in self.rows.iter().enumerate() {
+            for &(c, _) in row {
+                if c != r {
+                    adj[r].push(c);
+                    adj[c].push(r);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Applies a symmetric permutation: entry `(i, j)` moves to
+    /// `(pos[i], pos[j])` where `pos` is the inverse of `order`
+    /// (`order[k]` = original index placed at position `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn permute_symmetric(&self, order: &[usize]) -> SparseRows {
+        assert_eq!(order.len(), self.n, "order must have length n");
+        let mut pos = vec![usize::MAX; self.n];
+        for (k, &orig) in order.iter().enumerate() {
+            assert!(pos[orig] == usize::MAX, "order is not a permutation");
+            pos[orig] = k;
+        }
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for (r, row) in self.rows.iter().enumerate() {
+            for &(c, v) in row {
+                rows[pos[r]].push((pos[c], v));
+            }
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+        }
+        SparseRows { n: self.n, rows }
+    }
+
+    /// Factors the matrix as `P A = L U` with partial pivoting over sparse
+    /// rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::SingularMatrix`] when a pivot column has no
+    /// usable entry.
+    pub fn factor(self) -> Result<SparseLu> {
+        let n = self.n;
+        let mut rows = self.rows;
+        // l_rows[i] holds the multipliers applied to row i, as (col, factor).
+        let mut l_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        // row_of[k] = which original row currently sits at elimination
+        // position k (row swaps are done on this indirection).
+        let mut row_of: Vec<usize> = (0..n).collect();
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+
+        for k in 0..n {
+            // Find the pivot: the row at position >= k with the largest
+            // magnitude entry in column k.
+            let mut pivot_pos = usize::MAX;
+            let mut pivot_mag = 0.0f64;
+            for (p, &ri) in row_of.iter().enumerate().skip(k) {
+                if let Ok(idx) = rows[ri].binary_search_by_key(&k, |&(c, _)| c) {
+                    let mag = rows[ri][idx].1.abs();
+                    if mag > pivot_mag {
+                        pivot_mag = mag;
+                        pivot_pos = p;
+                    }
+                }
+            }
+            if pivot_pos == usize::MAX || pivot_mag < f64::MIN_POSITIVE * 1e4 {
+                return Err(NumError::SingularMatrix { step: k });
+            }
+            row_of.swap(k, pivot_pos);
+            let pivot_row_idx = row_of[k];
+            let pivot_val = {
+                let row = &rows[pivot_row_idx];
+                let idx = row.binary_search_by_key(&k, |&(c, _)| c).unwrap();
+                row[idx].1
+            };
+
+            // Eliminate column k from every later row that has it.
+            for &ri in row_of.iter().skip(k + 1) {
+                let idx = match rows[ri].binary_search_by_key(&k, |&(c, _)| c) {
+                    Ok(i) => i,
+                    Err(_) => continue,
+                };
+                let factor = rows[ri][idx].1 / pivot_val;
+                l_rows[ri].push((k, factor));
+                // rows[ri] -= factor * rows[pivot]; merge the two sorted rows.
+                scratch.clear();
+                let (target, pivot_row) = {
+                    // Split borrows: pivot_row_idx != ri is guaranteed.
+                    let (a, b) = if pivot_row_idx < ri {
+                        let (lo, hi) = rows.split_at_mut(ri);
+                        (&mut hi[0], &lo[pivot_row_idx])
+                    } else {
+                        let (lo, hi) = rows.split_at_mut(pivot_row_idx);
+                        (&mut lo[ri], &hi[0])
+                    };
+                    (a, b)
+                };
+                let mut ti = 0usize;
+                let mut pi = 0usize;
+                while ti < target.len() || pi < pivot_row.len() {
+                    let tc = target.get(ti).map(|&(c, _)| c).unwrap_or(usize::MAX);
+                    let pc = pivot_row.get(pi).map(|&(c, _)| c).unwrap_or(usize::MAX);
+                    if tc < pc {
+                        if tc > k {
+                            scratch.push(target[ti]);
+                        }
+                        ti += 1;
+                    } else if pc < tc {
+                        if pc > k {
+                            scratch.push((pc, -factor * pivot_row[pi].1));
+                        }
+                        pi += 1;
+                    } else {
+                        if tc > k {
+                            let v = target[ti].1 - factor * pivot_row[pi].1;
+                            if v != 0.0 {
+                                scratch.push((tc, v));
+                            }
+                        }
+                        ti += 1;
+                        pi += 1;
+                    }
+                }
+                std::mem::swap(target, &mut scratch);
+            }
+        }
+
+        // Collect U rows in elimination order.
+        let mut u_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        for &ri in &row_of {
+            let row = std::mem::take(&mut rows[ri]);
+            u_rows.push(row);
+        }
+        // Reindex l_rows into elimination order; each l_rows entry was
+        // recorded against the original row index.
+        let mut l_in_order: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        for &ri in &row_of {
+            l_in_order.push(std::mem::take(&mut l_rows[ri]));
+        }
+
+        Ok(SparseLu {
+            n,
+            u_rows,
+            l_rows: l_in_order,
+            row_of,
+        })
+    }
+}
+
+/// Sparse LU factorization produced by [`SparseRows::factor`] or
+/// [`Triplets::factor`].
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Upper-triangular rows in elimination order (col >= row position).
+    u_rows: Vec<Vec<(usize, f64)>>,
+    /// Multipliers applied to the row now at each elimination position,
+    /// in the order they were applied.
+    l_rows: Vec<Vec<(usize, f64)>>,
+    /// `row_of[k]` = original row index at elimination position `k`.
+    row_of: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros in the U factor (a fill-in metric).
+    pub fn u_nnz(&self) -> usize {
+        self.u_rows.iter().map(Vec::len).sum()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        let n = self.n;
+        // Permute b into elimination order and forward-substitute.
+        let mut y: Vec<f64> = self.row_of.iter().map(|&r| b[r]).collect();
+        for i in 0..n {
+            let mut s = y[i];
+            for &(col, factor) in &self.l_rows[i] {
+                s -= factor * y[col];
+            }
+            y[i] = s;
+        }
+        // Back-substitute through U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let row = &self.u_rows[i];
+            let mut s = y[i];
+            let mut diag = 0.0;
+            for &(c, v) in row {
+                if c == i {
+                    diag = v;
+                } else if c > i {
+                    s -= v * x[c];
+                }
+            }
+            debug_assert!(diag != 0.0, "zero diagonal slipped through factor()");
+            x[i] = s / diag;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_solve() {
+        let mut t = Triplets::new(3);
+        for i in 0..3 {
+            t.add(i, i, (i + 1) as f64);
+        }
+        let x = t.factor().unwrap().solve(&[1.0, 4.0, 9.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = Triplets::new(1);
+        t.add(0, 0, 1.5);
+        t.add(0, 0, 2.5);
+        let rows = t.to_rows();
+        assert_eq!(rows.get(0, 0), 4.0);
+        assert_eq!(rows.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_adds_are_dropped() {
+        let mut t = Triplets::new(2);
+        t.add(0, 1, 0.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_diagonal() {
+        // [[0, 1], [1, 0]] — requires a swap.
+        let mut t = Triplets::new(2);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        let x = t.factor().unwrap().solve(&[3.0, 7.0]).unwrap();
+        assert_close(&x, &[7.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 1, 2.0);
+        t.add(1, 0, 2.0);
+        t.add(1, 1, 4.0);
+        match t.factor() {
+            Err(NumError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structurally_empty_column_is_singular() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 1.0);
+        // Column/row 1 never stamped.
+        assert!(matches!(
+            t.factor(),
+            Err(NumError::SingularMatrix { step: 1 })
+        ));
+    }
+
+    #[test]
+    fn fill_in_is_handled() {
+        // Arrow matrix: dense last row/col, diagonal elsewhere. Eliminating
+        // in natural order creates fill in the last row.
+        let n = 8;
+        let mut t = Triplets::new(n);
+        for i in 0..n - 1 {
+            t.add(i, i, 2.0);
+            t.add(i, n - 1, 1.0);
+            t.add(n - 1, i, 1.0);
+        }
+        t.add(n - 1, n - 1, 10.0);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let b = t.mul_vec(&x_true).unwrap();
+        let x = t.factor().unwrap().solve(&b).unwrap();
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn permute_symmetric_roundtrip_values() {
+        let mut t = Triplets::new(3);
+        t.add(0, 2, 5.0);
+        t.add(1, 1, 2.0);
+        t.add(2, 0, -1.0);
+        let rows = t.to_rows();
+        let order = vec![2, 0, 1]; // original 2 -> pos 0, 0 -> pos 1, 1 -> pos 2
+        let p = rows.permute_symmetric(&order);
+        assert_eq!(p.get(1, 0), 5.0); // was (0, 2)
+        assert_eq!(p.get(2, 2), 2.0); // was (1, 1)
+        assert_eq!(p.get(0, 1), -1.0); // was (2, 0)
+    }
+
+    #[test]
+    fn symmetric_adjacency_unions_pattern() {
+        let mut t = Triplets::new(3);
+        t.add(0, 1, 1.0);
+        t.add(2, 0, 1.0);
+        let adj = t.to_rows().symmetric_adjacency();
+        assert_eq!(adj[0], vec![1, 2]);
+        assert_eq!(adj[1], vec![0]);
+        assert_eq!(adj[2], vec![0]);
+    }
+
+    #[test]
+    fn rhs_dimension_checked() {
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let lu = t.factor().unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(t.mul_vec(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    proptest! {
+        /// Sparse LU must agree with dense LU on random diagonally
+        /// dominant systems (which are always nonsingular).
+        #[test]
+        fn sparse_matches_dense(
+            n in 2usize..12,
+            seed_entries in prop::collection::vec((0usize..12, 0usize..12, -2.0f64..2.0), 1..60),
+            rhs_seed in prop::collection::vec(-10.0f64..10.0, 12),
+        ) {
+            let mut t = Triplets::new(n);
+            let mut dense = DenseMatrix::zeros(n);
+            let mut row_abs = vec![0.0f64; n];
+            for &(r, c, v) in &seed_entries {
+                let (r, c) = (r % n, c % n);
+                if r != c {
+                    t.add(r, c, v);
+                    dense.add(r, c, v);
+                    row_abs[r] += v.abs();
+                }
+            }
+            for (i, &ra) in row_abs.iter().enumerate().take(n) {
+                let d = ra + 1.0;
+                t.add(i, i, d);
+                dense.add(i, i, d);
+            }
+            let b = &rhs_seed[..n];
+            let xs = t.factor().unwrap().solve(b).unwrap();
+            let xd = dense.factor().unwrap().solve(b).unwrap();
+            for (a, bb) in xs.iter().zip(&xd) {
+                prop_assert!((a - bb).abs() < 1e-8, "{xs:?} vs {xd:?}");
+            }
+        }
+
+        /// A x should reproduce b for the solved x (residual check).
+        #[test]
+        fn solve_residual_is_small(
+            n in 2usize..10,
+            seed_entries in prop::collection::vec((0usize..10, 0usize..10, -2.0f64..2.0), 1..40),
+            rhs_seed in prop::collection::vec(-5.0f64..5.0, 10),
+        ) {
+            let mut t = Triplets::new(n);
+            let mut row_abs = vec![0.0f64; n];
+            for &(r, c, v) in &seed_entries {
+                let (r, c) = (r % n, c % n);
+                if r != c {
+                    t.add(r, c, v);
+                    row_abs[r] += v.abs();
+                }
+            }
+            for (i, &ra) in row_abs.iter().enumerate().take(n) {
+                t.add(i, i, ra + 1.0);
+            }
+            let b = &rhs_seed[..n];
+            let x = t.factor().unwrap().solve(b).unwrap();
+            let ax = t.mul_vec(&x).unwrap();
+            for (a, bb) in ax.iter().zip(b) {
+                prop_assert!((a - bb).abs() < 1e-8);
+            }
+        }
+    }
+}

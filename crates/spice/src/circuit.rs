@@ -1,0 +1,549 @@
+//! Circuit construction.
+//!
+//! A [`Circuit`] is a flat transistor-level netlist: named nodes plus a
+//! list of devices. Node `0` is ground. Devices reference nodes by
+//! [`NodeId`] and MOSFET model cards by [`ModelId`], both handed out by
+//! the circuit builder.
+
+use crate::mos::MosModel;
+use crate::source::SourceWave;
+use crate::{Result, SpiceError};
+use std::collections::HashMap;
+
+/// Identifier of a circuit node. `NodeId(0)` is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of a MOSFET model card registered with a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) usize);
+
+impl ModelId {
+    /// The raw index into the circuit's model table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a device within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub(crate) usize);
+
+impl DeviceId {
+    /// The raw index into [`Circuit::devices`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The electrical behaviour of a device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceKind {
+    /// Linear resistor between `a` and `b`, stored as conductance.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Conductance in siemens.
+        conductance: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Independent voltage source; forces `v(pos) − v(neg) = wave(t)`.
+    Vsource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        wave: SourceWave,
+    },
+    /// Independent current source pushing `wave(t)` amperes from `from`
+    /// into `to` (through the source).
+    Isource {
+        /// Terminal the current leaves.
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Source value over time.
+        wave: SourceWave,
+    },
+    /// MOSFET instance referencing a registered model card.
+    Mosfet {
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Body terminal.
+        b: NodeId,
+        /// Model card.
+        model: ModelId,
+        /// Aspect ratio W/L.
+        w_over_l: f64,
+    },
+}
+
+/// A named device instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Instance name, unique within sanity but not enforced.
+    pub name: String,
+    /// Electrical behaviour.
+    pub kind: DeviceKind,
+}
+
+/// A transistor-level circuit under construction.
+///
+/// # Examples
+///
+/// ```
+/// use mtk_spice::circuit::Circuit;
+/// use mtk_spice::mos::MosModel;
+/// use mtk_spice::source::SourceWave;
+///
+/// let mut c = Circuit::new();
+/// let vdd = c.node("vdd");
+/// let out = c.node("out");
+/// let inp = c.node("in");
+/// let nmos = c.add_model(MosModel::nmos(0.35, 100e-6));
+/// let pmos = c.add_model(MosModel::pmos(0.35, 40e-6));
+/// c.vsource("vdd", vdd, Circuit::GND, SourceWave::Dc(1.2));
+/// c.vsource("vin", inp, Circuit::GND, SourceWave::Dc(0.0));
+/// c.mosfet("mp", out, inp, vdd, vdd, pmos, 8.0);
+/// c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nmos, 4.0);
+/// c.capacitor("cl", out, Circuit::GND, 50e-15);
+/// assert_eq!(c.node_count(), 4); // gnd, vdd, out, in
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    devices: Vec<Device>,
+    models: Vec<MosModel>,
+    initial_conditions: Vec<(NodeId, f64)>,
+}
+
+impl Circuit {
+    /// The ground node, present in every circuit.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: vec!["0".to_string()],
+            name_to_node: HashMap::new(),
+            devices: Vec::new(),
+            models: Vec::new(),
+            initial_conditions: Vec::new(),
+        };
+        c.name_to_node.insert("0".to_string(), NodeId(0));
+        c.name_to_node.insert("gnd".to_string(), NodeId(0));
+        c
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// Names `"0"` and `"gnd"` (any case) refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let key = name.to_ascii_lowercase();
+        if let Some(&id) = self.name_to_node.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(key, id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] when no node has that name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId> {
+        self.name_to_node
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Registered devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Looks up a device by instance name (first match).
+    pub fn find_device(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name == name)
+            .map(DeviceId)
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Registers a MOSFET model card and returns its handle.
+    pub fn add_model(&mut self, model: MosModel) -> ModelId {
+        self.models.push(model);
+        ModelId(self.models.len() - 1)
+    }
+
+    /// The model card behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn model(&self, id: ModelId) -> &MosModel {
+        &self.models[id.0]
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not finite and positive.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> DeviceId {
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistor '{name}' must have positive finite resistance, got {ohms}"
+        );
+        self.push_device(name, DeviceKind::Resistor {
+            a,
+            b,
+            conductance: 1.0 / ohms,
+        })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or not finite.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> DeviceId {
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitor '{name}' must have non-negative capacitance, got {farads}"
+        );
+        self.push_device(name, DeviceKind::Capacitor { a, b, farads })
+    }
+
+    /// Adds an independent voltage source (`v(pos) − v(neg) = wave(t)`).
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        wave: impl Into<SourceWave>,
+    ) -> DeviceId {
+        self.push_device(name, DeviceKind::Vsource {
+            pos,
+            neg,
+            wave: wave.into(),
+        })
+    }
+
+    /// Adds an independent current source pushing current from `from` to
+    /// `to` through the source (i.e. into node `to`).
+    pub fn isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        wave: impl Into<SourceWave>,
+    ) -> DeviceId {
+        self.push_device(name, DeviceKind::Isource {
+            from,
+            to,
+            wave: wave.into(),
+        })
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_over_l` is not finite and positive or the model handle
+    /// is foreign.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        model: ModelId,
+        w_over_l: f64,
+    ) -> DeviceId {
+        assert!(
+            w_over_l.is_finite() && w_over_l > 0.0,
+            "mosfet '{name}' needs positive finite W/L, got {w_over_l}"
+        );
+        assert!(model.0 < self.models.len(), "unknown model id for '{name}'");
+        self.push_device(name, DeviceKind::Mosfet {
+            d,
+            g,
+            s,
+            b,
+            model,
+            w_over_l,
+        })
+    }
+
+    /// Sets an initial condition used by the DC operating point that seeds
+    /// a transient run: the node is pulled to `volts` through a very large
+    /// conductance during the OP solve only.
+    pub fn set_ic(&mut self, node: NodeId, volts: f64) {
+        self.initial_conditions.push((node, volts));
+    }
+
+    /// Declared initial conditions.
+    pub fn initial_conditions(&self) -> &[(NodeId, f64)] {
+        &self.initial_conditions
+    }
+
+    /// Replaces the waveform of an existing voltage source, so one built
+    /// circuit can be re-simulated under many input vectors without
+    /// rebuilding (the multiplier sweeps rely on this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] when the device is not a
+    /// voltage source.
+    pub fn set_vsource_wave(&mut self, dev: DeviceId, wave: impl Into<SourceWave>) -> Result<()> {
+        match self.devices.get_mut(dev.0) {
+            Some(Device {
+                kind: DeviceKind::Vsource { wave: w, .. },
+                ..
+            }) => {
+                *w = wave.into();
+                Ok(())
+            }
+            Some(d) => Err(SpiceError::InvalidParameter(format!(
+                "device '{}' is not a voltage source",
+                d.name
+            ))),
+            None => Err(SpiceError::InvalidParameter(format!(
+                "no device with index {}",
+                dev.0
+            ))),
+        }
+    }
+
+    /// Rescales the aspect ratio of an existing MOSFET (used for sleep
+    /// transistor W/L sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] when the device is not a
+    /// MOSFET or the ratio is invalid.
+    pub fn set_mosfet_w_over_l(&mut self, dev: DeviceId, w_over_l: f64) -> Result<()> {
+        if !(w_over_l.is_finite() && w_over_l > 0.0) {
+            return Err(SpiceError::InvalidParameter(format!(
+                "W/L must be positive and finite, got {w_over_l}"
+            )));
+        }
+        match self.devices.get_mut(dev.0) {
+            Some(Device {
+                kind: DeviceKind::Mosfet { w_over_l: w, .. },
+                ..
+            }) => {
+                *w = w_over_l;
+                Ok(())
+            }
+            Some(d) => Err(SpiceError::InvalidParameter(format!(
+                "device '{}' is not a mosfet",
+                d.name
+            ))),
+            None => Err(SpiceError::InvalidParameter(format!(
+                "no device with index {}",
+                dev.0
+            ))),
+        }
+    }
+
+    /// Changes the value of an existing capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidParameter`] when the device is not a
+    /// capacitor or the value is invalid.
+    pub fn set_capacitance(&mut self, dev: DeviceId, farads: f64) -> Result<()> {
+        if !(farads.is_finite() && farads >= 0.0) {
+            return Err(SpiceError::InvalidParameter(format!(
+                "capacitance must be non-negative and finite, got {farads}"
+            )));
+        }
+        match self.devices.get_mut(dev.0) {
+            Some(Device {
+                kind: DeviceKind::Capacitor { farads: f, .. },
+                ..
+            }) => {
+                *f = farads;
+                Ok(())
+            }
+            Some(d) => Err(SpiceError::InvalidParameter(format!(
+                "device '{}' is not a capacitor",
+                d.name
+            ))),
+            None => Err(SpiceError::InvalidParameter(format!(
+                "no device with index {}",
+                dev.0
+            ))),
+        }
+    }
+
+    /// Number of extra branch-current unknowns (one per voltage source).
+    pub fn branch_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d.kind, DeviceKind::Vsource { .. }))
+            .count()
+    }
+
+    /// Total MNA unknowns: non-ground nodes plus source branches.
+    pub fn unknown_count(&self) -> usize {
+        (self.node_count() - 1) + self.branch_count()
+    }
+
+    fn push_device(&mut self, name: &str, kind: DeviceKind) -> DeviceId {
+        self.devices.push(Device {
+            name: name.to_string(),
+            kind,
+        });
+        DeviceId(self.devices.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::GND);
+        assert_eq!(c.node("GND"), Circuit::GND);
+        assert_eq!(c.node("gnd"), Circuit::GND);
+        assert!(Circuit::GND.is_ground());
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("A");
+        assert_eq!(a, a2);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "a");
+    }
+
+    #[test]
+    fn find_node_reports_unknown() {
+        let c = Circuit::new();
+        assert!(matches!(c.find_node("nope"), Err(SpiceError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn unknown_count_includes_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("v1", a, Circuit::GND, 1.0);
+        c.resistor("r1", a, b, 100.0);
+        c.resistor("r2", b, Circuit::GND, 100.0);
+        assert_eq!(c.unknown_count(), 3); // 2 nodes + 1 branch
+        assert_eq!(c.branch_count(), 1);
+        assert_eq!(c.device_count(), 3);
+    }
+
+    #[test]
+    fn vsource_wave_can_be_replaced() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let v = c.vsource("v1", a, Circuit::GND, 1.0);
+        let r = c.resistor("r1", a, Circuit::GND, 10.0);
+        c.set_vsource_wave(v, 2.0).unwrap();
+        assert!(c.set_vsource_wave(r, 2.0).is_err());
+        match &c.devices()[v.index()].kind {
+            DeviceKind::Vsource { wave, .. } => assert_eq!(wave.value(0.0), 2.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mosfet_w_over_l_can_be_rescaled() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let m = c.add_model(MosModel::nmos(0.35, 100e-6));
+        let dev = c.mosfet("m1", d, d, Circuit::GND, Circuit::GND, m, 2.0);
+        c.set_mosfet_w_over_l(dev, 5.0).unwrap();
+        assert!(c.set_mosfet_w_over_l(dev, -1.0).is_err());
+        match &c.devices()[dev.index()].kind {
+            DeviceKind::Mosfet { w_over_l, .. } => assert_eq!(*w_over_l, 5.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite resistance")]
+    fn zero_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("r", a, Circuit::GND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative capacitance")]
+    fn negative_capacitance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor("c", a, Circuit::GND, -1e-12);
+    }
+
+    #[test]
+    fn initial_conditions_recorded() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.set_ic(a, 1.2);
+        assert_eq!(c.initial_conditions(), &[(a, 1.2)]);
+    }
+}

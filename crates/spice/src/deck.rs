@@ -1,0 +1,564 @@
+//! SPICE-deck serialization and parsing.
+//!
+//! Circuits can be exported as classic SPICE decks (so experiments can
+//! be cross-checked against an external simulator) and parsed back from
+//! a practical subset of the format: `R`/`C`/`V`/`I`/`M` cards,
+//! `.model` Level-1 MOSFET cards, `DC`/`PULSE`/`PWL` sources, `.ic`
+//! lines, `+` continuations, `*` comments, and engineering suffixes.
+//!
+//! Geometry convention: `W` and `L` are written in micrometres with
+//! `L = 1U`, so `W/L` survives the round trip exactly; only the aspect
+//! ratio is electrically meaningful to the Level-1 model.
+
+use crate::circuit::{Circuit, DeviceKind, ModelId};
+use crate::mos::{MosModel, Polarity, Subthreshold};
+use crate::source::SourceWave;
+use crate::{Result, SpiceError};
+use mtk_num::waveform::Pwl;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes a circuit to a SPICE deck.
+pub fn to_deck(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    // Collect the distinct models actually referenced.
+    let mut used_models: Vec<ModelId> = Vec::new();
+    for dev in circuit.devices() {
+        if let DeviceKind::Mosfet { model, .. } = dev.kind {
+            if !used_models.contains(&model) {
+                used_models.push(model);
+            }
+        }
+    }
+    // Canonical numbering: models appear as m0, m1, … in first-use
+    // order, so a parse→serialize round trip is a fixed point.
+    for (canon, &mid) in used_models.iter().enumerate() {
+        let m = circuit.model(mid);
+        let kind = match m.polarity {
+            Polarity::Nmos => "NMOS",
+            Polarity::Pmos => "PMOS",
+        };
+        let _ = writeln!(
+            out,
+            ".model m{canon} {kind} (level=1 vto={} kp={} gamma={} phi={} lambda={})",
+            m.vt0,
+            m.kp,
+            m.gamma,
+            m.phi,
+            m.lambda
+        );
+    }
+    for dev in circuit.devices() {
+        let name = &dev.name;
+        match &dev.kind {
+            DeviceKind::Resistor { a, b, conductance } => {
+                let _ = writeln!(
+                    out,
+                    "R{name} {} {} {}",
+                    circuit.node_name(*a),
+                    circuit.node_name(*b),
+                    1.0 / conductance
+                );
+            }
+            DeviceKind::Capacitor { a, b, farads } => {
+                let _ = writeln!(
+                    out,
+                    "C{name} {} {} {}",
+                    circuit.node_name(*a),
+                    circuit.node_name(*b),
+                    farads
+                );
+            }
+            DeviceKind::Vsource { pos, neg, wave } => {
+                let _ = writeln!(
+                    out,
+                    "V{name} {} {} {}",
+                    circuit.node_name(*pos),
+                    circuit.node_name(*neg),
+                    wave_text(wave)
+                );
+            }
+            DeviceKind::Isource { from, to, wave } => {
+                let _ = writeln!(
+                    out,
+                    "I{name} {} {} {}",
+                    circuit.node_name(*from),
+                    circuit.node_name(*to),
+                    wave_text(wave)
+                );
+            }
+            DeviceKind::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w_over_l,
+            } => {
+                let canon = used_models
+                    .iter()
+                    .position(|m| m == model)
+                    .expect("model collected in the first pass");
+                let _ = writeln!(
+                    out,
+                    "M{name} {} {} {} {} m{canon} W={}U L=1U",
+                    circuit.node_name(*d),
+                    circuit.node_name(*g),
+                    circuit.node_name(*s),
+                    circuit.node_name(*b),
+                    w_over_l
+                );
+            }
+        }
+    }
+    for &(node, volts) in circuit.initial_conditions() {
+        let _ = writeln!(out, ".ic V({})={}", circuit.node_name(node), volts);
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn wave_text(wave: &SourceWave) -> String {
+    match wave {
+        SourceWave::Dc(v) => format!("DC {v}"),
+        SourceWave::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => format!("PULSE({v1} {v2} {delay} {rise} {fall} {width} {period})"),
+        SourceWave::Pwl(w) => {
+            let mut s = "PWL(".to_string();
+            for (k, &(t, v)) in w.points().iter().enumerate() {
+                if k > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{t} {v}");
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+/// Parses a numeric value with SPICE engineering suffixes
+/// (`f p n u m k meg g t`, case-insensitive; trailing unit letters are
+/// ignored, so `50fF`, `1K`, `0.7U` all work).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidParameter`] for malformed numbers.
+pub fn parse_value(token: &str) -> Result<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    let numeric_end = t
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(t.len());
+    // Handle the exponent 'e' carefully: "1e-12" is all numeric.
+    let (num_str, suffix) = split_numeric(&t, numeric_end);
+    let base: f64 = num_str
+        .parse()
+        .map_err(|_| SpiceError::InvalidParameter(format!("bad numeric value '{token}'")))?;
+    let mult = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('f') => 1e-15,
+            Some('p') => 1e-12,
+            Some('n') => 1e-9,
+            Some('u') => 1e-6,
+            Some('m') => 1e-3,
+            Some('k') => 1e3,
+            Some('g') => 1e9,
+            Some('t') => 1e12,
+            Some(_) => 1.0, // unit letter like 'v', 'a', 's'
+        }
+    };
+    Ok(base * mult)
+}
+
+fn split_numeric(t: &str, guess: usize) -> (&str, &str) {
+    // The guess splits at the first non-numeric char, but 'e' inside a
+    // float exponent is numeric: retry parse boundaries.
+    for end in (1..=t.len()).rev() {
+        if t.is_char_boundary(end) && t[..end].parse::<f64>().is_ok() {
+            return (&t[..end], &t[end..]);
+        }
+    }
+    (&t[..guess.min(t.len())], "")
+}
+
+/// Parses a SPICE deck (the subset documented at module level) into a
+/// [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidParameter`] for cards outside the
+/// supported subset or malformed syntax.
+pub fn from_deck(text: &str) -> Result<Circuit> {
+    // Join continuations, strip comments.
+    let mut lines: Vec<String> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            if let Some(last) = lines.last_mut() {
+                last.push(' ');
+                last.push_str(rest);
+                continue;
+            }
+        }
+        lines.push(line.to_string());
+    }
+    // First line may be a title only if it is the very first raw line —
+    // we required comments to start with '*', so skip nothing here.
+
+    let mut c = Circuit::new();
+    let mut models: HashMap<String, ModelId> = HashMap::new();
+    // Two passes: models first (M cards may appear before .model).
+    for line in &lines {
+        let lower = line.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix(".model") {
+            let cleaned = rest.replace(['(', ')'], " ");
+            let mut toks = cleaned.split_whitespace();
+            let name = toks
+                .next()
+                .ok_or_else(|| SpiceError::InvalidParameter(".model without name".into()))?
+                .to_string();
+            let kind = toks
+                .next()
+                .ok_or_else(|| SpiceError::InvalidParameter(".model without type".into()))?
+                .to_string();
+            let polarity = match kind.as_str() {
+                "nmos" => Polarity::Nmos,
+                "pmos" => Polarity::Pmos,
+                other => {
+                    return Err(SpiceError::InvalidParameter(format!(
+                        "unsupported model type '{other}'"
+                    )))
+                }
+            };
+            let mut m = MosModel {
+                polarity,
+                vt0: 0.5,
+                kp: 50e-6,
+                gamma: 0.0,
+                phi: 0.6,
+                lambda: 0.0,
+                subthreshold: None,
+                caps: None,
+            };
+            for tok in toks {
+                let Some((k, v)) = tok.split_once('=') else {
+                    continue;
+                };
+                let val = parse_value(v)?;
+                match k {
+                    "vto" | "vt0" => m.vt0 = val,
+                    "kp" => m.kp = val,
+                    "gamma" => m.gamma = val,
+                    "phi" => m.phi = val,
+                    "lambda" => m.lambda = val,
+                    "level"
+                        if val != 1.0 => {
+                            return Err(SpiceError::InvalidParameter(format!(
+                                "only level=1 models supported, got {val}"
+                            )));
+                        }
+                    "n_sub" => {
+                        m.subthreshold
+                            .get_or_insert_with(Subthreshold::default)
+                            .n = val;
+                    }
+                    "i0_sub" => {
+                        m.subthreshold
+                            .get_or_insert_with(Subthreshold::default)
+                            .i0 = val;
+                    }
+                    _ => {}
+                }
+            }
+            let id = c.add_model(m);
+            models.insert(name, id);
+        }
+    }
+
+    for line in &lines {
+        let lower = line.to_ascii_lowercase();
+        let mut toks = lower.split_whitespace();
+        let Some(card) = toks.next() else { continue };
+        let first = card.chars().next().unwrap_or(' ');
+        match first {
+            '.' => {
+                if card == ".ic" {
+                    // .ic V(node)=value [V(node)=value ...]
+                    for tok in lower.split_whitespace().skip(1) {
+                        let t = tok.trim();
+                        let inner = t
+                            .strip_prefix("v(")
+                            .and_then(|r| r.split_once(")="))
+                            .ok_or_else(|| {
+                                SpiceError::InvalidParameter(format!("bad .ic entry '{t}'"))
+                            })?;
+                        let node = c.node(inner.0);
+                        c.set_ic(node, parse_value(inner.1)?);
+                    }
+                } else if card == ".end" || card == ".model" || card == ".tran" || card == ".op" {
+                    // .model handled in pass 1; analyses are ignored
+                    // (driven programmatically).
+                } else {
+                    return Err(SpiceError::InvalidParameter(format!(
+                        "unsupported control card '{card}'"
+                    )));
+                }
+            }
+            'r' => {
+                let (a, b, rest) = two_nodes(&mut c, &mut toks, card)?;
+                let ohms = parse_value(&rest.ok_or_else(|| missing(card))?)?;
+                c.resistor(&card[1..], a, b, ohms);
+            }
+            'c' => {
+                let (a, b, rest) = two_nodes(&mut c, &mut toks, card)?;
+                let farads = parse_value(&rest.ok_or_else(|| missing(card))?)?;
+                c.capacitor(&card[1..], a, b, farads);
+            }
+            'v' | 'i' => {
+                let pos = toks.next().ok_or_else(|| missing(card))?.to_string();
+                let neg = toks.next().ok_or_else(|| missing(card))?.to_string();
+                let rest: Vec<&str> = toks.collect();
+                let wave = parse_wave(&rest.join(" "))?;
+                let (np, nn) = (c.node(&pos), c.node(&neg));
+                if first == 'v' {
+                    c.vsource(&card[1..], np, nn, wave);
+                } else {
+                    c.isource(&card[1..], np, nn, wave);
+                }
+            }
+            'm' => {
+                let d = c.node(toks.next().ok_or_else(|| missing(card))?);
+                let g = c.node(toks.next().ok_or_else(|| missing(card))?);
+                let s = c.node(toks.next().ok_or_else(|| missing(card))?);
+                let b = c.node(toks.next().ok_or_else(|| missing(card))?);
+                let model_name = toks.next().ok_or_else(|| missing(card))?;
+                let model = *models.get(model_name).ok_or_else(|| {
+                    SpiceError::InvalidParameter(format!("unknown model '{model_name}'"))
+                })?;
+                let mut w = 1.0;
+                let mut l = 1.0;
+                for tok in toks {
+                    if let Some((k, v)) = tok.split_once('=') {
+                        match k {
+                            "w" => w = parse_value(v)?,
+                            "l" => l = parse_value(v)?,
+                            _ => {}
+                        }
+                    }
+                }
+                if l <= 0.0 {
+                    return Err(SpiceError::InvalidParameter(format!(
+                        "mosfet '{card}' has non-positive L"
+                    )));
+                }
+                c.mosfet(&card[1..], d, g, s, b, model, w / l);
+            }
+            other => {
+                return Err(SpiceError::InvalidParameter(format!(
+                    "unsupported element '{other}' in '{line}'"
+                )));
+            }
+        }
+    }
+    Ok(c)
+}
+
+fn missing(card: &str) -> SpiceError {
+    SpiceError::InvalidParameter(format!("card '{card}' is missing fields"))
+}
+
+fn two_nodes<'a, I: Iterator<Item = &'a str>>(
+    c: &mut Circuit,
+    toks: &mut I,
+    card: &str,
+) -> Result<(crate::circuit::NodeId, crate::circuit::NodeId, Option<String>)> {
+    let a = toks.next().ok_or_else(|| missing(card))?.to_string();
+    let b = toks.next().ok_or_else(|| missing(card))?.to_string();
+    let rest = toks.next().map(str::to_string);
+    Ok((c.node(&a), c.node(&b), rest))
+}
+
+fn parse_wave(text: &str) -> Result<SourceWave> {
+    let t = text.trim();
+    if t.is_empty() {
+        return Ok(SourceWave::Dc(0.0));
+    }
+    if let Some(rest) = t.strip_prefix("dc") {
+        return Ok(SourceWave::Dc(parse_value(rest.trim())?));
+    }
+    if let Some(args) = strip_call(t, "pulse") {
+        let vals: Vec<f64> = args
+            .split_whitespace()
+            .map(parse_value)
+            .collect::<Result<_>>()?;
+        if vals.len() < 7 {
+            return Err(SpiceError::InvalidParameter(
+                "PULSE needs 7 parameters".into(),
+            ));
+        }
+        return Ok(SourceWave::Pulse {
+            v1: vals[0],
+            v2: vals[1],
+            delay: vals[2],
+            rise: vals[3],
+            fall: vals[4],
+            width: vals[5],
+            period: vals[6],
+        });
+    }
+    if let Some(args) = strip_call(t, "pwl") {
+        let vals: Vec<f64> = args
+            .split_whitespace()
+            .map(parse_value)
+            .collect::<Result<_>>()?;
+        if !vals.len().is_multiple_of(2) {
+            return Err(SpiceError::InvalidParameter(
+                "PWL needs time/value pairs".into(),
+            ));
+        }
+        let mut w = Pwl::new();
+        for pair in vals.chunks(2) {
+            w.try_push(pair[0], pair[1])
+                .map_err(|e| SpiceError::InvalidParameter(format!("PWL: {e}")))?;
+        }
+        return Ok(SourceWave::Pwl(w));
+    }
+    // Bare value = DC.
+    Ok(SourceWave::Dc(parse_value(t)?))
+}
+
+fn strip_call<'a>(t: &'a str, name: &str) -> Option<&'a str> {
+    let rest = t.strip_prefix(name)?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    Some(inner.strip_suffix(')').unwrap_or(inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{operating_point, DcOptions};
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("50f").unwrap(), 50e-15);
+        assert_eq!(parse_value("1.5K").unwrap(), 1500.0);
+        assert_eq!(parse_value("2meg").unwrap(), 2e6);
+        assert_eq!(parse_value("0.7u").unwrap(), 0.7e-6);
+        assert_eq!(parse_value("1e-12").unwrap(), 1e-12);
+        assert_eq!(parse_value("50fF").unwrap(), 50e-15);
+        assert_eq!(parse_value("3.3v").unwrap(), 3.3);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn deck_roundtrip_preserves_structure() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        let inp = c.node("in");
+        let nm = c.add_model(MosModel::nmos(0.35, 100e-6));
+        let pm = c.add_model(MosModel::pmos(0.35, 40e-6));
+        c.vsource("vdd", vdd, Circuit::GND, SourceWave::Dc(1.2));
+        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1e-9, 1e-10, 0.0, 1.2));
+        c.mosfet("mp", out, inp, vdd, vdd, pm, 8.0);
+        c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
+        c.capacitor("cl", out, Circuit::GND, 50e-15);
+        c.resistor("rx", out, Circuit::GND, 1e9);
+        c.set_ic(out, 1.2);
+
+        let deck = to_deck(&c, "inverter");
+        let parsed = from_deck(&deck).expect("parse back");
+        assert_eq!(parsed.device_count(), c.device_count());
+        assert_eq!(parsed.node_count(), c.node_count());
+        assert_eq!(parsed.initial_conditions().len(), 1);
+        // The re-serialized deck is identical (canonical form).
+        assert_eq!(to_deck(&parsed, "inverter"), deck);
+    }
+
+    #[test]
+    fn parsed_circuit_solves_like_original() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.vsource("v1", top, Circuit::GND, SourceWave::Dc(6.0));
+        c.resistor("r1", top, mid, 1000.0);
+        c.resistor("r2", mid, Circuit::GND, 2000.0);
+        let parsed = from_deck(&to_deck(&c, "divider")).unwrap();
+        let op = operating_point(&parsed, &DcOptions::default()).unwrap();
+        let mid_parsed = parsed.find_node("mid").unwrap();
+        assert!((op.voltage(mid_parsed) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let deck = "* title comment\n\
+                    R1 a 0 1k\n\
+                    * a comment\n\
+                    C1 a\n\
+                    + 0 1p\n\
+                    .end\n";
+        let c = from_deck(deck).unwrap();
+        assert_eq!(c.device_count(), 2);
+    }
+
+    #[test]
+    fn pulse_and_pwl_sources() {
+        let deck = "Vp in 0 PULSE(0 1.2 1n 0.1n 0.1n 4n 10n)\n\
+                    Vq c 0 PWL(0 0 1n 1.2 2n 0)\n\
+                    R1 in 0 1k\nR2 c 0 1k\n.end\n";
+        let c = from_deck(deck).unwrap();
+        let devs = c.devices();
+        match &devs[0].kind {
+            DeviceKind::Vsource { wave, .. } => {
+                assert_eq!(wave.value(2e-9), 1.2);
+            }
+            _ => panic!("expected vsource"),
+        }
+        match &devs[1].kind {
+            DeviceKind::Vsource { wave, .. } => {
+                assert!((wave.value(0.5e-9) - 0.6).abs() < 1e-12);
+            }
+            _ => panic!("expected vsource"),
+        }
+    }
+
+    #[test]
+    fn mosfet_geometry_is_aspect_ratio() {
+        let deck = ".model mynmos NMOS (level=1 vto=0.35 kp=100u)\n\
+                    M1 d g 0 0 mynmos W=4U L=2U\n\
+                    Vg g 0 DC 1.2\nVd d 0 DC 1.2\n.end\n";
+        let c = from_deck(deck).unwrap();
+        let m = c
+            .devices()
+            .iter()
+            .find_map(|d| match &d.kind {
+                DeviceKind::Mosfet { w_over_l, .. } => Some(*w_over_l),
+                _ => None,
+            })
+            .unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_unsupported_cards() {
+        assert!(from_deck("Lbad a 0 1u\n.end\n").is_err());
+        assert!(from_deck(".subckt foo a b\n.ends\n").is_err());
+        assert!(from_deck(".model md NMOS (level=2)\n.end\n").is_err());
+        assert!(from_deck("M1 d g 0 0 nomodel W=1U L=1U\n.end\n").is_err());
+    }
+
+}

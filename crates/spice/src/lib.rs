@@ -1,0 +1,131 @@
+//! A from-scratch SPICE-class circuit simulator.
+//!
+//! The paper uses SPICE as the reference engine its switch-level simulator
+//! is validated against (Figs 5, 7, 10, 11, 13, 14 and Table 1). No Rust
+//! EDA substrate exists, so this crate implements the needed subset from
+//! first principles:
+//!
+//! * [`circuit`] — circuit construction: named nodes, resistors,
+//!   capacitors, independent voltage/current sources, and MOSFETs.
+//! * [`mos`] — a Level-1 (Shichman–Hodges) MOSFET with body effect,
+//!   channel-length modulation, and an optional subthreshold-leakage
+//!   extension (the effect MTCMOS exists to suppress).
+//! * [`source`] — DC, pulse, and piecewise-linear source waveforms.
+//! * [`dc`] — Newton–Raphson operating-point analysis with
+//!   g<sub>min</sub> stepping.
+//! * [`tran`] — transient analysis (trapezoidal or backward Euler) with
+//!   per-step Newton iteration and automatic step halving on
+//!   non-convergence.
+//! * [`solver`] — the MNA linear-system wrapper (sparse LU behind a
+//!   reverse Cuthill–McKee ordering).
+//! * [`deck`] — SPICE-deck export/import for cross-checking against
+//!   external simulators.
+//! * [`measure`] — `.measure`-style post-processing: edge times and
+//!   supply energy.
+//!
+//! # Example: RC discharge
+//!
+//! ```
+//! use mtk_spice::circuit::Circuit;
+//! use mtk_spice::tran::{transient, TranOptions};
+//!
+//! let mut c = Circuit::new();
+//! let n1 = c.node("n1");
+//! c.resistor("r1", n1, Circuit::GND, 1_000.0);
+//! c.capacitor("c1", n1, Circuit::GND, 1e-9);
+//! c.set_ic(n1, 1.0);
+//! let result = transient(&c, &TranOptions::to(5e-6).with_dt(1e-8)).unwrap();
+//! let w = result.waveform(n1).unwrap();
+//! // After 5 time constants (tau = 1 us) the node is nearly discharged.
+//! assert!(w.final_value().unwrap() < 0.01);
+//! ```
+
+pub mod circuit;
+pub mod dc;
+pub mod deck;
+pub mod measure;
+pub mod mos;
+pub mod solver;
+pub mod source;
+pub mod tran;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The Newton iteration failed to converge, even after the analysis'
+    /// fallback strategies (g<sub>min</sub> stepping for DC, step halving
+    /// for transient).
+    NewtonFailed {
+        /// Human-readable context ("dc operating point", "transient @t=…").
+        context: String,
+        /// Iterations used in the final attempt.
+        iterations: usize,
+    },
+    /// The MNA matrix was singular — usually a floating node or a loop of
+    /// voltage sources.
+    Singular {
+        /// Name of the unknown whose pivot vanished, when identifiable.
+        unknown: String,
+    },
+    /// A device or analysis parameter was invalid (negative capacitance,
+    /// zero-width MOSFET, non-positive time step, …).
+    InvalidParameter(String),
+    /// A referenced node does not exist in the circuit.
+    UnknownNode(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NewtonFailed {
+                context,
+                iterations,
+            } => write!(
+                f,
+                "newton iteration failed to converge in {context} after {iterations} iterations"
+            ),
+            SpiceError::Singular { unknown } => {
+                write!(f, "singular MNA matrix near unknown '{unknown}'")
+            }
+            SpiceError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SpiceError::UnknownNode(name) => write!(f, "unknown node '{name}'"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, SpiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            SpiceError::NewtonFailed {
+                context: "dc".into(),
+                iterations: 10,
+            },
+            SpiceError::Singular {
+                unknown: "v(n1)".into(),
+            },
+            SpiceError::InvalidParameter("x".into()),
+            SpiceError::UnknownNode("n9".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

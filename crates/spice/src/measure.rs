@@ -1,0 +1,125 @@
+//! Waveform measurements: edge times, slew, and energy.
+//!
+//! These are the `.measure`-style post-processing helpers experiments
+//! use on [`crate::tran::TranResult`] waveforms — in particular the
+//! switching-energy overhead of §2.1 ("increased switching energy
+//! overhead … can also be limiting factors") is `V_dd · ∫ i_supply dt`.
+
+use mtk_num::waveform::{Edge, Pwl};
+
+/// 10 %–90 % rise time of the first rising edge at or after `t_from`.
+///
+/// Returns `None` when the waveform has no such edge in the window.
+pub fn rise_time(w: &Pwl, v_low_rail: f64, v_high_rail: f64, t_from: f64) -> Option<f64> {
+    edge_time(w, v_low_rail, v_high_rail, t_from, Edge::Rising)
+}
+
+/// 90 %–10 % fall time of the first falling edge at or after `t_from`.
+pub fn fall_time(w: &Pwl, v_low_rail: f64, v_high_rail: f64, t_from: f64) -> Option<f64> {
+    edge_time(w, v_low_rail, v_high_rail, t_from, Edge::Falling)
+}
+
+fn edge_time(w: &Pwl, lo_rail: f64, hi_rail: f64, t_from: f64, edge: Edge) -> Option<f64> {
+    let swing = hi_rail - lo_rail;
+    let v10 = lo_rail + 0.1 * swing;
+    let v90 = lo_rail + 0.9 * swing;
+    match edge {
+        Edge::Rising => {
+            let t10 = w.first_crossing(v10, Edge::Rising, t_from)?.time;
+            let t90 = w.first_crossing(v90, Edge::Rising, t10)?.time;
+            Some(t90 - t10)
+        }
+        Edge::Falling => {
+            let t90 = w.first_crossing(v90, Edge::Falling, t_from)?.time;
+            let t10 = w.first_crossing(v10, Edge::Falling, t90)?.time;
+            Some(t10 - t90)
+        }
+        Edge::Any => None,
+    }
+}
+
+/// Energy drawn from a constant-voltage supply over the waveform's span:
+/// `vdd · ∫ i dt`, with `i` the current *drawn from* the supply.
+pub fn supply_energy(supply_current: &Pwl, vdd: f64) -> f64 {
+    vdd * supply_current.integral()
+}
+
+/// Average power over the waveform's span (`supply_energy / duration`);
+/// `None` for a zero-width span.
+pub fn average_power(supply_current: &Pwl, vdd: f64) -> Option<f64> {
+    let t0 = supply_current.start_time()?;
+    let t1 = supply_current.end_time()?;
+    if t1 <= t0 {
+        return None;
+    }
+    Some(supply_energy(supply_current, vdd) / (t1 - t0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rise_fall_of_ideal_ramp() {
+        // 0→1 V over 1 s: 10-90% spans 0.8 s.
+        let up = Pwl::step(0.0, 1.0, 0.0, 1.0);
+        let r = rise_time(&up, 0.0, 1.0, 0.0).unwrap();
+        assert!((r - 0.8).abs() < 1e-12);
+        let down = Pwl::step(0.0, 2.0, 1.0, 0.0);
+        let f = fall_time(&down, 0.0, 1.0, 0.0).unwrap();
+        assert!((f - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_edge_returns_none() {
+        let flat = Pwl::constant(0.5);
+        assert!(rise_time(&flat, 0.0, 1.0, 0.0).is_none());
+        assert!(fall_time(&flat, 0.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn energy_of_rectangular_pulse() {
+        // 1 mA for 2 ns at 1.2 V = 2.4 pJ.
+        let i: Pwl = [(0.0, 1e-3), (2e-9, 1e-3)].into_iter().collect();
+        let e = supply_energy(&i, 1.2);
+        assert!((e - 2.4e-12).abs() < 1e-20);
+        let p = average_power(&i, 1.2).unwrap();
+        assert!((p - 1.2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_degenerate() {
+        assert!(average_power(&Pwl::constant(1.0), 1.0).is_none());
+        assert!(average_power(&Pwl::new(), 1.0).is_none());
+    }
+
+    #[test]
+    fn cv2_energy_of_capacitor_charge() {
+        // Charging C through R from a vdd source draws E = C·Vdd² total
+        // (half stored, half dissipated). Verify from a transient.
+        use crate::circuit::Circuit;
+        use crate::source::SourceWave;
+        use crate::tran::{transient, TranOptions};
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let out = c.node("out");
+        c.vsource("vdd", top, Circuit::GND, SourceWave::Dc(1.0));
+        c.resistor("r", top, out, 1000.0);
+        c.capacitor("c", out, Circuit::GND, 1e-9);
+        c.set_ic(out, 0.0);
+        let res = transient(&c, &TranOptions::to(20e-6).with_dt(2e-8)).unwrap();
+        let drawn: Pwl = res
+            .source_current("vdd")
+            .unwrap()
+            .points()
+            .iter()
+            .map(|&(t, i)| (t, -i))
+            .collect();
+        let e = supply_energy(&drawn, 1.0);
+        let expect = 1e-9 * 1.0 * 1.0; // C Vdd^2
+        assert!(
+            (e - expect).abs() / expect < 0.02,
+            "energy {e:.3e} vs CV^2 {expect:.3e}"
+        );
+    }
+}

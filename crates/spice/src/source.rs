@@ -1,0 +1,251 @@
+//! Independent source waveforms.
+
+use mtk_num::waveform::Pwl;
+
+/// The time-dependent value of an independent voltage or current source.
+///
+/// # Examples
+///
+/// ```
+/// use mtk_spice::source::SourceWave;
+///
+/// let pulse = SourceWave::pulse(0.0, 1.2, 1e-9, 0.1e-9, 0.1e-9, 4e-9, 10e-9);
+/// assert_eq!(pulse.value(0.0), 0.0);
+/// assert_eq!(pulse.value(2e-9), 1.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWave {
+    /// A constant value.
+    Dc(f64),
+    /// A periodic trapezoidal pulse, SPICE `PULSE(...)` semantics.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time (v1 → v2).
+        rise: f64,
+        /// Fall time (v2 → v1).
+        fall: f64,
+        /// Width of the pulsed phase (at v2).
+        width: f64,
+        /// Period; `0.0` or non-finite means a single pulse.
+        period: f64,
+    },
+    /// An arbitrary piecewise-linear waveform; held constant outside its
+    /// defined points.
+    Pwl(Pwl),
+}
+
+impl SourceWave {
+    /// Convenience constructor for [`SourceWave::Pulse`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn pulse(
+        v1: f64,
+        v2: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
+        SourceWave::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
+    }
+
+    /// A single ramp from `v0` to `v1` starting at `t0` over `t_ramp`
+    /// seconds — the stimulus shape used by every experiment in the paper
+    /// (an input vector transition).
+    pub fn ramp(t0: f64, t_ramp: f64, v0: f64, v1: f64) -> Self {
+        SourceWave::Pwl(Pwl::step(t0, t_ramp, v0, v1))
+    }
+
+    /// Value of the source at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tl = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tl %= period;
+                }
+                if tl < *rise {
+                    if *rise == 0.0 {
+                        *v2
+                    } else {
+                        v1 + (v2 - v1) * tl / rise
+                    }
+                } else if tl < rise + width {
+                    *v2
+                } else if tl < rise + width + fall {
+                    if *fall == 0.0 {
+                        *v1
+                    } else {
+                        v2 + (v1 - v2) * (tl - rise - width) / fall
+                    }
+                } else {
+                    *v1
+                }
+            }
+            SourceWave::Pwl(w) => {
+                if w.is_empty() {
+                    0.0
+                } else {
+                    w.value_at(t)
+                }
+            }
+        }
+    }
+
+    /// Times at which the waveform has slope discontinuities within
+    /// `[0, t_stop]`. The transient engine aligns time steps with these
+    /// so sharp edges are never stepped over.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        match self {
+            SourceWave::Dc(_) => {}
+            SourceWave::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let mut base = *delay;
+                loop {
+                    for t in [base, base + rise, base + rise + width, base + rise + width + fall] {
+                        if t >= 0.0 && t <= t_stop {
+                            out.push(t);
+                        }
+                    }
+                    if period.is_finite() && *period > 0.0 {
+                        base += period;
+                        if base > t_stop {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            SourceWave::Pwl(w) => {
+                out.extend(
+                    w.points()
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| (0.0..=t_stop).contains(&t)),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Default for SourceWave {
+    fn default() -> Self {
+        SourceWave::Dc(0.0)
+    }
+}
+
+impl From<f64> for SourceWave {
+    fn from(v: f64) -> Self {
+        SourceWave::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let s = SourceWave::Dc(1.2);
+        assert_eq!(s.value(0.0), 1.2);
+        assert_eq!(s.value(1e9), 1.2);
+        assert!(s.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let s = SourceWave::pulse(0.0, 1.0, 1.0, 0.5, 0.5, 2.0, 0.0);
+        assert_eq!(s.value(0.5), 0.0); // before delay
+        assert_eq!(s.value(1.25), 0.5); // mid-rise
+        assert_eq!(s.value(2.0), 1.0); // plateau
+        assert_eq!(s.value(3.75), 0.5); // mid-fall
+        assert_eq!(s.value(10.0), 0.0); // after (single pulse)
+    }
+
+    #[test]
+    fn pulse_repeats_with_period() {
+        let s = SourceWave::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.3, 1.0);
+        assert_eq!(s.value(0.2), 1.0);
+        assert_eq!(s.value(1.2), 1.0); // next period
+        assert_eq!(s.value(0.9), 0.0);
+    }
+
+    #[test]
+    fn zero_rise_pulse_is_step() {
+        let s = SourceWave::pulse(0.0, 1.0, 1.0, 0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.value(1.0), 1.0);
+        assert_eq!(s.value(0.999), 0.0);
+    }
+
+    #[test]
+    fn ramp_is_pwl_step() {
+        let s = SourceWave::ramp(1.0, 2.0, 0.0, 1.0);
+        assert_eq!(s.value(0.0), 0.0);
+        assert_eq!(s.value(2.0), 0.5);
+        assert_eq!(s.value(5.0), 1.0);
+    }
+
+    #[test]
+    fn breakpoints_cover_edges() {
+        let s = SourceWave::pulse(0.0, 1.0, 1.0, 0.5, 0.5, 2.0, 0.0);
+        let bp = s.breakpoints(10.0);
+        assert_eq!(bp, vec![1.0, 1.5, 3.5, 4.0]);
+        let bp_trunc = s.breakpoints(1.2);
+        assert_eq!(bp_trunc, vec![1.0]);
+    }
+
+    #[test]
+    fn periodic_breakpoints_truncate() {
+        let s = SourceWave::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.2, 1.0);
+        let bp = s.breakpoints(2.5);
+        assert!(bp.iter().all(|&t| t <= 2.5));
+        assert!(bp.len() >= 8, "{bp:?}");
+    }
+
+    #[test]
+    fn from_f64_is_dc() {
+        let s: SourceWave = 3.0.into();
+        assert_eq!(s, SourceWave::Dc(3.0));
+        assert_eq!(SourceWave::default().value(1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_pwl_reads_zero() {
+        let s = SourceWave::Pwl(Pwl::new());
+        assert_eq!(s.value(1.0), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The full sizing methodology on a carry-save multiplier.
+//!
+//! 1. Screen a large random vector space with the switch-level simulator
+//!    to find the MTCMOS-sensitive transitions (§2.4: the worst CMOS
+//!    vector is *not* the worst MTCMOS vector).
+//! 2. Size the sleep transistor so the worst screened vector meets a 5 %
+//!    degradation target.
+//! 3. Compare against the two conservative baselines the paper
+//!    criticises: peak-current sizing and sum-of-internal-widths sizing.
+//!
+//! Run with: `cargo run --release --example size_a_multiplier`
+
+use mtcmos_suite::circuits::multiplier::{ArrayMultiplier, MultiplierSpec};
+use mtcmos_suite::core::sizing::{
+    peak_current_w_over_l, screen_vectors, size_for_target, sum_of_widths_w_over_l, Transition,
+};
+use mtcmos_suite::core::vbsim::{Engine, VbsimOptions};
+use mtcmos_suite::netlist::logic::bits_lsb_first;
+use mtcmos_suite::netlist::tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = ArrayMultiplier::new(&MultiplierSpec {
+        bits: 6,
+        ..MultiplierSpec::default()
+    })?;
+    let tech = Technology::l03();
+    let engine = Engine::new(&m.netlist, &tech);
+    let total_bits = 2 * m.bits() as u32;
+    println!(
+        "6x6 carry-save multiplier: {} transistors, Vdd={} V",
+        m.netlist.total_transistors(),
+        tech.vdd
+    );
+
+    // --- Step 1: screen 400 random vector transitions. ---
+    let mut rng = StdRng::seed_from_u64(0xD_AC_19_97);
+    let transitions: Vec<Transition> = (0..400)
+        .map(|_| {
+            let from = rng.gen_range(0..1u64 << total_bits);
+            let to = rng.gen_range(0..1u64 << total_bits);
+            Transition::new(
+                bits_lsb_first(from, total_bits),
+                bits_lsb_first(to, total_bits),
+            )
+        })
+        .collect();
+    let screened = screen_vectors(&engine, &transitions, None, 100.0, &VbsimOptions::default())?;
+    println!(
+        "screened {} random transitions; {} exercise the outputs",
+        transitions.len(),
+        screened.len()
+    );
+    println!("worst five at W/L=100:");
+    for entry in screened.iter().take(5) {
+        println!(
+            "  #{:<4} degradation {:>6.2}%  (CMOS {:.3} ns -> MTCMOS {:.3} ns)",
+            entry.index,
+            entry.delays.degradation() * 100.0,
+            entry.delays.cmos * 1e9,
+            entry.delays.mtcmos * 1e9
+        );
+    }
+
+    // --- Step 2: size for 5 % on the worst ten screened vectors. ---
+    let worst: Vec<Transition> = screened
+        .iter()
+        .take(10)
+        .map(|e| transitions[e.index].clone())
+        .collect();
+    let wl = size_for_target(&engine, &worst, None, 0.05, (10.0, 5000.0), &VbsimOptions::default())?;
+    println!("\nsized for <=5% worst-case degradation: sleep W/L = {wl:.0}");
+
+    // --- Step 3: the conservative baselines. ---
+    let worst_tr = &transitions[screened[0].index];
+    let cmos_run = engine.run(&worst_tr.from, &worst_tr.to, &VbsimOptions::cmos())?;
+    let i_peak = cmos_run.peak_sleep_current();
+    let wl_peak = peak_current_w_over_l(&tech, i_peak, 0.05);
+    let wl_sum = sum_of_widths_w_over_l(&m.netlist, &tech);
+    println!("peak-current sizing (Ipeak={:.2} mA, 50 mV budget): W/L = {wl_peak:.0}  ({:.1}x over)",
+        i_peak * 1e3, wl_peak / wl);
+    println!("sum-of-widths sizing:                               W/L = {wl_sum:.0}  ({:.1}x over)",
+        wl_sum / wl);
+    println!(
+        "\nthe methodology recovers a {:.0}% / {:.0}% area saving over the naive rules — \
+         the paper's core argument.",
+        (1.0 - wl / wl_peak) * 100.0,
+        (1.0 - wl / wl_sum) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Why bother with MTCMOS at all: standby leakage with and without the
+//! sleep transistor (paper §1).
+//!
+//! Builds a small low-V<sub>t</sub> block in the aggressive 0.3 µm
+//! technology, solves its DC operating point with subthreshold models
+//! enabled, and compares standby current in three configurations:
+//! unguarded low-V<sub>t</sub>, MTCMOS active (sleep gate high), and
+//! MTCMOS sleeping (sleep gate low).
+//!
+//! Run with: `cargo run --release --example sleep_mode_leakage`
+
+use mtcmos_suite::circuits::tree::{InverterTree, TreeSpec};
+use mtcmos_suite::netlist::expand::{expand, ExpandOptions};
+use mtcmos_suite::netlist::logic::Logic;
+use mtcmos_suite::netlist::tech::Technology;
+use mtcmos_suite::spice::dc::{operating_point, DcOptions};
+use mtcmos_suite::spice::source::SourceWave;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tree = InverterTree::new(&TreeSpec {
+        fanout: 2,
+        stages: 3,
+        load_cap: 20e-15,
+        drive: 1.0,
+    })?;
+    let tech = Technology::l03();
+    // Resolve femtoampere currents: extend the gmin ladder far below the
+    // default floor.
+    let mut dc = DcOptions::default();
+    dc.gmin_steps.extend([1e-13, 1e-14, 1e-15, 1e-16]);
+
+    let leak_of = |sleep_gate: Option<f64>| -> Result<f64, Box<dyn std::error::Error>> {
+        let opts = ExpandOptions {
+            with_leakage: true,
+            ..(if sleep_gate.is_some() {
+                ExpandOptions::mtcmos(10.0)
+            } else {
+                ExpandOptions::cmos()
+            })
+        };
+        let mut ex = expand(&tree.netlist, &tech, &opts)?;
+        if sleep_gate.is_none() {
+            // The unguarded block settles at its logic state; seed the OP.
+            let settled = tree.netlist.evaluate(&[Logic::Zero])?;
+            ex.apply_initial_state(&settled);
+        }
+        if let Some(vg) = sleep_gate {
+            let vsleep = ex.circuit.find_device("vsleep").expect("vsleep exists");
+            ex.circuit.set_vsource_wave(vsleep, SourceWave::Dc(vg))?;
+        }
+        let op = operating_point(&ex.circuit, &dc)?;
+        Ok(op.source_current("vdd").expect("vdd source").abs())
+    };
+
+    let unguarded = leak_of(None)?;
+    let active = leak_of(Some(tech.vdd))?;
+    let sleeping = leak_of(Some(0.0))?;
+
+    println!("standby supply current of a {}-gate low-Vt block:", tree.netlist.cells().len());
+    println!("  unguarded low-Vt CMOS : {:>12.4} nA", unguarded * 1e9);
+    println!("  MTCMOS, active mode   : {:>12.4} nA", active * 1e9);
+    println!("  MTCMOS, sleep mode    : {:>12.6} nA  ({:.0}x below unguarded)",
+        sleeping * 1e9, unguarded / sleeping);
+    println!(
+        "\nIn active mode the high-Vt device is on and leakage stays at the unguarded\n\
+         nA scale (the absolute nA values carry Newton-tolerance noise); asleep, the\n\
+         device starves the stack and the virtual ground self-reverse-biases the block."
+    );
+    Ok(())
+}

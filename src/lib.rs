@@ -1,0 +1,11 @@
+//! Umbrella crate for the MTCMOS sizing reproduction suite.
+//!
+//! Re-exports every subsystem crate so the examples and integration tests
+//! can use a single dependency. See `README.md` for the tour and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use mtk_circuits as circuits;
+pub use mtk_core as core;
+pub use mtk_netlist as netlist;
+pub use mtk_num as num;
+pub use mtk_spice as spice;

@@ -1,0 +1,60 @@
+//! End-to-end deck export: a full MTCMOS expansion survives SPICE-deck
+//! serialization, re-parsing, and re-simulation.
+
+use mtcmos_suite::circuits::tree::{InverterTree, TreeSpec};
+use mtcmos_suite::netlist::expand::{expand, ExpandOptions};
+use mtcmos_suite::netlist::logic::Logic;
+use mtcmos_suite::netlist::tech::Technology;
+use mtcmos_suite::spice::dc::{operating_point, DcOptions};
+use mtcmos_suite::spice::deck::{from_deck, to_deck};
+use mtcmos_suite::spice::tran::{transient, TranOptions};
+
+#[test]
+fn expanded_mtcmos_tree_roundtrips_through_deck() {
+    let tree = InverterTree::new(&TreeSpec {
+        fanout: 2,
+        stages: 2,
+        load_cap: 20e-15,
+        drive: 1.0,
+    })
+    .unwrap();
+    let tech = Technology::l07();
+    let mut ex = expand(&tree.netlist, &tech, &ExpandOptions::mtcmos(8.0)).unwrap();
+    ex.set_input_transition(0, Logic::Zero, Logic::One, 1e-9)
+        .unwrap();
+
+    let deck = to_deck(&ex.circuit, "mtcmos tree");
+    let parsed = from_deck(&deck).expect("parse back");
+    assert_eq!(parsed.device_count(), ex.circuit.device_count());
+    assert_eq!(parsed.node_count(), ex.circuit.node_count());
+    // Canonical form: serializing again is a fixed point.
+    assert_eq!(to_deck(&parsed, "mtcmos tree"), deck);
+
+    // The parsed circuit is electrically equivalent: same OP and same
+    // transient delay at the probe.
+    let op_a = operating_point(&ex.circuit, &DcOptions::default()).unwrap();
+    let op_b = operating_point(&parsed, &DcOptions::default()).unwrap();
+    let probe = ex.node_of(tree.probe());
+    let probe_b = parsed
+        .find_node(ex.circuit.node_name(probe))
+        .expect("probe exists in parsed circuit");
+    assert!((op_a.voltage(probe) - op_b.voltage(probe_b)).abs() < 1e-9);
+
+    let opts = TranOptions::to(40e-9).with_dt(40e-12);
+    let wa = transient(&ex.circuit, &opts)
+        .unwrap()
+        .waveform(probe)
+        .unwrap();
+    let wb = transient(&parsed, &opts).unwrap().waveform(probe_b).unwrap();
+    let ca = wa.last_crossing(tech.v_switch(), mtcmos_suite::num::waveform::Edge::Any);
+    let cb = wb.last_crossing(tech.v_switch(), mtcmos_suite::num::waveform::Edge::Any);
+    match (ca, cb) {
+        (Some(a), Some(b)) => assert!(
+            (a.time - b.time).abs() < 1e-12,
+            "delays differ: {} vs {}",
+            a.time,
+            b.time
+        ),
+        other => panic!("missing crossings: {other:?}"),
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-engine integration tests: the switch-level simulator must track
+//! the transistor-level engine's *trends* (the Figs 10/13/14 validation),
+//! at test-sized scales.
+
+use mtcmos_suite::circuits::adder::{AdderSpec, RippleAdder};
+use mtcmos_suite::circuits::tree::{InverterTree, TreeSpec};
+use mtcmos_suite::core::hybrid::{spice_delay_pair, spice_transition, SpiceRunConfig};
+use mtcmos_suite::core::sizing::{vbsim_delay_pair, Transition};
+use mtcmos_suite::core::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use mtcmos_suite::netlist::expand::SleepImpl;
+use mtcmos_suite::netlist::logic::Logic;
+use mtcmos_suite::netlist::tech::Technology;
+
+fn small_tree() -> InverterTree {
+    InverterTree::new(&TreeSpec {
+        fanout: 2,
+        stages: 2,
+        load_cap: 30e-15,
+        drive: 1.0,
+    })
+    .unwrap()
+}
+
+/// Both engines agree that delay decreases with sleep W/L, and their
+/// per-size ordering of two sizes matches.
+#[test]
+fn delay_vs_size_trends_match() {
+    let tree = small_tree();
+    let tech = Technology::l07();
+    let engine = Engine::new(&tree.netlist, &tech);
+    let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+    let cfg = SpiceRunConfig::window(60e-9);
+    let mut spice = Vec::new();
+    let mut vbsim = Vec::new();
+    for wl in [3.0, 8.0, 20.0] {
+        let sp = spice_delay_pair(&tree.netlist, &tech, &tr, None, wl, &cfg)
+            .unwrap()
+            .unwrap();
+        let vb = vbsim_delay_pair(
+            &engine,
+            &tr,
+            None,
+            SleepNetwork::Transistor { w_over_l: wl },
+            &VbsimOptions::default(),
+        )
+        .unwrap()
+        .unwrap();
+        spice.push(sp.mtcmos);
+        vbsim.push(vb.mtcmos);
+    }
+    assert!(spice[0] > spice[1] && spice[1] > spice[2], "{spice:?}");
+    assert!(vbsim[0] > vbsim[1] && vbsim[1] > vbsim[2], "{vbsim:?}");
+}
+
+/// Virtual-ground bounce: the simulator's stepwise peak approximates the
+/// SPICE peak within a factor of two at moderate sizes.
+#[test]
+fn vgnd_peaks_comparable() {
+    let tree = small_tree();
+    let tech = Technology::l07();
+    let engine = Engine::new(&tree.netlist, &tech);
+    let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+    let wl = 4.0;
+    let sp = spice_transition(
+        &tree.netlist,
+        &tech,
+        &tr,
+        None,
+        SleepImpl::Transistor { w_over_l: wl },
+        &SpiceRunConfig::window(60e-9),
+    )
+    .unwrap();
+    let sp_peak = sp.vgnd.unwrap().max_value().unwrap();
+    let vb = engine
+        .run(&tr.from, &tr.to, &VbsimOptions::mtcmos(wl))
+        .unwrap();
+    let vb_peak = vb.peak_vgnd();
+    assert!(sp_peak > 0.0 && vb_peak > 0.0);
+    let ratio = vb_peak / sp_peak;
+    assert!((0.5..2.0).contains(&ratio), "peaks {sp_peak} vs {vb_peak}");
+}
+
+/// On a 2-bit adder, both engines rank a mass-discharge vector above a
+/// single-bit ripple vector.
+#[test]
+fn vector_ordering_matches_across_engines() {
+    let add = RippleAdder::new(&AdderSpec {
+        bits: 2,
+        ..AdderSpec::default()
+    })
+    .unwrap();
+    let tech = Technology::l07();
+    let engine = Engine::new(&add.netlist, &tech);
+    // Heavy: everything flips downward. Light: one input bit rises.
+    let heavy = Transition::new(add.input_values(3, 3), add.input_values(0, 0));
+    let light = Transition::new(add.input_values(0, 0), add.input_values(1, 0));
+    let wl = 3.0;
+    let cfg = SpiceRunConfig::window(80e-9);
+    let base = VbsimOptions::default();
+    let sleep = SleepNetwork::Transistor { w_over_l: wl };
+    let sp_heavy = spice_delay_pair(&add.netlist, &tech, &heavy, None, wl, &cfg)
+        .unwrap()
+        .unwrap();
+    let sp_light = spice_delay_pair(&add.netlist, &tech, &light, None, wl, &cfg)
+        .unwrap()
+        .unwrap();
+    let vb_heavy = vbsim_delay_pair(&engine, &heavy, None, sleep, &base)
+        .unwrap()
+        .unwrap();
+    let vb_light = vbsim_delay_pair(&engine, &light, None, sleep, &base)
+        .unwrap()
+        .unwrap();
+    assert!(
+        sp_heavy.degradation() > sp_light.degradation(),
+        "spice: {:.4} vs {:.4}",
+        sp_heavy.degradation(),
+        sp_light.degradation()
+    );
+    assert!(
+        vb_heavy.degradation() > vb_light.degradation(),
+        "vbsim: {:.4} vs {:.4}",
+        vb_heavy.degradation(),
+        vb_light.degradation()
+    );
+}
+
+/// The SPICE engine's settled logic state matches the gate-level
+/// evaluator for an adder vector (end-to-end functional agreement).
+#[test]
+fn spice_settles_to_logic_state() {
+    let add = RippleAdder::new(&AdderSpec {
+        bits: 2,
+        ..AdderSpec::default()
+    })
+    .unwrap();
+    let tech = Technology::l07();
+    let tr = Transition::new(add.input_values(0, 1), add.input_values(3, 2));
+    let res = spice_transition(
+        &add.netlist,
+        &tech,
+        &tr,
+        None,
+        SleepImpl::Transistor { w_over_l: 8.0 },
+        &SpiceRunConfig::window(80e-9),
+    )
+    .unwrap();
+    let expect = add.netlist.evaluate(&tr.to).unwrap();
+    let probes = add.netlist.primary_outputs();
+    for (k, w) in res.probe_waveforms.iter().enumerate() {
+        let v = w.final_value().unwrap();
+        let want = expect[probes[k].index()].to_bool().unwrap();
+        assert_eq!(v > tech.v_switch(), want, "output {k} at {v} V");
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests pinning the paper's qualitative claims — the
+//! "shape" results every figure depends on — at test-sized problem
+//! scales.
+
+use mtcmos_suite::circuits::adder::RippleAdder;
+use mtcmos_suite::circuits::multiplier::ArrayMultiplier;
+use mtcmos_suite::circuits::tree::InverterTree;
+use mtcmos_suite::circuits::vectors::{multiplier_vector_a, multiplier_vector_b};
+use mtcmos_suite::core::sizing::{vbsim_delay_pair, Transition};
+use mtcmos_suite::core::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use mtcmos_suite::netlist::logic::{bits_lsb_first, Logic};
+use mtcmos_suite::netlist::tech::Technology;
+
+/// §2.1: only the high-to-low transition is affected by an NMOS sleep
+/// transistor.
+#[test]
+fn nmos_sleep_only_slows_discharge() {
+    let tree = InverterTree::paper();
+    let tech = Technology::l07();
+    let engine = Engine::new(&tree.netlist, &tech);
+    // Probe the *output inverter* of stage 1 (rising for a rising input)
+    // vs stage 2 leaves (falling).
+    let rising_net = [tree.stage_outputs[1][0]];
+    let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+    let sleep = SleepNetwork::Transistor { w_over_l: 4.0 };
+    let base = VbsimOptions::default();
+    let rise = vbsim_delay_pair(&engine, &tr, Some(&rising_net), sleep, &base)
+        .unwrap()
+        .unwrap();
+    let fall = vbsim_delay_pair(&engine, &tr, None, sleep, &base)
+        .unwrap()
+        .unwrap();
+    // The rising stage-1 node is still *indirectly* slowed (its driver's
+    // input edge came from a discharging gate), so compare degradations.
+    assert!(
+        fall.degradation() > rise.degradation(),
+        "discharge {:.3} vs charge-path {:.3}",
+        fall.degradation(),
+        rise.degradation()
+    );
+}
+
+/// §4: two vectors with the same conventional-CMOS delay can have very
+/// different MTCMOS delay, and vector A (mass discharge) is the bad one.
+#[test]
+fn multiplier_vector_a_degrades_more_than_b() {
+    let m = ArrayMultiplier::paper();
+    let tech = Technology::l03();
+    let engine = Engine::new(&m.netlist, &tech);
+    let bits = 16;
+    let tr_a = Transition::new(
+        bits_lsb_first(multiplier_vector_a().from, bits),
+        bits_lsb_first(multiplier_vector_a().to, bits),
+    );
+    let tr_b = Transition::new(
+        bits_lsb_first(multiplier_vector_b().from, bits),
+        bits_lsb_first(multiplier_vector_b().to, bits),
+    );
+    let sleep = SleepNetwork::Transistor { w_over_l: 60.0 };
+    let base = VbsimOptions::default();
+    let a = vbsim_delay_pair(&engine, &tr_a, None, sleep, &base)
+        .unwrap()
+        .unwrap();
+    let b = vbsim_delay_pair(&engine, &tr_b, None, sleep, &base)
+        .unwrap()
+        .unwrap();
+    // Same CMOS delay (within 5%)...
+    assert!(
+        (a.cmos - b.cmos).abs() / a.cmos < 0.05,
+        "CMOS delays {:.3e} vs {:.3e}",
+        a.cmos,
+        b.cmos
+    );
+    // ...but a much larger MTCMOS penalty for A.
+    assert!(
+        a.degradation() > 1.5 * b.degradation(),
+        "A {:.3} vs B {:.3}",
+        a.degradation(),
+        b.degradation()
+    );
+}
+
+/// Table 1 shape: degradation decreasing in W/L, by large factors.
+#[test]
+fn multiplier_degradation_shrinks_with_size() {
+    let m = ArrayMultiplier::paper();
+    let tech = Technology::l03();
+    let engine = Engine::new(&m.netlist, &tech);
+    let bits = 16;
+    let tr = Transition::new(
+        bits_lsb_first(multiplier_vector_a().from, bits),
+        bits_lsb_first(multiplier_vector_a().to, bits),
+    );
+    let base = VbsimOptions::default();
+    let mut degradations = Vec::new();
+    for wl in [60.0, 170.0, 500.0] {
+        let p = vbsim_delay_pair(
+            &engine,
+            &tr,
+            None,
+            SleepNetwork::Transistor { w_over_l: wl },
+            &base,
+        )
+        .unwrap()
+        .unwrap();
+        degradations.push(p.degradation());
+    }
+    assert!(degradations[0] > degradations[1] && degradations[1] > degradations[2]);
+    // Rough Table 1 magnitudes: double-digit at 60, low single digit at 500.
+    assert!(degradations[0] > 0.06, "{degradations:?}");
+    assert!(degradations[2] < 0.05, "{degradations:?}");
+}
+
+/// §6.2: the exhaustive adder sweep is cheap for the switch-level
+/// simulator (the whole reason the tool exists).
+#[test]
+fn exhaustive_adder_sweep_is_fast_and_settles_correctly() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let engine = Engine::new(&add.netlist, &tech);
+    let opts = VbsimOptions::mtcmos(10.0);
+    let start = std::time::Instant::now();
+    for from in 0..64u64 {
+        for to in (0..64u64).step_by(7) {
+            let (a0, b0) = (from & 7, from >> 3);
+            let (a1, b1) = (to & 7, to >> 3);
+            let run = engine
+                .run(&add.input_values(a0, b0), &add.input_values(a1, b1), &opts)
+                .unwrap();
+            assert!(!run.stalled, "stalled on {from}->{to}");
+            // Spot-check the final state on the carry-out bit.
+            let expect = (a1 + b1) >> 3 == 1;
+            let v = run.waveform(add.cout).final_value().unwrap();
+            assert_eq!(v > tech.v_switch(), expect, "{a1}+{b1}");
+        }
+    }
+    // 64*10 vectors well under a second even in debug CI.
+    assert!(start.elapsed().as_secs() < 60);
+}
+
+/// The transistor budget of the paper's circuits.
+#[test]
+fn transistor_budgets_match_paper() {
+    assert_eq!(RippleAdder::paper().netlist.total_transistors(), 3 * 28);
+    let m = ArrayMultiplier::paper();
+    // 64 AND gates (6T) + 64 mirror FAs (28T).
+    assert_eq!(m.netlist.total_transistors(), 64 * 6 + 64 * 28);
+    assert_eq!(InverterTree::paper().netlist.total_transistors(), 26);
+}
