@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the two engines and their numeric
+//! Self-timed micro-benchmarks of the two engines and their numeric
 //! substrate. The headline §6.2 claim (switch-level ≫ SPICE) is measured
 //! end-to-end in `sweeps.rs`; these isolate the pieces.
+//!
+//! Run with `cargo bench -p mtk-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mtk_bench::timing::bench;
 use mtk_circuits::adder::RippleAdder;
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::tree::InverterTree;
@@ -13,49 +15,49 @@ use mtk_netlist::tech::Technology;
 use mtk_num::sparse::Triplets;
 use std::hint::black_box;
 
-fn bench_vx_solver(c: &mut Criterion) {
+fn bench_vx_solver() {
     let tech = Technology::l07();
     let betas = vec![tech.kp_n; 9];
     let r = tech.sleep_resistance(8.0);
-    c.bench_function("vx_solver/9_gates_body_effect", |b| {
-        b.iter(|| {
+    bench("vx_solver/9_gates_body_effect", 100, 1000, || {
+        black_box(
             solve_vx(
                 black_box(&tech),
                 black_box(r),
                 black_box(&betas),
                 VxOptions { body_effect: true },
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
 }
 
-fn bench_vbsim(c: &mut Criterion) {
+fn bench_vbsim() {
     let tech07 = Technology::l07();
     let tree = InverterTree::paper();
     let tree_engine = Engine::new(&tree.netlist, &tech07);
-    c.bench_function("vbsim/tree_vector", |b| {
-        b.iter(|| {
+    bench("vbsim/tree_vector", 20, 200, || {
+        black_box(
             tree_engine
                 .run(
                     black_box(&[Logic::Zero]),
                     black_box(&[Logic::One]),
                     &VbsimOptions::mtcmos(8.0),
                 )
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
 
     let add = RippleAdder::paper();
     let add_engine = Engine::new(&add.netlist, &tech07);
     let from = add.input_values(1, 0);
     let to = add.input_values(5, 6);
-    c.bench_function("vbsim/adder_vector", |b| {
-        b.iter(|| {
+    bench("vbsim/adder_vector", 20, 200, || {
+        black_box(
             add_engine
                 .run(black_box(&from), black_box(&to), &VbsimOptions::mtcmos(10.0))
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
 
     let tech03 = Technology::l03();
@@ -63,16 +65,16 @@ fn bench_vbsim(c: &mut Criterion) {
     let m_engine = Engine::new(&m.netlist, &tech03);
     let from = m.input_values(0, 0);
     let to = m.input_values(0xFF, 0x81);
-    c.bench_function("vbsim/multiplier_vector_a", |b| {
-        b.iter(|| {
+    bench("vbsim/multiplier_vector_a", 5, 50, || {
+        black_box(
             m_engine
                 .run(black_box(&from), black_box(&to), &VbsimOptions::mtcmos(170.0))
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
 }
 
-fn bench_sparse_lu(c: &mut Criterion) {
+fn bench_sparse_lu() {
     // A banded system shaped like an MNA matrix (~5 nnz per row).
     let n = 500;
     let mut t = Triplets::new(n);
@@ -88,13 +90,14 @@ fn bench_sparse_lu(c: &mut Criterion) {
         }
     }
     let b: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
-    c.bench_function("sparse_lu/factor_solve_500", |bch| {
-        bch.iter(|| {
-            let lu = black_box(&t).factor().unwrap();
-            lu.solve(black_box(&b)).unwrap()
-        })
+    bench("sparse_lu/factor_solve_500", 5, 50, || {
+        let lu = black_box(&t).factor().unwrap();
+        black_box(lu.solve(black_box(&b)).unwrap());
     });
 }
 
-criterion_group!(benches, bench_vx_solver, bench_vbsim, bench_sparse_lu);
-criterion_main!(benches);
+fn main() {
+    bench_vx_solver();
+    bench_vbsim();
+    bench_sparse_lu();
+}

@@ -2,8 +2,10 @@
 //! 4096-vector switch-level sweep and a single SPICE adder transient.
 //! The ratio of these two (×4096) reproduces the paper's 4.78 h vs
 //! 13.5 s comparison on modern hardware.
+//!
+//! Run with `cargo bench -p mtk-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mtk_bench::timing::bench;
 use mtk_bench::transition_of;
 use mtk_circuits::adder::RippleAdder;
 use mtk_circuits::vectors::exhaustive_transitions;
@@ -12,9 +14,8 @@ use mtk_core::vbsim::{Engine, VbsimOptions};
 use mtk_netlist::expand::SleepImpl;
 use mtk_netlist::tech::Technology;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_vbsim_exhaustive(c: &mut Criterion) {
+fn bench_vbsim_exhaustive() {
     let add = RippleAdder::paper();
     let tech = Technology::l07();
     let engine = Engine::new(&add.netlist, &tech);
@@ -22,45 +23,35 @@ fn bench_vbsim_exhaustive(c: &mut Criterion) {
         .into_iter()
         .map(|p| transition_of(p, 6))
         .collect();
-    let mut g = c.benchmark_group("sweep");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(12));
-    g.bench_function("vbsim_adder_4096_vectors", |b| {
-        b.iter(|| {
-            let opts = VbsimOptions::mtcmos(10.0);
-            for tr in &transitions {
-                black_box(engine.run(&tr.from, &tr.to, &opts).unwrap());
-            }
-        })
+    bench("sweep/vbsim_adder_4096_vectors", 1, 10, || {
+        let opts = VbsimOptions::mtcmos(10.0);
+        for tr in &transitions {
+            black_box(engine.run(&tr.from, &tr.to, &opts).unwrap());
+        }
     });
-    g.finish();
 }
 
-fn bench_spice_adder_vector(c: &mut Criterion) {
+fn bench_spice_adder_vector() {
     let add = RippleAdder::paper();
     let tech = Technology::l07();
     let tr = transition_of(mtk_circuits::vectors::VectorPair::new(0b000001, 0b110101), 6);
     let cfg = SpiceRunConfig::window(80e-9);
-    let mut g = c.benchmark_group("sweep");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(15));
-    g.bench_function("spice_adder_1_vector", |b| {
-        b.iter(|| {
-            black_box(
-                spice_transition(
-                    &add.netlist,
-                    &tech,
-                    &tr,
-                    None,
-                    SleepImpl::Transistor { w_over_l: 10.0 },
-                    &cfg,
-                )
-                .unwrap(),
+    bench("sweep/spice_adder_1_vector", 1, 10, || {
+        black_box(
+            spice_transition(
+                &add.netlist,
+                &tech,
+                &tr,
+                None,
+                SleepImpl::Transistor { w_over_l: 10.0 },
+                &cfg,
             )
-        })
+            .unwrap(),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_vbsim_exhaustive, bench_spice_adder_vector);
-criterion_main!(benches);
+fn main() {
+    bench_vbsim_exhaustive();
+    bench_spice_adder_vector();
+}

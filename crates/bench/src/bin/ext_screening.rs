@@ -9,49 +9,94 @@
 //!
 //! This binary quantifies the flow on the 3-bit adder: does the
 //! simulator's top-k contain SPICE's true worst vector, and how much
-//! SPICE time does screening save?
+//! SPICE time does screening save? A second phase screens a random
+//! sample of the 8×8 multiplier's 2³² transition space, where the
+//! parallel screener's speedup actually matters.
+//!
+//! Usage: `ext_screening [--threads N] [--mult-samples N]`
+//! (`--threads 0` = all cores; the ranking is bit-identical at any
+//! thread count).
 
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
 use mtk_circuits::adder::RippleAdder;
+use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::exhaustive_transitions;
 use mtk_core::hybrid::{spice_delay_pair, SpiceRunConfig};
-use mtk_core::sizing::screen_vectors;
-use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_core::par::WorkerStats;
+use mtk_core::sizing::{screen_vectors_par, Transition};
+use mtk_core::vbsim::VbsimOptions;
+use mtk_netlist::logic::bits_lsb_first;
 use mtk_netlist::tech::Technology;
+use mtk_num::prng::Xoshiro256pp;
 use std::time::Instant;
 
 const W_OVER_L: f64 = 10.0;
 const TOP_K: usize = 10;
+const MULT_SEED: u64 = 0xDAC97;
+
+fn flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_workers(workers: &[WorkerStats]) {
+    print_table(
+        "per-worker counters",
+        &["worker", "vectors", "breakpoints", "busy s"],
+        &workers
+            .iter()
+            .map(|w| {
+                vec![
+                    format!("{}", w.worker),
+                    format!("{}", w.vectors),
+                    format!("{}", w.breakpoints),
+                    format!("{:.3}", w.wall),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
 
 fn main() {
+    let threads = flag("--threads", 1);
+    let mult_samples = flag("--mult-samples", 512);
+
     let add = RippleAdder::paper();
     let tech = Technology::l07();
-    let engine = Engine::new(&add.netlist, &tech);
 
-    println!("EXT-SCREEN: vbsim screening of all 4096 adder vectors, SPICE verification of top {TOP_K}");
+    println!(
+        "EXT-SCREEN: vbsim screening of all 4096 adder vectors ({} thread(s)), \
+         SPICE verification of top {TOP_K}",
+        if threads == 0 { "all".to_string() } else { threads.to_string() }
+    );
 
     // Phase 1: screen everything with the switch-level simulator.
     let transitions: Vec<_> = exhaustive_transitions(6)
         .into_iter()
         .map(|p| transition_of(p, 6))
         .collect();
-    let t0 = Instant::now();
-    let screened = screen_vectors(
-        &engine,
+    let (screened, report) = screen_vectors_par(
+        &add.netlist,
+        &tech,
         &transitions,
         None,
         W_OVER_L,
         &VbsimOptions::default(),
+        threads,
     )
     .expect("screening");
-    let t_screen = t0.elapsed().as_secs_f64();
     println!(
-        "screened {} transitions ({} switch an output) in {:.2} s",
+        "screened {} transitions ({} switch an output) in {:.2} s wall",
         transitions.len(),
         screened.len(),
-        t_screen
+        report.wall
     );
+    print_workers(&report.workers);
 
     // Phase 2: SPICE on the simulator's top-k.
     let cfg = SpiceRunConfig::window(80e-9);
@@ -99,15 +144,67 @@ fn main() {
         sample.len(),
         pct(control_worst),
         t_control,
-        t_screen + t_verify
+        report.wall + t_verify
     );
     let full_estimate = t_control / sample.len() as f64 * transitions.len() as f64;
     println!(
         "exhaustive SPICE would need ≈{:.0} s; the hybrid flow used {:.0} s ({}x less SPICE \
          time) and found a worst case {} the blind sample's",
         full_estimate,
-        t_screen + t_verify,
-        (full_estimate / (t_screen + t_verify)) as u64,
+        report.wall + t_verify,
+        (full_estimate / (report.wall + t_verify)) as u64,
         if spice_worst >= control_worst { "at least as bad as" } else { "below" }
+    );
+
+    // Phase 4: 8×8 multiplier sample screening — the workload the
+    // parallel screener exists for. The 2³² transitions cannot be
+    // enumerated; screen a deterministic random sample (sample i comes
+    // from PRNG stream (seed, i), so the sample set — and therefore the
+    // ranking — is identical at any thread count).
+    let m = ArrayMultiplier::paper();
+    let tech03 = Technology::l03();
+    let mask = (1u64 << 16) - 1;
+    let mult_transitions: Vec<Transition> = (0..mult_samples as u64)
+        .map(|i| {
+            let mut rng = Xoshiro256pp::stream(MULT_SEED, i);
+            Transition::new(
+                bits_lsb_first(rng.next_u64() & mask, 16),
+                bits_lsb_first(rng.next_u64() & mask, 16),
+            )
+        })
+        .collect();
+    println!(
+        "\nEXT-SCREEN (multiplier): {} random transitions of the 8x8 multiplier @ sleep \
+         W/L=170, {} thread(s)",
+        mult_transitions.len(),
+        if threads == 0 { "all".to_string() } else { threads.to_string() }
+    );
+    let (mscreened, mreport) = screen_vectors_par(
+        &m.netlist,
+        &tech03,
+        &mult_transitions,
+        None,
+        170.0,
+        &VbsimOptions::default(),
+        threads,
+    )
+    .expect("multiplier screening");
+    let throughput = mult_transitions.len() as f64 / mreport.wall;
+    println!(
+        "screened {} transitions in {:.2} s wall ({:.1} vectors/s)",
+        mult_transitions.len(),
+        mreport.wall,
+        throughput
+    );
+    print_workers(&mreport.workers);
+    print_table(
+        "multiplier sample: worst 5 of the screened ranking",
+        &["rank", "degradation"],
+        &mscreened
+            .iter()
+            .take(5)
+            .enumerate()
+            .map(|(k, e)| vec![format!("{}", k + 1), pct(e.delays.degradation())])
+            .collect::<Vec<_>>(),
     );
 }

@@ -7,6 +7,10 @@
 //! and checks it (a) beats the paper's named vector A, or at least finds
 //! its regime, and (b) on the 3-bit adder, lands in the top percentile
 //! of the exhaustively known distribution at a fraction of the cost.
+//!
+//! Usage: `ext_search [--threads N]` (`--threads 0` = all cores; the
+//! search result is bit-identical at any thread count — only wall time
+//! changes).
 
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
@@ -19,7 +23,18 @@ use mtk_core::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use mtk_netlist::tech::Technology;
 use std::time::Instant;
 
+fn threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn main() {
+    let threads = threads_flag();
+
     // --- (a) 8x8 multiplier: search the 2^32 transition space. ---
     let m = ArrayMultiplier::paper();
     let tech = Technology::l03();
@@ -32,7 +47,11 @@ fn main() {
         .expect("run")
         .expect("switches");
 
-    println!("EXT-SEARCH (a): 8x8 multiplier @ sleep W/L=100 (2^32 possible transitions)");
+    println!(
+        "EXT-SEARCH (a): 8x8 multiplier @ sleep W/L=100 (2^32 possible transitions), \
+         {} thread(s)",
+        if threads == 0 { "all".to_string() } else { threads.to_string() }
+    );
     println!(
         "paper's hand-picked vector A: {} degradation",
         pct(a.degradation())
@@ -44,6 +63,7 @@ fn main() {
             random_samples: 400,
             restarts: 4,
             max_passes: 10,
+            threads,
             ..SearchOptions::at_sleep(sleep)
         },
     )
@@ -53,6 +73,22 @@ fn main() {
         pct(result.degradation),
         result.evaluations,
         t0.elapsed().as_secs_f64()
+    );
+    print_table(
+        "per-worker counters (random sampling + hill climbs)",
+        &["worker", "vectors", "breakpoints", "busy s"],
+        &result
+            .workers
+            .iter()
+            .map(|w| {
+                vec![
+                    format!("{}", w.worker),
+                    format!("{}", w.vectors),
+                    format!("{}", w.breakpoints),
+                    format!("{:.3}", w.wall),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     println!(
         "search vs vector A: {:.2}x — {}",
@@ -84,6 +120,7 @@ fn main() {
                 random_samples: samples,
                 restarts,
                 max_passes: 8,
+                threads,
                 ..SearchOptions::at_sleep(sleep)
             },
         )

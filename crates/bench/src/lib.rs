@@ -1,13 +1,15 @@
 //! Experiment harness for the paper reproduction.
 //!
 //! One binary per data-bearing table/figure of the paper (see the
-//! per-experiment index in `DESIGN.md`), plus Criterion benchmarks for
-//! the engine-speed claims. This library holds what the binaries share:
-//! plain-text table/series reporting and the statistics used to compare
-//! the two engines.
+//! per-experiment index in `DESIGN.md`), plus self-timed benchmarks for
+//! the engine-speed claims (run with
+//! `cargo bench -p mtk-bench --features bench-harness`). This library
+//! holds what the binaries share: plain-text table/series reporting, the
+//! statistics used to compare the two engines, and the timing harness.
 
 pub mod report;
 pub mod stats;
+pub mod timing;
 
 use mtk_circuits::vectors::VectorPair;
 use mtk_core::sizing::Transition;

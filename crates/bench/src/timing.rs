@@ -1,0 +1,65 @@
+//! Minimal self-timing harness for the `bench-harness` benchmark
+//! targets. Replaces the external Criterion dependency so the workspace
+//! builds with zero network access: each benchmark warms up, then runs a
+//! fixed number of timed samples and reports min / median / mean.
+
+use std::time::Instant;
+
+/// One measured benchmark: `samples` timed runs after `warmup` untimed
+/// ones. Prints a single aligned line with min/median/mean per
+/// iteration.
+pub fn bench<F: FnMut()>(name: &str, warmup: usize, samples: usize, mut f: F) {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+        human(min),
+        human(median),
+        human(mean),
+        times.len()
+    );
+}
+
+/// Formats a duration in seconds with an auto-selected unit.
+pub fn human(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units() {
+        assert!(human(5e-9).ends_with("ns"));
+        assert!(human(5e-6).ends_with("us"));
+        assert!(human(5e-3).ends_with("ms"));
+        assert!(human(5.0).ends_with('s'));
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut count = 0u32;
+        bench("noop", 1, 3, || count += 1);
+        assert_eq!(count, 4);
+    }
+}

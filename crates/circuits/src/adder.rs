@@ -164,7 +164,7 @@ pub fn full_adder(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mtk_num::prng::Xoshiro256pp;
 
     #[test]
     fn paper_adder_transistor_count() {
@@ -199,12 +199,15 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn wide_adder_matches_integer_addition(a in 0u64..256, b in 0u64..256) {
-            let add = RippleAdder::new(&AdderSpec { bits: 8, ..AdderSpec::default() }).unwrap();
+    #[test]
+    fn wide_adder_matches_integer_addition() {
+        let add = RippleAdder::new(&AdderSpec { bits: 8, ..AdderSpec::default() }).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(0xADD);
+        for _ in 0..64 {
+            let a = rng.next_below(256);
+            let b = rng.next_below(256);
             let v = add.netlist.evaluate(&add.input_values(a, b)).unwrap();
-            prop_assert_eq!(add.decode_sum(&v), Some(a + b));
+            assert_eq!(add.decode_sum(&v), Some(a + b), "{a}+{b}");
         }
     }
 

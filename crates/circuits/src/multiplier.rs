@@ -174,7 +174,7 @@ impl ArrayMultiplier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mtk_num::prng::Xoshiro256pp;
 
     #[test]
     fn four_by_four_is_exhaustively_correct() {
@@ -206,12 +206,15 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn eight_by_eight_matches_integer_multiplication(a in 0u64..256, b in 0u64..256) {
-            let m = ArrayMultiplier::paper();
+    #[test]
+    fn eight_by_eight_matches_integer_multiplication() {
+        let m = ArrayMultiplier::paper();
+        let mut rng = Xoshiro256pp::seed_from_u64(0x88);
+        for _ in 0..64 {
+            let a = rng.next_below(256);
+            let b = rng.next_below(256);
             let v = m.netlist.evaluate(&m.input_values(a, b)).unwrap();
-            prop_assert_eq!(m.decode_product(&v), Some(a * b));
+            assert_eq!(m.decode_product(&v), Some(a * b), "{a}*{b}");
         }
     }
 

@@ -160,7 +160,7 @@ pub fn nand_full_adder(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mtk_num::prng::Xoshiro256pp;
 
     #[test]
     fn three_bit_nand_adder_is_exhaustively_correct() {
@@ -181,12 +181,15 @@ mod tests {
         assert_eq!(add.netlist.total_transistors(), 27 * 4);
     }
 
-    proptest! {
-        #[test]
-        fn wide_nand_adder_matches_integer_addition(a in 0u64..64, b in 0u64..64) {
-            let add = NandRippleAdder::new(&NandAdderSpec { bits: 6, ..NandAdderSpec::default() }).unwrap();
+    #[test]
+    fn wide_nand_adder_matches_integer_addition() {
+        let add = NandRippleAdder::new(&NandAdderSpec { bits: 6, ..NandAdderSpec::default() }).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(0x4A);
+        for _ in 0..64 {
+            let a = rng.next_below(64);
+            let b = rng.next_below(64);
             let v = add.netlist.evaluate(&add.input_values(a, b)).unwrap();
-            prop_assert_eq!(add.decode_sum(&v), Some(a + b));
+            assert_eq!(add.decode_sum(&v), Some(a + b), "{a}+{b}");
         }
     }
 }

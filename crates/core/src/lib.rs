@@ -20,7 +20,10 @@
 //! * [`sta`] — a conventional vector-blind static timing analyzer, the
 //!   tool §4 argues is *not adequate* for MTCMOS, for comparison.
 //! * [`search`] — worst-vector search heuristics for circuits whose
-//!   transition space cannot be enumerated.
+//!   transition space cannot be enumerated, parallelized with
+//!   per-work-item PRNG streams so results are thread-count-invariant.
+//! * [`par`] — the std-only scoped-thread executor behind the parallel
+//!   screening and search phases, with per-worker cost counters.
 //! * [`energy`] — sleep-device switching-energy overhead, standby
 //!   leakage savings, and break-even idle time (§2.1's cost triangle).
 //! * [`modules`] — per-module sleep transistors and hierarchical sizing
@@ -58,6 +61,7 @@ pub mod energy;
 pub mod hybrid;
 pub mod model;
 pub mod modules;
+pub mod par;
 pub mod search;
 pub mod sizing;
 pub mod sta;

@@ -160,7 +160,7 @@ pub fn n_inverter_delay(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mtk_num::prng::Xoshiro256pp;
 
     fn square_law_tech() -> Technology {
         Technology {
@@ -246,13 +246,13 @@ mod tests {
         assert_eq!(constant_current_delay(&t, 50e-15, 0.0), f64::INFINITY);
     }
 
-    proptest! {
-        /// Vx is monotone increasing in R and in the number of gates.
-        #[test]
-        fn vx_monotone_in_r_and_n(
-            wl in 2.0f64..50.0,
-            n in 1usize..20,
-        ) {
+    /// Vx is monotone increasing in R and in the number of gates.
+    #[test]
+    fn vx_monotone_in_r_and_n() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x1101);
+        for _ in 0..64 {
+            let wl = rng.next_f64_in(2.0, 50.0);
+            let n = 1 + rng.next_index(19);
             let t = Technology::l07();
             let betas_n = vec![t.kp_n; n];
             let betas_n1 = vec![t.kp_n; n + 1];
@@ -262,22 +262,26 @@ mod tests {
             let v_r1 = solve_vx(&t, r1, &betas_n, o).unwrap();
             let v_r2 = solve_vx(&t, r2, &betas_n, o).unwrap();
             let v_n1 = solve_vx(&t, r1, &betas_n1, o).unwrap();
-            prop_assert!(v_r2 >= v_r1 - 1e-12);
-            prop_assert!(v_n1 >= v_r1 - 1e-12);
+            assert!(v_r2 >= v_r1 - 1e-12, "wl={wl} n={n}");
+            assert!(v_n1 >= v_r1 - 1e-12, "wl={wl} n={n}");
             // Physical bound: 0 <= vx < vdd.
-            prop_assert!(v_r1 >= 0.0 && v_r1 < t.vdd);
+            assert!(v_r1 >= 0.0 && v_r1 < t.vdd);
         }
+    }
 
-        /// Per-gate delay is monotone non-decreasing as sleep W/L shrinks.
-        #[test]
-        fn delay_monotone_in_sleep_size(n in 1usize..15) {
+    /// Per-gate delay is monotone non-decreasing as sleep W/L shrinks.
+    #[test]
+    fn delay_monotone_in_sleep_size() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x1102);
+        for _ in 0..32 {
+            let n = 1 + rng.next_index(14);
             let t = Technology::l07();
             let o = VxOptions { body_effect: true };
             let mut last = 0.0f64;
             for wl in [100.0, 50.0, 20.0, 10.0, 5.0, 2.0] {
                 let r = t.sleep_resistance(wl);
                 let d = n_inverter_delay(&t, r, n, t.kp_n, 50e-15, o).unwrap();
-                prop_assert!(d >= last - 1e-18, "delay not monotone at wl={wl}");
+                assert!(d >= last - 1e-18, "delay not monotone at wl={wl} n={n}");
                 last = d;
             }
         }

@@ -1,0 +1,247 @@
+//! A small std-only parallel executor for the screening/search hot path.
+//!
+//! The paper's workflow is embarrassingly parallel: thousands of input
+//! vectors, each simulated independently by the switch-level simulator.
+//! This module shards an indexed work list across scoped worker threads.
+//! Work items are handed out dynamically (an atomic cursor over fixed
+//! chunks), but results are keyed by item index, so the *output* is
+//! independent of the schedule: any randomness a work item needs must
+//! come from a per-index [`mtk_num::prng::Xoshiro256pp::stream`], never
+//! from a worker-local generator — that is what makes screening and
+//! search bit-identical at any thread count.
+//!
+//! Each worker also keeps observability counters (vectors simulated,
+//! vbsim breakpoints solved, busy wall time) so binaries can report the
+//! realised speedup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Observability counters for one worker thread. These describe the
+/// *schedule* (which is nondeterministic under dynamic sharding) — the
+/// computed results never depend on them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index, `0..threads`.
+    pub worker: usize,
+    /// Input-vector transitions simulated (CMOS + MTCMOS pairs count 1).
+    pub vectors: u64,
+    /// Switch-level breakpoints solved across all runs.
+    pub breakpoints: u64,
+    /// Seconds this worker spent busy.
+    pub wall: f64,
+}
+
+impl WorkerStats {
+    /// Merges another worker's counters into this one (used when a
+    /// multi-phase computation reports one line per worker).
+    pub fn absorb(&mut self, other: &WorkerStats) {
+        self.vectors += other.vectors;
+        self.breakpoints += other.breakpoints;
+        self.wall += other.wall;
+    }
+}
+
+/// Resolves a `threads` knob: `0` means "all available cores".
+pub fn num_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items`, sharded across `threads` scoped workers, with a
+/// per-worker context built once by `init` (e.g. a worker-owned
+/// [`crate::vbsim::Engine`] over a shared netlist). Results are returned
+/// in item order; `stats` reports one entry per worker.
+///
+/// `chunk` is the number of consecutive indices claimed per cursor
+/// increment: 1 for heavy items (one vbsim run each), larger for cheap
+/// ones.
+pub fn parallel_map_with<C, T, R, Init, F>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    init: Init,
+    f: F,
+) -> (Vec<R>, Vec<WorkerStats>)
+where
+    T: Sync,
+    R: Send,
+    Init: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T, &mut WorkerStats) -> R + Sync,
+{
+    let threads = num_threads(threads).min(items.len().max(1));
+    let chunk = chunk.max(1);
+
+    if threads <= 1 {
+        // Inline fast path: no thread spawn, same per-index semantics.
+        let t0 = Instant::now();
+        let mut ctx = init();
+        let mut stats = WorkerStats::default();
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut ctx, i, item, &mut stats))
+            .collect();
+        stats.wall = t0.elapsed().as_secs_f64();
+        return (out, vec![stats]);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let mut all_stats = vec![WorkerStats::default(); threads];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let t0 = Instant::now();
+                let mut ctx = init();
+                let mut stats = WorkerStats {
+                    worker,
+                    ..WorkerStats::default()
+                };
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        let idx = start + i;
+                        local.push((idx, f(&mut ctx, idx, item, &mut stats)));
+                    }
+                }
+                stats.wall = t0.elapsed().as_secs_f64();
+                (local, stats)
+            }));
+        }
+        for handle in handles {
+            let (local, stats) = handle.join().expect("worker thread panicked");
+            let worker = stats.worker;
+            all_stats[worker] = stats;
+            for (idx, r) in local {
+                results[idx] = Some(r);
+            }
+        }
+    });
+
+    let out = results
+        .into_iter()
+        .map(|r| r.expect("executor covered every index"))
+        .collect();
+    (out, all_stats)
+}
+
+/// [`parallel_map_with`] without a per-worker context.
+pub fn parallel_map<T, R, F>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<R>, Vec<WorkerStats>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut WorkerStats) -> R + Sync,
+{
+    parallel_map_with(threads, chunk, items, || (), |(), i, item, s| f(i, item, s))
+}
+
+/// Merges per-phase worker stats into one line per worker index (phases
+/// may use different thread counts; the result is as long as the widest
+/// phase).
+pub fn merge_stats(phases: &[Vec<WorkerStats>]) -> Vec<WorkerStats> {
+    let width = phases.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut out: Vec<WorkerStats> = (0..width)
+        .map(|worker| WorkerStats {
+            worker,
+            ..WorkerStats::default()
+        })
+        .collect();
+    for phase in phases {
+        for s in phase {
+            out[s.worker].absorb(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_index_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let (got, stats) = parallel_map(threads, 4, &items, |_, &x, s| {
+                s.vectors += 1;
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+            let total: u64 = stats.iter().map(|s| s.vectors).sum();
+            assert_eq!(total, items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn per_worker_context_is_reused() {
+        // Count context constructions: one per worker, not per item.
+        let builds = AtomicUsize::new(0);
+        let items = vec![(); 64];
+        let (got, stats) = parallel_map_with(
+            2,
+            1,
+            &items,
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |ctx, i, (), _| {
+                *ctx += 1;
+                i
+            },
+        );
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        assert!(builds.load(Ordering::Relaxed) <= stats.len());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let (got, stats) = parallel_map(4, 1, &items, |_, &x, _| x);
+        assert!(got.is_empty());
+        assert_eq!(stats.len(), 1, "clamped to one (inline) worker");
+    }
+
+    #[test]
+    fn num_threads_resolves_zero_to_available() {
+        assert!(num_threads(0) >= 1);
+        assert_eq!(num_threads(3), 3);
+    }
+
+    #[test]
+    fn merge_stats_sums_by_worker() {
+        let a = vec![
+            WorkerStats { worker: 0, vectors: 2, breakpoints: 10, wall: 0.5 },
+            WorkerStats { worker: 1, vectors: 3, breakpoints: 20, wall: 0.6 },
+        ];
+        let b = vec![WorkerStats { worker: 0, vectors: 5, breakpoints: 1, wall: 0.1 }];
+        let merged = merge_stats(&[a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].vectors, 7);
+        assert_eq!(merged[0].breakpoints, 11);
+        assert_eq!(merged[1].vectors, 3);
+    }
+}

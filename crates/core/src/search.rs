@@ -7,14 +7,25 @@
 //! multiplier, so the sizing flow needs a search heuristic: random
 //! sampling to seed, then bit-flip hill climbing on the transition
 //! endpoints, with restarts.
+//!
+//! Both phases are embarrassingly parallel and run on the
+//! [`crate::par`] executor. Determinism is independent of the thread
+//! count: every random sample `i` draws from PRNG stream `(seed, i)` and
+//! every restart `r` from stream `(seed, R | r)`, so the set of evaluated
+//! transitions — and therefore the result — is a pure function of
+//! [`SearchOptions`], no matter how the work is sharded.
 
-use crate::sizing::{vbsim_delay_pair, Transition};
+use crate::par::{merge_stats, parallel_map, WorkerStats};
+use crate::sizing::{vbsim_delay_pair_stats, Transition};
 use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use crate::CoreError;
 use mtk_netlist::logic::bits_lsb_first;
 use mtk_netlist::netlist::NetId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtk_num::prng::Xoshiro256pp;
+
+/// Stream-id namespace for restart points (disjoint from the sample
+/// indices, which start at 0).
+const RESTART_STREAM: u64 = 1 << 62;
 
 /// Options for [`search_worst_vector`].
 #[derive(Debug, Clone, PartialEq)]
@@ -23,14 +34,18 @@ pub struct SearchOptions {
     pub sleep: SleepNetwork,
     /// Random seeds to draw before climbing.
     pub random_samples: usize,
-    /// Hill-climbing restarts (each from the best-so-far or a fresh
-    /// random point).
+    /// Hill-climbing restarts (restart 0 climbs from the best random
+    /// sample, the rest from fresh random points).
     pub restarts: usize,
     /// Maximum climbing passes per restart (each pass tries every
     /// single-bit flip of both endpoints).
     pub max_passes: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the sampling and restart phases
+    /// (`0` = all available cores, `1` = run inline). The result is
+    /// identical at any setting.
+    pub threads: usize,
     /// Probes for the delay measurement (`None` = primary outputs).
     pub probes: Option<Vec<NetId>>,
     /// Base simulator options.
@@ -46,6 +61,7 @@ impl SearchOptions {
             restarts: 3,
             max_passes: 8,
             seed: 0xDAC97,
+            threads: 1,
             probes: None,
             base: VbsimOptions::default(),
         }
@@ -61,7 +77,14 @@ pub struct SearchResult {
     pub degradation: f64,
     /// Simulator runs spent.
     pub evaluations: usize,
+    /// Per-worker execution counters (vectors, breakpoints, busy wall
+    /// time), merged over both phases. Reporting only — the fields above
+    /// never depend on the schedule.
+    pub workers: Vec<WorkerStats>,
 }
+
+/// A candidate transition as packed endpoint words plus its score.
+type Candidate = (u64, u64, f64);
 
 /// Searches for the transition with the largest MTCMOS degradation.
 ///
@@ -79,46 +102,55 @@ pub fn search_worst_vector(
             "circuit has no primary inputs".to_string(),
         ));
     }
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut evals = 0usize;
     let probes = opts.probes.as_deref();
-
-    let score = |from: u64, to: u64, evals: &mut usize| -> Result<f64, CoreError> {
-        *evals += 1;
-        let tr = Transition::new(bits_lsb_first(from, n_bits), bits_lsb_first(to, n_bits));
-        Ok(
-            match vbsim_delay_pair(engine, &tr, probes, opts.sleep, &opts.base)? {
-                Some(p) => p.degradation(),
-                None => f64::NEG_INFINITY, // doesn't exercise the probes
-            },
-        )
-    };
-
     let mask = if n_bits >= 64 {
         u64::MAX
     } else {
         (1u64 << n_bits) - 1
     };
 
-    // Phase 1: random sampling.
-    let mut best = (0u64, 0u64, f64::NEG_INFINITY);
-    for _ in 0..opts.random_samples.max(1) {
-        let from = rng.gen::<u64>() & mask;
-        let to = rng.gen::<u64>() & mask;
-        let s = score(from, to, &mut evals)?;
-        if s > best.2 {
-            best = (from, to, s);
+    // One simulator evaluation. Counts into the calling worker's stats;
+    // the returned score is schedule-independent.
+    let score = |from: u64, to: u64, stats: &mut WorkerStats| -> Result<f64, CoreError> {
+        stats.vectors += 1;
+        let tr = Transition::new(bits_lsb_first(from, n_bits), bits_lsb_first(to, n_bits));
+        let (pair, breakpoints) =
+            vbsim_delay_pair_stats(engine, &tr, probes, opts.sleep, &opts.base)?;
+        stats.breakpoints += breakpoints;
+        Ok(match pair {
+            Some(p) => p.degradation(),
+            None => f64::NEG_INFINITY, // doesn't exercise the probes
+        })
+    };
+
+    // Phase 1: random sampling. Sample i draws from stream (seed, i).
+    let sample_ids: Vec<u64> = (0..opts.random_samples.max(1) as u64).collect();
+    let (samples, sample_stats) = parallel_map(opts.threads, 8, &sample_ids, |_, &i, stats| {
+        let mut rng = Xoshiro256pp::stream(opts.seed, i);
+        let from = rng.next_u64() & mask;
+        let to = rng.next_u64() & mask;
+        score(from, to, stats).map(|s| (from, to, s))
+    });
+    let mut best: Candidate = (0, 0, f64::NEG_INFINITY);
+    for cand in samples {
+        let cand = cand?;
+        if cand.2 > best.2 {
+            best = cand;
         }
     }
 
-    // Phase 2: hill climbing with restarts.
-    for restart in 0..opts.restarts {
-        let (mut from, mut to, mut cur) = if restart == 0 || best.2 == f64::NEG_INFINITY {
+    // Phase 2: hill climbing with restarts. Each restart is an
+    // independent deterministic climb; restart 0 starts from the phase-1
+    // best, the rest from fresh random points on their own streams.
+    let restart_ids: Vec<u64> = (0..opts.restarts as u64).collect();
+    let (climbs, climb_stats) = parallel_map(opts.threads, 1, &restart_ids, |_, &r, stats| {
+        let (mut from, mut to, mut cur) = if r == 0 || best.2 == f64::NEG_INFINITY {
             best
         } else {
-            let f = rng.gen::<u64>() & mask;
-            let t = rng.gen::<u64>() & mask;
-            let s = score(f, t, &mut evals)?;
+            let mut rng = Xoshiro256pp::stream(opts.seed, RESTART_STREAM | r);
+            let f = rng.next_u64() & mask;
+            let t = rng.next_u64() & mask;
+            let s = score(f, t, stats)?;
             (f, t, s)
         };
         for _ in 0..opts.max_passes {
@@ -130,7 +162,7 @@ pub fn search_worst_vector(
                     } else {
                         (from, to ^ (1 << bit))
                     };
-                    let s = score(nf, nt, &mut evals)?;
+                    let s = score(nf, nt, stats)?;
                     if s > cur {
                         from = nf;
                         to = nt;
@@ -143,18 +175,25 @@ pub fn search_worst_vector(
                 break;
             }
         }
-        if cur > best.2 {
-            best = (from, to, cur);
+        Ok::<Candidate, CoreError>((from, to, cur))
+    });
+    for cand in climbs {
+        let cand = cand?;
+        if cand.2 > best.2 {
+            best = cand;
         }
     }
 
+    let workers = merge_stats(&[sample_stats, climb_stats]);
+    let evaluations = workers.iter().map(|w| w.vectors).sum::<u64>() as usize;
     Ok(SearchResult {
         transition: Transition::new(
             bits_lsb_first(best.0, n_bits),
             bits_lsb_first(best.1, n_bits),
         ),
         degradation: best.2,
-        evaluations: evals,
+        evaluations,
+        workers,
     })
 }
 
@@ -230,6 +269,55 @@ mod tests {
         let b = search_worst_vector(&engine, &opts).unwrap();
         assert_eq!(a.degradation, b.degradation);
         assert_eq!(a.transition, b.transition);
+    }
+
+    #[test]
+    fn search_result_is_identical_across_thread_counts() {
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let base = SearchOptions {
+            random_samples: 24,
+            restarts: 2,
+            max_passes: 2,
+            ..SearchOptions::at_sleep(SleepNetwork::Transistor { w_over_l: 10.0 })
+        };
+        let serial = search_worst_vector(&engine, &base).unwrap();
+        for threads in [2usize, 5] {
+            let par = search_worst_vector(
+                &engine,
+                &SearchOptions {
+                    threads,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.transition, serial.transition, "threads={threads}");
+            assert_eq!(par.degradation, serial.degradation, "threads={threads}");
+            assert_eq!(par.evaluations, serial.evaluations, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_counters_account_for_every_evaluation() {
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let result = search_worst_vector(
+            &engine,
+            &SearchOptions {
+                random_samples: 16,
+                restarts: 1,
+                max_passes: 1,
+                threads: 2,
+                ..SearchOptions::at_sleep(SleepNetwork::Transistor { w_over_l: 10.0 })
+            },
+        )
+        .unwrap();
+        let vectors: u64 = result.workers.iter().map(|w| w.vectors).sum();
+        assert_eq!(vectors as usize, result.evaluations);
+        let breakpoints: u64 = result.workers.iter().map(|w| w.breakpoints).sum();
+        assert!(breakpoints > 0, "adder runs must solve breakpoints");
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! widths, and sizing from the worst-case peak current (§4: "almost three
 //! times larger than necessary").
 
+use crate::par::{parallel_map_with, WorkerStats};
 use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use crate::CoreError;
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{NetId, Netlist};
 use mtk_netlist::tech::Technology;
+use std::time::Instant;
 
 /// One input-vector transition, as primary-input logic levels.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +69,23 @@ pub fn vbsim_delay_pair(
     sleep: SleepNetwork,
     base: &VbsimOptions,
 ) -> Result<Option<DelayPair>, CoreError> {
+    vbsim_delay_pair_stats(engine, tr, probes, sleep, base).map(|(pair, _)| pair)
+}
+
+/// [`vbsim_delay_pair`] plus the number of breakpoints the two runs
+/// solved — the cost counter the parallel screening/search engines report
+/// per worker.
+///
+/// # Errors
+///
+/// As [`vbsim_delay_pair`].
+pub fn vbsim_delay_pair_stats(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sleep: SleepNetwork,
+    base: &VbsimOptions,
+) -> Result<(Option<DelayPair>, u64), CoreError> {
     let outputs: Vec<NetId> = match probes {
         Some(p) => p.to_vec(),
         None => engine.netlist().primary_outputs().to_vec(),
@@ -76,23 +95,28 @@ pub fn vbsim_delay_pair(
         ..base.clone()
     };
     let run_cmos = engine.run(&tr.from, &tr.to, &cmos_opts)?;
+    let mut breakpoints = run_cmos.breakpoints as u64;
     let Some(d_cmos) = run_cmos.delay_over(&outputs) else {
-        return Ok(None);
+        return Ok((None, breakpoints));
     };
     let mt_opts = VbsimOptions {
         sleep,
         ..base.clone()
     };
     let run_mt = engine.run(&tr.from, &tr.to, &mt_opts)?;
+    breakpoints += run_mt.breakpoints as u64;
     let d_mt = if run_mt.stalled || run_mt.truncated {
         f64::INFINITY
     } else {
         run_mt.delay_over(&outputs).unwrap_or(d_cmos)
     };
-    Ok(Some(DelayPair {
-        cmos: d_cmos,
-        mtcmos: d_mt,
-    }))
+    Ok((
+        Some(DelayPair {
+            cmos: d_cmos,
+            mtcmos: d_mt,
+        }),
+        breakpoints,
+    ))
 }
 
 /// One point of a sizing sweep.
@@ -170,13 +194,86 @@ pub fn screen_vectors(
             out.push(ScreenedVector { index, delays });
         }
     }
-    out.sort_by(|a, b| {
+    sort_worst_first(&mut out);
+    Ok(out)
+}
+
+/// Worst-degradation-first ordering shared by the serial and parallel
+/// screeners. The sort is stable, so ties keep transition-index order and
+/// the result is identical however the measurements were scheduled.
+fn sort_worst_first(screened: &mut [ScreenedVector]) {
+    screened.sort_by(|a, b| {
         b.delays
             .degradation()
             .partial_cmp(&a.delays.degradation())
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    Ok(out)
+}
+
+/// Execution report of one [`screen_vectors_par`] call.
+#[derive(Debug, Clone)]
+pub struct ScreenReport {
+    /// Per-worker counters (vectors simulated, breakpoints solved, busy
+    /// seconds).
+    pub workers: Vec<WorkerStats>,
+    /// End-to-end wall time of the screening phase, seconds.
+    pub wall: f64,
+}
+
+/// Parallel [`screen_vectors`]: shards the transitions across worker
+/// threads, each owning its own [`Engine`] over the shared
+/// netlist/technology (engine setup is paid once per worker, not per
+/// vector). The returned ranking is bit-identical to the serial screener
+/// at any thread count.
+///
+/// # Errors
+///
+/// Propagates simulator errors (the error of the lowest-indexed failing
+/// transition, deterministically).
+pub fn screen_vectors_par(
+    netlist: &Netlist,
+    tech: &Technology,
+    transitions: &[Transition],
+    probes: Option<&[NetId]>,
+    w_over_l: f64,
+    base: &VbsimOptions,
+    threads: usize,
+) -> Result<(Vec<ScreenedVector>, ScreenReport), CoreError> {
+    let t0 = Instant::now();
+    let (results, workers) = parallel_map_with(
+        threads,
+        8,
+        transitions,
+        || Engine::new(netlist, tech),
+        |engine, index, tr, stats| {
+            stats.vectors += 1;
+            let (pair, breakpoints) = vbsim_delay_pair_stats(
+                engine,
+                tr,
+                probes,
+                SleepNetwork::Transistor { w_over_l },
+                base,
+            )?;
+            stats.breakpoints += breakpoints;
+            Ok::<Option<ScreenedVector>, CoreError>(
+                pair.map(|delays| ScreenedVector { index, delays }),
+            )
+        },
+    );
+    let mut out = Vec::new();
+    for r in results {
+        if let Some(sv) = r? {
+            out.push(sv);
+        }
+    }
+    sort_worst_first(&mut out);
+    Ok((
+        out,
+        ScreenReport {
+            workers,
+            wall: t0.elapsed().as_secs_f64(),
+        },
+    ))
 }
 
 /// Binary-searches the smallest sleep W/L whose worst degradation over
@@ -345,6 +442,42 @@ mod tests {
         let wl = peak_current_w_over_l(&tech, 1.174e-3, 0.05);
         let r = 0.05 / 1.174e-3;
         assert!((wl - 1.0 / (tech.kp_n * 0.3 * r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_screen_matches_serial_at_any_thread_count() {
+        use mtk_circuits::adder::RippleAdder;
+        use mtk_circuits::vectors::exhaustive_transitions;
+        use mtk_netlist::logic::bits_lsb_first;
+
+        let add = RippleAdder::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&add.netlist, &tech);
+        // A slice of the exhaustive space keeps the test fast while still
+        // exercising chunked sharding.
+        let transitions: Vec<Transition> = exhaustive_transitions(6)
+            .into_iter()
+            .step_by(17)
+            .map(|p| Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6)))
+            .collect();
+        let base = VbsimOptions::default();
+        let serial = screen_vectors(&engine, &transitions, None, 10.0, &base).unwrap();
+        for threads in [1usize, 3, 8] {
+            let (par, report) = screen_vectors_par(
+                &add.netlist,
+                &tech,
+                &transitions,
+                None,
+                10.0,
+                &base,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            let vectors: u64 = report.workers.iter().map(|w| w.vectors).sum();
+            assert_eq!(vectors as usize, transitions.len());
+            assert!(report.workers.iter().map(|w| w.breakpoints).sum::<u64>() > 0);
+        }
     }
 
     #[test]

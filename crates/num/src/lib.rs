@@ -16,6 +16,9 @@
 //! * [`waveform`] — piecewise-linear waveforms with threshold-crossing
 //!   queries and propagation-delay measurement, the common currency between
 //!   the SPICE engine and the switch-level simulator.
+//! * [`prng`] — vendored SplitMix64 / xoshiro256++ generators with
+//!   splittable streams, so the workspace needs no external `rand`
+//!   dependency and parallel vector searches stay deterministic.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 
 pub mod dense;
 pub mod ordering;
+pub mod prng;
 pub mod roots;
 pub mod sparse;
 pub mod waveform;

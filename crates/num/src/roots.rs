@@ -258,7 +258,7 @@ fn check_interval(lo: f64, hi: f64) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prng::Xoshiro256pp;
 
     #[test]
     fn bisect_finds_sqrt2() {
@@ -322,28 +322,35 @@ mod tests {
         ));
     }
 
-    proptest! {
-        /// All three solvers agree on random monotone cubics.
-        #[test]
-        fn solvers_agree_on_monotone_cubic(a in 0.1f64..5.0, shift in -2.0f64..2.0) {
+    /// All three solvers agree on random monotone cubics.
+    #[test]
+    fn solvers_agree_on_monotone_cubic() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x0001);
+        for _ in 0..64 {
+            let a = rng.next_f64_in(0.1, 5.0);
+            let shift = rng.next_f64_in(-2.0, 2.0);
             let f = move |x: f64| a * (x - shift).powi(3) + (x - shift);
             let df = move |x: f64| 3.0 * a * (x - shift).powi(2) + 1.0;
             let opts = RootOptions::default();
             let r1 = bisect(f, -10.0, 10.0, opts).unwrap();
             let r2 = newton_bracketed(f, df, -10.0, 10.0, opts).unwrap();
             let r3 = brent(f, -10.0, 10.0, opts).unwrap();
-            prop_assert!((r1 - shift).abs() < 1e-6);
-            prop_assert!((r2 - shift).abs() < 1e-6);
-            prop_assert!((r3 - shift).abs() < 1e-6);
+            assert!((r1 - shift).abs() < 1e-6, "a={a} shift={shift}");
+            assert!((r2 - shift).abs() < 1e-6, "a={a} shift={shift}");
+            assert!((r3 - shift).abs() < 1e-6, "a={a} shift={shift}");
         }
+    }
 
-        /// Roots returned by bisection always satisfy |f(root)| small or
-        /// the interval tolerance.
-        #[test]
-        fn bisect_residual_bounded(c in -5.0f64..5.0) {
+    /// Roots returned by bisection always satisfy |f(root)| small or
+    /// the interval tolerance.
+    #[test]
+    fn bisect_residual_bounded() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x0002);
+        for _ in 0..64 {
+            let c = rng.next_f64_in(-5.0, 5.0);
             let f = move |x: f64| x - c;
             let r = bisect(f, -10.0, 10.0, RootOptions::default()).unwrap();
-            prop_assert!((r - c).abs() < 1e-9);
+            assert!((r - c).abs() < 1e-9, "c={c}");
         }
     }
 }

@@ -393,7 +393,22 @@ impl SparseLu {
 mod tests {
     use super::*;
     use crate::dense::DenseMatrix;
-    use proptest::prelude::*;
+    use crate::prng::Xoshiro256pp;
+
+    /// Random `(row, col, value)` entries for the randomized solver
+    /// checks, mirroring the old property-test strategy.
+    fn random_entries(rng: &mut Xoshiro256pp, dim: usize, max_len: usize) -> Vec<(usize, usize, f64)> {
+        let len = 1 + rng.next_index(max_len);
+        (0..len)
+            .map(|_| {
+                (
+                    rng.next_index(dim),
+                    rng.next_index(dim),
+                    rng.next_f64_in(-2.0, 2.0),
+                )
+            })
+            .collect()
+    }
 
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
@@ -517,15 +532,14 @@ mod tests {
         assert!(t.mul_vec(&[1.0, 2.0, 3.0]).is_err());
     }
 
-    proptest! {
-        /// Sparse LU must agree with dense LU on random diagonally
-        /// dominant systems (which are always nonsingular).
-        #[test]
-        fn sparse_matches_dense(
-            n in 2usize..12,
-            seed_entries in prop::collection::vec((0usize..12, 0usize..12, -2.0f64..2.0), 1..60),
-            rhs_seed in prop::collection::vec(-10.0f64..10.0, 12),
-        ) {
+    /// Sparse LU must agree with dense LU on random diagonally
+    /// dominant systems (which are always nonsingular).
+    #[test]
+    fn sparse_matches_dense() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x5A01);
+        for _ in 0..64 {
+            let n = 2 + rng.next_index(10);
+            let seed_entries = random_entries(&mut rng, 12, 59);
             let mut t = Triplets::new(n);
             let mut dense = DenseMatrix::zeros(n);
             let mut row_abs = vec![0.0f64; n];
@@ -542,21 +556,22 @@ mod tests {
                 t.add(i, i, d);
                 dense.add(i, i, d);
             }
-            let b = &rhs_seed[..n];
-            let xs = t.factor().unwrap().solve(b).unwrap();
-            let xd = dense.factor().unwrap().solve(b).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64_in(-10.0, 10.0)).collect();
+            let xs = t.factor().unwrap().solve(&b).unwrap();
+            let xd = dense.factor().unwrap().solve(&b).unwrap();
             for (a, bb) in xs.iter().zip(&xd) {
-                prop_assert!((a - bb).abs() < 1e-8, "{xs:?} vs {xd:?}");
+                assert!((a - bb).abs() < 1e-8, "{xs:?} vs {xd:?}");
             }
         }
+    }
 
-        /// A x should reproduce b for the solved x (residual check).
-        #[test]
-        fn solve_residual_is_small(
-            n in 2usize..10,
-            seed_entries in prop::collection::vec((0usize..10, 0usize..10, -2.0f64..2.0), 1..40),
-            rhs_seed in prop::collection::vec(-5.0f64..5.0, 10),
-        ) {
+    /// A x should reproduce b for the solved x (residual check).
+    #[test]
+    fn solve_residual_is_small() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x5A02);
+        for _ in 0..64 {
+            let n = 2 + rng.next_index(8);
+            let seed_entries = random_entries(&mut rng, 10, 39);
             let mut t = Triplets::new(n);
             let mut row_abs = vec![0.0f64; n];
             for &(r, c, v) in &seed_entries {
@@ -569,11 +584,11 @@ mod tests {
             for (i, &ra) in row_abs.iter().enumerate().take(n) {
                 t.add(i, i, ra + 1.0);
             }
-            let b = &rhs_seed[..n];
-            let x = t.factor().unwrap().solve(b).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64_in(-5.0, 5.0)).collect();
+            let x = t.factor().unwrap().solve(&b).unwrap();
             let ax = t.mul_vec(&x).unwrap();
-            for (a, bb) in ax.iter().zip(b) {
-                prop_assert!((a - bb).abs() < 1e-8);
+            for (a, bb) in ax.iter().zip(&b) {
+                assert!((a - bb).abs() < 1e-8);
             }
         }
     }

@@ -311,7 +311,16 @@ pub fn propagation_delay(input: &Pwl, output: &Pwl, v_ref: f64, t_from: f64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prng::Xoshiro256pp;
+
+    /// A waveform with points at t = 0, 1, 2, … and random values in
+    /// `[lo, hi)` — the old property-test strategy.
+    fn random_wave(rng: &mut Xoshiro256pp, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Pwl {
+        let len = min_len + rng.next_index(max_len - min_len);
+        (0..len)
+            .map(|i| (i as f64, rng.next_f64_in(lo, hi)))
+            .collect()
+    }
 
     #[test]
     fn constant_holds_everywhere() {
@@ -448,40 +457,41 @@ mod tests {
         assert!((c.time - 2.5).abs() < 1e-12);
     }
 
-    proptest! {
-        /// value_at is within [min, max] of the points for any query time.
-        #[test]
-        fn value_within_envelope(
-            vals in prop::collection::vec(-5.0f64..5.0, 2..20),
-            q in -10.0f64..30.0,
-        ) {
-            let w: Pwl = vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    /// value_at is within [min, max] of the points for any query time.
+    #[test]
+    fn value_within_envelope() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xBEE1);
+        for _ in 0..64 {
+            let w = random_wave(&mut rng, -5.0, 5.0, 2, 20);
+            let q = rng.next_f64_in(-10.0, 30.0);
             let v = w.value_at(q);
-            prop_assert!(v >= w.min_value().unwrap() - 1e-12);
-            prop_assert!(v <= w.max_value().unwrap() + 1e-12);
+            assert!(v >= w.min_value().unwrap() - 1e-12);
+            assert!(v <= w.max_value().unwrap() + 1e-12);
         }
+    }
 
-        /// Crossing times are non-decreasing and alternate direction.
-        #[test]
-        fn crossings_ordered_and_alternating(
-            vals in prop::collection::vec(-1.0f64..1.0, 2..30),
-        ) {
-            let w: Pwl = vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    /// Crossing times are non-decreasing and alternate direction.
+    #[test]
+    fn crossings_ordered_and_alternating() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xBEE2);
+        for _ in 0..64 {
+            let w = random_wave(&mut rng, -1.0, 1.0, 2, 30);
             let cs = w.crossings(0.05);
             for pair in cs.windows(2) {
-                prop_assert!(pair[0].time <= pair[1].time);
-                prop_assert_ne!(pair[0].rising, pair[1].rising);
+                assert!(pair[0].time <= pair[1].time);
+                assert_ne!(pair[0].rising, pair[1].rising);
             }
         }
+    }
 
-        /// value_at at a crossing time equals the threshold.
-        #[test]
-        fn crossing_time_evaluates_to_threshold(
-            vals in prop::collection::vec(-1.0f64..1.0, 2..30),
-        ) {
-            let w: Pwl = vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    /// value_at at a crossing time equals the threshold.
+    #[test]
+    fn crossing_time_evaluates_to_threshold() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xBEE3);
+        for _ in 0..64 {
+            let w = random_wave(&mut rng, -1.0, 1.0, 2, 30);
             for c in w.crossings(0.1) {
-                prop_assert!((w.value_at(c.time) - 0.1).abs() < 1e-9);
+                assert!((w.value_at(c.time) - 0.1).abs() < 1e-9);
             }
         }
     }

@@ -12,13 +12,12 @@
 
 use mtcmos_suite::circuits::multiplier::{ArrayMultiplier, MultiplierSpec};
 use mtcmos_suite::core::sizing::{
-    peak_current_w_over_l, screen_vectors, size_for_target, sum_of_widths_w_over_l, Transition,
+    peak_current_w_over_l, screen_vectors_par, size_for_target, sum_of_widths_w_over_l, Transition,
 };
 use mtcmos_suite::core::vbsim::{Engine, VbsimOptions};
 use mtcmos_suite::netlist::logic::bits_lsb_first;
 use mtcmos_suite::netlist::tech::Technology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mtcmos_suite::num::prng::Xoshiro256pp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = ArrayMultiplier::new(&MultiplierSpec {
@@ -34,22 +33,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tech.vdd
     );
 
-    // --- Step 1: screen 400 random vector transitions. ---
-    let mut rng = StdRng::seed_from_u64(0xD_AC_19_97);
-    let transitions: Vec<Transition> = (0..400)
-        .map(|_| {
-            let from = rng.gen_range(0..1u64 << total_bits);
-            let to = rng.gen_range(0..1u64 << total_bits);
+    // --- Step 1: screen 400 random vector transitions (in parallel;
+    // sample i draws from PRNG stream (seed, i), so the sample set is
+    // reproducible and independent of the thread count). ---
+    let transitions: Vec<Transition> = (0..400u64)
+        .map(|i| {
+            let mut rng = Xoshiro256pp::stream(0xD_AC_19_97, i);
+            let from = rng.next_below(1u64 << total_bits);
+            let to = rng.next_below(1u64 << total_bits);
             Transition::new(
                 bits_lsb_first(from, total_bits),
                 bits_lsb_first(to, total_bits),
             )
         })
         .collect();
-    let screened = screen_vectors(&engine, &transitions, None, 100.0, &VbsimOptions::default())?;
+    let (screened, report) = screen_vectors_par(
+        &m.netlist,
+        &tech,
+        &transitions,
+        None,
+        100.0,
+        &VbsimOptions::default(),
+        0, // all cores
+    )?;
     println!(
-        "screened {} random transitions; {} exercise the outputs",
+        "screened {} random transitions across {} worker(s) in {:.2} s; {} exercise the outputs",
         transitions.len(),
+        report.workers.len(),
+        report.wall,
         screened.len()
     );
     println!("worst five at W/L=100:");

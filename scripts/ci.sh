@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run with zero network access. Fails on any test
+# failure, on a workspace build failure, and on compiler warnings in the
+# core crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: test suite =="
+cargo test -q
+
+echo "== mtk-core must be warning-free =="
+touch crates/core/src/lib.rs  # force a recompile so warnings resurface
+RUSTFLAGS="-D warnings" cargo build -p mtk-core
+
+echo "== experiment harness (release) =="
+cargo build --release -p mtk-bench
+
+echo "== bench-harness targets still compile =="
+cargo build -p mtk-bench --benches --features bench-harness
+
+echo "ci: all green"

@@ -1,0 +1,71 @@
+//! The parallel screening/search engine must be a pure optimization:
+//! same seed → bit-identical results whether the work runs on one thread
+//! or eight. These tests pin that contract on the two circuits the
+//! worst-vector search targets — a random combinational block and a
+//! wider ripple adder.
+
+use mtcmos_suite::circuits::adder::{AdderSpec, RippleAdder};
+use mtcmos_suite::circuits::random_logic::{RandomLogic, RandomLogicSpec};
+use mtcmos_suite::core::search::{search_worst_vector, SearchOptions, SearchResult};
+use mtcmos_suite::core::vbsim::{Engine, SleepNetwork};
+use mtcmos_suite::netlist::netlist::Netlist;
+use mtcmos_suite::netlist::tech::Technology;
+
+fn search_at(netlist: &Netlist, tech: &Technology, w_over_l: f64, threads: usize) -> SearchResult {
+    let engine = Engine::new(netlist, tech);
+    search_worst_vector(
+        &engine,
+        &SearchOptions {
+            random_samples: 24,
+            restarts: 2,
+            max_passes: 2,
+            threads,
+            ..SearchOptions::at_sleep(SleepNetwork::Transistor { w_over_l })
+        },
+    )
+    .expect("search")
+}
+
+fn assert_thread_invariant(netlist: &Netlist, tech: &Technology, w_over_l: f64) {
+    let serial = search_at(netlist, tech, w_over_l, 1);
+    for threads in [2usize, 8] {
+        let par = search_at(netlist, tech, w_over_l, threads);
+        assert_eq!(
+            par.transition, serial.transition,
+            "worst transition differs at threads={threads}"
+        );
+        assert_eq!(
+            par.degradation.to_bits(),
+            serial.degradation.to_bits(),
+            "degradation is not bit-identical at threads={threads}"
+        );
+        assert_eq!(
+            par.evaluations, serial.evaluations,
+            "evaluation count differs at threads={threads}"
+        );
+        let counted: u64 = par.workers.iter().map(|w| w.vectors).sum();
+        assert_eq!(counted as usize, par.evaluations);
+    }
+}
+
+#[test]
+fn random_logic_search_is_thread_count_invariant() {
+    let rl = RandomLogic::new(&RandomLogicSpec {
+        inputs: 6,
+        gates: 24,
+        seed: 7,
+        ..RandomLogicSpec::default()
+    })
+    .expect("random logic");
+    assert_thread_invariant(&rl.netlist, &Technology::l07(), 12.0);
+}
+
+#[test]
+fn adder_search_is_thread_count_invariant() {
+    let add = RippleAdder::new(&AdderSpec {
+        bits: 8,
+        ..AdderSpec::default()
+    })
+    .expect("adder");
+    assert_thread_invariant(&add.netlist, &Technology::l07(), 25.0);
+}
