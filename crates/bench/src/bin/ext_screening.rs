@@ -13,18 +13,22 @@
 //! sample of the 8×8 multiplier's 2³² transition space, where the
 //! parallel screener's speedup actually matters.
 //!
-//! Usage: `ext_screening [--threads N] [--mult-samples N]`
+//! Usage: `ext_screening [--threads N] [--mult-samples N]
+//! [--max-failures N] [--fail-fast]`
 //! (`--threads 0` = all cores; the ranking is bit-identical at any
-//! thread count).
+//! thread count). By default vectors that fail to simulate are
+//! quarantined (up to `--max-failures`, default 32) and reported in the
+//! run-health footer; `--fail-fast` aborts on the first failure instead.
 
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
 use mtk_circuits::adder::RippleAdder;
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::exhaustive_transitions;
+use mtk_core::health::{FailurePolicy, FaultPlan};
 use mtk_core::hybrid::{spice_delay_pair, SpiceRunConfig};
 use mtk_core::par::WorkerStats;
-use mtk_core::sizing::{screen_vectors_par, Transition};
+use mtk_core::sizing::{screen_vectors_par_quarantined, Transition};
 use mtk_core::vbsim::VbsimOptions;
 use mtk_netlist::logic::bits_lsb_first;
 use mtk_netlist::tech::Technology;
@@ -42,6 +46,18 @@ fn flag(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn bool_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn failure_policy() -> FailurePolicy {
+    if bool_flag("--fail-fast") {
+        FailurePolicy::FailFast
+    } else {
+        FailurePolicy::quarantine(flag("--max-failures", 32))
+    }
 }
 
 fn print_workers(workers: &[WorkerStats]) {
@@ -65,6 +81,7 @@ fn print_workers(workers: &[WorkerStats]) {
 fn main() {
     let threads = flag("--threads", 1);
     let mult_samples = flag("--mult-samples", 512);
+    let policy = failure_policy();
 
     let add = RippleAdder::paper();
     let tech = Technology::l07();
@@ -80,7 +97,7 @@ fn main() {
         .into_iter()
         .map(|p| transition_of(p, 6))
         .collect();
-    let (screened, report) = screen_vectors_par(
+    let (screened, report) = screen_vectors_par_quarantined(
         &add.netlist,
         &tech,
         &transitions,
@@ -88,6 +105,8 @@ fn main() {
         W_OVER_L,
         &VbsimOptions::default(),
         threads,
+        policy,
+        &FaultPlan::none(),
     )
     .expect("screening");
     println!(
@@ -97,6 +116,7 @@ fn main() {
         report.wall
     );
     print_workers(&report.workers);
+    println!("{}", report.health.summary());
 
     // Phase 2: SPICE on the simulator's top-k.
     let cfg = SpiceRunConfig::window(80e-9);
@@ -179,7 +199,7 @@ fn main() {
         mult_transitions.len(),
         if threads == 0 { "all".to_string() } else { threads.to_string() }
     );
-    let (mscreened, mreport) = screen_vectors_par(
+    let (mscreened, mreport) = screen_vectors_par_quarantined(
         &m.netlist,
         &tech03,
         &mult_transitions,
@@ -187,6 +207,8 @@ fn main() {
         170.0,
         &VbsimOptions::default(),
         threads,
+        policy,
+        &FaultPlan::none(),
     )
     .expect("multiplier screening");
     let throughput = mult_transitions.len() as f64 / mreport.wall;
@@ -197,6 +219,7 @@ fn main() {
         throughput
     );
     print_workers(&mreport.workers);
+    println!("{}", mreport.health.summary());
     print_table(
         "multiplier sample: worst 5 of the screened ranking",
         &["rank", "degradation"],

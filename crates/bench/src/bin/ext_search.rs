@@ -8,32 +8,45 @@
 //! its regime, and (b) on the 3-bit adder, lands in the top percentile
 //! of the exhaustively known distribution at a fraction of the cost.
 //!
-//! Usage: `ext_search [--threads N]` (`--threads 0` = all cores; the
-//! search result is bit-identical at any thread count — only wall time
-//! changes).
+//! Usage: `ext_search [--threads N] [--max-failures N] [--fail-fast]`
+//! (`--threads 0` = all cores; the search result is bit-identical at
+//! any thread count — only wall time changes). By default candidates
+//! that fail to simulate are quarantined (up to `--max-failures`,
+//! default 32) and reported in the run-health footer; `--fail-fast`
+//! aborts on the first failure instead.
 
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
 use mtk_circuits::adder::RippleAdder;
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::{exhaustive_transitions, multiplier_vector_a};
+use mtk_core::health::FailurePolicy;
 use mtk_core::search::{search_worst_vector, SearchOptions};
 use mtk_core::sizing::{screen_vectors, vbsim_delay_pair, Transition};
 use mtk_core::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use mtk_netlist::tech::Technology;
 use std::time::Instant;
 
-fn threads_flag() -> usize {
+fn flag(name: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--threads")
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+        .unwrap_or(default)
+}
+
+fn failure_policy() -> FailurePolicy {
+    if std::env::args().any(|a| a == "--fail-fast") {
+        FailurePolicy::FailFast
+    } else {
+        FailurePolicy::quarantine(flag("--max-failures", 32))
+    }
 }
 
 fn main() {
-    let threads = threads_flag();
+    let threads = flag("--threads", 1);
+    let policy = failure_policy();
 
     // --- (a) 8x8 multiplier: search the 2^32 transition space. ---
     let m = ArrayMultiplier::paper();
@@ -64,6 +77,7 @@ fn main() {
             restarts: 4,
             max_passes: 10,
             threads,
+            policy,
             ..SearchOptions::at_sleep(sleep)
         },
     )
@@ -74,6 +88,7 @@ fn main() {
         result.evaluations,
         t0.elapsed().as_secs_f64()
     );
+    println!("{}", result.health.summary());
     print_table(
         "per-worker counters (random sampling + hill climbs)",
         &["worker", "vectors", "breakpoints", "busy s"],
@@ -121,6 +136,7 @@ fn main() {
                 restarts,
                 max_passes: 8,
                 threads,
+                policy,
                 ..SearchOptions::at_sleep(sleep)
             },
         )

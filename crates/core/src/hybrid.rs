@@ -62,6 +62,11 @@ pub struct SpiceTransition {
     pub supply_current: Option<Pwl>,
     /// The input reference time used for delay measurement.
     pub t_ref: f64,
+    /// Gmin-continuation stages the operating point needed (0 = the
+    /// direct solve converged).
+    pub op_gmin_fallback_stages: usize,
+    /// Time steps the transient integrator had to halve to converge.
+    pub dt_halvings: usize,
 }
 
 /// Runs one input-vector transition at the transistor level.
@@ -149,6 +154,8 @@ pub fn spice_transition(
         vgnd,
         supply_current,
         t_ref,
+        op_gmin_fallback_stages: res.op_gmin_fallback_stages,
+        dt_halvings: res.dt_halvings,
     })
 }
 

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod energy;
+pub mod health;
 pub mod hybrid;
 pub mod model;
 pub mod modules;
@@ -86,6 +87,8 @@ pub enum CoreError {
     EventOverflow {
         /// Breakpoints processed before giving up.
         events: usize,
+        /// Simulated time at which the budget ran out.
+        t: f64,
     },
     /// No size within the search bracket meets the degradation target.
     SizingInfeasible {
@@ -93,6 +96,30 @@ pub enum CoreError {
         target: f64,
         /// Largest size tried.
         at_w_over_l: f64,
+    },
+    /// Caller-supplied options were rejected up front (e.g. a
+    /// non-positive `t_stop` or a zero breakpoint budget).
+    InvalidOptions(String),
+    /// A fault deliberately injected by a [`health::FaultPlan`] —
+    /// only ever produced by the fault-injection test harness.
+    FaultInjected {
+        /// Index of the work item the fault was scheduled for.
+        index: usize,
+    },
+    /// A worker closure panicked; the panic was caught at the work-item
+    /// boundary instead of aborting the sweep.
+    WorkerPanic {
+        /// Index of the panicking work item.
+        index: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A quarantining sweep exceeded its failure cap.
+    TooManyFailures {
+        /// Items quarantined.
+        failures: usize,
+        /// The cap from [`health::FailurePolicy::Quarantine`].
+        max_failures: usize,
     },
 }
 
@@ -105,8 +132,11 @@ impl fmt::Display for CoreError {
             CoreError::UnknownState(n) => {
                 write!(f, "circuit state contains unknown net '{n}'")
             }
-            CoreError::EventOverflow { events } => {
-                write!(f, "switch-level run exceeded {events} breakpoints")
+            CoreError::EventOverflow { events, t } => {
+                write!(
+                    f,
+                    "switch-level run exceeded {events} breakpoints at t={t:.3e}s"
+                )
             }
             CoreError::SizingInfeasible {
                 target,
@@ -115,6 +145,22 @@ impl fmt::Display for CoreError {
                 f,
                 "no size up to W/L={at_w_over_l} meets {:.1}% degradation",
                 target * 100.0
+            ),
+            CoreError::InvalidOptions(msg) => {
+                write!(f, "invalid options: {msg}")
+            }
+            CoreError::FaultInjected { index } => {
+                write!(f, "fault injected at work item {index}")
+            }
+            CoreError::WorkerPanic { index, message } => {
+                write!(f, "worker panicked on item {index}: {message}")
+            }
+            CoreError::TooManyFailures {
+                failures,
+                max_failures,
+            } => write!(
+                f,
+                "sweep quarantined {failures} items, more than the allowed {max_failures}"
             ),
         }
     }
@@ -160,10 +206,23 @@ mod tests {
             CoreError::Netlist(mtk_netlist::NetlistError::DuplicateNet("n".into())),
             CoreError::Spice(mtk_spice::SpiceError::UnknownNode("n".into())),
             CoreError::UnknownState("n".into()),
-            CoreError::EventOverflow { events: 10 },
+            CoreError::EventOverflow {
+                events: 10,
+                t: 1e-9,
+            },
             CoreError::SizingInfeasible {
                 target: 0.05,
                 at_w_over_l: 100.0,
+            },
+            CoreError::InvalidOptions("t_stop must be positive".into()),
+            CoreError::FaultInjected { index: 3 },
+            CoreError::WorkerPanic {
+                index: 4,
+                message: "boom".into(),
+            },
+            CoreError::TooManyFailures {
+                failures: 5,
+                max_failures: 2,
             },
         ];
         for e in errs {

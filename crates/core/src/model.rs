@@ -50,8 +50,26 @@ pub fn solve_vx(
     discharging_betas: &[f64],
     opts: VxOptions,
 ) -> Result<f64, CoreError> {
+    solve_vx_tracked(tech, r_sleep, discharging_betas, opts).map(|(vx, _)| vx)
+}
+
+/// [`solve_vx`] with fallback observability: the second element is
+/// `true` when the strict-tolerance solve failed and the equilibrium was
+/// only found under relaxed tolerances. The strict path is attempted
+/// first, so healthy solves return bit-identical values to [`solve_vx`]
+/// before the fallback existed.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Numeric`] when even the relaxed solve fails.
+pub fn solve_vx_tracked(
+    tech: &Technology,
+    r_sleep: f64,
+    discharging_betas: &[f64],
+    opts: VxOptions,
+) -> Result<(f64, bool), CoreError> {
     if r_sleep <= 0.0 || discharging_betas.is_empty() {
-        return Ok(0.0);
+        return Ok((0.0, false));
     }
     let total_current_at = |vx: f64| -> f64 {
         discharging_betas
@@ -70,10 +88,10 @@ pub fn solve_vx(
     if f(0.0) >= 0.0 {
         // No current at all (gates already stalled by definition) — the
         // equilibrium is 0.
-        return Ok(0.0);
+        return Ok((0.0, false));
     }
-    let vx = brent(
-        f,
+    match brent(
+        &f,
         0.0,
         hi,
         RootOptions {
@@ -81,9 +99,26 @@ pub fn solve_vx(
             f_tol: 1e-12,
             max_iter: 200,
         },
-    )
-    .map_err(CoreError::Numeric)?;
-    Ok(vx)
+    ) {
+        Ok(vx) => Ok((vx, false)),
+        Err(_) => {
+            // Relaxed fallback: looser tolerances, more iterations. Only
+            // reached where the strict solve errored, so it cannot
+            // perturb results that used to succeed.
+            let vx = brent(
+                &f,
+                0.0,
+                hi,
+                RootOptions {
+                    x_tol: 1e-7,
+                    f_tol: 1e-9,
+                    max_iter: 2000,
+                },
+            )
+            .map_err(CoreError::Numeric)?;
+            Ok((vx, true))
+        }
+    }
 }
 
 /// Closed-form solution of Eq. 5 for the pure square-law case

@@ -14,8 +14,31 @@
 //! vbsim breakpoints solved, busy wall time) so binaries can report the
 //! realised speedup.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// A work item whose closure panicked. The panic was caught at the
+/// item boundary, so the rest of the sweep kept running; `message` is
+/// the panic payload when it was a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Index of the panicking item.
+    pub index: usize,
+    /// Stringified panic payload (`"<non-string panic payload>"` when
+    /// the payload was not a `&str`/`String`).
+    pub message: String,
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Observability counters for one worker thread. These describe the
 /// *schedule* (which is nondeterministic under dynamic sharding) — the
@@ -74,8 +97,55 @@ where
     Init: Fn() -> C + Sync,
     F: Fn(&mut C, usize, &T, &mut WorkerStats) -> R + Sync,
 {
+    let (results, stats) = try_parallel_map_with(threads, chunk, items, init, f);
+    let out = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("worker panicked on item {}: {}", p.index, p.message),
+        })
+        .collect();
+    (out, stats)
+}
+
+/// [`parallel_map_with`] with per-item panic isolation: each call to `f`
+/// runs under `catch_unwind`, so one panicking item becomes an
+/// [`ItemPanic`] in its result slot instead of tearing down the sweep.
+/// The per-worker context is rebuilt (via `init`) after a caught panic,
+/// since the panicking call may have left it mid-update; items are still
+/// keyed by index, so output remains schedule-independent.
+pub fn try_parallel_map_with<C, T, R, Init, F>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    init: Init,
+    f: F,
+) -> (Vec<Result<R, ItemPanic>>, Vec<WorkerStats>)
+where
+    T: Sync,
+    R: Send,
+    Init: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T, &mut WorkerStats) -> R + Sync,
+{
     let threads = num_threads(threads).min(items.len().max(1));
     let chunk = chunk.max(1);
+
+    let run_item = |ctx: &mut C,
+                    idx: usize,
+                    item: &T,
+                    stats: &mut WorkerStats|
+     -> Result<R, ItemPanic> {
+        match catch_unwind(AssertUnwindSafe(|| f(&mut *ctx, idx, item, &mut *stats))) {
+            Ok(v) => Ok(v),
+            Err(payload) => {
+                *ctx = init();
+                Err(ItemPanic {
+                    index: idx,
+                    message: panic_message(payload),
+                })
+            }
+        }
+    };
 
     if threads <= 1 {
         // Inline fast path: no thread spawn, same per-index semantics.
@@ -85,14 +155,14 @@ where
         let out = items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(&mut ctx, i, item, &mut stats))
+            .map(|(i, item)| run_item(&mut ctx, i, item, &mut stats))
             .collect();
         stats.wall = t0.elapsed().as_secs_f64();
         return (out, vec![stats]);
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut results: Vec<Option<Result<R, ItemPanic>>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
     let mut all_stats = vec![WorkerStats::default(); threads];
 
@@ -100,8 +170,8 @@ where
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             let cursor = &cursor;
+            let run_item = &run_item;
             let init = &init;
-            let f = &f;
             handles.push(scope.spawn(move || {
                 let t0 = Instant::now();
                 let mut ctx = init();
@@ -109,7 +179,7 @@ where
                     worker,
                     ..WorkerStats::default()
                 };
-                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut local: Vec<(usize, Result<R, ItemPanic>)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= items.len() {
@@ -118,7 +188,7 @@ where
                     let end = (start + chunk).min(items.len());
                     for (i, item) in items[start..end].iter().enumerate() {
                         let idx = start + i;
-                        local.push((idx, f(&mut ctx, idx, item, &mut stats)));
+                        local.push((idx, run_item(&mut ctx, idx, item, &mut stats)));
                     }
                 }
                 stats.wall = t0.elapsed().as_secs_f64();
@@ -229,6 +299,79 @@ mod tests {
     fn num_threads_resolves_zero_to_available() {
         assert!(num_threads(0) >= 1);
         assert_eq!(num_threads(3), 3);
+    }
+
+    #[test]
+    fn panicking_item_is_isolated_at_any_thread_count() {
+        let items: Vec<u64> = (0..64).collect();
+        let mut expect: Vec<Result<u64, ItemPanic>> =
+            items.iter().map(|&x| Ok(x * 2)).collect();
+        expect[13] = Err(ItemPanic {
+            index: 13,
+            message: "injected panic at item 13".into(),
+        });
+        for threads in [1, 2, 8] {
+            let (got, _) = try_parallel_map_with(
+                threads,
+                4,
+                &items,
+                || (),
+                |(), i, &x, _| {
+                    if i == 13 {
+                        panic!("injected panic at item {i}");
+                    }
+                    x * 2
+                },
+            );
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn context_is_rebuilt_after_panic() {
+        // A panicking item must not leak a half-updated context into the
+        // items that follow it on the same worker.
+        let items: Vec<u32> = (0..8).collect();
+        let (got, _) = try_parallel_map_with(
+            1,
+            1,
+            &items,
+            || 0u32,
+            |ctx, i, _, _| {
+                *ctx += 1;
+                if i == 3 {
+                    panic!("poisoned");
+                }
+                *ctx
+            },
+        );
+        // Context counts items since the last rebuild: 1,2,3,panic,1,2,...
+        let values: Vec<Option<u32>> = got.into_iter().map(|r| r.ok()).collect();
+        assert_eq!(
+            values,
+            vec![
+                Some(1),
+                Some(2),
+                Some(3),
+                None,
+                Some(1),
+                Some(2),
+                Some(3),
+                Some(4)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked on item 5")]
+    fn strict_map_repanics_with_item_index() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = parallel_map(1, 1, &items, |i, &x, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            x
+        });
     }
 
     #[test]

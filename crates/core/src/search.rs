@@ -15,8 +15,12 @@
 //! transitions — and therefore the result — is a pure function of
 //! [`SearchOptions`], no matter how the work is sharded.
 
-use crate::par::{merge_stats, parallel_map, WorkerStats};
-use crate::sizing::{vbsim_delay_pair_stats, Transition};
+use crate::health::{
+    fold_item_reports, FailurePolicy, FaultPlan, ItemReport, RunHealth, SweepHealth,
+    RETRY_BUDGET_FACTOR,
+};
+use crate::par::{merge_stats, try_parallel_map_with, WorkerStats};
+use crate::sizing::{vbsim_delay_pair_health, Transition};
 use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use crate::CoreError;
 use mtk_netlist::logic::bits_lsb_first;
@@ -50,6 +54,12 @@ pub struct SearchOptions {
     pub probes: Option<Vec<NetId>>,
     /// Base simulator options.
     pub base: VbsimOptions,
+    /// What to do when a work item (sample or restart climb) fails.
+    pub policy: FailurePolicy,
+    /// Deterministic fault injection for tests. The item index space is
+    /// samples first (`0..random_samples`), then restarts
+    /// (`random_samples..random_samples + restarts`).
+    pub fault: FaultPlan,
 }
 
 impl SearchOptions {
@@ -64,12 +74,14 @@ impl SearchOptions {
             threads: 1,
             probes: None,
             base: VbsimOptions::default(),
+            policy: FailurePolicy::FailFast,
+            fault: FaultPlan::none(),
         }
     }
 }
 
 /// The outcome of a search.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SearchResult {
     /// The worst transition found.
     pub transition: Transition,
@@ -81,6 +93,10 @@ pub struct SearchResult {
     /// time), merged over both phases. Reporting only — the fields above
     /// never depend on the schedule.
     pub workers: Vec<WorkerStats>,
+    /// Sweep-level health merged over both phases: quarantined items
+    /// (sample indices first, then `random_samples + r` for restart
+    /// `r`), retries, recovered panics, and run counters.
+    pub health: SweepHealth,
 }
 
 /// A candidate transition as packed endpoint words plus its score.
@@ -109,31 +125,87 @@ pub fn search_worst_vector(
         (1u64 << n_bits) - 1
     };
 
-    // One simulator evaluation. Counts into the calling worker's stats;
-    // the returned score is schedule-independent.
-    let score = |from: u64, to: u64, stats: &mut WorkerStats| -> Result<f64, CoreError> {
+    // One simulator evaluation. Counts into the calling worker's stats
+    // and the item's run health; the returned score is
+    // schedule-independent.
+    let score = |from: u64,
+                 to: u64,
+                 base: &VbsimOptions,
+                 run: &mut RunHealth,
+                 stats: &mut WorkerStats|
+     -> Result<f64, CoreError> {
         stats.vectors += 1;
         let tr = Transition::new(bits_lsb_first(from, n_bits), bits_lsb_first(to, n_bits));
-        let (pair, breakpoints) =
-            vbsim_delay_pair_stats(engine, &tr, probes, opts.sleep, &opts.base)?;
-        stats.breakpoints += breakpoints;
-        Ok(match pair {
-            Some(p) => p.degradation(),
-            None => f64::NEG_INFINITY, // doesn't exercise the probes
-        })
+        match vbsim_delay_pair_health(engine, &tr, probes, opts.sleep, base) {
+            Ok((pair, health)) => {
+                run.absorb(&health);
+                stats.breakpoints += health.breakpoints as u64;
+                Ok(match pair {
+                    Some(p) => p.degradation(),
+                    None => f64::NEG_INFINITY, // doesn't exercise the probes
+                })
+            }
+            Err(e) => {
+                if let CoreError::EventOverflow { events, .. } = e {
+                    run.breakpoints += events;
+                    run.max_events = run.max_events.max(base.max_events);
+                    stats.breakpoints += events as u64;
+                }
+                Err(e)
+            }
+        }
+    };
+
+    // Runs one whole work item (a sample evaluation or a full climb),
+    // retrying it once at a relaxed breakpoint budget if any evaluation
+    // inside it overflowed. Retry-then-quarantine is decided per item,
+    // so the outcome is a pure function of the item index.
+    let run_item = |index: usize,
+                    stats: &mut WorkerStats,
+                    body: &dyn Fn(
+        &VbsimOptions,
+        &mut RunHealth,
+        &mut WorkerStats,
+    ) -> Result<Candidate, CoreError>|
+     -> ItemReport<Candidate> {
+        let mut run = RunHealth::default();
+        let mut value = opts
+            .fault
+            .check(index, 0)
+            .and_then(|()| body(&opts.base, &mut run, stats));
+        let mut retried = false;
+        if matches!(value, Err(CoreError::EventOverflow { .. })) {
+            retried = true;
+            let relaxed = VbsimOptions {
+                max_events: opts.base.max_events.saturating_mul(RETRY_BUDGET_FACTOR),
+                ..opts.base.clone()
+            };
+            value = opts
+                .fault
+                .check(index, 1)
+                .and_then(|()| body(&relaxed, &mut run, stats));
+        }
+        ItemReport {
+            value,
+            retried,
+            run,
+        }
     };
 
     // Phase 1: random sampling. Sample i draws from stream (seed, i).
     let sample_ids: Vec<u64> = (0..opts.random_samples.max(1) as u64).collect();
-    let (samples, sample_stats) = parallel_map(opts.threads, 8, &sample_ids, |_, &i, stats| {
-        let mut rng = Xoshiro256pp::stream(opts.seed, i);
-        let from = rng.next_u64() & mask;
-        let to = rng.next_u64() & mask;
-        score(from, to, stats).map(|s| (from, to, s))
-    });
+    let (sample_reports, sample_stats) =
+        try_parallel_map_with(opts.threads, 8, &sample_ids, || (), |(), _, &i, stats| {
+            run_item(i as usize, stats, &|base, run, stats| {
+                let mut rng = Xoshiro256pp::stream(opts.seed, i);
+                let from = rng.next_u64() & mask;
+                let to = rng.next_u64() & mask;
+                score(from, to, base, run, stats).map(|s| (from, to, s))
+            })
+        });
+    let (samples, mut health) = fold_item_reports(sample_reports, opts.policy)?;
     let mut best: Candidate = (0, 0, f64::NEG_INFINITY);
-    for cand in samples {
-        let cand = cand?;
+    for cand in samples.into_iter().flatten() {
         if cand.2 > best.2 {
             best = cand;
         }
@@ -143,42 +215,53 @@ pub fn search_worst_vector(
     // independent deterministic climb; restart 0 starts from the phase-1
     // best, the rest from fresh random points on their own streams.
     let restart_ids: Vec<u64> = (0..opts.restarts as u64).collect();
-    let (climbs, climb_stats) = parallel_map(opts.threads, 1, &restart_ids, |_, &r, stats| {
-        let (mut from, mut to, mut cur) = if r == 0 || best.2 == f64::NEG_INFINITY {
-            best
-        } else {
-            let mut rng = Xoshiro256pp::stream(opts.seed, RESTART_STREAM | r);
-            let f = rng.next_u64() & mask;
-            let t = rng.next_u64() & mask;
-            let s = score(f, t, stats)?;
-            (f, t, s)
-        };
-        for _ in 0..opts.max_passes {
-            let mut improved = false;
-            for bit in 0..n_bits {
-                for endpoint in 0..2 {
-                    let (nf, nt) = if endpoint == 0 {
-                        (from ^ (1 << bit), to)
+    let (climb_reports, climb_stats) =
+        try_parallel_map_with(opts.threads, 1, &restart_ids, || (), |(), _, &r, stats| {
+            run_item(
+                opts.random_samples + r as usize,
+                stats,
+                &|base, run, stats| {
+                    let (mut from, mut to, mut cur) = if r == 0 || best.2 == f64::NEG_INFINITY {
+                        best
                     } else {
-                        (from, to ^ (1 << bit))
+                        let mut rng = Xoshiro256pp::stream(opts.seed, RESTART_STREAM | r);
+                        let f = rng.next_u64() & mask;
+                        let t = rng.next_u64() & mask;
+                        let s = score(f, t, base, run, stats)?;
+                        (f, t, s)
                     };
-                    let s = score(nf, nt, stats)?;
-                    if s > cur {
-                        from = nf;
-                        to = nt;
-                        cur = s;
-                        improved = true;
+                    for _ in 0..opts.max_passes {
+                        let mut improved = false;
+                        for bit in 0..n_bits {
+                            for endpoint in 0..2 {
+                                let (nf, nt) = if endpoint == 0 {
+                                    (from ^ (1 << bit), to)
+                                } else {
+                                    (from, to ^ (1 << bit))
+                                };
+                                let s = score(nf, nt, base, run, stats)?;
+                                if s > cur {
+                                    from = nf;
+                                    to = nt;
+                                    cur = s;
+                                    improved = true;
+                                }
+                            }
+                        }
+                        if !improved {
+                            break;
+                        }
                     }
-                }
-            }
-            if !improved {
-                break;
-            }
-        }
-        Ok::<Candidate, CoreError>((from, to, cur))
-    });
-    for cand in climbs {
-        let cand = cand?;
+                    Ok((from, to, cur))
+                },
+            )
+        });
+    let (climbs, mut climb_health) = fold_item_reports(climb_reports, opts.policy)?;
+    for q in &mut climb_health.quarantined {
+        q.index += opts.random_samples;
+    }
+    health.absorb(climb_health);
+    for cand in climbs.into_iter().flatten() {
         if cand.2 > best.2 {
             best = cand;
         }
@@ -194,6 +277,7 @@ pub fn search_worst_vector(
         degradation: best.2,
         evaluations,
         workers,
+        health,
     })
 }
 

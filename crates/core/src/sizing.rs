@@ -8,9 +8,14 @@
 //! widths, and sizing from the worst-case peak current (§4: "almost three
 //! times larger than necessary").
 
-use crate::par::{parallel_map_with, WorkerStats};
+use crate::health::{
+    fold_item_reports, FailurePolicy, FaultPlan, ItemReport, RunHealth, SweepHealth,
+    RETRY_BUDGET_FACTOR,
+};
+use crate::par::{try_parallel_map_with, ItemPanic, WorkerStats};
 use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use crate::CoreError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{NetId, Netlist};
 use mtk_netlist::tech::Technology;
@@ -86,6 +91,24 @@ pub fn vbsim_delay_pair_stats(
     sleep: SleepNetwork,
     base: &VbsimOptions,
 ) -> Result<(Option<DelayPair>, u64), CoreError> {
+    vbsim_delay_pair_health(engine, tr, probes, sleep, base)
+        .map(|(pair, health)| (pair, health.breakpoints as u64))
+}
+
+/// [`vbsim_delay_pair`] plus the summed [`RunHealth`] of the CMOS and
+/// MTCMOS runs — the telemetry the quarantining sweeps aggregate into
+/// [`SweepHealth`].
+///
+/// # Errors
+///
+/// As [`vbsim_delay_pair`].
+pub fn vbsim_delay_pair_health(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sleep: SleepNetwork,
+    base: &VbsimOptions,
+) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
     let outputs: Vec<NetId> = match probes {
         Some(p) => p.to_vec(),
         None => engine.netlist().primary_outputs().to_vec(),
@@ -95,16 +118,16 @@ pub fn vbsim_delay_pair_stats(
         ..base.clone()
     };
     let run_cmos = engine.run(&tr.from, &tr.to, &cmos_opts)?;
-    let mut breakpoints = run_cmos.breakpoints as u64;
+    let mut health = run_cmos.health;
     let Some(d_cmos) = run_cmos.delay_over(&outputs) else {
-        return Ok((None, breakpoints));
+        return Ok((None, health));
     };
     let mt_opts = VbsimOptions {
         sleep,
         ..base.clone()
     };
     let run_mt = engine.run(&tr.from, &tr.to, &mt_opts)?;
-    breakpoints += run_mt.breakpoints as u64;
+    health.absorb(&run_mt.health);
     let d_mt = if run_mt.stalled || run_mt.truncated {
         f64::INFINITY
     } else {
@@ -115,7 +138,7 @@ pub fn vbsim_delay_pair_stats(
             cmos: d_cmos,
             mtcmos: d_mt,
         }),
-        breakpoints,
+        health,
     ))
 }
 
@@ -182,20 +205,141 @@ pub fn screen_vectors(
     w_over_l: f64,
     base: &VbsimOptions,
 ) -> Result<Vec<ScreenedVector>, CoreError> {
-    let mut out = Vec::new();
-    for (index, tr) in transitions.iter().enumerate() {
-        if let Some(delays) = vbsim_delay_pair(
-            engine,
-            tr,
-            probes,
-            SleepNetwork::Transistor { w_over_l },
-            base,
-        )? {
-            out.push(ScreenedVector { index, delays });
+    screen_vectors_quarantined(
+        engine,
+        transitions,
+        probes,
+        w_over_l,
+        base,
+        FailurePolicy::FailFast,
+        &FaultPlan::none(),
+    )
+    .map(|(screened, _)| screened)
+}
+
+/// One screening attempt of one transition: fault-injection check, then
+/// the CMOS/MTCMOS delay pair, with health and worker counters updated.
+#[allow(clippy::too_many_arguments)]
+fn screen_attempt(
+    engine: &Engine<'_>,
+    index: usize,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    w_over_l: f64,
+    opts: &VbsimOptions,
+    fault: &FaultPlan,
+    attempt: usize,
+    run: &mut RunHealth,
+    stats: &mut WorkerStats,
+) -> Result<Option<ScreenedVector>, CoreError> {
+    fault.check(index, attempt)?;
+    let result = vbsim_delay_pair_health(
+        engine,
+        tr,
+        probes,
+        SleepNetwork::Transistor { w_over_l },
+        opts,
+    );
+    match result {
+        Ok((pair, health)) => {
+            run.absorb(&health);
+            stats.breakpoints += health.breakpoints as u64;
+            Ok(pair.map(|delays| ScreenedVector { index, delays }))
+        }
+        Err(e) => {
+            if let CoreError::EventOverflow { events, .. } = e {
+                // The overflowing run's cost is real — count it.
+                run.breakpoints += events;
+                run.max_events = run.max_events.max(opts.max_events);
+                stats.breakpoints += events as u64;
+            }
+            Err(e)
         }
     }
+}
+
+/// One screening work item under the retry policy: a first attempt at
+/// the caller's budget, then — only for [`CoreError::EventOverflow`] —
+/// one retry at a budget relaxed by [`RETRY_BUDGET_FACTOR`].
+#[allow(clippy::too_many_arguments)]
+fn screen_item(
+    engine: &Engine<'_>,
+    index: usize,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    w_over_l: f64,
+    base: &VbsimOptions,
+    fault: &FaultPlan,
+    stats: &mut WorkerStats,
+) -> ItemReport<Option<ScreenedVector>> {
+    stats.vectors += 1;
+    let mut run = RunHealth::default();
+    let mut value = screen_attempt(
+        engine, index, tr, probes, w_over_l, base, fault, 0, &mut run, stats,
+    );
+    let mut retried = false;
+    if matches!(value, Err(CoreError::EventOverflow { .. })) {
+        retried = true;
+        let relaxed = VbsimOptions {
+            max_events: base.max_events.saturating_mul(RETRY_BUDGET_FACTOR),
+            ..base.clone()
+        };
+        value = screen_attempt(
+            engine, index, tr, probes, w_over_l, &relaxed, fault, 1, &mut run, stats,
+        );
+    }
+    ItemReport {
+        value,
+        retried,
+        run,
+    }
+}
+
+/// [`screen_vectors`] with quarantine semantics: per-transition failures
+/// (including panics, caught at the item boundary) are collected
+/// index-ordered in the returned [`SweepHealth`] under
+/// [`FailurePolicy::Quarantine`] instead of aborting the sweep, and
+/// `EventOverflow` transitions get one automatic retry at a relaxed
+/// breakpoint budget before being quarantined. `fault` injects
+/// deterministic failures for testing ([`FaultPlan::none`] in
+/// production).
+///
+/// # Errors
+///
+/// * Under [`FailurePolicy::FailFast`], the error of the lowest-indexed
+///   failing transition.
+/// * Under [`FailurePolicy::Quarantine`],
+///   [`CoreError::TooManyFailures`] when more than `max_failures`
+///   transitions fail.
+pub fn screen_vectors_quarantined(
+    engine: &Engine<'_>,
+    transitions: &[Transition],
+    probes: Option<&[NetId]>,
+    w_over_l: f64,
+    base: &VbsimOptions,
+    policy: FailurePolicy,
+    fault: &FaultPlan,
+) -> Result<(Vec<ScreenedVector>, SweepHealth), CoreError> {
+    let mut stats = WorkerStats::default();
+    let reports: Vec<Result<ItemReport<Option<ScreenedVector>>, ItemPanic>> = transitions
+        .iter()
+        .enumerate()
+        .map(|(index, tr)| {
+            catch_unwind(AssertUnwindSafe(|| {
+                screen_item(
+                    engine, index, tr, probes, w_over_l, base, fault, &mut stats,
+                )
+            }))
+            .map_err(|payload| ItemPanic {
+                index,
+                message: crate::par::panic_message(payload),
+            })
+        })
+        .collect();
+    let (values, health) = fold_item_reports(reports, policy)?;
+    let mut out: Vec<ScreenedVector> = values.into_iter().flatten().flatten().collect();
     sort_worst_first(&mut out);
-    Ok(out)
+    Ok((out, health))
 }
 
 /// Worst-degradation-first ordering shared by the serial and parallel
@@ -211,13 +355,16 @@ fn sort_worst_first(screened: &mut [ScreenedVector]) {
 }
 
 /// Execution report of one [`screen_vectors_par`] call.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ScreenReport {
     /// Per-worker counters (vectors simulated, breakpoints solved, busy
     /// seconds).
     pub workers: Vec<WorkerStats>,
     /// End-to-end wall time of the screening phase, seconds.
     pub wall: f64,
+    /// Sweep-level health: quarantined vectors, retries, recovered
+    /// panics, and summed per-run counters.
+    pub health: SweepHealth,
 }
 
 /// Parallel [`screen_vectors`]: shards the transitions across worker
@@ -239,39 +386,60 @@ pub fn screen_vectors_par(
     base: &VbsimOptions,
     threads: usize,
 ) -> Result<(Vec<ScreenedVector>, ScreenReport), CoreError> {
+    screen_vectors_par_quarantined(
+        netlist,
+        tech,
+        transitions,
+        probes,
+        w_over_l,
+        base,
+        threads,
+        FailurePolicy::FailFast,
+        &FaultPlan::none(),
+    )
+}
+
+/// [`screen_vectors_par`] with quarantine semantics — the parallel
+/// counterpart of [`screen_vectors_quarantined`]. Worker panics are
+/// caught at the item boundary by the executor; failures, retries and
+/// fallback counters land index-ordered in `report.health`, so both the
+/// ranking *and* the quarantine set are bit-identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// As [`screen_vectors_quarantined`].
+#[allow(clippy::too_many_arguments)]
+pub fn screen_vectors_par_quarantined(
+    netlist: &Netlist,
+    tech: &Technology,
+    transitions: &[Transition],
+    probes: Option<&[NetId]>,
+    w_over_l: f64,
+    base: &VbsimOptions,
+    threads: usize,
+    policy: FailurePolicy,
+    fault: &FaultPlan,
+) -> Result<(Vec<ScreenedVector>, ScreenReport), CoreError> {
     let t0 = Instant::now();
-    let (results, workers) = parallel_map_with(
+    let (reports, workers) = try_parallel_map_with(
         threads,
         8,
         transitions,
         || Engine::new(netlist, tech),
         |engine, index, tr, stats| {
-            stats.vectors += 1;
-            let (pair, breakpoints) = vbsim_delay_pair_stats(
-                engine,
-                tr,
-                probes,
-                SleepNetwork::Transistor { w_over_l },
-                base,
-            )?;
-            stats.breakpoints += breakpoints;
-            Ok::<Option<ScreenedVector>, CoreError>(
-                pair.map(|delays| ScreenedVector { index, delays }),
-            )
+            screen_item(engine, index, tr, probes, w_over_l, base, fault, stats)
         },
     );
-    let mut out = Vec::new();
-    for r in results {
-        if let Some(sv) = r? {
-            out.push(sv);
-        }
-    }
+    let (values, health) = fold_item_reports(reports, policy)?;
+    let mut out: Vec<ScreenedVector> = values.into_iter().flatten().flatten().collect();
     sort_worst_first(&mut out);
     Ok((
         out,
         ScreenReport {
             workers,
             wall: t0.elapsed().as_secs_f64(),
+            health,
         },
     ))
 }

@@ -14,6 +14,7 @@
 //! and their logic function says the output changes; a gate whose target
 //! flips mid-swing reverses from its current voltage (glitching, §6.3).
 
+use crate::health::RunHealth;
 use crate::model::{self, VxOptions};
 use crate::CoreError;
 use mtk_netlist::cell::equivalent_inverter;
@@ -206,6 +207,17 @@ impl<'a> Engine<'a> {
         partition: Option<&PartitionedSleep>,
         opts: &VbsimOptions,
     ) -> Result<VbsimRun, CoreError> {
+        if !(opts.t_stop.is_finite() && opts.t_stop > 0.0) {
+            return Err(CoreError::InvalidOptions(format!(
+                "t_stop must be positive and finite, got {}",
+                opts.t_stop
+            )));
+        }
+        if opts.max_events == 0 {
+            return Err(CoreError::InvalidOptions(
+                "max_events must be > 0".to_string(),
+            ));
+        }
         let nl = self.netlist;
         let tech = self.tech;
         let vdd = tech.vdd;
@@ -295,6 +307,8 @@ impl<'a> Engine<'a> {
         let mut t = 0.0f64;
         let mut vx = vec![0.0f64; n_groups];
         let mut breakpoints = 0usize;
+        let mut glitch_reversals = 0usize;
+        let mut vx_fallbacks = 0usize;
         let mut stalled = false;
         let mut truncated = false;
         let mut max_falling = 0usize;
@@ -306,7 +320,9 @@ impl<'a> Engine<'a> {
             reeval.sort_unstable();
             reeval.dedup();
             for &ci in &reeval {
-                self.update_gate(ci, &digital, &v, &mut dir, vdd);
+                if self.update_gate(ci, &digital, &v, &mut dir, vdd) {
+                    glitch_reversals += 1;
+                }
             }
             reeval.clear();
 
@@ -323,7 +339,11 @@ impl<'a> Engine<'a> {
             max_falling = max_falling.max(n_falling);
             let mut any_vx_change = false;
             for g in 0..n_groups {
-                let new_vx = model::solve_vx(tech, rs[g], &betas_by_group[g], vx_opts)?;
+                let (new_vx, fell_back) =
+                    model::solve_vx_tracked(tech, rs[g], &betas_by_group[g], vx_opts)?;
+                if fell_back {
+                    vx_fallbacks += 1;
+                }
                 if (new_vx - vx[g]).abs() > 1e-12 {
                     if g == 0 {
                         vgnd.push(t, vx[g]);
@@ -416,6 +436,7 @@ impl<'a> Engine<'a> {
             if breakpoints > opts.max_events {
                 return Err(CoreError::EventOverflow {
                     events: breakpoints,
+                    t: t_next,
                 });
             }
 
@@ -492,11 +513,18 @@ impl<'a> Engine<'a> {
             max_simultaneous_discharging: max_falling,
             t_end: t,
             vdd,
+            health: RunHealth {
+                breakpoints,
+                max_events: opts.max_events,
+                glitch_reversals,
+                vx_fallbacks,
+            },
         })
     }
 
     /// Re-evaluates a gate after one of its inputs crossed the switching
     /// threshold, starting or reversing its output swing as needed.
+    /// Returns `true` when the gate reversed mid-swing (a glitch).
     fn update_gate(
         &self,
         ci: CellId,
@@ -504,7 +532,7 @@ impl<'a> Engine<'a> {
         v: &[f64],
         dir: &mut [Option<Dir>],
         vdd: f64,
-    ) {
+    ) -> bool {
         let cell = &self.netlist.cells()[ci.index()];
         let mut ins: Vec<Logic> = Vec::with_capacity(cell.inputs.len());
         ins.extend(
@@ -523,7 +551,9 @@ impl<'a> Engine<'a> {
             Some(current) => {
                 if current != want {
                     dir[ci.index()] = Some(want); // reverse mid-swing
+                    return true;
                 }
+                false
             }
             None => {
                 let at_target_rail = if target {
@@ -534,6 +564,7 @@ impl<'a> Engine<'a> {
                 if target != digital[out] || !at_target_rail {
                     dir[ci.index()] = Some(want);
                 }
+                false
             }
         }
     }
@@ -564,6 +595,9 @@ pub struct VbsimRun {
     /// Final simulated time.
     pub t_end: f64,
     vdd: f64,
+    /// Per-run health counters (budget use, glitch reversals, fallback
+    /// solves) for sweep-level telemetry.
+    pub health: RunHealth,
 }
 
 impl VbsimRun {

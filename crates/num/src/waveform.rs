@@ -313,6 +313,36 @@ mod tests {
     use super::*;
     use crate::prng::Xoshiro256pp;
 
+    #[test]
+    fn try_push_rejects_non_finite_coordinates() {
+        let mut w = Pwl::new();
+        assert!(w.try_push(0.0, f64::NAN).is_err());
+        assert!(w.try_push(f64::NAN, 0.0).is_err());
+        assert!(w.try_push(f64::INFINITY, 1.0).is_err());
+        assert!(w.try_push(0.0, f64::NEG_INFINITY).is_err());
+        assert!(w.is_empty(), "rejected points must not be stored");
+        w.try_push(0.0, 1.0).unwrap();
+        assert!(w.try_push(-1.0, 0.5).is_err(), "decreasing time rejected");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn from_points_rejects_nan_voltage_at_the_boundary() {
+        // A NaN voltage must fail construction rather than propagate
+        // into delay measurement downstream.
+        let err = Pwl::from_points([(0.0, 0.0), (1.0, f64::NAN)]).unwrap_err();
+        assert!(err.to_string().contains("not finite"), "{err}");
+        assert!(Pwl::from_points([(0.0, 0.0), (1.0, 1.0)]).is_ok());
+        assert!(Pwl::from_points([(1.0, 0.0), (0.5, 1.0)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid waveform point")]
+    fn push_panics_on_nan() {
+        let mut w = Pwl::new();
+        w.push(0.0, f64::NAN);
+    }
+
     /// A waveform with points at t = 0, 1, 2, … and random values in
     /// `[lo, hi)` — the old property-test strategy.
     fn random_wave(rng: &mut Xoshiro256pp, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Pwl {

@@ -37,6 +37,10 @@ pub struct DcResult {
     n_nodes: usize,
     /// Branch currents by voltage-source name, in device order.
     branch_names: Vec<String>,
+    /// g<sub>min</sub> continuation stages the solve needed: `0` when the
+    /// direct solve at the final g<sub>min</sub> converged from a cold
+    /// start, the full ladder length when continuation was required.
+    pub gmin_fallback_stages: usize,
 }
 
 impl DcResult {
@@ -77,21 +81,44 @@ impl DcResult {
 /// * [`crate::SpiceError::Singular`] for structurally singular circuits.
 pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcResult> {
     let mut solver = NewtonSolver::new(circuit);
-    let mut x = vec![0.0; solver.unknowns()];
     let steps = if opts.gmin_steps.is_empty() {
         &[1e-12][..]
     } else {
         &opts.gmin_steps[..]
     };
-    for (stage, &gmin) in steps.iter().enumerate() {
-        let mode = StampMode::Dc {
-            gmin,
+    let final_gmin = *steps.last().expect("steps is non-empty");
+
+    // Fast path: most circuits converge directly at the final gmin from
+    // a cold start, skipping the whole continuation ladder.
+    let direct = solver.solve(
+        circuit,
+        &vec![0.0; solver.unknowns()],
+        StampMode::Dc {
+            gmin: final_gmin,
             force_ics: opts.force_ics,
-        };
-        let ctx = format!("dc operating point (gmin stage {stage}: {gmin:.1e})");
-        let (x_new, _) = solver.solve(circuit, &x, mode, &opts.newton, &ctx)?;
-        x = x_new;
-    }
+        },
+        &opts.newton,
+        "dc operating point (direct)",
+    );
+    let (x, gmin_fallback_stages) = match direct {
+        Ok((x, _)) => (x, 0),
+        Err(_) => {
+            // Fallback: walk the full ladder, warm-starting each stage
+            // from the previous one — what lets Newton converge on stiff
+            // stacked-MOSFET circuits.
+            let mut x = vec![0.0; solver.unknowns()];
+            for (stage, &gmin) in steps.iter().enumerate() {
+                let mode = StampMode::Dc {
+                    gmin,
+                    force_ics: opts.force_ics,
+                };
+                let ctx = format!("dc operating point (gmin stage {stage}: {gmin:.1e})");
+                let (x_new, _) = solver.solve(circuit, &x, mode, &opts.newton, &ctx)?;
+                x = x_new;
+            }
+            (x, steps.len())
+        }
+    };
     let branch_names = circuit
         .devices()
         .iter()
@@ -103,6 +130,7 @@ pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcResult> 
         x,
         n_nodes: circuit.node_count() - 1,
         branch_names,
+        gmin_fallback_stages,
     })
 }
 
@@ -257,6 +285,65 @@ mod tests {
         let v = c.vsource("v", a, Circuit::GND, 1.0);
         assert!(dc_sweep(&mut c, v, &[], &DcOptions::default()).is_err());
         assert!(dc_sweep(&mut c, r, &[1.0], &DcOptions::default()).is_err());
+    }
+
+    #[test]
+    fn easy_circuit_skips_the_gmin_ladder() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.vsource("v1", top, Circuit::GND, 5.0);
+        c.resistor("r1", top, mid, 1000.0);
+        c.resistor("r2", mid, Circuit::GND, 1000.0);
+        let op = operating_point(&c, &DcOptions::default()).unwrap();
+        assert_eq!(op.gmin_fallback_stages, 0, "linear circuit must solve directly");
+    }
+
+    /// An inverter biased near its switching threshold is a high-gain
+    /// operating point: the direct cold-start Newton solve at the final
+    /// gmin needs 8 iterations, while no warm-started continuation stage
+    /// needs more than 6. A budget of 7 therefore forces the ladder to
+    /// run — and the fallback counter must say so.
+    #[test]
+    fn high_gain_circuit_requires_gmin_continuation() {
+        let build = || {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let out = c.node("out");
+            let inp = c.node("in");
+            let nm = c.add_model(MosModel::nmos(0.35, 100e-6));
+            let pm = c.add_model(MosModel::pmos(0.35, 40e-6));
+            c.vsource("vdd", vdd, Circuit::GND, 1.2);
+            c.vsource("vin", inp, Circuit::GND, 0.5);
+            c.mosfet("mp", out, inp, vdd, vdd, pm, 8.0);
+            c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
+            (c, out)
+        };
+        let (c, out) = build();
+        let opts = DcOptions {
+            newton: NewtonOptions {
+                max_iter: 7,
+                ..NewtonOptions::default()
+            },
+            ..DcOptions::default()
+        };
+        let op = operating_point(&c, &opts).unwrap();
+        assert!(
+            op.gmin_fallback_stages >= 2,
+            "expected the ladder to run, got {} stages",
+            op.gmin_fallback_stages
+        );
+        // The fallback lands on the same operating point as an unlimited
+        // direct solve.
+        let (c2, out2) = build();
+        let reference = operating_point(&c2, &DcOptions::default()).unwrap();
+        assert_eq!(reference.gmin_fallback_stages, 0);
+        assert!(
+            (op.voltage(out) - reference.voltage(out2)).abs() < 1e-4,
+            "ladder {} vs direct {}",
+            op.voltage(out),
+            reference.voltage(out2)
+        );
     }
 
     #[test]

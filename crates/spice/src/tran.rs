@@ -110,6 +110,12 @@ pub struct TranResult {
     pub total_newton_iterations: usize,
     /// Number of accepted steps.
     pub steps: usize,
+    /// Times the step-halving fallback fired (a step failed to converge
+    /// and was retried at half the size).
+    pub dt_halvings: usize,
+    /// g<sub>min</sub> continuation stages the initial operating point
+    /// needed (see [`crate::dc::DcResult::gmin_fallback_stages`]).
+    pub op_gmin_fallback_stages: usize,
 }
 
 impl TranResult {
@@ -239,6 +245,8 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult> {
         branch_data: Vec::new(),
         total_newton_iterations: 0,
         steps: 0,
+        dt_halvings: 0,
+        op_gmin_fallback_stages: op.gmin_fallback_stages,
     };
     result.node_data = vec![Vec::new(); result.nodes.len()];
     result.branch_data = vec![Vec::new(); result.branch_names.len()];
@@ -324,6 +332,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult> {
             Err(e @ SpiceError::Singular { .. }) => return Err(e),
             Err(_) if dt_cur * 0.5 >= opts.dt_min => {
                 dt_cur *= 0.5;
+                result.dt_halvings += 1;
             }
             Err(e) => return Err(e),
         }
@@ -571,6 +580,41 @@ mod tests {
         assert!((caps[0].farads - 5e-15).abs() < 1e-21);
         // cgs = 1e-15 * 2.0 (per-W/L times W/L).
         assert!((caps[1].farads - 2e-15).abs() < 1e-21);
+    }
+
+    /// A tight Newton budget on a hard-switching inverter forces the
+    /// step-halving fallback: at the nominal dt the per-step voltage
+    /// swing exceeds what the damped iteration budget can cover, so
+    /// steps fail, halve, and the counter records it.
+    #[test]
+    fn crippled_newton_forces_dt_halving() {
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        let out = c.node("out");
+        let inp = c.node("in");
+        let nm = c.add_model(MosModel::nmos(0.35, 100e-6));
+        let pm = c.add_model(MosModel::pmos(0.35, 40e-6));
+        let vdd = 1.2;
+        c.vsource("vdd", vdd_n, Circuit::GND, vdd);
+        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1e-10, 1e-11, 0.0, vdd));
+        c.mosfet("mp", out, inp, vdd_n, vdd_n, pm, 8.0);
+        c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
+        c.capacitor("cl", out, Circuit::GND, 50e-15);
+        let mut opts = TranOptions::to(3e-9).with_dt(5e-11);
+        opts.newton = NewtonOptions {
+            max_iter: 2,
+            max_dv: 0.005,
+            ..NewtonOptions::default()
+        };
+        // The initial operating point keeps the default (healthy) Newton
+        // budget — only the stepping is crippled.
+        let healthy = transient(&c, &TranOptions::to(3e-9).with_dt(5e-11)).unwrap();
+        assert_eq!(healthy.dt_halvings, 0, "healthy run must not halve");
+        let res = transient(&c, &opts).unwrap();
+        assert!(res.dt_halvings > 0, "expected halvings, got none");
+        // Degraded stepping still reaches the right settled state.
+        let w_out = res.waveform(out).unwrap();
+        assert!(w_out.final_value().unwrap() < 0.05);
     }
 
     #[test]

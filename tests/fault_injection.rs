@@ -1,0 +1,250 @@
+//! The fault-tolerant sweep contract: injected failures — overflows,
+//! structured errors, outright worker panics — must be quarantined
+//! deterministically. The quarantine set and every *surviving* result
+//! must be bit-identical at any thread count, and identical to the
+//! fault-free run minus the condemned indices. A panic inside one work
+//! item must never take down the process.
+
+use mtcmos_suite::circuits::adder::RippleAdder;
+use mtcmos_suite::circuits::vectors::exhaustive_transitions;
+use mtcmos_suite::core::health::{FailurePolicy, FaultPlan};
+use mtcmos_suite::core::search::{search_worst_vector, SearchOptions};
+use mtcmos_suite::core::sizing::{
+    screen_vectors_quarantined, screen_vectors_par_quarantined, ScreenedVector, Transition,
+};
+use mtcmos_suite::core::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use mtcmos_suite::core::CoreError;
+use mtcmos_suite::netlist::logic::bits_lsb_first;
+use mtcmos_suite::netlist::tech::Technology;
+
+const W_OVER_L: f64 = 10.0;
+
+fn adder_transitions(n: usize) -> Vec<Transition> {
+    exhaustive_transitions(6)
+        .into_iter()
+        .take(n)
+        .map(|p| Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6)))
+        .collect()
+}
+
+/// panic at 3, structured error at 5, transient overflow at 7 (recovers
+/// via the relaxed-budget retry), persistent overflow at 9 (retried,
+/// then quarantined).
+fn faults() -> FaultPlan {
+    FaultPlan {
+        panic_at: vec![3],
+        error_at: vec![5],
+        overflow_at: vec![7],
+        persistent_overflow_at: vec![9],
+        ..FaultPlan::default()
+    }
+}
+
+fn assert_same_survivors(faulted: &[ScreenedVector], reference: &[ScreenedVector], ctx: &str) {
+    assert_eq!(faulted.len(), reference.len(), "{ctx}: survivor count");
+    for (f, r) in faulted.iter().zip(reference) {
+        assert_eq!(f.index, r.index, "{ctx}: ranking order");
+        assert_eq!(
+            f.delays.cmos.to_bits(),
+            r.delays.cmos.to_bits(),
+            "{ctx}: cmos delay not bit-identical at index {}",
+            f.index
+        );
+        assert_eq!(
+            f.delays.mtcmos.to_bits(),
+            r.delays.mtcmos.to_bits(),
+            "{ctx}: mtcmos delay not bit-identical at index {}",
+            f.index
+        );
+    }
+}
+
+#[test]
+fn quarantine_set_and_survivors_are_thread_count_invariant() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let transitions = adder_transitions(32);
+    let base = VbsimOptions::default();
+
+    // Fault-free reference, minus the indices the plan will condemn.
+    let engine = Engine::new(&add.netlist, &tech);
+    let (clean, clean_health) = screen_vectors_quarantined(
+        &engine,
+        &transitions,
+        None,
+        W_OVER_L,
+        &base,
+        FailurePolicy::FailFast,
+        &FaultPlan::none(),
+    )
+    .expect("fault-free screen");
+    assert!(clean_health.is_clean());
+    let reference: Vec<ScreenedVector> = clean
+        .into_iter()
+        .filter(|e| ![3usize, 5, 9].contains(&e.index))
+        .collect();
+
+    for threads in [1usize, 2, 8] {
+        let (screened, report) = screen_vectors_par_quarantined(
+            &add.netlist,
+            &tech,
+            &transitions,
+            None,
+            W_OVER_L,
+            &base,
+            threads,
+            FailurePolicy::quarantine(8),
+            &faults(),
+        )
+        .unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+        let ctx = format!("threads={threads}");
+
+        assert_eq!(
+            report.health.quarantined_indices(),
+            vec![3, 5, 9],
+            "{ctx}: quarantine set"
+        );
+        // Index 7's transient overflow and index 9's persistent overflow
+        // each trigger the relaxed-budget retry; only 7's succeeds.
+        assert_eq!(report.health.retries, 2, "{ctx}: retries");
+        assert_eq!(report.health.retry_successes, 1, "{ctx}: retry successes");
+        assert_eq!(report.health.panics_recovered, 1, "{ctx}: panics recovered");
+        assert_eq!(report.health.items, transitions.len());
+        assert_eq!(report.health.completed, transitions.len() - 3);
+        let q9 = report
+            .health
+            .quarantined
+            .iter()
+            .find(|q| q.index == 9)
+            .expect("index 9 quarantined");
+        assert!(q9.retried, "{ctx}: persistent overflow must be retried");
+        assert!(
+            matches!(q9.error, CoreError::EventOverflow { .. }),
+            "{ctx}: {:?}",
+            q9.error
+        );
+
+        assert_same_survivors(&screened, &reference, &ctx);
+    }
+
+    // The serial quarantining screener agrees with the parallel one.
+    let (serial, serial_health) = screen_vectors_quarantined(
+        &engine,
+        &transitions,
+        None,
+        W_OVER_L,
+        &base,
+        FailurePolicy::quarantine(8),
+        &faults(),
+    )
+    .expect("serial quarantining screen");
+    assert_eq!(serial_health.quarantined_indices(), vec![3, 5, 9]);
+    assert_same_survivors(&serial, &reference, "serial");
+}
+
+#[test]
+fn fail_fast_surfaces_a_worker_panic_without_aborting() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let transitions = adder_transitions(8);
+    let err = screen_vectors_par_quarantined(
+        &add.netlist,
+        &tech,
+        &transitions,
+        None,
+        W_OVER_L,
+        &VbsimOptions::default(),
+        2,
+        FailurePolicy::FailFast,
+        &FaultPlan {
+            panic_at: vec![3],
+            ..FaultPlan::default()
+        },
+    )
+    .expect_err("panic must fail the sweep under FailFast");
+    match err {
+        CoreError::WorkerPanic { index, message } => {
+            assert_eq!(index, 3);
+            assert!(message.contains("injected panic"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+}
+
+#[test]
+fn quarantine_cap_aborts_with_too_many_failures() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let transitions = adder_transitions(12);
+    let err = screen_vectors_par_quarantined(
+        &add.netlist,
+        &tech,
+        &transitions,
+        None,
+        W_OVER_L,
+        &VbsimOptions::default(),
+        2,
+        FailurePolicy::quarantine(2),
+        &FaultPlan {
+            error_at: vec![1, 4, 6],
+            ..FaultPlan::default()
+        },
+    )
+    .expect_err("three failures must blow a cap of two");
+    match err {
+        CoreError::TooManyFailures {
+            failures,
+            max_failures,
+        } => {
+            assert_eq!((failures, max_failures), (3, 2));
+        }
+        other => panic!("expected TooManyFailures, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulted_search_is_thread_count_invariant() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let engine = Engine::new(&add.netlist, &tech);
+    let run = |threads: usize| {
+        search_worst_vector(
+            &engine,
+            &SearchOptions {
+                random_samples: 16,
+                restarts: 1,
+                max_passes: 2,
+                threads,
+                policy: FailurePolicy::quarantine(8),
+                fault: FaultPlan {
+                    panic_at: vec![2],
+                    error_at: vec![5],
+                    ..FaultPlan::default()
+                },
+                ..SearchOptions::at_sleep(SleepNetwork::Transistor { w_over_l: W_OVER_L })
+            },
+        )
+        .expect("faulted search must still produce a result")
+    };
+    let serial = run(1);
+    assert_eq!(serial.health.quarantined_indices(), vec![2, 5]);
+    assert_eq!(serial.health.panics_recovered, 1);
+    for threads in [2usize, 8] {
+        let par = run(threads);
+        assert_eq!(par.transition, serial.transition, "threads={threads}");
+        assert_eq!(
+            par.degradation.to_bits(),
+            serial.degradation.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            par.health.quarantined_indices(),
+            serial.health.quarantined_indices(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            par.health.panics_recovered, serial.health.panics_recovered,
+            "threads={threads}"
+        );
+    }
+}
