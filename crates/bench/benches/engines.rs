@@ -55,7 +55,11 @@ fn bench_vbsim() {
     bench("vbsim/adder_vector", 20, 200, || {
         black_box(
             add_engine
-                .run(black_box(&from), black_box(&to), &VbsimOptions::mtcmos(10.0))
+                .run(
+                    black_box(&from),
+                    black_box(&to),
+                    &VbsimOptions::mtcmos(10.0),
+                )
                 .unwrap(),
         );
     });
@@ -68,7 +72,11 @@ fn bench_vbsim() {
     bench("vbsim/multiplier_vector_a", 5, 50, || {
         black_box(
             m_engine
-                .run(black_box(&from), black_box(&to), &VbsimOptions::mtcmos(170.0))
+                .run(
+                    black_box(&from),
+                    black_box(&to),
+                    &VbsimOptions::mtcmos(170.0),
+                )
                 .unwrap(),
         );
     });

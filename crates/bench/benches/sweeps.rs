@@ -34,7 +34,10 @@ fn bench_vbsim_exhaustive() {
 fn bench_spice_adder_vector() {
     let add = RippleAdder::paper();
     let tech = Technology::l07();
-    let tr = transition_of(mtk_circuits::vectors::VectorPair::new(0b000001, 0b110101), 6);
+    let tr = transition_of(
+        mtk_circuits::vectors::VectorPair::new(0b000001, 0b110101),
+        6,
+    );
     let cfg = SpiceRunConfig::window(80e-9);
     bench("sweep/spice_adder_1_vector", 1, 10, || {
         black_box(

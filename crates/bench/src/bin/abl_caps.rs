@@ -43,7 +43,15 @@ fn build(tech: &Technology, distributed: bool) -> (Circuit, NodeId, NodeId) {
     let mut out = inp;
     for k in 0..STAGES {
         out = c.node(&format!("s{k}"));
-        c.mosfet(&format!("mp{k}"), out, prev, vdd_n, vdd_n, pmid, tech.unit_wp);
+        c.mosfet(
+            &format!("mp{k}"),
+            out,
+            prev,
+            vdd_n,
+            vdd_n,
+            pmid,
+            tech.unit_wp,
+        );
         c.mosfet(
             &format!("mn{k}"),
             out,

@@ -70,7 +70,14 @@ fn main() {
     }
     print_table(
         "tree delay: SPICE vs simulator without/with body effect (|error| vs SPICE)",
-        &["W/L", "SPICE [ns]", "sim plain [ns]", "sim +body [ns]", "err plain", "err +body"],
+        &[
+            "W/L",
+            "SPICE [ns]",
+            "sim plain [ns]",
+            "sim +body [ns]",
+            "err plain",
+            "err +body",
+        ],
         &rows,
     );
 
@@ -98,7 +105,10 @@ fn main() {
     let mut rows = Vec::new();
     let r = tech.sleep_resistance(8.0);
     for &alpha in &[2.0, 1.7, 1.4, 1.1] {
-        let t_alpha = Technology { alpha, ..tech.clone() };
+        let t_alpha = Technology {
+            alpha,
+            ..tech.clone()
+        };
         let d = n_inverter_delay(
             &t_alpha,
             r,
@@ -184,10 +194,7 @@ fn main() {
         .map(|c| c.time)
         .unwrap_or(0.0);
     let rows = vec![
-        vec![
-            "SPICE".into(),
-            format!("{:.4} V", sp_peak),
-        ],
+        vec!["SPICE".into(), format!("{:.4} V", sp_peak)],
         vec![
             "simulator, plain".into(),
             format!("{:.4} V", low_phase_peak(plain.waveform(s0), t_fall_vb)),

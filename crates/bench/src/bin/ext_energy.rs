@@ -11,8 +11,7 @@
 use mtk_bench::report::print_table;
 use mtk_circuits::tree::InverterTree;
 use mtk_core::energy::{
-    break_even_idle_time, gated_leakage_current, sleep_switching_energy,
-    unguarded_leakage_current,
+    break_even_idle_time, gated_leakage_current, sleep_switching_energy, unguarded_leakage_current,
 };
 use mtk_netlist::expand::{expand, ExpandOptions};
 use mtk_netlist::tech::Technology;
@@ -48,8 +47,8 @@ fn main() {
                 SourceWave::pulse(0.0, tech.vdd, 2e-9, 0.2e-9, 0.2e-9, 10e-9, 0.0),
             )
             .expect("set wave");
-        let res = transient(&ex.circuit, &TranOptions::to(30e-9).with_dt(20e-12))
-            .expect("transient");
+        let res =
+            transient(&ex.circuit, &TranOptions::to(30e-9).with_dt(20e-12)).expect("transient");
         // Conventional CV² accounting: count only the charge *drawn* from
         // the driver (the stored energy is later dumped to ground, not
         // returned to the supply in a real gate driver).

@@ -91,7 +91,13 @@ fn main() {
     }
     print_table(
         "sleep-mode leakage, virtual-ground float, and active delay vs sleep W/L",
-        &["W/L", "standby leakage", "reduction", "vgnd float", "active tphl [ns]"],
+        &[
+            "W/L",
+            "standby leakage",
+            "reduction",
+            "vgnd float",
+            "active tphl [ns]",
+        ],
         &rows,
     );
     println!(

@@ -75,8 +75,14 @@ fn main() {
     let base = VbsimOptions::default();
 
     // Workloads: exclusive (one tree rises at a time) vs simultaneous.
-    let tr_a = Transition::new(vec![Logic::Zero, Logic::Zero], vec![Logic::One, Logic::Zero]);
-    let tr_b = Transition::new(vec![Logic::Zero, Logic::Zero], vec![Logic::Zero, Logic::One]);
+    let tr_a = Transition::new(
+        vec![Logic::Zero, Logic::Zero],
+        vec![Logic::One, Logic::Zero],
+    );
+    let tr_b = Transition::new(
+        vec![Logic::Zero, Logic::Zero],
+        vec![Logic::Zero, Logic::One],
+    );
     let tr_both = Transition::new(vec![Logic::Zero, Logic::Zero], vec![Logic::One, Logic::One]);
     let exclusive = [tr_a.clone(), tr_b.clone()];
     let simultaneous = [tr_both.clone()];
@@ -135,7 +141,10 @@ fn main() {
         &["configuration", "device W/L", "total width"],
         &rows,
     );
-    println!("per-module verified worst degradation: {:.1}%", check * 100.0);
+    println!(
+        "per-module verified worst degradation: {:.1}%",
+        check * 100.0
+    );
     println!(
         "\nmutually exclusive discharge lets ONE shared device of W/L {w_shared_excl:.0} do the \
          work that costs {:.0} in per-module width and {w_shared_simul:.0} under the \

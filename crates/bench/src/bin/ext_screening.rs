@@ -7,36 +7,43 @@
 //! down the vector space to be analyzed with a more detailed simulator
 //! like SPICE."
 //!
-//! This binary quantifies the flow on the 3-bit adder: does the
-//! simulator's top-k contain SPICE's true worst vector, and how much
-//! SPICE time does screening save? A second phase screens a random
-//! sample of the 8×8 multiplier's 2³² transition space, where the
-//! parallel screener's speedup actually matters.
+//! This binary quantifies the flow on a ripple adder using the batched
+//! hybrid pipeline (`run_hybrid`): screen → rank/dedupe → batched SPICE
+//! verification of the top-k over the same deterministic executor. Does
+//! the simulator's top-k contain SPICE's true worst vector, and how much
+//! SPICE time does screening save? A later phase screens a random sample
+//! of the 8×8 multiplier's 2³² transition space, where the parallel
+//! screener's speedup actually matters.
 //!
-//! Usage: `ext_screening [--threads N] [--mult-samples N]
-//! [--max-failures N] [--fail-fast]`
-//! (`--threads 0` = all cores; the ranking is bit-identical at any
-//! thread count). By default vectors that fail to simulate are
-//! quarantined (up to `--max-failures`, default 32) and reported in the
-//! run-health footer; `--fail-fast` aborts on the first failure instead.
+//! Usage: `ext_screening [--threads N] [--top-k N] [--adder-bits N]
+//! [--stride N] [--mult-samples N] [--max-failures N] [--fail-fast]
+//! [--smoke]`
+//!
+//! * `--threads 0` = all cores; findings and health are bit-identical at
+//!   any thread count.
+//! * `--adder-bits N` sizes the adder (default 3 → 4096 transitions);
+//!   `--stride N` subsamples its exhaustive transition space.
+//! * `--smoke` runs only the hybrid screen+verify phase — the CI smoke
+//!   configuration.
+//! * By default vectors that fail to simulate are quarantined (up to
+//!   `--max-failures`, default 32) and reported in the run-health
+//!   footer; `--fail-fast` aborts on the first failure instead.
 
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
-use mtk_circuits::adder::RippleAdder;
+use mtk_circuits::adder::{AdderSpec, RippleAdder};
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::exhaustive_transitions;
 use mtk_core::health::{FailurePolicy, FaultPlan};
-use mtk_core::hybrid::{spice_delay_pair, SpiceRunConfig};
+use mtk_core::hybrid::{run_hybrid, spice_delay_pair, HybridOptions, SpiceRunConfig};
 use mtk_core::par::WorkerStats;
 use mtk_core::sizing::{screen_vectors_par_quarantined, Transition};
-use mtk_core::vbsim::VbsimOptions;
 use mtk_netlist::logic::bits_lsb_first;
 use mtk_netlist::tech::Technology;
 use mtk_num::prng::Xoshiro256pp;
 use std::time::Instant;
 
 const W_OVER_L: f64 = 10.0;
-const TOP_K: usize = 10;
 const MULT_SEED: u64 = 0xDAC97;
 
 fn flag(name: &str, default: usize) -> usize {
@@ -80,67 +87,97 @@ fn print_workers(workers: &[WorkerStats]) {
 
 fn main() {
     let threads = flag("--threads", 1);
+    let top_k = flag("--top-k", 10);
+    let bits = flag("--adder-bits", 3);
+    let stride = flag("--stride", 1).max(1);
     let mult_samples = flag("--mult-samples", 512);
+    let smoke = bool_flag("--smoke");
     let policy = failure_policy();
 
-    let add = RippleAdder::paper();
+    let add = RippleAdder::new(&AdderSpec {
+        bits,
+        ..AdderSpec::default()
+    })
+    .expect("adder spec");
     let tech = Technology::l07();
+    let n_inputs = 2 * bits as u32;
 
+    // The (possibly strided) exhaustive transition space of the adder.
+    let transitions: Vec<_> = exhaustive_transitions(n_inputs)
+        .into_iter()
+        .step_by(stride)
+        .map(|p| transition_of(p, n_inputs))
+        .collect();
     println!(
-        "EXT-SCREEN: vbsim screening of all 4096 adder vectors ({} thread(s)), \
-         SPICE verification of top {TOP_K}",
-        if threads == 0 { "all".to_string() } else { threads.to_string() }
+        "EXT-SCREEN: hybrid pipeline on the {bits}-bit adder — vbsim screen of {} \
+         transitions ({} thread(s)), batched SPICE verification of top {top_k}",
+        transitions.len(),
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        }
     );
 
-    // Phase 1: screen everything with the switch-level simulator.
-    let transitions: Vec<_> = exhaustive_transitions(6)
-        .into_iter()
-        .map(|p| transition_of(p, 6))
-        .collect();
-    let (screened, report) = screen_vectors_par_quarantined(
-        &add.netlist,
-        &tech,
-        &transitions,
-        None,
-        W_OVER_L,
-        &VbsimOptions::default(),
+    // Phases 1+2: the batched hybrid pipeline. Screening, ranking,
+    // dedupe and the SPICE fan-out all run on the deterministic
+    // executor; both tiers report their own health.
+    let cfg = SpiceRunConfig::window(80e-9);
+    let opts = HybridOptions {
+        top_k,
         threads,
         policy,
-        &FaultPlan::none(),
-    )
-    .expect("screening");
+        ..HybridOptions::at_size(W_OVER_L, cfg.clone())
+    };
+    let report = run_hybrid(&add.netlist, &tech, &transitions, &opts).expect("hybrid run");
     println!(
         "screened {} transitions ({} switch an output) in {:.2} s wall",
         transitions.len(),
-        screened.len(),
-        report.wall
+        report.survivors,
+        report.screen_wall
     );
-    print_workers(&report.workers);
-    println!("{}", report.health.summary());
+    print_workers(&report.screen_workers);
+    println!("screen: {}", report.screen_health.summary());
+    println!(
+        "verified {} candidates in {:.2} s wall",
+        report.findings.len(),
+        report.verify_wall
+    );
+    println!("verify: {}", report.verify_health.summary());
 
-    // Phase 2: SPICE on the simulator's top-k.
-    let cfg = SpiceRunConfig::window(80e-9);
-    let t0 = Instant::now();
-    let mut rows = Vec::new();
+    let mask = (1usize << n_inputs) - 1;
     let mut spice_worst: f64 = 0.0;
-    for entry in screened.iter().take(TOP_K) {
-        let tr = &transitions[entry.index];
-        let pair = spice_delay_pair(&add.netlist, &tech, tr, None, W_OVER_L, &cfg)
-            .expect("spice run")
-            .expect("outputs switch");
-        spice_worst = spice_worst.max(pair.degradation());
-        rows.push(vec![
-            format!("{:06b}->{:06b}", entry.index / 64, entry.index % 64),
-            pct(entry.delays.degradation()),
-            pct(pair.degradation()),
-        ]);
-    }
-    let t_verify = t0.elapsed().as_secs_f64();
     print_table(
-        "simulator top-10 vectors, SPICE-verified",
-        &["vector", "simulator degr", "SPICE degr"],
-        &rows,
+        &format!("simulator top-{top_k} vectors, SPICE-verified"),
+        &["vector", "simulator degr", "SPICE degr", "delta"],
+        &report
+            .findings
+            .iter()
+            .map(|f| {
+                let packed = f.index * stride;
+                if let Some(v) = f.verified {
+                    spice_worst = spice_worst.max(v.degradation());
+                }
+                vec![
+                    format!(
+                        "{:0w$b}->{:0w$b}",
+                        (packed >> n_inputs) & mask,
+                        packed & mask,
+                        w = n_inputs as usize
+                    ),
+                    pct(f.screened.degradation()),
+                    f.verified
+                        .map_or("quarantined".to_string(), |v| pct(v.degradation())),
+                    f.delta.map_or("-".to_string(), pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
+
+    if smoke {
+        println!("\n--smoke: skipping the blind SPICE control and multiplier phases");
+        return;
+    }
 
     // Phase 3: control — SPICE on a uniform sample to estimate the true
     // worst-case degradation without screening.
@@ -156,24 +193,32 @@ fn main() {
         }
     }
     let t_control = t0.elapsed().as_secs_f64();
+    let t_hybrid = report.screen_wall + report.verify_wall;
 
-    println!("\nworst SPICE degradation in screened top-{TOP_K}: {}", pct(spice_worst));
+    println!(
+        "\nworst SPICE degradation in screened top-{top_k}: {}",
+        pct(spice_worst)
+    );
     println!(
         "worst SPICE degradation in a blind {}-vector sample: {} (took {:.0} s vs {:.0} s \
          screen+verify)",
         sample.len(),
         pct(control_worst),
         t_control,
-        report.wall + t_verify
+        t_hybrid
     );
     let full_estimate = t_control / sample.len() as f64 * transitions.len() as f64;
     println!(
         "exhaustive SPICE would need ≈{:.0} s; the hybrid flow used {:.0} s ({}x less SPICE \
          time) and found a worst case {} the blind sample's",
         full_estimate,
-        report.wall + t_verify,
-        (full_estimate / (report.wall + t_verify)) as u64,
-        if spice_worst >= control_worst { "at least as bad as" } else { "below" }
+        t_hybrid,
+        (full_estimate / t_hybrid) as u64,
+        if spice_worst >= control_worst {
+            "at least as bad as"
+        } else {
+            "below"
+        }
     );
 
     // Phase 4: 8×8 multiplier sample screening — the workload the
@@ -183,13 +228,13 @@ fn main() {
     // ranking — is identical at any thread count).
     let m = ArrayMultiplier::paper();
     let tech03 = Technology::l03();
-    let mask = (1u64 << 16) - 1;
+    let mult_mask = (1u64 << 16) - 1;
     let mult_transitions: Vec<Transition> = (0..mult_samples as u64)
         .map(|i| {
             let mut rng = Xoshiro256pp::stream(MULT_SEED, i);
             Transition::new(
-                bits_lsb_first(rng.next_u64() & mask, 16),
-                bits_lsb_first(rng.next_u64() & mask, 16),
+                bits_lsb_first(rng.next_u64() & mult_mask, 16),
+                bits_lsb_first(rng.next_u64() & mult_mask, 16),
             )
         })
         .collect();
@@ -197,7 +242,11 @@ fn main() {
         "\nEXT-SCREEN (multiplier): {} random transitions of the 8x8 multiplier @ sleep \
          W/L=170, {} thread(s)",
         mult_transitions.len(),
-        if threads == 0 { "all".to_string() } else { threads.to_string() }
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        }
     );
     let (mscreened, mreport) = screen_vectors_par_quarantined(
         &m.netlist,
@@ -205,7 +254,7 @@ fn main() {
         &mult_transitions,
         None,
         170.0,
-        &VbsimOptions::default(),
+        &mtk_core::vbsim::VbsimOptions::default(),
         threads,
         policy,
         &FaultPlan::none(),

@@ -8,12 +8,16 @@
 //! its regime, and (b) on the 3-bit adder, lands in the top percentile
 //! of the exhaustively known distribution at a fraction of the cost.
 //!
-//! Usage: `ext_search [--threads N] [--max-failures N] [--fail-fast]`
+//! Usage: `ext_search [--threads N] [--size-target PCT]
+//! [--max-failures N] [--fail-fast]`
 //! (`--threads 0` = all cores; the search result is bit-identical at
 //! any thread count — only wall time changes). By default candidates
 //! that fail to simulate are quarantined (up to `--max-failures`,
 //! default 32) and reported in the run-health footer; `--fail-fast`
-//! aborts on the first failure instead.
+//! aborts on the first failure instead. `--size-target PCT` (default 5)
+//! sets the degradation target of the cached-sizing phase (c), which
+//! sizes the adder's sleep device from the screened worst vectors twice
+//! through one `ScreeningCache` to show a warm rerun simulates nothing.
 
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
@@ -22,7 +26,9 @@ use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::{exhaustive_transitions, multiplier_vector_a};
 use mtk_core::health::FailurePolicy;
 use mtk_core::search::{search_worst_vector, SearchOptions};
-use mtk_core::sizing::{screen_vectors, vbsim_delay_pair, Transition};
+use mtk_core::sizing::{
+    screen_vectors, size_for_target_cached, vbsim_delay_pair, ScreeningCache, Transition,
+};
 use mtk_core::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use mtk_netlist::tech::Technology;
 use std::time::Instant;
@@ -63,7 +69,11 @@ fn main() {
     println!(
         "EXT-SEARCH (a): 8x8 multiplier @ sleep W/L=100 (2^32 possible transitions), \
          {} thread(s)",
-        if threads == 0 { "all".to_string() } else { threads.to_string() }
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        }
     );
     println!(
         "paper's hand-picked vector A: {} degradation",
@@ -124,8 +134,8 @@ fn main() {
         .into_iter()
         .map(|p| transition_of(p, 6))
         .collect();
-    let screened =
-        screen_vectors(&engine, &transitions, None, 10.0, &VbsimOptions::default()).expect("screen");
+    let screened = screen_vectors(&engine, &transitions, None, 10.0, &VbsimOptions::default())
+        .expect("screen");
     let exhaustive_worst = screened[0].delays.degradation();
     let mut rows = Vec::new();
     for &(samples, restarts) in &[(50usize, 1usize), (150, 2), (400, 4)] {
@@ -150,7 +160,10 @@ fn main() {
             format!("{samples}+{restarts} restarts"),
             format!("{}", res.evaluations),
             pct(res.degradation),
-            format!("top {:.2}%", (better + 1) as f64 / screened.len() as f64 * 100.0),
+            format!(
+                "top {:.2}%",
+                (better + 1) as f64 / screened.len() as f64 * 100.0
+            ),
         ]);
     }
     rows.push(vec![
@@ -161,7 +174,69 @@ fn main() {
     ]);
     print_table(
         "EXT-SEARCH (b): 3-bit adder, search budget vs rank of the found worst case",
-        &["budget", "evaluations", "found degradation", "exhaustive rank"],
+        &[
+            "budget",
+            "evaluations",
+            "found degradation",
+            "exhaustive rank",
+        ],
         &rows,
+    );
+
+    // --- (c) cached sizing: the screened worst vectors drive the
+    // bisection, and a ScreeningCache makes a repeated sweep free. ---
+    let target = flag("--size-target", 5) as f64 / 100.0;
+    let worst: Vec<Transition> = screened[..5.min(screened.len())]
+        .iter()
+        .map(|s| transitions[s.index].clone())
+        .collect();
+    println!(
+        "\nEXT-SEARCH (c): sizing the adder's sleep device to {} degradation from the \
+         {} screened worst vectors, twice through one screening cache",
+        pct(target),
+        worst.len()
+    );
+    let base = VbsimOptions::default();
+    let cache = ScreeningCache::new();
+    let t0 = Instant::now();
+    let (wl_cold, health_cold) =
+        size_for_target_cached(&engine, &worst, None, target, (1.0, 5000.0), &base, &cache)
+            .expect("cold sizing");
+    let t_cold = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let (wl_warm, health_warm) =
+        size_for_target_cached(&engine, &worst, None, target, (1.0, 5000.0), &base, &cache)
+            .expect("warm sizing");
+    let t_warm = t0.elapsed().as_secs_f64();
+    assert_eq!(wl_cold, wl_warm, "cached rerun must be bit-identical");
+    assert_eq!(health_warm.cache_misses, 0, "warm rerun must not simulate");
+    print_table(
+        "cached sizing: cold vs warm rerun",
+        &["run", "W/L", "cache hits", "cache misses", "wall s"],
+        &[
+            vec![
+                "cold".into(),
+                format!("{wl_cold:.1}"),
+                format!("{}", health_cold.cache_hits),
+                format!("{}", health_cold.cache_misses),
+                format!("{t_cold:.3}"),
+            ],
+            vec![
+                "warm".into(),
+                format!("{wl_warm:.1}"),
+                format!("{}", health_warm.cache_hits),
+                format!("{}", health_warm.cache_misses),
+                format!("{t_warm:.3}"),
+            ],
+        ],
+    );
+    println!(
+        "warm rerun reused {} legs with zero simulator runs ({:.0}x faster)",
+        health_warm.cache_hits,
+        if t_warm > 0.0 {
+            t_cold / t_warm
+        } else {
+            f64::INFINITY
+        }
     );
 }

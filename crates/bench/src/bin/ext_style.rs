@@ -31,8 +31,8 @@ fn study(name: &str, netlist: &Netlist, tech: &Technology) -> Vec<String> {
         .take(10)
         .map(|e| transitions[e.index].clone())
         .collect();
-    let wl_5pct = size_for_target(&engine, &worst_trs, None, 0.05, (1.0, 2000.0), &base)
-        .expect("sizing");
+    let wl_5pct =
+        size_for_target(&engine, &worst_trs, None, 0.05, (1.0, 2000.0), &base).expect("sizing");
     vec![
         name.to_string(),
         format!("{}", netlist.total_transistors()),

@@ -25,12 +25,22 @@ fn main() {
     let cfg = SpiceRunConfig::window(60e-9);
 
     println!("FIG5: MTCMOS inverter tree (Fig 4), input 0->1, Vdd=1.2V, CL=50fF");
-    println!("tree: {} inverters, {} transistors", tree.netlist.cells().len(),
-        tree.netlist.total_transistors());
+    println!(
+        "tree: {} inverters, {} transistors",
+        tree.netlist.cells().len(),
+        tree.netlist.total_transistors()
+    );
 
     // CMOS baseline.
-    let cmos = spice_transition(&tree.netlist, &tech, &tr, Some(&probe), SleepImpl::AlwaysOn, &cfg)
-        .expect("cmos run");
+    let cmos = spice_transition(
+        &tree.netlist,
+        &tech,
+        &tr,
+        Some(&probe),
+        SleepImpl::AlwaysOn,
+        &cfg,
+    )
+    .expect("cmos run");
     let d_cmos = cmos.delay.expect("output switches");
 
     let mut rows = Vec::new();

@@ -62,10 +62,15 @@ fn main() {
         &rows,
     );
 
-    let monotone =
-        |d: &[f64]| d.windows(2).all(|w| w[1] <= w[0] + 1e-15);
-    println!("\nSPICE curve monotone decreasing in W/L: {}", monotone(&spice_delays));
-    println!("simulator curve monotone decreasing in W/L: {}", monotone(&vbsim_delays));
+    let monotone = |d: &[f64]| d.windows(2).all(|w| w[1] <= w[0] + 1e-15);
+    println!(
+        "\nSPICE curve monotone decreasing in W/L: {}",
+        monotone(&spice_delays)
+    );
+    println!(
+        "simulator curve monotone decreasing in W/L: {}",
+        monotone(&vbsim_delays)
+    );
     println!(
         "trend agreement: pearson {:.3}, spearman {:.3}",
         pearson(&spice_delays, &vbsim_delays),

@@ -55,7 +55,12 @@ fn main() {
     }
     print_table(
         "Fig 11: peak virtual-ground bounce (simulator staircase point count shown)",
-        &["W/L", "SPICE peak [V]", "simulator peak [V]", "staircase pts"],
+        &[
+            "W/L",
+            "SPICE peak [V]",
+            "simulator peak [V]",
+            "staircase pts",
+        ],
         &rows,
     );
 
@@ -95,7 +100,10 @@ fn main() {
          (slow recovery, matching Fig 11's high-R trace)",
         r_big,
         peak,
-        t_peak_to_10pct.map_or("never within window".to_string(), |t| format!("{:.1} ns", t * 1e9)),
+        t_peak_to_10pct.map_or("never within window".to_string(), |t| format!(
+            "{:.1} ns",
+            t * 1e9
+        )),
     );
     if dump_series {
         print_series("fig11_spice_vgnd_highR", &vg, 300);

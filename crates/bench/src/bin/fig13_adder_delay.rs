@@ -49,7 +49,12 @@ fn main() {
             .expect("outputs switch");
         sp_all.push(sp);
         vb_all.push(vb);
-        rows.push(vec![format!("{wl}"), ns(sp), ns(vb), format!("{:.2}", vb / sp)]);
+        rows.push(vec![
+            format!("{wl}"),
+            ns(sp),
+            ns(vb),
+            format!("{:.2}", vb / sp),
+        ]);
     }
     print_table(
         "Fig 13: adder delay vs W/L (SPICE vs simulator)",

@@ -13,9 +13,9 @@
 //! `--skip-spice` to reproduce the switch-level portion only.
 
 use mtk_bench::report::{ns, pct, print_table};
+use mtk_bench::transition_of;
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::{multiplier_vector_a, multiplier_vector_b, VectorPair};
-use mtk_bench::transition_of;
 use mtk_core::hybrid::{spice_transition, SpiceRunConfig};
 use mtk_core::sizing::{size_for_target, vbsim_delay_pair, Transition};
 use mtk_core::vbsim::{Engine, SleepNetwork, VbsimOptions};
@@ -111,10 +111,24 @@ fn main() {
     // ---- §4: the input-vector trap. ----
     // Size for <= 5% using vector B only, then check vector A at that size.
     let base = VbsimOptions::default();
-    let wl_from_b = size_for_target(&engine, std::slice::from_ref(&tr_b), None, 0.05, (10.0, 4000.0), &base)
-        .expect("sizing from B");
-    let wl_from_a = size_for_target(&engine, std::slice::from_ref(&tr_a), None, 0.05, (10.0, 4000.0), &base)
-        .expect("sizing from A");
+    let wl_from_b = size_for_target(
+        &engine,
+        std::slice::from_ref(&tr_b),
+        None,
+        0.05,
+        (10.0, 4000.0),
+        &base,
+    )
+    .expect("sizing from B");
+    let wl_from_a = size_for_target(
+        &engine,
+        std::slice::from_ref(&tr_a),
+        None,
+        0.05,
+        (10.0, 4000.0),
+        &base,
+    )
+    .expect("sizing from A");
     let a_at_b_size = vb_pair(&tr_a, wl_from_b).degradation();
     println!("\n== §4: input-vector dependence of sizing ==");
     println!("sizing for <=5% on vector B alone:  W/L = {wl_from_b:.0}");
@@ -140,9 +154,7 @@ fn main() {
         "peak discharge current (vector A, switch-level): {:.3} mA (paper: 1.174 mA)",
         i_peak * 1e3
     );
-    println!(
-        "peak-current sizing for a 50 mV budget: W/L = {wl_peak:.0} (paper: >500, ~3x over)"
-    );
+    println!("peak-current sizing for a 50 mV budget: W/L = {wl_peak:.0} (paper: >500, ~3x over)");
     println!(
         "  -> {:.1}x larger than the {:.0} the 5% target actually needs",
         wl_peak / wl_from_a,

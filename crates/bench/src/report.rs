@@ -17,17 +17,16 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (k, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", c, w = widths.get(k).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                c,
+                w = widths.get(k).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|&w| "-".repeat(w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|&w| "-".repeat(w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

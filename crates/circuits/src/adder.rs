@@ -201,7 +201,11 @@ mod tests {
 
     #[test]
     fn wide_adder_matches_integer_addition() {
-        let add = RippleAdder::new(&AdderSpec { bits: 8, ..AdderSpec::default() }).unwrap();
+        let add = RippleAdder::new(&AdderSpec {
+            bits: 8,
+            ..AdderSpec::default()
+        })
+        .unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(0xADD);
         for _ in 0..64 {
             let a = rng.next_below(256);

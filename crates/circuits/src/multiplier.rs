@@ -85,7 +85,13 @@ impl ArrayMultiplier {
                     nand,
                     drive,
                 )?;
-                nl.add_cell(&format!("gpp{i}_{j}"), CellKind::Inv, vec![nand], and, drive)?;
+                nl.add_cell(
+                    &format!("gpp{i}_{j}"),
+                    CellKind::Inv,
+                    vec![nand],
+                    and,
+                    drive,
+                )?;
                 pp[i][j] = and;
             }
         }
@@ -105,14 +111,8 @@ impl ArrayMultiplier {
             let mut c_next = vec![zero; n];
             for i in 0..n {
                 let b_in = if i + 1 < n { s[i + 1] } else { zero };
-                let (si, ci) = full_adder(
-                    &mut nl,
-                    &format!("csa{k}_{i}"),
-                    pp[i][k],
-                    b_in,
-                    c[i],
-                    drive,
-                )?;
+                let (si, ci) =
+                    full_adder(&mut nl, &format!("csa{k}_{i}"), pp[i][k], b_in, c[i], drive)?;
                 s_next[i] = si;
                 c_next[i] = ci;
             }
@@ -235,9 +235,6 @@ mod tests {
         assert_eq!(m.netlist.primary_inputs().len(), 16);
         // 64 partial products (NAND+INV) + (7 rows × 8 + 8 ripple) FAs.
         let fa_count = 7 * 8 + 8;
-        assert_eq!(
-            m.netlist.total_transistors(),
-            64 * 6 + fa_count * 28
-        );
+        assert_eq!(m.netlist.total_transistors(), 64 * 6 + fa_count * 28);
     }
 }

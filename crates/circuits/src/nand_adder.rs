@@ -183,7 +183,11 @@ mod tests {
 
     #[test]
     fn wide_nand_adder_matches_integer_addition() {
-        let add = NandRippleAdder::new(&NandAdderSpec { bits: 6, ..NandAdderSpec::default() }).unwrap();
+        let add = NandRippleAdder::new(&NandAdderSpec {
+            bits: 6,
+            ..NandAdderSpec::default()
+        })
+        .unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(0x4A);
         for _ in 0..64 {
             let a = rng.next_below(64);

@@ -128,7 +128,11 @@ mod tests {
         })
         .unwrap();
         assert!(
-            a.netlist.cells().iter().zip(c.netlist.cells()).any(|(x, y)| x != y),
+            a.netlist
+                .cells()
+                .iter()
+                .zip(c.netlist.cells())
+                .any(|(x, y)| x != y),
             "different seeds should differ"
         );
     }
@@ -144,10 +148,7 @@ mod tests {
             .unwrap();
             assert!(rl.netlist.topo_order().is_ok());
             assert!(!rl.outputs.is_empty());
-            let vals = rl
-                .netlist
-                .evaluate(&bits_lsb_first(0b10110101, 8))
-                .unwrap();
+            let vals = rl.netlist.evaluate(&bits_lsb_first(0b10110101, 8)).unwrap();
             // Every net is defined (no X) for definite inputs.
             assert!(vals.iter().all(|v| v.is_known()));
         }
@@ -160,7 +161,11 @@ mod tests {
         for _ in 0..32 {
             let seed = rng.next_below(20);
             let v = rng.next_below(256);
-            let rl = RandomLogic::new(&RandomLogicSpec { seed, ..RandomLogicSpec::default() }).unwrap();
+            let rl = RandomLogic::new(&RandomLogicSpec {
+                seed,
+                ..RandomLogicSpec::default()
+            })
+            .unwrap();
             let a = rl.netlist.evaluate(&bits_lsb_first(v, 8)).unwrap();
             let b = rl.netlist.evaluate(&bits_lsb_first(v, 8)).unwrap();
             assert_eq!(a, b);
@@ -175,7 +180,11 @@ mod tests {
         for _ in 0..32 {
             let seed = rng.next_below(10);
             let bit = rng.next_below(8) as u32;
-            let rl = RandomLogic::new(&RandomLogicSpec { seed, ..RandomLogicSpec::default() }).unwrap();
+            let rl = RandomLogic::new(&RandomLogicSpec {
+                seed,
+                ..RandomLogicSpec::default()
+            })
+            .unwrap();
             let base = rl.netlist.evaluate(&bits_lsb_first(0, 8)).unwrap();
             let flipped = rl.netlist.evaluate(&bits_lsb_first(1 << bit, 8)).unwrap();
             // The flipped input net itself must differ; all primary inputs

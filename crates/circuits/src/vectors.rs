@@ -40,11 +40,7 @@ impl VectorPair {
     }
 
     /// A transition between two operand pairs.
-    pub fn from_operands(
-        (a0, b0): (u64, u64),
-        (a1, b1): (u64, u64),
-        bits: u32,
-    ) -> Self {
+    pub fn from_operands((a0, b0): (u64, u64), (a1, b1): (u64, u64), bits: u32) -> Self {
         VectorPair::new(Self::pack(a0, b0, bits), Self::pack(a1, b1, bits))
     }
 

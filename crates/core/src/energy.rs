@@ -63,9 +63,9 @@ pub fn gated_leakage_current(tech: &Technology, w_over_l: f64) -> f64 {
 ///
 /// Returns `f64::INFINITY` when gating saves nothing.
 pub fn break_even_idle_time(netlist: &Netlist, tech: &Technology, w_over_l: f64) -> f64 {
-    let saved_power =
-        (unguarded_leakage_current(netlist, tech) - gated_leakage_current(tech, w_over_l))
-            * tech.vdd;
+    let saved_power = (unguarded_leakage_current(netlist, tech)
+        - gated_leakage_current(tech, w_over_l))
+        * tech.vdd;
     if saved_power <= 0.0 {
         return f64::INFINITY;
     }
@@ -121,7 +121,10 @@ mod tests {
         let tech = Technology::l03();
         let unguarded = unguarded_leakage_current(&tree.netlist, &tech);
         let huge = unguarded / gated_leakage_current(&tech, 1.0) * 2.0;
-        assert_eq!(break_even_idle_time(&tree.netlist, &tech, huge), f64::INFINITY);
+        assert_eq!(
+            break_even_idle_time(&tree.netlist, &tech, huge),
+            f64::INFINITY
+        );
     }
 
     #[test]

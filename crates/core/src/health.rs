@@ -49,6 +49,12 @@ pub struct RunHealth {
     /// Virtual-ground equilibrium solves that only converged under the
     /// relaxed fallback tolerances.
     pub vx_fallbacks: usize,
+    /// Simulator legs served from a [`crate::sizing::ScreeningCache`]
+    /// instead of re-simulated. Always 0 on the health of a raw engine
+    /// run; only the `_cached` sizing entry points count here.
+    pub cache_hits: usize,
+    /// Simulator legs computed and inserted into a screening cache.
+    pub cache_misses: usize,
 }
 
 impl RunHealth {
@@ -68,6 +74,8 @@ impl RunHealth {
         self.max_events = self.max_events.max(other.max_events);
         self.glitch_reversals += other.glitch_reversals;
         self.vx_fallbacks += other.vx_fallbacks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -174,6 +182,12 @@ impl SweepHealth {
             self.runs.glitch_reversals,
             self.runs.vx_fallbacks,
         ));
+        if self.runs.cache_hits > 0 || self.runs.cache_misses > 0 {
+            s.push_str(&format!(
+                "; cache {} hits / {} misses",
+                self.runs.cache_hits, self.runs.cache_misses,
+            ));
+        }
         s
     }
 }
@@ -390,7 +404,10 @@ mod tests {
 
     fn err_report(retried: bool) -> Result<ItemReport<u32>, ItemPanic> {
         Ok(ItemReport {
-            value: Err(CoreError::EventOverflow { events: 99, t: 1e-9 }),
+            value: Err(CoreError::EventOverflow {
+                events: 99,
+                t: 1e-9,
+            }),
             retried,
             run: RunHealth::default(),
         })
@@ -425,8 +442,7 @@ mod tests {
                 message: "boom".into(),
             }),
         ];
-        let (out, health) =
-            fold_item_reports(reports, FailurePolicy::quarantine(4)).unwrap();
+        let (out, health) = fold_item_reports(reports, FailurePolicy::quarantine(4)).unwrap();
         assert_eq!(out, vec![Some(1), None, Some(2), None]);
         assert_eq!(health.quarantined_indices(), vec![1, 3]);
         assert_eq!(health.retries, 1);
@@ -472,18 +488,24 @@ mod tests {
             max_events: 100,
             glitch_reversals: 2,
             vx_fallbacks: 1,
+            cache_hits: 3,
+            cache_misses: 2,
         };
         let b = RunHealth {
             breakpoints: 10,
             max_events: 400,
             glitch_reversals: 1,
             vx_fallbacks: 0,
+            cache_hits: 1,
+            cache_misses: 0,
         };
         a.absorb(&b);
         assert_eq!(a.breakpoints, 60);
         assert_eq!(a.max_events, 400);
         assert_eq!(a.glitch_reversals, 3);
         assert_eq!(a.vx_fallbacks, 1);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.cache_misses, 2);
         assert!((a.budget_used() - 0.15).abs() < 1e-12);
         assert_eq!(RunHealth::default().budget_used(), 0.0);
     }
@@ -529,7 +551,10 @@ mod tests {
         };
         let picks: Vec<bool> = (0..512).map(|i| plan.fault_at(i).is_some()).collect();
         let again: Vec<bool> = (0..512).map(|i| plan.fault_at(i).is_some()).collect();
-        assert_eq!(picks, again, "injection must be a pure function of the index");
+        assert_eq!(
+            picks, again,
+            "injection must be a pure function of the index"
+        );
         let hits = picks.iter().filter(|&&b| b).count();
         assert!(
             (64..192).contains(&hits),

@@ -9,13 +9,20 @@
 //! expansion and measuring the same delay the switch-level engine
 //! reports.
 
-use crate::sizing::{DelayPair, Transition};
+use crate::health::{
+    fold_item_reports, FailurePolicy, FaultPlan, ItemReport, RunHealth, SweepHealth,
+};
+use crate::par::{try_parallel_map_with, WorkerStats};
+use crate::sizing::{screen_vectors_par_quarantined, DelayPair, ScreenedVector, Transition};
+use crate::vbsim::{worst_delay_vs_baseline, VbsimOptions};
 use crate::CoreError;
-use mtk_netlist::expand::{expand, ExpandOptions, SleepImpl};
+use mtk_netlist::expand::{expand, ExpandOptions, Expanded, SleepImpl};
+use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{NetId, Netlist};
 use mtk_netlist::tech::Technology;
 use mtk_num::waveform::{Edge, Pwl};
 use mtk_spice::tran::{transient, TranOptions};
+use std::time::Instant;
 
 /// Configuration of a SPICE verification run.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +60,11 @@ pub struct SpiceTransition {
     /// crossing after the input reference edge), or `None` if no probe
     /// switched.
     pub delay: Option<f64>,
+    /// Per-probe settling delay, parallel to the probe list; `None`
+    /// where that probe never crossed after the reference edge. This is
+    /// what baseline comparisons need: a probe that switched in CMOS but
+    /// is `None` under MTCMOS is a stalled gate, not a quiet one.
+    pub probe_delays: Vec<Option<f64>>,
     /// Per-probe waveforms, parallel to the probe list.
     pub probe_waveforms: Vec<Pwl>,
     /// Virtual-ground waveform (`None` for the CMOS baseline).
@@ -127,16 +139,19 @@ pub fn spice_transition(
     let t_ref = cfg.t0 + ex.default_slew / 2.0;
     let v_half = tech.v_switch();
     let mut delay: Option<f64> = None;
+    let mut probe_delays = Vec::with_capacity(probe_nets.len());
     let mut probe_waveforms = Vec::with_capacity(probe_nets.len());
     for &n in &probe_nets {
         let w = res.waveform(ex.node_of(n)).map_err(CoreError::Spice)?;
-        let last = w
+        let d = w
             .crossings(v_half)
-            .into_iter().rfind(|c| c.time >= t_ref);
-        if let Some(c) = last {
-            let d = c.time - t_ref;
+            .into_iter()
+            .rfind(|c| c.time >= t_ref)
+            .map(|c| c.time - t_ref);
+        if let Some(d) = d {
             delay = Some(delay.map_or(d, |cur: f64| cur.max(d)));
         }
+        probe_delays.push(d);
         probe_waveforms.push(w);
     }
     let vgnd = match ex.vgnd {
@@ -150,6 +165,7 @@ pub fn spice_transition(
     });
     Ok(SpiceTransition {
         delay,
+        probe_delays,
         probe_waveforms,
         vgnd,
         supply_current,
@@ -188,7 +204,10 @@ pub fn spice_delay_pair(
         SleepImpl::Transistor { w_over_l },
         cfg,
     )?;
-    let d_mt = mt.delay.unwrap_or(d_cmos);
+    // Per-probe against the baseline: a probe that crossed in CMOS but
+    // never under MTCMOS is a stalled gate and reports an infinite
+    // delay, not the baseline value.
+    let d_mt = worst_delay_vs_baseline(&cmos.probe_delays, &mt.probe_delays).unwrap_or(d_cmos);
     Ok(Some(DelayPair {
         cmos: d_cmos,
         mtcmos: d_mt,
@@ -199,13 +218,388 @@ pub fn spice_delay_pair(
 /// `None`.
 pub fn last_crossing_after(w: &Pwl, v: f64, t_from: f64) -> Option<f64> {
     w.crossings(v)
-        .into_iter().rfind(|c| c.time >= t_from)
+        .into_iter()
+        .rfind(|c| c.time >= t_from)
         .map(|c| c.time)
 }
 
 /// First crossing in a given direction after `t_from`.
 pub fn first_crossing_after(w: &Pwl, v: f64, edge: Edge, t_from: f64) -> Option<f64> {
     w.first_crossing(v, edge, t_from).map(|c| c.time)
+}
+
+/// Configuration of [`run_hybrid`].
+#[derive(Debug, Clone)]
+pub struct HybridOptions {
+    /// Sleep transistor W/L used by both tiers.
+    pub w_over_l: f64,
+    /// How many top-ranked screened survivors get SPICE verification.
+    pub top_k: usize,
+    /// Worker threads for both the screening and verification fan-outs.
+    pub threads: usize,
+    /// Probed nets (`None` = primary outputs).
+    pub probes: Option<Vec<NetId>>,
+    /// Switch-level simulator options for the screening tier.
+    pub base: VbsimOptions,
+    /// SPICE window for the verification tier.
+    pub spice: SpiceRunConfig,
+    /// Failure routing shared by both tiers.
+    pub policy: FailurePolicy,
+    /// Deterministic fault injection into the screening tier (tests).
+    pub fault: FaultPlan,
+    /// Deterministic fault injection into the verification tier (tests).
+    pub verify_fault: FaultPlan,
+}
+
+impl HybridOptions {
+    /// Defaults at a given sleep size and SPICE window: top-10
+    /// verification, serial, primary-output probes, fail-fast, no
+    /// injected faults.
+    pub fn at_size(w_over_l: f64, spice: SpiceRunConfig) -> Self {
+        HybridOptions {
+            w_over_l,
+            top_k: 10,
+            threads: 1,
+            probes: None,
+            base: VbsimOptions::default(),
+            spice,
+            policy: FailurePolicy::FailFast,
+            fault: FaultPlan::none(),
+            verify_fault: FaultPlan::none(),
+        }
+    }
+}
+
+/// One verified candidate of a hybrid run, in rank order (worst screened
+/// degradation first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridFinding {
+    /// Index into the caller's transition list.
+    pub index: usize,
+    /// The switch-level screening measurement.
+    pub screened: DelayPair,
+    /// The SPICE measurement; `None` when no probe switched at the
+    /// transistor level or the verification was quarantined.
+    pub verified: Option<DelayPair>,
+    /// `verified.degradation() − screened.degradation()` when both are
+    /// finite — the screening tier's signed error for this vector.
+    pub delta: Option<f64>,
+    /// Gmin-continuation stages the two SPICE operating points needed.
+    pub op_gmin_fallback_stages: usize,
+    /// Time-step halvings the two SPICE transients needed.
+    pub dt_halvings: usize,
+}
+
+/// The merged report of one [`run_hybrid`] call.
+#[derive(Debug)]
+pub struct HybridReport {
+    /// Verified candidates, worst screened degradation first.
+    pub findings: Vec<HybridFinding>,
+    /// Screened survivors before deduplication and the top-k cut.
+    pub survivors: usize,
+    /// Sweep health of the screening tier (quarantines, retries, cache
+    /// and simulator counters).
+    pub screen_health: SweepHealth,
+    /// Sweep health of the verification tier.
+    pub verify_health: SweepHealth,
+    /// Per-worker counters of the screening tier.
+    pub screen_workers: Vec<WorkerStats>,
+    /// Per-worker counters of the verification tier (`vectors` counts
+    /// candidates verified).
+    pub verify_workers: Vec<WorkerStats>,
+    /// Wall time of the screening tier, seconds.
+    pub screen_wall: f64,
+    /// Wall time of the verification tier, seconds.
+    pub verify_wall: f64,
+}
+
+/// What one SPICE verification of one candidate measured.
+#[derive(Debug, Clone, PartialEq)]
+struct VerifiedDelays {
+    pair: Option<DelayPair>,
+    op_gmin_fallback_stages: usize,
+    dt_halvings: usize,
+}
+
+/// A worker's pair of reusable transistor-level circuits. Expansion is
+/// paid once per worker; each candidate only reprograms input waveforms
+/// and initial conditions.
+struct SpiceVerifier {
+    cmos: Expanded,
+    mtcmos: Expanded,
+}
+
+/// Expansion options of one verification leg.
+fn verify_expand_options(sleep: SleepImpl, cfg: &SpiceRunConfig) -> ExpandOptions {
+    ExpandOptions {
+        sleep,
+        vgnd_extra_cap: cfg.vgnd_extra_cap,
+        with_leakage: cfg.with_leakage,
+        vgnd_junction_cap: true,
+    }
+}
+
+/// Reprograms an expanded circuit for one transition and runs the
+/// transient, returning per-probe settling delays plus solver-stress
+/// counters. The circuit is reused across candidates: input waves are
+/// *replaced* and the previous vector's initial conditions are cleared
+/// before the settled state of this vector is applied —
+/// [`mtk_spice::circuit::Circuit::set_ic`] appends, so skipping the
+/// clear would leave stale rails tugging on the operating point.
+fn run_reused(
+    ex: &mut Expanded,
+    netlist: &Netlist,
+    tech: &Technology,
+    tr: &Transition,
+    probe_nets: &[NetId],
+    cfg: &SpiceRunConfig,
+) -> Result<(Vec<Option<f64>>, usize, usize), CoreError> {
+    if tr.from.len() != netlist.primary_inputs().len() {
+        return Err(CoreError::UnknownState(format!(
+            "vector width {} != {} primary inputs",
+            tr.from.len(),
+            netlist.primary_inputs().len()
+        )));
+    }
+    for pos in 0..tr.from.len() {
+        ex.set_input_transition(pos, tr.from[pos], tr.to[pos], cfg.t0)
+            .map_err(CoreError::Netlist)?;
+    }
+    let settled = netlist.evaluate(&tr.from).map_err(CoreError::Netlist)?;
+    ex.circuit.clear_ics();
+    ex.apply_initial_state(&settled);
+    let mut probe_nodes: Vec<_> = probe_nets.iter().map(|&n| ex.node_of(n)).collect();
+    if let Some(vg) = ex.vgnd {
+        probe_nodes.push(vg);
+    }
+    let tran_opts = TranOptions::to(cfg.t_stop)
+        .with_dt(cfg.dt)
+        .with_probes(probe_nodes);
+    let res = transient(&ex.circuit, &tran_opts).map_err(CoreError::Spice)?;
+    let t_ref = cfg.t0 + ex.default_slew / 2.0;
+    let v_half = tech.v_switch();
+    let mut delays = Vec::with_capacity(probe_nets.len());
+    for &n in probe_nets {
+        let w = res.waveform(ex.node_of(n)).map_err(CoreError::Spice)?;
+        delays.push(
+            w.crossings(v_half)
+                .into_iter()
+                .rfind(|c| c.time >= t_ref)
+                .map(|c| c.time - t_ref),
+        );
+    }
+    Ok((delays, res.op_gmin_fallback_stages, res.dt_halvings))
+}
+
+/// Verifies one candidate on a worker's reusable circuit pair.
+fn verify_candidate(
+    ver: &mut SpiceVerifier,
+    netlist: &Netlist,
+    tech: &Technology,
+    tr: &Transition,
+    probe_nets: &[NetId],
+    cfg: &SpiceRunConfig,
+) -> Result<VerifiedDelays, CoreError> {
+    let (cmos, op_c, halve_c) = run_reused(&mut ver.cmos, netlist, tech, tr, probe_nets, cfg)?;
+    let d_cmos = cmos
+        .iter()
+        .flatten()
+        .copied()
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.max(t)))
+        });
+    let Some(d_cmos) = d_cmos else {
+        return Ok(VerifiedDelays {
+            pair: None,
+            op_gmin_fallback_stages: op_c,
+            dt_halvings: halve_c,
+        });
+    };
+    let (mt, op_m, halve_m) = run_reused(&mut ver.mtcmos, netlist, tech, tr, probe_nets, cfg)?;
+    let d_mt = worst_delay_vs_baseline(&cmos, &mt).unwrap_or(d_cmos);
+    Ok(VerifiedDelays {
+        pair: Some(DelayPair {
+            cmos: d_cmos,
+            mtcmos: d_mt,
+        }),
+        op_gmin_fallback_stages: op_c + op_m,
+        dt_halvings: halve_c + halve_m,
+    })
+}
+
+/// The batched hybrid pipeline (§5, §7): screen every transition with
+/// the switch-level simulator, rank and dedupe the survivors, then fan
+/// the top `top_k` candidates out as SPICE verifications over the same
+/// deterministic executor.
+///
+/// Both tiers share the executor's contracts: per-worker engines /
+/// expanded circuits, index-ordered folds, panic isolation, and
+/// [`FailurePolicy`] routing, so findings, quarantine sets, and both
+/// [`SweepHealth`]s are bit-identical at any thread count. Survivors
+/// whose transitions are duplicates keep only the best-ranked instance.
+///
+/// # Errors
+///
+/// * Screening failures per [`screen_vectors_par_quarantined`].
+/// * [`CoreError::Netlist`] when the netlist cannot be expanded to the
+///   transistor level (checked once, before workers spawn).
+/// * Verification failures routed per `opts.policy`, fail-fast errors
+///   deterministically reporting the lowest-ranked failing candidate.
+pub fn run_hybrid(
+    netlist: &Netlist,
+    tech: &Technology,
+    transitions: &[Transition],
+    opts: &HybridOptions,
+) -> Result<HybridReport, CoreError> {
+    let (screened, screen_report) = screen_vectors_par_quarantined(
+        netlist,
+        tech,
+        transitions,
+        opts.probes.as_deref(),
+        opts.w_over_l,
+        &opts.base,
+        opts.threads,
+        opts.policy,
+        &opts.fault,
+    )?;
+    let survivors = screened.len();
+
+    // Rank order is already worst-first; keep the first (best-ranked)
+    // instance of each distinct transition.
+    let mut seen = std::collections::HashSet::new();
+    let mut candidates: Vec<ScreenedVector> = Vec::new();
+    for s in &screened {
+        if candidates.len() == opts.top_k {
+            break;
+        }
+        let tr = &transitions[s.index];
+        let encode = |side: &[Logic]| -> Vec<u8> {
+            side.iter()
+                .map(|l| match l {
+                    Logic::Zero => 0u8,
+                    Logic::One => 1,
+                    Logic::X => 2,
+                })
+                .collect()
+        };
+        if seen.insert((encode(&tr.from), encode(&tr.to))) {
+            candidates.push(*s);
+        }
+    }
+
+    // Validate both expansions once up front so worker initialisation
+    // (which cannot return an error) is infallible.
+    let cmos_opts = verify_expand_options(SleepImpl::AlwaysOn, &opts.spice);
+    let mt_opts = verify_expand_options(
+        SleepImpl::Transistor {
+            w_over_l: opts.w_over_l,
+        },
+        &opts.spice,
+    );
+    expand(netlist, tech, &cmos_opts).map_err(CoreError::Netlist)?;
+    expand(netlist, tech, &mt_opts).map_err(CoreError::Netlist)?;
+
+    let probe_nets = match &opts.probes {
+        Some(p) => p.clone(),
+        None => netlist.primary_outputs().to_vec(),
+    };
+    let t0 = Instant::now();
+    let (reports, verify_workers) = try_parallel_map_with(
+        opts.threads,
+        1,
+        &candidates,
+        || SpiceVerifier {
+            cmos: expand(netlist, tech, &cmos_opts).expect("validated above"),
+            mtcmos: expand(netlist, tech, &mt_opts).expect("validated above"),
+        },
+        |ver, rank, cand, stats| -> ItemReport<VerifiedDelays> {
+            stats.vectors += 1;
+            let value = opts.verify_fault.check(rank, 0).and_then(|()| {
+                verify_candidate(
+                    ver,
+                    netlist,
+                    tech,
+                    &transitions[cand.index],
+                    &probe_nets,
+                    &opts.spice,
+                )
+            });
+            ItemReport {
+                value,
+                retried: false,
+                run: RunHealth::default(),
+            }
+        },
+    );
+    let (values, verify_health) = fold_item_reports(reports, opts.policy)?;
+    let verify_wall = t0.elapsed().as_secs_f64();
+
+    let findings = candidates
+        .iter()
+        .zip(values)
+        .map(|(cand, v)| {
+            let pair = v.as_ref().and_then(|v| v.pair);
+            let delta = pair.and_then(|p| {
+                let (s, v) = (cand.delays.degradation(), p.degradation());
+                (s.is_finite() && v.is_finite()).then_some(v - s)
+            });
+            HybridFinding {
+                index: cand.index,
+                screened: cand.delays,
+                verified: pair,
+                delta,
+                op_gmin_fallback_stages: v.as_ref().map_or(0, |v| v.op_gmin_fallback_stages),
+                dt_halvings: v.as_ref().map_or(0, |v| v.dt_halvings),
+            }
+        })
+        .collect();
+    Ok(HybridReport {
+        findings,
+        survivors,
+        screen_health: screen_report.health,
+        verify_health,
+        screen_workers: screen_report.workers,
+        verify_workers,
+        screen_wall: screen_report.wall,
+        verify_wall,
+    })
+}
+
+/// Exports one candidate's MTCMOS verification circuit as a runnable
+/// SPICE deck (`.ic` seeding plus a `.tran` card), for checking a
+/// finding in an external simulator.
+///
+/// # Errors
+///
+/// As [`spice_transition`].
+pub fn candidate_deck(
+    netlist: &Netlist,
+    tech: &Technology,
+    tr: &Transition,
+    w_over_l: f64,
+    cfg: &SpiceRunConfig,
+) -> Result<String, CoreError> {
+    let opts = verify_expand_options(SleepImpl::Transistor { w_over_l }, cfg);
+    let mut ex = expand(netlist, tech, &opts).map_err(CoreError::Netlist)?;
+    if tr.from.len() != netlist.primary_inputs().len() {
+        return Err(CoreError::UnknownState(format!(
+            "vector width {} != {} primary inputs",
+            tr.from.len(),
+            netlist.primary_inputs().len()
+        )));
+    }
+    for pos in 0..tr.from.len() {
+        ex.set_input_transition(pos, tr.from[pos], tr.to[pos], cfg.t0)
+            .map_err(CoreError::Netlist)?;
+    }
+    let settled = netlist.evaluate(&tr.from).map_err(CoreError::Netlist)?;
+    ex.apply_initial_state(&settled);
+    Ok(mtk_spice::deck::to_deck_with_tran(
+        &ex.circuit,
+        "mtcmos verification candidate",
+        cfg.dt,
+        cfg.t_stop,
+    ))
 }
 
 #[cfg(test)]

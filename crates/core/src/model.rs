@@ -23,15 +23,13 @@ use mtk_netlist::tech::Technology;
 use mtk_num::roots::{brent, RootOptions};
 
 /// Options for the virtual-ground equilibrium solve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VxOptions {
     /// Include the body effect (V<sub>tn</sub> raised by the
     /// source-to-body bias V<sub>x</sub>). The paper's simple model omits
     /// it; enabling it is the §5.3 accuracy extension.
     pub body_effect: bool,
 }
-
 
 /// Solves Eq. 5 for the virtual-ground voltage V<sub>x</sub> given the
 /// sleep resistance and the effective β of every *currently discharging*
@@ -258,10 +256,10 @@ mod tests {
         let t = Technology::l07();
         let r = t.sleep_resistance(5.0);
         let beta = t.kp_n;
-        let d_plain = n_inverter_delay(&t, r, 9, beta, 50e-15, VxOptions { body_effect: false })
-            .unwrap();
-        let d_body = n_inverter_delay(&t, r, 9, beta, 50e-15, VxOptions { body_effect: true })
-            .unwrap();
+        let d_plain =
+            n_inverter_delay(&t, r, 9, beta, 50e-15, VxOptions { body_effect: false }).unwrap();
+        let d_body =
+            n_inverter_delay(&t, r, 9, beta, 50e-15, VxOptions { body_effect: true }).unwrap();
         assert!(d_body > d_plain, "{d_body} vs {d_plain}");
     }
 

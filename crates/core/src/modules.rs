@@ -95,7 +95,10 @@ pub fn worst_degradation_partitioned(
         let d_mt = if mt.stalled || mt.truncated {
             f64::INFINITY
         } else {
-            mt.delay_over(&outputs).unwrap_or(d_cmos)
+            // Per-probe against the baseline: an output that switched in
+            // CMOS but never under MTCMOS is a stalled gate (infinite
+            // delay), not a probe to skip.
+            mt.delay_over_baseline(&outputs, &cmos).unwrap_or(d_cmos)
         };
         worst = worst.max((d_mt - d_cmos) / d_cmos);
     }
@@ -200,11 +203,7 @@ mod tests {
         let assignment = partition_by_depth(&tree.netlist, 3).unwrap();
         let wl = 5.0;
         let single = engine
-            .run(
-                &[Logic::Zero],
-                &[Logic::One],
-                &VbsimOptions::mtcmos(wl),
-            )
+            .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(wl))
             .unwrap();
         let partition = PartitionedSleep {
             assignment,

@@ -1,7 +1,10 @@
 //! A small std-only parallel executor for the screening/search hot path.
 //!
 //! The paper's workflow is embarrassingly parallel: thousands of input
-//! vectors, each simulated independently by the switch-level simulator.
+//! vectors, each simulated independently by the switch-level simulator —
+//! and, in the hybrid flow ([`crate::hybrid::run_hybrid`]), the top
+//! screened candidates each verified independently by a SPICE transient
+//! on a per-worker reusable circuit.
 //! This module shards an indexed work list across scoped worker threads.
 //! Work items are handed out dynamically (an atomic cursor over fixed
 //! chunks), but results are keyed by item index, so the *output* is
@@ -130,22 +133,19 @@ where
     let threads = num_threads(threads).min(items.len().max(1));
     let chunk = chunk.max(1);
 
-    let run_item = |ctx: &mut C,
-                    idx: usize,
-                    item: &T,
-                    stats: &mut WorkerStats|
-     -> Result<R, ItemPanic> {
-        match catch_unwind(AssertUnwindSafe(|| f(&mut *ctx, idx, item, &mut *stats))) {
-            Ok(v) => Ok(v),
-            Err(payload) => {
-                *ctx = init();
-                Err(ItemPanic {
-                    index: idx,
-                    message: panic_message(payload),
-                })
+    let run_item =
+        |ctx: &mut C, idx: usize, item: &T, stats: &mut WorkerStats| -> Result<R, ItemPanic> {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut *ctx, idx, item, &mut *stats))) {
+                Ok(v) => Ok(v),
+                Err(payload) => {
+                    *ctx = init();
+                    Err(ItemPanic {
+                        index: idx,
+                        message: panic_message(payload),
+                    })
+                }
             }
-        }
-    };
+        };
 
     if threads <= 1 {
         // Inline fast path: no thread spawn, same per-index semantics.
@@ -304,8 +304,7 @@ mod tests {
     #[test]
     fn panicking_item_is_isolated_at_any_thread_count() {
         let items: Vec<u64> = (0..64).collect();
-        let mut expect: Vec<Result<u64, ItemPanic>> =
-            items.iter().map(|&x| Ok(x * 2)).collect();
+        let mut expect: Vec<Result<u64, ItemPanic>> = items.iter().map(|&x| Ok(x * 2)).collect();
         expect[13] = Err(ItemPanic {
             index: 13,
             message: "injected panic at item 13".into(),
@@ -377,10 +376,25 @@ mod tests {
     #[test]
     fn merge_stats_sums_by_worker() {
         let a = vec![
-            WorkerStats { worker: 0, vectors: 2, breakpoints: 10, wall: 0.5 },
-            WorkerStats { worker: 1, vectors: 3, breakpoints: 20, wall: 0.6 },
+            WorkerStats {
+                worker: 0,
+                vectors: 2,
+                breakpoints: 10,
+                wall: 0.5,
+            },
+            WorkerStats {
+                worker: 1,
+                vectors: 3,
+                breakpoints: 20,
+                wall: 0.6,
+            },
         ];
-        let b = vec![WorkerStats { worker: 0, vectors: 5, breakpoints: 1, wall: 0.1 }];
+        let b = vec![WorkerStats {
+            worker: 0,
+            vectors: 5,
+            breakpoints: 1,
+            wall: 0.1,
+        }];
         let merged = merge_stats(&[a, b]);
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].vectors, 7);

@@ -194,15 +194,20 @@ pub fn search_worst_vector(
 
     // Phase 1: random sampling. Sample i draws from stream (seed, i).
     let sample_ids: Vec<u64> = (0..opts.random_samples.max(1) as u64).collect();
-    let (sample_reports, sample_stats) =
-        try_parallel_map_with(opts.threads, 8, &sample_ids, || (), |(), _, &i, stats| {
+    let (sample_reports, sample_stats) = try_parallel_map_with(
+        opts.threads,
+        8,
+        &sample_ids,
+        || (),
+        |(), _, &i, stats| {
             run_item(i as usize, stats, &|base, run, stats| {
                 let mut rng = Xoshiro256pp::stream(opts.seed, i);
                 let from = rng.next_u64() & mask;
                 let to = rng.next_u64() & mask;
                 score(from, to, base, run, stats).map(|s| (from, to, s))
             })
-        });
+        },
+    );
     let (samples, mut health) = fold_item_reports(sample_reports, opts.policy)?;
     let mut best: Candidate = (0, 0, f64::NEG_INFINITY);
     for cand in samples.into_iter().flatten() {
@@ -215,19 +220,47 @@ pub fn search_worst_vector(
     // independent deterministic climb; restart 0 starts from the phase-1
     // best, the rest from fresh random points on their own streams.
     let restart_ids: Vec<u64> = (0..opts.restarts as u64).collect();
-    let (climb_reports, climb_stats) =
-        try_parallel_map_with(opts.threads, 1, &restart_ids, || (), |(), _, &r, stats| {
+    let (climb_reports, climb_stats) = try_parallel_map_with(
+        opts.threads,
+        1,
+        &restart_ids,
+        || (),
+        |(), _, &r, stats| {
             run_item(
                 opts.random_samples + r as usize,
                 stats,
                 &|base, run, stats| {
-                    let (mut from, mut to, mut cur) = if r == 0 || best.2 == f64::NEG_INFINITY {
+                    // Climbing revisits transitions whenever a pass
+                    // undoes an earlier flip; scores are pure per
+                    // attempt, so memoise them. The memo is attempt-
+                    // local: a retry at a relaxed budget re-evaluates
+                    // everything, keeping the outcome a pure function of
+                    // the item index.
+                    let mut memo: std::collections::HashMap<(u64, u64), f64> =
+                        std::collections::HashMap::new();
+                    let from_best = r == 0 || best.2 == f64::NEG_INFINITY;
+                    if from_best {
+                        memo.insert((best.0, best.1), best.2);
+                    }
+                    let mut score_memo = |f: u64,
+                                          t: u64,
+                                          run: &mut RunHealth,
+                                          stats: &mut WorkerStats|
+                     -> Result<f64, CoreError> {
+                        if let Some(&s) = memo.get(&(f, t)) {
+                            return Ok(s);
+                        }
+                        let s = score(f, t, base, run, stats)?;
+                        memo.insert((f, t), s);
+                        Ok(s)
+                    };
+                    let (mut from, mut to, mut cur) = if from_best {
                         best
                     } else {
                         let mut rng = Xoshiro256pp::stream(opts.seed, RESTART_STREAM | r);
                         let f = rng.next_u64() & mask;
                         let t = rng.next_u64() & mask;
-                        let s = score(f, t, base, run, stats)?;
+                        let s = score_memo(f, t, run, stats)?;
                         (f, t, s)
                     };
                     for _ in 0..opts.max_passes {
@@ -239,7 +272,7 @@ pub fn search_worst_vector(
                                 } else {
                                     (from, to ^ (1 << bit))
                                 };
-                                let s = score(nf, nt, base, run, stats)?;
+                                let s = score_memo(nf, nt, run, stats)?;
                                 if s > cur {
                                     from = nf;
                                     to = nt;
@@ -255,7 +288,8 @@ pub fn search_worst_vector(
                     Ok((from, to, cur))
                 },
             )
-        });
+        },
+    );
     let (climbs, mut climb_health) = fold_item_reports(climb_reports, opts.policy)?;
     for q in &mut climb_health.quarantined {
         q.index += opts.random_samples;
@@ -305,9 +339,7 @@ mod tests {
         // Ground truth from exhaustive screening.
         let transitions: Vec<Transition> = exhaustive_transitions(6)
             .into_iter()
-            .map(|p| {
-                Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6))
-            })
+            .map(|p| Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6)))
             .collect();
         let screened =
             screen_vectors(&engine, &transitions, None, 10.0, &VbsimOptions::default()).unwrap();

@@ -15,10 +15,10 @@ use crate::health::{
 use crate::par::{try_parallel_map_with, ItemPanic, WorkerStats};
 use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use crate::CoreError;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{NetId, Netlist};
 use mtk_netlist::tech::Technology;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One input-vector transition, as primary-input logic levels.
@@ -48,9 +48,17 @@ pub struct DelayPair {
 
 impl DelayPair {
     /// Fractional degradation `(mtcmos − cmos) / cmos`.
+    ///
+    /// A zero (or negative) baseline is a broken measurement, not "no
+    /// degradation": if the MTCMOS leg still took time, the degradation
+    /// is reported as `f64::INFINITY` so sizing treats the pair as
+    /// worst-case instead of silently ranking it harmless. Only when
+    /// both legs are ≤ 0 (nothing switched in either) is it 0.
     pub fn degradation(&self) -> f64 {
         if self.cmos > 0.0 {
             (self.mtcmos - self.cmos) / self.cmos
+        } else if self.mtcmos > 0.0 {
+            f64::INFINITY
         } else {
             0.0
         }
@@ -109,37 +117,267 @@ pub fn vbsim_delay_pair_health(
     sleep: SleepNetwork,
     base: &VbsimOptions,
 ) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
-    let outputs: Vec<NetId> = match probes {
+    let outputs = resolve_probes(engine, probes);
+    let cmos = run_leg(engine, tr, &outputs, &leg_options(SleepNetwork::Cmos, base))?;
+    if baseline_delay(&cmos).is_none() {
+        return Ok((None, cmos.health));
+    }
+    let mt = run_leg(engine, tr, &outputs, &leg_options(sleep, base))?;
+    Ok(pair_from_legs(&cmos, &mt))
+}
+
+/// The probed nets of a delay measurement (`None` = primary outputs).
+fn resolve_probes(engine: &Engine<'_>, probes: Option<&[NetId]>) -> Vec<NetId> {
+    match probes {
         Some(p) => p.to_vec(),
         None => engine.netlist().primary_outputs().to_vec(),
-    };
-    let cmos_opts = VbsimOptions {
-        sleep: SleepNetwork::Cmos,
-        ..base.clone()
-    };
-    let run_cmos = engine.run(&tr.from, &tr.to, &cmos_opts)?;
-    let mut health = run_cmos.health;
-    let Some(d_cmos) = run_cmos.delay_over(&outputs) else {
-        return Ok((None, health));
-    };
-    let mt_opts = VbsimOptions {
+    }
+}
+
+/// The caller's base options with one leg's sleep network swapped in.
+fn leg_options(sleep: SleepNetwork, base: &VbsimOptions) -> VbsimOptions {
+    VbsimOptions {
         sleep,
         ..base.clone()
+    }
+}
+
+/// Everything delay extraction needs from one simulator leg (one engine
+/// run at one sleep configuration) — the unit a [`ScreeningCache`]
+/// stores. Keeping the *stored* [`RunHealth`] alongside the crossings is
+/// what makes cached reruns bit-identical: a cache hit replays the
+/// original run's telemetry instead of re-measuring it.
+#[derive(Debug, Clone, PartialEq)]
+struct LegResult {
+    /// Per-probe last V<sub>dd</sub>/2 crossing time, index-aligned with
+    /// the probe list; `None` when that probe never switched.
+    crossings: Vec<Option<f64>>,
+    /// The run stalled (a discharge path was cut off by the sleep device).
+    stalled: bool,
+    /// The run hit its breakpoint budget before settling.
+    truncated: bool,
+    /// The run's own health counters.
+    health: RunHealth,
+}
+
+/// Runs one leg and condenses it to the measurements sizing needs.
+fn run_leg(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    outputs: &[NetId],
+    opts: &VbsimOptions,
+) -> Result<LegResult, CoreError> {
+    let run = engine.run(&tr.from, &tr.to, opts)?;
+    Ok(LegResult {
+        crossings: outputs.iter().map(|&n| run.last_crossing_time(n)).collect(),
+        stalled: run.stalled,
+        truncated: run.truncated,
+        health: run.health,
+    })
+}
+
+/// The worst baseline delay over the probes, `None` when nothing
+/// switched in the CMOS leg (the transition does not exercise them).
+fn baseline_delay(cmos: &LegResult) -> Option<f64> {
+    cmos.crossings
+        .iter()
+        .flatten()
+        .copied()
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.max(t)))
+        })
+}
+
+/// Combines a CMOS and an MTCMOS leg into a [`DelayPair`] plus summed
+/// health. Probes that crossed in the baseline but never crossed under
+/// MTCMOS report an infinite delay (the gate stalled) rather than being
+/// silently dropped — see [`crate::vbsim::worst_delay_vs_baseline`].
+fn pair_from_legs(cmos: &LegResult, mt: &LegResult) -> (Option<DelayPair>, RunHealth) {
+    let mut health = cmos.health;
+    let Some(d_cmos) = baseline_delay(cmos) else {
+        return (None, health);
     };
-    let run_mt = engine.run(&tr.from, &tr.to, &mt_opts)?;
-    health.absorb(&run_mt.health);
-    let d_mt = if run_mt.stalled || run_mt.truncated {
+    health.absorb(&mt.health);
+    let d_mt = if mt.stalled || mt.truncated {
         f64::INFINITY
     } else {
-        run_mt.delay_over(&outputs).unwrap_or(d_cmos)
+        crate::vbsim::worst_delay_vs_baseline(&cmos.crossings, &mt.crossings).unwrap_or(d_cmos)
     };
-    Ok((
+    (
         Some(DelayPair {
             cmos: d_cmos,
             mtcmos: d_mt,
         }),
         health,
-    ))
+    )
+}
+
+/// The exact inputs that determine one leg's result: netlist
+/// fingerprint, probes, transition, sleep network, and every
+/// [`VbsimOptions`] field the simulator reads. Two legs with equal keys
+/// produce bit-identical [`LegResult`]s, so a cache lookup can stand in
+/// for a re-simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LegKey {
+    fingerprint: u64,
+    probes: Vec<usize>,
+    from: Vec<u8>,
+    to: Vec<u8>,
+    /// Discriminant plus bit pattern of the parameter (0 for CMOS).
+    sleep: (u8, u64),
+    body_effect: bool,
+    reverse_conduction: bool,
+    t_stop_bits: u64,
+    max_events: usize,
+}
+
+impl LegKey {
+    fn new(
+        fingerprint: u64,
+        outputs: &[NetId],
+        tr: &Transition,
+        sleep: SleepNetwork,
+        base: &VbsimOptions,
+    ) -> Self {
+        fn levels(side: &[Logic]) -> Vec<u8> {
+            side.iter()
+                .map(|l| match l {
+                    Logic::Zero => 0,
+                    Logic::One => 1,
+                    Logic::X => 2,
+                })
+                .collect()
+        }
+        LegKey {
+            fingerprint,
+            probes: outputs.iter().map(|n| n.index()).collect(),
+            from: levels(&tr.from),
+            to: levels(&tr.to),
+            sleep: match sleep {
+                SleepNetwork::Cmos => (0, 0),
+                SleepNetwork::Resistance(r) => (1, r.to_bits()),
+                SleepNetwork::Transistor { w_over_l } => (2, w_over_l.to_bits()),
+            },
+            body_effect: base.body_effect,
+            reverse_conduction: base.reverse_conduction,
+            t_stop_bits: base.t_stop.to_bits(),
+            max_events: base.max_events,
+        }
+    }
+}
+
+/// A deterministic memo of switch-level simulator legs, keyed by
+/// everything that determines a leg's result ([`LegKey`]). The sizing
+/// entry points (`*_cached`) consult it before simulating, so a
+/// bisection that probes the same transition at many sleep sizes pays
+/// for its CMOS baseline once, and a repeated sweep pays for nothing.
+///
+/// Determinism contract: a hit returns the *stored* [`LegResult`] —
+/// crossings **and** [`RunHealth`] — so warm reruns are bit-identical to
+/// cold ones, including aggregated telemetry. Hit/miss totals are
+/// exposed here and per-call in [`RunHealth::cache_hits`] /
+/// [`RunHealth::cache_misses`]. The cache is `Sync`, but the counters
+/// are only schedule-independent when each key is driven from one
+/// thread (the serial sizing loops); racing computes of the same key
+/// stay correct but may double-count misses.
+#[derive(Debug, Default)]
+pub struct ScreeningCache {
+    legs: std::sync::Mutex<std::collections::HashMap<LegKey, LegResult>>,
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
+}
+
+impl ScreeningCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScreeningCache::default()
+    }
+
+    /// Total legs served from the cache since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total legs simulated and inserted since construction.
+    pub fn misses(&self) -> usize {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of distinct legs currently stored.
+    pub fn len(&self) -> usize {
+        self.legs.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no legs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up or computes one leg. The boolean reports a hit. Only
+    /// successful runs are cached; errors always propagate fresh.
+    fn leg(
+        &self,
+        engine: &Engine<'_>,
+        tr: &Transition,
+        outputs: &[NetId],
+        sleep: SleepNetwork,
+        base: &VbsimOptions,
+    ) -> Result<(LegResult, bool), CoreError> {
+        let key = LegKey::new(engine.fingerprint(), outputs, tr, sleep, base);
+        if let Some(found) = self.legs.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok((found, true));
+        }
+        // Simulate without holding the lock; concurrent misses on the
+        // same key both compute (identical results, so last-write-wins
+        // is harmless).
+        let leg = run_leg(engine, tr, outputs, &leg_options(sleep, base))?;
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.legs.lock().unwrap().insert(key, leg.clone());
+        Ok((leg, false))
+    }
+}
+
+/// Adds per-leg cache hit/miss counts to a measurement's health.
+fn count_cache_legs(health: &mut RunHealth, leg_hits: &[bool]) {
+    for &hit in leg_hits {
+        if hit {
+            health.cache_hits += 1;
+        } else {
+            health.cache_misses += 1;
+        }
+    }
+}
+
+/// [`vbsim_delay_pair_health`] through a [`ScreeningCache`]: each of the
+/// two legs is served from the cache when an identical leg was measured
+/// before. The returned pair is bit-identical to the uncached call; the
+/// returned health additionally carries [`RunHealth::cache_hits`] /
+/// [`RunHealth::cache_misses`] for the legs this call needed.
+///
+/// # Errors
+///
+/// As [`vbsim_delay_pair`].
+pub fn vbsim_delay_pair_cached(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sleep: SleepNetwork,
+    base: &VbsimOptions,
+    cache: &ScreeningCache,
+) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
+    let outputs = resolve_probes(engine, probes);
+    let (cmos, cmos_hit) = cache.leg(engine, tr, &outputs, SleepNetwork::Cmos, base)?;
+    if baseline_delay(&cmos).is_none() {
+        let mut health = cmos.health;
+        count_cache_legs(&mut health, &[cmos_hit]);
+        return Ok((None, health));
+    }
+    let (mt, mt_hit) = cache.leg(engine, tr, &outputs, sleep, base)?;
+    let (pair, mut health) = pair_from_legs(&cmos, &mt);
+    count_cache_legs(&mut health, &[cmos_hit, mt_hit]);
+    Ok((pair, health))
 }
 
 /// One point of a sizing sweep.
@@ -164,19 +402,49 @@ pub fn degradation_sweep(
     sizes: &[f64],
     base: &VbsimOptions,
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    // A throwaway cache still pays off within one call: the CMOS
+    // baseline leg is shared by every size.
+    let cache = ScreeningCache::new();
+    degradation_sweep_cached(engine, tr, probes, sizes, base, &cache).map(|(out, _)| out)
+}
+
+/// [`degradation_sweep`] through a caller-owned [`ScreeningCache`]:
+/// sweep points are bit-identical to the uncached call, the CMOS
+/// baseline is simulated at most once, and legs already in the cache
+/// (e.g. from a previous sweep of the same transition) are not rerun.
+/// The summed [`RunHealth`] reports the per-leg cache traffic.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn degradation_sweep_cached(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sizes: &[f64],
+    base: &VbsimOptions,
+    cache: &ScreeningCache,
+) -> Result<(Vec<SweepPoint>, RunHealth), CoreError> {
+    let mut health = RunHealth::default();
     let mut out = Vec::with_capacity(sizes.len());
     for &wl in sizes {
-        if let Some(delays) = vbsim_delay_pair(
+        let (pair, h) = vbsim_delay_pair_cached(
             engine,
             tr,
             probes,
             SleepNetwork::Transistor { w_over_l: wl },
             base,
-        )? {
-            out.push(SweepPoint { w_over_l: wl, delays });
+            cache,
+        )?;
+        health.absorb(&h);
+        if let Some(delays) = pair {
+            out.push(SweepPoint {
+                w_over_l: wl,
+                delays,
+            });
         }
     }
-    Ok(out)
+    Ok((out, health))
 }
 
 /// A screened vector: its index in the caller's transition list and its
@@ -326,9 +594,7 @@ pub fn screen_vectors_quarantined(
         .enumerate()
         .map(|(index, tr)| {
             catch_unwind(AssertUnwindSafe(|| {
-                screen_item(
-                    engine, index, tr, probes, w_over_l, base, fault, &mut stats,
-                )
+                screen_item(engine, index, tr, probes, w_over_l, base, fault, &mut stats)
             }))
             .map_err(|payload| ItemPanic {
                 index,
@@ -460,23 +726,52 @@ pub fn size_for_target(
     (lo, hi): (f64, f64),
     base: &VbsimOptions,
 ) -> Result<f64, CoreError> {
+    // A throwaway cache still pays off within one call: every bisection
+    // probe shares each transition's CMOS baseline leg.
+    let cache = ScreeningCache::new();
+    size_for_target_cached(engine, transitions, probes, target, (lo, hi), base, &cache)
+        .map(|(wl, _)| wl)
+}
+
+/// [`size_for_target`] through a caller-owned [`ScreeningCache`]: the
+/// returned size is bit-identical to the uncached call, each
+/// transition's CMOS baseline is simulated at most once across the whole
+/// bisection, and a repeated run with the same cache re-simulates
+/// nothing. The summed [`RunHealth`] reports the per-leg cache traffic.
+///
+/// # Errors
+///
+/// As [`size_for_target`].
+pub fn size_for_target_cached(
+    engine: &Engine<'_>,
+    transitions: &[Transition],
+    probes: Option<&[NetId]>,
+    target: f64,
+    (lo, hi): (f64, f64),
+    base: &VbsimOptions,
+    cache: &ScreeningCache,
+) -> Result<(f64, RunHealth), CoreError> {
     assert!(lo > 0.0 && hi > lo, "invalid sizing bracket");
-    let worst_degradation = |wl: f64| -> Result<f64, CoreError> {
+    let mut health = RunHealth::default();
+    let worst_degradation = |wl: f64, health: &mut RunHealth| -> Result<f64, CoreError> {
         let mut worst = 0.0f64;
         for tr in transitions {
-            if let Some(p) = vbsim_delay_pair(
+            let (pair, h) = vbsim_delay_pair_cached(
                 engine,
                 tr,
                 probes,
                 SleepNetwork::Transistor { w_over_l: wl },
                 base,
-            )? {
+                cache,
+            )?;
+            health.absorb(&h);
+            if let Some(p) = pair {
                 worst = worst.max(p.degradation());
             }
         }
         Ok(worst)
     };
-    if worst_degradation(hi)? > target {
+    if worst_degradation(hi, &mut health)? > target {
         return Err(CoreError::SizingInfeasible {
             target,
             at_w_over_l: hi,
@@ -485,7 +780,7 @@ pub fn size_for_target(
     let (mut lo, mut hi) = (lo, hi);
     for _ in 0..40 {
         let mid = (lo * hi).sqrt(); // log-space bisection
-        if worst_degradation(mid)? > target {
+        if worst_degradation(mid, &mut health)? > target {
             lo = mid;
         } else {
             hi = mid;
@@ -494,7 +789,7 @@ pub fn size_for_target(
             break;
         }
     }
-    Ok(hi)
+    Ok((hi, health))
 }
 
 /// The peak-current sizing baseline (§4): size the sleep device so a
@@ -505,7 +800,10 @@ pub fn size_for_target(
 /// The paper shows this is ≈3× conservative because real current peaks
 /// are brief.
 pub fn peak_current_w_over_l(tech: &Technology, i_peak: f64, vx_budget: f64) -> f64 {
-    assert!(i_peak > 0.0 && vx_budget > 0.0, "need positive current and budget");
+    assert!(
+        i_peak > 0.0 && vx_budget > 0.0,
+        "need positive current and budget"
+    );
     let r_needed = vx_budget / i_peak;
     1.0 / (tech.kp_n * (tech.vdd - tech.vt_high) * r_needed)
 }
@@ -524,6 +822,69 @@ mod tests {
 
     fn tree_transition(_tree: &InverterTree) -> Transition {
         Transition::new(vec![Logic::Zero], vec![Logic::One])
+    }
+
+    #[test]
+    fn degradation_with_zero_baseline_is_infinite() {
+        // Regression: a broken (zero) baseline with a real MTCMOS delay
+        // used to report 0.0 — "no degradation" — and rank the vector
+        // harmless. It must rank worst-case instead.
+        let broken = DelayPair {
+            cmos: 0.0,
+            mtcmos: 1e-9,
+        };
+        assert_eq!(broken.degradation(), f64::INFINITY);
+        let negative = DelayPair {
+            cmos: -1e-12,
+            mtcmos: 1e-9,
+        };
+        assert_eq!(negative.degradation(), f64::INFINITY);
+        // Only when neither leg took time is there genuinely nothing to
+        // degrade.
+        let quiet = DelayPair {
+            cmos: 0.0,
+            mtcmos: 0.0,
+        };
+        assert_eq!(quiet.degradation(), 0.0);
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_reuses_legs() {
+        let tree = InverterTree::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let tr = tree_transition(&tree);
+        let base = VbsimOptions::default();
+        let sizes = [20.0, 11.0, 5.0];
+
+        let plain = degradation_sweep(&engine, &tr, None, &sizes, &base).unwrap();
+        let cache = ScreeningCache::new();
+        let (cold, cold_health) =
+            degradation_sweep_cached(&engine, &tr, None, &sizes, &base, &cache).unwrap();
+        assert_eq!(cold, plain);
+        // Cold run: one CMOS baseline leg + one MTCMOS leg per size, and
+        // the shared baseline already hits after its first computation.
+        assert_eq!(cold_health.cache_misses, 1 + sizes.len());
+        assert_eq!(cold_health.cache_hits, sizes.len() - 1);
+        assert_eq!(cache.misses(), 1 + sizes.len());
+
+        let misses_before = cache.misses();
+        let (warm, warm_health) =
+            degradation_sweep_cached(&engine, &tr, None, &sizes, &base, &cache).unwrap();
+        assert_eq!(warm, cold, "warm rerun must be bit-identical");
+        assert_eq!(
+            cache.misses(),
+            misses_before,
+            "warm rerun simulated nothing"
+        );
+        assert_eq!(warm_health.cache_misses, 0);
+        // Two leg lookups per size, all served from the cache.
+        assert_eq!(warm_health.cache_hits, 2 * sizes.len());
+        // Stored telemetry replays identically: apart from the cache
+        // counters themselves, warm health equals cold health.
+        assert_eq!(warm_health.breakpoints, cold_health.breakpoints);
+        assert_eq!(warm_health.glitch_reversals, cold_health.glitch_reversals);
+        assert_eq!(warm_health.vx_fallbacks, cold_health.vx_fallbacks);
     }
 
     #[test]
@@ -557,8 +918,15 @@ mod tests {
         let engine = Engine::new(&tree.netlist, &tech);
         let tr = tree_transition(&tree);
         let base = VbsimOptions::default();
-        let wl = size_for_target(&engine, std::slice::from_ref(&tr), None, 0.30, (1.0, 5000.0), &base)
-            .unwrap();
+        let wl = size_for_target(
+            &engine,
+            std::slice::from_ref(&tr),
+            None,
+            0.30,
+            (1.0, 5000.0),
+            &base,
+        )
+        .unwrap();
         let p = vbsim_delay_pair(
             &engine,
             &tr,
@@ -659,12 +1027,9 @@ mod tests {
             Transition::new(vec![Logic::One], vec![Logic::Zero]),
             Transition::new(vec![Logic::Zero], vec![Logic::One]),
         ];
-        let screened =
-            screen_vectors(&engine, &trs, None, 5.0, &VbsimOptions::default()).unwrap();
+        let screened = screen_vectors(&engine, &trs, None, 5.0, &VbsimOptions::default()).unwrap();
         assert_eq!(screened.len(), 2);
         assert_eq!(screened[0].index, 1, "rising input must be worse");
-        assert!(
-            screened[0].delays.degradation() > screened[1].delays.degradation()
-        );
+        assert!(screened[0].delays.degradation() > screened[1].delays.degradation());
     }
 }

@@ -71,17 +71,16 @@ impl Sta {
         let mut critical_input: Vec<Option<NetId>> = vec![None; netlist.nets().len()];
         for ci in order {
             let cell = netlist.cell(ci);
-            let (worst_in, worst_net) = cell
-                .inputs
-                .iter()
-                .map(|&n| (arrival[n.index()], n))
-                .fold((0.0f64, None), |(best, bn), (a, n)| {
+            let (worst_in, worst_net) = cell.inputs.iter().map(|&n| (arrival[n.index()], n)).fold(
+                (0.0f64, None),
+                |(best, bn), (a, n)| {
                     if a >= best {
                         (a, Some(n))
                     } else {
                         (best, bn)
                     }
-                });
+                },
+            );
             let out = cell.output.index();
             arrival[out] = worst_in + delays[ci.index()].worst();
             critical_driver[out] = Some(ci);

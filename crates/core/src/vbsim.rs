@@ -126,6 +126,9 @@ pub struct Engine<'a> {
     cl: Vec<f64>,
     /// Per-net list of reading cells (deduplicated).
     fanout: Vec<Vec<CellId>>,
+    /// Lazily computed netlist fingerprint (the screening-cache key
+    /// component); hashing a large netlist once per engine, not per run.
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl<'a> Engine<'a> {
@@ -150,11 +153,8 @@ impl<'a> Engine<'a> {
         }
         let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); netlist.nets().len()];
         for ni in netlist.net_ids() {
-            let mut cells: Vec<CellId> = netlist
-                .fanout_of(ni)
-                .into_iter()
-                .map(|(c, _)| c)
-                .collect();
+            let mut cells: Vec<CellId> =
+                netlist.fanout_of(ni).into_iter().map(|(c, _)| c).collect();
             cells.dedup();
             fanout[ni.index()] = cells;
         }
@@ -165,12 +165,20 @@ impl<'a> Engine<'a> {
             beta_p,
             cl,
             fanout,
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
     /// The netlist this engine simulates.
     pub fn netlist(&self) -> &Netlist {
         self.netlist
+    }
+
+    /// The netlist's structural fingerprint
+    /// ([`Netlist::fingerprint`]), computed on first use and cached for
+    /// the engine's lifetime.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| self.netlist.fingerprint())
     }
 
     /// Simulates one input-vector transition: the circuit is settled at
@@ -241,10 +249,7 @@ impl<'a> Engine<'a> {
                     p.networks.iter().map(|n| n.resistance(tech)).collect(),
                 )
             }
-            None => (
-                vec![0; nl.cells().len()],
-                vec![opts.sleep.resistance(tech)],
-            ),
+            None => (vec![0; nl.cells().len()], vec![opts.sleep.resistance(tech)]),
         };
         let n_groups = rs.len();
         let vx_opts = VxOptions {
@@ -381,12 +386,8 @@ impl<'a> Engine<'a> {
                 let out = self.netlist.cells()[ci].output.index();
                 let (s, target) = match d {
                     Dir::Falling => {
-                        let i = model::discharge_current(
-                            tech,
-                            self.beta_n[ci],
-                            vxg,
-                            opts.body_effect,
-                        );
+                        let i =
+                            model::discharge_current(tech, self.beta_n[ci], vxg, opts.body_effect);
                         i_total += i;
                         (-i / self.cl[ci], floor)
                     }
@@ -518,6 +519,7 @@ impl<'a> Engine<'a> {
                 max_events: opts.max_events,
                 glitch_reversals,
                 vx_fallbacks,
+                ..RunHealth::default()
             },
         })
     }
@@ -617,10 +619,30 @@ impl VbsimRun {
     /// The worst (largest) settling delay over a set of nets: inputs step
     /// at `t = 0`, so the delay is simply the latest crossing time.
     /// `None` when none of the nets switches.
+    ///
+    /// A net that never crosses V<sub>dd</sub>/2 drops out of the
+    /// max-fold entirely — which is correct only when that net was not
+    /// supposed to switch. When a CMOS baseline run is available, use
+    /// [`VbsimRun::delay_over_baseline`] instead so a gate stalled by
+    /// virtual-ground bounce is reported as infinite delay rather than
+    /// silently vanishing.
     pub fn delay_over(&self, nets: &[NetId]) -> Option<f64> {
         nets.iter()
             .filter_map(|&n| self.last_crossing_time(n))
             .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// [`VbsimRun::delay_over`] measured against a baseline run:
+    /// a net that crossed V<sub>dd</sub>/2 in `baseline` but never
+    /// crosses here stalled (sleep device too small) and reports
+    /// `f64::INFINITY`; a net that crosses in neither run is skipped.
+    pub fn delay_over_baseline(&self, nets: &[NetId], baseline: &VbsimRun) -> Option<f64> {
+        let base: Vec<Option<f64>> = nets
+            .iter()
+            .map(|&n| baseline.last_crossing_time(n))
+            .collect();
+        let here: Vec<Option<f64>> = nets.iter().map(|&n| self.last_crossing_time(n)).collect();
+        worst_delay_vs_baseline(&base, &here)
     }
 
     /// Peak total discharge current (§4's worst-case current analysis).
@@ -634,6 +656,26 @@ impl VbsimRun {
     }
 }
 
+/// The worst settling delay of an observed (possibly degraded) run
+/// against a baseline, from per-probe last-crossing times: a probe that
+/// crossed in the baseline but not in the observed run stalled and
+/// contributes `f64::INFINITY` instead of dropping out of the max-fold;
+/// a probe that crossed in neither is skipped (it was never meant to
+/// switch); a crossing only the observed run saw still counts. `None`
+/// when every probe is skipped. Shared by the switch-level and SPICE
+/// delay-pair measurements so both tiers report stalls identically.
+pub fn worst_delay_vs_baseline(baseline: &[Option<f64>], observed: &[Option<f64>]) -> Option<f64> {
+    baseline
+        .iter()
+        .zip(observed)
+        .filter_map(|pair| match pair {
+            (Some(_), Some(t)) | (None, Some(t)) => Some(*t),
+            (Some(_), None) => Some(f64::INFINITY),
+            (None, None) => None,
+        })
+        .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +686,34 @@ mod tests {
 
     fn tech07() -> Technology {
         Technology::l07()
+    }
+
+    #[test]
+    fn stalled_probe_reports_infinite_delay_against_baseline() {
+        // A probe that switched in the baseline but never crossed in the
+        // observed run must surface as infinite delay, not vanish.
+        let baseline = [Some(1e-9), Some(2e-9), None];
+        let stalled = [Some(1.5e-9), None, None];
+        assert_eq!(
+            worst_delay_vs_baseline(&baseline, &stalled),
+            Some(f64::INFINITY)
+        );
+        let healthy = [Some(1.5e-9), Some(3e-9), None];
+        assert_eq!(worst_delay_vs_baseline(&baseline, &healthy), Some(3e-9));
+        // A probe quiet in both legs is skipped, not infinite.
+        assert_eq!(worst_delay_vs_baseline(&[None], &[None]), None);
+        // A crossing only the observed leg saw (e.g. an MTCMOS-induced
+        // glitch) still counts toward the worst case.
+        assert_eq!(worst_delay_vs_baseline(&[None], &[Some(4e-9)]), Some(4e-9));
+    }
+
+    #[test]
+    fn engine_fingerprint_matches_netlist() {
+        let tree = InverterTree::paper();
+        let tech = tech07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        assert_eq!(engine.fingerprint(), tree.netlist.fingerprint());
+        assert_eq!(engine.fingerprint(), engine.fingerprint());
     }
 
     #[test]
@@ -876,9 +946,7 @@ mod tests {
             reverse_conduction: true,
             ..VbsimOptions::mtcmos(2.0)
         };
-        let run = engine
-            .run(&[Logic::Zero], &[Logic::One], &opts)
-            .unwrap();
+        let run = engine.run(&[Logic::Zero], &[Logic::One], &opts).unwrap();
         // Stage-0 output falls first and sits at logic low while the
         // third stage discharges: with reverse conduction it must ride
         // above 0 V at some point.
@@ -891,18 +959,13 @@ mod tests {
             .map(|&(_, v)| v)
             .fold(f64::INFINITY, f64::min);
         let _ = tail_min;
-        assert!(
-            w.max_value().unwrap() >= 0.0,
-            "waveform exists"
-        );
+        assert!(w.max_value().unwrap() >= 0.0, "waveform exists");
         // The pinned floor shows up as a nonzero final-phase voltage on
         // some low net while vgnd is bounced; check against the plain run.
         let plain = engine
             .run(&[Logic::Zero], &[Logic::One], &VbsimOptions::mtcmos(2.0))
             .unwrap();
-        let area = |p: &mtk_num::waveform::Pwl| -> f64 {
-            p.points().iter().map(|&(_, v)| v).sum()
-        };
+        let area = |p: &mtk_num::waveform::Pwl| -> f64 { p.points().iter().map(|&(_, v)| v).sum() };
         assert!(area(run.waveform(s0)) >= area(plain.waveform(s0)) - 1e-12);
     }
 
@@ -924,9 +987,7 @@ mod tests {
                 },
             )
             .unwrap();
-        assert!(
-            body.delay_over(tree.leaves()).unwrap() > plain.delay_over(tree.leaves()).unwrap()
-        );
+        assert!(body.delay_over(tree.leaves()).unwrap() > plain.delay_over(tree.leaves()).unwrap());
     }
 
     #[test]
@@ -997,15 +1058,16 @@ mod tests {
             let a1 = rng.next_below(8);
             let b1 = rng.next_below(8);
             let mt = rng.next_bool();
-            let opts = if mt { VbsimOptions::mtcmos(10.0) } else { VbsimOptions::cmos() };
+            let opts = if mt {
+                VbsimOptions::mtcmos(10.0)
+            } else {
+                VbsimOptions::cmos()
+            };
             let run = engine
                 .run(&add.input_values(a0, b0), &add.input_values(a1, b1), &opts)
                 .unwrap();
             assert!(!run.stalled);
-            let expect = add
-                .netlist
-                .evaluate(&add.input_values(a1, b1))
-                .unwrap();
+            let expect = add.netlist.evaluate(&add.input_values(a1, b1)).unwrap();
             for net in add.netlist.net_ids() {
                 if add.netlist.net(net).tie.is_some() {
                     continue;

@@ -48,12 +48,12 @@ impl Network {
                     !v
                 }
             }
-            Network::Series(parts) => parts
-                .iter()
-                .fold(Logic::One, |acc, p| acc.and(p.conducts(inputs, active_high))),
-            Network::Parallel(parts) => parts
-                .iter()
-                .fold(Logic::Zero, |acc, p| acc.or(p.conducts(inputs, active_high))),
+            Network::Series(parts) => parts.iter().fold(Logic::One, |acc, p| {
+                acc.and(p.conducts(inputs, active_high))
+            }),
+            Network::Parallel(parts) => parts.iter().fold(Logic::Zero, |acc, p| {
+                acc.or(p.conducts(inputs, active_high))
+            }),
         }
     }
 
@@ -63,9 +63,7 @@ impl Network {
         match self {
             Network::T(_) => 1,
             Network::Series(parts) => parts.iter().map(Network::max_depth).sum(),
-            Network::Parallel(parts) => {
-                parts.iter().map(Network::max_depth).max().unwrap_or(0)
-            }
+            Network::Parallel(parts) => parts.iter().map(Network::max_depth).max().unwrap_or(0),
         }
     }
 
@@ -176,14 +174,8 @@ impl CellKind {
             CellKind::Nor3 => Parallel(vec![T(0), T(1), T(2)]),
             CellKind::Aoi21 => Parallel(vec![Series(vec![T(0), T(1)]), T(2)]),
             CellKind::Oai21 => Series(vec![Parallel(vec![T(0), T(1)]), T(2)]),
-            CellKind::Aoi22 => Parallel(vec![
-                Series(vec![T(0), T(1)]),
-                Series(vec![T(2), T(3)]),
-            ]),
-            CellKind::Oai22 => Series(vec![
-                Parallel(vec![T(0), T(1)]),
-                Parallel(vec![T(2), T(3)]),
-            ]),
+            CellKind::Aoi22 => Parallel(vec![Series(vec![T(0), T(1)]), Series(vec![T(2), T(3)])]),
+            CellKind::Oai22 => Series(vec![Parallel(vec![T(0), T(1)]), Parallel(vec![T(2), T(3)])]),
             CellKind::MirrorCarryBar => Parallel(vec![
                 Series(vec![T(0), T(1)]),
                 Series(vec![Parallel(vec![T(0), T(1)]), T(2)]),
@@ -208,14 +200,8 @@ impl CellKind {
             CellKind::Nor3 => Series(vec![T(0), T(1), T(2)]),
             CellKind::Aoi21 => Series(vec![Parallel(vec![T(0), T(1)]), T(2)]),
             CellKind::Oai21 => Parallel(vec![Series(vec![T(0), T(1)]), T(2)]),
-            CellKind::Aoi22 => Series(vec![
-                Parallel(vec![T(0), T(1)]),
-                Parallel(vec![T(2), T(3)]),
-            ]),
-            CellKind::Oai22 => Parallel(vec![
-                Series(vec![T(0), T(1)]),
-                Series(vec![T(2), T(3)]),
-            ]),
+            CellKind::Aoi22 => Series(vec![Parallel(vec![T(0), T(1)]), Parallel(vec![T(2), T(3)])]),
+            CellKind::Oai22 => Parallel(vec![Series(vec![T(0), T(1)]), Series(vec![T(2), T(3)])]),
             CellKind::MirrorCarryBar | CellKind::MirrorSumBar => self.pdn(),
         }
     }
@@ -307,7 +293,7 @@ pub fn equivalent_inverter(kind: CellKind, drive: f64, tech: &Technology) -> Equ
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     fn b(v: u32, bit: u32) -> Logic {
         Logic::from_bit(v as u64, bit)

@@ -282,39 +282,39 @@ fn expand_inner(
         (Some(module_rails[0]), None)
     } else {
         match opts.sleep {
-        SleepImpl::AlwaysOn => (None, None),
-        SleepImpl::Transistor { w_over_l } => {
-            let vgnd = c.node("vgnd");
-            let sleep_ctl = c.node("sleep_ctl");
-            let hvt = c.add_model(tech.sleep_model(opts.with_leakage));
-            // Active mode by default: gate high.
-            c.vsource("vsleep", sleep_ctl, Circuit::GND, SourceWave::Dc(tech.vdd));
-            let dev = c.mosfet(
-                "msleep",
-                vgnd,
-                sleep_ctl,
-                Circuit::GND,
-                Circuit::GND,
-                hvt,
-                w_over_l,
-            );
-            // The Level-1 model has no intrinsic gate capacitance; attach
-            // the sleep device's gate load explicitly so sleep/wake
-            // control energy (§2.1 "switching energy overhead") is
-            // physical.
-            c.capacitor(
-                "c_sleep_gate",
-                sleep_ctl,
-                Circuit::GND,
-                tech.c_gate * w_over_l,
-            );
-            (Some(vgnd), Some(dev))
-        }
-        SleepImpl::Resistor { ohms } => {
-            let vgnd = c.node("vgnd");
-            c.resistor("rsleep", vgnd, Circuit::GND, ohms);
-            (Some(vgnd), None)
-        }
+            SleepImpl::AlwaysOn => (None, None),
+            SleepImpl::Transistor { w_over_l } => {
+                let vgnd = c.node("vgnd");
+                let sleep_ctl = c.node("sleep_ctl");
+                let hvt = c.add_model(tech.sleep_model(opts.with_leakage));
+                // Active mode by default: gate high.
+                c.vsource("vsleep", sleep_ctl, Circuit::GND, SourceWave::Dc(tech.vdd));
+                let dev = c.mosfet(
+                    "msleep",
+                    vgnd,
+                    sleep_ctl,
+                    Circuit::GND,
+                    Circuit::GND,
+                    hvt,
+                    w_over_l,
+                );
+                // The Level-1 model has no intrinsic gate capacitance; attach
+                // the sleep device's gate load explicitly so sleep/wake
+                // control energy (§2.1 "switching energy overhead") is
+                // physical.
+                c.capacitor(
+                    "c_sleep_gate",
+                    sleep_ctl,
+                    Circuit::GND,
+                    tech.c_gate * w_over_l,
+                );
+                (Some(vgnd), Some(dev))
+            }
+            SleepImpl::Resistor { ohms } => {
+                let vgnd = c.node("vgnd");
+                c.resistor("rsleep", vgnd, Circuit::GND, ohms);
+                (Some(vgnd), None)
+            }
         }
     };
     let rail = vgnd_node.unwrap_or(Circuit::GND);
@@ -336,7 +336,12 @@ fn expand_inner(
         .iter()
         .map(|&ni| {
             let name = format!("vin_{}", netlist.net(ni).name);
-            c.vsource(&name, net_nodes[ni.index()], Circuit::GND, SourceWave::Dc(0.0))
+            c.vsource(
+                &name,
+                net_nodes[ni.index()],
+                Circuit::GND,
+                SourceWave::Dc(0.0),
+            )
         })
         .collect();
 
@@ -392,7 +397,12 @@ fn expand_inner(
         }
         let cap = netlist.load_cap(NetId(idx), tech);
         if cap > 0.0 {
-            c.capacitor(&format!("cl_{}", net.name), net_nodes[idx], Circuit::GND, cap);
+            c.capacitor(
+                &format!("cl_{}", net.name),
+                net_nodes[idx],
+                Circuit::GND,
+                cap,
+            );
         }
     }
 
@@ -602,7 +612,11 @@ mod tests {
         let w_vgnd = res.waveform(vgnd).unwrap();
         assert!(w_out.final_value().unwrap() < tech.vdd * 0.1);
         // Virtual ground bounced during the discharge.
-        assert!(w_vgnd.max_value().unwrap() > 0.005, "{:?}", w_vgnd.max_value());
+        assert!(
+            w_vgnd.max_value().unwrap() > 0.005,
+            "{:?}",
+            w_vgnd.max_value()
+        );
     }
 
     #[test]
@@ -669,8 +683,8 @@ mod partition_tests {
     fn partitioned_expansion_builds_separate_rails() {
         let nl = two_chains();
         let tech = Technology::l07();
-        let ex = expand_partitioned(&nl, &tech, &[0, 1], &[5.0, 8.0], &ExpandOptions::cmos())
-            .unwrap();
+        let ex =
+            expand_partitioned(&nl, &tech, &[0, 1], &[5.0, 8.0], &ExpandOptions::cmos()).unwrap();
         assert!(ex.circuit.find_node("vgnd0").is_ok());
         assert!(ex.circuit.find_node("vgnd1").is_ok());
         assert!(ex.circuit.find_device("msleep0").is_some());
@@ -682,9 +696,7 @@ mod partition_tests {
         let nl = two_chains();
         let tech = Technology::l07();
         assert!(expand_partitioned(&nl, &tech, &[0], &[5.0], &ExpandOptions::cmos()).is_err());
-        assert!(
-            expand_partitioned(&nl, &tech, &[0, 7], &[5.0], &ExpandOptions::cmos()).is_err()
-        );
+        assert!(expand_partitioned(&nl, &tech, &[0, 7], &[5.0], &ExpandOptions::cmos()).is_err());
     }
 
     /// Separate rails decouple the modules: discharging chain 0 bounces
@@ -693,8 +705,8 @@ mod partition_tests {
     fn separate_rails_are_decoupled() {
         let nl = two_chains();
         let tech = Technology::l07();
-        let mut ex = expand_partitioned(&nl, &tech, &[0, 1], &[3.0, 3.0], &ExpandOptions::cmos())
-            .unwrap();
+        let mut ex =
+            expand_partitioned(&nl, &tech, &[0, 1], &[3.0, 3.0], &ExpandOptions::cmos()).unwrap();
         ex.set_input_transition(0, Logic::Zero, Logic::One, 0.2e-9)
             .unwrap();
         // Input 1 held low: chain 1's output stays high, no discharge.

@@ -28,8 +28,12 @@ impl std::fmt::Display for LintIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LintIssue::FloatingNet(n) => write!(f, "floating net '{n}'"),
-            LintIssue::DanglingNet(n) => write!(f, "dangling net '{n}' (driven but unread/unmarked)"),
-            LintIssue::UnreachableCell(c) => write!(f, "cell '{c}' does not reach any primary output"),
+            LintIssue::DanglingNet(n) => {
+                write!(f, "dangling net '{n}' (driven but unread/unmarked)")
+            }
+            LintIssue::UnreachableCell(c) => {
+                write!(f, "cell '{c}' does not reach any primary output")
+            }
             LintIssue::UnusedInput(n) => write!(f, "primary input '{n}' feeds nothing"),
         }
     }
@@ -172,10 +176,14 @@ mod tests {
         let f = nl.add_net("float").unwrap();
         let z = nl.add_net("z").unwrap();
         let a = nl.find_net("a").unwrap();
-        nl.add_cell("g", CellKind::Nand2, vec![a, f], z, 1.0).unwrap();
+        nl.add_cell("g", CellKind::Nand2, vec![a, f], z, 1.0)
+            .unwrap();
         nl.mark_primary_output(z);
         let issues = lint(&nl);
-        assert!(issues.contains(&LintIssue::FloatingNet("float".into())), "{issues:?}");
+        assert!(
+            issues.contains(&LintIssue::FloatingNet("float".into())),
+            "{issues:?}"
+        );
     }
 
     #[test]
@@ -186,7 +194,10 @@ mod tests {
         nl.add_cell("gdead", CellKind::Inv, vec![a], dead, 1.0)
             .unwrap();
         let issues = lint(&nl);
-        assert!(issues.contains(&LintIssue::DanglingNet("dead".into())), "{issues:?}");
+        assert!(
+            issues.contains(&LintIssue::DanglingNet("dead".into())),
+            "{issues:?}"
+        );
         assert!(
             issues.contains(&LintIssue::UnreachableCell("gdead".into())),
             "{issues:?}"
@@ -223,7 +234,7 @@ mod tests {
     #[test]
     fn paper_circuit_stats_are_sane() {
         // The generators must always lint clean.
-        
+
         let tech = Technology::l07();
         let nl = clean_chain();
         let s = stats(&nl, &tech).unwrap();

@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn truth_tables() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(Zero.and(X), Zero);
         assert_eq!(One.and(X), X);
         assert_eq!(One.and(One), One);

@@ -394,12 +394,82 @@ impl Netlist {
             .map(|c| c.kind.pdn().transistor_count() as f64 * tech.unit_wn * c.drive)
             .sum()
     }
+
+    /// A stable 64-bit structural fingerprint: FNV-1a over the netlist
+    /// name, every net (name, extra capacitance, tie), every cell (name,
+    /// kind, pin connections, drive), and the port lists. Netlists built
+    /// identically fingerprint identically in any process, so caches can
+    /// key simulation results by circuit identity without holding a
+    /// reference to the netlist itself.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_bytes(self.name.as_bytes());
+        h.write_u64(self.nets.len() as u64);
+        for net in &self.nets {
+            h.write_bytes(net.name.as_bytes());
+            h.write_u64(net.extra_cap.to_bits());
+            h.write_u64(match net.tie {
+                None => 0,
+                Some(Logic::Zero) => 1,
+                Some(Logic::One) => 2,
+                Some(Logic::X) => 3,
+            });
+        }
+        h.write_u64(self.cells.len() as u64);
+        for cell in &self.cells {
+            h.write_bytes(cell.name.as_bytes());
+            h.write_bytes(cell.kind.name().as_bytes());
+            h.write_u64(cell.inputs.len() as u64);
+            for &inp in &cell.inputs {
+                h.write_u64(inp.0 as u64);
+            }
+            h.write_u64(cell.output.0 as u64);
+            h.write_u64(cell.drive.to_bits());
+        }
+        h.write_u64(self.primary_inputs.len() as u64);
+        for &pi in &self.primary_inputs {
+            h.write_u64(pi.0 as u64);
+        }
+        for &po in &self.primary_outputs {
+            h.write_u64(po.0 as u64);
+        }
+        h.finish()
+    }
+}
+
+/// A minimal FNV-1a 64 hasher (std's `DefaultHasher` makes no cross-
+/// version stability promise; this one is pinned by tests). Variable-
+/// length inputs are length-prefixed by the callers above so field
+/// boundaries cannot alias.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     fn inv_chain(n: usize) -> (Netlist, NetId, NetId) {
         let mut nl = Netlist::new("chain");
@@ -551,6 +621,30 @@ mod tests {
         let drain = (tech.unit_wn + tech.unit_wp) * tech.c_drain;
         let expect = 10e-15 + gate * (1.0 + 2.0) + drain;
         assert!((c - expect).abs() < 1e-21, "{c} vs {expect}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        let (a, _, _) = inv_chain(3);
+        let (b, _, _) = inv_chain(3);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same construction, same hash"
+        );
+        let (longer, _, _) = inv_chain(4);
+        assert_ne!(a.fingerprint(), longer.fingerprint());
+        let (mut loaded, _, _) = inv_chain(3);
+        loaded.add_extra_cap(loaded.find_net("n0").unwrap(), 1e-15);
+        assert_ne!(
+            a.fingerprint(),
+            loaded.fingerprint(),
+            "extra cap must change the hash"
+        );
+        let (mut retied, _, _) = inv_chain(3);
+        let z = retied.add_net("z").unwrap();
+        retied.tie_net(z, Zero).unwrap();
+        assert_ne!(a.fingerprint(), retied.fingerprint());
     }
 
     #[test]

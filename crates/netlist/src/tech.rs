@@ -140,7 +140,8 @@ impl Technology {
     ///
     /// Panics if `w_over_l <= 0` or the sleep device would be off.
     pub fn sleep_resistance(&self, w_over_l: f64) -> f64 {
-        self.sleep_model(false).triode_resistance(w_over_l, self.vdd)
+        self.sleep_model(false)
+            .triode_resistance(w_over_l, self.vdd)
     }
 
     /// The switching threshold used for delay measurement, V<sub>dd</sub>/2.

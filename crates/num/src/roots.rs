@@ -44,12 +44,7 @@ impl Default for RootOptions {
 /// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
 /// assert!((root - 2f64.sqrt()).abs() < 1e-10);
 /// ```
-pub fn bisect<F: FnMut(f64) -> f64>(
-    mut f: F,
-    lo: f64,
-    hi: f64,
-    opts: RootOptions,
-) -> Result<f64> {
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, opts: RootOptions) -> Result<f64> {
     check_interval(lo, hi)?;
     let mut a = lo;
     let mut b = hi;

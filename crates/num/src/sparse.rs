@@ -397,7 +397,11 @@ mod tests {
 
     /// Random `(row, col, value)` entries for the randomized solver
     /// checks, mirroring the old property-test strategy.
-    fn random_entries(rng: &mut Xoshiro256pp, dim: usize, max_len: usize) -> Vec<(usize, usize, f64)> {
+    fn random_entries(
+        rng: &mut Xoshiro256pp,
+        dim: usize,
+        max_len: usize,
+    ) -> Vec<(usize, usize, f64)> {
         let len = 1 + rng.next_index(max_len);
         (0..len)
             .map(|_| {

@@ -192,16 +192,18 @@ impl Pwl {
 
     /// Minimum value over all points.
     pub fn min_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| {
-            Some(m.map_or(v, |mv: f64| mv.min(v)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |mv: f64| mv.min(v))))
     }
 
     /// Maximum value over all points.
     pub fn max_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| {
-            Some(m.map_or(v, |mv: f64| mv.max(v)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |mv: f64| mv.max(v))))
     }
 
     /// All crossings of `threshold`, in time order. A crossing is reported
@@ -241,7 +243,8 @@ impl Pwl {
     /// Last crossing of `threshold` matching `edge`.
     pub fn last_crossing(&self, threshold: f64, edge: Edge) -> Option<Crossing> {
         self.crossings(threshold)
-            .into_iter().rfind(|c| edge.matches(c.rising))
+            .into_iter()
+            .rfind(|c| edge.matches(c.rising))
     }
 
     /// Shifts every point in time by `dt`.
@@ -303,7 +306,8 @@ pub fn propagation_delay(input: &Pwl, output: &Pwl, v_ref: f64, t_from: f64) -> 
     let t_in = input.first_crossing(v_ref, Edge::Any, t_from)?.time;
     let t_out = output
         .crossings(v_ref)
-        .into_iter().rfind(|c| c.time >= t_in)?
+        .into_iter()
+        .rfind(|c| c.time >= t_in)?
         .time;
     Some(t_out - t_in)
 }
@@ -345,7 +349,13 @@ mod tests {
 
     /// A waveform with points at t = 0, 1, 2, … and random values in
     /// `[lo, hi)` — the old property-test strategy.
-    fn random_wave(rng: &mut Xoshiro256pp, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Pwl {
+    fn random_wave(
+        rng: &mut Xoshiro256pp,
+        lo: f64,
+        hi: f64,
+        min_len: usize,
+        max_len: usize,
+    ) -> Pwl {
         let len = min_len + rng.next_index(max_len - min_len);
         (0..len)
             .map(|i| (i as f64, rng.next_f64_in(lo, hi)))
@@ -417,6 +427,48 @@ mod tests {
         assert_eq!(c[0].time, 1.0);
         assert_eq!(c[1].time, 1.0);
         assert!(c[0].rising && !c[1].rising);
+    }
+
+    #[test]
+    fn crossing_exactly_at_breakpoint_counted_once() {
+        // The threshold is hit exactly at a stored sample. `below` is
+        // strict (`v < threshold`), so the sample itself is "at or
+        // above": the rising segment reports one crossing at the
+        // breakpoint and the following at-threshold→above segment
+        // reports none.
+        let w: Pwl = [(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)].into_iter().collect();
+        let c = w.crossings(0.5);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].time, 1.0);
+        assert!(c[0].rising);
+        assert_eq!(w.last_crossing(0.5, Edge::Any).unwrap().time, 1.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_report_finite_crossing() {
+        // Back-to-back pushes at the same time (an event-driven step)
+        // form a zero-width segment; the crossing must land exactly at
+        // that time, not at NaN from a 0/0 interpolation.
+        let mut w = Pwl::new();
+        w.push(0.0, 0.0);
+        w.push(1.0, 0.0);
+        w.push(1.0, 1.0);
+        w.push(2.0, 1.0);
+        let c = w.crossings(0.5);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].time.is_finite());
+        assert_eq!(c[0].time, 1.0);
+        assert!(c[0].rising);
+    }
+
+    #[test]
+    fn touch_from_above_is_not_a_crossing() {
+        // Dipping exactly to the threshold from above never goes
+        // strictly below, so no crossing is reported — asymmetric with
+        // the touch-from-below case, which yields a coincident pair.
+        let w: Pwl = [(0.0, 1.0), (1.0, 0.5), (2.0, 1.0)].into_iter().collect();
+        assert!(w.crossings(0.5).is_empty());
+        assert!(w.last_crossing(0.5, Edge::Any).is_none());
     }
 
     #[test]

@@ -245,11 +245,14 @@ impl Circuit {
             ohms.is_finite() && ohms > 0.0,
             "resistor '{name}' must have positive finite resistance, got {ohms}"
         );
-        self.push_device(name, DeviceKind::Resistor {
-            a,
-            b,
-            conductance: 1.0 / ohms,
-        })
+        self.push_device(
+            name,
+            DeviceKind::Resistor {
+                a,
+                b,
+                conductance: 1.0 / ohms,
+            },
+        )
     }
 
     /// Adds a capacitor.
@@ -273,11 +276,14 @@ impl Circuit {
         neg: NodeId,
         wave: impl Into<SourceWave>,
     ) -> DeviceId {
-        self.push_device(name, DeviceKind::Vsource {
-            pos,
-            neg,
-            wave: wave.into(),
-        })
+        self.push_device(
+            name,
+            DeviceKind::Vsource {
+                pos,
+                neg,
+                wave: wave.into(),
+            },
+        )
     }
 
     /// Adds an independent current source pushing current from `from` to
@@ -289,11 +295,14 @@ impl Circuit {
         to: NodeId,
         wave: impl Into<SourceWave>,
     ) -> DeviceId {
-        self.push_device(name, DeviceKind::Isource {
-            from,
-            to,
-            wave: wave.into(),
-        })
+        self.push_device(
+            name,
+            DeviceKind::Isource {
+                from,
+                to,
+                wave: wave.into(),
+            },
+        )
     }
 
     /// Adds a MOSFET.
@@ -318,14 +327,17 @@ impl Circuit {
             "mosfet '{name}' needs positive finite W/L, got {w_over_l}"
         );
         assert!(model.0 < self.models.len(), "unknown model id for '{name}'");
-        self.push_device(name, DeviceKind::Mosfet {
-            d,
-            g,
-            s,
-            b,
-            model,
-            w_over_l,
-        })
+        self.push_device(
+            name,
+            DeviceKind::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w_over_l,
+            },
+        )
     }
 
     /// Sets an initial condition used by the DC operating point that seeds
@@ -338,6 +350,14 @@ impl Circuit {
     /// Declared initial conditions.
     pub fn initial_conditions(&self) -> &[(NodeId, f64)] {
         &self.initial_conditions
+    }
+
+    /// Discards all declared initial conditions. [`Circuit::set_ic`]
+    /// *appends*, so a circuit reprogrammed for a new input vector must
+    /// clear the previous vector's conditions first or the stale entries
+    /// keep tugging on the operating-point solve.
+    pub fn clear_ics(&mut self) {
+        self.initial_conditions.clear();
     }
 
     /// Replaces the waveform of an existing voltage source, so one built
@@ -479,7 +499,10 @@ mod tests {
     #[test]
     fn find_node_reports_unknown() {
         let c = Circuit::new();
-        assert!(matches!(c.find_node("nope"), Err(SpiceError::UnknownNode(_))));
+        assert!(matches!(
+            c.find_node("nope"),
+            Err(SpiceError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -545,5 +568,19 @@ mod tests {
         let a = c.node("a");
         c.set_ic(a, 1.2);
         assert_eq!(c.initial_conditions(), &[(a, 1.2)]);
+    }
+
+    #[test]
+    fn clear_ics_supports_reprogramming() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.set_ic(a, 1.2);
+        c.set_ic(b, 0.0);
+        c.clear_ics();
+        assert!(c.initial_conditions().is_empty());
+        // The next vector's conditions are the only ones left standing.
+        c.set_ic(a, 0.0);
+        assert_eq!(c.initial_conditions(), &[(a, 0.0)]);
     }
 }

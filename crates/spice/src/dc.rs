@@ -21,9 +21,7 @@ pub struct DcOptions {
 impl Default for DcOptions {
     fn default() -> Self {
         DcOptions {
-            gmin_steps: vec![
-                1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-12,
-            ],
+            gmin_steps: vec![1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-12],
             newton: NewtonOptions::default(),
             force_ics: true,
         }
@@ -243,7 +241,10 @@ mod tests {
             c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
             let op = operating_point(&c, &DcOptions::default()).unwrap();
             let v = op.voltage(out);
-            assert!(v <= last + 1e-6, "VTC not monotone at vin={vin}: {v} > {last}");
+            assert!(
+                v <= last + 1e-6,
+                "VTC not monotone at vin={vin}: {v} > {last}"
+            );
             last = v;
         }
     }
@@ -296,7 +297,10 @@ mod tests {
         c.resistor("r1", top, mid, 1000.0);
         c.resistor("r2", mid, Circuit::GND, 1000.0);
         let op = operating_point(&c, &DcOptions::default()).unwrap();
-        assert_eq!(op.gmin_fallback_stages, 0, "linear circuit must solve directly");
+        assert_eq!(
+            op.gmin_fallback_stages, 0,
+            "linear circuit must solve directly"
+        );
     }
 
     /// An inverter biased near its switching threshold is a high-gain

@@ -42,11 +42,7 @@ pub fn to_deck(circuit: &Circuit, title: &str) -> String {
         let _ = writeln!(
             out,
             ".model m{canon} {kind} (level=1 vto={} kp={} gamma={} phi={} lambda={})",
-            m.vt0,
-            m.kp,
-            m.gamma,
-            m.phi,
-            m.lambda
+            m.vt0, m.kp, m.gamma, m.phi, m.lambda
         );
     }
     for dev in circuit.devices() {
@@ -115,6 +111,20 @@ pub fn to_deck(circuit: &Circuit, title: &str) -> String {
     for &(node, volts) in circuit.initial_conditions() {
         let _ = writeln!(out, ".ic V({})={}", circuit.node_name(node), volts);
     }
+    out.push_str(".end\n");
+    out
+}
+
+/// [`to_deck`] plus a `.tran` card, so an exported verification
+/// candidate is runnable as-is in an external simulator. The parser
+/// ignores analysis cards, so the round trip through [`from_deck`] is
+/// unaffected.
+pub fn to_deck_with_tran(circuit: &Circuit, title: &str, dt: f64, t_stop: f64) -> String {
+    let mut out = to_deck(circuit, title);
+    let body_len = out.len() - ".end\n".len();
+    debug_assert!(out[body_len..].eq(".end\n"));
+    out.truncate(body_len);
+    let _ = writeln!(out, ".tran {dt} {t_stop}");
     out.push_str(".end\n");
     out
 }
@@ -265,21 +275,16 @@ pub fn from_deck(text: &str) -> Result<Circuit> {
                     "gamma" => m.gamma = val,
                     "phi" => m.phi = val,
                     "lambda" => m.lambda = val,
-                    "level"
-                        if val != 1.0 => {
-                            return Err(SpiceError::InvalidParameter(format!(
-                                "only level=1 models supported, got {val}"
-                            )));
-                        }
+                    "level" if val != 1.0 => {
+                        return Err(SpiceError::InvalidParameter(format!(
+                            "only level=1 models supported, got {val}"
+                        )));
+                    }
                     "n_sub" => {
-                        m.subthreshold
-                            .get_or_insert_with(Subthreshold::default)
-                            .n = val;
+                        m.subthreshold.get_or_insert_with(Subthreshold::default).n = val;
                     }
                     "i0_sub" => {
-                        m.subthreshold
-                            .get_or_insert_with(Subthreshold::default)
-                            .i0 = val;
+                        m.subthreshold.get_or_insert_with(Subthreshold::default).i0 = val;
                     }
                     _ => {}
                 }
@@ -385,7 +390,11 @@ fn two_nodes<'a, I: Iterator<Item = &'a str>>(
     c: &mut Circuit,
     toks: &mut I,
     card: &str,
-) -> Result<(crate::circuit::NodeId, crate::circuit::NodeId, Option<String>)> {
+) -> Result<(
+    crate::circuit::NodeId,
+    crate::circuit::NodeId,
+    Option<String>,
+)> {
     let a = toks.next().ok_or_else(|| missing(card))?.to_string();
     let b = toks.next().ok_or_else(|| missing(card))?.to_string();
     let rest = toks.next().map(str::to_string);
@@ -473,7 +482,12 @@ mod tests {
         let nm = c.add_model(MosModel::nmos(0.35, 100e-6));
         let pm = c.add_model(MosModel::pmos(0.35, 40e-6));
         c.vsource("vdd", vdd, Circuit::GND, SourceWave::Dc(1.2));
-        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1e-9, 1e-10, 0.0, 1.2));
+        c.vsource(
+            "vin",
+            inp,
+            Circuit::GND,
+            SourceWave::ramp(1e-9, 1e-10, 0.0, 1.2),
+        );
         c.mosfet("mp", out, inp, vdd, vdd, pm, 8.0);
         c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
         c.capacitor("cl", out, Circuit::GND, 50e-15);
@@ -487,6 +501,30 @@ mod tests {
         assert_eq!(parsed.initial_conditions().len(), 1);
         // The re-serialized deck is identical (canonical form).
         assert_eq!(to_deck(&parsed, "inverter"), deck);
+    }
+
+    #[test]
+    fn deck_with_tran_card_round_trips() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        c.resistor("r", n1, Circuit::GND, 1000.0);
+        c.capacitor("cl", n1, Circuit::GND, 1e-12);
+        c.set_ic(n1, 1.0);
+
+        let deck = to_deck_with_tran(&c, "rc", 1e-11, 1e-8);
+        let tran_line = deck
+            .lines()
+            .find(|l| l.starts_with(".tran"))
+            .expect("analysis card present");
+        assert_eq!(tran_line, format!(".tran {} {}", 1e-11, 1e-8));
+        assert!(deck.ends_with(".end\n"));
+        // The .ic card still precedes the analysis card.
+        let ic_pos = deck.find(".ic").unwrap();
+        assert!(ic_pos < deck.find(".tran").unwrap());
+        // The parser ignores analysis cards, so structure survives.
+        let parsed = from_deck(&deck).expect("parse back");
+        assert_eq!(parsed.device_count(), c.device_count());
+        assert_eq!(to_deck(&parsed, "rc"), to_deck(&c, "rc"));
     }
 
     #[test]
@@ -560,5 +598,4 @@ mod tests {
         assert!(from_deck(".model md NMOS (level=2)\n.end\n").is_err());
         assert!(from_deck("M1 d g 0 0 nomodel W=1U L=1U\n.end\n").is_err());
     }
-
 }

@@ -247,7 +247,13 @@ pub fn mos_eval(model: &MosModel, w_over_l: f64, vg: f64, vd: f64, vs: f64, vb: 
 
 /// Level-1 evaluation in the normalized frame (`vds >= 0`).
 /// Returns `(id, gm, gds, gmb)`, all ≥ 0 in strong inversion.
-fn eval_normalized(model: &MosModel, w_over_l: f64, vgs: f64, vds: f64, vbs: f64) -> (f64, f64, f64, f64) {
+fn eval_normalized(
+    model: &MosModel,
+    w_over_l: f64,
+    vgs: f64,
+    vds: f64,
+    vbs: f64,
+) -> (f64, f64, f64, f64) {
     debug_assert!(vds >= 0.0);
     let vsb_raw = -vbs;
     let clamp = -model.phi * 0.99;
@@ -417,7 +423,10 @@ mod tests {
         ] {
             let ev = mos_eval(&m, 4.0, vg, vd, vs, vb);
             let sum = ev.d_vg + ev.d_vd + ev.d_vs + ev.d_vb;
-            assert!(sum.abs() < 1e-9, "partials sum {sum} at ({vg},{vd},{vs},{vb})");
+            assert!(
+                sum.abs() < 1e-9,
+                "partials sum {sum} at ({vg},{vd},{vs},{vb})"
+            );
         }
     }
 
@@ -490,18 +499,42 @@ mod tests {
             let h = 1e-7;
             let base = mos_eval(&m, wl, vg, vd, vs, vb);
             let num_g = (mos_eval(&m, wl, vg + h, vd, vs, vb).id
-                - mos_eval(&m, wl, vg - h, vd, vs, vb).id) / (2.0 * h);
+                - mos_eval(&m, wl, vg - h, vd, vs, vb).id)
+                / (2.0 * h);
             let num_d = (mos_eval(&m, wl, vg, vd + h, vs, vb).id
-                - mos_eval(&m, wl, vg, vd - h, vs, vb).id) / (2.0 * h);
+                - mos_eval(&m, wl, vg, vd - h, vs, vb).id)
+                / (2.0 * h);
             let num_s = (mos_eval(&m, wl, vg, vd, vs + h, vb).id
-                - mos_eval(&m, wl, vg, vd, vs - h, vb).id) / (2.0 * h);
+                - mos_eval(&m, wl, vg, vd, vs - h, vb).id)
+                / (2.0 * h);
             let num_b = (mos_eval(&m, wl, vg, vd, vs, vb + h).id
-                - mos_eval(&m, wl, vg, vd, vs, vb - h).id) / (2.0 * h);
+                - mos_eval(&m, wl, vg, vd, vs, vb - h).id)
+                / (2.0 * h);
             let tol = |a: f64, n: f64| 1e-9 + 1e-4 * (a.abs() + n.abs());
-            assert!((base.d_vg - num_g).abs() < tol(base.d_vg, num_g), "d_vg {} vs {}", base.d_vg, num_g);
-            assert!((base.d_vd - num_d).abs() < tol(base.d_vd, num_d), "d_vd {} vs {}", base.d_vd, num_d);
-            assert!((base.d_vs - num_s).abs() < tol(base.d_vs, num_s), "d_vs {} vs {}", base.d_vs, num_s);
-            assert!((base.d_vb - num_b).abs() < tol(base.d_vb, num_b), "d_vb {} vs {}", base.d_vb, num_b);
+            assert!(
+                (base.d_vg - num_g).abs() < tol(base.d_vg, num_g),
+                "d_vg {} vs {}",
+                base.d_vg,
+                num_g
+            );
+            assert!(
+                (base.d_vd - num_d).abs() < tol(base.d_vd, num_d),
+                "d_vd {} vs {}",
+                base.d_vd,
+                num_d
+            );
+            assert!(
+                (base.d_vs - num_s).abs() < tol(base.d_vs, num_s),
+                "d_vs {} vs {}",
+                base.d_vs,
+                num_s
+            );
+            assert!(
+                (base.d_vb - num_b).abs() < tol(base.d_vb, num_b),
+                "d_vb {} vs {}",
+                base.d_vb,
+                num_b
+            );
         }
         assert!(checked > 256, "only {checked} interior points sampled");
     }

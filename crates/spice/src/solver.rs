@@ -70,7 +70,11 @@ pub fn collect_dyn_caps(circuit: &Circuit) -> Vec<DynCap> {
                     ] {
                         let farads = c_per * w_over_l;
                         if farads > 0.0 && na != nb {
-                            out.push(DynCap { a: na, b: nb, farads });
+                            out.push(DynCap {
+                                a: na,
+                                b: nb,
+                                farads,
+                            });
                         }
                     }
                 }
@@ -219,7 +223,11 @@ pub fn assemble(
 
     for (dev_idx, dev) in circuit.devices().iter().enumerate() {
         match &dev.kind {
-            DeviceKind::Resistor { a: na, b: nb, conductance } => {
+            DeviceKind::Resistor {
+                a: na,
+                b: nb,
+                conductance,
+            } => {
                 stamp_conductance(a, node_index(*na), node_index(*nb), *conductance);
             }
             DeviceKind::Capacitor { .. } => {
@@ -255,17 +263,9 @@ pub fn assemble(
                 // Linearized drain current:
                 //   id ≈ ev.id + Σ ∂id/∂vt · (vt_next − vt_now)
                 // KCL: +id leaves node d, enters node s.
-                let ieq = ev.id
-                    - ev.d_vg * v(*g)
-                    - ev.d_vd * v(*d)
-                    - ev.d_vs * v(*s)
-                    - ev.d_vb * v(*b);
-                for (node, gpart) in [
-                    (*g, ev.d_vg),
-                    (*d, ev.d_vd),
-                    (*s, ev.d_vs),
-                    (*b, ev.d_vb),
-                ] {
+                let ieq =
+                    ev.id - ev.d_vg * v(*g) - ev.d_vd * v(*d) - ev.d_vs * v(*s) - ev.d_vb * v(*b);
+                for (node, gpart) in [(*g, ev.d_vg), (*d, ev.d_vd), (*s, ev.d_vs), (*b, ev.d_vb)] {
                     if let Some(col) = node_index(node) {
                         if let Some(row) = node_index(*d) {
                             a.add(row, col, gpart);
@@ -388,7 +388,14 @@ impl NewtonSolver {
         let mut x = x0.to_vec();
         debug_assert_eq!(x.len(), n);
         for iter in 0..opts.max_iter {
-            assemble(circuit, &x, mode, &self.branches, &mut self.a, &mut self.rhs);
+            assemble(
+                circuit,
+                &x,
+                mode,
+                &self.branches,
+                &mut self.a,
+                &mut self.rhs,
+            );
             let x_new = self.factor_and_solve(circuit, context)?;
             // Convergence check + damping.
             let mut converged = true;
@@ -443,9 +450,9 @@ impl NewtonSolver {
             other => SpiceError::InvalidParameter(format!("{context}: {other}")),
         })?;
         let rhs_perm: Vec<f64> = order.iter().map(|&i| self.rhs[i]).collect();
-        let y = lu.solve(&rhs_perm).map_err(|e| {
-            SpiceError::InvalidParameter(format!("{context}: solve failed: {e}"))
-        })?;
+        let y = lu
+            .solve(&rhs_perm)
+            .map_err(|e| SpiceError::InvalidParameter(format!("{context}: solve failed: {e}")))?;
         let mut x = vec![0.0; self.n];
         for i in 0..self.n {
             x[i] = y[self.pos[i]];

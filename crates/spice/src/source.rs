@@ -134,7 +134,12 @@ impl SourceWave {
             } => {
                 let mut base = *delay;
                 loop {
-                    for t in [base, base + rise, base + rise + width, base + rise + width + fall] {
+                    for t in [
+                        base,
+                        base + rise,
+                        base + rise + width,
+                        base + rise + width + fall,
+                    ] {
                         if t >= 0.0 && t <= t_stop {
                             out.push(t);
                         }

@@ -7,7 +7,9 @@
 
 use crate::circuit::{Circuit, DeviceKind, NodeId};
 use crate::dc::{operating_point, DcOptions};
-use crate::solver::{collect_dyn_caps, CapState, Integrator, NewtonOptions, NewtonSolver, StampMode};
+use crate::solver::{
+    collect_dyn_caps, CapState, Integrator, NewtonOptions, NewtonSolver, StampMode,
+};
 use crate::{Result, SpiceError};
 use mtk_num::waveform::Pwl;
 
@@ -71,9 +73,17 @@ impl TranOptions {
         self
     }
 
-    /// Restricts recording to the given nodes.
+    /// Restricts recording to the given nodes. Duplicates are dropped
+    /// (first occurrence wins), so callers composing probe lists — e.g.
+    /// outputs plus virtual ground that may alias — need not dedupe.
     pub fn with_probes(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
-        self.record = RecordMode::Nodes(nodes.into_iter().collect());
+        let mut unique: Vec<NodeId> = Vec::new();
+        for n in nodes {
+            if !unique.contains(&n) {
+                unique.push(n);
+            }
+        }
+        self.record = RecordMode::Nodes(unique);
         self
     }
 
@@ -130,11 +140,9 @@ impl TranResult {
     ///
     /// Returns [`SpiceError::UnknownNode`] if the node was not recorded.
     pub fn waveform(&self, node: NodeId) -> Result<Pwl> {
-        let k = self
-            .nodes
-            .iter()
-            .position(|&n| n == node)
-            .ok_or_else(|| SpiceError::UnknownNode(format!("node #{} not recorded", node.index())))?;
+        let k = self.nodes.iter().position(|&n| n == node).ok_or_else(|| {
+            SpiceError::UnknownNode(format!("node #{} not recorded", node.index()))
+        })?;
         Ok(self
             .time
             .iter()
@@ -312,9 +320,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult> {
                     let v_new = voltage_of(&x_new, cap.a) - voltage_of(&x_new, cap.b);
                     let st = &mut cap_states[idx];
                     let i_new = match method {
-                        Integrator::Trapezoidal => {
-                            2.0 * cap.farads / dt * (v_new - st.v) - st.i
-                        }
+                        Integrator::Trapezoidal => 2.0 * cap.farads / dt * (v_new - st.v) - st.i,
                         Integrator::BackwardEuler => cap.farads / dt * (v_new - st.v),
                     };
                     st.v = v_new;
@@ -355,6 +361,15 @@ mod tests {
     use crate::source::SourceWave;
     use mtk_num::waveform::Edge;
 
+    #[test]
+    fn with_probes_dedupes_keeping_first_occurrence() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let opts = TranOptions::to(1e-6).with_probes([a, b, a, b, b]);
+        assert_eq!(opts.record, RecordMode::Nodes(vec![a, b]));
+    }
+
     /// RC discharge from an IC matches the analytic exponential.
     #[test]
     fn rc_discharge_matches_analytic() {
@@ -383,7 +398,12 @@ mod tests {
         let mut c = Circuit::new();
         let inp = c.node("in");
         let out = c.node("out");
-        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1e-7, 1e-9, 0.0, 1.0));
+        c.vsource(
+            "vin",
+            inp,
+            Circuit::GND,
+            SourceWave::ramp(1e-7, 1e-9, 0.0, 1.0),
+        );
         c.resistor("r", inp, out, 1000.0);
         c.capacitor("c", out, Circuit::GND, 1e-9);
         let res = transient(&c, &TranOptions::to(10e-6).with_dt(5e-9)).unwrap();
@@ -440,7 +460,12 @@ mod tests {
         let vdd = 1.2;
         let cl = 50e-15;
         c.vsource("vdd", vdd_n, Circuit::GND, vdd);
-        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1e-10, 1e-11, 0.0, vdd));
+        c.vsource(
+            "vin",
+            inp,
+            Circuit::GND,
+            SourceWave::ramp(1e-10, 1e-11, 0.0, vdd),
+        );
         c.mosfet("mp", out, inp, vdd_n, vdd_n, pm, 8.0);
         c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
         c.capacitor("cl", out, Circuit::GND, cl);
@@ -465,7 +490,12 @@ mod tests {
     fn breakpoints_are_honoured() {
         let mut c = Circuit::new();
         let inp = c.node("in");
-        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1.05e-7, 1e-9, 0.0, 1.0));
+        c.vsource(
+            "vin",
+            inp,
+            Circuit::GND,
+            SourceWave::ramp(1.05e-7, 1e-9, 0.0, 1.0),
+        );
         c.resistor("r", inp, Circuit::GND, 1000.0);
         let res = transient(&c, &TranOptions::to(3e-7).with_dt(4e-8)).unwrap();
         assert!(res.time().iter().any(|&t| (t - 1.05e-7).abs() < 1e-15));
@@ -528,7 +558,12 @@ mod tests {
             // Drive through a resistor so gate current is observable as
             // an RC delay on the gate node.
             let drv = c.node("drv");
-            c.vsource("vin", drv, Circuit::GND, SourceWave::ramp(0.2e-9, 0.05e-9, 0.0, 1.2));
+            c.vsource(
+                "vin",
+                drv,
+                Circuit::GND,
+                SourceWave::ramp(0.2e-9, 0.05e-9, 0.0, 1.2),
+            );
             c.resistor("rg", drv, inp, 5_000.0);
             c.mosfet("mp", out, inp, vdd_n, vdd_n, pmid, 8.0);
             c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nmid, 4.0);
@@ -596,7 +631,12 @@ mod tests {
         let pm = c.add_model(MosModel::pmos(0.35, 40e-6));
         let vdd = 1.2;
         c.vsource("vdd", vdd_n, Circuit::GND, vdd);
-        c.vsource("vin", inp, Circuit::GND, SourceWave::ramp(1e-10, 1e-11, 0.0, vdd));
+        c.vsource(
+            "vin",
+            inp,
+            Circuit::GND,
+            SourceWave::ramp(1e-10, 1e-11, 0.0, vdd),
+        );
         c.mosfet("mp", out, inp, vdd_n, vdd_n, pm, 8.0);
         c.mosfet("mn", out, inp, Circuit::GND, Circuit::GND, nm, 4.0);
         c.capacitor("cl", out, Circuit::GND, 50e-15);

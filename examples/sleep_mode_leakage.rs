@@ -56,11 +56,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let active = leak_of(Some(tech.vdd))?;
     let sleeping = leak_of(Some(0.0))?;
 
-    println!("standby supply current of a {}-gate low-Vt block:", tree.netlist.cells().len());
+    println!(
+        "standby supply current of a {}-gate low-Vt block:",
+        tree.netlist.cells().len()
+    );
     println!("  unguarded low-Vt CMOS : {:>12.4} nA", unguarded * 1e9);
     println!("  MTCMOS, active mode   : {:>12.4} nA", active * 1e9);
-    println!("  MTCMOS, sleep mode    : {:>12.6} nA  ({:.0}x below unguarded)",
-        sleeping * 1e9, unguarded / sleeping);
+    println!(
+        "  MTCMOS, sleep mode    : {:>12.6} nA  ({:.0}x below unguarded)",
+        sleeping * 1e9,
+        unguarded / sleeping
+    );
     println!(
         "\nIn active mode the high-Vt device is on and leakage stays at the unguarded\n\
          nA scale (the absolute nA values carry Newton-tolerance noise); asleep, the\n\

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+echo "== formatting =="
+cargo fmt --check
+
 echo "== tier 1: release build =="
 cargo build --release
 
@@ -24,5 +27,9 @@ cargo build --release -p mtk-bench
 
 echo "== bench-harness targets still compile =="
 cargo build -p mtk-bench --benches --features bench-harness
+
+echo "== hybrid pipeline smoke (4-bit adder screen + top-2 SPICE verify) =="
+cargo run --release -p mtk-bench --bin ext_screening -- \
+  --smoke --adder-bits 4 --stride 259 --top-k 2 --threads 2
 
 echo "ci: all green"

@@ -45,7 +45,10 @@ fn expanded_mtcmos_tree_roundtrips_through_deck() {
         .unwrap()
         .waveform(probe)
         .unwrap();
-    let wb = transient(&parsed, &opts).unwrap().waveform(probe_b).unwrap();
+    let wb = transient(&parsed, &opts)
+        .unwrap()
+        .waveform(probe_b)
+        .unwrap();
     let ca = wa.last_crossing(tech.v_switch(), mtcmos_suite::num::waveform::Edge::Any);
     let cb = wb.last_crossing(tech.v_switch(), mtcmos_suite::num::waveform::Edge::Any);
     match (ca, cb) {

@@ -10,7 +10,7 @@ use mtcmos_suite::circuits::vectors::exhaustive_transitions;
 use mtcmos_suite::core::health::{FailurePolicy, FaultPlan};
 use mtcmos_suite::core::search::{search_worst_vector, SearchOptions};
 use mtcmos_suite::core::sizing::{
-    screen_vectors_quarantined, screen_vectors_par_quarantined, ScreenedVector, Transition,
+    screen_vectors_par_quarantined, screen_vectors_quarantined, ScreenedVector, Transition,
 };
 use mtcmos_suite::core::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use mtcmos_suite::core::CoreError;
