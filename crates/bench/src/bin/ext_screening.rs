@@ -17,7 +17,7 @@
 //!
 //! Usage: `ext_screening [--threads N] [--top-k N] [--adder-bits N]
 //! [--stride N] [--mult-samples N] [--max-failures N] [--fail-fast]
-//! [--smoke]`
+//! [--smoke] [--trace-json PATH]`
 //!
 //! * `--threads 0` = all cores; findings and health are bit-identical at
 //!   any thread count.
@@ -26,64 +26,30 @@
 //! * `--smoke` runs only the hybrid screen+verify phase — the CI smoke
 //!   configuration.
 //! * By default vectors that fail to simulate are quarantined (up to
-//!   `--max-failures`, default 32) and reported in the run-health
+//!   `--max-failures`, default 32) and reported in the telemetry
 //!   footer; `--fail-fast` aborts on the first failure instead.
+//! * `--trace-json PATH` writes the versioned machine-readable trace
+//!   (schema in DESIGN.md §10) next to the human footer;
+//!   `--trace-deterministic` drops its schedule-dependent `timing`
+//!   section so the file is byte-identical at any thread count.
 
+use mtk_bench::cli::{bool_flag, emit_trace, failure_policy, flag, threads_label, trace_config};
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
 use mtk_circuits::adder::{AdderSpec, RippleAdder};
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::exhaustive_transitions;
-use mtk_core::health::{FailurePolicy, FaultPlan};
+use mtk_core::health::FaultPlan;
 use mtk_core::hybrid::{run_hybrid, spice_delay_pair, HybridOptions, SpiceRunConfig};
-use mtk_core::par::WorkerStats;
 use mtk_core::sizing::{screen_vectors_par_quarantined, Transition};
 use mtk_netlist::logic::bits_lsb_first;
 use mtk_netlist::tech::Technology;
 use mtk_num::prng::Xoshiro256pp;
+use mtk_trace::{SpanRecorder, TraceReport};
 use std::time::Instant;
 
 const W_OVER_L: f64 = 10.0;
 const MULT_SEED: u64 = 0xDAC97;
-
-fn flag(name: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn bool_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
-fn failure_policy() -> FailurePolicy {
-    if bool_flag("--fail-fast") {
-        FailurePolicy::FailFast
-    } else {
-        FailurePolicy::quarantine(flag("--max-failures", 32))
-    }
-}
-
-fn print_workers(workers: &[WorkerStats]) {
-    print_table(
-        "per-worker counters",
-        &["worker", "vectors", "breakpoints", "busy s"],
-        &workers
-            .iter()
-            .map(|w| {
-                vec![
-                    format!("{}", w.worker),
-                    format!("{}", w.vectors),
-                    format!("{}", w.breakpoints),
-                    format!("{:.3}", w.wall),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
-}
 
 fn main() {
     let threads = flag("--threads", 1);
@@ -93,6 +59,9 @@ fn main() {
     let mult_samples = flag("--mult-samples", 512);
     let smoke = bool_flag("--smoke");
     let policy = failure_policy();
+    let mut trace = TraceReport::new("ext_screening");
+    let mut spans = SpanRecorder::new(trace_config().spans);
+    spans.begin("run");
 
     let add = RippleAdder::new(&AdderSpec {
         bits,
@@ -112,11 +81,7 @@ fn main() {
         "EXT-SCREEN: hybrid pipeline on the {bits}-bit adder — vbsim screen of {} \
          transitions ({} thread(s)), batched SPICE verification of top {top_k}",
         transitions.len(),
-        if threads == 0 {
-            "all".to_string()
-        } else {
-            threads.to_string()
-        }
+        threads_label(threads)
     );
 
     // Phases 1+2: the batched hybrid pipeline. Screening, ranking,
@@ -129,21 +94,22 @@ fn main() {
         policy,
         ..HybridOptions::at_size(W_OVER_L, cfg.clone())
     };
+    spans.begin("hybrid");
     let report = run_hybrid(&add.netlist, &tech, &transitions, &opts).expect("hybrid run");
+    spans.end();
     println!(
         "screened {} transitions ({} switch an output) in {:.2} s wall",
         transitions.len(),
         report.survivors,
         report.screen_wall
     );
-    print_workers(&report.screen_workers);
-    println!("screen: {}", report.screen_health.summary());
     println!(
         "verified {} candidates in {:.2} s wall",
         report.findings.len(),
         report.verify_wall
     );
-    println!("verify: {}", report.verify_health.summary());
+    trace.push_phase(report.screen_phase());
+    trace.push_phase(report.verify_phase());
 
     let mask = (1usize << n_inputs) - 1;
     let mut spice_worst: f64 = 0.0;
@@ -176,11 +142,14 @@ fn main() {
 
     if smoke {
         println!("\n--smoke: skipping the blind SPICE control and multiplier phases");
+        trace.spans = spans.finish();
+        emit_trace(&trace);
         return;
     }
 
     // Phase 3: control — SPICE on a uniform sample to estimate the true
     // worst-case degradation without screening.
+    spans.begin("control");
     let t0 = Instant::now();
     let mut control_worst: f64 = 0.0;
     let sample: Vec<usize> = (0..transitions.len()).step_by(101).collect();
@@ -193,6 +162,7 @@ fn main() {
         }
     }
     let t_control = t0.elapsed().as_secs_f64();
+    spans.end();
     let t_hybrid = report.screen_wall + report.verify_wall;
 
     println!(
@@ -242,12 +212,9 @@ fn main() {
         "\nEXT-SCREEN (multiplier): {} random transitions of the 8x8 multiplier @ sleep \
          W/L=170, {} thread(s)",
         mult_transitions.len(),
-        if threads == 0 {
-            "all".to_string()
-        } else {
-            threads.to_string()
-        }
+        threads_label(threads)
     );
+    spans.begin("multiplier");
     let (mscreened, mreport) = screen_vectors_par_quarantined(
         &m.netlist,
         &tech03,
@@ -260,6 +227,7 @@ fn main() {
         &FaultPlan::none(),
     )
     .expect("multiplier screening");
+    spans.end();
     let throughput = mult_transitions.len() as f64 / mreport.wall;
     println!(
         "screened {} transitions in {:.2} s wall ({:.1} vectors/s)",
@@ -267,8 +235,7 @@ fn main() {
         mreport.wall,
         throughput
     );
-    print_workers(&mreport.workers);
-    println!("{}", mreport.health.summary());
+    trace.push_phase(mreport.to_phase("multiplier_screen"));
     print_table(
         "multiplier sample: worst 5 of the screened ranking",
         &["rank", "degradation"],
@@ -279,4 +246,7 @@ fn main() {
             .map(|(k, e)| vec![format!("{}", k + 1), pct(e.delays.degradation())])
             .collect::<Vec<_>>(),
     );
+
+    trace.spans = spans.finish();
+    emit_trace(&trace);
 }

@@ -9,50 +9,42 @@
 //! of the exhaustively known distribution at a fraction of the cost.
 //!
 //! Usage: `ext_search [--threads N] [--size-target PCT]
-//! [--max-failures N] [--fail-fast]`
+//! [--max-failures N] [--fail-fast] [--trace-json PATH]`
 //! (`--threads 0` = all cores; the search result is bit-identical at
 //! any thread count — only wall time changes). By default candidates
 //! that fail to simulate are quarantined (up to `--max-failures`,
-//! default 32) and reported in the run-health footer; `--fail-fast`
+//! default 32) and reported in the telemetry footer; `--fail-fast`
 //! aborts on the first failure instead. `--size-target PCT` (default 5)
 //! sets the degradation target of the cached-sizing phase (c), which
 //! sizes the adder's sleep device from the screened worst vectors twice
 //! through one `ScreeningCache` to show a warm rerun simulates nothing.
+//! `--trace-json PATH` writes the versioned machine-readable trace
+//! (schema in DESIGN.md §10) next to the human footer;
+//! `--trace-deterministic` drops its schedule-dependent `timing`
+//! section so the file is byte-identical at any thread count.
 
+use mtk_bench::cli::{emit_trace, failure_policy, flag, threads_label, trace_config};
 use mtk_bench::report::{pct, print_table};
 use mtk_bench::transition_of;
 use mtk_circuits::adder::RippleAdder;
 use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::{exhaustive_transitions, multiplier_vector_a};
-use mtk_core::health::FailurePolicy;
+use mtk_core::health::SweepHealth;
 use mtk_core::search::{search_worst_vector, SearchOptions};
 use mtk_core::sizing::{
     screen_vectors, size_for_target_cached, vbsim_delay_pair, ScreeningCache, Transition,
 };
 use mtk_core::vbsim::{Engine, SleepNetwork, VbsimOptions};
 use mtk_netlist::tech::Technology;
+use mtk_trace::{PhaseTrace, SpanRecorder, TraceReport};
 use std::time::Instant;
-
-fn flag(name: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn failure_policy() -> FailurePolicy {
-    if std::env::args().any(|a| a == "--fail-fast") {
-        FailurePolicy::FailFast
-    } else {
-        FailurePolicy::quarantine(flag("--max-failures", 32))
-    }
-}
 
 fn main() {
     let threads = flag("--threads", 1);
     let policy = failure_policy();
+    let mut trace = TraceReport::new("ext_search");
+    let mut spans = SpanRecorder::new(trace_config().spans);
+    spans.begin("run");
 
     // --- (a) 8x8 multiplier: search the 2^32 transition space. ---
     let m = ArrayMultiplier::paper();
@@ -69,16 +61,13 @@ fn main() {
     println!(
         "EXT-SEARCH (a): 8x8 multiplier @ sleep W/L=100 (2^32 possible transitions), \
          {} thread(s)",
-        if threads == 0 {
-            "all".to_string()
-        } else {
-            threads.to_string()
-        }
+        threads_label(threads)
     );
     println!(
         "paper's hand-picked vector A: {} degradation",
         pct(a.degradation())
     );
+    spans.begin("search");
     let t0 = Instant::now();
     let result = search_worst_vector(
         &engine,
@@ -92,29 +81,15 @@ fn main() {
         },
     )
     .expect("search");
+    let t_search = t0.elapsed().as_secs_f64();
+    spans.end();
     println!(
         "search found {} degradation in {} evaluations ({:.2} s)",
         pct(result.degradation),
         result.evaluations,
-        t0.elapsed().as_secs_f64()
+        t_search
     );
-    println!("{}", result.health.summary());
-    print_table(
-        "per-worker counters (random sampling + hill climbs)",
-        &["worker", "vectors", "breakpoints", "busy s"],
-        &result
-            .workers
-            .iter()
-            .map(|w| {
-                vec![
-                    format!("{}", w.worker),
-                    format!("{}", w.vectors),
-                    format!("{}", w.breakpoints),
-                    format!("{:.3}", w.wall),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
+    trace.push_phase(result.to_phase("search").with_wall(t_search));
     println!(
         "search vs vector A: {:.2}x — {}",
         result.degradation / a.degradation(),
@@ -138,6 +113,8 @@ fn main() {
         .expect("screen");
     let exhaustive_worst = screened[0].delays.degradation();
     let mut rows = Vec::new();
+    let mut calibrate_health = SweepHealth::default();
+    spans.begin("calibrate");
     for &(samples, restarts) in &[(50usize, 1usize), (150, 2), (400, 4)] {
         let res = search_worst_vector(
             &engine,
@@ -151,6 +128,7 @@ fn main() {
             },
         )
         .expect("search");
+        calibrate_health.absorb(res.health);
         // Percentile of the found degradation in the exhaustive ranking.
         let better = screened
             .iter()
@@ -166,6 +144,8 @@ fn main() {
             ),
         ]);
     }
+    spans.end();
+    trace.push_phase(calibrate_health.phase("calibrate"));
     rows.push(vec![
         "exhaustive (4096)".into(),
         "4096".into(),
@@ -198,6 +178,7 @@ fn main() {
     );
     let base = VbsimOptions::default();
     let cache = ScreeningCache::new();
+    spans.begin("sizing");
     let t0 = Instant::now();
     let (wl_cold, health_cold) =
         size_for_target_cached(&engine, &worst, None, target, (1.0, 5000.0), &base, &cache)
@@ -208,8 +189,15 @@ fn main() {
         size_for_target_cached(&engine, &worst, None, target, (1.0, 5000.0), &base, &cache)
             .expect("warm sizing");
     let t_warm = t0.elapsed().as_secs_f64();
+    spans.end();
     assert_eq!(wl_cold, wl_warm, "cached rerun must be bit-identical");
     assert_eq!(health_warm.cache_misses, 0, "warm rerun must not simulate");
+    let mut cold_phase = PhaseTrace::new("sizing_cold").with_wall(t_cold);
+    cold_phase.counters = health_cold.counters();
+    trace.push_phase(cold_phase);
+    let mut warm_phase = PhaseTrace::new("sizing_warm").with_wall(t_warm);
+    warm_phase.counters = health_warm.counters();
+    trace.push_phase(warm_phase);
     print_table(
         "cached sizing: cold vs warm rerun",
         &["run", "W/L", "cache hits", "cache misses", "wall s"],
@@ -239,4 +227,7 @@ fn main() {
             f64::INFINITY
         }
     );
+
+    trace.spans = spans.finish();
+    emit_trace(&trace);
 }

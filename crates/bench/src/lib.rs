@@ -7,6 +7,7 @@
 //! holds what the binaries share: plain-text table/series reporting, the
 //! statistics used to compare the two engines, and the timing harness.
 
+pub mod cli;
 pub mod report;
 pub mod stats;
 pub mod timing;

@@ -26,6 +26,7 @@
 use crate::par::ItemPanic;
 use crate::CoreError;
 use mtk_num::prng::Xoshiro256pp;
+use mtk_trace::{CounterId, CounterSet, Histogram, PhaseTrace};
 
 /// Factor by which the breakpoint budget is relaxed for the single
 /// automatic retry of an [`CoreError::EventOverflow`] item.
@@ -76,6 +77,19 @@ impl RunHealth {
         self.vx_fallbacks += other.vx_fallbacks;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+    }
+
+    /// These counters as entries in the [`mtk_trace`] registry — the
+    /// simulator's contribution to the one telemetry spine.
+    pub fn counters(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        set.add(CounterId::Breakpoints, self.breakpoints as u64);
+        set.add(CounterId::MaxEvents, self.max_events as u64);
+        set.add(CounterId::GlitchReversals, self.glitch_reversals as u64);
+        set.add(CounterId::VxFallbacks, self.vx_fallbacks as u64);
+        set.add(CounterId::CacheHits, self.cache_hits as u64);
+        set.add(CounterId::CacheMisses, self.cache_misses as u64);
+        set
     }
 }
 
@@ -132,6 +146,10 @@ pub struct SweepHealth {
     pub panics_recovered: usize,
     /// Per-run counters summed over every attempt of every item.
     pub runs: RunHealth,
+    /// Distribution of breakpoints per work item (every attempted item
+    /// contributes, quarantined ones included — the cost was paid).
+    /// Recorded by the index-ordered fold, so deterministic.
+    pub breakpoints_per_item: Histogram,
 }
 
 impl SweepHealth {
@@ -160,35 +178,43 @@ impl SweepHealth {
         self.retry_successes += other.retry_successes;
         self.panics_recovered += other.panics_recovered;
         self.runs.absorb(&other.runs);
+        self.breakpoints_per_item
+            .absorb(&other.breakpoints_per_item);
     }
 
-    /// One-line footer for the experiment binaries.
+    /// These counters as entries in the [`mtk_trace`] registry: the
+    /// sweep-level counts plus everything [`RunHealth::counters`]
+    /// contributes.
+    pub fn counters(&self) -> CounterSet {
+        let mut set = self.runs.counters();
+        set.add(CounterId::Items, self.items as u64);
+        set.add(CounterId::Completed, self.completed as u64);
+        set.add(CounterId::Quarantined, self.quarantined.len() as u64);
+        set.add(CounterId::Retries, self.retries as u64);
+        set.add(CounterId::RetrySuccesses, self.retry_successes as u64);
+        set.add(CounterId::PanicsRecovered, self.panics_recovered as u64);
+        set
+    }
+
+    /// This sweep as one named phase of a [`mtk_trace::TraceReport`] —
+    /// the deterministic half only; callers attach wall time and worker
+    /// sinks where they have them.
+    pub fn phase(&self, name: &str) -> PhaseTrace {
+        PhaseTrace {
+            name: name.to_string(),
+            counters: self.counters(),
+            breakpoints_per_item: self.breakpoints_per_item.clone(),
+            quarantined: self.quarantined_indices(),
+            wall_s: None,
+            workers: Vec::new(),
+        }
+    }
+
+    /// One-line footer for the experiment binaries, rendered by the
+    /// shared [`mtk_trace`] renderer (single source of the footer
+    /// format).
     pub fn summary(&self) -> String {
-        let mut s = format!(
-            "run health: {}/{} items ok, {} quarantined",
-            self.completed,
-            self.items,
-            self.quarantined.len()
-        );
-        if !self.quarantined.is_empty() {
-            s.push_str(&format!(" {:?}", self.quarantined_indices()));
-        }
-        s.push_str(&format!(
-            ", {} retries ({} recovered), {} panics recovered; {} breakpoints, {} glitch reversals, {} vx fallbacks",
-            self.retries,
-            self.retry_successes,
-            self.panics_recovered,
-            self.runs.breakpoints,
-            self.runs.glitch_reversals,
-            self.runs.vx_fallbacks,
-        ));
-        if self.runs.cache_hits > 0 || self.runs.cache_misses > 0 {
-            s.push_str(&format!(
-                "; cache {} hits / {} misses",
-                self.runs.cache_hits, self.runs.cache_misses,
-            ));
-        }
-        s
+        format!("run health: {}", self.phase("run").health_line())
     }
 }
 
@@ -246,6 +272,9 @@ pub fn fold_item_reports<R>(
             }
             Ok(rep) => {
                 health.runs.absorb(&rep.run);
+                health
+                    .breakpoints_per_item
+                    .record(rep.run.breakpoints as u64);
                 if rep.retried {
                     health.retries += 1;
                 }

@@ -313,6 +313,50 @@ pub struct HybridReport {
     pub verify_wall: f64,
 }
 
+impl HybridReport {
+    /// The screening tier as a `"screen"` [`mtk_trace::PhaseTrace`].
+    pub fn screen_phase(&self) -> mtk_trace::PhaseTrace {
+        let mut phase = self
+            .screen_health
+            .phase("screen")
+            .with_wall(self.screen_wall);
+        phase.workers = crate::par::worker_traces(&self.screen_workers);
+        phase
+    }
+
+    /// The verification tier as a `"verify"` [`mtk_trace::PhaseTrace`].
+    ///
+    /// On top of the sweep health this folds in the SPICE solver-stress
+    /// counters the findings carried back (g<sub>min</sub> continuation
+    /// stages and dt halvings), summed in finding order.
+    pub fn verify_phase(&self) -> mtk_trace::PhaseTrace {
+        let mut phase = self
+            .verify_health
+            .phase("verify")
+            .with_wall(self.verify_wall);
+        phase.workers = crate::par::worker_traces(&self.verify_workers);
+        for finding in &self.findings {
+            phase.counters.add(
+                mtk_trace::CounterId::GminFallbackStages,
+                finding.op_gmin_fallback_stages as u64,
+            );
+            phase
+                .counters
+                .add(mtk_trace::CounterId::DtHalvings, finding.dt_halvings as u64);
+        }
+        phase
+    }
+
+    /// The whole hybrid run as a [`mtk_trace::TraceReport`] with the
+    /// canonical `screen` → `verify` phases.
+    pub fn to_trace(&self, tool: &str) -> mtk_trace::TraceReport {
+        let mut report = mtk_trace::TraceReport::new(tool);
+        report.push_phase(self.screen_phase());
+        report.push_phase(self.verify_phase());
+        report
+    }
+}
+
 /// What one SPICE verification of one candidate measured.
 #[derive(Debug, Clone, PartialEq)]
 struct VerifiedDelays {

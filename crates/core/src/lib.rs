@@ -57,6 +57,8 @@
 //! assert!(pair.mtcmos > pair.cmos);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod energy;
 pub mod health;
 pub mod hybrid;

@@ -38,6 +38,26 @@ pub struct VxOptions {
 /// Returns `0.0` when nothing is discharging or the resistance is zero
 /// (conventional CMOS).
 ///
+/// # Example
+///
+/// The more gates discharge simultaneously through one sleep transistor,
+/// the higher the virtual ground rises — the crux of §5's worst-case
+/// vector argument:
+///
+/// ```
+/// use mtk_core::model::{solve_vx, VxOptions};
+/// use mtk_netlist::tech::Technology;
+///
+/// let tech = Technology::l07();
+/// let r_sleep = tech.sleep_resistance(20.0);
+/// let beta = tech.kp_n * 8.0; // one discharging gate of W/L = 8
+/// let one = solve_vx(&tech, r_sleep, &[beta], VxOptions::default()).unwrap();
+/// let four = solve_vx(&tech, r_sleep, &[beta; 4], VxOptions::default()).unwrap();
+/// assert!(one > 0.0);
+/// assert!(four > one, "N parallel gates raise Vx above a single gate");
+/// assert!(four < tech.vdd);
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Numeric`] if the equilibrium solve fails

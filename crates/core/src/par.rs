@@ -66,6 +66,24 @@ impl WorkerStats {
         self.breakpoints += other.breakpoints;
         self.wall += other.wall;
     }
+
+    /// This worker's counters as a [`mtk_trace::WorkerTrace`] entry of
+    /// the timing section (worker sinks are schedule-dependent, so they
+    /// never enter the deterministic part of a trace).
+    pub fn to_trace(&self) -> mtk_trace::WorkerTrace {
+        mtk_trace::WorkerTrace {
+            worker: self.worker as u64,
+            items: self.vectors,
+            breakpoints: self.breakpoints,
+            busy_s: self.wall,
+        }
+    }
+}
+
+/// Converts per-worker stats into timing-section entries, preserving
+/// worker index order.
+pub fn worker_traces(workers: &[WorkerStats]) -> Vec<mtk_trace::WorkerTrace> {
+    workers.iter().map(WorkerStats::to_trace).collect()
 }
 
 /// Resolves a `threads` knob: `0` means "all available cores".

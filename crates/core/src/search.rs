@@ -99,6 +99,17 @@ pub struct SearchResult {
     pub health: SweepHealth,
 }
 
+impl SearchResult {
+    /// This search as a [`mtk_trace::PhaseTrace`]: the merged health
+    /// counters (deterministic) plus the per-worker sinks of both
+    /// search phases (timing section).
+    pub fn to_phase(&self, name: &str) -> mtk_trace::PhaseTrace {
+        let mut phase = self.health.phase(name);
+        phase.workers = crate::par::worker_traces(&self.workers);
+        phase
+    }
+}
+
 /// A candidate transition as packed endpoint words plus its score.
 type Candidate = (u64, u64, f64);
 

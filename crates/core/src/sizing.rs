@@ -267,12 +267,12 @@ impl LegKey {
 }
 
 /// A deterministic memo of switch-level simulator legs, keyed by
-/// everything that determines a leg's result ([`LegKey`]). The sizing
+/// everything that determines a leg's result (`LegKey`). The sizing
 /// entry points (`*_cached`) consult it before simulating, so a
 /// bisection that probes the same transition at many sleep sizes pays
 /// for its CMOS baseline once, and a repeated sweep pays for nothing.
 ///
-/// Determinism contract: a hit returns the *stored* [`LegResult`] —
+/// Determinism contract: a hit returns the *stored* `LegResult` —
 /// crossings **and** [`RunHealth`] — so warm reruns are bit-identical to
 /// cold ones, including aggregated telemetry. Hit/miss totals are
 /// exposed here and per-call in [`RunHealth::cache_hits`] /
@@ -631,6 +631,17 @@ pub struct ScreenReport {
     /// Sweep-level health: quarantined vectors, retries, recovered
     /// panics, and summed per-run counters.
     pub health: SweepHealth,
+}
+
+impl ScreenReport {
+    /// This screening phase as a [`mtk_trace::PhaseTrace`]: the health
+    /// counters (deterministic) plus this report's wall time and
+    /// per-worker sinks (timing section).
+    pub fn to_phase(&self, name: &str) -> mtk_trace::PhaseTrace {
+        let mut phase = self.health.phase(name).with_wall(self.wall);
+        phase.workers = crate::par::worker_traces(&self.workers);
+        phase
+    }
 }
 
 /// Parallel [`screen_vectors`]: shards the transitions across worker

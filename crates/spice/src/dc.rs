@@ -39,6 +39,9 @@ pub struct DcResult {
     /// direct solve at the final g<sub>min</sub> converged from a cold
     /// start, the full ladder length when continuation was required.
     pub gmin_fallback_stages: usize,
+    /// Newton iterations spent over the whole solve, including a failed
+    /// direct attempt that forced the continuation ladder.
+    pub newton_iterations: usize,
 }
 
 impl DcResult {
@@ -68,6 +71,21 @@ impl DcResult {
     /// warm start used by transient analysis.
     pub fn unknowns(&self) -> &[f64] {
         &self.x
+    }
+
+    /// This solve's effort and fallback counters as entries in the
+    /// [`mtk_trace`] registry.
+    pub fn counters(&self) -> mtk_trace::CounterSet {
+        let mut set = mtk_trace::CounterSet::new();
+        set.add(
+            mtk_trace::CounterId::GminFallbackStages,
+            self.gmin_fallback_stages as u64,
+        );
+        set.add(
+            mtk_trace::CounterId::NewtonIterations,
+            self.newton_iterations as u64,
+        );
+        set
     }
 }
 
@@ -129,6 +147,7 @@ pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcResult> 
         n_nodes: circuit.node_count() - 1,
         branch_names,
         gmin_fallback_stages,
+        newton_iterations: solver.total_iterations(),
     })
 }
 

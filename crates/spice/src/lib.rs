@@ -40,6 +40,8 @@
 //! assert!(w.final_value().unwrap() < 0.01);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod circuit;
 pub mod dc;
 pub mod deck;

@@ -346,6 +346,10 @@ pub struct NewtonSolver {
     order: Option<Vec<usize>>,
     /// Inverse of `order`: position of each original unknown.
     pos: Vec<usize>,
+    /// Newton iterations spent over the solver's whole lifetime,
+    /// converged or not — the raw material of the
+    /// `newton_iterations` trace counter.
+    total_iterations: usize,
 }
 
 impl NewtonSolver {
@@ -359,12 +363,21 @@ impl NewtonSolver {
             rhs: vec![0.0; n],
             order: None,
             pos: Vec::new(),
+            total_iterations: 0,
         }
     }
 
     /// Number of unknowns.
     pub fn unknowns(&self) -> usize {
         self.n
+    }
+
+    /// Newton iterations spent across every [`NewtonSolver::solve`] call
+    /// on this solver, including non-converged attempts (that work was
+    /// still paid for). Feeds the `newton_iterations` counter of the
+    /// [`mtk_trace`] registry.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
     }
 
     /// Runs Newton iteration from `x0` for the given stamp mode.
@@ -420,9 +433,11 @@ impl NewtonSolver {
                 x[i] += dx;
             }
             if converged {
+                self.total_iterations += iter + 1;
                 return Ok((x, iter + 1));
             }
         }
+        self.total_iterations += opts.max_iter;
         Err(SpiceError::NewtonFailed {
             context: context.to_string(),
             iterations: opts.max_iter,

@@ -170,6 +170,25 @@ impl TranResult {
             .collect())
     }
 
+    /// This run's effort and fallback counters as entries in the
+    /// [`mtk_trace`] registry: accepted steps, dt halvings, Newton
+    /// iterations, and the initial operating point's g<sub>min</sub>
+    /// continuation stages.
+    pub fn counters(&self) -> mtk_trace::CounterSet {
+        let mut set = mtk_trace::CounterSet::new();
+        set.add(mtk_trace::CounterId::SpiceSteps, self.steps as u64);
+        set.add(mtk_trace::CounterId::DtHalvings, self.dt_halvings as u64);
+        set.add(
+            mtk_trace::CounterId::NewtonIterations,
+            self.total_newton_iterations as u64,
+        );
+        set.add(
+            mtk_trace::CounterId::GminFallbackStages,
+            self.op_gmin_fallback_stages as u64,
+        );
+        set
+    }
+
     /// The branch-current waveform of a voltage source, by name. Positive
     /// current flows into the source's positive terminal.
     pub fn source_current(&self, name: &str) -> Option<Pwl> {

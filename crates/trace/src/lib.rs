@@ -1,0 +1,111 @@
+//! Zero-dependency structured tracing and metrics — the single telemetry
+//! spine of the MTCMOS suite.
+//!
+//! The paper's central claim (§5.2) is a speed claim: the
+//! variable-breakpoint simulator screens the input-vector space orders of
+//! magnitude faster than SPICE. Backing that up requires showing *where
+//! time and events go* inside a run. This crate is the vendored,
+//! no-external-deps (per the offline build policy) substrate every other
+//! crate reports through:
+//!
+//! * [`metric`] — the typed counter registry ([`CounterId`],
+//!   [`CounterSet`]) and log₂-bucketed [`Histogram`]s. Every degraded or
+//!   expensive path in the suite (breakpoints, V<sub>x</sub> re-solves,
+//!   g<sub>min</sub> fallbacks, dt halvings, cache traffic, retries,
+//!   quarantines) increments a counter here — never an ad-hoc
+//!   `eprintln!`.
+//! * [`span`] — hierarchical wall-clock spans
+//!   (`run → phase → sub-phase`) with monotonic timings, recorded only
+//!   when enabled so the simulator hot path pays nothing.
+//! * [`report`] — [`TraceReport`]: phases, per-worker sinks merged
+//!   index-ordered, the versioned JSON export, and the shared
+//!   human-readable footer renderer used by every experiment binary.
+//! * [`json`] — a minimal JSON value model (writer + parser) plus
+//!   [`json::validate_report`], the schema check CI runs against emitted
+//!   traces.
+//!
+//! # Determinism contract
+//!
+//! The suite guarantees results are bit-identical at any thread count;
+//! this crate extends that guarantee to telemetry. A [`TraceReport`]
+//! rendered with [`TraceMode::Deterministic`] contains only
+//! schedule-invariant data — counters, histograms, quarantine sets — and
+//! is **byte-identical at any thread count**, including under fault
+//! injection. Wall-clock timings and per-worker breakdowns are real but
+//! schedule-dependent, so they live in a separate `timing` section that
+//! only [`TraceMode::Full`] emits. `tests/trace_determinism.rs` pins
+//! both halves of this contract.
+//!
+//! # Example
+//!
+//! ```
+//! use mtk_trace::{CounterId, PhaseTrace, TraceMode, TraceReport};
+//!
+//! let mut phase = PhaseTrace::new("screen");
+//! phase.counters.add(CounterId::Items, 4096);
+//! phase.counters.add(CounterId::Completed, 4095);
+//! phase.quarantined.push(17);
+//!
+//! let mut report = TraceReport::new("example");
+//! report.push_phase(phase);
+//! let json = report.to_json(TraceMode::Deterministic);
+//! assert!(json.contains("\"schema\""));
+//! assert!(mtk_trace::json::validate_report(&json).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metric;
+pub mod report;
+pub mod span;
+
+pub use metric::{CounterId, CounterKind, CounterSet, Histogram};
+pub use report::{PhaseTrace, TraceReport, WorkerTrace, SCHEMA_NAME, SCHEMA_VERSION};
+pub use span::{Span, SpanRecorder};
+
+/// How much of a [`TraceReport`] is rendered.
+///
+/// The mode is a rendering choice, not a collection choice: collecting
+/// counters is so cheap (plain integer adds on paths that already do
+/// real work) that the suite always collects them and decides at render
+/// time what to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Everything: counters, histograms, quarantine sets, plus the
+    /// schedule-dependent `timing` section (phase wall times, per-worker
+    /// sinks, spans).
+    #[default]
+    Full,
+    /// The schedule-invariant subset only. Output is byte-identical at
+    /// any thread count — the telemetry determinism contract.
+    Deterministic,
+}
+
+/// Render-time configuration carried by binaries (flag-driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// Rendering mode for JSON export.
+    pub mode: TraceMode,
+    /// Whether wall-clock spans are recorded at all. Off means
+    /// [`SpanRecorder`] is a no-op and no `Instant` is ever read.
+    pub spans: bool,
+}
+
+impl TraceConfig {
+    /// Full tracing: spans recorded, full JSON.
+    pub fn full() -> Self {
+        TraceConfig {
+            mode: TraceMode::Full,
+            spans: true,
+        }
+    }
+
+    /// Deterministic output: no spans recorded, deterministic JSON.
+    pub fn deterministic() -> Self {
+        TraceConfig {
+            mode: TraceMode::Deterministic,
+            spans: false,
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Hierarchical wall-clock spans with monotonic timings.
+//!
+//! Spans describe where *time* goes (`run → screen → verify → …`); they
+//! are inherently schedule-dependent and therefore live in the `timing`
+//! section of the JSON export, which the deterministic rendering mode
+//! omits (see [`crate::TraceMode`]). Per-item costs inside a parallel
+//! sweep are deliberately **not** individual spans — they are aggregated
+//! into counters and histograms instead, which keeps traces bounded, the
+//! simulator hot path untouched, and the deterministic section complete.
+
+use std::time::Instant;
+
+/// One completed span: a named wall-clock interval with nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name (taxonomy documented in DESIGN.md §10).
+    pub name: String,
+    /// Wall-clock duration in seconds, from the process-monotonic clock.
+    pub wall_s: f64,
+    /// Nested spans, in completion order.
+    pub children: Vec<Span>,
+}
+
+/// An open span on the recorder stack.
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    started: Instant,
+    children: Vec<Span>,
+}
+
+/// Records a tree of [`Span`]s via explicit `begin`/`end` pairs or the
+/// closure helper [`SpanRecorder::time`].
+///
+/// A disabled recorder (`SpanRecorder::new(false)`) never reads the
+/// clock and never allocates — `begin`/`end` are a single branch — which
+/// is the "~zero disabled overhead" half of the tracing off-switch.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    enabled: bool,
+    stack: Vec<OpenSpan>,
+    roots: Vec<Span>,
+}
+
+impl SpanRecorder {
+    /// Creates a recorder; a disabled one is a no-op.
+    pub fn new(enabled: bool) -> Self {
+        SpanRecorder {
+            enabled,
+            stack: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Whether this recorder records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span nested under the innermost open span.
+    pub fn begin(&mut self, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.stack.push(OpenSpan {
+            name: name.to_string(),
+            started: Instant::now(),
+            children: Vec::new(),
+        });
+    }
+
+    /// Closes the innermost open span. Unbalanced `end`s are ignored.
+    pub fn end(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let Some(open) = self.stack.pop() else {
+            return;
+        };
+        let span = Span {
+            name: open.name,
+            wall_s: open.started.elapsed().as_secs_f64(),
+            children: open.children,
+        };
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(span),
+            None => self.roots.push(span),
+        }
+    }
+
+    /// Runs a closure inside a span.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.begin(name);
+        let out = f();
+        self.end();
+        out
+    }
+
+    /// Closes any spans still open and returns the completed roots.
+    pub fn finish(mut self) -> Vec<Span> {
+        while !self.stack.is_empty() {
+            self.end();
+        }
+        self.roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let mut rec = SpanRecorder::new(true);
+        rec.begin("run");
+        rec.time("screen", || ());
+        rec.time("verify", || ());
+        rec.end();
+        let roots = rec.finish();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "run");
+        let names: Vec<&str> = roots[0].children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["screen", "verify"]);
+        assert!(roots[0].wall_s >= roots[0].children[0].wall_s);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = SpanRecorder::new(false);
+        rec.begin("run");
+        rec.time("inner", || ());
+        rec.end();
+        assert!(rec.finish().is_empty());
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans_and_ignores_extra_ends() {
+        let mut rec = SpanRecorder::new(true);
+        rec.end(); // unbalanced: ignored
+        rec.begin("a");
+        rec.begin("b");
+        let roots = rec.finish();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "a");
+        assert_eq!(roots[0].children[0].name, "b");
+    }
+}

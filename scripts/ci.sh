@@ -19,8 +19,14 @@ cargo test -q
 echo "== fault-tolerance contract (quarantine/panic isolation) =="
 cargo test -q --test fault_injection
 
+echo "== trace determinism & golden schema contract =="
+cargo test -q --test trace_determinism
+
 echo "== whole workspace must be clippy-clean =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== docs must build warning-free =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "== experiment harness (release) =="
 cargo build --release -p mtk-bench
@@ -29,7 +35,13 @@ echo "== bench-harness targets still compile =="
 cargo build -p mtk-bench --benches --features bench-harness
 
 echo "== hybrid pipeline smoke (4-bit adder screen + top-2 SPICE verify) =="
+trace_json="$(mktemp /tmp/ci_trace.XXXXXX.json)"
+trap 'rm -f "$trace_json"' EXIT
 cargo run --release -p mtk-bench --bin ext_screening -- \
-  --smoke --adder-bits 4 --stride 259 --top-k 2 --threads 2
+  --smoke --adder-bits 4 --stride 259 --top-k 2 --threads 2 \
+  --trace-json "$trace_json"
+
+echo "== smoke trace validates against the documented schema =="
+cargo run --release -p mtk-bench --bin trace_check -- "$trace_json"
 
 echo "ci: all green"

@@ -9,3 +9,4 @@ pub use mtk_core as core;
 pub use mtk_netlist as netlist;
 pub use mtk_num as num;
 pub use mtk_spice as spice;
+pub use mtk_trace as trace;
