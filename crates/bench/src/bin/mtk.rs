@@ -1,0 +1,405 @@
+//! `mtk` — the unified driver: run the sizing tool on circuits we
+//! didn't generate.
+//!
+//! Every other binary in this crate hard-codes one of the paper's
+//! generators. This one loads a `.mtk` netlist file (grammar in
+//! DESIGN.md §11) and routes it through the same deterministic
+//! machinery, so an externally supplied circuit gets the exact same
+//! flow — and, under `--trace-deterministic`, the byte-identical JSON
+//! trace — as a programmatically built one.
+//!
+//! Usage: `mtk <command> <file.mtk> [flags]`
+//!
+//! * `mtk lint <file>` — parse and lint; findings one per line with the
+//!   source line of the offending declaration. Exits 1 on findings
+//!   (`--warn-only` downgrades to 0), 2 on parse errors.
+//! * `mtk sta <file>` — static timing: critical-path delay and the path
+//!   itself.
+//! * `mtk screen <file>` — parallel switch-level screening of the
+//!   vector space (`--threads`, `--w-over-l`, `--top`).
+//! * `mtk size <file>` — bisect the sleep-transistor W/L to a target
+//!   degradation (`--target`, `--lo`, `--hi`).
+//! * `mtk hybrid <file>` — screen, then SPICE-verify the top-k
+//!   survivors (`--threads`, `--top-k`, `--w-over-l`).
+//! * `mtk gen [--list | --all [--dir D] | <stem>]` — export the
+//!   built-in generators as golden `.mtk` files (the `examples/`
+//!   directory; CI regenerates and diffs them).
+//!
+//! Vector sourcing for `screen`/`size`/`hybrid`, in precedence order:
+//! `vector` lines from the file; the exhaustive transition space when
+//! the circuit has ≤ 6 primary inputs (subsample with `--stride N`);
+//! otherwise a seeded random sample (`--samples N`, default 256 —
+//! sample i comes from PRNG stream (seed, i), so the set is identical
+//! at any thread count).
+//!
+//! All commands lint on load: findings are printed to stderr as
+//! warnings (only `lint` turns them into an exit code). Parse errors
+//! print a `file:line:col: error[E0xx]` diagnostic and exit 2 — never a
+//! panic. `--max-failures N` / `--fail-fast` and `--trace-json PATH` /
+//! `--trace-deterministic` behave as in every `ext_*` binary.
+
+use mtk_bench::cli::{
+    bool_flag, emit_trace, f64_flag, failure_policy, flag, str_flag, threads_label, trace_config,
+};
+use mtk_bench::report::{ns, pct, print_table};
+use mtk_bench::transition_of;
+use mtk_circuits::golden::golden_designs;
+use mtk_circuits::vectors::exhaustive_transitions;
+use mtk_core::health::FaultPlan;
+use mtk_core::hybrid::{run_hybrid, HybridOptions, SpiceRunConfig};
+use mtk_core::sizing::{
+    screen_vectors_par_quarantined, size_for_target_cached, ScreeningCache, Transition,
+};
+use mtk_core::sta::Sta;
+use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_fe::Design;
+use mtk_netlist::logic::Logic;
+use mtk_num::prng::Xoshiro256pp;
+use mtk_trace::{PhaseTrace, SpanRecorder, TraceReport};
+use std::time::Instant;
+
+/// Stream seed for the random vector sample (`--samples`).
+const SAMPLE_SEED: u64 = 0x4D_54_4B; // "MTK"
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mtk <lint|sta|screen|size|hybrid> <file.mtk> [flags]\n\
+         \x20      mtk gen [--list | --all [--dir D] | <stem>]\n\
+         run `mtk` on a .mtk netlist; grammar and flags in DESIGN.md §11"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("");
+    if cmd == "gen" {
+        return cmd_gen(&args[2..]);
+    }
+    let path = match args.get(2) {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => usage(),
+    };
+    let design = load(&path);
+    match cmd {
+        "lint" => cmd_lint(&design),
+        "sta" => cmd_sta(&design),
+        "screen" => cmd_screen(&design),
+        "size" => cmd_size(&design),
+        "hybrid" => cmd_hybrid(&design),
+        _ => usage(),
+    }
+}
+
+/// Reads and parses a `.mtk` file; any failure is a diagnostic on
+/// stderr and exit 2, never a panic.
+fn load(path: &str) -> Design {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => die(format!("{path}: {e}")),
+    };
+    match mtk_fe::parse_str(&src, path) {
+        Ok(d) => d,
+        Err(e) => die(e),
+    }
+}
+
+/// Lint-on-load for the flow commands: findings go to stderr as
+/// warnings, the run continues.
+fn warn_lint(design: &Design) {
+    for line in design.render_lint(&design.lint()) {
+        eprintln!("{line}");
+    }
+}
+
+fn cmd_lint(design: &Design) {
+    let issues = design.lint();
+    for line in design.render_lint(&issues) {
+        println!("{line}");
+    }
+    if issues.is_empty() {
+        println!(
+            "{}: clean ({} cells, {} nets)",
+            design.source.file,
+            design.netlist.cells().len(),
+            design.netlist.nets().len()
+        );
+    } else if !bool_flag("--warn-only") {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_sta(design: &Design) {
+    warn_lint(design);
+    let sta = match Sta::analyze(&design.netlist, &design.tech) {
+        Ok(s) => s,
+        Err(e) => die(e),
+    };
+    println!(
+        "STA of {} ({}): critical delay {}",
+        design.netlist.name(),
+        design.tech.name,
+        ns(sta.critical_delay())
+    );
+    print_table(
+        "critical path (inputs toward the latest net)",
+        &["cell", "kind", "output", "arrival"],
+        &sta.critical_path()
+            .iter()
+            .map(|&cid| {
+                let cell = design.netlist.cell(cid);
+                vec![
+                    cell.name.clone(),
+                    cell.kind.name().to_string(),
+                    design.netlist.net(cell.output).name.clone(),
+                    ns(sta.arrival[cell.output.index()]),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// The transitions a flow command runs, per the documented precedence,
+/// plus a human label for where they came from.
+fn transitions_of(design: &Design) -> (Vec<Transition>, String) {
+    if !design.vectors.is_empty() {
+        let trs = design
+            .vectors
+            .iter()
+            .map(|s| Transition::new(s.from.clone(), s.to.clone()))
+            .collect::<Vec<_>>();
+        let label = format!("{} vector(s) from the file", trs.len());
+        return (trs, label);
+    }
+    let n = design.netlist.primary_inputs().len() as u32;
+    if n <= 6 {
+        let stride = flag("--stride", 1).max(1);
+        let trs: Vec<Transition> = exhaustive_transitions(n)
+            .into_iter()
+            .step_by(stride)
+            .map(|p| transition_of(p, n))
+            .collect();
+        let label = format!(
+            "{} exhaustive transition(s) of {n} input(s), stride {stride}",
+            trs.len()
+        );
+        return (trs, label);
+    }
+    let samples = flag("--samples", 256);
+    let bit = |rng: &mut Xoshiro256pp| {
+        if rng.next_u64() & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    };
+    let trs: Vec<Transition> = (0..samples as u64)
+        .map(|i| {
+            let mut rng = Xoshiro256pp::stream(SAMPLE_SEED, i);
+            Transition::new(
+                (0..n).map(|_| bit(&mut rng)).collect(),
+                (0..n).map(|_| bit(&mut rng)).collect(),
+            )
+        })
+        .collect();
+    let label = format!("{samples} seeded random sample(s) over {n} inputs");
+    (trs, label)
+}
+
+fn cmd_screen(design: &Design) {
+    warn_lint(design);
+    let threads = flag("--threads", 1);
+    let w_over_l = f64_flag("--w-over-l", 10.0);
+    let top = flag("--top", 10);
+    let policy = failure_policy();
+    let (transitions, label) = transitions_of(design);
+    println!(
+        "mtk screen: {} under {} — {label}, sleep W/L={w_over_l}, {} thread(s)",
+        design.netlist.name(),
+        design.tech.name,
+        threads_label(threads)
+    );
+    let mut trace = TraceReport::new("mtk_screen");
+    let mut spans = SpanRecorder::new(trace_config().spans);
+    spans.begin("screen");
+    let (screened, report) = match screen_vectors_par_quarantined(
+        &design.netlist,
+        &design.tech,
+        &transitions,
+        None,
+        w_over_l,
+        &VbsimOptions::default(),
+        threads,
+        policy,
+        &FaultPlan::none(),
+    ) {
+        Ok(r) => r,
+        Err(e) => die(e),
+    };
+    spans.end();
+    println!(
+        "screened {} transition(s) in {:.2} s wall; {} switch an output",
+        transitions.len(),
+        report.wall,
+        screened.len()
+    );
+    print_table(
+        &format!("worst {} of the screened ranking", top.min(screened.len())),
+        &["rank", "vector", "degradation"],
+        &screened
+            .iter()
+            .take(top)
+            .enumerate()
+            .map(|(k, e)| {
+                vec![
+                    format!("{}", k + 1),
+                    format!("#{}", e.index),
+                    pct(e.delays.degradation()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    trace.push_phase(report.to_phase("screen"));
+    trace.spans = spans.finish();
+    emit_trace(&trace);
+}
+
+fn cmd_size(design: &Design) {
+    warn_lint(design);
+    let target = f64_flag("--target", 0.05);
+    let lo = f64_flag("--lo", 1.0);
+    let hi = f64_flag("--hi", 2000.0);
+    let (transitions, label) = transitions_of(design);
+    println!(
+        "mtk size: {} under {} — bisect sleep W/L in [{lo}, {hi}] to ≤{} degradation over {label}",
+        design.netlist.name(),
+        design.tech.name,
+        pct(target)
+    );
+    let engine = Engine::new(&design.netlist, &design.tech);
+    let cache = ScreeningCache::new();
+    let t0 = Instant::now();
+    let (w_over_l, health) = match size_for_target_cached(
+        &engine,
+        &transitions,
+        None,
+        target,
+        (lo, hi),
+        &VbsimOptions::default(),
+        &cache,
+    ) {
+        Ok(r) => r,
+        Err(e) => die(e),
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    println!("sleep transistor W/L = {w_over_l:.2} ({:.2} s wall)", wall);
+    let mut trace = TraceReport::new("mtk_size");
+    let mut phase = PhaseTrace::new("size").with_wall(wall);
+    phase.counters = health.counters();
+    trace.push_phase(phase);
+    emit_trace(&trace);
+}
+
+fn cmd_hybrid(design: &Design) {
+    warn_lint(design);
+    let threads = flag("--threads", 1);
+    let top_k = flag("--top-k", 10);
+    let w_over_l = f64_flag("--w-over-l", 10.0);
+    let policy = failure_policy();
+    let (transitions, label) = transitions_of(design);
+    println!(
+        "mtk hybrid: {} under {} — screen {label}, SPICE-verify the top {top_k}, {} thread(s)",
+        design.netlist.name(),
+        design.tech.name,
+        threads_label(threads)
+    );
+    let opts = HybridOptions {
+        top_k,
+        threads,
+        policy,
+        ..HybridOptions::at_size(w_over_l, SpiceRunConfig::window(80e-9))
+    };
+    let report = match run_hybrid(&design.netlist, &design.tech, &transitions, &opts) {
+        Ok(r) => r,
+        Err(e) => die(e),
+    };
+    println!(
+        "screened {} transition(s) ({} switch an output) in {:.2} s; verified {} in {:.2} s",
+        transitions.len(),
+        report.survivors,
+        report.screen_wall,
+        report.findings.len(),
+        report.verify_wall
+    );
+    print_table(
+        "screened top-k, SPICE-verified",
+        &["rank", "vector", "simulator degr", "SPICE degr", "delta"],
+        &report
+            .findings
+            .iter()
+            .enumerate()
+            .map(|(k, f)| {
+                vec![
+                    format!("{}", k + 1),
+                    format!("#{}", f.index),
+                    pct(f.screened.degradation()),
+                    f.verified
+                        .map_or("quarantined".to_string(), |v| pct(v.degradation())),
+                    f.delta.map_or("-".to_string(), pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut trace = report.to_trace("mtk_hybrid");
+    let mut spans = SpanRecorder::new(trace_config().spans);
+    spans.begin("hybrid");
+    spans.end();
+    trace.spans = spans.finish();
+    emit_trace(&trace);
+}
+
+/// `mtk gen`: serialize the golden designs. `--list` prints the stems,
+/// `--all` writes `<dir>/<stem>.mtk` for every design (`--dir`,
+/// default `examples`), a bare stem prints that design to stdout.
+fn cmd_gen(rest: &[String]) {
+    let designs = golden_designs();
+    if bool_flag("--list") {
+        for (stem, _) in &designs {
+            println!("{stem}");
+        }
+        return;
+    }
+    if bool_flag("--all") {
+        let dir = str_flag("--dir").unwrap_or_else(|| "examples".to_string());
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            die(format!("{dir}: {e}"));
+        }
+        for (stem, design) in &designs {
+            let path = format!("{dir}/{stem}.mtk");
+            if let Err(e) = std::fs::write(&path, design.to_mtk()) {
+                die(format!("{path}: {e}"));
+            }
+            println!("wrote {path}");
+        }
+        return;
+    }
+    let stem = match rest.iter().find(|a| !a.starts_with("--")) {
+        Some(s) => s.as_str(),
+        None => usage(),
+    };
+    match designs.iter().find(|(s, _)| *s == stem) {
+        Some((_, design)) => print!("{}", design.to_mtk()),
+        None => {
+            let stems: Vec<&str> = designs.iter().map(|(s, _)| *s).collect();
+            die(format!(
+                "unknown golden design `{stem}` (available: {})",
+                stems.join(", ")
+            ));
+        }
+    }
+}

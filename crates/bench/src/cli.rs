@@ -23,6 +23,17 @@ pub fn bool_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Value of `--<name> X` as a float, or `default` when
+/// absent/unparsable.
+pub fn f64_flag(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Value of `--<name> <string>`, when present.
 pub fn str_flag(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

@@ -1,0 +1,201 @@
+//! End-to-end contract of the `mtk` driver binary, through real
+//! process invocations:
+//!
+//! * `mtk lint` exit codes: 0 clean, 1 on findings (0 with
+//!   `--warn-only`), 2 on parse errors — with every `LintIssue`
+//!   variant exercised through the file-based path and findings
+//!   pointing at the offending `.mtk` source line.
+//! * Malformed input yields a `file:line:col: error[E0xx]` diagnostic
+//!   and exit 2, never a panic.
+//! * `mtk screen --trace-deterministic` writes byte-identical JSON at
+//!   thread counts 1, 2 and 8 on a golden example.
+//! * `mtk gen <stem>` reproduces the checked-in golden file exactly.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mtk(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mtk"))
+        .args(args)
+        .output()
+        .expect("spawn mtk")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes a test `.mtk` file under the target tmp dir and returns its
+/// path as a string.
+fn fixture(name: &str, content: &str) -> String {
+    let path = std::env::temp_dir().join(format!("mtk_cli_{}_{name}.mtk", std::process::id()));
+    std::fs::write(&path, content).expect("write fixture");
+    path.to_string_lossy().into_owned()
+}
+
+/// Path of a checked-in golden example (the workspace root is two
+/// levels above this crate).
+fn golden(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(format!("{stem}.mtk"))
+}
+
+const CLEAN: &str = "mtk 1\ncircuit t\nnet a\nnet y\ninput a\ncell g1 inv a -> y\noutput y\nend\n";
+
+#[test]
+fn lint_clean_file_exits_zero() {
+    let path = fixture("clean", CLEAN);
+    let out = mtk(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("clean"));
+}
+
+#[test]
+fn lint_floating_net_exits_one_with_source_line() {
+    let src = "mtk 1\ncircuit t\nnet f\nnet y\ncell g1 inv f -> y\noutput y\nend\n";
+    let path = fixture("floating", src);
+    let out = mtk(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(1));
+    // `net f` is declared on line 3 of the fixture.
+    assert!(
+        stdout(&out).contains(":3: warning[floating-net]: floating net 'f'"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn lint_dangling_net_and_unreachable_cell_exit_one() {
+    let src = "mtk 1\ncircuit t\nnet a\nnet m\nnet d\ninput a\ncell g1 inv a -> m\n\
+               cell g2 inv a -> d\noutput m\nend\n";
+    let path = fixture("dangling", src);
+    let out = mtk(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(
+        text.contains(":5: warning[dangling-net]: dangling net 'd'"),
+        "stdout: {text}"
+    );
+    assert!(
+        text.contains(":8: warning[unreachable-cell]: cell 'g2'"),
+        "stdout: {text}"
+    );
+}
+
+#[test]
+fn lint_unused_input_exits_one_and_warn_only_downgrades() {
+    let src = "mtk 1\ncircuit t\nnet a\nnet b\nnet y\ninput a b\ncell g1 inv a -> y\n\
+               output y\nend\n";
+    let path = fixture("unused", src);
+    let out = mtk(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout(&out).contains(":4: warning[unused-input]: primary input 'b'"),
+        "stdout: {}",
+        stdout(&out)
+    );
+    // --warn-only keeps the findings but downgrades the exit code.
+    let out = mtk(&["lint", &path, "--warn-only"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("warning[unused-input]"));
+}
+
+#[test]
+fn malformed_input_is_a_diagnostic_not_a_panic() {
+    // Unknown cell kind, with a "did you mean" hint.
+    let src = "mtk 1\ncircuit t\nnet a\nnet y\ninput a\ncell g1 nnad2 a a -> y\noutput y\nend\n";
+    let path = fixture("badkind", src);
+    let out = mtk(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains(":6:9: error[E007]"), "stderr: {err}");
+    assert!(err.contains("nand2"), "stderr: {err}");
+
+    // Missing header.
+    let path = fixture("badheader", "circuit t\nend\n");
+    let out = mtk(&["lint", &path]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("error[E001]"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn missing_file_and_missing_args_exit_two() {
+    let out = mtk(&["lint", "/nonexistent/nope.mtk"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = mtk(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+    let out = mtk(&["frobnicate", "x.mtk"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn flow_commands_accept_a_golden_file() {
+    let path = golden("adder3");
+    let path = path.to_str().unwrap();
+    let out = mtk(&["sta", path]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("critical delay"));
+    let out = mtk(&["screen", path, "--stride", "512"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("screened"));
+}
+
+#[test]
+fn deterministic_screen_trace_is_byte_identical_across_threads() {
+    let path = golden("adder3");
+    let path = path.to_str().unwrap();
+    let mut traces = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let json = std::env::temp_dir().join(format!(
+            "mtk_cli_{}_trace_t{threads}.json",
+            std::process::id()
+        ));
+        let json = json.to_str().unwrap().to_string();
+        let out = mtk(&[
+            "screen",
+            path,
+            "--stride",
+            "128",
+            "--threads",
+            threads,
+            "--trace-deterministic",
+            "--trace-json",
+            &json,
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+        traces.push(std::fs::read(&json).expect("trace artifact"));
+    }
+    assert_eq!(traces[0], traces[1], "threads 1 vs 2");
+    assert_eq!(traces[0], traces[2], "threads 1 vs 8");
+}
+
+#[test]
+fn gen_reproduces_the_checked_in_goldens() {
+    let out = mtk(&["gen", "--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stems: Vec<String> = stdout(&out).lines().map(str::to_string).collect();
+    assert!(stems.contains(&"adder3".to_string()));
+    for stem in &stems {
+        let out = mtk(&["gen", stem]);
+        assert_eq!(out.status.code(), Some(0));
+        let on_disk = std::fs::read_to_string(golden(stem)).expect("golden file");
+        assert_eq!(
+            stdout(&out),
+            on_disk,
+            "{stem}: `mtk gen` and examples/{stem}.mtk diverged — regenerate with `mtk gen --all`"
+        );
+    }
+    let out = mtk(&["gen", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown golden design"));
+}

@@ -1,0 +1,116 @@
+//! Golden `.mtk` exports of the built-in generators.
+//!
+//! Each entry pairs a file stem (`adder3` → `examples/adder3.mtk`) with
+//! the [`Design`] the generator produces, including the technology the
+//! paper ran that circuit under and, where the paper names specific
+//! stimulus vectors, those vectors. The `mtk gen` subcommand serializes
+//! these; CI regenerates them and fails on any diff, so the files on
+//! disk are pinned to the generators (and, transitively, the writer's
+//! canonical form).
+
+use crate::adder::RippleAdder;
+use crate::multiplier::ArrayMultiplier;
+use crate::nand_adder::{NandAdderSpec, NandRippleAdder};
+use crate::random_logic::{RandomLogic, RandomLogicSpec};
+use crate::tree::InverterTree;
+use crate::vectors::{multiplier_vector_a, multiplier_vector_b, tree_rising_input, VectorPair};
+use mtk_fe::{Design, Stimulus};
+use mtk_netlist::logic::bits_lsb_first;
+use mtk_netlist::tech::Technology;
+
+/// Converts a packed [`VectorPair`] into a [`Stimulus`] over `width`
+/// primary inputs (LSB first — matching every generator's input
+/// declaration order).
+pub fn stimulus_of(pair: VectorPair, width: u32) -> Stimulus {
+    Stimulus {
+        from: bits_lsb_first(pair.from, width),
+        to: bits_lsb_first(pair.to, width),
+    }
+}
+
+/// The golden designs, as `(file stem, design)` pairs.
+///
+/// * `adder3` — the paper's 3-bit mirror-adder (Fig 12), 0.7 µm.
+/// * `nand_adder3` — the NAND-only 3-bit adder, 0.7 µm.
+/// * `invtree` — the Fig 4 inverter tree with its rising-input
+///   stimulus, 0.7 µm.
+/// * `mul8` — the 8×8 carry-save multiplier (Fig 6) with the paper's
+///   vectors A and B, 0.3 µm.
+/// * `rand8x40` — the default seeded random block, 0.7 µm.
+pub fn golden_designs() -> Vec<(&'static str, Design)> {
+    let adder = RippleAdder::paper();
+    let nand_adder =
+        NandRippleAdder::new(&NandAdderSpec::default()).expect("generator is self-consistent");
+    let tree = InverterTree::paper();
+    let tree_width = tree.netlist.primary_inputs().len() as u32;
+    let mul = ArrayMultiplier::paper();
+    let mul_width = mul.netlist.primary_inputs().len() as u32;
+    let rand = RandomLogic::new(&RandomLogicSpec::default()).expect("generator is self-consistent");
+    vec![
+        ("adder3", Design::new(adder.netlist, Technology::l07())),
+        (
+            "nand_adder3",
+            Design::new(nand_adder.netlist, Technology::l07()),
+        ),
+        (
+            "invtree",
+            Design::new(tree.netlist, Technology::l07())
+                .with_vectors(vec![stimulus_of(tree_rising_input(), tree_width)]),
+        ),
+        (
+            "mul8",
+            Design::new(mul.netlist, Technology::l03()).with_vectors(vec![
+                stimulus_of(multiplier_vector_a(), mul_width),
+                stimulus_of(multiplier_vector_b(), mul_width),
+            ]),
+        ),
+        ("rand8x40", Design::new(rand.netlist, Technology::l07())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtk_netlist::logic::Logic;
+
+    #[test]
+    fn stems_are_unique_and_designs_round_trip() {
+        let designs = golden_designs();
+        assert_eq!(designs.len(), 5);
+        let mut stems: Vec<_> = designs.iter().map(|(s, _)| *s).collect();
+        stems.sort_unstable();
+        stems.dedup();
+        assert_eq!(stems.len(), 5, "duplicate golden stems");
+        for (stem, design) in &designs {
+            let text = design.to_mtk();
+            let parsed =
+                mtk_fe::parse_str(&text, &format!("{stem}.mtk")).expect("golden must parse");
+            assert_eq!(parsed.netlist, design.netlist, "{stem}: netlist round trip");
+            assert_eq!(parsed.tech, design.tech, "{stem}: tech round trip");
+            assert_eq!(parsed.vectors, design.vectors, "{stem}: vector round trip");
+            assert_eq!(
+                parsed.netlist.fingerprint(),
+                design.netlist.fingerprint(),
+                "{stem}: fingerprint identity"
+            );
+            assert_eq!(parsed.to_mtk(), text, "{stem}: canonical fixpoint");
+        }
+    }
+
+    #[test]
+    fn multiplier_vectors_match_the_paper() {
+        let designs = golden_designs();
+        let (_, mul) = designs.iter().find(|(s, _)| *s == "mul8").unwrap();
+        assert_eq!(mul.vectors.len(), 2);
+        // Vector A starts from all-zero operands.
+        assert!(mul.vectors[0].from.iter().all(|&l| l == Logic::Zero));
+        assert_eq!(mul.vectors[0].from.len(), 16);
+    }
+
+    #[test]
+    fn stimulus_of_is_lsb_first() {
+        let s = stimulus_of(VectorPair::new(0b01, 0b10), 2);
+        assert_eq!(s.from, vec![Logic::One, Logic::Zero]);
+        assert_eq!(s.to, vec![Logic::Zero, Logic::One]);
+    }
+}

@@ -14,8 +14,11 @@
 //! * [`vectors`] — input-vector utilities: exhaustive pair enumeration
 //!   for the adder experiment and the paper's named multiplier vectors
 //!   A and B.
+//! * [`golden`] — the generators exported as golden `.mtk` designs
+//!   (the files under `examples/`, pinned by CI).
 
 pub mod adder;
+pub mod golden;
 pub mod multiplier;
 pub mod nand_adder;
 pub mod random_logic;

@@ -212,14 +212,18 @@ fn pair_from_legs(cmos: &LegResult, mt: &LegResult) -> (Option<DelayPair>, RunHe
     )
 }
 
-/// The exact inputs that determine one leg's result: netlist
-/// fingerprint, probes, transition, sleep network, and every
-/// [`VbsimOptions`] field the simulator reads. Two legs with equal keys
-/// produce bit-identical [`LegResult`]s, so a cache lookup can stand in
-/// for a re-simulation.
+/// The exact inputs that determine one leg's result: netlist and
+/// technology fingerprints, probes, transition, sleep network, and
+/// every [`VbsimOptions`] field the simulator reads. Two legs with
+/// equal keys produce bit-identical [`LegResult`]s, so a cache lookup
+/// can stand in for a re-simulation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct LegKey {
     fingerprint: u64,
+    /// [`Technology::fingerprint`] of the engine's technology — the
+    /// same netlist under different process parameters must not share
+    /// cached legs.
+    tech: u64,
     probes: Vec<usize>,
     from: Vec<u8>,
     to: Vec<u8>,
@@ -234,6 +238,7 @@ struct LegKey {
 impl LegKey {
     fn new(
         fingerprint: u64,
+        tech: u64,
         outputs: &[NetId],
         tr: &Transition,
         sleep: SleepNetwork,
@@ -250,6 +255,7 @@ impl LegKey {
         }
         LegKey {
             fingerprint,
+            tech,
             probes: outputs.iter().map(|n| n.index()).collect(),
             from: levels(&tr.from),
             to: levels(&tr.to),
@@ -323,7 +329,14 @@ impl ScreeningCache {
         sleep: SleepNetwork,
         base: &VbsimOptions,
     ) -> Result<(LegResult, bool), CoreError> {
-        let key = LegKey::new(engine.fingerprint(), outputs, tr, sleep, base);
+        let key = LegKey::new(
+            engine.fingerprint(),
+            engine.tech().fingerprint(),
+            outputs,
+            tr,
+            sleep,
+            base,
+        );
         if let Some(found) = self.legs.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok((found, true));
@@ -896,6 +909,82 @@ mod tests {
         assert_eq!(warm_health.breakpoints, cold_health.breakpoints);
         assert_eq!(warm_health.glitch_reversals, cold_health.glitch_reversals);
         assert_eq!(warm_health.vx_fallbacks, cold_health.vx_fallbacks);
+    }
+
+    /// Satellite regression for the `.mtk` frontend: every field the
+    /// parser can set — technology parameters, primary-output markers,
+    /// per-cell drive overrides — must produce distinct cache keys.
+    /// Before the technology fingerprint joined `LegKey`, two engines
+    /// over the same netlist under different processes shared legs.
+    #[test]
+    fn cache_keys_distinguish_parser_settable_fields() {
+        use mtk_netlist::cell::CellKind;
+        use mtk_netlist::netlist::Netlist;
+
+        fn chain(drive: f64, extra_po: bool) -> Netlist {
+            let mut nl = Netlist::new("chain");
+            let a = nl.add_net("a").unwrap();
+            let m = nl.add_net("m").unwrap();
+            let y = nl.add_net("y").unwrap();
+            nl.mark_primary_input(a).unwrap();
+            nl.add_cell("i1", CellKind::Inv, vec![a], m, drive).unwrap();
+            nl.add_cell("i2", CellKind::Inv, vec![m], y, 1.0).unwrap();
+            nl.mark_primary_output(y);
+            if extra_po {
+                nl.mark_primary_output(m);
+            }
+            nl
+        }
+
+        let cache = ScreeningCache::new();
+        let base = VbsimOptions::default();
+        let tr = Transition::new(vec![Logic::Zero], vec![Logic::One]);
+        let sleep = SleepNetwork::Transistor { w_over_l: 10.0 };
+        let t07 = Technology::l07();
+        let t03 = Technology::l03();
+
+        let nl = chain(1.0, false);
+        let probes = [nl.find_net("y").unwrap()];
+        let e1 = Engine::new(&nl, &t07);
+        vbsim_delay_pair_cached(&e1, &tr, Some(&probes), sleep, &base, &cache).unwrap();
+        let per_engine = cache.len();
+        assert!(per_engine > 0);
+
+        // The same engine again adds no keys (pure hits).
+        vbsim_delay_pair_cached(&e1, &tr, Some(&probes), sleep, &base, &cache).unwrap();
+        assert_eq!(cache.len(), per_engine, "identical engine must hit");
+
+        // Same netlist, different technology: all legs re-keyed.
+        let e2 = Engine::new(&nl, &t03);
+        vbsim_delay_pair_cached(&e2, &tr, Some(&probes), sleep, &base, &cache).unwrap();
+        assert_eq!(
+            cache.len(),
+            2 * per_engine,
+            "technology change must not share cached legs"
+        );
+
+        // Identical except for an extra primary-output marker (probing
+        // the same net, so only the netlist fingerprint differs).
+        let nl_po = chain(1.0, true);
+        let probes_po = [nl_po.find_net("y").unwrap()];
+        let e3 = Engine::new(&nl_po, &t07);
+        vbsim_delay_pair_cached(&e3, &tr, Some(&probes_po), sleep, &base, &cache).unwrap();
+        assert_eq!(
+            cache.len(),
+            3 * per_engine,
+            "primary-output marking must not share cached legs"
+        );
+
+        // Identical except for one cell's drive override.
+        let nl_drive = chain(2.0, false);
+        let probes_drive = [nl_drive.find_net("y").unwrap()];
+        let e4 = Engine::new(&nl_drive, &t07);
+        vbsim_delay_pair_cached(&e4, &tr, Some(&probes_drive), sleep, &base, &cache).unwrap();
+        assert_eq!(
+            cache.len(),
+            4 * per_engine,
+            "cell drive must not share cached legs"
+        );
     }
 
     #[test]

@@ -174,6 +174,11 @@ impl<'a> Engine<'a> {
         self.netlist
     }
 
+    /// The technology the engine was prepared under.
+    pub fn tech(&self) -> &Technology {
+        self.tech
+    }
+
     /// The netlist's structural fingerprint
     /// ([`Netlist::fingerprint`]), computed on first use and cached for
     /// the engine's lifetime.

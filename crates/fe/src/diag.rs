@@ -1,0 +1,269 @@
+//! Diagnostics for the `.mtk` parser: stable error codes, a located
+//! error type, and the "did you mean" suggestion machinery.
+//!
+//! Error codes are part of the format contract (DESIGN.md §11): scripts
+//! may match on `E0xx` and the mapping from code to condition never
+//! changes across releases. New conditions get new codes.
+
+use std::fmt;
+
+/// Stable machine-readable error codes for `.mtk` rejections.
+///
+/// The numeric assignment is frozen; see the table in DESIGN.md §11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// E001: first line is not `mtk <version>`.
+    BadHeader,
+    /// E002: the header names a format version this reader cannot parse.
+    UnsupportedVersion,
+    /// E003: a line starts with an unknown directive.
+    UnknownDirective,
+    /// E004: a directive has the wrong number of tokens.
+    BadArity,
+    /// E005: missing, duplicate, or misplaced `circuit` line.
+    BadCircuit,
+    /// E006: a token that must be a finite number is not one.
+    BadNumber,
+    /// E007: a `cell` line names an unknown cell kind.
+    UnknownCellKind,
+    /// E008: a net is referenced before being declared.
+    UnknownNet,
+    /// E009: a malformed or unknown `key=value` attribute.
+    BadAttribute,
+    /// E010: the netlist builder rejected the statement (duplicate net,
+    /// arity mismatch, multiple drivers, invalid tie/drive, …).
+    Semantic,
+    /// E011: a logic level that is not `0`, `1`, or `x`.
+    BadLogicValue,
+    /// E012: a vector whose width disagrees with the declared primary
+    /// inputs.
+    VectorWidth,
+    /// E013: an unknown technology preset or `tech.*` parameter, or a
+    /// misplaced technology line.
+    BadTech,
+    /// E014: structural violation — missing `end`, content after `end`,
+    /// or a truncated file.
+    BadStructure,
+}
+
+impl ErrorCode {
+    /// The frozen `E0xx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCode::BadHeader => "E001",
+            ErrorCode::UnsupportedVersion => "E002",
+            ErrorCode::UnknownDirective => "E003",
+            ErrorCode::BadArity => "E004",
+            ErrorCode::BadCircuit => "E005",
+            ErrorCode::BadNumber => "E006",
+            ErrorCode::UnknownCellKind => "E007",
+            ErrorCode::UnknownNet => "E008",
+            ErrorCode::BadAttribute => "E009",
+            ErrorCode::Semantic => "E010",
+            ErrorCode::BadLogicValue => "E011",
+            ErrorCode::VectorWidth => "E012",
+            ErrorCode::BadTech => "E013",
+            ErrorCode::BadStructure => "E014",
+        }
+    }
+
+    /// A one-line summary of the condition the code covers.
+    pub fn summary(self) -> &'static str {
+        match self {
+            ErrorCode::BadHeader => "first line must be `mtk <version>`",
+            ErrorCode::UnsupportedVersion => "unsupported format version",
+            ErrorCode::UnknownDirective => "unknown directive",
+            ErrorCode::BadArity => "wrong number of tokens for directive",
+            ErrorCode::BadCircuit => "missing, duplicate, or misplaced `circuit`",
+            ErrorCode::BadNumber => "expected a finite number",
+            ErrorCode::UnknownCellKind => "unknown cell kind",
+            ErrorCode::UnknownNet => "net referenced before declaration",
+            ErrorCode::BadAttribute => "malformed or unknown attribute",
+            ErrorCode::Semantic => "netlist construction failed",
+            ErrorCode::BadLogicValue => "logic level must be 0, 1, or x",
+            ErrorCode::VectorWidth => "vector width disagrees with primary inputs",
+            ErrorCode::BadTech => "unknown technology preset or parameter",
+            ErrorCode::BadStructure => "missing `end` or content after it",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A located, coded `.mtk` parse error.
+///
+/// Renders as `file:line:col: error[E0xx]: message` with an optional
+/// trailing `; did you mean …` hint. Line and column are 1-based;
+/// column points at the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The file name the source was attributed to.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// The stable error code.
+    pub code: ErrorCode,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Optional suggestion (e.g. the closest known cell kind).
+    pub hint: Option<String>,
+}
+
+impl ParseError {
+    /// Builds an error at a location.
+    pub fn new(
+        file: &str,
+        line: usize,
+        col: usize,
+        code: ErrorCode,
+        message: impl Into<String>,
+    ) -> Self {
+        ParseError {
+            file: file.to_string(),
+            line,
+            col,
+            code,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Attaches a `did you mean` hint (builder style).
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.file, self.line, self.col, self.code, self.message
+        )?;
+        if let Some(hint) = &self.hint {
+            write!(f, "; {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Levenshtein edit distance, for "did you mean" suggestions. Inputs
+/// are short identifiers, so the O(nm) two-row DP is plenty.
+pub(crate) fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `word` within edit distance 2, if any.
+/// Ties resolve to the earliest candidate, so suggestions are
+/// deterministic.
+pub(crate) fn closest<'a, I>(word: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = levenshtein(word, cand);
+        if d <= 2 && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            ErrorCode::BadHeader,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownDirective,
+            ErrorCode::BadArity,
+            ErrorCode::BadCircuit,
+            ErrorCode::BadNumber,
+            ErrorCode::UnknownCellKind,
+            ErrorCode::UnknownNet,
+            ErrorCode::BadAttribute,
+            ErrorCode::Semantic,
+            ErrorCode::BadLogicValue,
+            ErrorCode::VectorWidth,
+            ErrorCode::BadTech,
+            ErrorCode::BadStructure,
+        ];
+        let mut codes: Vec<_> = all.iter().map(|c| c.code()).collect();
+        assert_eq!(codes[0], "E001");
+        assert_eq!(codes[13], "E014");
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+        for c in all {
+            assert!(!c.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_includes_location_code_and_hint() {
+        let e = ParseError::new(
+            "a.mtk",
+            7,
+            13,
+            ErrorCode::UnknownCellKind,
+            "unknown cell kind `nadn2`",
+        )
+        .with_hint("did you mean `nand2`?");
+        assert_eq!(
+            e.to_string(),
+            "a.mtk:7:13: error[E007]: unknown cell kind `nadn2`; did you mean `nand2`?"
+        );
+        let bare = ParseError::new("a.mtk", 1, 1, ErrorCode::BadHeader, "no header");
+        assert_eq!(bare.to_string(), "a.mtk:1:1: error[E001]: no header");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("nadn2", "nand2"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn closest_respects_cutoff_and_ties() {
+        let kinds = ["inv", "nand2", "nor2"];
+        assert_eq!(closest("nadn2", kinds), Some("nand2"));
+        assert_eq!(closest("inw", kinds), Some("inv"));
+        assert_eq!(closest("zzzzzz", kinds), None);
+        // Equidistant candidates resolve to the first.
+        assert_eq!(closest("nnd2", ["nand2", "nond2"]), Some("nand2"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The `.mtk` text netlist frontend.
+//!
+//! The paper presents a *tool* a designer points at an arbitrary
+//! low-V<sub>t</sub> block; this crate is the way such a block gets into
+//! the suite without writing Rust. A `.mtk` file is a line-oriented
+//! description of a gate-level circuit — cells, nets, primary I/O, an
+//! optional technology override, and optional stimulus vectors — that
+//! [`parse_str`] turns into the same [`mtk_netlist::netlist::Netlist`]
+//! the built-in generators produce. The grammar, the stable error-code
+//! table, and the parsed-vs-programmatic determinism guarantee are
+//! specified in `DESIGN.md` §11.
+//!
+//! Three contracts this crate keeps:
+//!
+//! * **Precise diagnostics.** Every rejection carries `file:line:col`,
+//!   a stable [`ErrorCode`], and — for misspelled cell kinds, nets,
+//!   directives, and technology parameters — a "did you mean" hint.
+//!   Malformed input never panics.
+//! * **Canonical round-trip.** [`Design::to_mtk`] is a pure function of
+//!   the design; `parse(write(d))` reproduces `d` exactly (netlist,
+//!   technology, vectors), and `write(parse(s))` is a fixpoint for
+//!   canonically written files. Byte-exact `f64` round-tripping rides on
+//!   Rust's shortest-representation float formatting.
+//! * **Identity with the generators.** A netlist loaded from a `.mtk`
+//!   export of a generator fingerprints identically to the
+//!   programmatically built one, so every downstream cache key, screen
+//!   ranking, and deterministic trace is byte-identical between the two
+//!   paths.
+//!
+//! # Example
+//!
+//! ```
+//! let src = "\
+//! mtk 1
+//! circuit buf2
+//! tech l07
+//! net a
+//! net mid
+//! net y cap=1e-14
+//! input a
+//! output y
+//! cell i1 inv a -> mid
+//! cell i2 inv mid -> y
+//! vector 0 -> 1
+//! end
+//! ";
+//! let design = mtk_fe::parse_str(src, "buf2.mtk")?;
+//! assert_eq!(design.netlist.cells().len(), 2);
+//! assert_eq!(design.vectors.len(), 1);
+//! let canonical = design.to_mtk();
+//! let reparsed = mtk_fe::parse_str(&canonical, "buf2.mtk")?;
+//! assert_eq!(reparsed.netlist, design.netlist);
+//! # Ok::<(), mtk_fe::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod parse;
+pub mod write;
+
+use mtk_netlist::lint::{lint, LintIssue};
+use mtk_netlist::logic::Logic;
+use mtk_netlist::netlist::Netlist;
+use mtk_netlist::tech::Technology;
+use std::collections::HashMap;
+
+pub use diag::{ErrorCode, ParseError};
+pub use parse::parse_str;
+
+/// The `.mtk` format version this crate reads and writes (the integer
+/// after the `mtk` magic on the first line).
+pub const FORMAT_VERSION: u64 = 1;
+
+/// One stimulus transition from a `vector` line: settled levels before
+/// the step and the levels applied at `t = 0`, both in primary-input
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stimulus {
+    /// Levels before the transition.
+    pub from: Vec<Logic>,
+    /// Levels after the transition.
+    pub to: Vec<Logic>,
+}
+
+/// Where each named construct of a parsed design came from, for
+/// rendering lint findings against the source file. Designs built
+/// programmatically carry an empty map (no lines to point at).
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// The file name used in diagnostics.
+    pub file: String,
+    net_lines: HashMap<String, usize>,
+    cell_lines: HashMap<String, usize>,
+}
+
+impl SourceMap {
+    /// An empty map carrying only a file name.
+    pub fn empty(file: &str) -> Self {
+        SourceMap {
+            file: file.to_string(),
+            ..SourceMap::default()
+        }
+    }
+
+    pub(crate) fn record_net(&mut self, name: &str, line: usize) {
+        self.net_lines.insert(name.to_string(), line);
+    }
+
+    pub(crate) fn record_cell(&mut self, name: &str, line: usize) {
+        self.cell_lines.insert(name.to_string(), line);
+    }
+
+    /// The 1-based source line a net was declared on.
+    pub fn net_line(&self, name: &str) -> Option<usize> {
+        self.net_lines.get(name).copied()
+    }
+
+    /// The 1-based source line a cell was instantiated on.
+    pub fn cell_line(&self, name: &str) -> Option<usize> {
+        self.cell_lines.get(name).copied()
+    }
+
+    /// The source line a lint finding refers to (the declaration of the
+    /// offending net or cell).
+    pub fn line_of(&self, issue: &LintIssue) -> Option<usize> {
+        match issue {
+            LintIssue::FloatingNet(n) | LintIssue::DanglingNet(n) | LintIssue::UnusedInput(n) => {
+                self.net_line(n)
+            }
+            LintIssue::UnreachableCell(c) => self.cell_line(c),
+        }
+    }
+}
+
+/// A short stable slug identifying a lint finding kind, used in the
+/// one-line rendering (`warning[floating-net]: …`).
+pub fn lint_slug(issue: &LintIssue) -> &'static str {
+    match issue {
+        LintIssue::FloatingNet(_) => "floating-net",
+        LintIssue::DanglingNet(_) => "dangling-net",
+        LintIssue::UnreachableCell(_) => "unreachable-cell",
+        LintIssue::UnusedInput(_) => "unused-input",
+    }
+}
+
+/// A complete design: the circuit, the technology it is meant to run
+/// under, and optional stimulus vectors — everything one `.mtk` file
+/// describes and everything the unified driver needs to run the flow.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Technology parameters (a preset, possibly with per-parameter
+    /// overrides from `tech.*` lines).
+    pub tech: Technology,
+    /// Stimulus transitions from `vector` lines, in file order.
+    pub vectors: Vec<Stimulus>,
+    /// Source locations for diagnostics (empty for programmatic designs).
+    pub source: SourceMap,
+}
+
+impl Design {
+    /// Wraps a programmatically built netlist (no vectors, no source
+    /// locations).
+    pub fn new(netlist: Netlist, tech: Technology) -> Self {
+        Design {
+            netlist,
+            tech,
+            vectors: Vec::new(),
+            source: SourceMap::default(),
+        }
+    }
+
+    /// Attaches stimulus vectors (builder style).
+    #[must_use]
+    pub fn with_vectors(mut self, vectors: Vec<Stimulus>) -> Self {
+        self.vectors = vectors;
+        self
+    }
+
+    /// Serializes the design to canonical `.mtk` text. See
+    /// [`write::write_mtk`].
+    pub fn to_mtk(&self) -> String {
+        write::write_mtk(self)
+    }
+
+    /// Runs the structural lint over the netlist.
+    pub fn lint(&self) -> Vec<LintIssue> {
+        lint(&self.netlist)
+    }
+
+    /// Renders lint findings one per line as
+    /// `file:line: warning[slug]: message`, with the source line of the
+    /// offending declaration when known (0 when not).
+    pub fn render_lint(&self, issues: &[LintIssue]) -> Vec<String> {
+        issues
+            .iter()
+            .map(|issue| {
+                format!(
+                    "{}:{}: warning[{}]: {}",
+                    if self.source.file.is_empty() {
+                        "<memory>"
+                    } else {
+                        &self.source.file
+                    },
+                    self.source.line_of(issue).unwrap_or(0),
+                    lint_slug(issue),
+                    issue
+                )
+            })
+            .collect()
+    }
+}
+
+/// One `tech.*` parameter entry: key, getter, setter.
+pub(crate) type TechParam = (
+    &'static str,
+    fn(&Technology) -> f64,
+    fn(&mut Technology, f64),
+);
+
+/// The technology parameters a `tech.<param> <value>` line can override,
+/// with their accessors. Shared by the parser (set) and the writer
+/// (diff against the base preset), so the two can never disagree on the
+/// parameter set.
+pub(crate) const TECH_PARAMS: &[TechParam] = &[
+    ("vdd", |t| t.vdd, |t, v| t.vdd = v),
+    ("vtn", |t| t.vtn, |t, v| t.vtn = v),
+    ("vtp", |t| t.vtp, |t, v| t.vtp = v),
+    ("vt_high", |t| t.vt_high, |t, v| t.vt_high = v),
+    ("kp_n", |t| t.kp_n, |t, v| t.kp_n = v),
+    ("kp_p", |t| t.kp_p, |t, v| t.kp_p = v),
+    ("gamma", |t| t.gamma, |t, v| t.gamma = v),
+    ("phi", |t| t.phi, |t, v| t.phi = v),
+    ("lambda", |t| t.lambda, |t, v| t.lambda = v),
+    ("alpha", |t| t.alpha, |t, v| t.alpha = v),
+    ("c_gate", |t| t.c_gate, |t, v| t.c_gate = v),
+    ("c_drain", |t| t.c_drain, |t, v| t.c_drain = v),
+    ("unit_wn", |t| t.unit_wn, |t, v| t.unit_wn = v),
+    ("unit_wp", |t| t.unit_wp, |t, v| t.unit_wp = v),
+    ("sub_n", |t| t.subthreshold.n, |t, v| t.subthreshold.n = v),
+    (
+        "sub_i0",
+        |t| t.subthreshold.i0,
+        |t, v| t.subthreshold.i0 = v,
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtk_netlist::cell::CellKind;
+
+    fn chain() -> Design {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        nl.mark_primary_output(y);
+        Design::new(nl, Technology::l07())
+    }
+
+    #[test]
+    fn lint_renders_with_line_zero_for_programmatic_designs() {
+        let mut d = chain();
+        let f = d.netlist.add_net("float").unwrap();
+        let z = d.netlist.add_net("z").unwrap();
+        let a = d.netlist.find_net("a").unwrap();
+        d.netlist
+            .add_cell("g", CellKind::Nand2, vec![a, f], z, 1.0)
+            .unwrap();
+        let issues = d.lint();
+        let lines = d.render_lint(&issues);
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert!(l.starts_with("<memory>:0: warning["), "{l}");
+        }
+    }
+
+    #[test]
+    fn tech_params_cover_every_field_and_are_distinct() {
+        let base = Technology::l07();
+        for (name, get, set) in TECH_PARAMS {
+            let mut t = base.clone();
+            let v = get(&base) * 2.0 + 1.0;
+            set(&mut t, v);
+            assert_eq!(get(&t), v, "param {name} does not round-trip");
+            assert_ne!(
+                t.fingerprint(),
+                base.fingerprint(),
+                "param {name} does not feed the technology fingerprint"
+            );
+        }
+        let mut names: Vec<_> = TECH_PARAMS.iter().map(|p| p.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TECH_PARAMS.len(), "duplicate param names");
+    }
+
+    #[test]
+    fn lint_slugs_are_stable() {
+        assert_eq!(
+            lint_slug(&LintIssue::FloatingNet("x".into())),
+            "floating-net"
+        );
+        assert_eq!(
+            lint_slug(&LintIssue::DanglingNet("x".into())),
+            "dangling-net"
+        );
+        assert_eq!(
+            lint_slug(&LintIssue::UnreachableCell("x".into())),
+            "unreachable-cell"
+        );
+        assert_eq!(
+            lint_slug(&LintIssue::UnusedInput("x".into())),
+            "unused-input"
+        );
+    }
+}

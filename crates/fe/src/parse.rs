@@ -1,0 +1,990 @@
+//! The `.mtk` parser.
+//!
+//! Single pass, line oriented: statements are applied to the growing
+//! [`Netlist`] in file order, so declare-before-use falls out of the
+//! builder's own checks and every rejection points at the exact line
+//! and column that caused it. The grammar is specified in DESIGN.md
+//! §11; the stable error codes live in [`crate::diag`].
+
+use crate::diag::{closest, ErrorCode, ParseError};
+use crate::{Design, SourceMap, Stimulus, FORMAT_VERSION, TECH_PARAMS};
+use mtk_netlist::cell::CellKind;
+use mtk_netlist::logic::Logic;
+use mtk_netlist::netlist::{NetId, Netlist};
+use mtk_netlist::tech::Technology;
+use mtk_netlist::NetlistError;
+
+/// The known top-level directives, for "did you mean" suggestions.
+const DIRECTIVES: [&str; 9] = [
+    "circuit", "tech", "net", "input", "output", "tie", "cell", "vector", "end",
+];
+
+/// The technology presets a `tech` line may name.
+const PRESETS: [&str; 2] = ["l07", "l03"];
+
+/// Parses `.mtk` source text into a [`Design`].
+///
+/// `file` is used only for diagnostics (it is echoed in every
+/// [`ParseError`] and stored in the design's [`SourceMap`]).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, with a 1-based
+/// line/column, a stable error code, and — where a close match exists —
+/// a "did you mean" hint. Never panics on malformed input.
+pub fn parse_str(src: &str, file: &str) -> Result<Design, ParseError> {
+    Parser {
+        file,
+        netlist: None,
+        tech: Technology::l07(),
+        tech_preset_seen: false,
+        tech_override_seen: false,
+        vectors: Vec::new(),
+        source: SourceMap::empty(file),
+        end_seen: false,
+    }
+    .run(src)
+}
+
+/// One whitespace-delimited token with its 1-based source column.
+struct Tok<'a> {
+    text: &'a str,
+    col: usize,
+}
+
+/// Splits a line into tokens, tracking 1-based character columns and
+/// dropping everything from `#` onward.
+fn tokenize(line: &str) -> Vec<Tok<'_>> {
+    let mut toks = Vec::new();
+    let mut start: Option<(usize, usize)> = None;
+    let mut col = 0usize;
+    for (i, ch) in line.char_indices() {
+        col += 1;
+        if ch == '#' {
+            break;
+        }
+        if ch.is_whitespace() {
+            if let Some((bs, cs)) = start.take() {
+                toks.push(Tok {
+                    text: &line[bs..i],
+                    col: cs,
+                });
+            }
+        } else if start.is_none() {
+            start = Some((i, col));
+        }
+    }
+    if let Some((bs, cs)) = start {
+        let end = line.find('#').unwrap_or(line.len());
+        toks.push(Tok {
+            text: &line[bs..end],
+            col: cs,
+        });
+    }
+    toks
+}
+
+struct Parser<'f> {
+    file: &'f str,
+    netlist: Option<Netlist>,
+    tech: Technology,
+    tech_preset_seen: bool,
+    tech_override_seen: bool,
+    vectors: Vec<Stimulus>,
+    source: SourceMap,
+    end_seen: bool,
+}
+
+impl Parser<'_> {
+    fn run(mut self, src: &str) -> Result<Design, ParseError> {
+        let mut header_seen = false;
+        let mut last_line = 0usize;
+        for (idx, raw) in src.lines().enumerate() {
+            let line = idx + 1;
+            last_line = line;
+            let toks = tokenize(raw);
+            if toks.is_empty() {
+                continue;
+            }
+            if !header_seen {
+                self.header(line, &toks)?;
+                header_seen = true;
+                continue;
+            }
+            if self.end_seen {
+                return Err(self.err(
+                    line,
+                    toks[0].col,
+                    ErrorCode::BadStructure,
+                    "content after `end`",
+                ));
+            }
+            self.statement(line, &toks)?;
+        }
+        if !header_seen {
+            return Err(self.err(
+                1,
+                1,
+                ErrorCode::BadHeader,
+                "empty input: first line must be `mtk <version>`",
+            ));
+        }
+        if !self.end_seen {
+            return Err(self.err(last_line + 1, 1, ErrorCode::BadStructure, "missing `end`"));
+        }
+        let netlist = self.netlist.take().ok_or_else(|| {
+            self.err(last_line, 1, ErrorCode::BadCircuit, "no `circuit` declared")
+        })?;
+        Ok(Design {
+            netlist,
+            tech: self.tech,
+            vectors: self.vectors,
+            source: self.source,
+        })
+    }
+
+    fn err(
+        &self,
+        line: usize,
+        col: usize,
+        code: ErrorCode,
+        message: impl Into<String>,
+    ) -> ParseError {
+        ParseError::new(self.file, line, col, code, message)
+    }
+
+    fn header(&self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        if toks[0].text != "mtk" {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadHeader,
+                format!(
+                    "first line must be `mtk <version>`, found `{}`",
+                    toks[0].text
+                ),
+            ));
+        }
+        if toks.len() != 2 {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadHeader,
+                "first line must be `mtk <version>`",
+            ));
+        }
+        let version: u64 = toks[1].text.parse().map_err(|_| {
+            self.err(
+                line,
+                toks[1].col,
+                ErrorCode::BadHeader,
+                format!(
+                    "format version must be an integer, found `{}`",
+                    toks[1].text
+                ),
+            )
+        })?;
+        if version != FORMAT_VERSION {
+            return Err(self.err(
+                line,
+                toks[1].col,
+                ErrorCode::UnsupportedVersion,
+                format!("format version {version} is not supported (this reader understands {FORMAT_VERSION})"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        let dir = toks[0].text;
+        if let Some(param) = dir.strip_prefix("tech.") {
+            return self.tech_override(line, toks, param);
+        }
+        match dir {
+            "circuit" => self.circuit(line, toks),
+            "tech" => self.tech_preset(line, toks),
+            "net" => self.net(line, toks),
+            "input" => self.io(line, toks, true),
+            "output" => self.io(line, toks, false),
+            "tie" => self.tie(line, toks),
+            "cell" => self.cell(line, toks),
+            "vector" => self.vector(line, toks),
+            "end" => {
+                self.expect_len(line, toks, 1, "end")?;
+                self.end_seen = true;
+                Ok(())
+            }
+            _ => {
+                let mut e = self.err(
+                    line,
+                    toks[0].col,
+                    ErrorCode::UnknownDirective,
+                    format!("unknown directive `{dir}`"),
+                );
+                if let Some(s) = closest(dir, DIRECTIVES) {
+                    e = e.with_hint(format!("did you mean `{s}`?"));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn expect_len(
+        &self,
+        line: usize,
+        toks: &[Tok<'_>],
+        n: usize,
+        usage: &str,
+    ) -> Result<(), ParseError> {
+        if toks.len() != n {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                format!(
+                    "`{}` takes {} token(s), found {} (usage: `{usage}`)",
+                    toks[0].text,
+                    n - 1,
+                    toks.len() - 1,
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn netlist_mut(&mut self, line: usize, col: usize) -> Result<&mut Netlist, ParseError> {
+        if self.netlist.is_none() {
+            return Err(self.err(
+                line,
+                col,
+                ErrorCode::BadCircuit,
+                "statement before `circuit`",
+            ));
+        }
+        Ok(self.netlist.as_mut().expect("checked above"))
+    }
+
+    fn net_id(&self, line: usize, tok: &Tok<'_>) -> Result<NetId, ParseError> {
+        let nl = self.netlist.as_ref().ok_or_else(|| {
+            self.err(
+                line,
+                tok.col,
+                ErrorCode::BadCircuit,
+                "statement before `circuit`",
+            )
+        })?;
+        nl.find_net(tok.text).ok_or_else(|| {
+            let mut e = self.err(
+                line,
+                tok.col,
+                ErrorCode::UnknownNet,
+                format!("net `{}` is not declared", tok.text),
+            );
+            if let Some(s) = closest(tok.text, nl.nets().iter().map(|n| n.name.as_str())) {
+                e = e.with_hint(format!("did you mean `{s}`?"));
+            }
+            e
+        })
+    }
+
+    fn number(&self, line: usize, tok: &Tok<'_>) -> Result<f64, ParseError> {
+        match tok.text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(self.err(
+                line,
+                tok.col,
+                ErrorCode::BadNumber,
+                format!("expected a finite number, found `{}`", tok.text),
+            )),
+        }
+    }
+
+    /// Splits a `key=value` attribute token, checking the key against
+    /// the allowed set for the directive.
+    fn attribute<'a>(
+        &self,
+        line: usize,
+        tok: &'a Tok<'_>,
+        allowed: &[&str],
+    ) -> Result<(&'a str, Tok<'a>), ParseError> {
+        let Some(eq) = tok.text.find('=') else {
+            return Err(self.err(
+                line,
+                tok.col,
+                ErrorCode::BadAttribute,
+                format!("expected `key=value` attribute, found `{}`", tok.text),
+            ));
+        };
+        let key = &tok.text[..eq];
+        let value = Tok {
+            text: &tok.text[eq + 1..],
+            col: tok.col + tok.text[..=eq].chars().count(),
+        };
+        if !allowed.contains(&key) {
+            let mut e = self.err(
+                line,
+                tok.col,
+                ErrorCode::BadAttribute,
+                format!("unknown attribute `{key}`"),
+            );
+            if let Some(s) = closest(key, allowed.iter().copied()) {
+                e = e.with_hint(format!("did you mean `{s}`?"));
+            }
+            return Err(e);
+        }
+        Ok((key, value))
+    }
+
+    fn circuit(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 2, "circuit <name>")?;
+        if self.netlist.is_some() {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadCircuit,
+                "duplicate `circuit`",
+            ));
+        }
+        self.netlist = Some(Netlist::new(toks[1].text));
+        Ok(())
+    }
+
+    fn tech_preset(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 2, "tech <preset>")?;
+        self.netlist_mut(line, toks[0].col)?;
+        if self.tech_preset_seen {
+            return Err(self.err(line, toks[0].col, ErrorCode::BadTech, "duplicate `tech`"));
+        }
+        if self.tech_override_seen {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadTech,
+                "`tech` preset must precede `tech.*` overrides",
+            ));
+        }
+        let Some(t) = Technology::preset(toks[1].text) else {
+            let mut e = self.err(
+                line,
+                toks[1].col,
+                ErrorCode::BadTech,
+                format!("unknown technology preset `{}`", toks[1].text),
+            );
+            if let Some(s) = closest(toks[1].text, PRESETS) {
+                e = e.with_hint(format!("did you mean `{s}`?"));
+            }
+            return Err(e);
+        };
+        self.tech = t;
+        self.tech_preset_seen = true;
+        Ok(())
+    }
+
+    fn tech_override(
+        &mut self,
+        line: usize,
+        toks: &[Tok<'_>],
+        param: &str,
+    ) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 2, "tech.<param> <value>")?;
+        self.netlist_mut(line, toks[0].col)?;
+        let Some((_, _, set)) = TECH_PARAMS.iter().find(|(name, _, _)| *name == param) else {
+            let mut e = self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadTech,
+                format!("unknown technology parameter `{param}`"),
+            );
+            if let Some(s) = closest(param, TECH_PARAMS.iter().map(|p| p.0)) {
+                e = e.with_hint(format!("did you mean `tech.{s}`?"));
+            }
+            return Err(e);
+        };
+        let v = self.number(line, &toks[1])?;
+        set(&mut self.tech, v);
+        self.tech_override_seen = true;
+        Ok(())
+    }
+
+    fn net(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        if toks.len() < 2 {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                "`net` takes a name (usage: `net <name> [cap=<farads>]`)",
+            ));
+        }
+        let name = &toks[1];
+        if name.text.contains('=') || name.text == "->" {
+            return Err(self.err(
+                line,
+                name.col,
+                ErrorCode::BadAttribute,
+                format!("`{}` is not a valid net name", name.text),
+            ));
+        }
+        let mut cap = None;
+        for attr in &toks[2..] {
+            let (key, value) = self.attribute(line, attr, &["cap"])?;
+            debug_assert_eq!(key, "cap");
+            cap = Some(self.number(line, &value)?);
+        }
+        self.netlist_mut(line, toks[0].col)?;
+        let nl = self.netlist.as_mut().expect("checked above");
+        let id = nl
+            .add_net(name.text)
+            .map_err(|e| self.clone_err(line, name.col, &e))?;
+        if let Some(farads) = cap {
+            self.netlist
+                .as_mut()
+                .expect("present")
+                .add_extra_cap(id, farads);
+        }
+        self.source.record_net(name.text, line);
+        Ok(())
+    }
+
+    /// `semantic` borrows `self` immutably, which conflicts with holding
+    /// `&mut Netlist`; this tiny helper rebuilds the error afterwards.
+    fn clone_err(&self, line: usize, col: usize, e: &NetlistError) -> ParseError {
+        self.err(line, col, ErrorCode::Semantic, e.to_string())
+    }
+
+    fn io(&mut self, line: usize, toks: &[Tok<'_>], input: bool) -> Result<(), ParseError> {
+        if toks.len() < 2 {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                format!(
+                    "`{}` takes at least one net (usage: `{} <net>...`)",
+                    toks[0].text, toks[0].text
+                ),
+            ));
+        }
+        for tok in &toks[1..] {
+            let id = self.net_id(line, tok)?;
+            let nl = self.netlist.as_mut().expect("net_id checked circuit");
+            if input {
+                nl.mark_primary_input(id)
+                    .map_err(|e| self.clone_err(line, tok.col, &e))?;
+            } else {
+                nl.mark_primary_output(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn logic(&self, line: usize, tok: &Tok<'_>) -> Result<Logic, ParseError> {
+        match tok.text {
+            "0" => Ok(Logic::Zero),
+            "1" => Ok(Logic::One),
+            "x" | "X" => Ok(Logic::X),
+            other => Err(self.err(
+                line,
+                tok.col,
+                ErrorCode::BadLogicValue,
+                format!("logic level must be `0`, `1`, or `x`, found `{other}`"),
+            )),
+        }
+    }
+
+    fn tie(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 3, "tie <net> <0|1>")?;
+        let id = self.net_id(line, &toks[1])?;
+        let value = self.logic(line, &toks[2])?;
+        let nl = self.netlist.as_mut().expect("net_id checked circuit");
+        nl.tie_net(id, value)
+            .map_err(|e| self.clone_err(line, toks[2].col, &e))?;
+        Ok(())
+    }
+
+    fn cell(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        const USAGE: &str = "cell <inst> <kind> <in>... -> <out> [drive=<x>]";
+        if toks.len() < 3 {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                format!("`cell` is missing tokens (usage: `{USAGE}`)"),
+            ));
+        }
+        let inst = &toks[1];
+        let kind_tok = &toks[2];
+        let Some(kind) = CellKind::parse(kind_tok.text) else {
+            let mut e = self.err(
+                line,
+                kind_tok.col,
+                ErrorCode::UnknownCellKind,
+                format!("unknown cell kind `{}`", kind_tok.text),
+            );
+            if let Some(s) = closest(kind_tok.text, CellKind::all().map(CellKind::name)) {
+                e = e.with_hint(format!("did you mean `{s}`?"));
+            }
+            return Err(e);
+        };
+        let Some(arrow) = toks[3..].iter().position(|t| t.text == "->") else {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                format!("`cell` is missing `->` (usage: `{USAGE}`)"),
+            ));
+        };
+        let arrow = arrow + 3;
+        let mut inputs = Vec::with_capacity(arrow - 3);
+        for tok in &toks[3..arrow] {
+            inputs.push(self.net_id(line, tok)?);
+        }
+        let Some(out_tok) = toks.get(arrow + 1) else {
+            return Err(self.err(
+                line,
+                toks[arrow].col,
+                ErrorCode::BadArity,
+                format!("`cell` is missing the output net after `->` (usage: `{USAGE}`)"),
+            ));
+        };
+        let output = self.net_id(line, out_tok)?;
+        let mut drive = 1.0;
+        for attr in &toks[arrow + 2..] {
+            let (key, value) = self.attribute(line, attr, &["drive"])?;
+            debug_assert_eq!(key, "drive");
+            drive = self.number(line, &value)?;
+        }
+        let nl = self.netlist.as_mut().expect("net_id checked circuit");
+        nl.add_cell(inst.text, kind, inputs, output, drive)
+            .map_err(|e| self.clone_err(line, inst.col, &e))?;
+        self.source.record_cell(inst.text, line);
+        Ok(())
+    }
+
+    fn vector(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        if toks.len() != 4 || toks[2].text != "->" {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                "`vector` takes `<from> -> <to>` (usage: `vector 010 -> 110`)",
+            ));
+        }
+        let width = self.netlist_mut(line, toks[0].col)?.primary_inputs().len();
+        let from = self.bits(line, &toks[1], width)?;
+        let to = self.bits(line, &toks[3], width)?;
+        self.vectors.push(Stimulus { from, to });
+        Ok(())
+    }
+
+    /// Parses a bit-string token; the leftmost character maps to the
+    /// first declared primary input.
+    fn bits(&self, line: usize, tok: &Tok<'_>, width: usize) -> Result<Vec<Logic>, ParseError> {
+        let mut out = Vec::new();
+        for (i, ch) in tok.text.chars().enumerate() {
+            out.push(match ch {
+                '0' => Logic::Zero,
+                '1' => Logic::One,
+                'x' | 'X' => Logic::X,
+                other => {
+                    return Err(self.err(
+                        line,
+                        tok.col + i,
+                        ErrorCode::BadLogicValue,
+                        format!("invalid logic level `{other}` in vector"),
+                    ))
+                }
+            });
+        }
+        if out.len() != width {
+            return Err(self.err(
+                line,
+                tok.col,
+                ErrorCode::VectorWidth,
+                format!(
+                    "vector has {} bit(s) but the circuit has {} primary input(s)",
+                    out.len(),
+                    width
+                ),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_src() -> &'static str {
+        "\
+mtk 1
+# a two-inverter buffer
+circuit buf2
+tech l07
+tech.vdd 1.5
+net a
+net mid
+net y cap=1e-14
+input a
+output y
+cell i1 inv a -> mid
+cell i2 inv mid -> y drive=2
+vector 0 -> 1
+end
+"
+    }
+
+    fn expect_err(src: &str, code: ErrorCode, line: usize, col: usize) -> ParseError {
+        let e = parse_str(src, "t.mtk").expect_err("should fail");
+        assert_eq!(e.code, code, "wrong code for {e}");
+        assert_eq!((e.line, e.col), (line, col), "wrong location for {e}");
+        e
+    }
+
+    #[test]
+    fn parses_a_complete_design() {
+        let d = parse_str(good_src(), "buf2.mtk").unwrap();
+        assert_eq!(d.netlist.name(), "buf2");
+        assert_eq!(d.netlist.nets().len(), 3);
+        assert_eq!(d.netlist.cells().len(), 2);
+        assert_eq!(d.netlist.primary_inputs().len(), 1);
+        assert_eq!(d.netlist.primary_outputs().len(), 1);
+        assert_eq!(d.tech.vdd, 1.5);
+        assert_eq!(d.tech.name, "l07");
+        assert_eq!(d.vectors.len(), 1);
+        assert_eq!(d.vectors[0].from, vec![Logic::Zero]);
+        assert_eq!(d.vectors[0].to, vec![Logic::One]);
+        assert_eq!(d.netlist.cells()[1].drive, 2.0);
+        let y = d.netlist.find_net("y").unwrap();
+        assert_eq!(d.netlist.net(y).extra_cap, 1e-14);
+        assert_eq!(d.source.net_line("a"), Some(6));
+        assert_eq!(d.source.cell_line("i2"), Some(12));
+    }
+
+    #[test]
+    fn e001_bad_header() {
+        expect_err("circuit x\nend\n", ErrorCode::BadHeader, 1, 1);
+        expect_err("mtk\nend\n", ErrorCode::BadHeader, 1, 1);
+        expect_err("mtk one\nend\n", ErrorCode::BadHeader, 1, 5);
+        expect_err("", ErrorCode::BadHeader, 1, 1);
+        expect_err("# only a comment\n", ErrorCode::BadHeader, 1, 1);
+    }
+
+    #[test]
+    fn e002_unsupported_version() {
+        expect_err(
+            "mtk 2\ncircuit x\nend\n",
+            ErrorCode::UnsupportedVersion,
+            1,
+            5,
+        );
+    }
+
+    #[test]
+    fn e003_unknown_directive_suggests() {
+        let e = expect_err(
+            "mtk 1\ncircuit x\nnett a\nend\n",
+            ErrorCode::UnknownDirective,
+            3,
+            1,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `net`?"));
+    }
+
+    #[test]
+    fn e004_bad_arity() {
+        expect_err("mtk 1\ncircuit\nend\n", ErrorCode::BadArity, 2, 1);
+        expect_err("mtk 1\ncircuit x\nnet\nend\n", ErrorCode::BadArity, 3, 1);
+        expect_err("mtk 1\ncircuit x\ninput\nend\n", ErrorCode::BadArity, 3, 1);
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 inv a y\nend\n",
+            ErrorCode::BadArity,
+            5,
+            1,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\ncell i1 inv a ->\nend\n",
+            ErrorCode::BadArity,
+            4,
+            15,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\nvector 0\nend\n",
+            ErrorCode::BadArity,
+            3,
+            1,
+        );
+        expect_err("mtk 1\ncircuit x\nend now\n", ErrorCode::BadArity, 3, 1);
+    }
+
+    #[test]
+    fn e005_circuit_placement() {
+        expect_err("mtk 1\nnet a\nend\n", ErrorCode::BadCircuit, 2, 1);
+        expect_err(
+            "mtk 1\ncircuit x\ncircuit y\nend\n",
+            ErrorCode::BadCircuit,
+            3,
+            1,
+        );
+        expect_err("mtk 1\nend\n", ErrorCode::BadCircuit, 2, 1);
+        expect_err("mtk 1\ntech l07\nend\n", ErrorCode::BadCircuit, 2, 1);
+    }
+
+    #[test]
+    fn e006_bad_number() {
+        expect_err(
+            "mtk 1\ncircuit x\nnet a cap=fast\nend\n",
+            ErrorCode::BadNumber,
+            3,
+            11,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\ntech.vdd inf\nend\n",
+            ErrorCode::BadNumber,
+            3,
+            10,
+        );
+    }
+
+    #[test]
+    fn e007_unknown_cell_kind_suggests() {
+        let e = expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 nadn2 a a -> y\nend\n",
+            ErrorCode::UnknownCellKind,
+            5,
+            9,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `nand2`?"));
+    }
+
+    #[test]
+    fn e008_unknown_net_suggests() {
+        let e = expect_err(
+            "mtk 1\ncircuit x\nnet alpha\nnet y\ncell i1 inv alhpa -> y\nend\n",
+            ErrorCode::UnknownNet,
+            5,
+            13,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `alpha`?"));
+        expect_err(
+            "mtk 1\ncircuit x\ninput q\nend\n",
+            ErrorCode::UnknownNet,
+            3,
+            7,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\ntie q 0\nend\n",
+            ErrorCode::UnknownNet,
+            3,
+            5,
+        );
+    }
+
+    #[test]
+    fn e009_bad_attribute() {
+        let e = expect_err(
+            "mtk 1\ncircuit x\nnet a cpa=1e-15\nend\n",
+            ErrorCode::BadAttribute,
+            3,
+            7,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `cap`?"));
+        expect_err(
+            "mtk 1\ncircuit x\nnet a extra\nend\n",
+            ErrorCode::BadAttribute,
+            3,
+            7,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 inv a -> y cap=1\nend\n",
+            ErrorCode::BadAttribute,
+            5,
+            20,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\nnet a=b\nend\n",
+            ErrorCode::BadAttribute,
+            3,
+            5,
+        );
+    }
+
+    #[test]
+    fn e010_semantic_errors() {
+        // Duplicate net.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet a\nend\n",
+            ErrorCode::Semantic,
+            4,
+            5,
+        );
+        // Arity mismatch.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 nand2 a -> y\nend\n",
+            ErrorCode::Semantic,
+            5,
+            6,
+        );
+        // Multiple drivers.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 inv a -> y\ncell i2 inv a -> y\nend\n",
+            ErrorCode::Semantic,
+            6,
+            6,
+        );
+        // Invalid drive.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 inv a -> y drive=-1\nend\n",
+            ErrorCode::Semantic,
+            5,
+            6,
+        );
+        // Tie of a driven net.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 inv a -> y\ntie y 0\nend\n",
+            ErrorCode::Semantic,
+            6,
+            7,
+        );
+        // Input marking of a driven net.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet y\ncell i1 inv a -> y\ninput y\nend\n",
+            ErrorCode::Semantic,
+            6,
+            7,
+        );
+        // X tie is rejected by the builder.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\ntie a x\nend\n",
+            ErrorCode::Semantic,
+            4,
+            7,
+        );
+    }
+
+    #[test]
+    fn e011_bad_logic_value() {
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\ntie a 2\nend\n",
+            ErrorCode::BadLogicValue,
+            4,
+            7,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\ninput a\nvector 2 -> 1\nend\n",
+            ErrorCode::BadLogicValue,
+            5,
+            8,
+        );
+        // Column points at the bad character inside the bit string.
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\nnet b\ninput a b\nvector 0q -> 11\nend\n",
+            ErrorCode::BadLogicValue,
+            6,
+            9,
+        );
+    }
+
+    #[test]
+    fn e012_vector_width() {
+        expect_err(
+            "mtk 1\ncircuit x\nnet a\ninput a\nvector 00 -> 11\nend\n",
+            ErrorCode::VectorWidth,
+            5,
+            8,
+        );
+        // No primary inputs at all.
+        expect_err(
+            "mtk 1\ncircuit x\nvector 0 -> 1\nend\n",
+            ErrorCode::VectorWidth,
+            3,
+            8,
+        );
+    }
+
+    #[test]
+    fn e013_bad_tech() {
+        let e = expect_err(
+            "mtk 1\ncircuit x\ntech l08\nend\n",
+            ErrorCode::BadTech,
+            3,
+            6,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `l07`?"));
+        let e = expect_err(
+            "mtk 1\ncircuit x\ntech.vdd2 1.0\nend\n",
+            ErrorCode::BadTech,
+            3,
+            1,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `tech.vdd`?"));
+        expect_err(
+            "mtk 1\ncircuit x\ntech l07\ntech l03\nend\n",
+            ErrorCode::BadTech,
+            4,
+            1,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\ntech.vdd 1.0\ntech l03\nend\n",
+            ErrorCode::BadTech,
+            4,
+            1,
+        );
+    }
+
+    #[test]
+    fn e014_structure() {
+        expect_err("mtk 1\ncircuit x\n", ErrorCode::BadStructure, 3, 1);
+        expect_err(
+            "mtk 1\ncircuit x\nend\nnet a\n",
+            ErrorCode::BadStructure,
+            4,
+            1,
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored_everywhere() {
+        let src = "\
+mtk 1   # header comment
+
+circuit c  # named c
+net a      # the input
+input a
+end
+# trailing commentary is fine
+";
+        let d = parse_str(src, "c.mtk").unwrap();
+        assert_eq!(d.netlist.name(), "c");
+        assert_eq!(d.netlist.primary_inputs().len(), 1);
+    }
+
+    #[test]
+    fn tech_defaults_to_l07_when_absent() {
+        let d = parse_str("mtk 1\ncircuit c\nend\n", "c.mtk").unwrap();
+        assert_eq!(d.tech, Technology::l07());
+    }
+
+    #[test]
+    fn tokenizer_tracks_columns() {
+        let toks = tokenize("  cell  i1   inv # tail");
+        assert_eq!(toks.len(), 3);
+        assert_eq!((toks[0].text, toks[0].col), ("cell", 3));
+        assert_eq!((toks[1].text, toks[1].col), ("i1", 9));
+        assert_eq!((toks[2].text, toks[2].col), ("inv", 14));
+        assert!(tokenize("# whole-line comment").is_empty());
+        assert!(tokenize("   ").is_empty());
+        let glued = tokenize("net a#tail");
+        assert_eq!(glued.len(), 2);
+        assert_eq!(glued[1].text, "a");
+    }
+
+    #[test]
+    fn uppercase_x_accepted_in_vectors_and_ties() {
+        let d = parse_str(
+            "mtk 1\ncircuit c\nnet a\nnet b\ninput a b\nvector X0 -> 11\nend\n",
+            "c.mtk",
+        )
+        .unwrap();
+        assert_eq!(d.vectors[0].from, vec![Logic::X, Logic::Zero]);
+    }
+}

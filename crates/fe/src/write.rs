@@ -1,0 +1,228 @@
+//! The canonical `.mtk` writer.
+//!
+//! [`write_mtk`] is a pure function of the design: the same design
+//! always serializes to the same bytes, and the output is the *canonical
+//! form* — parsing it and writing again reproduces it byte for byte
+//! (the fixpoint the golden-file CI gate pins). Section order is fixed:
+//! header, `circuit`, `tech` (+ overrides diffed against the preset),
+//! nets in id order, `input`, `output`, ties, cells in id order,
+//! vectors, `end`.
+
+use crate::{Design, TECH_PARAMS};
+use mtk_netlist::logic::Logic;
+use mtk_netlist::tech::Technology;
+use std::fmt::Write as _;
+
+/// Serializes a design to canonical `.mtk` text.
+///
+/// Floats are written in Rust's shortest round-trip form (plain below
+/// 10⁶, exponent notation otherwise), so every finite `f64` survives
+/// write→parse exactly.
+///
+/// Two caveats, both outside what the parser can produce:
+///
+/// * a technology whose `name` is not a preset is diffed against `l07`
+///   (the name itself cannot round-trip);
+/// * stimulus vectors are dropped when the netlist has no primary
+///   inputs (the grammar cannot express a zero-width vector).
+pub fn write_mtk(design: &Design) -> String {
+    let nl = &design.netlist;
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "mtk {}", crate::FORMAT_VERSION).expect("write to String");
+    writeln!(w, "circuit {}", nl.name()).expect("write to String");
+
+    let base = Technology::preset(design.tech.name).unwrap_or_else(Technology::l07);
+    writeln!(w, "tech {}", base.name).expect("write to String");
+    for (name, get, _) in TECH_PARAMS {
+        let (have, want) = (get(&base), get(&design.tech));
+        if have.to_bits() != want.to_bits() {
+            writeln!(w, "tech.{name} {}", fmt_num(want)).expect("write to String");
+        }
+    }
+
+    for net in nl.nets() {
+        if net.extra_cap != 0.0 {
+            writeln!(w, "net {} cap={}", net.name, fmt_num(net.extra_cap))
+                .expect("write to String");
+        } else {
+            writeln!(w, "net {}", net.name).expect("write to String");
+        }
+    }
+
+    for (marker, ports) in [
+        ("input", nl.primary_inputs()),
+        ("output", nl.primary_outputs()),
+    ] {
+        if !ports.is_empty() {
+            write!(w, "{marker}").expect("write to String");
+            for &id in ports {
+                write!(w, " {}", nl.net(id).name).expect("write to String");
+            }
+            writeln!(w).expect("write to String");
+        }
+    }
+
+    for id in nl.net_ids() {
+        if let Some(v) = nl.net(id).tie {
+            writeln!(w, "tie {} {v}", nl.net(id).name).expect("write to String");
+        }
+    }
+
+    for cell in nl.cells() {
+        write!(w, "cell {} {}", cell.name, cell.kind.name()).expect("write to String");
+        for &inp in &cell.inputs {
+            write!(w, " {}", nl.net(inp).name).expect("write to String");
+        }
+        write!(w, " -> {}", nl.net(cell.output).name).expect("write to String");
+        if cell.drive != 1.0 {
+            write!(w, " drive={}", fmt_num(cell.drive)).expect("write to String");
+        }
+        writeln!(w).expect("write to String");
+    }
+
+    if !nl.primary_inputs().is_empty() {
+        for v in &design.vectors {
+            writeln!(w, "vector {} -> {}", bits(&v.from), bits(&v.to)).expect("write to String");
+        }
+    }
+
+    writeln!(w, "end").expect("write to String");
+    out
+}
+
+fn bits(levels: &[Logic]) -> String {
+    levels.iter().map(Logic::to_string).collect()
+}
+
+/// Shortest round-trip rendering of a finite `f64`: plain decimal in
+/// the human-scale range, exponent notation outside it. Both forms use
+/// Rust's shortest-digits algorithm, so `fmt_num(v).parse() == v`
+/// exactly for every finite input.
+pub(crate) fn fmt_num(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 || (1e-4..1e6).contains(&a) {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+    use crate::Stimulus;
+    use mtk_netlist::cell::CellKind;
+    use mtk_netlist::netlist::Netlist;
+
+    #[test]
+    fn fmt_num_round_trips_awkward_values() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            2.0 / 3.0,
+            1e-14,
+            1.7e-15,
+            -3.25e-19,
+            123456.789,
+            9.999e5,
+            1e6,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ] {
+            let s = fmt_num(v);
+            let back: f64 = s.parse().expect("reparse");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via `{s}`");
+        }
+    }
+
+    #[test]
+    fn writer_emits_canonical_sections_in_order() {
+        let mut nl = Netlist::new("demo");
+        let a = nl.add_net("a").unwrap();
+        let gnd = nl.add_net("gnd").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.tie_net(gnd, Logic::Zero).unwrap();
+        nl.add_extra_cap(y, 2e-14);
+        nl.add_cell("g1", CellKind::Nor2, vec![a, gnd], y, 3.0)
+            .unwrap();
+        nl.mark_primary_output(y);
+        let mut tech = Technology::l03();
+        tech.vdd = 0.9;
+        let d = crate::Design::new(nl, tech).with_vectors(vec![Stimulus {
+            from: vec![Logic::Zero],
+            to: vec![Logic::One],
+        }]);
+        let text = d.to_mtk();
+        assert_eq!(
+            text,
+            "\
+mtk 1
+circuit demo
+tech l03
+tech.vdd 0.9
+net a
+net gnd
+net y cap=2e-14
+input a
+output y
+tie gnd 0
+cell g1 nor2 a gnd -> y drive=3
+vector 0 -> 1
+end
+"
+        );
+    }
+
+    #[test]
+    fn write_parse_write_is_a_fixpoint() {
+        let mut nl = Netlist::new("fix");
+        let a = nl.add_net("a").unwrap();
+        let b = nl.add_net("b").unwrap();
+        let m = nl.add_net("m").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.mark_primary_input(b).unwrap();
+        nl.add_cell("n1", CellKind::Nand2, vec![a, b], m, 1.0)
+            .unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![m], y, 2.5).unwrap();
+        nl.add_extra_cap(y, 1e-14);
+        nl.mark_primary_output(y);
+        let mut tech = Technology::l07();
+        tech.alpha = 1.9;
+        let d = crate::Design::new(nl, tech).with_vectors(vec![
+            Stimulus {
+                from: vec![Logic::Zero, Logic::One],
+                to: vec![Logic::One, Logic::One],
+            },
+            Stimulus {
+                from: vec![Logic::X, Logic::Zero],
+                to: vec![Logic::One, Logic::Zero],
+            },
+        ]);
+        let once = d.to_mtk();
+        let parsed = parse_str(&once, "fix.mtk").unwrap();
+        assert_eq!(parsed.netlist, d.netlist);
+        assert_eq!(parsed.tech, d.tech);
+        assert_eq!(parsed.vectors, d.vectors);
+        assert_eq!(parsed.netlist.fingerprint(), d.netlist.fingerprint());
+        let twice = parsed.to_mtk();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn vectors_without_primary_inputs_are_dropped() {
+        let nl = Netlist::new("empty");
+        let d = crate::Design::new(nl, Technology::l07()).with_vectors(vec![Stimulus {
+            from: vec![],
+            to: vec![],
+        }]);
+        let text = d.to_mtk();
+        assert!(!text.contains("vector"));
+        parse_str(&text, "empty.mtk").unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic property test of the `.mtk` round trip: seeded random
+//! netlists (technology overrides, ties, caps, drives, vectors, the
+//! whole parser-settable surface) must survive write → parse with full
+//! equality, identical fingerprints, identical lint findings, and a
+//! canonical fixpoint. No external property-testing crate: the trials
+//! come from `mtk_num::prng` streams, so a failure reproduces from its
+//! trial number alone.
+
+use mtk_fe::{parse_str, Design, Stimulus};
+use mtk_netlist::cell::CellKind;
+use mtk_netlist::logic::Logic;
+use mtk_netlist::netlist::Netlist;
+use mtk_netlist::tech::Technology;
+use mtk_num::prng::Xoshiro256pp;
+
+const SEED: u64 = 0xF0F0_1997;
+const TRIALS: u64 = 64;
+
+/// A bounded random choice.
+fn pick(rng: &mut Xoshiro256pp, n: usize) -> usize {
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// Random positive value spanning several decades, exercising both
+/// `fmt_num` branches (plain decimal and scientific).
+fn num(rng: &mut Xoshiro256pp) -> f64 {
+    let mantissa = 1.0 + (rng.next_u64() % 8999) as f64 / 1000.0;
+    let exp = [-15i32, -13, -3, 0, 2, 5][pick(rng, 6)];
+    mantissa * 10f64.powi(exp)
+}
+
+/// Mutable-field setters covering a sample of the `tech.*` surface.
+const TECH_SETTERS: &[fn(&mut Technology, f64)] = &[
+    |t, v| t.vdd = v,
+    |t, v| t.vtn = v,
+    |t, v| t.kp_n = v,
+    |t, v| t.c_gate = v,
+    |t, v| t.subthreshold.i0 = v,
+];
+
+fn random_design(trial: u64) -> Design {
+    let mut rng = Xoshiro256pp::stream(SEED, trial);
+
+    let mut tech = if rng.next_u64() & 1 == 0 {
+        Technology::l07()
+    } else {
+        Technology::l03()
+    };
+    for _ in 0..pick(&mut rng, 3) {
+        TECH_SETTERS[pick(&mut rng, TECH_SETTERS.len())](&mut tech, num(&mut rng));
+    }
+
+    let mut nl = Netlist::new(&format!("prop{trial}"));
+    let n_pi = 1 + pick(&mut rng, 5);
+    let mut readable = Vec::new();
+    for i in 0..n_pi {
+        let id = nl.add_net(&format!("i{i}")).unwrap();
+        nl.mark_primary_input(id).unwrap();
+        readable.push(id);
+    }
+    if rng.next_u64() & 1 == 0 {
+        let id = nl.add_net("t0").unwrap();
+        let v = if rng.next_u64() & 1 == 0 {
+            Logic::Zero
+        } else {
+            Logic::One
+        };
+        nl.tie_net(id, v).unwrap();
+        readable.push(id);
+    }
+    let kinds = CellKind::all();
+    let n_gates = 1 + pick(&mut rng, 15);
+    for g in 0..n_gates {
+        let kind = kinds[pick(&mut rng, kinds.len())];
+        let inputs: Vec<_> = (0..kind.n_inputs())
+            .map(|_| readable[pick(&mut rng, readable.len())])
+            .collect();
+        let out = nl.add_net(&format!("n{g}")).unwrap();
+        let drive = [1.0, 2.0, 0.25 + pick(&mut rng, 8) as f64 * 0.25][pick(&mut rng, 3)];
+        nl.add_cell(&format!("g{g}"), kind, inputs, out, drive)
+            .unwrap();
+        if pick(&mut rng, 4) == 0 {
+            nl.add_extra_cap(out, num(&mut rng) * 1e-15);
+        }
+        if pick(&mut rng, 3) == 0 || g == n_gates - 1 {
+            nl.mark_primary_output(out);
+        }
+        readable.push(out);
+    }
+
+    let levels = [Logic::Zero, Logic::One, Logic::X];
+    let vectors: Vec<Stimulus> = (0..pick(&mut rng, 3))
+        .map(|_| Stimulus {
+            from: (0..n_pi).map(|_| levels[pick(&mut rng, 3)]).collect(),
+            to: (0..n_pi).map(|_| levels[pick(&mut rng, 3)]).collect(),
+        })
+        .collect();
+
+    Design::new(nl, tech).with_vectors(vectors)
+}
+
+#[test]
+fn random_designs_round_trip_exactly() {
+    for trial in 0..TRIALS {
+        let design = random_design(trial);
+        let text = design.to_mtk();
+        let parsed = parse_str(&text, "prop.mtk").unwrap_or_else(|e| {
+            panic!("trial {trial}: generated text does not parse: {e}\n{text}")
+        });
+
+        assert_eq!(parsed.netlist, design.netlist, "trial {trial}: netlist");
+        assert_eq!(parsed.tech, design.tech, "trial {trial}: technology");
+        assert_eq!(parsed.vectors, design.vectors, "trial {trial}: vectors");
+        assert_eq!(
+            parsed.netlist.fingerprint(),
+            design.netlist.fingerprint(),
+            "trial {trial}: netlist fingerprint"
+        );
+        assert_eq!(
+            parsed.tech.fingerprint(),
+            design.tech.fingerprint(),
+            "trial {trial}: tech fingerprint"
+        );
+        assert_eq!(
+            parsed.lint(),
+            design.lint(),
+            "trial {trial}: lint findings changed across the round trip"
+        );
+        assert_eq!(parsed.to_mtk(), text, "trial {trial}: canonical fixpoint");
+    }
+}
+
+/// The random pool must actually exercise the interesting corners —
+/// otherwise the property above can pass vacuously.
+#[test]
+fn random_pool_covers_the_parser_settable_surface() {
+    let designs: Vec<Design> = (0..TRIALS).map(random_design).collect();
+    assert!(designs
+        .iter()
+        .any(|d| d.netlist.nets().iter().any(|n| n.tie.is_some())));
+    assert!(designs
+        .iter()
+        .any(|d| d.netlist.nets().iter().any(|n| n.extra_cap > 0.0)));
+    assert!(designs
+        .iter()
+        .any(|d| d.netlist.cells().iter().any(|c| c.drive != 1.0)));
+    assert!(designs
+        .iter()
+        .any(|d| d.vectors.iter().any(|s| s.from.contains(&Logic::X))));
+    assert!(designs
+        .iter()
+        .any(|d| d.tech != Technology::l07() && d.tech != Technology::l03()));
+    assert!(designs.iter().any(|d| !d.lint().is_empty()));
+    let mut kinds_seen = std::collections::HashSet::new();
+    for d in &designs {
+        for c in d.netlist.cells() {
+            kinds_seen.insert(c.kind);
+        }
+    }
+    assert_eq!(
+        kinds_seen.len(),
+        CellKind::all().len(),
+        "every cell kind must appear in the pool"
+    );
+}

@@ -253,6 +253,12 @@ impl CellKind {
             .collect()
     }
 
+    /// Looks up a cell kind by its [`CellKind::name`] string — the
+    /// inverse of `name()`, used by the `.mtk` frontend.
+    pub fn parse(name: &str) -> Option<CellKind> {
+        Self::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// All library cells, for exhaustive tests.
     pub fn all() -> [CellKind; 11] {
         [
@@ -478,6 +484,16 @@ mod tests {
                 assert_ne!(down, up, "{} v={v:b}: pdn={down:?} pun={up:?}", kind.name());
             }
         }
+    }
+
+    #[test]
+    fn parse_inverts_name_for_every_kind() {
+        for kind in CellKind::all() {
+            assert_eq!(CellKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CellKind::parse("nand4"), None);
+        assert_eq!(CellKind::parse(""), None);
+        assert_eq!(CellKind::parse("INV"), None); // names are case-sensitive
     }
 
     #[test]

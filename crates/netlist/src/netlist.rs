@@ -81,7 +81,7 @@ pub struct Cell {
 /// let values = nl.evaluate(&[Logic::One]).unwrap();
 /// assert_eq!(values[y.index()], Logic::One);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Netlist {
     name: String,
     nets: Vec<Net>,
@@ -430,6 +430,7 @@ impl Netlist {
         for &pi in &self.primary_inputs {
             h.write_u64(pi.0 as u64);
         }
+        h.write_u64(self.primary_outputs.len() as u64);
         for &po in &self.primary_outputs {
             h.write_u64(po.0 as u64);
         }
@@ -439,29 +440,30 @@ impl Netlist {
 
 /// A minimal FNV-1a 64 hasher (std's `DefaultHasher` makes no cross-
 /// version stability promise; this one is pinned by tests). Variable-
-/// length inputs are length-prefixed by the callers above so field
-/// boundaries cannot alias.
-struct Fnv1a(u64);
+/// length inputs are length-prefixed by the callers so field boundaries
+/// cannot alias. Shared with [`crate::tech`] so netlist and technology
+/// fingerprints come from the same primitive.
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
         self.write_u64(bytes.len() as u64);
         for &b in bytes {
             self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -645,6 +647,45 @@ mod tests {
         let z = retied.add_net("z").unwrap();
         retied.tie_net(z, Zero).unwrap();
         assert_ne!(a.fingerprint(), retied.fingerprint());
+    }
+
+    /// Every field the `.mtk` parser can set must feed the hash; a
+    /// frontend-visible difference that fingerprints identically would
+    /// alias screening-cache keys.
+    #[test]
+    fn fingerprint_covers_parser_settable_fields() {
+        let (a, _, _) = inv_chain(3);
+        // Primary-output markers.
+        let (mut extra_po, _, _) = inv_chain(3);
+        extra_po.mark_primary_output(extra_po.find_net("n0").unwrap());
+        assert_ne!(
+            a.fingerprint(),
+            extra_po.fingerprint(),
+            "primary-output marking must change the hash"
+        );
+        // The po list is length-prefixed: [po(n1)] vs [po(n1), tie] must
+        // not alias [po(n1), po(tie-as-net)]-style boundary confusion.
+        let (mut po_then_net, _, _) = inv_chain(3);
+        po_then_net.add_net("extra").unwrap();
+        let (mut net_then_po, _, _) = inv_chain(3);
+        let extra = net_then_po.add_net("extra").unwrap();
+        net_then_po.mark_primary_output(extra);
+        assert_ne!(po_then_net.fingerprint(), net_then_po.fingerprint());
+        // Per-cell drive overrides.
+        let mut strong = Netlist::new("chain");
+        let input = strong.add_net("in").unwrap();
+        strong.mark_primary_input(input).unwrap();
+        let out = strong.add_net("n0").unwrap();
+        strong
+            .add_cell("i0", CellKind::Inv, vec![input], out, 2.0)
+            .unwrap();
+        let mut weak = strong.clone();
+        weak.cells[0].drive = 1.0;
+        assert_ne!(
+            strong.fingerprint(),
+            weak.fingerprint(),
+            "cell drive must change the hash"
+        );
     }
 
     #[test]

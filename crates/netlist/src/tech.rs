@@ -105,6 +105,46 @@ impl Technology {
         }
     }
 
+    /// Looks up a preset by name (`"l07"` or `"l03"`), the inverse of
+    /// the `name` field. Used by the `.mtk` frontend's `tech` directive.
+    pub fn preset(name: &str) -> Option<Technology> {
+        match name {
+            "l07" => Some(Technology::l07()),
+            "l03" => Some(Technology::l03()),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit fingerprint over every parameter (FNV-1a, same
+    /// primitive as [`crate::netlist::Netlist::fingerprint`]). Two
+    /// technologies that would give any engine different numbers hash
+    /// differently, so caches can include the technology in their keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::netlist::Fnv1a::new();
+        h.write_bytes(self.name.as_bytes());
+        for v in [
+            self.vdd,
+            self.vtn,
+            self.vtp,
+            self.vt_high,
+            self.kp_n,
+            self.kp_p,
+            self.gamma,
+            self.phi,
+            self.lambda,
+            self.alpha,
+            self.c_gate,
+            self.c_drain,
+            self.unit_wn,
+            self.unit_wp,
+            self.subthreshold.n,
+            self.subthreshold.i0,
+        ] {
+            h.write_u64(v.to_bits());
+        }
+        h.finish()
+    }
+
     /// The low-V<sub>t</sub> NMOS model card.
     pub fn nmos_model(&self, with_leakage: bool) -> MosModel {
         self.model(Polarity::Nmos, self.vtn, self.kp_n, with_leakage)
@@ -186,6 +226,48 @@ mod tests {
         assert_eq!(t03.vdd, 1.0);
         assert_eq!(t03.vtn, 0.2);
         assert_eq!(t03.vt_high, 0.7);
+    }
+
+    #[test]
+    fn preset_inverts_name() {
+        for t in [Technology::l07(), Technology::l03()] {
+            assert_eq!(Technology::preset(t.name), Some(t));
+        }
+        assert_eq!(Technology::preset("l10"), None);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_parameter() {
+        let base = Technology::l07();
+        assert_eq!(base.fingerprint(), Technology::l07().fingerprint());
+        assert_ne!(base.fingerprint(), Technology::l03().fingerprint());
+        macro_rules! bump {
+            ($($field:ident).+) => {{
+                let mut t = Technology::l07();
+                t.$($field).+ = t.$($field).+ * 2.0 + 1.0;
+                assert_ne!(
+                    t.fingerprint(),
+                    base.fingerprint(),
+                    concat!("fingerprint blind to ", stringify!($($field).+))
+                );
+            }};
+        }
+        bump!(vdd);
+        bump!(vtn);
+        bump!(vtp);
+        bump!(vt_high);
+        bump!(kp_n);
+        bump!(kp_p);
+        bump!(gamma);
+        bump!(phi);
+        bump!(lambda);
+        bump!(alpha);
+        bump!(c_gate);
+        bump!(c_drain);
+        bump!(unit_wn);
+        bump!(unit_wp);
+        bump!(subthreshold.n);
+        bump!(subthreshold.i0);
     }
 
     #[test]

@@ -34,9 +34,30 @@ cargo build --release -p mtk-bench
 echo "== bench-harness targets still compile =="
 cargo build -p mtk-bench --benches --features bench-harness
 
+echo "== golden .mtk files match the generators =="
+golden_dir="$(mktemp -d /tmp/ci_golden.XXXXXX)"
+trap 'rm -rf "$golden_dir"' EXIT
+cargo run --release -p mtk-bench --bin mtk -- gen --all --dir "$golden_dir"
+for f in "$golden_dir"/*.mtk; do
+  cmp "$f" "examples/$(basename "$f")" || {
+    echo "ci: examples/$(basename "$f") is stale — regenerate with 'mtk gen --all'"
+    exit 1
+  }
+done
+
+echo "== mtk driver smoke (lint + deterministic screen on a golden file) =="
+mtk_trace="$(mktemp /tmp/ci_mtk_trace.XXXXXX.json)"
+trap 'rm -rf "$golden_dir" "$mtk_trace"' EXIT
+cargo run --release -p mtk-bench --bin mtk -- lint examples/adder3.mtk
+cargo run --release -p mtk-bench --bin mtk -- screen examples/adder3.mtk \
+  --stride 16 --threads 2 --trace-deterministic --trace-json "$mtk_trace"
+
+echo "== mtk smoke trace validates against the documented schema =="
+cargo run --release -p mtk-bench --bin trace_check -- "$mtk_trace"
+
 echo "== hybrid pipeline smoke (4-bit adder screen + top-2 SPICE verify) =="
 trace_json="$(mktemp /tmp/ci_trace.XXXXXX.json)"
-trap 'rm -f "$trace_json"' EXIT
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json"' EXIT
 cargo run --release -p mtk-bench --bin ext_screening -- \
   --smoke --adder-bits 4 --stride 259 --top-k 2 --threads 2 \
   --trace-json "$trace_json"

@@ -6,6 +6,7 @@
 
 pub use mtk_circuits as circuits;
 pub use mtk_core as core;
+pub use mtk_fe as fe;
 pub use mtk_netlist as netlist;
 pub use mtk_num as num;
 pub use mtk_spice as spice;

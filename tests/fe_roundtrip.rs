@@ -1,0 +1,109 @@
+//! The `.mtk` frontend contract, pinned end to end:
+//!
+//! 1. The golden files under `examples/` are **byte-identical** to what
+//!    the generators serialize today (CI regenerates and diffs them),
+//!    and each one survives parse → write → parse as a fixpoint.
+//! 2. A circuit loaded from a `.mtk` file is **indistinguishable** from
+//!    the programmatically built one: same netlist, same fingerprint,
+//!    and — the tentpole guarantee — the same byte-identical
+//!    deterministic trace at any thread count.
+
+use mtcmos_suite::circuits::golden::golden_designs;
+use mtcmos_suite::circuits::vectors::exhaustive_transitions;
+use mtcmos_suite::core::health::{FailurePolicy, FaultPlan};
+use mtcmos_suite::core::sizing::{screen_vectors_par_quarantined, Transition};
+use mtcmos_suite::core::vbsim::VbsimOptions;
+use mtcmos_suite::fe::parse_str;
+use mtcmos_suite::netlist::logic::bits_lsb_first;
+use mtcmos_suite::netlist::netlist::Netlist;
+use mtcmos_suite::netlist::tech::Technology;
+use mtcmos_suite::trace::{TraceMode, TraceReport};
+use std::path::PathBuf;
+
+fn golden_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(format!("{stem}.mtk"))
+}
+
+#[test]
+fn golden_files_match_the_generators_and_are_fixpoints() {
+    for (stem, design) in golden_designs() {
+        let path = golden_path(stem);
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{}: {e} — regenerate with `mtk gen --all`", path.display())
+        });
+        assert_eq!(
+            on_disk,
+            design.to_mtk(),
+            "{stem}: examples/{stem}.mtk is stale — regenerate with `mtk gen --all`"
+        );
+        let parsed = parse_str(&on_disk, &format!("{stem}.mtk")).expect("golden parses");
+        assert_eq!(parsed.netlist, design.netlist, "{stem}: netlist equality");
+        assert_eq!(
+            parsed.netlist.fingerprint(),
+            design.netlist.fingerprint(),
+            "{stem}: fingerprint identity"
+        );
+        assert_eq!(parsed.to_mtk(), on_disk, "{stem}: parse→write fixpoint");
+        // Lint findings survive the round trip unchanged (mul8's
+        // generator genuinely leaves its top carry-out unmarked, so
+        // "clean" is not the invariant — stability is).
+        assert_eq!(
+            parsed.lint(),
+            design.lint(),
+            "{stem}: lint findings changed across the round trip"
+        );
+    }
+}
+
+/// Screens the first `n` exhaustive transitions and returns the
+/// deterministic-mode trace JSON — the artifact `mtk screen
+/// --trace-deterministic` writes.
+fn screen_trace(netlist: &Netlist, tech: &Technology, threads: usize) -> String {
+    let n_pi = netlist.primary_inputs().len() as u32;
+    let transitions: Vec<Transition> = exhaustive_transitions(n_pi)
+        .into_iter()
+        .take(48)
+        .map(|p| Transition::new(bits_lsb_first(p.from, n_pi), bits_lsb_first(p.to, n_pi)))
+        .collect();
+    let (_screened, report) = screen_vectors_par_quarantined(
+        netlist,
+        tech,
+        &transitions,
+        None,
+        10.0,
+        &VbsimOptions::default(),
+        threads,
+        FailurePolicy::quarantine(8),
+        &FaultPlan::none(),
+    )
+    .expect("screen");
+    let mut trace = TraceReport::new("mtk_screen");
+    trace.push_phase(report.to_phase("screen"));
+    trace.to_json(TraceMode::Deterministic)
+}
+
+#[test]
+fn parsed_and_programmatic_traces_are_byte_identical() {
+    let (_, design) = golden_designs()
+        .into_iter()
+        .find(|(s, _)| *s == "adder3")
+        .unwrap();
+    let text = std::fs::read_to_string(golden_path("adder3")).expect("golden file");
+    let parsed = parse_str(&text, "adder3.mtk").expect("golden parses");
+
+    let reference = screen_trace(&design.netlist, &design.tech, 1);
+    for threads in [1usize, 2, 8] {
+        let programmatic = screen_trace(&design.netlist, &design.tech, threads);
+        let from_file = screen_trace(&parsed.netlist, &parsed.tech, threads);
+        assert_eq!(
+            programmatic, reference,
+            "programmatic trace differs at threads={threads}"
+        );
+        assert_eq!(
+            from_file, reference,
+            "parsed-netlist trace differs from the programmatic one at threads={threads}"
+        );
+    }
+}
