@@ -2,93 +2,280 @@
 //!
 //! The paper: SPICE needed 4.78 h on a Sparc 5; the (unoptimized)
 //! switch-level simulator needed 13.5 s — a ≈1275× ratio. Here both
-//! engines run on the same host: the full 4096-vector sweep through the
-//! switch-level simulator is timed directly, and the SPICE total is
-//! measured on a sample and extrapolated (pass `--full-spice` to really
-//! run all 4096 — expect ~10 minutes).
+//! engines run on the same host, and both switch-level kernels are
+//! measured: the legacy dense-scan kernel and the event-driven kernel
+//! (the default), which must agree bit-for-bit
+//! (`tests/vbsim_kernel_equivalence.rs`) while skipping the dense
+//! kernel's whole-netlist scans, per-breakpoint equilibrium re-solves,
+//! and per-run allocations. The SPICE total is measured on a sample and
+//! extrapolated (pass `--full-spice` to really run all 4096 — expect
+//! ~10 minutes).
+//!
+//! Every timing is median-of-N with warm-up runs excluded
+//! ([`mtk_bench::timing::measure`]); earlier versions reported a single
+//! cold wall-clock pass, which bundled one-time construction and cache
+//! warm-up into the number.
+//!
+//! Two secondary workloads probe how the kernels scale with circuit
+//! size and switching activity: the 8×8 array multiplier (384 cells)
+//! under whole-vector transitions (glitch-heavy, most gates switch, both
+//! kernels bound by the shared bit-pinned Vₓ solver) and under
+//! single-bit input toggles (small activity cone, the event kernel's
+//! best case).
+//!
+//! Flags:
+//!
+//! * `--samples N` / `--warmup N` — timed / untimed sweep repetitions
+//!   (default 5 / 1).
+//! * `--spice-samples N` — SPICE transitions per timed sample
+//!   (default 16; ignored with `--full-spice`).
+//! * `--no-spice` — skip the SPICE leg entirely (fast CI smoke).
+//! * `--json PATH` — write the measurements as a versioned
+//!   `BENCH_speed.json` ([`mtk_bench::speedfile`]).
+//! * `--check-against PATH` — load a committed baseline and exit
+//!   non-zero if any shared bench regressed beyond `--tolerance`
+//!   (default 4.0×, generous because hosts differ) or the
+//!   event-vs-dense speedup fell below `--min-speedup` (default 1.5 —
+//!   a floor under the ~2–2.5× median this sweep actually measures;
+//!   the kernels share the bit-pinned Vₓ solver and must emit identical
+//!   waveforms, which bounds the gap on a 12-cell netlist — see the
+//!   speed table notes in `EXPERIMENTS.md`).
 
+use mtk_bench::cli;
 use mtk_bench::report::print_table;
+use mtk_bench::speedfile::{check_regressions, SpeedFile};
+use mtk_bench::timing::{human, measure};
 use mtk_bench::transition_of;
 use mtk_circuits::adder::RippleAdder;
+use mtk_circuits::multiplier::ArrayMultiplier;
 use mtk_circuits::vectors::exhaustive_transitions;
 use mtk_core::hybrid::{spice_transition, SpiceRunConfig};
-use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_core::vbsim::{Engine, VbsimKernel, VbsimOptions, VbsimScratch};
 use mtk_netlist::expand::SleepImpl;
 use mtk_netlist::tech::Technology;
-use std::time::Instant;
 
 fn main() {
-    let full_spice = std::env::args().any(|a| a == "--full-spice");
+    let full_spice = cli::bool_flag("--full-spice");
+    let no_spice = cli::bool_flag("--no-spice");
+    let samples = cli::flag("--samples", 5);
+    let warmup = cli::flag("--warmup", 1);
+    let spice_samples = cli::flag("--spice-samples", 16).max(1);
+    let json_path = cli::str_flag("--json");
+    let baseline_path = cli::str_flag("--check-against");
+    let tolerance = cli::f64_flag("--tolerance", 4.0);
+    let min_speedup = cli::f64_flag("--min-speedup", 1.5);
+
     let add = RippleAdder::paper();
     let tech = Technology::l07();
     let engine = Engine::new(&add.netlist, &tech);
     let all = exhaustive_transitions(6);
     let opts = VbsimOptions::mtcmos(10.0);
+    let dense_opts = VbsimOptions {
+        kernel: VbsimKernel::DenseScan,
+        ..opts
+    };
 
     println!("SPEED (§6.2): exhaustive 4096-vector sweep of the 3-bit adder");
+    println!("median of {samples} samples after {warmup} warm-up run(s)\n");
 
-    // Switch-level: the full sweep.
-    let t0 = Instant::now();
+    // Switch-level: the full sweep through each kernel. The event kernel
+    // reuses one scratch across the whole sweep, which is exactly how the
+    // sizing/search hot paths drive it.
     let mut total_breakpoints = 0usize;
-    for pair in &all {
-        let tr = transition_of(*pair, 6);
-        let run = engine.run(&tr.from, &tr.to, &opts).expect("vbsim run");
-        total_breakpoints += run.breakpoints;
-    }
-    let t_vbsim = t0.elapsed().as_secs_f64();
+    let mut scratch = VbsimScratch::new();
+    let event = measure(warmup, samples, || {
+        total_breakpoints = 0;
+        for pair in &all {
+            let tr = transition_of(*pair, 6);
+            let run = engine
+                .run_with(&tr.from, &tr.to, &opts, &mut scratch)
+                .expect("vbsim event run");
+            total_breakpoints += run.breakpoints;
+            scratch.recycle(run);
+        }
+    });
+    let dense = measure(warmup, samples, || {
+        for pair in &all {
+            let tr = transition_of(*pair, 6);
+            engine
+                .run(&tr.from, &tr.to, &dense_opts)
+                .expect("vbsim dense run");
+        }
+    });
+    let speedup = dense.median / event.median;
 
-    // SPICE: sample (or full).
-    let cfg = SpiceRunConfig::window(80e-9);
-    let sample: Vec<_> = if full_spice {
-        all.clone()
-    } else {
-        all.iter().step_by(256).copied().collect() // 16 spread samples
+    // Scaling probes on the 8×8 array multiplier: 64 whole-vector
+    // transitions (high activity) and 64 single-bit toggles (small
+    // activity cone). The operand sequence is a fixed Weyl-style hash so
+    // every host times the same work.
+    let mult = ArrayMultiplier::paper();
+    let meng = Engine::new(&mult.netlist, &tech);
+    let mult_pairs: Vec<(u64, u64, u64, u64)> = (0..64u64)
+        .map(|i| {
+            let a = i.wrapping_mul(2_654_435_761) & 0xffff;
+            let b = i.wrapping_mul(40_503).wrapping_add(12_345) & 0xffff;
+            (a & 0xff, a >> 8, b & 0xff, b >> 8)
+        })
+        .collect();
+    let bit_pairs: Vec<(u64, u64, u64, u64)> = (0..64u64)
+        .map(|i| {
+            let x = i.wrapping_mul(2_654_435_761) & 0xff;
+            let y = i.wrapping_mul(40_503).wrapping_add(12_345) & 0xff;
+            (x, y, x ^ (1 << (i % 8)), y)
+        })
+        .collect();
+    let mut time_mult = |pairs: &[(u64, u64, u64, u64)], dense_kernel: bool| {
+        measure(warmup, samples, || {
+            for &(x0, y0, x1, y1) in pairs {
+                let from = mult.input_values(x0, y0);
+                let to = mult.input_values(x1, y1);
+                if dense_kernel {
+                    meng.run(&from, &to, &dense_opts).expect("mult dense run");
+                } else {
+                    let run = meng
+                        .run_with(&from, &to, &opts, &mut scratch)
+                        .expect("mult event run");
+                    scratch.recycle(run);
+                }
+            }
+        })
     };
-    let t0 = Instant::now();
-    for pair in &sample {
-        let tr = transition_of(*pair, 6);
-        let _ = spice_transition(
-            &add.netlist,
-            &tech,
-            &tr,
-            None,
-            SleepImpl::Transistor { w_over_l: 10.0 },
-            &cfg,
-        )
-        .expect("spice run");
-    }
-    let t_sample = t0.elapsed().as_secs_f64();
-    let t_spice_total = t_sample / sample.len() as f64 * all.len() as f64;
+    let mult_event = time_mult(&mult_pairs, false);
+    let mult_dense = time_mult(&mult_pairs, true);
+    let bit_event = time_mult(&bit_pairs, false);
+    let bit_dense = time_mult(&bit_pairs, true);
 
-    let rows = vec![
+    // SPICE: sample (or full), extrapolated to the 4096-vector total.
+    let spice_total = if no_spice {
+        None
+    } else {
+        let cfg = SpiceRunConfig::window(80e-9);
+        let sample: Vec<_> = if full_spice {
+            all.clone()
+        } else {
+            let step = (all.len() / spice_samples).max(1);
+            all.iter().step_by(step).copied().collect()
+        };
+        // One SPICE sample set is minutes of work; never repeat it.
+        let stats = measure(0, 1, || {
+            for pair in &sample {
+                let tr = transition_of(*pair, 6);
+                spice_transition(
+                    &add.netlist,
+                    &tech,
+                    &tr,
+                    None,
+                    SleepImpl::Transistor { w_over_l: 10.0 },
+                    &cfg,
+                )
+                .expect("spice run");
+            }
+        });
+        Some((
+            stats.median / sample.len() as f64 * all.len() as f64,
+            sample.len(),
+        ))
+    };
+
+    let mut rows = vec![
         vec![
-            "switch-level (this work)".into(),
-            format!("{:.3} s", t_vbsim),
+            "switch-level, event kernel (default)".into(),
+            format!("{:.3} s", event.median),
             "13.5 s (Sparc 5)".into(),
         ],
         vec![
+            "switch-level, dense-scan kernel".into(),
+            format!("{:.3} s", dense.median),
+            "13.5 s (Sparc 5)".into(),
+        ],
+        vec![
+            "event-vs-dense speedup".into(),
+            format!("{speedup:.1}x"),
+            "-".into(),
+        ],
+        vec![
+            "mult 8x8, 64 vectors: event / dense".into(),
+            format!(
+                "{:.3} s / {:.3} s ({:.1}x)",
+                mult_event.median,
+                mult_dense.median,
+                mult_dense.median / mult_event.median
+            ),
+            "-".into(),
+        ],
+        vec![
+            "mult 8x8, 64 one-bit toggles: event / dense".into(),
+            format!(
+                "{:.3} s / {:.3} s ({:.1}x)",
+                bit_event.median,
+                bit_dense.median,
+                bit_dense.median / bit_event.median
+            ),
+            "-".into(),
+        ],
+    ];
+    if let Some((t_spice, n)) = spice_total {
+        rows.push(vec![
             if full_spice {
                 "SPICE engine (measured, all 4096)".into()
             } else {
-                format!("SPICE engine (extrapolated from {})", sample.len())
+                format!("SPICE engine (extrapolated from {n})")
             },
-            format!("{:.0} s", t_spice_total),
+            format!("{t_spice:.0} s"),
             "17208 s = 4.78 h (Sparc 5)".into(),
-        ],
-        vec![
-            "ratio".into(),
-            format!("{:.0}x", t_spice_total / t_vbsim),
+        ]);
+        rows.push(vec![
+            "SPICE / switch-level ratio".into(),
+            format!("{:.0}x", t_spice / event.median),
             "~1275x".into(),
-        ],
-    ];
+        ]);
+    }
     print_table(
-        "CPU time, 4096 vectors",
+        "CPU time, 4096 vectors (medians)",
         &["engine", "this host", "paper"],
         &rows,
     );
     println!(
-        "\nswitch-level sweep processed {} breakpoints ({:.1} us per vector)",
+        "\nevent sweep processed {} breakpoints ({} per vector, {} per sweep min)",
         total_breakpoints,
-        t_vbsim / all.len() as f64 * 1e6
+        human(event.median / all.len() as f64),
+        human(event.min),
     );
+
+    // Machine-readable output + regression gate.
+    let mut file = SpeedFile::new();
+    file.push("adder4096_event", event);
+    file.push("adder4096_dense", dense);
+    file.push("mult8x8_64vec_event", mult_event);
+    file.push("mult8x8_64vec_dense", mult_dense);
+    file.push("mult8x8_1bit_event", bit_event);
+    file.push("mult8x8_1bit_dense", bit_dense);
+    file.push_derived("event_vs_dense_speedup", speedup);
+    if let Some((t_spice, _)) = spice_total {
+        file.push_derived("spice_vs_switch_ratio", t_spice / event.median);
+    }
+    if let Some(path) = &json_path {
+        let text = file.to_json();
+        SpeedFile::parse(&text).expect("self-written speed file must validate");
+        std::fs::write(path, text).expect("write --json file");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &baseline_path {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline =
+            SpeedFile::parse(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
+        let violations = check_regressions(&baseline, &file, tolerance, min_speedup);
+        if violations.is_empty() {
+            println!(
+                "regression gate vs {path}: PASS (tolerance {tolerance}x, min speedup {min_speedup}x)"
+            );
+        } else {
+            eprintln!("regression gate vs {path}: FAIL");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -9,6 +9,7 @@
 
 pub mod cli;
 pub mod report;
+pub mod speedfile;
 pub mod stats;
 pub mod timing;
 

@@ -1,0 +1,300 @@
+//! The committed engine-speed baseline (`BENCH_speed.json`).
+//!
+//! `speed_comparison --json` writes one of these; CI regenerates it and
+//! compares against the copy committed at the repo root, so an engine
+//! change that quietly loses the event-kernel speedup fails the build
+//! instead of surfacing months later. The file is versioned and
+//! schema-checked on parse (same philosophy as the `mtk_trace` report:
+//! a golden test, not a "whatever serializes" blob).
+//!
+//! Host-dependence: absolute medians move between machines, so the
+//! regression gate combines a *generous* multiplicative tolerance on
+//! per-bench medians with a hard floor on the host-independent derived
+//! ratios (event-vs-dense speedup is a property of the code, not the
+//! host).
+
+use crate::timing::Stats;
+use mtk_trace::json::{self, JsonValue};
+
+/// Schema name (the `name` field of the file).
+pub const SPEEDFILE_NAME: &str = "mtk-bench-speed";
+/// Schema version. History: v1 — benches (min/median/mean/samples) plus
+/// derived ratios.
+pub const SPEEDFILE_VERSION: u64 = 1;
+
+/// One benchmark's statistics under its stable name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable bench name (e.g. `adder4096_event`).
+    pub name: String,
+    /// Measured statistics, seconds per run.
+    pub stats: Stats,
+}
+
+/// The parsed/buildable contents of a `BENCH_speed.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpeedFile {
+    /// Benchmarks in insertion order.
+    pub benches: Vec<BenchEntry>,
+    /// Derived host-independent ratios (e.g. `event_vs_dense_speedup`),
+    /// in insertion order.
+    pub derived: Vec<(String, f64)>,
+}
+
+impl SpeedFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        SpeedFile::default()
+    }
+
+    /// Appends one benchmark's statistics.
+    pub fn push(&mut self, name: &str, stats: Stats) {
+        self.benches.push(BenchEntry {
+            name: name.to_string(),
+            stats,
+        });
+    }
+
+    /// Appends one derived ratio.
+    pub fn push_derived(&mut self, key: &str, value: f64) {
+        self.derived.push((key.to_string(), value));
+    }
+
+    /// The median of a bench by name.
+    pub fn median(&self, name: &str) -> Option<f64> {
+        self.benches
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.stats.median)
+    }
+
+    /// A derived ratio by key.
+    pub fn derived(&self, key: &str) -> Option<f64> {
+        self.derived.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Serializes to the versioned pretty-JSON format.
+    pub fn to_json(&self) -> String {
+        let benches: Vec<JsonValue> = self
+            .benches
+            .iter()
+            .map(|b| {
+                JsonValue::Object(vec![
+                    ("name".into(), JsonValue::String(b.name.clone())),
+                    ("min_s".into(), JsonValue::Number(b.stats.min)),
+                    ("median_s".into(), JsonValue::Number(b.stats.median)),
+                    ("mean_s".into(), JsonValue::Number(b.stats.mean)),
+                    ("samples".into(), JsonValue::Number(b.stats.samples as f64)),
+                ])
+            })
+            .collect();
+        let derived: Vec<(String, JsonValue)> = self
+            .derived
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Number(*v)))
+            .collect();
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::String(SPEEDFILE_NAME.into())),
+            (
+                "version".into(),
+                JsonValue::Number(SPEEDFILE_VERSION as f64),
+            ),
+            ("benches".into(), JsonValue::Array(benches)),
+            ("derived".into(), JsonValue::Object(derived)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses and schema-validates a speed file.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first schema violation (wrong name/version,
+    /// missing field, non-finite or negative statistic).
+    pub fn parse(text: &str) -> Result<SpeedFile, String> {
+        let root = json::parse(text)?;
+        let name = root
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing 'name'")?;
+        if name != SPEEDFILE_NAME {
+            return Err(format!("wrong schema name '{name}'"));
+        }
+        let version = root
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing 'version'")?;
+        if version != SPEEDFILE_VERSION {
+            return Err(format!(
+                "unsupported version {version} (expected {SPEEDFILE_VERSION})"
+            ));
+        }
+        let mut out = SpeedFile::new();
+        let benches = root
+            .get("benches")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing 'benches' array")?;
+        for (i, b) in benches.iter().enumerate() {
+            let name = b
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("bench {i}: missing 'name'"))?;
+            let field = |key: &str| -> Result<f64, String> {
+                let v = b
+                    .get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("bench '{name}': missing '{key}'"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("bench '{name}': bad {key} {v}"));
+                }
+                Ok(v)
+            };
+            let samples = b
+                .get("samples")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("bench '{name}': missing 'samples'"))?;
+            if samples == 0 {
+                return Err(format!("bench '{name}': zero samples"));
+            }
+            out.push(
+                name,
+                Stats {
+                    min: field("min_s")?,
+                    median: field("median_s")?,
+                    mean: field("mean_s")?,
+                    samples: samples as usize,
+                },
+            );
+        }
+        let derived = root
+            .get("derived")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing 'derived' object")?;
+        for (k, v) in derived {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("derived '{k}': not a number"))?;
+            if !v.is_finite() {
+                return Err(format!("derived '{k}': non-finite {v}"));
+            }
+            out.push_derived(k, v);
+        }
+        Ok(out)
+    }
+}
+
+/// Regression check of `current` against a committed `baseline`:
+///
+/// * every bench present in **both** files must satisfy
+///   `current.median ≤ baseline.median × tolerance` (benches only one
+///   side has are skipped, so a fast CI run may measure a subset);
+/// * `current` must carry the `event_vs_dense_speedup` ratio and it
+///   must be at least `min_speedup`.
+///
+/// Returns the list of violations (empty = pass) so the caller can
+/// print all of them before failing.
+pub fn check_regressions(
+    baseline: &SpeedFile,
+    current: &SpeedFile,
+    tolerance: f64,
+    min_speedup: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for b in &baseline.benches {
+        if let Some(cur) = current.median(&b.name) {
+            let limit = b.stats.median * tolerance;
+            if cur > limit {
+                violations.push(format!(
+                    "bench '{}' regressed: median {:.6}s > {:.6}s (baseline {:.6}s x tolerance {})",
+                    b.name, cur, limit, b.stats.median, tolerance
+                ));
+            }
+        }
+    }
+    match current.derived("event_vs_dense_speedup") {
+        Some(s) if s >= min_speedup => {}
+        Some(s) => violations.push(format!(
+            "event_vs_dense_speedup {s:.2} below required {min_speedup}"
+        )),
+        None => violations.push("missing derived 'event_vs_dense_speedup'".to_string()),
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(median: f64) -> Stats {
+        Stats {
+            min: median * 0.9,
+            median,
+            mean: median * 1.05,
+            samples: 5,
+        }
+    }
+
+    fn sample_file() -> SpeedFile {
+        let mut f = SpeedFile::new();
+        f.push("adder4096_dense", stats(2.0));
+        f.push("adder4096_event", stats(0.1));
+        f.push_derived("event_vs_dense_speedup", 20.0);
+        f.push_derived("spice_vs_switch_ratio", 800.0);
+        f
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let f = sample_file();
+        let parsed = SpeedFile::parse(&f.to_json()).unwrap();
+        assert_eq!(f, parsed);
+        assert_eq!(parsed.median("adder4096_event"), Some(0.1));
+        assert_eq!(parsed.derived("event_vs_dense_speedup"), Some(20.0));
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(SpeedFile::parse("{}").is_err());
+        assert!(SpeedFile::parse("{\"name\": \"other\", \"version\": 1}").is_err());
+        let wrong_version = sample_file()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(SpeedFile::parse(&wrong_version).is_err());
+        let negative = sample_file()
+            .to_json()
+            .replace("\"median_s\": 0.1", "\"median_s\": -0.1");
+        assert!(SpeedFile::parse(&negative).is_err());
+    }
+
+    #[test]
+    fn regression_gate_passes_within_tolerance() {
+        let baseline = sample_file();
+        let mut current = SpeedFile::new();
+        current.push("adder4096_event", stats(0.15)); // 1.5x: inside 2x
+        current.push_derived("event_vs_dense_speedup", 15.0);
+        assert!(check_regressions(&baseline, &current, 2.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_catches_slowdown_and_lost_speedup() {
+        let baseline = sample_file();
+        let mut current = SpeedFile::new();
+        current.push("adder4096_event", stats(0.5)); // 5x slower
+        current.push_derived("event_vs_dense_speedup", 4.0);
+        let violations = check_regressions(&baseline, &current, 2.0, 10.0);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        // A current file missing the speedup ratio is itself a failure.
+        let empty = SpeedFile::new();
+        assert!(!check_regressions(&baseline, &empty, 2.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn subset_runs_skip_missing_benches() {
+        let baseline = sample_file();
+        let mut current = SpeedFile::new();
+        // No dense bench in this (fast CI) run: not a violation.
+        current.push("adder4096_event", stats(0.1));
+        current.push_derived("event_vs_dense_speedup", 20.0);
+        assert!(check_regressions(&baseline, &current, 2.0, 10.0).is_empty());
+    }
+}

@@ -2,33 +2,64 @@
 //! targets. Replaces the external Criterion dependency so the workspace
 //! builds with zero network access: each benchmark warms up, then runs a
 //! fixed number of timed samples and reports min / median / mean.
+//!
+//! The statistics come from [`measure`], which the speed binaries use
+//! directly: earlier versions timed a *single* wall-clock pass that
+//! included one-time setup, so a cold cache or an unlucky scheduler
+//! quantum landed straight in the reported number. Warm-up runs are
+//! excluded and the headline statistic is the median, which is robust
+//! to one slow outlier sample.
 
 use std::time::Instant;
 
-/// One measured benchmark: `samples` timed runs after `warmup` untimed
-/// ones. Prints a single aligned line with min/median/mean per
-/// iteration.
-pub fn bench<F: FnMut()>(name: &str, warmup: usize, samples: usize, mut f: F) {
+/// Timing statistics of one measured benchmark, in seconds per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample — the headline number (robust to outliers).
+    pub median: f64,
+    /// Mean over all samples.
+    pub mean: f64,
+    /// Number of timed samples (warm-up runs excluded).
+    pub samples: usize,
+}
+
+/// Runs `f` `warmup` untimed times, then `samples` timed times, and
+/// returns the [`Stats`] of the timed runs. At least one sample is
+/// always taken.
+pub fn measure<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> Stats {
     for _ in 0..warmup {
         f();
     }
-    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    let mut times: Vec<f64> = Vec::with_capacity(samples.max(1));
     for _ in 0..samples.max(1) {
         let t0 = Instant::now();
         f();
         times.push(t0.elapsed().as_secs_f64());
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let min = times[0];
-    let median = times[times.len() / 2];
-    let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+    Stats {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<f64>() / times.len() as f64,
+        samples: times.len(),
+    }
+}
+
+/// One measured benchmark: `samples` timed runs after `warmup` untimed
+/// ones. Prints a single aligned line with min/median/mean per
+/// iteration and returns the statistics.
+pub fn bench<F: FnMut()>(name: &str, warmup: usize, samples: usize, f: F) -> Stats {
+    let stats = measure(warmup, samples, f);
     println!(
         "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
-        human(min),
-        human(median),
-        human(mean),
-        times.len()
+        human(stats.min),
+        human(stats.median),
+        human(stats.mean),
+        stats.samples
     );
+    stats
 }
 
 /// Formats a duration in seconds with an auto-selected unit.
@@ -61,5 +92,23 @@ mod tests {
         let mut count = 0u32;
         bench("noop", 1, 3, || count += 1);
         assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn measure_excludes_warmup_and_orders_stats() {
+        let mut count = 0u32;
+        let stats = measure(2, 5, || count += 1);
+        assert_eq!(count, 7, "2 warm-up + 5 timed");
+        assert_eq!(stats.samples, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.mean * 5.0);
+        assert!(stats.min >= 0.0);
+    }
+
+    #[test]
+    fn measure_always_takes_one_sample() {
+        let mut count = 0u32;
+        let stats = measure(0, 0, || count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(stats.samples, 1);
     }
 }

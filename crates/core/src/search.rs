@@ -20,8 +20,8 @@ use crate::health::{
     RETRY_BUDGET_FACTOR,
 };
 use crate::par::{merge_stats, try_parallel_map_with, WorkerStats};
-use crate::sizing::{vbsim_delay_pair_health, Transition};
-use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use crate::sizing::{vbsim_delay_pair_health_with, Transition};
+use crate::vbsim::{Engine, SleepNetwork, VbsimOptions, VbsimScratch};
 use crate::CoreError;
 use mtk_netlist::logic::bits_lsb_first;
 use mtk_netlist::netlist::NetId;
@@ -113,6 +113,16 @@ impl SearchResult {
 /// A candidate transition as packed endpoint words plus its score.
 type Candidate = (u64, u64, f64);
 
+/// One work-item body: evaluate under the given options, recording
+/// health and per-worker stats into the provided scratch.
+type ItemBody<'a> = dyn Fn(
+        &VbsimOptions,
+        &mut RunHealth,
+        &mut WorkerStats,
+        &mut VbsimScratch,
+    ) -> Result<Candidate, CoreError>
+    + 'a;
+
 /// Searches for the transition with the largest MTCMOS degradation.
 ///
 /// # Errors
@@ -143,11 +153,12 @@ pub fn search_worst_vector(
                  to: u64,
                  base: &VbsimOptions,
                  run: &mut RunHealth,
-                 stats: &mut WorkerStats|
+                 stats: &mut WorkerStats,
+                 scratch: &mut VbsimScratch|
      -> Result<f64, CoreError> {
         stats.vectors += 1;
         let tr = Transition::new(bits_lsb_first(from, n_bits), bits_lsb_first(to, n_bits));
-        match vbsim_delay_pair_health(engine, &tr, probes, opts.sleep, base) {
+        match vbsim_delay_pair_health_with(engine, &tr, probes, opts.sleep, base, scratch) {
             Ok((pair, health)) => {
                 run.absorb(&health);
                 stats.breakpoints += health.breakpoints as u64;
@@ -173,17 +184,14 @@ pub fn search_worst_vector(
     // so the outcome is a pure function of the item index.
     let run_item = |index: usize,
                     stats: &mut WorkerStats,
-                    body: &dyn Fn(
-        &VbsimOptions,
-        &mut RunHealth,
-        &mut WorkerStats,
-    ) -> Result<Candidate, CoreError>|
+                    scratch: &mut VbsimScratch,
+                    body: &ItemBody<'_>|
      -> ItemReport<Candidate> {
         let mut run = RunHealth::default();
         let mut value = opts
             .fault
             .check(index, 0)
-            .and_then(|()| body(&opts.base, &mut run, stats));
+            .and_then(|()| body(&opts.base, &mut run, stats, scratch));
         let mut retried = false;
         if matches!(value, Err(CoreError::EventOverflow { .. })) {
             retried = true;
@@ -194,7 +202,7 @@ pub fn search_worst_vector(
             value = opts
                 .fault
                 .check(index, 1)
-                .and_then(|()| body(&relaxed, &mut run, stats));
+                .and_then(|()| body(&relaxed, &mut run, stats, scratch));
         }
         ItemReport {
             value,
@@ -209,13 +217,13 @@ pub fn search_worst_vector(
         opts.threads,
         8,
         &sample_ids,
-        || (),
-        |(), _, &i, stats| {
-            run_item(i as usize, stats, &|base, run, stats| {
+        VbsimScratch::new,
+        |scratch, _, &i, stats| {
+            run_item(i as usize, stats, scratch, &|base, run, stats, scratch| {
                 let mut rng = Xoshiro256pp::stream(opts.seed, i);
                 let from = rng.next_u64() & mask;
                 let to = rng.next_u64() & mask;
-                score(from, to, base, run, stats).map(|s| (from, to, s))
+                score(from, to, base, run, stats, scratch).map(|s| (from, to, s))
             })
         },
     );
@@ -235,12 +243,13 @@ pub fn search_worst_vector(
         opts.threads,
         1,
         &restart_ids,
-        || (),
-        |(), _, &r, stats| {
+        VbsimScratch::new,
+        |scratch, _, &r, stats| {
             run_item(
                 opts.random_samples + r as usize,
                 stats,
-                &|base, run, stats| {
+                scratch,
+                &|base, run, stats, scratch| {
                     // Climbing revisits transitions whenever a pass
                     // undoes an earlier flip; scores are pure per
                     // attempt, so memoise them. The memo is attempt-
@@ -256,12 +265,13 @@ pub fn search_worst_vector(
                     let mut score_memo = |f: u64,
                                           t: u64,
                                           run: &mut RunHealth,
-                                          stats: &mut WorkerStats|
+                                          stats: &mut WorkerStats,
+                                          scratch: &mut VbsimScratch|
                      -> Result<f64, CoreError> {
                         if let Some(&s) = memo.get(&(f, t)) {
                             return Ok(s);
                         }
-                        let s = score(f, t, base, run, stats)?;
+                        let s = score(f, t, base, run, stats, scratch)?;
                         memo.insert((f, t), s);
                         Ok(s)
                     };
@@ -271,7 +281,7 @@ pub fn search_worst_vector(
                         let mut rng = Xoshiro256pp::stream(opts.seed, RESTART_STREAM | r);
                         let f = rng.next_u64() & mask;
                         let t = rng.next_u64() & mask;
-                        let s = score_memo(f, t, run, stats)?;
+                        let s = score_memo(f, t, run, stats, scratch)?;
                         (f, t, s)
                     };
                     for _ in 0..opts.max_passes {
@@ -283,7 +293,7 @@ pub fn search_worst_vector(
                                 } else {
                                     (from, to ^ (1 << bit))
                                 };
-                                let s = score_memo(nf, nt, run, stats)?;
+                                let s = score_memo(nf, nt, run, stats, scratch)?;
                                 if s > cur {
                                     from = nf;
                                     to = nt;

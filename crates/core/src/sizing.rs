@@ -13,7 +13,7 @@ use crate::health::{
     RETRY_BUDGET_FACTOR,
 };
 use crate::par::{try_parallel_map_with, ItemPanic, WorkerStats};
-use crate::vbsim::{Engine, SleepNetwork, VbsimOptions};
+use crate::vbsim::{Engine, SleepNetwork, VbsimOptions, VbsimScratch};
 use crate::CoreError;
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{NetId, Netlist};
@@ -117,12 +117,37 @@ pub fn vbsim_delay_pair_health(
     sleep: SleepNetwork,
     base: &VbsimOptions,
 ) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
+    vbsim_delay_pair_health_with(engine, tr, probes, sleep, base, &mut VbsimScratch::new())
+}
+
+/// [`vbsim_delay_pair_health`] with caller-owned simulator scratch (see
+/// [`Engine::run_with`]): a sweep measuring many transitions reuses one
+/// scratch so the warm simulator loop allocates nothing. Results are
+/// bit-identical to the scratch-free call.
+///
+/// # Errors
+///
+/// As [`vbsim_delay_pair`].
+pub fn vbsim_delay_pair_health_with(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sleep: SleepNetwork,
+    base: &VbsimOptions,
+    scratch: &mut VbsimScratch,
+) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
     let outputs = resolve_probes(engine, probes);
-    let cmos = run_leg(engine, tr, &outputs, &leg_options(SleepNetwork::Cmos, base))?;
+    let cmos = run_leg(
+        engine,
+        tr,
+        &outputs,
+        &leg_options(SleepNetwork::Cmos, base),
+        scratch,
+    )?;
     if baseline_delay(&cmos).is_none() {
         return Ok((None, cmos.health));
     }
-    let mt = run_leg(engine, tr, &outputs, &leg_options(sleep, base))?;
+    let mt = run_leg(engine, tr, &outputs, &leg_options(sleep, base), scratch)?;
     Ok(pair_from_legs(&cmos, &mt))
 }
 
@@ -166,8 +191,9 @@ fn run_leg(
     tr: &Transition,
     outputs: &[NetId],
     opts: &VbsimOptions,
+    scratch: &mut VbsimScratch,
 ) -> Result<LegResult, CoreError> {
-    let run = engine.run(&tr.from, &tr.to, opts)?;
+    let run = engine.run_with(&tr.from, &tr.to, opts, scratch)?;
     Ok(LegResult {
         crossings: outputs.iter().map(|&n| run.last_crossing_time(n)).collect(),
         stalled: run.stalled,
@@ -328,6 +354,7 @@ impl ScreeningCache {
         outputs: &[NetId],
         sleep: SleepNetwork,
         base: &VbsimOptions,
+        scratch: &mut VbsimScratch,
     ) -> Result<(LegResult, bool), CoreError> {
         let key = LegKey::new(
             engine.fingerprint(),
@@ -344,7 +371,7 @@ impl ScreeningCache {
         // Simulate without holding the lock; concurrent misses on the
         // same key both compute (identical results, so last-write-wins
         // is harmless).
-        let leg = run_leg(engine, tr, outputs, &leg_options(sleep, base))?;
+        let leg = run_leg(engine, tr, outputs, &leg_options(sleep, base), scratch)?;
         self.misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.legs.lock().unwrap().insert(key, leg.clone());
@@ -380,14 +407,41 @@ pub fn vbsim_delay_pair_cached(
     base: &VbsimOptions,
     cache: &ScreeningCache,
 ) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
+    vbsim_delay_pair_cached_with(
+        engine,
+        tr,
+        probes,
+        sleep,
+        base,
+        cache,
+        &mut VbsimScratch::new(),
+    )
+}
+
+/// [`vbsim_delay_pair_cached`] with caller-owned simulator scratch, so a
+/// bisection or sweep pays no per-measurement allocation on cache
+/// misses. Results are bit-identical to the scratch-free call.
+///
+/// # Errors
+///
+/// As [`vbsim_delay_pair`].
+pub fn vbsim_delay_pair_cached_with(
+    engine: &Engine<'_>,
+    tr: &Transition,
+    probes: Option<&[NetId]>,
+    sleep: SleepNetwork,
+    base: &VbsimOptions,
+    cache: &ScreeningCache,
+    scratch: &mut VbsimScratch,
+) -> Result<(Option<DelayPair>, RunHealth), CoreError> {
     let outputs = resolve_probes(engine, probes);
-    let (cmos, cmos_hit) = cache.leg(engine, tr, &outputs, SleepNetwork::Cmos, base)?;
+    let (cmos, cmos_hit) = cache.leg(engine, tr, &outputs, SleepNetwork::Cmos, base, scratch)?;
     if baseline_delay(&cmos).is_none() {
         let mut health = cmos.health;
         count_cache_legs(&mut health, &[cmos_hit]);
         return Ok((None, health));
     }
-    let (mt, mt_hit) = cache.leg(engine, tr, &outputs, sleep, base)?;
+    let (mt, mt_hit) = cache.leg(engine, tr, &outputs, sleep, base, scratch)?;
     let (pair, mut health) = pair_from_legs(&cmos, &mt);
     count_cache_legs(&mut health, &[cmos_hit, mt_hit]);
     Ok((pair, health))
@@ -440,14 +494,16 @@ pub fn degradation_sweep_cached(
 ) -> Result<(Vec<SweepPoint>, RunHealth), CoreError> {
     let mut health = RunHealth::default();
     let mut out = Vec::with_capacity(sizes.len());
+    let mut scratch = VbsimScratch::new();
     for &wl in sizes {
-        let (pair, h) = vbsim_delay_pair_cached(
+        let (pair, h) = vbsim_delay_pair_cached_with(
             engine,
             tr,
             probes,
             SleepNetwork::Transistor { w_over_l: wl },
             base,
             cache,
+            &mut scratch,
         )?;
         health.absorb(&h);
         if let Some(delays) = pair {
@@ -503,6 +559,7 @@ pub fn screen_vectors(
 #[allow(clippy::too_many_arguments)]
 fn screen_attempt(
     engine: &Engine<'_>,
+    scratch: &mut VbsimScratch,
     index: usize,
     tr: &Transition,
     probes: Option<&[NetId]>,
@@ -514,12 +571,13 @@ fn screen_attempt(
     stats: &mut WorkerStats,
 ) -> Result<Option<ScreenedVector>, CoreError> {
     fault.check(index, attempt)?;
-    let result = vbsim_delay_pair_health(
+    let result = vbsim_delay_pair_health_with(
         engine,
         tr,
         probes,
         SleepNetwork::Transistor { w_over_l },
         opts,
+        scratch,
     );
     match result {
         Ok((pair, health)) => {
@@ -545,6 +603,7 @@ fn screen_attempt(
 #[allow(clippy::too_many_arguments)]
 fn screen_item(
     engine: &Engine<'_>,
+    scratch: &mut VbsimScratch,
     index: usize,
     tr: &Transition,
     probes: Option<&[NetId]>,
@@ -556,7 +615,7 @@ fn screen_item(
     stats.vectors += 1;
     let mut run = RunHealth::default();
     let mut value = screen_attempt(
-        engine, index, tr, probes, w_over_l, base, fault, 0, &mut run, stats,
+        engine, scratch, index, tr, probes, w_over_l, base, fault, 0, &mut run, stats,
     );
     let mut retried = false;
     if matches!(value, Err(CoreError::EventOverflow { .. })) {
@@ -566,7 +625,7 @@ fn screen_item(
             ..base.clone()
         };
         value = screen_attempt(
-            engine, index, tr, probes, w_over_l, &relaxed, fault, 1, &mut run, stats,
+            engine, scratch, index, tr, probes, w_over_l, &relaxed, fault, 1, &mut run, stats,
         );
     }
     ItemReport {
@@ -602,12 +661,23 @@ pub fn screen_vectors_quarantined(
     fault: &FaultPlan,
 ) -> Result<(Vec<ScreenedVector>, SweepHealth), CoreError> {
     let mut stats = WorkerStats::default();
+    let mut scratch = VbsimScratch::new();
     let reports: Vec<Result<ItemReport<Option<ScreenedVector>>, ItemPanic>> = transitions
         .iter()
         .enumerate()
         .map(|(index, tr)| {
             catch_unwind(AssertUnwindSafe(|| {
-                screen_item(engine, index, tr, probes, w_over_l, base, fault, &mut stats)
+                screen_item(
+                    engine,
+                    &mut scratch,
+                    index,
+                    tr,
+                    probes,
+                    w_over_l,
+                    base,
+                    fault,
+                    &mut stats,
+                )
             }))
             .map_err(|payload| ItemPanic {
                 index,
@@ -716,9 +786,11 @@ pub fn screen_vectors_par_quarantined(
         threads,
         8,
         transitions,
-        || Engine::new(netlist, tech),
-        |engine, index, tr, stats| {
-            screen_item(engine, index, tr, probes, w_over_l, base, fault, stats)
+        || (Engine::new(netlist, tech), VbsimScratch::new()),
+        |(engine, scratch), index, tr, stats| {
+            screen_item(
+                engine, scratch, index, tr, probes, w_over_l, base, fault, stats,
+            )
         },
     );
     let (values, health) = fold_item_reports(reports, policy)?;
@@ -777,25 +849,28 @@ pub fn size_for_target_cached(
 ) -> Result<(f64, RunHealth), CoreError> {
     assert!(lo > 0.0 && hi > lo, "invalid sizing bracket");
     let mut health = RunHealth::default();
-    let worst_degradation = |wl: f64, health: &mut RunHealth| -> Result<f64, CoreError> {
-        let mut worst = 0.0f64;
-        for tr in transitions {
-            let (pair, h) = vbsim_delay_pair_cached(
-                engine,
-                tr,
-                probes,
-                SleepNetwork::Transistor { w_over_l: wl },
-                base,
-                cache,
-            )?;
-            health.absorb(&h);
-            if let Some(p) = pair {
-                worst = worst.max(p.degradation());
+    let mut scratch = VbsimScratch::new();
+    let worst_degradation =
+        |wl: f64, health: &mut RunHealth, scratch: &mut VbsimScratch| -> Result<f64, CoreError> {
+            let mut worst = 0.0f64;
+            for tr in transitions {
+                let (pair, h) = vbsim_delay_pair_cached_with(
+                    engine,
+                    tr,
+                    probes,
+                    SleepNetwork::Transistor { w_over_l: wl },
+                    base,
+                    cache,
+                    scratch,
+                )?;
+                health.absorb(&h);
+                if let Some(p) = pair {
+                    worst = worst.max(p.degradation());
+                }
             }
-        }
-        Ok(worst)
-    };
-    if worst_degradation(hi, &mut health)? > target {
+            Ok(worst)
+        };
+    if worst_degradation(hi, &mut health, &mut scratch)? > target {
         return Err(CoreError::SizingInfeasible {
             target,
             at_w_over_l: hi,
@@ -804,7 +879,7 @@ pub fn size_for_target_cached(
     let (mut lo, mut hi) = (lo, hi);
     for _ in 0..40 {
         let mid = (lo * hi).sqrt(); // log-space bisection
-        if worst_degradation(mid, &mut health)? > target {
+        if worst_degradation(mid, &mut health, &mut scratch)? > target {
             lo = mid;
         } else {
             hi = mid;

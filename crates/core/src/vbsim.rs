@@ -21,6 +21,7 @@ use mtk_netlist::cell::equivalent_inverter;
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{CellId, NetId, Netlist};
 use mtk_netlist::tech::Technology;
+use mtk_netlist::NetlistError;
 use mtk_num::waveform::Pwl;
 
 /// How the sleep path is modelled.
@@ -60,6 +61,30 @@ pub struct PartitionedSleep {
     pub networks: Vec<SleepNetwork>,
 }
 
+/// Which breakpoint loop implementation a run uses.
+///
+/// Both kernels implement the same §5.2 variable-breakpoint algorithm
+/// and produce **bit-identical** observables (waveforms, virtual-ground
+/// staircase, sleep current, breakpoint counts, health counters); they
+/// differ only in how much work each breakpoint costs. The dense kernel
+/// is kept as the executable specification the event kernel is tested
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VbsimKernel {
+    /// Event-driven loop: a deterministic min-reduction over breakpoint
+    /// candidates (`f64::total_cmp` on the time, ties broken on gate
+    /// index — insertion-order free, exactly a one-pop binary-heap
+    /// queue), an active-gate list instead of whole-netlist scans,
+    /// incremental V<sub>x</sub> re-solves touching only sleep groups
+    /// whose drive set changed, and per-run scratch reuse so the warm
+    /// loop allocates nothing.
+    #[default]
+    EventDriven,
+    /// The original dense loop: every breakpoint rescans all gates and
+    /// re-solves every group's equilibrium from scratch.
+    DenseScan,
+}
+
 /// Options for a switch-level run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VbsimOptions {
@@ -75,6 +100,8 @@ pub struct VbsimOptions {
     pub t_stop: f64,
     /// Hard cap on processed breakpoints (guards glitch storms).
     pub max_events: usize,
+    /// Breakpoint-loop implementation (results are identical either way).
+    pub kernel: VbsimKernel,
 }
 
 impl Default for VbsimOptions {
@@ -85,6 +112,7 @@ impl Default for VbsimOptions {
             reverse_conduction: false,
             t_stop: 1e-6,
             max_events: 200_000,
+            kernel: VbsimKernel::default(),
         }
     }
 }
@@ -124,8 +152,21 @@ pub struct Engine<'a> {
     beta_p: Vec<f64>,
     /// Per-cell output load capacitance.
     cl: Vec<f64>,
+    /// Per-cell output net index (hoisted out of the breakpoint loop).
+    out_of: Vec<usize>,
+    /// Per-cell pull-up (charge) current — independent of V<sub>x</sub>,
+    /// so it is a pure function of the cell and can be precomputed.
+    i_charge: Vec<f64>,
     /// Per-net list of reading cells (deduplicated).
     fanout: Vec<Vec<CellId>>,
+    /// Topological cell order, computed once (`None` = combinational
+    /// loop, reported as the same error [`Netlist::evaluate`] raises).
+    /// The event kernel settles logic itself instead of paying
+    /// `evaluate`'s per-call order rebuild.
+    topo: Option<Vec<CellId>>,
+    /// The technology fingerprint, hashed once per engine instead of
+    /// once per run (it stamps the cross-run V<sub>x</sub> memo).
+    tech_stamp: u64,
     /// Lazily computed netlist fingerprint (the screening-cache key
     /// component); hashing a large netlist once per engine, not per run.
     fingerprint: std::sync::OnceLock<u64>,
@@ -137,19 +178,27 @@ impl<'a> Engine<'a> {
         let beta_n;
         let beta_p;
         let cl;
+        let out_of;
+        let i_charge;
         {
             let mut bn = Vec::with_capacity(netlist.cells().len());
             let mut bp = Vec::with_capacity(netlist.cells().len());
             let mut c = Vec::with_capacity(netlist.cells().len());
+            let mut outs = Vec::with_capacity(netlist.cells().len());
+            let mut ic = Vec::with_capacity(netlist.cells().len());
             for cell in netlist.cells() {
                 let eq = equivalent_inverter(cell.kind, cell.drive, tech);
                 bn.push(eq.beta_n);
                 bp.push(eq.beta_p);
                 c.push(netlist.load_cap(cell.output, tech).max(1e-18));
+                outs.push(cell.output.index());
+                ic.push(model::charge_current(tech, eq.beta_p));
             }
             beta_n = bn;
             beta_p = bp;
             cl = c;
+            out_of = outs;
+            i_charge = ic;
         }
         let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); netlist.nets().len()];
         for ni in netlist.net_ids() {
@@ -164,7 +213,11 @@ impl<'a> Engine<'a> {
             beta_n,
             beta_p,
             cl,
+            out_of,
+            i_charge,
             fanout,
+            topo: netlist.topo_order().ok(),
+            tech_stamp: tech.fingerprint(),
             fingerprint: std::sync::OnceLock::new(),
         }
     }
@@ -214,6 +267,69 @@ impl<'a> Engine<'a> {
     /// As [`Engine::run`], plus [`CoreError::UnknownState`] when the
     /// partition's shape disagrees with the netlist.
     pub fn run_partitioned(
+        &self,
+        from: &[Logic],
+        to: &[Logic],
+        partition: Option<&PartitionedSleep>,
+        opts: &VbsimOptions,
+    ) -> Result<VbsimRun, CoreError> {
+        match opts.kernel {
+            VbsimKernel::DenseScan => self.run_partitioned_dense(from, to, partition, opts),
+            VbsimKernel::EventDriven => {
+                let mut scratch = VbsimScratch::new();
+                self.run_partitioned_event(from, to, partition, opts, &mut scratch)
+            }
+        }
+    }
+
+    /// Like [`Engine::run`], but reusing caller-owned scratch so a sweep
+    /// of many transitions allocates nothing per run after the first.
+    /// The scratch also carries the cross-run V<sub>x</sub>-equilibrium
+    /// memo, so repeated drive sets skip the Brent solve entirely.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`].
+    pub fn run_with(
+        &self,
+        from: &[Logic],
+        to: &[Logic],
+        opts: &VbsimOptions,
+        scratch: &mut VbsimScratch,
+    ) -> Result<VbsimRun, CoreError> {
+        self.run_partitioned_with(from, to, None, opts, scratch)
+    }
+
+    /// [`Engine::run_partitioned`] with caller-owned scratch (see
+    /// [`Engine::run_with`]). The [`VbsimKernel::DenseScan`] kernel
+    /// ignores the scratch — it exists as the allocation-heavy reference
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run_partitioned`].
+    pub fn run_partitioned_with(
+        &self,
+        from: &[Logic],
+        to: &[Logic],
+        partition: Option<&PartitionedSleep>,
+        opts: &VbsimOptions,
+        scratch: &mut VbsimScratch,
+    ) -> Result<VbsimRun, CoreError> {
+        match opts.kernel {
+            VbsimKernel::DenseScan => self.run_partitioned_dense(from, to, partition, opts),
+            VbsimKernel::EventDriven => {
+                self.run_partitioned_event(from, to, partition, opts, scratch)
+            }
+        }
+    }
+
+    /// The original dense-scan breakpoint loop, kept verbatim as the
+    /// executable specification: every breakpoint rescans all gates,
+    /// rebuilds every group's β list, and re-solves every equilibrium.
+    /// `tests/vbsim_kernel_equivalence.rs` pins the event kernel to this
+    /// one bit-for-bit.
+    fn run_partitioned_dense(
         &self,
         from: &[Logic],
         to: &[Logic],
@@ -574,6 +690,746 @@ impl<'a> Engine<'a> {
                 false
             }
         }
+    }
+
+    /// The event-driven breakpoint loop (see [`VbsimKernel::EventDriven`]).
+    ///
+    /// Bit-identity with the dense kernel rests on four invariants:
+    ///
+    /// * The breakpoint queue is rebuilt from fresh `(dt, cell)`
+    ///   candidates every iteration — candidates are *relative* times
+    ///   computed from the current voltages, so the popped minimum is
+    ///   the same value the dense kernel's `min`-fold produces
+    ///   (persisting absolute times across breakpoints would round
+    ///   differently).
+    /// * The active list is kept sorted by cell index, so β lists,
+    ///   current sums, and fire events happen in the same
+    ///   ascending-index order as the dense whole-netlist scans.
+    /// * A group's equilibrium is replayed from its cached solution only
+    ///   while its falling-drive set is unchanged — and
+    ///   [`model::solve_vx_tracked`] is a pure function of `(tech, r,
+    ///   betas, body_effect)`, which is exactly the memo key.
+    /// * Only `Ok` solutions are memoized, so error paths re-execute.
+    fn run_partitioned_event(
+        &self,
+        from: &[Logic],
+        to: &[Logic],
+        partition: Option<&PartitionedSleep>,
+        opts: &VbsimOptions,
+        scratch: &mut VbsimScratch,
+    ) -> Result<VbsimRun, CoreError> {
+        if !(opts.t_stop.is_finite() && opts.t_stop > 0.0) {
+            return Err(CoreError::InvalidOptions(format!(
+                "t_stop must be positive and finite, got {}",
+                opts.t_stop
+            )));
+        }
+        if opts.max_events == 0 {
+            return Err(CoreError::InvalidOptions(
+                "max_events must be > 0".to_string(),
+            ));
+        }
+        let nl = self.netlist;
+        let tech = self.tech;
+        let vdd = tech.vdd;
+        let vth_sw = tech.v_switch();
+        scratch.group_of.clear();
+        scratch.rs.clear();
+        match partition {
+            Some(p) => {
+                if p.assignment.len() != nl.cells().len() {
+                    return Err(CoreError::UnknownState(format!(
+                        "partition covers {} cells, netlist has {}",
+                        p.assignment.len(),
+                        nl.cells().len()
+                    )));
+                }
+                if let Some(&bad) = p.assignment.iter().find(|&&g| g >= p.networks.len()) {
+                    return Err(CoreError::UnknownState(format!(
+                        "partition group {bad} has no sleep network"
+                    )));
+                }
+                scratch.group_of.extend_from_slice(&p.assignment);
+                scratch
+                    .rs
+                    .extend(p.networks.iter().map(|n| n.resistance(tech)));
+            }
+            None => {
+                scratch.group_of.resize(nl.cells().len(), 0);
+                scratch.rs.push(opts.sleep.resistance(tech));
+            }
+        }
+        let n_groups = scratch.rs.len();
+        let vx_opts = VxOptions {
+            body_effect: opts.body_effect,
+        };
+
+        // The Vx memo survives across runs (and engines) but not across
+        // technologies: key bit patterns only identify a solution under
+        // the technology they were computed for.
+        let stamp = self.tech_stamp;
+        if scratch.memo_stamp != Some(stamp) {
+            scratch.vx_memo.clear();
+            scratch.memo_stamp = Some(stamp);
+        }
+
+        // Settled initial state, converted to booleans/voltages and the
+        // per-net output waveforms in one pass. Waveform buffers come
+        // from the scratch pool when the caller recycles finished runs
+        // ([`VbsimScratch::recycle`]): a warm sweep then allocates
+        // nothing, it just refills retained capacity.
+        self.settle_digital(from, scratch)?;
+        let n_nets = nl.nets().len();
+        let n_cells = nl.cells().len();
+        let mut wave: Vec<Pwl> = scratch.wave_pool.pop().unwrap_or_default();
+        wave.reserve(n_nets);
+        {
+            let VbsimScratch {
+                logic,
+                digital,
+                v,
+                pwl_pool,
+                ..
+            } = &mut *scratch;
+            digital.clear();
+            v.clear();
+            for (idx, lv) in logic.iter().enumerate() {
+                match lv.to_bool() {
+                    Some(b) => {
+                        digital.push(b);
+                        let vv = if b { vdd } else { 0.0 };
+                        v.push(vv);
+                        let mut w = pwl_pool.pop().unwrap_or_default();
+                        w.clear();
+                        w.push(0.0, vv);
+                        wave.push(w);
+                    }
+                    None => return Err(CoreError::UnknownState(nl.nets()[idx].name.clone())),
+                }
+            }
+        }
+        // The destination vector must also be well-formed (the dense
+        // kernel evaluates it and discards the values; the only errors
+        // that evaluation can raise are the arity mismatch checked here
+        // and the combinational loop `settle_digital` already ruled out).
+        if to.len() != nl.primary_inputs().len() {
+            return Err(CoreError::Netlist(NetlistError::ArityMismatch {
+                cell: format!("{} primary inputs", nl.name()),
+                expected: nl.primary_inputs().len(),
+                actual: to.len(),
+            }));
+        }
+
+        scratch.slope.clear();
+        scratch.slope.resize(n_nets, 0.0);
+        scratch.dir.clear();
+        scratch.dir.resize(n_cells, None);
+        scratch.active.clear();
+        scratch.reeval.clear();
+        scratch.vx.clear();
+        scratch.vx.resize(n_groups, 0.0);
+        scratch.vx_sol.clear();
+        scratch.vx_sol.resize(n_groups, 0.0);
+        scratch.vx_fell.clear();
+        scratch.vx_fell.resize(n_groups, false);
+        scratch.dirty.clear();
+        scratch.dirty.resize(n_groups, true);
+        scratch.falling_count.clear();
+        scratch.falling_count.resize(n_groups, 0);
+        if scratch.betas.len() < n_groups {
+            scratch.betas.resize_with(n_groups, Vec::new);
+        }
+        scratch.disch_bits.clear();
+        scratch.disch_bits.resize(n_cells, u64::MAX);
+        scratch.disch_i.clear();
+        scratch.disch_i.resize(n_cells, 0.0);
+
+        let mut vgnd = scratch.pwl_pool.pop().unwrap_or_default();
+        vgnd.clear();
+        vgnd.push(0.0, 0.0);
+        let mut i_total_wave = scratch.pwl_pool.pop().unwrap_or_default();
+        i_total_wave.clear();
+        i_total_wave.push(0.0, 0.0);
+
+        // Apply the input step.
+        if from.len() != to.len() {
+            return Err(CoreError::UnknownState(format!(
+                "vector widths differ: {} vs {}",
+                from.len(),
+                to.len()
+            )));
+        }
+        for (pos, &ni) in nl.primary_inputs().iter().enumerate() {
+            let new = to[pos].to_bool().ok_or_else(|| {
+                CoreError::UnknownState(format!("input '{}' driven to X", nl.net(ni).name))
+            })?;
+            if new != scratch.digital[ni.index()] {
+                let idx = ni.index();
+                wave[idx].push(0.0, scratch.v[idx]);
+                scratch.v[idx] = if new { vdd } else { 0.0 };
+                wave[idx].push(0.0, scratch.v[idx]);
+                scratch.digital[idx] = new;
+                scratch.reeval.extend(self.fanout[idx].iter().copied());
+            }
+        }
+
+        let mut t = 0.0f64;
+        let mut breakpoints = 0usize;
+        let mut glitch_reversals = 0usize;
+        let mut vx_fallbacks = 0usize;
+        let mut stalled = false;
+        let mut truncated = false;
+        let mut max_falling = 0usize;
+
+        loop {
+            // (1) Gate re-evaluation from threshold crossings. Most
+            // breakpoints wake zero or one gate, where a sort is a
+            // no-op not worth its dispatch cost.
+            if scratch.reeval.len() > 1 {
+                scratch.reeval.sort_unstable();
+                scratch.reeval.dedup();
+            }
+            for k in 0..scratch.reeval.len() {
+                let ci = scratch.reeval[k];
+                if self.update_gate_event(ci, scratch, vdd) {
+                    glitch_reversals += 1;
+                }
+            }
+            scratch.reeval.clear();
+
+            // (2) Re-solve only the equilibria whose falling-drive set
+            // changed since their last solve; clean groups replay the
+            // cached solution (including its fallback flag — the dense
+            // kernel re-solves every iteration, so the counter must tick
+            // on replays too).
+            if scratch.dirty[..n_groups].iter().any(|&d| d) {
+                let VbsimScratch {
+                    active,
+                    dir,
+                    group_of,
+                    dirty,
+                    betas,
+                    ..
+                } = &mut *scratch;
+                for (g, b) in betas.iter_mut().enumerate().take(n_groups) {
+                    if dirty[g] {
+                        b.clear();
+                    }
+                }
+                for &ci in active.iter() {
+                    if dir[ci] == Some(Dir::Falling) {
+                        let g = group_of[ci];
+                        if dirty[g] {
+                            betas[g].push(self.beta_n[ci]);
+                        }
+                    }
+                }
+            }
+            let n_falling: usize = scratch.falling_count[..n_groups].iter().sum();
+            max_falling = max_falling.max(n_falling);
+            let mut any_vx_change = false;
+            for g in 0..n_groups {
+                let (new_vx, fell_back) = if scratch.dirty[g] {
+                    let sol = self.solve_group_memoized(g, opts, vx_opts, scratch)?;
+                    scratch.vx_sol[g] = sol.0;
+                    scratch.vx_fell[g] = sol.1;
+                    scratch.dirty[g] = false;
+                    sol
+                } else {
+                    (scratch.vx_sol[g], scratch.vx_fell[g])
+                };
+                if fell_back {
+                    vx_fallbacks += 1;
+                }
+                if (new_vx - scratch.vx[g]).abs() > 1e-12 {
+                    if g == 0 {
+                        vgnd.push(t, scratch.vx[g]);
+                        vgnd.push(t, new_vx);
+                    }
+                    scratch.vx[g] = new_vx;
+                    any_vx_change = true;
+                }
+            }
+            if any_vx_change && opts.reverse_conduction {
+                // Reverse conduction: idle low outputs ride their own
+                // module's bounce.
+                let VbsimScratch {
+                    dir,
+                    group_of,
+                    vx,
+                    v,
+                    digital,
+                    ..
+                } = &mut *scratch;
+                for (ci, d) in dir.iter().enumerate() {
+                    if d.is_none() {
+                        let vxg = vx[group_of[ci]];
+                        let out = self.out_of[ci];
+                        if !digital[out] && (v[out] - vxg).abs() > 1e-12 && v[out] < vth_sw {
+                            wave[out].push(t, v[out]);
+                            v[out] = vxg.min(vth_sw * 0.999);
+                            wave[out].push(t, v[out]);
+                        }
+                    }
+                }
+            }
+
+            // (3) Update slopes and pick the next breakpoint: a
+            // deterministic min-reduction over the candidate `(dt, cell)`
+            // pairs. `total_cmp` on the time with ties broken on the
+            // cell index makes the choice insertion-order free — the
+            // strict comparison keeps the earlier candidate on exact
+            // ties, and candidates arrive in ascending cell order, so
+            // this selects exactly what a binary-heap queue would pop.
+            let mut i_total = 0.0f64;
+            let mut next_bp: Option<(f64, usize)> = None;
+            let any_switching = !scratch.active.is_empty();
+            {
+                let VbsimScratch {
+                    active,
+                    dir,
+                    group_of,
+                    vx,
+                    v,
+                    slope,
+                    disch_bits,
+                    disch_i,
+                    ..
+                } = &mut *scratch;
+                let mut consider = |dt: f64, ci: usize| {
+                    let earlier = next_bp.is_none_or(|best| match dt.total_cmp(&best.0) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => ci < best.1,
+                    });
+                    if earlier {
+                        next_bp = Some((dt, ci));
+                    }
+                };
+                for &ci in active.iter() {
+                    let Some(d) = dir[ci] else { continue };
+                    let vxg = vx[group_of[ci]];
+                    let floor = if opts.reverse_conduction { vxg } else { 0.0 };
+                    let out = self.out_of[ci];
+                    let (s, target) = match d {
+                        Dir::Falling => {
+                            // Per-cell discharge-current memo: Vx moves
+                            // only at breakpoints, so the common case
+                            // replays the previous value.
+                            let bits = vxg.to_bits();
+                            let i = if disch_bits[ci] == bits {
+                                disch_i[ci]
+                            } else {
+                                let i = model::discharge_current(
+                                    tech,
+                                    self.beta_n[ci],
+                                    vxg,
+                                    opts.body_effect,
+                                );
+                                disch_bits[ci] = bits;
+                                disch_i[ci] = i;
+                                i
+                            };
+                            i_total += i;
+                            (-i / self.cl[ci], floor)
+                        }
+                        Dir::Rising => (self.i_charge[ci] / self.cl[ci], vdd),
+                    };
+                    slope[out] = s;
+                    if s == 0.0 {
+                        continue; // stalled: waits for vx to drop
+                    }
+                    // Threshold crossing still ahead?
+                    let crossing_ahead = match d {
+                        Dir::Falling => v[out] > vth_sw,
+                        Dir::Rising => v[out] < vth_sw,
+                    };
+                    if crossing_ahead {
+                        let dt = (vth_sw - v[out]) / s;
+                        if dt >= 0.0 {
+                            consider(dt, ci);
+                        }
+                    }
+                    // Finish.
+                    let dt_fin = (target - v[out]) / s;
+                    if dt_fin >= 0.0 {
+                        consider(dt_fin, ci);
+                    }
+                }
+            }
+            i_total_wave.push(t, i_total);
+
+            if !any_switching {
+                break; // settled
+            }
+            let dt_min = match next_bp {
+                Some((dt, _)) => dt,
+                None => f64::INFINITY,
+            };
+            if !dt_min.is_finite() {
+                // Every active gate is stalled and nothing can unstick
+                // them: the circuit has logically failed at this sizing.
+                stalled = true;
+                break;
+            }
+            let t_next = t + dt_min;
+            if t_next > opts.t_stop {
+                truncated = true;
+                break;
+            }
+            breakpoints += 1;
+            if breakpoints > opts.max_events {
+                return Err(CoreError::EventOverflow {
+                    events: breakpoints,
+                    t: t_next,
+                });
+            }
+
+            // (4+5) Advance all moving nets to the breakpoint and fire
+            // the events that landed on it — one pass over the active
+            // list. Per-cell effects are disjoint (each active cell
+            // owns its output net), so interleaving fire of cell A with
+            // advance of cell B is observably identical to the dense
+            // kernel's two whole-list passes.
+            t = t_next;
+            let eps = 1e-15 + vdd * 1e-12;
+            let mut any_finished = false;
+            for k in 0..scratch.active.len() {
+                let ci = scratch.active[k];
+                let Some(d) = scratch.dir[ci] else { continue };
+                let out = self.out_of[ci];
+                if scratch.slope[out] == 0.0 {
+                    continue;
+                }
+                scratch.v[out] += scratch.slope[out] * dt_min;
+                wave[out].push(t, scratch.v[out]);
+                let floor = if opts.reverse_conduction {
+                    scratch.vx[scratch.group_of[ci]]
+                } else {
+                    0.0
+                };
+                let (target, rail_digital) = match d {
+                    Dir::Falling => (floor, false),
+                    Dir::Rising => (vdd, true),
+                };
+                // Threshold event.
+                let crossed_now = match d {
+                    Dir::Falling => scratch.v[out] <= vth_sw + eps && scratch.digital[out],
+                    Dir::Rising => scratch.v[out] >= vth_sw - eps && !scratch.digital[out],
+                };
+                if crossed_now {
+                    scratch.digital[out] = rail_digital;
+                    scratch.reeval.extend(self.fanout[out].iter().copied());
+                }
+                // Finish event.
+                let finished = match d {
+                    Dir::Falling => scratch.v[out] <= target + eps,
+                    Dir::Rising => scratch.v[out] >= target - eps,
+                };
+                if finished {
+                    scratch.v[out] = target;
+                    // Re-emit the clamped endpoint to kill rounding drift.
+                    wave[out].push(t, scratch.v[out]);
+                    scratch.dir[ci] = None;
+                    scratch.slope[out] = 0.0;
+                    any_finished = true;
+                    if d == Dir::Falling {
+                        let g = scratch.group_of[ci];
+                        scratch.falling_count[g] -= 1;
+                        scratch.dirty[g] = true;
+                    }
+                }
+            }
+            if any_finished {
+                let VbsimScratch { active, dir, .. } = &mut *scratch;
+                active.retain(|&ci| dir[ci].is_some());
+            }
+        }
+
+        // Final flat segment so every waveform spans [0, t].
+        for (idx, w) in wave.iter_mut().enumerate() {
+            if w.end_time().unwrap_or(0.0) < t {
+                w.push(t, scratch.v[idx]);
+            }
+        }
+        vgnd.push(t, scratch.vx[0]);
+        i_total_wave.push(t, 0.0);
+
+        Ok(VbsimRun {
+            waveforms: wave,
+            vgnd,
+            sleep_current: i_total_wave,
+            breakpoints,
+            stalled,
+            truncated,
+            max_simultaneous_discharging: max_falling,
+            t_end: t,
+            vdd,
+            health: RunHealth {
+                breakpoints,
+                max_events: opts.max_events,
+                glitch_reversals,
+                vx_fallbacks,
+                ..RunHealth::default()
+            },
+        })
+    }
+
+    /// [`Netlist::evaluate`] over the engine's precomputed topological
+    /// order, writing into scratch buffers: identical values and
+    /// identical errors (arity mismatch, combinational loop), but no
+    /// per-call order rebuild and no allocation once warm. Settled net
+    /// values land in `scratch.logic`.
+    fn settle_digital(
+        &self,
+        inputs: &[Logic],
+        scratch: &mut VbsimScratch,
+    ) -> Result<(), CoreError> {
+        let nl = self.netlist;
+        if inputs.len() != nl.primary_inputs().len() {
+            return Err(CoreError::Netlist(NetlistError::ArityMismatch {
+                cell: format!("{} primary inputs", nl.name()),
+                expected: nl.primary_inputs().len(),
+                actual: inputs.len(),
+            }));
+        }
+        let order = self.topo.as_ref().ok_or_else(|| {
+            CoreError::Netlist(NetlistError::CombinationalLoop(nl.name().to_string()))
+        })?;
+        let VbsimScratch { logic, ins, .. } = &mut *scratch;
+        logic.clear();
+        logic.resize(nl.nets().len(), Logic::X);
+        for (net, &v) in nl.primary_inputs().iter().zip(inputs) {
+            logic[net.index()] = v;
+        }
+        for (idx, net) in nl.nets().iter().enumerate() {
+            if let Some(t) = net.tie {
+                logic[idx] = t;
+            }
+        }
+        for &ci in order {
+            let cell = &nl.cells()[ci.index()];
+            ins.clear();
+            ins.extend(cell.inputs.iter().map(|&n| logic[n.index()]));
+            logic[cell.output.index()] = cell.kind.eval(ins);
+        }
+        Ok(())
+    }
+
+    /// Solves one group's equilibrium through the cross-run memo. The
+    /// key is exactly the solver's argument list — `(r, body effect, βs
+    /// in ascending cell order)` — and the technology stamp is checked
+    /// at run start, so a hit replays the identical solution the dense
+    /// kernel would recompute. Only `Ok` solutions are cached.
+    fn solve_group_memoized(
+        &self,
+        g: usize,
+        opts: &VbsimOptions,
+        vx_opts: VxOptions,
+        scratch: &mut VbsimScratch,
+    ) -> Result<(f64, bool), CoreError> {
+        let r = scratch.rs[g];
+        if r <= 0.0 || scratch.betas[g].is_empty() {
+            // solve_vx_tracked's own fast path; not worth a memo entry.
+            return Ok((0.0, false));
+        }
+        scratch.key_buf.clear();
+        scratch.key_buf.push(r.to_bits());
+        scratch.key_buf.push(opts.body_effect as u64);
+        scratch
+            .key_buf
+            .extend(scratch.betas[g].iter().map(|b| b.to_bits()));
+        if let Some(&hit) = scratch.vx_memo.get(scratch.key_buf.as_slice()) {
+            return Ok(hit);
+        }
+        let sol = model::solve_vx_tracked(self.tech, r, &scratch.betas[g], vx_opts)?;
+        if scratch.vx_memo.len() >= VX_MEMO_CAP {
+            scratch.vx_memo.clear();
+        }
+        scratch.vx_memo.insert(scratch.key_buf.clone(), sol);
+        Ok(sol)
+    }
+
+    /// [`Engine::update_gate`] for the event kernel: the same decision
+    /// logic, backed by scratch buffers and charged with maintaining the
+    /// kernel's incremental state (sorted active list, per-group falling
+    /// counts, dirty flags).
+    fn update_gate_event(&self, ci: CellId, scratch: &mut VbsimScratch, vdd: f64) -> bool {
+        let cell = &self.netlist.cells()[ci.index()];
+        {
+            let VbsimScratch { ins, digital, .. } = &mut *scratch;
+            ins.clear();
+            ins.extend(
+                cell.inputs
+                    .iter()
+                    .map(|&n| Logic::from_bool(digital[n.index()])),
+            );
+        }
+        let target = cell
+            .kind
+            .eval(&scratch.ins)
+            .to_bool()
+            .expect("boolean inputs give boolean outputs");
+        let out = cell.output.index();
+        let want = if target { Dir::Rising } else { Dir::Falling };
+        let idx = ci.index();
+        match scratch.dir[idx] {
+            Some(current) => {
+                if current != want {
+                    scratch.dir[idx] = Some(want); // reverse mid-swing
+                    let g = scratch.group_of[idx];
+                    match want {
+                        Dir::Falling => scratch.falling_count[g] += 1,
+                        Dir::Rising => scratch.falling_count[g] -= 1,
+                    }
+                    scratch.dirty[g] = true;
+                    return true;
+                }
+                false
+            }
+            None => {
+                let at_target_rail = if target {
+                    scratch.v[out] >= vdd * 0.999
+                } else {
+                    scratch.v[out] <= vdd * 0.001 + 1e-12
+                };
+                if target != scratch.digital[out] || !at_target_rail {
+                    scratch.dir[idx] = Some(want);
+                    if let Err(pos) = scratch.active.binary_search(&idx) {
+                        scratch.active.insert(pos, idx);
+                    }
+                    if want == Dir::Falling {
+                        let g = scratch.group_of[idx];
+                        scratch.falling_count[g] += 1;
+                        scratch.dirty[g] = true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Upper bound on cross-run V<sub>x</sub>-memo entries; the memo is
+/// cleared (not evicted) at the cap, which keeps hot sweeps cheap while
+/// bounding a pathological workload's footprint.
+const VX_MEMO_CAP: usize = 1 << 16;
+
+/// Reusable working memory for the event-driven kernel (see
+/// [`Engine::run_with`]). One scratch serves any number of runs of any
+/// engine — buffers are resized to the current netlist at run start, so
+/// the warm breakpoint loop performs no allocation. The scratch also
+/// carries the cross-run V<sub>x</sub>-equilibrium memo, keyed by
+/// `(r_sleep, body effect, β list)` and stamped with the technology
+/// fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct VbsimScratch {
+    digital: Vec<bool>,
+    v: Vec<f64>,
+    slope: Vec<f64>,
+    dir: Vec<Option<Dir>>,
+    /// Cells currently switching, sorted by index — the event kernel's
+    /// replacement for the dense whole-netlist scans. Invariant outside
+    /// the fire step: holds exactly the cells whose `dir` is set.
+    active: Vec<usize>,
+    reeval: Vec<CellId>,
+    ins: Vec<Logic>,
+    group_of: Vec<usize>,
+    rs: Vec<f64>,
+    vx: Vec<f64>,
+    /// Last computed equilibrium per group, replayed while clean.
+    vx_sol: Vec<f64>,
+    vx_fell: Vec<bool>,
+    /// Whether a group's falling-drive set changed since its last solve.
+    dirty: Vec<bool>,
+    falling_count: Vec<usize>,
+    betas: Vec<Vec<f64>>,
+    /// Per-cell discharge-current memo: the `vx` bit pattern the current
+    /// was last computed at (`u64::MAX` = never) and the current itself.
+    disch_bits: Vec<u64>,
+    disch_i: Vec<f64>,
+    key_buf: Vec<u64>,
+    vx_memo: std::collections::HashMap<Vec<u64>, (f64, bool), FnvBuild>,
+    memo_stamp: Option<u64>,
+    /// Settled logic values (the event kernel's zero-alloc stand-in for
+    /// [`Netlist::evaluate`]'s return vector).
+    logic: Vec<Logic>,
+    /// Recycled waveform buffers ([`VbsimScratch::recycle`]); popped at
+    /// run start so warm sweeps reuse capacity instead of allocating.
+    pwl_pool: Vec<Pwl>,
+    wave_pool: Vec<Vec<Pwl>>,
+}
+
+impl VbsimScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        VbsimScratch::default()
+    }
+
+    /// Returns a finished run's waveform buffers to the scratch pool.
+    ///
+    /// Entirely optional — a [`VbsimRun`] is self-contained and can
+    /// simply be dropped — but hot loops that extract a measurement and
+    /// discard the run (vector screening, sizing bisection, benchmark
+    /// sweeps) should recycle it: the next [`Engine::run_with`] on this
+    /// scratch then reuses the retained capacity and the warm loop
+    /// performs no heap allocation at all.
+    pub fn recycle(&mut self, run: VbsimRun) {
+        let VbsimRun {
+            mut waveforms,
+            mut vgnd,
+            mut sleep_current,
+            ..
+        } = run;
+        for mut w in waveforms.drain(..) {
+            w.clear();
+            self.pwl_pool.push(w);
+        }
+        self.wave_pool.push(waveforms);
+        vgnd.clear();
+        self.pwl_pool.push(vgnd);
+        sleep_current.clear();
+        self.pwl_pool.push(sleep_current);
+    }
+}
+
+/// FNV-1a hashing for the V<sub>x</sub> memo: the keys are short
+/// `Vec<u64>` bit patterns hashed once per breakpoint, where SipHash's
+/// per-call setup cost is measurable and its DoS resistance buys
+/// nothing (keys come from the simulator itself, not from input data).
+#[derive(Debug, Clone, Copy, Default)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        // Whole-word FNV-1a round: the memo keys are u64 sequences, so
+        // this is the only path the hot lookup takes.
+        self.0 = (self.0 ^ i).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
     }
 }
 
@@ -1082,6 +1938,85 @@ mod tests {
                 if let Some(e) = expect[net.index()].to_bool() {
                     assert_eq!(dig, e, "net {} at {}", add.netlist.net(net).name, v);
                 }
+            }
+        }
+    }
+
+    /// Asserts every observable of two runs matches bit-for-bit —
+    /// waveform points compared on their `f64` bit patterns, so even a
+    /// `-0.0` vs `0.0` discrepancy fails.
+    fn assert_runs_identical(a: &VbsimRun, b: &VbsimRun, what: &str) {
+        let pwl_bits = |w: &Pwl| -> Vec<(u64, u64)> {
+            w.points()
+                .iter()
+                .map(|&(t, v)| (t.to_bits(), v.to_bits()))
+                .collect()
+        };
+        assert_eq!(a.waveforms.len(), b.waveforms.len(), "{what}: net count");
+        for (i, (wa, wb)) in a.waveforms.iter().zip(&b.waveforms).enumerate() {
+            assert_eq!(pwl_bits(wa), pwl_bits(wb), "{what}: waveform of net {i}");
+        }
+        assert_eq!(pwl_bits(&a.vgnd), pwl_bits(&b.vgnd), "{what}: vgnd");
+        assert_eq!(
+            pwl_bits(&a.sleep_current),
+            pwl_bits(&b.sleep_current),
+            "{what}: sleep current"
+        );
+        assert_eq!(a.breakpoints, b.breakpoints, "{what}: breakpoints");
+        assert_eq!(a.stalled, b.stalled, "{what}: stalled");
+        assert_eq!(a.truncated, b.truncated, "{what}: truncated");
+        assert_eq!(
+            a.max_simultaneous_discharging, b.max_simultaneous_discharging,
+            "{what}: co-discharge metric"
+        );
+        assert_eq!(a.t_end.to_bits(), b.t_end.to_bits(), "{what}: t_end");
+        assert_eq!(a.vdd.to_bits(), b.vdd.to_bits(), "{what}: vdd");
+        assert_eq!(a.health, b.health, "{what}: health counters");
+    }
+
+    /// The event kernel is bit-identical to the dense-scan kernel across
+    /// sleep models, the body-effect/reverse-conduction extensions, and
+    /// scratch reuse.
+    #[test]
+    fn event_kernel_matches_dense_scan_bitwise() {
+        let add = RippleAdder::paper();
+        let tech = tech07();
+        let engine = Engine::new(&add.netlist, &tech);
+        let variants: Vec<VbsimOptions> = vec![
+            VbsimOptions::cmos(),
+            VbsimOptions::mtcmos(10.0),
+            VbsimOptions::mtcmos(0.6),
+            VbsimOptions {
+                body_effect: true,
+                ..VbsimOptions::mtcmos(5.0)
+            },
+            VbsimOptions {
+                reverse_conduction: true,
+                ..VbsimOptions::mtcmos(3.0)
+            },
+        ];
+        let mut scratch = VbsimScratch::new();
+        for opts in &variants {
+            for (a0, b0, a1, b1) in [(0u64, 0u64, 7u64, 5u64), (3, 4, 1, 6), (7, 7, 0, 1)] {
+                let from = add.input_values(a0, b0);
+                let to = add.input_values(a1, b1);
+                let dense = engine
+                    .run(
+                        &from,
+                        &to,
+                        &VbsimOptions {
+                            kernel: VbsimKernel::DenseScan,
+                            ..opts.clone()
+                        },
+                    )
+                    .unwrap();
+                let event = engine.run(&from, &to, opts).unwrap();
+                let what = format!("{a0}{b0}->{a1}{b1}");
+                assert_runs_identical(&dense, &event, &what);
+                // Reused scratch (warm memo, recycled buffers) must not
+                // change a single bit either.
+                let warm = engine.run_with(&from, &to, opts, &mut scratch).unwrap();
+                assert_runs_identical(&dense, &warm, &format!("warm {what}"));
             }
         }
     }

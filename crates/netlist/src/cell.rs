@@ -20,6 +20,32 @@
 
 use crate::logic::Logic;
 use crate::tech::Technology;
+use std::sync::OnceLock;
+
+/// Per-kind ternary truth tables, indexed `[kind as usize][base-3 input
+/// code]` with the first input as the most-significant trit (matching
+/// the packing in [`CellKind::eval`]). Built once, lazily, from the
+/// conduction analysis, so table lookup and conduction analysis are the
+/// same function by construction.
+fn eval_tables() -> &'static [Vec<Logic>; 11] {
+    static TABLES: OnceLock<[Vec<Logic>; 11]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        CellKind::all().map(|kind| {
+            let n = kind.n_inputs();
+            let mut ins = vec![Logic::Zero; n];
+            (0..3usize.pow(n as u32))
+                .map(|code| {
+                    let mut c = code;
+                    for slot in ins.iter_mut().rev() {
+                        *slot = [Logic::Zero, Logic::One, Logic::X][c % 3];
+                        c /= 3;
+                    }
+                    kind.eval_by_conduction(&ins)
+                })
+                .collect()
+        })
+    })
+}
 
 /// A series/parallel switch network over a cell's inputs.
 ///
@@ -208,6 +234,12 @@ impl CellKind {
 
     /// Logic function via conduction analysis: pull-down conducting
     /// drives `0`, pull-up conducting drives `1`.
+    ///
+    /// Evaluation goes through a per-kind ternary truth table built once
+    /// from the conduction analysis (`eval_by_conduction`) —
+    /// the two are the same pure function, but the table avoids
+    /// rebuilding the [`Network`] trees on every call, which dominates
+    /// the simulators' digital-settle cost.
     pub fn eval(self, inputs: &[Logic]) -> Logic {
         assert_eq!(
             inputs.len(),
@@ -216,6 +248,16 @@ impl CellKind {
             self.name(),
             self.n_inputs()
         );
+        let mut idx = 0usize;
+        for &v in inputs {
+            idx = idx * 3 + v as usize;
+        }
+        eval_tables()[self as usize][idx]
+    }
+
+    /// The conduction-analysis evaluation the truth tables are built
+    /// from. Exposed for the table-equivalence test.
+    fn eval_by_conduction(self, inputs: &[Logic]) -> Logic {
         let down = self.pdn().conducts(inputs, true);
         let up = self.pun().conducts(inputs, false);
         match (down, up) {
@@ -494,6 +536,30 @@ mod tests {
         assert_eq!(CellKind::parse("nand4"), None);
         assert_eq!(CellKind::parse(""), None);
         assert_eq!(CellKind::parse("INV"), None); // names are case-sensitive
+    }
+
+    #[test]
+    fn eval_table_matches_conduction_analysis_exhaustively() {
+        // Every kind, every ternary input combination — the cached truth
+        // table must reproduce the conduction analysis bit-for-bit,
+        // including X propagation.
+        for kind in CellKind::all() {
+            let n = kind.n_inputs();
+            let mut ins = vec![Logic::Zero; n];
+            for code in 0..3usize.pow(n as u32) {
+                let mut c = code;
+                for slot in ins.iter_mut().rev() {
+                    *slot = [Logic::Zero, Logic::One, Logic::X][c % 3];
+                    c /= 3;
+                }
+                assert_eq!(
+                    kind.eval(&ins),
+                    kind.eval_by_conduction(&ins),
+                    "{} on {ins:?}",
+                    kind.name()
+                );
+            }
+        }
     }
 
     #[test]

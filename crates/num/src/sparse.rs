@@ -59,16 +59,19 @@ impl Triplets {
 
     /// Adds `value` at `(row, col)`. Duplicates accumulate on assembly.
     ///
-    /// Zero values are ignored so that conditional stamps cost nothing.
+    /// Exact zeros are kept as *structural* entries: a stamp whose
+    /// conductance happens to evaluate to `0.0` (e.g. a MOSFET in deep
+    /// cutoff) still occupies its slot in the sparsity pattern. That
+    /// keeps the assembled pattern a function of the stamp sequence
+    /// alone, so a factorization's pivot order can be reused across
+    /// Newton iterations whose values cross zero.
     ///
     /// # Panics
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.n && col < self.n, "triplet index out of bounds");
-        if value != 0.0 {
-            self.entries.push((row, col, value));
-        }
+        self.entries.push((row, col, value));
     }
 
     /// Removes all entries while keeping the dimension, so the allocation
@@ -78,12 +81,30 @@ impl Triplets {
     }
 
     /// Assembles into sorted, duplicate-summed sparse rows.
+    ///
+    /// Entries that sum to exactly zero are kept (structurally), for the
+    /// same pattern-stability reason as in [`Triplets::add`].
     pub fn to_rows(&self) -> SparseRows {
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
-        for &(r, c, v) in &self.entries {
-            rows[r].push((c, v));
+        let mut out = SparseRows::empty(self.n);
+        self.assemble_into(&mut out);
+        out
+    }
+
+    /// [`Triplets::to_rows`] into a caller-owned [`SparseRows`], reusing
+    /// its row allocations. Produces exactly the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was built for a different dimension.
+    pub fn assemble_into(&self, out: &mut SparseRows) {
+        assert_eq!(out.n, self.n, "assemble_into dimension mismatch");
+        for row in &mut out.rows {
+            row.clear();
         }
-        for row in &mut rows {
+        for &(r, c, v) in &self.entries {
+            out.rows[r].push((c, v));
+        }
+        for row in &mut out.rows {
             row.sort_unstable_by_key(|&(c, _)| c);
             // Sum duplicates in place.
             let mut w = 0usize;
@@ -96,9 +117,7 @@ impl Triplets {
                 }
             }
             row.truncate(w);
-            row.retain(|&(_, v)| v != 0.0);
         }
-        SparseRows { n: self.n, rows }
     }
 
     /// Assembles and factors the matrix in one step.
@@ -139,9 +158,35 @@ pub struct SparseRows {
 }
 
 impl SparseRows {
+    /// An all-empty (structurally zero) `n × n` matrix, useful as the
+    /// reusable target of [`Triplets::assemble_into`].
+    pub fn empty(n: usize) -> SparseRows {
+        SparseRows {
+            n,
+            rows: vec![Vec::new(); n],
+        }
+    }
+
     /// Matrix dimension.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The column pattern of each row (values discarded), for callers
+    /// that cache a pivot order and must detect pattern changes.
+    pub fn pattern(&self) -> Vec<Vec<usize>> {
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&(c, _)| c).collect())
+            .collect()
+    }
+
+    /// Whether this matrix has exactly the given column pattern.
+    pub fn same_pattern(&self, pattern: &[Vec<usize>]) -> bool {
+        self.n == pattern.len()
+            && self.rows.iter().zip(pattern).all(|(row, cols)| {
+                row.len() == cols.len() && row.iter().map(|&(c, _)| c).eq(cols.iter().copied())
+            })
     }
 
     /// Total number of stored nonzeros.
@@ -195,16 +240,33 @@ impl SparseRows {
             assert!(pos[orig] == usize::MAX, "order is not a permutation");
             pos[orig] = k;
         }
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        let mut out = SparseRows::empty(self.n);
+        self.permute_symmetric_into(&pos, &mut out);
+        out
+    }
+
+    /// [`SparseRows::permute_symmetric`] with a precomputed inverse
+    /// permutation `pos` (`pos[orig] = new position`), writing into a
+    /// caller-owned matrix whose row allocations are reused. Produces
+    /// exactly the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn permute_symmetric_into(&self, pos: &[usize], out: &mut SparseRows) {
+        assert_eq!(pos.len(), self.n, "pos must have length n");
+        assert_eq!(out.n, self.n, "permute_symmetric_into dimension mismatch");
+        for row in &mut out.rows {
+            row.clear();
+        }
         for (r, row) in self.rows.iter().enumerate() {
             for &(c, v) in row {
-                rows[pos[r]].push((pos[c], v));
+                out.rows[pos[r]].push((pos[c], v));
             }
         }
-        for row in &mut rows {
+        for row in &mut out.rows {
             row.sort_unstable_by_key(|&(c, _)| c);
         }
-        SparseRows { n: self.n, rows }
     }
 
     /// Factors the matrix as `P A = L U` with partial pivoting over sparse
@@ -223,82 +285,7 @@ impl SparseRows {
         // position k (row swaps are done on this indirection).
         let mut row_of: Vec<usize> = (0..n).collect();
         let mut scratch: Vec<(usize, f64)> = Vec::new();
-
-        for k in 0..n {
-            // Find the pivot: the row at position >= k with the largest
-            // magnitude entry in column k.
-            let mut pivot_pos = usize::MAX;
-            let mut pivot_mag = 0.0f64;
-            for (p, &ri) in row_of.iter().enumerate().skip(k) {
-                if let Ok(idx) = rows[ri].binary_search_by_key(&k, |&(c, _)| c) {
-                    let mag = rows[ri][idx].1.abs();
-                    if mag > pivot_mag {
-                        pivot_mag = mag;
-                        pivot_pos = p;
-                    }
-                }
-            }
-            if pivot_pos == usize::MAX || pivot_mag < f64::MIN_POSITIVE * 1e4 {
-                return Err(NumError::SingularMatrix { step: k });
-            }
-            row_of.swap(k, pivot_pos);
-            let pivot_row_idx = row_of[k];
-            let pivot_val = {
-                let row = &rows[pivot_row_idx];
-                let idx = row.binary_search_by_key(&k, |&(c, _)| c).unwrap();
-                row[idx].1
-            };
-
-            // Eliminate column k from every later row that has it.
-            for &ri in row_of.iter().skip(k + 1) {
-                let idx = match rows[ri].binary_search_by_key(&k, |&(c, _)| c) {
-                    Ok(i) => i,
-                    Err(_) => continue,
-                };
-                let factor = rows[ri][idx].1 / pivot_val;
-                l_rows[ri].push((k, factor));
-                // rows[ri] -= factor * rows[pivot]; merge the two sorted rows.
-                scratch.clear();
-                let (target, pivot_row) = {
-                    // Split borrows: pivot_row_idx != ri is guaranteed.
-                    let (a, b) = if pivot_row_idx < ri {
-                        let (lo, hi) = rows.split_at_mut(ri);
-                        (&mut hi[0], &lo[pivot_row_idx])
-                    } else {
-                        let (lo, hi) = rows.split_at_mut(pivot_row_idx);
-                        (&mut lo[ri], &hi[0])
-                    };
-                    (a, b)
-                };
-                let mut ti = 0usize;
-                let mut pi = 0usize;
-                while ti < target.len() || pi < pivot_row.len() {
-                    let tc = target.get(ti).map(|&(c, _)| c).unwrap_or(usize::MAX);
-                    let pc = pivot_row.get(pi).map(|&(c, _)| c).unwrap_or(usize::MAX);
-                    if tc < pc {
-                        if tc > k {
-                            scratch.push(target[ti]);
-                        }
-                        ti += 1;
-                    } else if pc < tc {
-                        if pc > k {
-                            scratch.push((pc, -factor * pivot_row[pi].1));
-                        }
-                        pi += 1;
-                    } else {
-                        if tc > k {
-                            let v = target[ti].1 - factor * pivot_row[pi].1;
-                            if v != 0.0 {
-                                scratch.push((tc, v));
-                            }
-                        }
-                        ti += 1;
-                        pi += 1;
-                    }
-                }
-                std::mem::swap(target, &mut scratch);
-            }
-        }
+        eliminate(n, &mut rows, &mut l_rows, &mut row_of, &mut scratch)?;
 
         // Collect U rows in elimination order.
         let mut u_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
@@ -389,6 +376,210 @@ impl SparseLu {
     }
 }
 
+/// In-place LU elimination with partial pivoting: on success `rows`
+/// holds the U rows (indexed through `row_of`), `l_rows` the multipliers
+/// applied to each original row in application order, and `row_of[k]`
+/// the original row at elimination position `k`.
+///
+/// This is the single numeric kernel behind both [`SparseRows::factor`]
+/// and [`LuWorkspace::factor_solve`], so the two paths are
+/// arithmetic-identical by construction. The pivot *search* runs on
+/// every call — reusing a previously recorded pivot order would change
+/// rounding whenever values move enough to select a different pivot.
+fn eliminate(
+    n: usize,
+    rows: &mut [Vec<(usize, f64)>],
+    l_rows: &mut [Vec<(usize, f64)>],
+    row_of: &mut [usize],
+    scratch: &mut Vec<(usize, f64)>,
+) -> Result<()> {
+    for k in 0..n {
+        // Find the pivot: the row at position >= k with the largest
+        // magnitude entry in column k.
+        let mut pivot_pos = usize::MAX;
+        let mut pivot_mag = 0.0f64;
+        for (p, &ri) in row_of.iter().enumerate().skip(k) {
+            if let Ok(idx) = rows[ri].binary_search_by_key(&k, |&(c, _)| c) {
+                let mag = rows[ri][idx].1.abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_pos = p;
+                }
+            }
+        }
+        if pivot_pos == usize::MAX || pivot_mag < f64::MIN_POSITIVE * 1e4 {
+            return Err(NumError::SingularMatrix { step: k });
+        }
+        row_of.swap(k, pivot_pos);
+        let pivot_row_idx = row_of[k];
+        let pivot_val = {
+            let row = &rows[pivot_row_idx];
+            let idx = row.binary_search_by_key(&k, |&(c, _)| c).unwrap();
+            row[idx].1
+        };
+
+        // Eliminate column k from every later row that has it.
+        for &ri in row_of.iter().skip(k + 1) {
+            let idx = match rows[ri].binary_search_by_key(&k, |&(c, _)| c) {
+                Ok(i) => i,
+                Err(_) => continue,
+            };
+            let factor = rows[ri][idx].1 / pivot_val;
+            l_rows[ri].push((k, factor));
+            // rows[ri] -= factor * rows[pivot]; merge the two sorted rows.
+            scratch.clear();
+            let (target, pivot_row) = {
+                // Split borrows: pivot_row_idx != ri is guaranteed.
+                let (a, b) = if pivot_row_idx < ri {
+                    let (lo, hi) = rows.split_at_mut(ri);
+                    (&mut hi[0], &lo[pivot_row_idx])
+                } else {
+                    let (lo, hi) = rows.split_at_mut(pivot_row_idx);
+                    (&mut lo[ri], &hi[0])
+                };
+                (a, b)
+            };
+            let mut ti = 0usize;
+            let mut pi = 0usize;
+            while ti < target.len() || pi < pivot_row.len() {
+                let tc = target.get(ti).map(|&(c, _)| c).unwrap_or(usize::MAX);
+                let pc = pivot_row.get(pi).map(|&(c, _)| c).unwrap_or(usize::MAX);
+                if tc < pc {
+                    if tc > k {
+                        scratch.push(target[ti]);
+                    }
+                    ti += 1;
+                } else if pc < tc {
+                    if pc > k {
+                        scratch.push((pc, -factor * pivot_row[pi].1));
+                    }
+                    pi += 1;
+                } else {
+                    if tc > k {
+                        let v = target[ti].1 - factor * pivot_row[pi].1;
+                        if v != 0.0 {
+                            scratch.push((tc, v));
+                        }
+                    }
+                    ti += 1;
+                    pi += 1;
+                }
+            }
+            std::mem::swap(target, scratch);
+        }
+    }
+    Ok(())
+}
+
+/// Reusable buffers for repeated factor-and-solve calls on matrices of
+/// the same (or varying) dimension — the numeric-refactor half of the
+/// symbolic/numeric LU split.
+///
+/// A Newton loop factors a matrix with an unchanged sparsity pattern at
+/// every iteration; [`SparseRows::factor`] allocates fresh `Vec`s for
+/// the factors each time and [`SparseLu::solve`] more for the solution.
+/// `LuWorkspace::factor_solve` performs the *same arithmetic* (pivot
+/// search included, see `eliminate`) entirely inside recycled buffers:
+/// results are bitwise-identical to `factor()` + `solve()`, only the
+/// allocations disappear after the first call.
+///
+/// ```
+/// use mtk_num::sparse::{LuWorkspace, Triplets};
+///
+/// let mut t = Triplets::new(2);
+/// t.add(0, 0, 2.0);
+/// t.add(1, 1, 4.0);
+/// let mut ws = LuWorkspace::new();
+/// let mut x = Vec::new();
+/// ws.factor_solve(&t.to_rows(), &[2.0, 8.0], &mut x).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    rows: Vec<Vec<(usize, f64)>>,
+    l_rows: Vec<Vec<(usize, f64)>>,
+    row_of: Vec<usize>,
+    scratch: Vec<(usize, f64)>,
+    y: Vec<f64>,
+}
+
+impl LuWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LuWorkspace::default()
+    }
+
+    /// Factors `a` and solves `A x = b` in one pass, writing the solution
+    /// into `x` (resized as needed). Bitwise-identical to
+    /// `a.clone().factor()?.solve(b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] when `b.len() != a.n()`,
+    /// and [`NumError::SingularMatrix`] when elimination hits an empty
+    /// pivot column. The workspace stays reusable after either error.
+    pub fn factor_solve(&mut self, a: &SparseRows, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
+        let n = a.n;
+        if b.len() != n {
+            return Err(NumError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Copy the matrix into the recycled row buffers.
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+            self.l_rows.resize_with(n, Vec::new);
+        }
+        for (dst, src) in self.rows.iter_mut().zip(&a.rows) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        for l in self.l_rows.iter_mut().take(n) {
+            l.clear();
+        }
+        self.row_of.clear();
+        self.row_of.extend(0..n);
+
+        eliminate(
+            n,
+            &mut self.rows[..n],
+            &mut self.l_rows[..n],
+            &mut self.row_of,
+            &mut self.scratch,
+        )?;
+
+        // Forward-substitute b (permuted into elimination order) through L.
+        self.y.clear();
+        self.y.extend(self.row_of.iter().map(|&r| b[r]));
+        for i in 0..n {
+            let mut s = self.y[i];
+            for &(col, factor) in &self.l_rows[self.row_of[i]] {
+                s -= factor * self.y[col];
+            }
+            self.y[i] = s;
+        }
+        // Back-substitute through U.
+        x.clear();
+        x.resize(n, 0.0);
+        for i in (0..n).rev() {
+            let row = &self.rows[self.row_of[i]];
+            let mut s = self.y[i];
+            let mut diag = 0.0;
+            for &(c, v) in row {
+                if c == i {
+                    diag = v;
+                } else if c > i {
+                    s -= v * x[c];
+                }
+            }
+            debug_assert!(diag != 0.0, "zero diagonal slipped through eliminate()");
+            x[i] = s / diag;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,11 +633,95 @@ mod tests {
     }
 
     #[test]
-    fn zero_adds_are_dropped() {
+    fn zero_adds_are_kept_structurally() {
         let mut t = Triplets::new(2);
         t.add(0, 1, 0.0);
-        assert!(t.is_empty());
-        assert_eq!(t.len(), 0);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        let rows = t.to_rows();
+        assert_eq!(rows.nnz(), 1, "exact zeros stay in the pattern");
+        assert_eq!(rows.get(0, 1), 0.0);
+    }
+
+    /// Regression test for the pattern-instability bug: a conditional
+    /// stamp whose conductance crosses zero (cutoff ↔ conducting) must
+    /// not change the assembled sparsity pattern between Newton
+    /// iterations, or a cached pivot order would silently be applied to
+    /// a different structure.
+    #[test]
+    fn pattern_is_stable_when_a_stamp_crosses_zero() {
+        let stamp = |g: f64| {
+            let mut t = Triplets::new(3);
+            // Fixed background stamps.
+            t.add(0, 0, 1.0);
+            t.add(1, 1, 2.0);
+            t.add(2, 2, 3.0);
+            // A device stamp between nodes 1 and 2 whose conductance is
+            // re-evaluated every iteration and may be exactly 0.0. The
+            // accumulated (1,1)/(2,2) diagonals also stay structurally
+            // identical whether or not g cancels.
+            t.add(1, 1, g);
+            t.add(1, 2, -g);
+            t.add(2, 1, -g);
+            t.add(2, 2, g);
+            t.to_rows()
+        };
+        let cutoff = stamp(0.0);
+        let conducting = stamp(0.5);
+        let pattern = conducting.pattern();
+        assert!(
+            cutoff.same_pattern(&pattern),
+            "zero-valued stamp changed the sparsity pattern"
+        );
+        assert_eq!(cutoff.nnz(), conducting.nnz());
+        // The zero-crossing iteration still factors and solves.
+        let x = cutoff.factor().unwrap().solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_close(&x, &[1.0, 1.0, 1.0], 1e-14);
+    }
+
+    /// The reusable workspace must be *bitwise* identical to the
+    /// allocate-per-call `factor()` + `solve()` path, across repeated
+    /// uses and dimension changes, and stay usable after a singular
+    /// matrix is rejected.
+    #[test]
+    fn workspace_factor_solve_matches_factor_then_solve() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x5A03);
+        let mut ws = LuWorkspace::new();
+        let mut x_ws = Vec::new();
+        for _ in 0..64 {
+            let n = 2 + rng.next_index(10);
+            let seed_entries = random_entries(&mut rng, 12, 59);
+            let mut t = Triplets::new(n);
+            let mut row_abs = vec![0.0f64; n];
+            for &(r, c, v) in &seed_entries {
+                let (r, c) = (r % n, c % n);
+                if r != c {
+                    t.add(r, c, v);
+                    row_abs[r] += v.abs();
+                }
+            }
+            for (i, &ra) in row_abs.iter().enumerate().take(n) {
+                t.add(i, i, ra + 1.0);
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64_in(-10.0, 10.0)).collect();
+            let rows = t.to_rows();
+            let x_lu = rows.clone().factor().unwrap().solve(&b).unwrap();
+            ws.factor_solve(&rows, &b, &mut x_ws).unwrap();
+            assert_eq!(x_ws, x_lu, "workspace drifted from factor()+solve()");
+        }
+        // Singular rejection leaves the workspace reusable.
+        let mut sing = Triplets::new(2);
+        sing.add(0, 0, 1.0);
+        assert!(matches!(
+            ws.factor_solve(&sing.to_rows(), &[1.0, 1.0], &mut x_ws),
+            Err(NumError::SingularMatrix { step: 1 })
+        ));
+        let mut ok = Triplets::new(2);
+        ok.add(0, 0, 2.0);
+        ok.add(1, 1, 2.0);
+        ws.factor_solve(&ok.to_rows(), &[2.0, 4.0], &mut x_ws)
+            .unwrap();
+        assert_eq!(x_ws, vec![1.0, 2.0]);
     }
 
     #[test]

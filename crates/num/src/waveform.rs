@@ -135,6 +135,12 @@ impl Pwl {
         Ok(())
     }
 
+    /// Removes all points, keeping the allocated capacity (so pooled
+    /// waveform buffers can be refilled without reallocating).
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
     /// Number of stored points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -328,6 +334,20 @@ mod tests {
         w.try_push(0.0, 1.0).unwrap();
         assert!(w.try_push(-1.0, 0.5).is_err(), "decreasing time rejected");
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_points_but_keeps_a_usable_buffer() {
+        let mut w = Pwl::new();
+        w.push(0.0, 1.0);
+        w.push(1.0, 2.0);
+        w.clear();
+        assert!(w.is_empty());
+        // After clearing, earlier times are valid again (no stale
+        // monotonicity state survives).
+        w.push(0.0, 5.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.value_at(0.0), 5.0);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct DcResult {
     /// Newton iterations spent over the whole solve, including a failed
     /// direct attempt that forced the continuation ladder.
     pub newton_iterations: usize,
+    /// Factorizations that reused the solver's cached symbolic phase
+    /// (sparsity pattern + ordering), see
+    /// [`crate::solver::NewtonSolver::lu_pattern_reuses`].
+    pub lu_pattern_reuses: usize,
 }
 
 impl DcResult {
@@ -84,6 +88,10 @@ impl DcResult {
         set.add(
             mtk_trace::CounterId::NewtonIterations,
             self.newton_iterations as u64,
+        );
+        set.add(
+            mtk_trace::CounterId::LuPatternReuses,
+            self.lu_pattern_reuses as u64,
         );
         set
     }
@@ -148,6 +156,7 @@ pub fn operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcResult> 
         branch_names,
         gmin_fallback_stages,
         newton_iterations: solver.total_iterations(),
+        lu_pattern_reuses: solver.lu_pattern_reuses(),
     })
 }
 

@@ -8,7 +8,7 @@ use crate::circuit::{Circuit, DeviceKind, NodeId};
 use crate::mos::mos_eval;
 use crate::{Result, SpiceError};
 use mtk_num::ordering::reverse_cuthill_mckee;
-use mtk_num::sparse::Triplets;
+use mtk_num::sparse::{LuWorkspace, SparseRows, Triplets};
 
 /// Integration method for the capacitor companion model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -337,6 +337,18 @@ impl Default for NewtonOptions {
 /// A reusable Newton solver for one circuit: owns the workspace and the
 /// fill-reducing ordering (computed once from the first assembled
 /// pattern).
+///
+/// Factorization is split into a *symbolic* phase — the assembled
+/// sparsity pattern, the RCM pivot-friendly ordering derived from it,
+/// and the grown workspace buffers — and a *numeric* phase that redoes
+/// only the arithmetic. The symbolic phase runs when the pattern is
+/// first seen (or changes, e.g. operating-point vs. transient stamps);
+/// every later call validates the cached pattern with an integer
+/// compare and reuses it, counted by
+/// [`NewtonSolver::lu_pattern_reuses`]. The partial-pivot *search*
+/// still runs inside every numeric factorization — freezing the pivot
+/// sequence would change rounding the moment values drift — so the
+/// results are bitwise-identical to the allocate-per-call path.
 #[derive(Debug)]
 pub struct NewtonSolver {
     branches: Vec<Option<usize>>,
@@ -350,6 +362,19 @@ pub struct NewtonSolver {
     /// converged or not — the raw material of the
     /// `newton_iterations` trace counter.
     total_iterations: usize,
+    /// Assembled (unpermuted) matrix, buffers reused across iterations.
+    rows: SparseRows,
+    /// `rows` under the symmetric RCM permutation, buffers reused.
+    perm: SparseRows,
+    /// Column pattern the symbolic phase was last run for.
+    pattern: Vec<Vec<usize>>,
+    /// Reusable numeric factor-and-solve buffers.
+    lu: LuWorkspace,
+    rhs_perm: Vec<f64>,
+    y: Vec<f64>,
+    x_new: Vec<f64>,
+    /// Factorizations that reused the cached symbolic phase.
+    pattern_reuses: usize,
 }
 
 impl NewtonSolver {
@@ -364,6 +389,14 @@ impl NewtonSolver {
             order: None,
             pos: Vec::new(),
             total_iterations: 0,
+            rows: SparseRows::empty(n),
+            perm: SparseRows::empty(n),
+            pattern: Vec::new(),
+            lu: LuWorkspace::new(),
+            rhs_perm: Vec::new(),
+            y: Vec::new(),
+            x_new: Vec::new(),
+            pattern_reuses: 0,
         }
     }
 
@@ -378,6 +411,13 @@ impl NewtonSolver {
     /// [`mtk_trace`] registry.
     pub fn total_iterations(&self) -> usize {
         self.total_iterations
+    }
+
+    /// Factorizations that reused the cached symbolic phase (pattern +
+    /// ordering + workspace) over this solver's lifetime. Feeds the
+    /// `lu_pattern_reuses` counter of the [`mtk_trace`] registry.
+    pub fn lu_pattern_reuses(&self) -> usize {
+        self.pattern_reuses
     }
 
     /// Runs Newton iteration from `x0` for the given stamp mode.
@@ -409,7 +449,8 @@ impl NewtonSolver {
                 &mut self.a,
                 &mut self.rhs,
             );
-            let x_new = self.factor_and_solve(circuit, context)?;
+            self.factor_and_solve(circuit, context)?;
+            let x_new = &self.x_new;
             // Convergence check + damping.
             let mut converged = true;
             for i in 0..n {
@@ -444,35 +485,48 @@ impl NewtonSolver {
         })
     }
 
-    fn factor_and_solve(&mut self, circuit: &Circuit, context: &str) -> Result<Vec<f64>> {
-        let rows = self.a.to_rows();
-        if self.order.is_none() {
-            let adj = rows.symmetric_adjacency();
-            let order = reverse_cuthill_mckee(&adj);
-            let mut pos = vec![0usize; order.len()];
-            for (k, &orig) in order.iter().enumerate() {
-                pos[orig] = k;
+    /// Assembles, factors and solves the current linearization into
+    /// `self.x_new`, reusing the symbolic phase when the sparsity
+    /// pattern is unchanged since the previous call.
+    fn factor_and_solve(&mut self, circuit: &Circuit, context: &str) -> Result<()> {
+        self.a.assemble_into(&mut self.rows);
+        if self.order.is_none() || !self.rows.same_pattern(&self.pattern) {
+            // Symbolic phase: cache the pattern; derive the ordering from
+            // the first pattern ever seen (stamp modes that add entries,
+            // e.g. transient cap companions, keep the original ordering —
+            // RCM quality barely changes and the permutation staying put
+            // keeps results reproducible across call sequences).
+            self.pattern = self.rows.pattern();
+            if self.order.is_none() {
+                let adj = self.rows.symmetric_adjacency();
+                let order = reverse_cuthill_mckee(&adj);
+                let mut pos = vec![0usize; order.len()];
+                for (k, &orig) in order.iter().enumerate() {
+                    pos[orig] = k;
+                }
+                self.order = Some(order);
+                self.pos = pos;
             }
-            self.order = Some(order);
-            self.pos = pos;
+        } else {
+            self.pattern_reuses += 1;
         }
         let order = self.order.as_ref().expect("order just computed");
-        let permuted = rows.permute_symmetric(order);
-        let lu = permuted.factor().map_err(|e| match e {
-            mtk_num::NumError::SingularMatrix { step } => SpiceError::Singular {
-                unknown: self.describe_unknown(circuit, order.get(step).copied().unwrap_or(step)),
-            },
-            other => SpiceError::InvalidParameter(format!("{context}: {other}")),
-        })?;
-        let rhs_perm: Vec<f64> = order.iter().map(|&i| self.rhs[i]).collect();
-        let y = lu
-            .solve(&rhs_perm)
-            .map_err(|e| SpiceError::InvalidParameter(format!("{context}: solve failed: {e}")))?;
-        let mut x = vec![0.0; self.n];
-        for i in 0..self.n {
-            x[i] = y[self.pos[i]];
-        }
-        Ok(x)
+        self.rows.permute_symmetric_into(&self.pos, &mut self.perm);
+        self.rhs_perm.clear();
+        self.rhs_perm.extend(order.iter().map(|&i| self.rhs[i]));
+        self.lu
+            .factor_solve(&self.perm, &self.rhs_perm, &mut self.y)
+            .map_err(|e| match e {
+                mtk_num::NumError::SingularMatrix { step } => SpiceError::Singular {
+                    unknown: self
+                        .describe_unknown(circuit, order.get(step).copied().unwrap_or(step)),
+                },
+                other => SpiceError::InvalidParameter(format!("{context}: {other}")),
+            })?;
+        self.x_new.clear();
+        let (x_new, y, pos) = (&mut self.x_new, &self.y, &self.pos);
+        x_new.extend(pos.iter().map(|&p| y[p]));
+        Ok(())
     }
 
     fn describe_unknown(&self, circuit: &Circuit, idx: usize) -> String {

@@ -126,6 +126,10 @@ pub struct TranResult {
     /// g<sub>min</sub> continuation stages the initial operating point
     /// needed (see [`crate::dc::DcResult::gmin_fallback_stages`]).
     pub op_gmin_fallback_stages: usize,
+    /// Factorizations (operating point + transient stepping) that reused
+    /// a solver's cached symbolic phase, see
+    /// [`crate::solver::NewtonSolver::lu_pattern_reuses`].
+    pub lu_pattern_reuses: usize,
 }
 
 impl TranResult {
@@ -185,6 +189,10 @@ impl TranResult {
         set.add(
             mtk_trace::CounterId::GminFallbackStages,
             self.op_gmin_fallback_stages as u64,
+        );
+        set.add(
+            mtk_trace::CounterId::LuPatternReuses,
+            self.lu_pattern_reuses as u64,
         );
         set
     }
@@ -274,6 +282,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult> {
         steps: 0,
         dt_halvings: 0,
         op_gmin_fallback_stages: op.gmin_fallback_stages,
+        lu_pattern_reuses: op.lu_pattern_reuses,
     };
     result.node_data = vec![Vec::new(); result.nodes.len()];
     result.branch_data = vec![Vec::new(); result.branch_names.len()];
@@ -362,6 +371,7 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult> {
             Err(e) => return Err(e),
         }
     }
+    result.lu_pattern_reuses += solver.lu_pattern_reuses();
     Ok(result)
 }
 
@@ -387,6 +397,34 @@ mod tests {
         let b = c.node("b");
         let opts = TranOptions::to(1e-6).with_probes([a, b, a, b, b]);
         assert_eq!(opts.record, RecordMode::Nodes(vec![a, b]));
+    }
+
+    /// The symbolic LU phase must actually be reused while stepping: a
+    /// transient run factors once per Newton iteration, and every
+    /// factorization after the first per stamp pattern (operating point
+    /// vs. transient companions) must hit the cached pattern.
+    #[test]
+    fn transient_reuses_the_symbolic_lu_phase() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        c.resistor("r", n1, Circuit::GND, 1000.0);
+        c.capacitor("c", n1, Circuit::GND, 1e-9);
+        c.set_ic(n1, 1.0);
+        let res = transient(&c, &TranOptions::to(1e-6).with_dt(5e-9)).unwrap();
+        let factorizations = res.total_newton_iterations + res.steps; // ≥ op + tran iters
+        assert!(
+            res.lu_pattern_reuses > 0,
+            "no symbolic-phase reuse over {factorizations}+ factorizations"
+        );
+        // At most two symbolic phases exist here (DC pattern, transient
+        // pattern): every other Newton iteration reuses one of them.
+        let total_iters = res.total_newton_iterations;
+        assert!(
+            res.lu_pattern_reuses + 2 >= total_iters,
+            "reuses {} should cover all but two of the {} transient iterations",
+            res.lu_pattern_reuses,
+            total_iters
+        );
     }
 
     /// RC discharge from an IC matches the analytic exponential.

@@ -85,6 +85,9 @@ counter_registry! {
     NewtonIterations => ("newton_iterations", Sum),
     /// Accepted SPICE transient steps.
     SpiceSteps => ("spice_steps", Sum),
+    /// LU factorizations that reused a solver's cached symbolic phase
+    /// (sparsity pattern + fill-reducing order) instead of recomputing it.
+    LuPatternReuses => ("lu_pattern_reuses", Sum),
 }
 
 /// A flat, fixed-size set of every registered counter.

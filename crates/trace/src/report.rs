@@ -22,7 +22,9 @@ pub const SCHEMA_NAME: &str = "mtk-trace";
 /// Bump this whenever the set of keys, their order, or their meaning
 /// changes — the golden-schema test fails on any key change that is not
 /// accompanied by a bump, and external consumers key off it.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v2 added the `lu_pattern_reuses` counter.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Per-worker sink totals of one phase — real execution costs, therefore
 /// schedule-dependent; exported only in the `timing` section.
@@ -112,17 +114,18 @@ impl PhaseTrace {
     /// The SPICE solver-stress line, when any SPICE counter fired.
     pub fn spice_line(&self) -> Option<String> {
         let c = &self.counters;
-        let (gmin, dt, newton, steps) = (
+        let (gmin, dt, newton, steps, lu) = (
             c.get(CounterId::GminFallbackStages),
             c.get(CounterId::DtHalvings),
             c.get(CounterId::NewtonIterations),
             c.get(CounterId::SpiceSteps),
+            c.get(CounterId::LuPatternReuses),
         );
-        if gmin == 0 && dt == 0 && newton == 0 && steps == 0 {
+        if gmin == 0 && dt == 0 && newton == 0 && steps == 0 && lu == 0 {
             return None;
         }
         Some(format!(
-            "spice: {gmin} gmin fallback stages, {dt} dt halvings, {newton} newton iterations, {steps} steps"
+            "spice: {gmin} gmin fallback stages, {dt} dt halvings, {newton} newton iterations, {steps} steps, {lu} lu pattern reuses"
         ))
     }
 

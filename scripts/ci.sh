@@ -65,4 +65,19 @@ cargo run --release -p mtk-bench --bin ext_screening -- \
 echo "== smoke trace validates against the documented schema =="
 cargo run --release -p mtk-bench --bin trace_check -- "$trace_json"
 
+echo "== bench smoke: kernel speed file regenerates, validates, and gates =="
+# Regenerates BENCH_speed.json (schema-validated by the writer itself),
+# then fails on any regression beyond the tolerance vs the committed
+# baseline or an event-vs-dense speedup below the gate floor. Timings on
+# loaded or slow hosts are noisy — skip with MTK_SKIP_BENCH=1.
+if [[ "${MTK_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "bench smoke skipped (MTK_SKIP_BENCH=1)"
+else
+  bench_json="$(mktemp /tmp/ci_bench.XXXXXX.json)"
+  trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json" "$bench_json"' EXIT
+  cargo run --release -p mtk-bench --bin speed_comparison -- \
+    --no-spice --samples 3 --warmup 1 \
+    --json "$bench_json" --check-against BENCH_speed.json
+fi
+
 echo "ci: all green"

@@ -1,0 +1,209 @@
+//! The event-driven kernel is a pure optimization of the dense-scan
+//! kernel: for any circuit, any option set, and any scratch state, every
+//! observable of a run — waveform points, virtual-ground staircase,
+//! sleep current, breakpoint count, health counters — must match the
+//! dense kernel bit-for-bit. These tests pin that contract directly on
+//! engine runs and end-to-end through the fault-tolerant parallel
+//! screener's deterministic trace.
+
+use mtcmos_suite::circuits::adder::RippleAdder;
+use mtcmos_suite::circuits::multiplier::ArrayMultiplier;
+use mtcmos_suite::circuits::random_logic::{RandomLogic, RandomLogicSpec};
+use mtcmos_suite::circuits::vectors::exhaustive_transitions;
+use mtcmos_suite::core::health::{FailurePolicy, FaultPlan};
+use mtcmos_suite::core::sizing::{screen_vectors_par_quarantined, Transition};
+use mtcmos_suite::core::vbsim::{Engine, VbsimKernel, VbsimOptions, VbsimRun, VbsimScratch};
+use mtcmos_suite::netlist::logic::{bits_lsb_first, Logic};
+use mtcmos_suite::netlist::netlist::Netlist;
+use mtcmos_suite::netlist::tech::Technology;
+use mtcmos_suite::num::waveform::Pwl;
+use mtcmos_suite::trace::{TraceMode, TraceReport};
+
+/// Bit patterns of a waveform's points, so `-0.0` vs `0.0` or any ULP
+/// of drift fails the comparison.
+fn pwl_bits(w: &Pwl) -> Vec<(u64, u64)> {
+    w.points()
+        .iter()
+        .map(|&(t, v)| (t.to_bits(), v.to_bits()))
+        .collect()
+}
+
+fn assert_runs_identical(dense: &VbsimRun, event: &VbsimRun, ctx: &str) {
+    assert_eq!(
+        dense.waveforms.len(),
+        event.waveforms.len(),
+        "{ctx}: net count"
+    );
+    for (i, (wd, we)) in dense.waveforms.iter().zip(&event.waveforms).enumerate() {
+        assert_eq!(pwl_bits(wd), pwl_bits(we), "{ctx}: waveform of net {i}");
+    }
+    assert_eq!(pwl_bits(&dense.vgnd), pwl_bits(&event.vgnd), "{ctx}: vgnd");
+    assert_eq!(
+        pwl_bits(&dense.sleep_current),
+        pwl_bits(&event.sleep_current),
+        "{ctx}: sleep current"
+    );
+    assert_eq!(dense.breakpoints, event.breakpoints, "{ctx}: breakpoints");
+    assert_eq!(dense.stalled, event.stalled, "{ctx}: stalled");
+    assert_eq!(dense.truncated, event.truncated, "{ctx}: truncated");
+    assert_eq!(
+        dense.max_simultaneous_discharging, event.max_simultaneous_discharging,
+        "{ctx}: co-discharge metric"
+    );
+    assert_eq!(dense.t_end.to_bits(), event.t_end.to_bits(), "{ctx}: t_end");
+    assert_eq!(dense.health, event.health, "{ctx}: health counters");
+}
+
+/// The option sets the kernels must agree under: plain CMOS, the paper's
+/// MTCMOS sizes (well- and under-sized), and both §5.3/§2.3 extensions.
+fn option_variants() -> Vec<VbsimOptions> {
+    vec![
+        VbsimOptions::cmos(),
+        VbsimOptions::mtcmos(10.0),
+        VbsimOptions::mtcmos(0.6),
+        VbsimOptions {
+            body_effect: true,
+            ..VbsimOptions::mtcmos(5.0)
+        },
+        VbsimOptions {
+            reverse_conduction: true,
+            ..VbsimOptions::mtcmos(3.0)
+        },
+    ]
+}
+
+/// Runs every `(transition, options)` combination through both kernels —
+/// the event kernel twice, once with a fresh scratch and once with a
+/// scratch reused (and recycled into) across the whole sweep, so warm
+/// memo tables and pooled buffers are proven not to leak into results.
+fn assert_kernels_agree(
+    netlist: &Netlist,
+    tech: &Technology,
+    transitions: &[(Vec<Logic>, Vec<Logic>)],
+) {
+    let engine = Engine::new(netlist, tech);
+    let mut warm = VbsimScratch::new();
+    for (k, opts) in option_variants().iter().enumerate() {
+        let dense_opts = VbsimOptions {
+            kernel: VbsimKernel::DenseScan,
+            ..opts.clone()
+        };
+        for (i, (from, to)) in transitions.iter().enumerate() {
+            let ctx = format!("{} variant {k} transition {i}", netlist.name());
+            let dense = engine.run(from, to, &dense_opts).expect("dense run");
+            let cold = engine.run(from, to, opts).expect("cold event run");
+            assert_runs_identical(&dense, &cold, &format!("cold {ctx}"));
+            let hot = engine
+                .run_with(from, to, opts, &mut warm)
+                .expect("warm event run");
+            assert_runs_identical(&dense, &hot, &format!("warm {ctx}"));
+            warm.recycle(hot);
+        }
+    }
+}
+
+#[test]
+fn adder_runs_are_bit_identical_across_kernels() {
+    let add = RippleAdder::paper();
+    let transitions: Vec<_> = [
+        (0u64, 0u64, 7u64, 5u64),
+        (3, 4, 1, 6),
+        (7, 7, 0, 1),
+        (5, 2, 2, 5),
+    ]
+    .iter()
+    .map(|&(a0, b0, a1, b1)| (add.input_values(a0, b0), add.input_values(a1, b1)))
+    .collect();
+    assert_kernels_agree(&add.netlist, &Technology::l07(), &transitions);
+}
+
+#[test]
+fn random_logic_runs_are_bit_identical_across_kernels() {
+    for seed in [7u64, 19, 1234] {
+        let rl = RandomLogic::new(&RandomLogicSpec {
+            inputs: 6,
+            gates: 24,
+            seed,
+            ..RandomLogicSpec::default()
+        })
+        .expect("random logic");
+        let transitions: Vec<_> = exhaustive_transitions(6)
+            .into_iter()
+            .step_by(509)
+            .map(|p| (bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6)))
+            .collect();
+        assert_kernels_agree(&rl.netlist, &Technology::l07(), &transitions);
+    }
+}
+
+#[test]
+fn multiplier_runs_are_bit_identical_across_kernels() {
+    // The glitch-heavy 8×8 array multiplier drives the deepest event
+    // cascades (hundreds of breakpoints, mid-swing reversals).
+    let mult = ArrayMultiplier::paper();
+    let transitions: Vec<_> = [
+        (0u64, 0u64, 255u64, 255u64),
+        (170, 85, 85, 170),
+        (19, 200, 19, 201),
+    ]
+    .iter()
+    .map(|&(x0, y0, x1, y1)| (mult.input_values(x0, y0), mult.input_values(x1, y1)))
+    .collect();
+    assert_kernels_agree(&mult.netlist, &Technology::l07(), &transitions);
+}
+
+/// End-to-end: the fault-tolerant parallel screener must produce a
+/// byte-identical deterministic trace no matter which kernel runs the
+/// legs and no matter the thread count — including under injected
+/// panics, errors, and overflow retries.
+#[test]
+fn faulted_screen_trace_is_kernel_and_thread_invariant() {
+    let add = RippleAdder::paper();
+    let tech = Technology::l07();
+    let transitions: Vec<Transition> = exhaustive_transitions(6)
+        .into_iter()
+        .take(32)
+        .map(|p| Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6)))
+        .collect();
+    let faults = FaultPlan {
+        panic_at: vec![3],
+        error_at: vec![5],
+        overflow_at: vec![7],
+        persistent_overflow_at: vec![9],
+        ..FaultPlan::default()
+    };
+
+    let trace_of = |kernel: VbsimKernel, threads: usize| -> String {
+        let opts = VbsimOptions {
+            kernel,
+            ..VbsimOptions::default()
+        };
+        let (_screened, report) = screen_vectors_par_quarantined(
+            &add.netlist,
+            &tech,
+            &transitions,
+            None,
+            10.0,
+            &opts,
+            threads,
+            FailurePolicy::quarantine(8),
+            &faults,
+        )
+        .expect("screen");
+        let mut trace = TraceReport::new("vbsim_kernel_equivalence");
+        trace.push_phase(report.to_phase("screen"));
+        trace.to_json(TraceMode::Deterministic)
+    };
+
+    let reference = trace_of(VbsimKernel::DenseScan, 1);
+    assert!(reference.contains("\"quarantined\": ["));
+    for kernel in [VbsimKernel::DenseScan, VbsimKernel::EventDriven] {
+        for threads in [1usize, 2, 8] {
+            let got = trace_of(kernel, threads);
+            assert_eq!(
+                got, reference,
+                "deterministic trace differs for {kernel:?} at threads={threads}"
+            );
+        }
+    }
+}
