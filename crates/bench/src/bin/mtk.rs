@@ -41,10 +41,10 @@
 use mtk_bench::cli::{
     bool_flag, emit_trace, f64_flag, failure_policy, flag, str_flag, threads_label, trace_config,
 };
+use mtk_bench::design_transitions;
 use mtk_bench::report::{ns, pct, print_table};
-use mtk_bench::transition_of;
+use mtk_bench::serve::{self, ServeConfig, Server};
 use mtk_circuits::golden::golden_designs;
-use mtk_circuits::vectors::exhaustive_transitions;
 use mtk_core::health::FaultPlan;
 use mtk_core::hybrid::{run_hybrid, HybridOptions, SpiceRunConfig};
 use mtk_core::sizing::{
@@ -53,19 +53,16 @@ use mtk_core::sizing::{
 use mtk_core::sta::Sta;
 use mtk_core::vbsim::{Engine, VbsimOptions};
 use mtk_fe::Design;
-use mtk_netlist::logic::Logic;
-use mtk_num::prng::Xoshiro256pp;
 use mtk_trace::{PhaseTrace, SpanRecorder, TraceReport};
-use std::time::Instant;
-
-/// Stream seed for the random vector sample (`--samples`).
-const SAMPLE_SEED: u64 = 0x4D_54_4B; // "MTK"
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mtk <lint|sta|screen|size|hybrid> <file.mtk> [flags]\n\
          \x20      mtk gen [--list | --all [--dir D] | <stem>]\n\
-         run `mtk` on a .mtk netlist; grammar and flags in DESIGN.md §11"
+         \x20      mtk serve [--addr H:P] [--store PATH] [--threads N] [--job-slots N]\n\
+         \x20      mtk client <host:port> <status|shutdown|screen|size|hybrid> [file.mtk] [flags]\n\
+         run `mtk` on a .mtk netlist; grammar and flags in DESIGN.md §11, protocol in §13"
     );
     std::process::exit(2);
 }
@@ -80,6 +77,12 @@ fn main() {
     let cmd = args.get(1).map(String::as_str).unwrap_or("");
     if cmd == "gen" {
         return cmd_gen(&args[2..]);
+    }
+    if cmd == "serve" {
+        return cmd_serve();
+    }
+    if cmd == "client" {
+        return cmd_client(&args[2..]);
     }
     let path = match args.get(2) {
         Some(p) if !p.starts_with("--") => p.clone(),
@@ -165,50 +168,10 @@ fn cmd_sta(design: &Design) {
 }
 
 /// The transitions a flow command runs, per the documented precedence,
-/// plus a human label for where they came from.
+/// plus a human label for where they came from (the CLI face of
+/// [`design_transitions`], shared with `mtk serve`).
 fn transitions_of(design: &Design) -> (Vec<Transition>, String) {
-    if !design.vectors.is_empty() {
-        let trs = design
-            .vectors
-            .iter()
-            .map(|s| Transition::new(s.from.clone(), s.to.clone()))
-            .collect::<Vec<_>>();
-        let label = format!("{} vector(s) from the file", trs.len());
-        return (trs, label);
-    }
-    let n = design.netlist.primary_inputs().len() as u32;
-    if n <= 6 {
-        let stride = flag("--stride", 1).max(1);
-        let trs: Vec<Transition> = exhaustive_transitions(n)
-            .into_iter()
-            .step_by(stride)
-            .map(|p| transition_of(p, n))
-            .collect();
-        let label = format!(
-            "{} exhaustive transition(s) of {n} input(s), stride {stride}",
-            trs.len()
-        );
-        return (trs, label);
-    }
-    let samples = flag("--samples", 256);
-    let bit = |rng: &mut Xoshiro256pp| {
-        if rng.next_u64() & 1 == 1 {
-            Logic::One
-        } else {
-            Logic::Zero
-        }
-    };
-    let trs: Vec<Transition> = (0..samples as u64)
-        .map(|i| {
-            let mut rng = Xoshiro256pp::stream(SAMPLE_SEED, i);
-            Transition::new(
-                (0..n).map(|_| bit(&mut rng)).collect(),
-                (0..n).map(|_| bit(&mut rng)).collect(),
-            )
-        })
-        .collect();
-    let label = format!("{samples} seeded random sample(s) over {n} inputs");
-    (trs, label)
+    design_transitions(design, flag("--stride", 1), flag("--samples", 256))
 }
 
 fn cmd_screen(design: &Design) {
@@ -282,7 +245,16 @@ fn cmd_size(design: &Design) {
         pct(target)
     );
     let engine = Engine::new(&design.netlist, &design.tech);
-    let cache = ScreeningCache::new();
+    // `--store PATH` makes warm reruns free across processes: every
+    // simulated leg is written through to the crash-safe log and a
+    // later `mtk size` over the same design replays it bit-identically.
+    let cache = match str_flag("--store") {
+        Some(path) => match ScreeningCache::persistent(&path) {
+            Ok(c) => c,
+            Err(e) => die(format!("--store {path}: {e}")),
+        },
+        None => ScreeningCache::new(),
+    };
     let t0 = Instant::now();
     let (w_over_l, health) = match size_for_target_cached(
         &engine,
@@ -298,6 +270,13 @@ fn cmd_size(design: &Design) {
     };
     let wall = t0.elapsed().as_secs_f64();
     println!("sleep transistor W/L = {w_over_l:.2} ({:.2} s wall)", wall);
+    if cache.store().is_some() {
+        let snap = cache.snapshot();
+        println!(
+            "store: {} leg(s) replayed, {} simulated and written through",
+            snap.store_hits, snap.misses
+        );
+    }
     let mut trace = TraceReport::new("mtk_size");
     let mut phase = PhaseTrace::new("size").with_wall(wall);
     phase.counters = health.counters();
@@ -401,5 +380,142 @@ fn cmd_gen(rest: &[String]) {
                 stems.join(", ")
             ));
         }
+    }
+}
+
+/// Drain flag set by the SIGTERM handler; polled by a watcher thread
+/// (the handler itself must stay async-signal-safe: one atomic store).
+static TERM_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    TERM_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM handler via the libc `signal(2)` symbol (std
+/// links libc on every supported platform; no crate dependency).
+fn install_sigterm() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+/// `mtk serve`: bind, print the bound address (port 0 picks an
+/// ephemeral one), accept until SIGTERM or a `shutdown` request, drain
+/// in-flight work, exit 0. Protocol and hardening contract in
+/// DESIGN.md §13.
+fn cmd_serve() {
+    let cfg = ServeConfig {
+        addr: str_flag("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        threads: flag("--threads", 1),
+        job_slots: flag("--job-slots", 2).max(1),
+        read_timeout: Duration::from_millis(flag("--read-timeout-ms", 5000) as u64),
+        write_timeout: Duration::from_millis(flag("--write-timeout-ms", 5000) as u64),
+        max_request_bytes: flag("--max-request-bytes", 8 * 1024 * 1024),
+        store_path: str_flag("--store").map(std::path::PathBuf::from),
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => die(e),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => die(e),
+    };
+    install_sigterm();
+    let state = server.state();
+    {
+        let state = std::sync::Arc::clone(&state);
+        std::thread::spawn(move || loop {
+            if TERM_REQUESTED.load(std::sync::atomic::Ordering::Relaxed) {
+                state.request_drain();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        });
+    }
+    println!("mtk serve: listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        die(e);
+    }
+    let counters = state.counter_snapshot();
+    println!(
+        "mtk serve: drained ({} store hit(s), {} store miss(es), {} rejected, {} conn timeout(s))",
+        counters.get(mtk_trace::CounterId::StoreHits),
+        counters.get(mtk_trace::CounterId::StoreMisses),
+        counters.get(mtk_trace::CounterId::RequestsRejected),
+        counters.get(mtk_trace::CounterId::ConnTimeouts),
+    );
+}
+
+/// `mtk client <host:port> <status|shutdown|screen|size|hybrid>
+/// [file.mtk] [flags]`: builds the request line (job designs are sent
+/// in canonical `.mtk` form so identical circuits dedup server-side),
+/// prints the response line, exits 0 on `ok`, 3 on `busy`, 1 on
+/// `error`, 2 on transport failures.
+fn cmd_client(rest: &[String]) {
+    let addr = match rest.first() {
+        Some(a) if !a.starts_with("--") => a.clone(),
+        _ => usage(),
+    };
+    let cmd = match rest.get(1) {
+        Some(c) if !c.starts_with("--") => c.as_str(),
+        _ => usage(),
+    };
+    let line = match cmd {
+        "status" | "shutdown" => format!("{{\"cmd\":\"{cmd}\"}}"),
+        "screen" | "size" | "hybrid" => {
+            let path = match rest.get(2) {
+                Some(p) if !p.starts_with("--") => p,
+                _ => usage(),
+            };
+            let design = load(path);
+            let mut fields = vec![
+                (
+                    "cmd".to_string(),
+                    mtk_trace::json::JsonValue::String(cmd.to_string()),
+                ),
+                (
+                    "design".to_string(),
+                    mtk_trace::json::JsonValue::String(design.to_mtk()),
+                ),
+            ];
+            let numbers = [
+                ("threads", flag("--threads", 1) as f64),
+                ("w_over_l", f64_flag("--w-over-l", 10.0)),
+                ("top_k", flag("--top-k", 10) as f64),
+                ("target", f64_flag("--target", 0.05)),
+                ("lo", f64_flag("--lo", 1.0)),
+                ("hi", f64_flag("--hi", 2000.0)),
+                ("stride", flag("--stride", 1) as f64),
+                ("samples", flag("--samples", 256) as f64),
+                ("top", flag("--top", 10) as f64),
+            ];
+            for (name, value) in numbers {
+                fields.push((name.to_string(), mtk_trace::json::JsonValue::Number(value)));
+            }
+            mtk_trace::json::JsonValue::Object(fields).to_compact()
+        }
+        _ => usage(),
+    };
+    let timeout = Duration::from_millis(flag("--timeout-ms", 120_000) as u64);
+    let response = match serve::request(&addr, &line, timeout) {
+        Ok(r) => r,
+        Err(e) => die(format!("{addr}: {e}")),
+    };
+    println!("{response}");
+    let status = mtk_trace::json::parse(&response)
+        .ok()
+        .and_then(|v| v.get("status").and_then(|s| s.as_str().map(String::from)))
+        .unwrap_or_default();
+    match status.as_str() {
+        "ok" => {}
+        "busy" => std::process::exit(3),
+        _ => std::process::exit(1),
     }
 }

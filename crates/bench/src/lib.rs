@@ -9,13 +9,74 @@
 
 pub mod cli;
 pub mod report;
+pub mod serve;
 pub mod speedfile;
 pub mod stats;
 pub mod timing;
 
 use mtk_circuits::vectors::VectorPair;
 use mtk_core::sizing::Transition;
-use mtk_netlist::logic::bits_lsb_first;
+use mtk_netlist::logic::{bits_lsb_first, Logic};
+use mtk_num::prng::Xoshiro256pp;
+
+/// Stream seed for the seeded random vector sample (`--samples` and the
+/// `samples` request field) — sample *i* comes from PRNG stream
+/// `(SAMPLE_SEED, i)`, so the set is identical at any thread count.
+pub const SAMPLE_SEED: u64 = 0x4D_54_4B; // "MTK"
+
+/// The transitions a flow command or serve job runs, per the documented
+/// precedence — `vector` lines from the file, else the exhaustive
+/// transition space when the circuit has ≤ 6 primary inputs (subsampled
+/// by `stride`), else `samples` seeded random pairs — plus a human label
+/// for where they came from. Shared by the `mtk` CLI and `mtk serve` so
+/// a design means the same workload on both paths.
+pub fn design_transitions(
+    design: &mtk_fe::Design,
+    stride: usize,
+    samples: usize,
+) -> (Vec<Transition>, String) {
+    if !design.vectors.is_empty() {
+        let trs = design
+            .vectors
+            .iter()
+            .map(|s| Transition::new(s.from.clone(), s.to.clone()))
+            .collect::<Vec<_>>();
+        let label = format!("{} vector(s) from the file", trs.len());
+        return (trs, label);
+    }
+    let n = design.netlist.primary_inputs().len() as u32;
+    if n <= 6 {
+        let stride = stride.max(1);
+        let trs: Vec<Transition> = mtk_circuits::vectors::exhaustive_transitions(n)
+            .into_iter()
+            .step_by(stride)
+            .map(|p| transition_of(p, n))
+            .collect();
+        let label = format!(
+            "{} exhaustive transition(s) of {n} input(s), stride {stride}",
+            trs.len()
+        );
+        return (trs, label);
+    }
+    let bit = |rng: &mut Xoshiro256pp| {
+        if rng.next_u64() & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    };
+    let trs: Vec<Transition> = (0..samples as u64)
+        .map(|i| {
+            let mut rng = Xoshiro256pp::stream(SAMPLE_SEED, i);
+            Transition::new(
+                (0..n).map(|_| bit(&mut rng)).collect(),
+                (0..n).map(|_| bit(&mut rng)).collect(),
+            )
+        })
+        .collect();
+    let label = format!("{samples} seeded random sample(s) over {n} inputs");
+    (trs, label)
+}
 
 /// Converts a packed [`VectorPair`] into a [`Transition`] over a circuit
 /// with `total_bits` primary inputs (the adder/multiplier generators

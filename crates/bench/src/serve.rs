@@ -1,0 +1,852 @@
+//! The `mtk serve` front-end: a long-lived, hardened TCP line/JSON
+//! protocol over the deterministic sizing machinery, backed by the
+//! crash-safe persistent result store.
+//!
+//! # Protocol (DESIGN.md §13)
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! * `{"cmd":"screen"|"size"|"hybrid","design":"<.mtk text>", ...}` —
+//!   run a job. Optional numeric fields: `threads`, `w_over_l`,
+//!   `top_k`, `target`, `lo`, `hi`, `stride`, `samples`, `top`.
+//! * `{"cmd":"status"}` — health snapshot: serve counters as a schema-v3
+//!   trace report, cache occupancy, store stats, connection gauges.
+//! * `{"cmd":"shutdown"}` — begin a graceful drain.
+//!
+//! Responses (always one line):
+//!
+//! * `{"status":"ok","cached":<bool>,"result":...,"trace":...}` — job
+//!   done; `trace` is the deterministic-mode trace report of the run
+//!   that *produced* the result. A cached response replays the stored
+//!   bytes, so identical requests get byte-identical `result`+`trace`
+//!   whether computed or replayed.
+//! * `{"status":"busy"}` — all job slots taken (bounded backpressure:
+//!   the server never queues unboundedly; retry).
+//! * `{"status":"error","error":"..."}` — malformed/oversized/failed.
+//!
+//! # Hardening contract
+//!
+//! Per-connection read *and* write timeouts (a stalled or half-open
+//! client costs one `conn_timeouts` tick, never a hung worker), a
+//! max-request-size bound (`requests_rejected`), bounded worker
+//! backpressure (explicit `busy`), in-flight dedup of identical
+//! requests (concurrent duplicates wait for the one execution and
+//! replay it), and graceful drain (stop accepting, finish in-flight
+//! work, exit cleanly). Every failure path is an `mtk_trace` counter —
+//! never an `eprintln!`.
+//!
+//! The request fingerprint (and store key) excludes `threads`: results
+//! are thread-count invariant by the workspace determinism contract, so
+//! the same design+options served at any parallelism dedups to one
+//! record.
+
+use mtk_core::health::{FailurePolicy, FaultPlan};
+use mtk_core::hybrid::{run_hybrid, HybridOptions, SpiceRunConfig};
+use mtk_core::sizing::{screen_vectors_par_quarantined, size_for_target_cached, ScreeningCache};
+use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_fe::Design;
+use mtk_store::{Store, StoreStats};
+use mtk_trace::json::{parse, JsonValue};
+use mtk_trace::{CounterId, CounterSet, PhaseTrace, TraceMode, TraceReport};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tag prefix of request-level records in the store, versioned
+/// separately from the container: bump when the request fingerprint or
+/// payload layout changes so stale records read as misses.
+const REQUEST_RECORD_TAG: &[u8; 5] = b"req1:";
+
+/// Knobs of one server instance. `Default` is tuned for tests and the
+/// CI smoke; production raises the timeouts and slots.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Default worker threads per job (a request's `threads` field
+    /// overrides; 0 means all cores).
+    pub threads: usize,
+    /// Maximum concurrently executing jobs; further job requests get an
+    /// explicit `busy` instead of queueing.
+    pub job_slots: usize,
+    /// Per-connection read timeout (bounds stalled/half-open clients).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (bounds clients that stop reading).
+    pub write_timeout: Duration,
+    /// Largest accepted request line, bytes.
+    pub max_request_bytes: usize,
+    /// Optional store log path; `None` serves without persistence
+    /// (in-flight dedup still works, replays are per-process).
+    pub store_path: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            job_slots: 2,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_bytes: 8 * 1024 * 1024,
+            store_path: None,
+        }
+    }
+}
+
+/// One in-flight job other connections can wait on.
+#[derive(Default)]
+struct Inflight {
+    done: Mutex<Option<Result<String, String>>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn publish(&self, outcome: Result<String, String>) {
+        *self.done.lock().unwrap() = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    /// Waits for the leader's outcome (bounded, so a lost leader cannot
+    /// wedge a waiter forever).
+    fn wait(&self) -> Option<Result<String, String>> {
+        let mut done = self.done.lock().unwrap();
+        let deadline = Duration::from_secs(600);
+        while done.is_none() {
+            let (guard, timeout) = self.cv.wait_timeout(done, deadline).unwrap();
+            done = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        done.clone()
+    }
+}
+
+/// Shared state behind one server: counters, the screening cache, the
+/// persistent store, in-flight dedup, and the drain flag.
+pub struct ServerState {
+    counters: Mutex<CounterSet>,
+    cache: ScreeningCache,
+    store: Option<Store>,
+    inflight: Mutex<HashMap<Vec<u8>, Arc<Inflight>>>,
+    slots_free: Mutex<usize>,
+    draining: AtomicBool,
+    open_conns: AtomicUsize,
+    store_put_errors: AtomicUsize,
+    default_threads: usize,
+}
+
+impl ServerState {
+    fn count(&self, id: CounterId, n: u64) {
+        self.counters.lock().unwrap().add(id, n);
+    }
+
+    /// Requests a graceful drain: the accept loop closes, in-flight
+    /// connections finish, [`Server::run`] returns.
+    pub fn request_drain(&self) {
+        self.draining.store(true, Relaxed);
+    }
+
+    /// True once a drain was requested.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Relaxed)
+    }
+
+    /// A copy of the serve counter set (for post-drain summaries).
+    pub fn counter_snapshot(&self) -> CounterSet {
+        self.counters.lock().unwrap().clone()
+    }
+
+    /// Serves the stored payload for a request key, counting the hit.
+    fn store_lookup(&self, key: &[u8]) -> Option<String> {
+        let store = self.store.as_ref()?;
+        let payload = String::from_utf8(store.get(key)?).ok()?;
+        self.count(CounterId::StoreHits, 1);
+        Some(payload)
+    }
+}
+
+/// RAII job slot: acquired before execution, returned on drop.
+struct SlotGuard<'a> {
+    state: &'a ServerState,
+}
+
+impl<'a> SlotGuard<'a> {
+    fn try_acquire(state: &'a ServerState) -> Option<SlotGuard<'a>> {
+        let mut free = state.slots_free.lock().unwrap();
+        if *free == 0 {
+            return None;
+        }
+        *free -= 1;
+        Some(SlotGuard { state })
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        *self.state.slots_free.lock().unwrap() += 1;
+    }
+}
+
+/// A bound listener plus its shared state; [`Server::run`] is the
+/// accept/drain loop.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Binds the listener and opens the store (when configured).
+    ///
+    /// # Errors
+    ///
+    /// Bind errors, and store open failures mapped to
+    /// [`std::io::ErrorKind::InvalidData`] — a corrupt-beyond-recovery
+    /// or foreign store file must fail loudly at startup, not serve
+    /// wrong bits later.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let (store, cache) = match &cfg.store_path {
+            Some(path) => {
+                let open = |p| {
+                    Store::open(p)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+                };
+                // Two handles on one log: request-level records and the
+                // screening cache's leg records share the file, writers
+                // serialized by the store's lock.
+                (Some(open(path)?), ScreeningCache::with_store(open(path)?))
+            }
+            None => (None, ScreeningCache::new()),
+        };
+        let state = Arc::new(ServerState {
+            counters: Mutex::new(CounterSet::new()),
+            cache,
+            store,
+            inflight: Mutex::new(HashMap::new()),
+            slots_free: Mutex::new(cfg.job_slots),
+            draining: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            store_put_errors: AtomicUsize::new(0),
+            default_threads: cfg.threads,
+        });
+        Ok(Server {
+            listener,
+            state,
+            cfg,
+        })
+    }
+
+    /// The bound address (read the ephemeral port back from here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to the shared state (drain requests, counter summaries).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accepts connections until a drain is requested (by SIGTERM via
+    /// [`ServerState::request_drain`] or a `shutdown` request), then
+    /// refuses new connections and waits for the open ones to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection errors are
+    /// counters, not failures.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.state.draining() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    let cfg = self.cfg.clone();
+                    state.open_conns.fetch_add(1, Relaxed);
+                    std::thread::spawn(move || {
+                        handle_conn(&state, stream, &cfg);
+                        state.open_conns.fetch_sub(1, Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: the listener drops here (new connections refused); open
+        // connections run to completion, bounded by their timeouts.
+        drop(self.listener);
+        while self.state.open_conns.load(Relaxed) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+/// What one read off the wire produced.
+enum ReadOutcome {
+    Line(String),
+    Eof,
+    TooLarge,
+    Timeout,
+    Error,
+}
+
+/// Reads newline-terminated requests with a size cap; leftover bytes
+/// after a newline stay buffered for the next request on the same
+/// connection.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn read_line(&mut self, cap: usize) -> ReadOutcome {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return ReadOutcome::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > cap {
+                return ReadOutcome::TooLarge;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return ReadOutcome::Timeout
+                }
+                Err(_) => return ReadOutcome::Error,
+            }
+        }
+    }
+}
+
+/// Writes one response line; a timeout counts against the connection.
+fn write_line(state: &ServerState, stream: &TcpStream, line: &str) -> bool {
+    let mut out = Vec::with_capacity(line.len() + 1);
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    match (&mut (&*stream)).write_all(&out) {
+        Ok(()) => true,
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            state.count(CounterId::ConnTimeouts, 1);
+            false
+        }
+        Err(_) => false,
+    }
+}
+
+/// One connection's request loop.
+fn handle_conn(state: &Arc<ServerState>, stream: TcpStream, cfg: &ServeConfig) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+    };
+    loop {
+        match reader.read_line(cfg.max_request_bytes) {
+            ReadOutcome::Line(line) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let (response, close) = handle_request(state, line);
+                if !write_line(state, &write_half, &response) || close {
+                    break;
+                }
+            }
+            ReadOutcome::TooLarge => {
+                state.count(CounterId::RequestsRejected, 1);
+                let _ = write_line(state, &write_half, &error_line("request too large"));
+                break;
+            }
+            ReadOutcome::Timeout => {
+                state.count(CounterId::ConnTimeouts, 1);
+                break;
+            }
+            ReadOutcome::Eof | ReadOutcome::Error => break,
+        }
+    }
+}
+
+/// Routes one request line to its handler; the bool asks the connection
+/// loop to close afterwards.
+fn handle_request(state: &Arc<ServerState>, line: &str) -> (String, bool) {
+    let request = match parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            state.count(CounterId::RequestsRejected, 1);
+            return (error_line(&format!("malformed request: {e}")), false);
+        }
+    };
+    match request.get("cmd").and_then(JsonValue::as_str) {
+        Some("status") => (status_line(state), false),
+        Some("shutdown") => {
+            state.request_drain();
+            (r#"{"status":"ok","draining":true}"#.to_string(), true)
+        }
+        Some(cmd @ ("screen" | "size" | "hybrid")) => {
+            match JobSpec::from_request(cmd, &request, state.default_threads) {
+                Ok(spec) => (handle_job(state, &spec), false),
+                Err(msg) => {
+                    state.count(CounterId::RequestsRejected, 1);
+                    (error_line(&msg), false)
+                }
+            }
+        }
+        _ => {
+            state.count(CounterId::RequestsRejected, 1);
+            (
+                error_line("unknown cmd (want screen|size|hybrid|status|shutdown)"),
+                false,
+            )
+        }
+    }
+}
+
+/// Store tier → in-flight dedup → bounded execution, in that order.
+fn handle_job(state: &Arc<ServerState>, spec: &JobSpec) -> String {
+    if state.draining() {
+        state.count(CounterId::RequestsRejected, 1);
+        return r#"{"status":"busy"}"#.to_string();
+    }
+    let key = spec.store_key();
+    if let Some(payload) = state.store_lookup(&key) {
+        return ok_line(true, &payload);
+    }
+    enum Role<'a> {
+        Leader(SlotGuard<'a>, Arc<Inflight>),
+        Waiter(Arc<Inflight>),
+    }
+    let role = {
+        let mut map = state.inflight.lock().unwrap();
+        if let Some(flight) = map.get(&key) {
+            Role::Waiter(Arc::clone(flight))
+        } else {
+            match SlotGuard::try_acquire(state) {
+                None => {
+                    state.count(CounterId::RequestsRejected, 1);
+                    return r#"{"status":"busy"}"#.to_string();
+                }
+                Some(guard) => {
+                    let flight = Arc::new(Inflight::default());
+                    map.insert(key.clone(), Arc::clone(&flight));
+                    Role::Leader(guard, flight)
+                }
+            }
+        }
+    };
+    match role {
+        Role::Waiter(flight) => {
+            let outcome = flight.wait();
+            // Prefer the committed store record so the replay serves the
+            // exact stored bytes (and counts as the store hit it is).
+            if let Some(payload) = state.store_lookup(&key) {
+                return ok_line(true, &payload);
+            }
+            match outcome {
+                Some(Ok(payload)) => ok_line(true, &payload),
+                Some(Err(msg)) => error_line(&msg),
+                None => error_line("deduplicated request timed out"),
+            }
+        }
+        Role::Leader(guard, flight) => {
+            // Close the lookup→insert race: a previous leader may have
+            // committed between our store miss and winning the in-flight
+            // slot. Re-checking here keeps "identical requests run one
+            // simulation" exact, not just probable.
+            if let Some(payload) = state.store_lookup(&key) {
+                state.inflight.lock().unwrap().remove(&key);
+                flight.publish(Ok(payload.clone()));
+                drop(guard);
+                return ok_line(true, &payload);
+            }
+            if state.store.is_some() {
+                state.count(CounterId::StoreMisses, 1);
+            }
+            let outcome = execute(state, spec);
+            if let (Ok(payload), Some(store)) = (&outcome, &state.store) {
+                if store.put(&key, payload.as_bytes()).is_err() {
+                    state.store_put_errors.fetch_add(1, Relaxed);
+                }
+            }
+            state.inflight.lock().unwrap().remove(&key);
+            flight.publish(outcome.clone());
+            drop(guard);
+            match outcome {
+                Ok(payload) => ok_line(false, &payload),
+                Err(msg) => error_line(&msg),
+            }
+        }
+    }
+}
+
+/// One validated job: canonicalized design plus every option that keys
+/// the result. `threads` is execution-only and excluded from the key.
+struct JobSpec {
+    cmd: &'static str,
+    design: Design,
+    canonical: String,
+    threads: usize,
+    w_over_l: f64,
+    top_k: usize,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    stride: usize,
+    samples: usize,
+    top: usize,
+}
+
+fn field_f64(req: &JsonValue, key: &str, default: f64) -> Result<f64, String> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| format!("field `{key}` must be a finite number")),
+    }
+}
+
+fn field_usize(req: &JsonValue, key: &str, default: usize) -> Result<usize, String> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|x| x as usize)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+impl JobSpec {
+    fn from_request(cmd: &str, req: &JsonValue, default_threads: usize) -> Result<JobSpec, String> {
+        let cmd = match cmd {
+            "screen" => "screen",
+            "size" => "size",
+            _ => "hybrid",
+        };
+        let text = req
+            .get("design")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `design` (the .mtk netlist text)")?;
+        let design = mtk_fe::parse_str(text, "<request>").map_err(|e| e.to_string())?;
+        let canonical = design.to_mtk();
+        Ok(JobSpec {
+            cmd,
+            design,
+            canonical,
+            threads: field_usize(req, "threads", default_threads)?,
+            w_over_l: field_f64(req, "w_over_l", 10.0)?,
+            top_k: field_usize(req, "top_k", 10)?,
+            target: field_f64(req, "target", 0.05)?,
+            lo: field_f64(req, "lo", 1.0)?,
+            hi: field_f64(req, "hi", 2000.0)?,
+            stride: field_usize(req, "stride", 1)?,
+            samples: field_usize(req, "samples", 256)?,
+            top: field_usize(req, "top", 10)?,
+        })
+    }
+
+    /// Content-addressed request fingerprint: tag + compact JSON of the
+    /// canonical design and every result-determining option, `threads`
+    /// deliberately excluded (results are thread-count invariant).
+    fn store_key(&self) -> Vec<u8> {
+        let obj = JsonValue::Object(vec![
+            ("cmd".into(), JsonValue::String(self.cmd.into())),
+            ("design".into(), JsonValue::String(self.canonical.clone())),
+            ("w_over_l".into(), JsonValue::Number(self.w_over_l)),
+            ("top_k".into(), JsonValue::Number(self.top_k as f64)),
+            ("target".into(), JsonValue::Number(self.target)),
+            ("lo".into(), JsonValue::Number(self.lo)),
+            ("hi".into(), JsonValue::Number(self.hi)),
+            ("stride".into(), JsonValue::Number(self.stride as f64)),
+            ("samples".into(), JsonValue::Number(self.samples as f64)),
+            ("top".into(), JsonValue::Number(self.top as f64)),
+        ]);
+        let mut key = REQUEST_RECORD_TAG.to_vec();
+        key.extend_from_slice(obj.to_compact().as_bytes());
+        key
+    }
+}
+
+/// Runs one job and serializes its payload:
+/// `{"result":...,"trace":<deterministic trace>}` — the unit the store
+/// persists and identical requests replay byte-for-byte.
+fn execute(state: &ServerState, spec: &JobSpec) -> Result<String, String> {
+    let (transitions, _label) = crate::design_transitions(&spec.design, spec.stride, spec.samples);
+    let policy = FailurePolicy::quarantine(32);
+    let (result, trace) = match spec.cmd {
+        "screen" => {
+            let (screened, report) = screen_vectors_par_quarantined(
+                &spec.design.netlist,
+                &spec.design.tech,
+                &transitions,
+                None,
+                spec.w_over_l,
+                &VbsimOptions::default(),
+                spec.threads,
+                policy,
+                &FaultPlan::none(),
+            )
+            .map_err(|e| e.to_string())?;
+            let mut trace = TraceReport::new("mtk_screen");
+            trace.push_phase(report.to_phase("screen"));
+            let top: Vec<JsonValue> = screened
+                .iter()
+                .take(spec.top)
+                .map(|s| {
+                    JsonValue::Object(vec![
+                        ("index".into(), JsonValue::Number(s.index as f64)),
+                        (
+                            "degradation".into(),
+                            JsonValue::Number(s.delays.degradation()),
+                        ),
+                    ])
+                })
+                .collect();
+            let result = JsonValue::Object(vec![
+                (
+                    "transitions".into(),
+                    JsonValue::Number(transitions.len() as f64),
+                ),
+                ("switching".into(), JsonValue::Number(screened.len() as f64)),
+                ("top".into(), JsonValue::Array(top)),
+            ]);
+            (result, trace)
+        }
+        "size" => {
+            let engine = Engine::new(&spec.design.netlist, &spec.design.tech);
+            let (w_over_l, health) = size_for_target_cached(
+                &engine,
+                &transitions,
+                None,
+                spec.target,
+                (spec.lo, spec.hi),
+                &VbsimOptions::default(),
+                &state.cache,
+            )
+            .map_err(|e| e.to_string())?;
+            let mut trace = TraceReport::new("mtk_size");
+            let mut phase = PhaseTrace::new("size");
+            phase.counters = health.counters();
+            trace.push_phase(phase);
+            let result = JsonValue::Object(vec![("w_over_l".into(), JsonValue::Number(w_over_l))]);
+            (result, trace)
+        }
+        _ => {
+            let opts = HybridOptions {
+                top_k: spec.top_k,
+                threads: spec.threads,
+                policy,
+                ..HybridOptions::at_size(spec.w_over_l, SpiceRunConfig::window(80e-9))
+            };
+            let report = run_hybrid(&spec.design.netlist, &spec.design.tech, &transitions, &opts)
+                .map_err(|e| e.to_string())?;
+            let findings: Vec<JsonValue> = report
+                .findings
+                .iter()
+                .map(|f| {
+                    JsonValue::Object(vec![
+                        ("index".into(), JsonValue::Number(f.index as f64)),
+                        (
+                            "screened".into(),
+                            JsonValue::Number(f.screened.degradation()),
+                        ),
+                        (
+                            "verified".into(),
+                            f.verified
+                                .map_or(JsonValue::Null, |v| JsonValue::Number(v.degradation())),
+                        ),
+                        (
+                            "delta".into(),
+                            f.delta.map_or(JsonValue::Null, JsonValue::Number),
+                        ),
+                    ])
+                })
+                .collect();
+            let result = JsonValue::Object(vec![
+                (
+                    "transitions".into(),
+                    JsonValue::Number(transitions.len() as f64),
+                ),
+                (
+                    "survivors".into(),
+                    JsonValue::Number(report.survivors as f64),
+                ),
+                ("findings".into(), JsonValue::Array(findings)),
+            ]);
+            (result, report.to_trace("mtk_hybrid"))
+        }
+    };
+    let trace_value = parse(&trace.to_json(TraceMode::Deterministic))
+        .map_err(|e| format!("internal: trace serialization failed: {e}"))?;
+    let payload = JsonValue::Object(vec![
+        ("result".into(), result),
+        ("trace".into(), trace_value),
+    ]);
+    Ok(payload.to_compact())
+}
+
+/// Splices a stored/computed payload object into a response line without
+/// re-serializing it — replays stay byte-identical by construction.
+fn ok_line(cached: bool, payload: &str) -> String {
+    debug_assert!(payload.starts_with('{') && payload.len() > 1);
+    format!("{{\"status\":\"ok\",\"cached\":{cached},{}", &payload[1..])
+}
+
+fn error_line(msg: &str) -> String {
+    JsonValue::Object(vec![
+        ("status".into(), JsonValue::String("error".into())),
+        ("error".into(), JsonValue::String(msg.into())),
+    ])
+    .to_compact()
+}
+
+fn store_stats_value(stats: StoreStats) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "live_records".into(),
+            JsonValue::Number(stats.live_records as f64),
+        ),
+        (
+            "dead_records".into(),
+            JsonValue::Number(stats.dead_records as f64),
+        ),
+        (
+            "conflicting_records".into(),
+            JsonValue::Number(stats.conflicting_records as f64),
+        ),
+        (
+            "corrupt_records".into(),
+            JsonValue::Number(stats.corrupt_records as f64),
+        ),
+        (
+            "log_bytes".into(),
+            JsonValue::Number(stats.log_bytes as f64),
+        ),
+    ])
+}
+
+/// The status response: connection gauges, cache occupancy
+/// ([`ScreeningCache::snapshot`]), store health, and the serve counters
+/// as a validating schema-v3 trace report.
+fn status_line(state: &ServerState) -> String {
+    let mut counters = state.counter_snapshot();
+    if let Some(store) = &state.store {
+        counters.add(
+            CounterId::StoreCorruptRecords,
+            store.stats().corrupt_records as u64,
+        );
+    }
+    let mut report = TraceReport::new("mtk_serve");
+    let mut phase = PhaseTrace::new("serve");
+    phase.counters = counters;
+    report.push_phase(phase);
+    let trace = parse(&report.to_json(TraceMode::Deterministic)).unwrap_or(JsonValue::Null);
+    let snap = state.cache.snapshot();
+    let cache = JsonValue::Object(vec![
+        ("legs".into(), JsonValue::Number(snap.legs as f64)),
+        ("hits".into(), JsonValue::Number(snap.hits as f64)),
+        ("misses".into(), JsonValue::Number(snap.misses as f64)),
+        (
+            "store_hits".into(),
+            JsonValue::Number(snap.store_hits as f64),
+        ),
+        (
+            "store_misses".into(),
+            JsonValue::Number(snap.store_misses as f64),
+        ),
+        (
+            "store_put_errors".into(),
+            JsonValue::Number(snap.store_put_errors as f64),
+        ),
+    ]);
+    let server = JsonValue::Object(vec![
+        ("draining".into(), JsonValue::Bool(state.draining())),
+        (
+            "open_connections".into(),
+            JsonValue::Number(state.open_conns.load(Relaxed) as f64),
+        ),
+        (
+            "in_flight".into(),
+            JsonValue::Number(state.inflight.lock().unwrap().len() as f64),
+        ),
+        (
+            "job_slots_free".into(),
+            JsonValue::Number(*state.slots_free.lock().unwrap() as f64),
+        ),
+        (
+            "store_put_errors".into(),
+            JsonValue::Number(state.store_put_errors.load(Relaxed) as f64),
+        ),
+        (
+            "store".into(),
+            state
+                .store
+                .as_ref()
+                .map_or(JsonValue::Null, |s| store_stats_value(s.stats())),
+        ),
+        ("cache".into(), cache),
+    ]);
+    JsonValue::Object(vec![
+        ("status".into(), JsonValue::String("ok".into())),
+        ("server".into(), server),
+        ("trace".into(), trace),
+    ])
+    .to_compact()
+}
+
+/// A minimal blocking client for tests, the `mtk client` subcommand,
+/// and the CI smoke: one request line out, one response line back.
+///
+/// # Errors
+///
+/// Connection and i/o errors; a response without a newline within the
+/// timeout is an error (the protocol is line-framed).
+pub fn request(addr: &str, line: &str, timeout: Duration) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut out = Vec::with_capacity(line.len() + 1);
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    (&mut (&stream)).write_all(&out)?;
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+    };
+    match reader.read_line(64 * 1024 * 1024) {
+        ReadOutcome::Line(l) => Ok(l.trim_end().to_string()),
+        ReadOutcome::Eof => Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "server closed the connection before responding",
+        )),
+        ReadOutcome::Timeout => Err(std::io::Error::new(
+            ErrorKind::TimedOut,
+            "timed out waiting for the response line",
+        )),
+        ReadOutcome::TooLarge | ReadOutcome::Error => Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "unreadable response",
+        )),
+    }
+}

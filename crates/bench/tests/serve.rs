@@ -1,0 +1,316 @@
+//! Wire-protocol contract of `mtk serve` (ISSUE 7 satellite): malformed
+//! JSON, oversized requests, half-open connections, bounded
+//! backpressure, concurrent identical requests deduped to one
+//! simulation, store-hit replays byte-identical, and graceful drain.
+
+use mtk_bench::serve::{request, ServeConfig, Server, ServerState};
+use mtk_trace::json::{parse, JsonValue};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A two-inverter chain with one file vector — small enough that every
+/// job completes in milliseconds.
+const CHAIN: &str = "mtk 1\ncircuit chain\ntech l07\nnet a\nnet m\nnet y cap=2e-14\n\
+                     input a\noutput y\ncell i1 inv a -> m\ncell i2 inv m -> y\n\
+                     vector 0 -> 1\nend\n";
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mtk_serve_{}_{name}.log", std::process::id()))
+}
+
+struct Cleanup(std::path::PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut lock = self.0.clone().into_os_string();
+        lock.push(".lock");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(lock));
+    }
+}
+
+/// Binds a server with `cfg`, runs it on a background thread, and
+/// returns (addr, state, join handle).
+fn start(cfg: ServeConfig) -> (String, Arc<ServerState>, std::thread::JoinHandle<()>) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let state = server.state();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    (addr, state, handle)
+}
+
+fn job_line(cmd: &str, extra: &str) -> String {
+    let design = JsonValue::String(CHAIN.into()).to_compact();
+    format!("{{\"cmd\":\"{cmd}\",\"design\":{design}{extra}}}")
+}
+
+/// Reads `trace.totals.counters.<name>` out of a status response.
+fn counter(status: &str, name: &str) -> u64 {
+    parse(status)
+        .expect("status parses")
+        .get("trace")
+        .and_then(|t| t.get("totals"))
+        .and_then(|t| t.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("counter {name} missing in {status}"))
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let resp = request(addr, r#"{"cmd":"shutdown"}"#, CLIENT_TIMEOUT).expect("shutdown");
+    assert!(resp.contains("\"draining\":true"), "{resp}");
+    handle.join().expect("drained cleanly");
+}
+
+#[test]
+fn identical_requests_replay_byte_identical_from_the_store() {
+    let path = scratch("replay");
+    let _c = Cleanup(path.clone());
+    let (addr, _state, handle) = start(ServeConfig {
+        store_path: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+
+    let line = job_line("hybrid", ",\"top_k\":4");
+    let first = request(&addr, &line, CLIENT_TIMEOUT).expect("first");
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    assert!(first.contains("\"cached\":false"), "{first}");
+    assert!(first.contains("\"trace\":"), "{first}");
+
+    // Same request again: a store hit whose payload is byte-identical.
+    let second = request(&addr, &line, CLIENT_TIMEOUT).expect("second");
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(
+        second.replacen("\"cached\":true", "\"cached\":false", 1),
+        first,
+        "store replay must be byte-identical apart from the cached flag"
+    );
+
+    // The `threads` field is execution-only: a different thread count is
+    // the same request and hits the same record.
+    let threaded = request(
+        &addr,
+        &job_line("hybrid", ",\"top_k\":4,\"threads\":8"),
+        CLIENT_TIMEOUT,
+    )
+    .expect("threaded");
+    assert_eq!(
+        threaded.replacen("\"cached\":true", "\"cached\":false", 1),
+        first,
+        "thread count must not key the store"
+    );
+
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(counter(&status, "store_misses"), 1, "one simulation");
+    assert_eq!(counter(&status, "store_hits"), 2, "two replays");
+    shutdown(&addr, handle);
+
+    // The log survives the server: a fresh one replays without work.
+    let (addr2, _state2, handle2) = start(ServeConfig {
+        store_path: Some(path),
+        ..ServeConfig::default()
+    });
+    let revived = request(&addr2, &line, CLIENT_TIMEOUT).expect("revived");
+    assert_eq!(
+        revived.replacen("\"cached\":true", "\"cached\":false", 1),
+        first,
+        "replay must survive a server restart"
+    );
+    let status2 = request(&addr2, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status2");
+    assert_eq!(counter(&status2, "store_misses"), 0);
+    shutdown(&addr2, handle2);
+}
+
+#[test]
+fn trace_is_byte_identical_at_any_thread_count() {
+    // Three independent stores, same request at threads 1/2/8: each
+    // server simulates once, and the deterministic payloads must agree
+    // byte for byte (the workspace determinism contract, over the wire).
+    let mut responses = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let path = scratch(&format!("threads{threads}"));
+        let _c = Cleanup(path.clone());
+        let (addr, _state, handle) = start(ServeConfig {
+            store_path: Some(path),
+            ..ServeConfig::default()
+        });
+        let line = job_line("screen", &format!(",\"threads\":{threads}"));
+        responses.push(request(&addr, &line, CLIENT_TIMEOUT).expect("screen"));
+        shutdown(&addr, handle);
+    }
+    assert!(responses[0].contains("\"cached\":false"));
+    assert_eq!(responses[0], responses[1], "threads 1 vs 2");
+    assert_eq!(responses[0], responses[2], "threads 1 vs 8");
+}
+
+#[test]
+fn concurrent_identical_requests_dedup_to_one_simulation() {
+    let path = scratch("dedup");
+    let _c = Cleanup(path.clone());
+    let (addr, _state, handle) = start(ServeConfig {
+        job_slots: 4,
+        store_path: Some(path),
+        ..ServeConfig::default()
+    });
+    let line = job_line("size", ",\"target\":0.08");
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let line = line.clone();
+            std::thread::spawn(move || request(&addr, &line, CLIENT_TIMEOUT).expect("job"))
+        })
+        .collect();
+    let responses: Vec<String> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let normalized: Vec<String> = responses
+        .iter()
+        .map(|r| r.replacen("\"cached\":true", "\"cached\":false", 1))
+        .collect();
+    for r in &normalized[1..] {
+        assert_eq!(r, &normalized[0], "deduped responses must agree");
+    }
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(
+        counter(&status, "store_misses"),
+        1,
+        "exactly one simulation for four identical concurrent requests"
+    );
+    assert_eq!(
+        responses
+            .iter()
+            .filter(|r| r.contains("\"cached\":false"))
+            .count(),
+        1,
+        "exactly one leader"
+    );
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn malformed_and_unknown_requests_are_rejected() {
+    let (addr, _state, handle) = start(ServeConfig::default());
+    let bad = [
+        "this is not json",
+        r#"{"cmd":"explode"}"#,
+        r#"{"cmd":"screen"}"#,
+        r#"{"cmd":"screen","design":"mtk 1\nnot a design\nend\n"}"#,
+        r#"{"cmd":"size","design":"","target":"not a number"}"#,
+    ];
+    for line in bad {
+        let resp = request(&addr, line, CLIENT_TIMEOUT).expect("responds");
+        assert!(resp.contains("\"status\":\"error\""), "{line} -> {resp}");
+    }
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(counter(&status, "requests_rejected"), bad.len() as u64);
+    // A rejected request must not poison the connection for valid ones:
+    // errors and a success can share one connection (exercised via the
+    // single-request client repeatedly above) — and the server still
+    // serves jobs.
+    let ok = request(&addr, &job_line("screen", ""), CLIENT_TIMEOUT).expect("screen");
+    assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn oversized_request_is_rejected_and_the_connection_closed() {
+    let (addr, _state, handle) = start(ServeConfig {
+        max_request_bytes: 1024,
+        ..ServeConfig::default()
+    });
+    let huge = format!("{{\"cmd\":\"screen\",\"design\":\"{}\"}}", "x".repeat(4096));
+    let resp = request(&addr, &huge, CLIENT_TIMEOUT).expect("responds");
+    assert!(resp.contains("request too large"), "{resp}");
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(counter(&status, "requests_rejected"), 1);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn half_open_connection_times_out_and_is_counted() {
+    let (addr, _state, handle) = start(ServeConfig {
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    // A client that sends half a request and stalls.
+    let mut stalled = TcpStream::connect(&addr).expect("connect");
+    stalled
+        .write_all(b"{\"cmd\":\"status\"")
+        .expect("partial write");
+    // The server must drop us after its read timeout.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    match stalled.read(&mut buf) {
+        Ok(0) | Err(_) => {} // orderly FIN or reset — both are "dropped"
+        Ok(n) => panic!("half-open connection must be closed, got {n} bytes"),
+    }
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(counter(&status, "conn_timeouts"), 1);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn backpressure_is_an_explicit_busy_response() {
+    let (addr, _state, handle) = start(ServeConfig {
+        job_slots: 0,
+        ..ServeConfig::default()
+    });
+    let resp = request(&addr, &job_line("screen", ""), CLIENT_TIMEOUT).expect("responds");
+    assert_eq!(resp, r#"{"status":"busy"}"#);
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(counter(&status, "requests_rejected"), 1);
+    // status/shutdown need no slot — the control plane stays responsive.
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn drain_refuses_new_connections_and_run_returns() {
+    let (addr, state, handle) = start(ServeConfig::default());
+    assert!(!state.draining());
+    shutdown(&addr, handle); // joins run(): drained and returned
+    assert!(state.draining());
+    // New connections are refused once drained (the listener is gone).
+    let refused = TcpStream::connect(&addr);
+    assert!(refused.is_err(), "listener must be closed after drain");
+}
+
+#[test]
+fn status_reports_cache_and_store_health() {
+    let path = scratch("status");
+    let _c = Cleanup(path.clone());
+    let (addr, _state, handle) = start(ServeConfig {
+        store_path: Some(path),
+        ..ServeConfig::default()
+    });
+    // A size job populates the shared screening cache through the store.
+    let resp = request(&addr, &job_line("size", ""), CLIENT_TIMEOUT).expect("size");
+    assert!(resp.contains("\"w_over_l\":"), "{resp}");
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    let v = parse(&status).expect("parses");
+    let server = v.get("server").expect("server section");
+    let cache = server.get("cache").expect("cache section");
+    assert!(
+        cache.get("legs").and_then(JsonValue::as_u64).unwrap() > 0,
+        "size job must populate the screening cache: {status}"
+    );
+    assert!(
+        server
+            .get("store")
+            .and_then(|s| s.get("live_records"))
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0,
+        "store must hold the request and leg records: {status}"
+    );
+    assert_eq!(
+        server
+            .get("store")
+            .and_then(|s| s.get("corrupt_records"))
+            .and_then(JsonValue::as_u64),
+        Some(0)
+    );
+    shutdown(&addr, handle);
+}

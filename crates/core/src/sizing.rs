@@ -261,6 +261,127 @@ struct LegKey {
     max_events: usize,
 }
 
+/// Tag prefix of leg records in a persistent store, versioned
+/// separately from the store container format: bump when the key or
+/// value encoding below changes so stale records read as misses (the
+/// key no longer matches), never as wrong answers.
+const LEG_RECORD_TAG: &[u8; 4] = b"leg1";
+
+impl LegKey {
+    /// Canonical byte encoding of the key for the persistent store:
+    /// tag, then every field little-endian with length-prefixed
+    /// variable parts. Equal keys encode to equal bytes and vice versa.
+    fn store_key(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.probes.len() * 8);
+        out.extend_from_slice(LEG_RECORD_TAG);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.tech.to_le_bytes());
+        out.extend_from_slice(&(self.probes.len() as u32).to_le_bytes());
+        for &p in &self.probes {
+            out.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.from.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.from);
+        out.extend_from_slice(&(self.to.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.to);
+        out.push(self.sleep.0);
+        out.extend_from_slice(&self.sleep.1.to_le_bytes());
+        out.push(self.body_effect as u8);
+        out.push(self.reverse_conduction as u8);
+        out.extend_from_slice(&self.t_stop_bits.to_le_bytes());
+        out.extend_from_slice(&(self.max_events as u64).to_le_bytes());
+        out
+    }
+}
+
+impl LegResult {
+    /// Byte encoding of one stored leg: crossings (presence byte +
+    /// `f64::to_bits`), flags, then every [`RunHealth`] counter — the
+    /// stored health is what makes a cross-process replay bit-identical.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.crossings.len() * 9);
+        out.extend_from_slice(&(self.crossings.len() as u32).to_le_bytes());
+        for c in &self.crossings {
+            match c {
+                Some(t) => {
+                    out.push(1);
+                    out.extend_from_slice(&t.to_bits().to_le_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+            }
+        }
+        out.push(self.stalled as u8);
+        out.push(self.truncated as u8);
+        for v in [
+            self.health.breakpoints,
+            self.health.max_events,
+            self.health.glitch_reversals,
+            self.health.vx_fallbacks,
+            self.health.cache_hits,
+            self.health.cache_misses,
+        ] {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`LegResult::encode`]. Returns `None` on any length or
+    /// flag mismatch — a malformed record is treated as a cache miss,
+    /// never served.
+    fn decode(bytes: &[u8]) -> Option<LegResult> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if bytes.len() < n {
+                return None;
+            }
+            let (head, tail) = bytes.split_at(n);
+            *bytes = tail;
+            Some(head)
+        }
+        fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+            Some(u64::from_le_bytes(take(bytes, 8)?.try_into().ok()?))
+        }
+        let mut rest = bytes;
+        let n = u32::from_le_bytes(take(&mut rest, 4)?.try_into().ok()?) as usize;
+        let mut crossings = Vec::with_capacity(n);
+        for _ in 0..n {
+            let present = take(&mut rest, 1)?[0];
+            let bits = take_u64(&mut rest)?;
+            crossings.push(match present {
+                0 => None,
+                1 => Some(f64::from_bits(bits)),
+                _ => return None,
+            });
+        }
+        let flag = |b: u8| match b {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        };
+        let stalled = flag(take(&mut rest, 1)?[0])?;
+        let truncated = flag(take(&mut rest, 1)?[0])?;
+        let health = RunHealth {
+            breakpoints: take_u64(&mut rest)? as usize,
+            max_events: take_u64(&mut rest)? as usize,
+            glitch_reversals: take_u64(&mut rest)? as usize,
+            vx_fallbacks: take_u64(&mut rest)? as usize,
+            cache_hits: take_u64(&mut rest)? as usize,
+            cache_misses: take_u64(&mut rest)? as usize,
+        };
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(LegResult {
+            crossings,
+            stalled,
+            truncated,
+            health,
+        })
+    }
+}
+
 impl LegKey {
     fn new(
         fingerprint: u64,
@@ -312,37 +433,119 @@ impl LegKey {
 /// are only schedule-independent when each key is driven from one
 /// thread (the serial sizing loops); racing computes of the same key
 /// stay correct but may double-count misses.
+///
+/// # Persistence
+///
+/// By default the memo is in-memory only and dies with the process.
+/// [`ScreeningCache::with_store`] / [`ScreeningCache::persistent`]
+/// attach a crash-safe [`mtk_store::Store`] tier consulted between the
+/// memory map and the simulator: a store hit decodes the stored leg
+/// (replaying its [`RunHealth`] bit-identically, exactly like a memory
+/// hit), and every simulated leg is written through. Store write
+/// failures are counted ([`CacheSnapshot::store_put_errors`]), never
+/// propagated — a broken disk degrades to an in-memory cache, it does
+/// not fail sizing.
 #[derive(Debug, Default)]
 pub struct ScreeningCache {
     legs: std::sync::Mutex<std::collections::HashMap<LegKey, LegResult>>,
     hits: std::sync::atomic::AtomicUsize,
     misses: std::sync::atomic::AtomicUsize,
+    store: Option<mtk_store::Store>,
+    store_hits: std::sync::atomic::AtomicUsize,
+    store_misses: std::sync::atomic::AtomicUsize,
+    store_put_errors: std::sync::atomic::AtomicUsize,
+}
+
+/// A point-in-time health snapshot of a [`ScreeningCache`], the unit
+/// `mtk serve` reports in its status response. All counters are
+/// **process-lifetime** (since the cache was constructed), except
+/// [`CacheSnapshot::store`], which reflects the persistent log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Distinct legs in the in-memory map right now.
+    pub legs: usize,
+    /// Legs served from memory or store since construction.
+    pub hits: usize,
+    /// Legs simulated since construction.
+    pub misses: usize,
+    /// Legs decoded from the persistent store (subset of `hits`).
+    pub store_hits: usize,
+    /// Legs simulated because the attached store had no usable record.
+    /// Zero when no store is attached.
+    pub store_misses: usize,
+    /// Store writes that failed and were swallowed (cache degraded to
+    /// memory-only for those legs).
+    pub store_put_errors: usize,
+    /// Health of the attached persistent store, when there is one.
+    pub store: Option<mtk_store::StoreStats>,
 }
 
 impl ScreeningCache {
-    /// An empty cache.
+    /// An empty in-memory cache (no persistence).
     pub fn new() -> Self {
         ScreeningCache::default()
     }
 
-    /// Total legs served from the cache since construction.
+    /// An empty cache backed by an already-open persistent store.
+    pub fn with_store(store: mtk_store::Store) -> Self {
+        ScreeningCache {
+            store: Some(store),
+            ..ScreeningCache::default()
+        }
+    }
+
+    /// Opens (or creates) the store log at `path` and attaches it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`mtk_store::StoreError`] from [`mtk_store::Store::open`].
+    pub fn persistent(path: impl AsRef<std::path::Path>) -> Result<Self, mtk_store::StoreError> {
+        Ok(ScreeningCache::with_store(mtk_store::Store::open(path)?))
+    }
+
+    /// The attached persistent store, when there is one.
+    pub fn store(&self) -> Option<&mtk_store::Store> {
+        self.store.as_ref()
+    }
+
+    /// Total legs served from the cache (memory or store) since
+    /// construction. **Process-lifetime**, not persistent: a new process
+    /// starts at zero even when it reuses a store log.
     pub fn hits(&self) -> usize {
         self.hits.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Total legs simulated and inserted since construction.
+    /// Total legs simulated and inserted since construction
+    /// (**process-lifetime**, like [`ScreeningCache::hits`]).
     pub fn misses(&self) -> usize {
         self.misses.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Number of distinct legs currently stored.
+    /// Number of distinct legs in the in-memory map. Store records not
+    /// yet touched by this process are not counted — see
+    /// [`ScreeningCache::snapshot`] for the store's own occupancy.
     pub fn len(&self) -> usize {
         self.legs.lock().unwrap().len()
     }
 
-    /// Whether the cache holds no legs.
+    /// Whether the in-memory map holds no legs.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A consistent point-in-time health snapshot (occupancy, hit/miss
+    /// totals, store tier) for status reporting.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        CacheSnapshot {
+            legs: self.len(),
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            store_hits: self.store_hits.load(Relaxed),
+            store_misses: self.store_misses.load(Relaxed),
+            store_put_errors: self.store_put_errors.load(Relaxed),
+            store: self.store.as_ref().map(|s| s.stats()),
+        }
     }
 
     /// Looks up or computes one leg. The boolean reports a hit. Only
@@ -356,6 +559,7 @@ impl ScreeningCache {
         base: &VbsimOptions,
         scratch: &mut VbsimScratch,
     ) -> Result<(LegResult, bool), CoreError> {
+        use std::sync::atomic::Ordering::Relaxed;
         let key = LegKey::new(
             engine.fingerprint(),
             engine.tech().fingerprint(),
@@ -365,15 +569,34 @@ impl ScreeningCache {
             base,
         );
         if let Some(found) = self.legs.lock().unwrap().get(&key).cloned() {
-            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.hits.fetch_add(1, Relaxed);
             return Ok((found, true));
+        }
+        // Second tier: the persistent store. A decodable record replays
+        // exactly like a memory hit (stored health included); a missing
+        // or malformed one falls through to simulation.
+        if let Some(store) = &self.store {
+            if let Some(leg) = store
+                .get(&key.store_key())
+                .and_then(|bytes| LegResult::decode(&bytes))
+            {
+                self.store_hits.fetch_add(1, Relaxed);
+                self.hits.fetch_add(1, Relaxed);
+                self.legs.lock().unwrap().insert(key, leg.clone());
+                return Ok((leg, true));
+            }
+            self.store_misses.fetch_add(1, Relaxed);
         }
         // Simulate without holding the lock; concurrent misses on the
         // same key both compute (identical results, so last-write-wins
         // is harmless).
         let leg = run_leg(engine, tr, outputs, &leg_options(sleep, base), scratch)?;
-        self.misses
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.misses.fetch_add(1, Relaxed);
+        if let Some(store) = &self.store {
+            if store.put(&key.store_key(), &leg.encode()).is_err() {
+                self.store_put_errors.fetch_add(1, Relaxed);
+            }
+        }
         self.legs.lock().unwrap().insert(key, leg.clone());
         Ok((leg, false))
     }

@@ -1,0 +1,841 @@
+//! A crash-safe, content-addressed, on-disk result store.
+//!
+//! The sizing pipeline's `ScreeningCache` makes warm reruns free *within*
+//! one process; this crate makes them free *across* processes and CI
+//! runs, and gives `mtk serve` a durable result tier. The design goal is
+//! robustness first: a process crash, a torn write, or a corrupted tail
+//! must never panic a reader, never serve bad bits, and lose at most the
+//! record that was being written.
+//!
+//! # On-disk format
+//!
+//! One append-only log file:
+//!
+//! ```text
+//! header:  "MTKSTORE" (8 bytes) | u32 LE STORE_VERSION
+//! record:  u32 LE body_len | body | u64 LE fnv1a(body)
+//! body:    u32 LE key_len | key bytes | value bytes
+//! ```
+//!
+//! Records are content-addressed: the key is caller-chosen bytes
+//! (typically a fingerprint tuple) and the value is an opaque payload.
+//! The log is never updated in place — `put` only appends, and
+//! [`Store::compact`] rewrites the whole file atomically (temp file +
+//! rename).
+//!
+//! # Crash-safety contract
+//!
+//! * **Torn tails are truncated, not trusted.** Loading scans records
+//!   front to back; the first record whose length prefix, body bytes, or
+//!   checksum is invalid ends the valid prefix. Everything before it is
+//!   served; everything from it on is counted as **one** corrupt record
+//!   ([`StoreStats::corrupt_records`]) and physically truncated by the
+//!   next write. No scan path panics.
+//! * **Duplicate keys never shadow silently.** A later record whose key
+//!   already exists with a *different* payload is a conflict: the first
+//!   writer wins and [`StoreStats::conflicting_records`] is incremented
+//!   (the append-only analogue of the `Triplets` duplicate-merge bug —
+//!   see DESIGN.md §13). A later record with an *identical* payload is
+//!   merely dead weight and counts in [`StoreStats::dead_records`].
+//! * **One writer at a time, readers lock-free.** A sibling `.lock` file
+//!   (created with `O_EXCL`, holding the writer's PID) serializes writers
+//!   across processes; stale locks from dead processes are detected via
+//!   `/proc` and broken. Readers never touch the lock file — they only
+//!   ever see the log's valid prefix, which appends cannot invalidate.
+//!
+//! # Maintenance
+//!
+//! [`Store::verify`] re-scans the file from disk and reports what a
+//! fresh open would find. [`Store::compact`] rewrites the log with only
+//! live records (dropping dead, conflicting, and corrupt bytes),
+//! atomically.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Version number embedded in the log header. Bump on any change to the
+/// record layout; [`Store::open`] refuses files written by a different
+/// version rather than guessing.
+pub const STORE_VERSION: u32 = 1;
+
+/// Magic bytes opening every store file.
+const MAGIC: &[u8; 8] = b"MTKSTORE";
+
+/// Header length: magic + version.
+const HEADER_LEN: u64 = 12;
+
+/// Upper bound on one record body, a plausibility guard so a corrupt
+/// length prefix cannot drive a multi-gigabyte allocation.
+const MAX_BODY_BYTES: u32 = 64 * 1024 * 1024;
+
+/// How long [`Store::put`] waits for the writer lock before giving up.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// FNV-1a over a byte slice — the checksum primitive of the record log
+/// (the same hash family the netlist/technology fingerprints use).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything that can go wrong opening or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file exists but does not start with the store magic — it is
+    /// not a store log, so it is refused rather than truncated.
+    NotAStore {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// The file is a store log written by an incompatible version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The writer lock could not be acquired within the timeout.
+    LockTimeout {
+        /// The lock file path.
+        path: PathBuf,
+    },
+    /// A record exceeds the plausibility bound and cannot be written.
+    RecordTooLarge {
+        /// Size of the offending record body.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::NotAStore { path } => {
+                write!(f, "{} is not an mtk-store log (bad magic)", path.display())
+            }
+            StoreError::VersionMismatch { found } => write!(
+                f,
+                "store version {found} is not the supported {STORE_VERSION}"
+            ),
+            StoreError::LockTimeout { path } => {
+                write!(f, "timed out waiting for writer lock {}", path.display())
+            }
+            StoreError::RecordTooLarge { bytes } => {
+                write!(f, "record body of {bytes} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Health counters of a store: what a scan found and what maintenance
+/// would reclaim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct keys currently served.
+    pub live_records: usize,
+    /// Redundant records (duplicate key, identical payload).
+    pub dead_records: usize,
+    /// Duplicate-key records with a *different* payload that were
+    /// rejected (first writer wins).
+    pub conflicting_records: usize,
+    /// Torn or corrupt tails detected and excluded (at most one per
+    /// recovery — the log cannot be resynchronized past the first bad
+    /// byte).
+    pub corrupt_records: usize,
+    /// Length in bytes of the valid log prefix (header included).
+    pub log_bytes: u64,
+}
+
+/// Outcome of scanning a log image.
+struct Scan {
+    /// Live entries in first-written order.
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Key → index into `entries`.
+    index: HashMap<Vec<u8>, usize>,
+    stats: StoreStats,
+}
+
+/// Scans record bytes (the region after the header) and produces the
+/// live map plus stats. Never panics: any malformed byte ends the valid
+/// prefix.
+fn scan_records(bytes: &[u8], base_offset: u64) -> Scan {
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut stats = StoreStats::default();
+    let mut off: usize = 0;
+    loop {
+        let rest = &bytes[off..];
+        if rest.is_empty() {
+            break;
+        }
+        // Length prefix.
+        let Some(len_bytes) = rest.get(0..4) else {
+            stats.corrupt_records += 1;
+            break;
+        };
+        let body_len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if body_len < 4 || body_len > MAX_BODY_BYTES as usize {
+            stats.corrupt_records += 1;
+            break;
+        }
+        let Some(body) = rest.get(4..4 + body_len) else {
+            stats.corrupt_records += 1;
+            break;
+        };
+        let Some(sum_bytes) = rest.get(4 + body_len..4 + body_len + 8) else {
+            stats.corrupt_records += 1;
+            break;
+        };
+        let stored_sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if stored_sum != fnv1a(body) {
+            stats.corrupt_records += 1;
+            break;
+        }
+        // Body: key_len | key | value.
+        let key_len = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+        if key_len > body_len - 4 {
+            stats.corrupt_records += 1;
+            break;
+        }
+        let key = body[4..4 + key_len].to_vec();
+        let value = body[4 + key_len..].to_vec();
+        match index.get(&key) {
+            Some(&at) if entries[at].1 == value => stats.dead_records += 1,
+            Some(_) => stats.conflicting_records += 1, // first writer wins
+            None => {
+                index.insert(key.clone(), entries.len());
+                entries.push((key, value));
+            }
+        }
+        off += 4 + body_len + 8;
+    }
+    stats.live_records = entries.len();
+    stats.log_bytes = base_offset + off as u64;
+    Scan {
+        entries,
+        index,
+        stats,
+    }
+}
+
+/// Serializes one record (length prefix + body + checksum).
+fn encode_record(key: &[u8], value: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let body_len = 4 + key.len() + value.len();
+    if body_len > MAX_BODY_BYTES as usize {
+        return Err(StoreError::RecordTooLarge { bytes: body_len });
+    }
+    let mut out = Vec::with_capacity(4 + body_len + 8);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    let body_start = 4;
+    let sum = fnv1a(&out[body_start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    Ok(out)
+}
+
+/// The store header bytes.
+fn header_bytes() -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..].copy_from_slice(&STORE_VERSION.to_le_bytes());
+    h
+}
+
+/// In-memory state behind the store's mutex.
+struct Inner {
+    /// Live entries in first-written order (compaction preserves it).
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Key → index into `entries`.
+    index: HashMap<Vec<u8>, usize>,
+    /// End offset of the valid log prefix (header included). Appends go
+    /// here; anything beyond is a torn tail awaiting truncation.
+    valid_len: u64,
+    stats: StoreStats,
+}
+
+/// RAII guard for the sibling `.lock` file; removing it on drop releases
+/// the writer lock even on error paths.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// True when the PID recorded in a lock file no longer names a live
+/// process (Linux: `/proc/<pid>` vanished). Unknown contents are treated
+/// as live so we never break a lock we cannot reason about.
+fn lock_is_stale(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(pid) = text.trim().parse::<u32>() else {
+        return false;
+    };
+    if pid == std::process::id() {
+        // Our own PID in a leftover lock (a previous incarnation): stale.
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// Acquires the writer lock, breaking stale locks, waiting up to
+/// [`LOCK_TIMEOUT`].
+fn acquire_lock(lock_path: &Path) -> Result<LockGuard, StoreError> {
+    let deadline = Instant::now() + LOCK_TIMEOUT;
+    loop {
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock_path)
+        {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                return Ok(LockGuard {
+                    path: lock_path.to_path_buf(),
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                if lock_is_stale(lock_path) {
+                    let _ = std::fs::remove_file(lock_path);
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    return Err(StoreError::LockTimeout {
+                        path: lock_path.to_path_buf(),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+    }
+}
+
+/// A content-addressed, versioned, crash-safe on-disk cache (see the
+/// crate docs for the format and recovery rules).
+///
+/// The store is `Sync`: in-process readers and the writer share one
+/// mutex (cheap — lookups are a map probe). The *file* lock only
+/// serializes writers across processes; in-process and cross-process
+/// readers never take it.
+pub struct Store {
+    path: PathBuf,
+    lock_path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Opens (or lazily creates) the store at `path`, scanning the
+    /// existing log into memory. A missing file is an empty store; a
+    /// file with a torn tail loses exactly the torn record(s past the
+    /// first bad byte) and counts one corrupt record — never an error,
+    /// never a panic. A file that is not a store log, or was written by
+    /// a different [`STORE_VERSION`], is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`], [`StoreError::NotAStore`],
+    /// [`StoreError::VersionMismatch`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut lock_path = path.clone().into_os_string();
+        lock_path.push(".lock");
+        let lock_path = PathBuf::from(lock_path);
+
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let inner = Self::scan_image(&path, &bytes)?;
+        Ok(Store {
+            path,
+            lock_path,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Scans a full file image (header + records) into an [`Inner`].
+    fn scan_image(path: &Path, bytes: &[u8]) -> Result<Inner, StoreError> {
+        if bytes.is_empty() {
+            // Missing or empty file: an empty store whose header is
+            // written by the first put.
+            return Ok(Inner {
+                entries: Vec::new(),
+                index: HashMap::new(),
+                valid_len: 0,
+                stats: StoreStats::default(),
+            });
+        }
+        if bytes.len() < HEADER_LEN as usize {
+            // A crash during initial creation tore the header itself:
+            // nothing is recoverable, but nothing was stored either.
+            let stats = StoreStats {
+                corrupt_records: 1,
+                ..StoreStats::default()
+            };
+            return Ok(Inner {
+                entries: Vec::new(),
+                index: HashMap::new(),
+                valid_len: 0,
+                stats,
+            });
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(StoreError::NotAStore {
+                path: path.to_path_buf(),
+            });
+        }
+        let found = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if found != STORE_VERSION {
+            return Err(StoreError::VersionMismatch { found });
+        }
+        let scan = scan_records(&bytes[HEADER_LEN as usize..], HEADER_LEN);
+        Ok(Inner {
+            entries: scan.entries,
+            index: scan.index,
+            valid_len: scan.stats.log_bytes,
+            stats: scan.stats,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct keys currently served.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// True when no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current health counters (as of open plus every write/resync
+    /// since).
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Looks up a key, returning the payload of the *first* record ever
+    /// written under it.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        inner.index.get(key).map(|&at| inner.entries[at].1.clone())
+    }
+
+    /// Appends one record durably (the data is flushed before the call
+    /// returns). First writer wins: a key that already exists with an
+    /// identical payload is a no-op; one that exists with a *different*
+    /// payload is rejected and counted as a conflict, and the stored
+    /// payload is left untouched.
+    ///
+    /// Takes the cross-process writer lock for the duration of the
+    /// append; before appending it adopts any records another process
+    /// appended since our last scan and truncates any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`], [`StoreError::LockTimeout`],
+    /// [`StoreError::RecordTooLarge`].
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let record = encode_record(key, value)?;
+        let mut inner = self.inner.lock().unwrap();
+        match inner.index.get(key) {
+            Some(&at) if inner.entries[at].1 == value => return Ok(()),
+            Some(_) => {
+                inner.stats.conflicting_records += 1;
+                return Ok(());
+            }
+            None => {}
+        }
+        let _lock = acquire_lock(&self.lock_path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&self.path)?;
+        self.resync_locked(&mut inner, &mut file)?;
+        // A concurrent writer may have stored this key while we waited
+        // for the lock; re-apply first-writer-wins against the adopted
+        // state.
+        match inner.index.get(key) {
+            Some(&at) if inner.entries[at].1 == value => return Ok(()),
+            Some(_) => {
+                inner.stats.conflicting_records += 1;
+                return Ok(());
+            }
+            None => {}
+        }
+        file.seek(SeekFrom::Start(inner.valid_len))?;
+        file.write_all(&record)?;
+        file.sync_data()?;
+        inner.valid_len += record.len() as u64;
+        inner.stats.log_bytes = inner.valid_len;
+        let at = inner.entries.len();
+        inner.entries.push((key.to_vec(), value.to_vec()));
+        inner.index.insert(key.to_vec(), at);
+        inner.stats.live_records = inner.entries.len();
+        Ok(())
+    }
+
+    /// With the writer lock held: bring `inner` up to date with the file
+    /// (adopting records other processes appended), write the header if
+    /// the file is new, and physically truncate any torn tail so the
+    /// next append lands on a valid boundary.
+    fn resync_locked(&self, inner: &mut Inner, file: &mut File) -> Result<(), StoreError> {
+        let disk_len = file.metadata()?.len();
+        if disk_len == 0 {
+            file.write_all(&header_bytes())?;
+            file.sync_data()?;
+            inner.valid_len = HEADER_LEN;
+            inner.stats.log_bytes = HEADER_LEN;
+            return Ok(());
+        }
+        if inner.valid_len < HEADER_LEN {
+            // We opened on a torn/absent header but the file is nonempty:
+            // a concurrent writer may have rewritten it, or the torn
+            // header is still there. Rescan from scratch.
+            let mut bytes = Vec::new();
+            file.seek(SeekFrom::Start(0))?;
+            file.read_to_end(&mut bytes)?;
+            let prior_corrupt = inner.stats.corrupt_records;
+            let mut fresh = Self::scan_image(&self.path, &bytes)?;
+            if fresh.valid_len < HEADER_LEN {
+                // Still torn: reset to an empty, well-formed log.
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&header_bytes())?;
+                file.sync_data()?;
+                fresh.valid_len = HEADER_LEN;
+                fresh.stats.log_bytes = HEADER_LEN;
+            }
+            fresh.stats.corrupt_records += prior_corrupt;
+            *inner = fresh;
+            return Ok(());
+        }
+        if disk_len > inner.valid_len {
+            // Another process appended (or the tail is torn). Scan just
+            // the new region and adopt what parses.
+            let mut tail = vec![0u8; (disk_len - inner.valid_len) as usize];
+            file.seek(SeekFrom::Start(inner.valid_len))?;
+            file.read_exact(&mut tail)?;
+            let scan = scan_records(&tail, inner.valid_len);
+            for (key, value) in scan.entries {
+                match inner.index.get(&key) {
+                    Some(&at) if inner.entries[at].1 == value => {
+                        inner.stats.dead_records += 1;
+                    }
+                    Some(_) => inner.stats.conflicting_records += 1,
+                    None => {
+                        let at = inner.entries.len();
+                        inner.index.insert(key.clone(), at);
+                        inner.entries.push((key, value));
+                    }
+                }
+            }
+            inner.stats.dead_records += scan.stats.dead_records;
+            inner.stats.conflicting_records += scan.stats.conflicting_records;
+            inner.stats.corrupt_records += scan.stats.corrupt_records;
+            inner.valid_len = scan.stats.log_bytes;
+            inner.stats.live_records = inner.entries.len();
+            inner.stats.log_bytes = inner.valid_len;
+        }
+        if file.metadata()?.len() > inner.valid_len {
+            // Whatever is left past the valid prefix is torn: cut it so
+            // the next append does not bury a corrupt region.
+            file.set_len(inner.valid_len)?;
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Re-scans the log **from disk** and reports what a fresh open
+    /// would find — the maintenance health check. The in-memory state is
+    /// not modified.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open`].
+    pub fn verify(&self) -> Result<StoreStats, StoreError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Ok(Self::scan_image(&self.path, &bytes)?.stats)
+    }
+
+    /// Rewrites the log atomically with only the live records (in
+    /// first-written order), dropping dead, conflicting, and corrupt
+    /// bytes. Returns the stats of the compacted log.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`], [`StoreError::LockTimeout`].
+    pub fn compact(&self) -> Result<StoreStats, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let _lock = acquire_lock(&self.lock_path)?;
+        {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&self.path)?;
+            self.resync_locked(&mut inner, &mut file)?;
+        }
+        let mut tmp_path = self.path.clone().into_os_string();
+        tmp_path.push(".tmp");
+        let tmp_path = PathBuf::from(tmp_path);
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&header_bytes())?;
+            let mut written = HEADER_LEN;
+            for (key, value) in &inner.entries {
+                let record = encode_record(key, value)?;
+                tmp.write_all(&record)?;
+                written += record.len() as u64;
+            }
+            tmp.sync_all()?;
+            inner.valid_len = written;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        inner.stats = StoreStats {
+            live_records: inner.entries.len(),
+            dead_records: 0,
+            conflicting_records: 0,
+            corrupt_records: 0,
+            log_bytes: inner.valid_len,
+        };
+        Ok(inner.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch path under the system temp dir.
+    fn scratch(name: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mtk_store_{}_{}_{name}.log", std::process::id(), n))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+            let mut lock = self.0.clone().into_os_string();
+            lock.push(".lock");
+            let _ = std::fs::remove_file(lock);
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let path = scratch("roundtrip");
+        let _c = Cleanup(path.clone());
+        let store = Store::open(&path).unwrap();
+        assert!(store.is_empty());
+        store.put(b"k1", b"v1").unwrap();
+        store.put(b"k2", &[0u8, 255, 7]).unwrap();
+        assert_eq!(store.get(b"k1").unwrap(), b"v1");
+        assert_eq!(store.get(b"k2").unwrap(), vec![0u8, 255, 7]);
+        assert_eq!(store.get(b"nope"), None);
+        drop(store);
+        // A fresh open (a "new process") serves the same bits.
+        let again = Store::open(&path).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again.get(b"k1").unwrap(), b"v1");
+        assert_eq!(again.stats().corrupt_records, 0);
+    }
+
+    #[test]
+    fn first_writer_wins_on_conflicting_put() {
+        let path = scratch("conflict");
+        let _c = Cleanup(path.clone());
+        let store = Store::open(&path).unwrap();
+        store.put(b"k", b"first").unwrap();
+        store.put(b"k", b"second").unwrap(); // rejected, counted
+        assert_eq!(store.get(b"k").unwrap(), b"first");
+        assert_eq!(store.stats().conflicting_records, 1);
+        // Identical re-put is a free no-op, not a conflict.
+        store.put(b"k", b"first").unwrap();
+        assert_eq!(store.stats().conflicting_records, 1);
+        assert_eq!(store.stats().dead_records, 0);
+    }
+
+    #[test]
+    fn conflicting_records_on_disk_resolve_first_writer_wins() {
+        let path = scratch("disk_conflict");
+        let _c = Cleanup(path.clone());
+        // Hand-craft a log with key "k" written twice with different
+        // payloads and once redundantly.
+        let mut bytes = header_bytes().to_vec();
+        for value in [&b"first"[..], b"second", b"first"] {
+            bytes.extend_from_slice(&encode_record(b"k", value).unwrap());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.get(b"k").unwrap(), b"first");
+        let stats = store.stats();
+        assert_eq!(stats.live_records, 1);
+        assert_eq!(stats.conflicting_records, 1);
+        assert_eq!(stats.dead_records, 1);
+        assert_eq!(stats.corrupt_records, 0);
+    }
+
+    #[test]
+    fn refuses_foreign_files_and_future_versions() {
+        let path = scratch("foreign");
+        let _c = Cleanup(path.clone());
+        std::fs::write(&path, b"definitely not a store file").unwrap();
+        assert!(matches!(
+            Store::open(&path),
+            Err(StoreError::NotAStore { .. })
+        ));
+        let mut future = MAGIC.to_vec();
+        future.extend_from_slice(&(STORE_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            Store::open(&path),
+            Err(StoreError::VersionMismatch { found }) if found == STORE_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn torn_header_recovers_to_empty() {
+        let path = scratch("torn_header");
+        let _c = Cleanup(path.clone());
+        std::fs::write(&path, &MAGIC[..5]).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().corrupt_records, 1);
+        // The next put heals the file.
+        store.put(b"k", b"v").unwrap();
+        drop(store);
+        let again = Store::open(&path).unwrap();
+        assert_eq!(again.get(b"k").unwrap(), b"v");
+        assert_eq!(again.stats().corrupt_records, 0);
+    }
+
+    #[test]
+    fn compact_drops_dead_and_corrupt_bytes() {
+        let path = scratch("compact");
+        let _c = Cleanup(path.clone());
+        let mut bytes = header_bytes().to_vec();
+        bytes.extend_from_slice(&encode_record(b"a", b"1").unwrap());
+        bytes.extend_from_slice(&encode_record(b"a", b"1").unwrap()); // dead
+        bytes.extend_from_slice(&encode_record(b"b", b"2").unwrap());
+        bytes.extend_from_slice(&encode_record(b"a", b"X").unwrap()); // conflict
+        bytes.extend_from_slice(&[9, 9, 9]); // torn tail
+        std::fs::write(&path, &bytes).unwrap();
+        let store = Store::open(&path).unwrap();
+        let before = store.stats();
+        assert_eq!(before.live_records, 2);
+        assert_eq!(before.dead_records, 1);
+        assert_eq!(before.conflicting_records, 1);
+        assert_eq!(before.corrupt_records, 1);
+        let after = store.compact().unwrap();
+        assert_eq!(after.live_records, 2);
+        assert_eq!(after.dead_records + after.conflicting_records, 0);
+        assert_eq!(after.corrupt_records, 0);
+        // Reopen: clean, same content, smaller file.
+        let again = Store::open(&path).unwrap();
+        assert_eq!(again.get(b"a").unwrap(), b"1");
+        assert_eq!(again.get(b"b").unwrap(), b"2");
+        assert_eq!(again.stats(), after);
+        assert!(again.verify().unwrap().corrupt_records == 0);
+    }
+
+    #[test]
+    fn two_handles_interleave_through_the_lock() {
+        // Two Store handles on the same path (as two processes would
+        // have): appends through either are visible to fresh opens, and
+        // the second handle adopts the first's records on its next put.
+        let path = scratch("two_handles");
+        let _c = Cleanup(path.clone());
+        let a = Store::open(&path).unwrap();
+        let b = Store::open(&path).unwrap();
+        a.put(b"ka", b"va").unwrap();
+        b.put(b"kb", b"vb").unwrap(); // resyncs, adopts ka, appends kb
+        assert_eq!(b.get(b"ka").unwrap(), b"va");
+        let fresh = Store::open(&path).unwrap();
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(fresh.get(b"ka").unwrap(), b"va");
+        assert_eq!(fresh.get(b"kb").unwrap(), b"vb");
+        assert_eq!(fresh.stats().corrupt_records, 0);
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let path = scratch("stale_lock");
+        let _c = Cleanup(path.clone());
+        let mut lock = path.clone().into_os_string();
+        lock.push(".lock");
+        // A lock naming our own PID counts as stale (a crashed prior
+        // incarnation of this process id).
+        std::fs::write(&lock, format!("{}", std::process::id())).unwrap();
+        let store = Store::open(&path).unwrap();
+        store.put(b"k", b"v").unwrap();
+        assert_eq!(store.get(b"k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let path = scratch("oversized");
+        let _c = Cleanup(path.clone());
+        let store = Store::open(&path).unwrap();
+        // Construct the error without allocating 64 MiB: key_len alone
+        // cannot exceed the bound, so check encode_record directly.
+        let err = encode_record(&[0u8; (MAX_BODY_BYTES as usize) + 1], b"").unwrap_err();
+        assert!(matches!(err, StoreError::RecordTooLarge { .. }));
+        drop(store);
+    }
+}

@@ -89,6 +89,46 @@ impl JsonValue {
         out
     }
 
+    /// Serializes on one line with no whitespace — the wire form for
+    /// line-oriented protocols (`mtk serve` responses), where a literal
+    /// newline terminates the message.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -556,6 +596,21 @@ mod tests {
         );
         let pretty = v.to_pretty();
         assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let text = r#"{"a": [1, 2.5, -3], "b": {"c": "x\n\"y\"", "d": [true, false, null]}, "e": [], "f": {}}"#;
+        let v = parse(text).unwrap();
+        let compact = v.to_compact();
+        assert!(!compact.contains('\n'), "compact form must be one line");
+        assert!(!compact.contains(": "), "no pretty separators");
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(
+            JsonValue::Array(vec![]).to_compact(),
+            "[]",
+            "empty array compact form"
+        );
     }
 
     #[test]

@@ -88,6 +88,20 @@ counter_registry! {
     /// LU factorizations that reused a solver's cached symbolic phase
     /// (sparsity pattern + fill-reducing order) instead of recomputing it.
     LuPatternReuses => ("lu_pattern_reuses", Sum),
+    /// Simulator legs replayed from the persistent on-disk result store.
+    StoreHits => ("store_hits", Sum),
+    /// Lookups that consulted an attached persistent store and found no
+    /// usable record.
+    StoreMisses => ("store_misses", Sum),
+    /// Torn or corrupt store log tails detected and excluded during
+    /// recovery (never served, never panicked on).
+    StoreCorruptRecords => ("store_corrupt_records", Sum),
+    /// Server connections dropped after a read/write timeout (stalled or
+    /// half-open clients).
+    ConnTimeouts => ("conn_timeouts", Sum),
+    /// Server requests rejected before execution (malformed, oversized,
+    /// or backpressured with `busy`).
+    RequestsRejected => ("requests_rejected", Sum),
 }
 
 /// A flat, fixed-size set of every registered counter.

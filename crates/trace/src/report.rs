@@ -23,8 +23,10 @@ pub const SCHEMA_NAME: &str = "mtk-trace";
 /// changes — the golden-schema test fails on any key change that is not
 /// accompanied by a bump, and external consumers key off it.
 ///
-/// History: v2 added the `lu_pattern_reuses` counter.
-pub const SCHEMA_VERSION: u64 = 2;
+/// History: v2 added the `lu_pattern_reuses` counter. v3 added the
+/// persistence/serving counters `store_hits`, `store_misses`,
+/// `store_corrupt_records`, `conn_timeouts`, `requests_rejected`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Per-worker sink totals of one phase — real execution costs, therefore
 /// schedule-dependent; exported only in the `timing` section.

@@ -65,6 +65,40 @@ cargo run --release -p mtk-bench --bin ext_screening -- \
 echo "== smoke trace validates against the documented schema =="
 cargo run --release -p mtk-bench --bin trace_check -- "$trace_json"
 
+echo "== serve smoke: store-backed replay + graceful SIGTERM drain =="
+# Starts `mtk serve` with a persistent store on an ephemeral port, runs
+# the same hybrid job twice (the second must be a byte-identical store
+# replay, visible in the trace counters), then TERMs the server and
+# requires a clean drain (exit 0). Corruption recovery is covered by
+# `cargo test` (crates/store/tests/corruption.rs, tests/store_persistence.rs).
+serve_log="$(mktemp /tmp/ci_serve.XXXXXX.log)"
+serve_store="$(mktemp /tmp/ci_serve_store.XXXXXX.bin)"
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock"' EXIT
+target/release/mtk serve --addr 127.0.0.1:0 --store "$serve_store" >"$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$serve_log" 2>/dev/null && break
+  sleep 0.1
+done
+serve_addr="$(sed -n 's/^mtk serve: listening on //p' "$serve_log" | head -1)"
+[ -n "$serve_addr" ] || { echo "ci: mtk serve never reported its address"; exit 1; }
+first="$(target/release/mtk client "$serve_addr" hybrid examples/invtree.mtk --top-k 2)"
+second="$(target/release/mtk client "$serve_addr" hybrid examples/invtree.mtk --top-k 2)"
+grep -q '"cached":false' <<<"$first" || { echo "ci: first serve response not computed fresh"; exit 1; }
+grep -q '"cached":true' <<<"$second" || { echo "ci: second serve response missed the store"; exit 1; }
+if [ "${second/\"cached\":true/\"cached\":false}" != "$first" ]; then
+  echo "ci: store replay is not byte-identical to the computed response"
+  exit 1
+fi
+serve_status="$(target/release/mtk client "$serve_addr" status)"
+grep -q '"store_hits":1' <<<"$serve_status" || {
+  echo "ci: serve trace counters do not show the store hit: $serve_status"
+  exit 1
+}
+kill -TERM "$serve_pid"
+wait "$serve_pid" # non-zero drain exit fails the script (set -e)
+grep -q "drained" "$serve_log" || { echo "ci: serve did not report a graceful drain"; exit 1; }
+
 echo "== bench smoke: kernel speed file regenerates, validates, and gates =="
 # Regenerates BENCH_speed.json (schema-validated by the writer itself),
 # then fails on any regression beyond the tolerance vs the committed
@@ -74,7 +108,7 @@ if [[ "${MTK_SKIP_BENCH:-0}" == "1" ]]; then
   echo "bench smoke skipped (MTK_SKIP_BENCH=1)"
 else
   bench_json="$(mktemp /tmp/ci_bench.XXXXXX.json)"
-  trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json" "$bench_json"' EXIT
+  trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock" "$bench_json"' EXIT
   cargo run --release -p mtk-bench --bin speed_comparison -- \
     --no-spice --samples 3 --warmup 1 \
     --json "$bench_json" --check-against BENCH_speed.json

@@ -10,4 +10,5 @@ pub use mtk_fe as fe;
 pub use mtk_netlist as netlist;
 pub use mtk_num as num;
 pub use mtk_spice as spice;
+pub use mtk_store as store;
 pub use mtk_trace as trace;

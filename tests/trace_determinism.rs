@@ -142,11 +142,11 @@ fn exhaustive_sample(tool: &str) -> TraceReport {
     report
 }
 
-/// Every key path of schema v2, spelled out by hand. Adding, removing or
+/// Every key path of schema v3, spelled out by hand. Adding, removing or
 /// renaming any key changes this set; doing so without bumping
 /// [`SCHEMA_VERSION`] (and updating this golden list) is a contract
 /// violation.
-fn golden_v2_paths() -> BTreeSet<String> {
+fn golden_v3_paths() -> BTreeSet<String> {
     let counters = [
         "items",
         "completed",
@@ -165,6 +165,11 @@ fn golden_v2_paths() -> BTreeSet<String> {
         "newton_iterations",
         "spice_steps",
         "lu_pattern_reuses",
+        "store_hits",
+        "store_misses",
+        "store_corrupt_records",
+        "conn_timeouts",
+        "requests_rejected",
     ];
     let mut golden: BTreeSet<String> = [
         "schema",
@@ -213,18 +218,18 @@ fn golden_v2_paths() -> BTreeSet<String> {
 #[test]
 fn golden_schema_pins_every_key_path_to_the_version() {
     assert_eq!(
-        SCHEMA_VERSION, 2,
-        "SCHEMA_VERSION changed: regenerate golden_v2_paths() for the new \
+        SCHEMA_VERSION, 3,
+        "SCHEMA_VERSION changed: regenerate golden_v3_paths() for the new \
          schema and rename this test's golden set"
     );
     let report = exhaustive_sample("golden");
     let full = paths_of(&report.to_json(TraceMode::Full));
-    let golden = golden_v2_paths();
+    let golden = golden_v3_paths();
     let missing: Vec<_> = golden.difference(&full).collect();
     let extra: Vec<_> = full.difference(&golden).collect();
     assert!(
         missing.is_empty() && extra.is_empty(),
-        "schema v2 key paths drifted without a version bump.\n\
+        "schema v3 key paths drifted without a version bump.\n\
          missing from output: {missing:?}\nnot in golden set: {extra:?}"
     );
     // Deterministic mode is exactly the golden set minus the timing tree.
