@@ -37,11 +37,15 @@
 //!   (the append-only analogue of the `Triplets` duplicate-merge bug —
 //!   see DESIGN.md §13). A later record with an *identical* payload is
 //!   merely dead weight and counts in [`StoreStats::dead_records`].
-//! * **One writer at a time, readers lock-free.** A sibling `.lock` file
-//!   (created with `O_EXCL`, holding the writer's PID) serializes writers
-//!   across processes; stale locks from dead processes are detected via
-//!   `/proc` and broken. Readers never touch the lock file — they only
-//!   ever see the log's valid prefix, which appends cannot invalidate.
+//! * **One writer at a time, readers lock-free.** An exclusive OS
+//!   advisory lock (`flock(2)` via [`std::fs::File::try_lock`]) on a
+//!   sibling `.lock` file serializes writers across processes *and*
+//!   across handles within one process — two `Store`s on one path (the
+//!   `mtk serve` configuration) contend exactly like two processes do.
+//!   The kernel releases the lock when the holder's descriptor closes,
+//!   crash included, so locks cannot go stale and never need to be
+//!   broken. Readers never touch the lock file — they only ever see the
+//!   log's valid prefix, which appends cannot invalidate.
 //!
 //! # Maintenance
 //!
@@ -53,7 +57,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
+use std::fs::{File, OpenOptions, TryLockError};
 use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -273,63 +277,48 @@ struct Inner {
     stats: StoreStats,
 }
 
-/// RAII guard for the sibling `.lock` file; removing it on drop releases
-/// the writer lock even on error paths.
+/// RAII guard for the writer lock: an exclusively-locked sibling
+/// `.lock` file. Dropping it releases the OS lock. The lock *file* is
+/// never unlinked — removing a locked file would let a waiter holding
+/// the old inode and a newcomer creating a fresh one both "win".
 struct LockGuard {
-    path: PathBuf,
+    file: File,
 }
 
 impl Drop for LockGuard {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        let _ = self.file.unlock();
     }
 }
 
-/// True when the PID recorded in a lock file no longer names a live
-/// process (Linux: `/proc/<pid>` vanished). Unknown contents are treated
-/// as live so we never break a lock we cannot reason about.
-fn lock_is_stale(path: &Path) -> bool {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return false;
-    };
-    let Ok(pid) = text.trim().parse::<u32>() else {
-        return false;
-    };
-    if pid == std::process::id() {
-        // Our own PID in a leftover lock (a previous incarnation): stale.
-        return true;
-    }
-    #[cfg(target_os = "linux")]
-    {
-        !Path::new(&format!("/proc/{pid}")).exists()
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        false
-    }
-}
-
-/// Acquires the writer lock, breaking stale locks, waiting up to
-/// [`LOCK_TIMEOUT`].
+/// Acquires the writer lock — an exclusive OS advisory lock
+/// ([`File::try_lock`], `flock(2)` on Linux) on the sibling `.lock`
+/// file — waiting up to [`LOCK_TIMEOUT`].
+///
+/// The OS lock is keyed to the open file description, so it excludes
+/// other *handles* as well as other processes: two `Store`s on one path
+/// in one process serialize exactly like two processes do. It cannot go
+/// stale — the kernel drops it when the holder's descriptor closes,
+/// crash included — so there is no staleness heuristic and no
+/// break-the-lock race.
 fn acquire_lock(lock_path: &Path) -> Result<LockGuard, StoreError> {
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(lock_path)?;
     let deadline = Instant::now() + LOCK_TIMEOUT;
     loop {
-        match OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(lock_path)
-        {
-            Ok(mut f) => {
-                let _ = write!(f, "{}", std::process::id());
-                return Ok(LockGuard {
-                    path: lock_path.to_path_buf(),
-                });
+        match file.try_lock() {
+            Ok(()) => {
+                // Best-effort debuggability: leave the holder's PID in
+                // the file. The lock itself never depends on it.
+                let _ = file.set_len(0);
+                let _ = write!(&file, "{}", std::process::id());
+                return Ok(LockGuard { file });
             }
-            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
-                if lock_is_stale(lock_path) {
-                    let _ = std::fs::remove_file(lock_path);
-                    continue;
-                }
+            Err(TryLockError::WouldBlock) => {
                 if Instant::now() >= deadline {
                     return Err(StoreError::LockTimeout {
                         path: lock_path.to_path_buf(),
@@ -337,8 +326,23 @@ fn acquire_lock(lock_path: &Path) -> Result<LockGuard, StoreError> {
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }
-            Err(e) => return Err(StoreError::Io(e)),
+            Err(TryLockError::Error(e)) => return Err(StoreError::Io(e)),
         }
+    }
+}
+
+/// Makes a directory-entry change (file creation or rename) durable by
+/// fsyncing the parent directory — without this, `rename` itself can be
+/// lost on power failure even though both files' contents were synced.
+/// Platforms where a directory cannot be opened as a file skip silently;
+/// the data-file fsyncs still hold there.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        Err(_) => Ok(()),
     }
 }
 
@@ -473,9 +477,11 @@ impl Store {
     /// payload is rejected and counted as a conflict, and the stored
     /// payload is left untouched.
     ///
-    /// Takes the cross-process writer lock for the duration of the
-    /// append; before appending it adopts any records another process
-    /// appended since our last scan and truncates any torn tail.
+    /// Takes the writer lock (exclusive across processes and across
+    /// handles) for the duration of the append; before appending it
+    /// adopts any records another writer appended since our last scan,
+    /// rescans from scratch if the file shrank under us (a foreign
+    /// `compact`), and truncates any torn tail.
     ///
     /// # Errors
     ///
@@ -532,14 +538,19 @@ impl Store {
         if disk_len == 0 {
             file.write_all(&header_bytes())?;
             file.sync_data()?;
+            // Make the just-created log's directory entry durable too.
+            sync_parent_dir(&self.path)?;
             inner.valid_len = HEADER_LEN;
             inner.stats.log_bytes = HEADER_LEN;
             return Ok(());
         }
-        if inner.valid_len < HEADER_LEN {
-            // We opened on a torn/absent header but the file is nonempty:
-            // a concurrent writer may have rewritten it, or the torn
-            // header is still there. Rescan from scratch.
+        if inner.valid_len < HEADER_LEN || disk_len < inner.valid_len {
+            // Full rescan, two causes: we opened on a torn/absent header
+            // but the file is nonempty (a concurrent writer may have
+            // rewritten it), or the file *shrank* past our valid prefix
+            // (another handle compacted it — appending at the stale
+            // offset would punch a zero-filled hole that orphans the
+            // record and poisons every later append).
             let mut bytes = Vec::new();
             file.seek(SeekFrom::Start(0))?;
             file.read_to_end(&mut bytes)?;
@@ -556,9 +567,7 @@ impl Store {
             }
             fresh.stats.corrupt_records += prior_corrupt;
             *inner = fresh;
-            return Ok(());
-        }
-        if disk_len > inner.valid_len {
+        } else if disk_len > inner.valid_len {
             // Another process appended (or the tail is torn). Scan just
             // the new region and adopt what parses.
             let mut tail = vec![0u8; (disk_len - inner.valid_len) as usize];
@@ -645,6 +654,9 @@ impl Store {
             inner.valid_len = written;
         }
         std::fs::rename(&tmp_path, &self.path)?;
+        // The rename itself is a directory-entry update; fsync the
+        // parent so it survives power loss.
+        sync_parent_dir(&self.path)?;
         inner.stats = StoreStats {
             live_records: inner.entries.len(),
             dead_records: 0,
@@ -814,17 +826,97 @@ mod tests {
     }
 
     #[test]
-    fn stale_lock_is_broken() {
-        let path = scratch("stale_lock");
+    fn leftover_lock_file_does_not_block() {
+        let path = scratch("leftover_lock");
         let _c = Cleanup(path.clone());
         let mut lock = path.clone().into_os_string();
         lock.push(".lock");
-        // A lock naming our own PID counts as stale (a crashed prior
-        // incarnation of this process id).
+        // A lock file left behind by a crashed writer (any contents —
+        // the OS lock died with the process) must not block acquisition.
         std::fs::write(&lock, format!("{}", std::process::id())).unwrap();
         let store = Store::open(&path).unwrap();
         store.put(b"k", b"v").unwrap();
         assert_eq!(store.get(b"k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn same_process_handles_contend_for_the_lock() {
+        // Regression for the own-PID staleness bug: handle A holding the
+        // writer lock must exclude handle B *in the same process* (the
+        // `mtk serve` configuration: request tier + screening cache on
+        // one log). With the old PID-file scheme B saw its own PID,
+        // declared the lock stale, broke it, and corrupted the log.
+        let path = scratch("same_process_contend");
+        let _c = Cleanup(path.clone());
+        let a = Store::open(&path).unwrap();
+        let guard = acquire_lock(&a.lock_path).unwrap();
+        let b = Store::open(&path).unwrap();
+        // B must *wait*, not break A's lock. A short probe on the lock
+        // file itself proves exclusion without eating the full timeout.
+        let probe = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&b.lock_path)
+            .unwrap();
+        assert!(matches!(probe.try_lock(), Err(TryLockError::WouldBlock)));
+        drop(guard);
+        // Released: B acquires and appends normally.
+        b.put(b"k", b"v").unwrap();
+        assert_eq!(Store::open(&path).unwrap().get(b"k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn concurrent_two_handle_writers_never_corrupt() {
+        // Two handles on one log hammered from two threads of one
+        // process: every record must survive, bit-exact, zero corrupt.
+        let path = scratch("concurrent_two_handles");
+        let _c = Cleanup(path.clone());
+        let a = std::sync::Arc::new(Store::open(&path).unwrap());
+        let b = std::sync::Arc::new(Store::open(&path).unwrap());
+        let mut threads = Vec::new();
+        for (id, store) in [(0u8, a), (1u8, b)] {
+            threads.push(std::thread::spawn(move || {
+                for i in 0..50u8 {
+                    store.put(&[id, i], &[i; 17]).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let fresh = Store::open(&path).unwrap();
+        assert_eq!(fresh.len(), 100);
+        assert_eq!(fresh.stats().corrupt_records, 0);
+        for id in 0..2u8 {
+            for i in 0..50u8 {
+                assert_eq!(fresh.get(&[id, i]).unwrap(), vec![i; 17]);
+            }
+        }
+    }
+
+    #[test]
+    fn append_after_foreign_compact_rescans_shrunk_file() {
+        // Handle B's valid_len can point past EOF after another handle
+        // compacts the log. A put through B must rescan from scratch,
+        // not seek past EOF (which would punch a zero-filled hole and
+        // orphan the appended record).
+        let path = scratch("shrunk_by_compact");
+        let _c = Cleanup(path.clone());
+        let mut bytes = header_bytes().to_vec();
+        bytes.extend_from_slice(&encode_record(b"k", b"v1").unwrap());
+        bytes.extend_from_slice(&encode_record(b"k", b"v1").unwrap()); // dead
+        bytes.extend_from_slice(&encode_record(b"j", b"v2").unwrap());
+        std::fs::write(&path, &bytes).unwrap();
+        let b = Store::open(&path).unwrap(); // valid_len spans all 3 records
+        let a = Store::open(&path).unwrap();
+        a.compact().unwrap(); // drops the dead record: file shrinks
+        b.put(b"new", b"v3").unwrap(); // must detect the shrink
+        let fresh = Store::open(&path).unwrap();
+        assert_eq!(fresh.get(b"k").unwrap(), b"v1");
+        assert_eq!(fresh.get(b"j").unwrap(), b"v2");
+        assert_eq!(fresh.get(b"new").unwrap(), b"v3");
+        assert_eq!(fresh.stats().corrupt_records, 0);
+        assert_eq!(fresh.len(), 3);
     }
 
     #[test]
