@@ -21,6 +21,12 @@
 //!   degradation (`--target`, `--lo`, `--hi`).
 //! * `mtk hybrid <file>` — screen, then SPICE-verify the top-k
 //!   survivors (`--threads`, `--top-k`, `--w-over-l`).
+//! * `mtk mc <file>` — Monte Carlo yield analysis under process
+//!   variation (`--trials`, `--seed`, `--corner`, `--widths`,
+//!   `--target`, `--store`; `--smoke` shrinks the sweep for CI). The
+//!   technology's `tech.sigma_*` fields set the variation; trial `i`
+//!   draws from PRNG stream `(seed, i)`, so results are bit-identical
+//!   at any `--threads` and a `--store` rerun replays every trial.
 //! * `mtk gen [--list | --all [--dir D] | <stem>]` — export the
 //!   built-in generators as golden `.mtk` files (the `examples/`
 //!   directory; CI regenerates and diffs them).
@@ -47,6 +53,7 @@ use mtk_bench::serve::{self, ServeConfig, Server};
 use mtk_circuits::golden::golden_designs;
 use mtk_core::health::FaultPlan;
 use mtk_core::hybrid::{run_hybrid, HybridOptions, SpiceRunConfig};
+use mtk_core::mc::{run_mc, McOptions};
 use mtk_core::sizing::{
     screen_vectors_par_quarantined, size_for_target_cached, ScreeningCache, Transition,
 };
@@ -58,7 +65,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mtk <lint|sta|screen|size|hybrid> <file.mtk> [flags]\n\
+        "usage: mtk <lint|sta|screen|size|hybrid|mc> <file.mtk> [flags]\n\
          \x20      mtk gen [--list | --all [--dir D] | <stem>]\n\
          \x20      mtk serve [--addr H:P] [--store PATH] [--threads N] [--job-slots N]\n\
          \x20      mtk client <host:port> <status|shutdown|screen|size|hybrid> [file.mtk] [flags]\n\
@@ -95,6 +102,7 @@ fn main() {
         "screen" => cmd_screen(&design),
         "size" => cmd_size(&design),
         "hybrid" => cmd_hybrid(&design),
+        "mc" => cmd_mc(&design),
         _ => usage(),
     }
 }
@@ -338,6 +346,117 @@ fn cmd_hybrid(design: &Design) {
     let mut spans = SpanRecorder::new(trace_config().spans);
     spans.begin("hybrid");
     spans.end();
+    trace.spans = spans.finish();
+    emit_trace(&trace);
+}
+
+/// `mtk mc`: Monte Carlo yield analysis under process variation. The
+/// sweep is deterministic per `(design, seed, flags)` at any thread
+/// count; `--store PATH` writes every simulated trial through to the
+/// crash-safe log so a warm rerun replays the whole sweep without
+/// touching the simulator.
+fn cmd_mc(design: &Design) {
+    warn_lint(design);
+    let smoke = bool_flag("--smoke");
+    let trials = flag("--trials", if smoke { 64 } else { 256 });
+    let threads = flag("--threads", 1);
+    let w_over_l = f64_flag("--w-over-l", 10.0);
+    let target = f64_flag("--target", 0.05);
+    let widths: Vec<f64> = match str_flag("--widths") {
+        Some(list) => list
+            .split(',')
+            .map(|w| match w.trim().parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => die(format!("--widths: `{w}` is not a number")),
+            })
+            .collect(),
+        None => vec![5.0, 10.0, 20.0, 40.0],
+    };
+    let corner = str_flag("--corner");
+    let mut tech = match &corner {
+        Some(name) => match design.tech.at_corner(name) {
+            Some(t) => t,
+            None => die(format!(
+                "--corner: unknown corner `{name}` (available: {})",
+                mtk_netlist::tech::Technology::corner_names().join(", ")
+            )),
+        },
+        None => design.tech.clone(),
+    };
+    // The design's `tech.sigma_*` fields set the variation; these flags
+    // override them for what-if sweeps without editing the file.
+    tech.sigma_vt = f64_flag("--sigma-vt", tech.sigma_vt);
+    tech.sigma_kp = f64_flag("--sigma-kp", tech.sigma_kp);
+    tech.sigma_w = f64_flag("--sigma-w", tech.sigma_w);
+    // `--smoke` thins the exhaustive transition space so the CI sweep
+    // stays fast; an explicit `--stride` still wins.
+    let stride = flag("--stride", if smoke { 256 } else { 1 });
+    let (transitions, label) = design_transitions(design, stride, flag("--samples", 256));
+    let opts = McOptions {
+        trials,
+        seed: flag("--seed", 0x4D43) as u64,
+        w_over_l,
+        widths,
+        target,
+        threads,
+        policy: failure_policy(),
+        base: VbsimOptions::default(),
+    };
+    println!(
+        "mtk mc: {} under {}{} — {trials} trial(s) over {label}, nominal W/L={w_over_l}, target {}, {} thread(s)",
+        design.netlist.name(),
+        tech.name,
+        corner.map(|c| format!(" at corner {c}")).unwrap_or_default(),
+        pct(target),
+        threads_label(threads)
+    );
+    let store = str_flag("--store").map(|path| match mtk_store::Store::open(&path) {
+        Ok(s) => s,
+        Err(e) => die(format!("--store {path}: {e}")),
+    });
+    let report = match run_mc(
+        &design.netlist,
+        &tech,
+        &transitions,
+        None,
+        &opts,
+        store.as_ref(),
+        &FaultPlan::none(),
+    ) {
+        Ok(r) => r,
+        Err(e) => die(e),
+    };
+    println!(
+        "{} of {} trial(s) within target at W/L={w_over_l} ({:.2} s wall); degradation p50/p95/p99 = {}/{}/{} bp, bounce p99 = {} uV",
+        report.passed(),
+        report.completed().count(),
+        report.wall,
+        report.degradation_percentile_bp(50.0),
+        report.degradation_percentile_bp(95.0),
+        report.degradation_percentile_bp(99.0),
+        report.bounce_percentile_uv(99.0),
+    );
+    print_table(
+        "yield vs sleep width",
+        &["W/L", "pass rate"],
+        &report
+            .yield_curve()
+            .iter()
+            .map(|&(w, y)| vec![format!("{w}"), pct(y)])
+            .collect::<Vec<_>>(),
+    );
+    if store.is_some() {
+        println!(
+            "store: {} trial(s) replayed, {} simulated and written through",
+            report.store_hits(),
+            report.store_misses()
+        );
+    }
+    let mut trace = TraceReport::new("mtk_mc");
+    let mut spans = SpanRecorder::new(trace_config().spans);
+    spans.begin("mc");
+    spans.end();
+    trace.push_phase(report.to_phase("mc"));
     trace.spans = spans.finish();
     emit_trace(&trace);
 }

@@ -204,6 +204,7 @@ impl SweepHealth {
             name: name.to_string(),
             counters: self.counters(),
             breakpoints_per_item: self.breakpoints_per_item.clone(),
+            extra_histograms: Vec::new(),
             quarantined: self.quarantined_indices(),
             wall_s: None,
             workers: Vec::new(),

@@ -19,6 +19,9 @@
 //!   backed by the `mtk-spice` transistor-level engine.
 //! * [`sta`] — a conventional vector-blind static timing analyzer, the
 //!   tool §4 argues is *not adequate* for MTCMOS, for comparison.
+//! * [`mc`] — Monte Carlo yield analysis: per-trial technology
+//!   perturbations from splittable PRNG streams, degradation/bounce
+//!   distributions, and pass-rate-vs-sleep-width yield curves.
 //! * [`search`] — worst-vector search heuristics for circuits whose
 //!   transition space cannot be enumerated, parallelized with
 //!   per-work-item PRNG streams so results are thread-count-invariant.
@@ -62,6 +65,7 @@
 pub mod energy;
 pub mod health;
 pub mod hybrid;
+pub mod mc;
 pub mod model;
 pub mod modules;
 pub mod par;

@@ -45,6 +45,10 @@ pub enum ErrorCode {
     /// E014: structural violation — missing `end`, content after `end`,
     /// or a truncated file.
     BadStructure,
+    /// E015: an unknown, duplicate, or misplaced `corner` line (a PVT
+    /// corner must name an entry of `mtk_netlist::tech::CORNERS` and
+    /// precede any `tech.*` override).
+    BadCorner,
 }
 
 impl ErrorCode {
@@ -65,6 +69,7 @@ impl ErrorCode {
             ErrorCode::VectorWidth => "E012",
             ErrorCode::BadTech => "E013",
             ErrorCode::BadStructure => "E014",
+            ErrorCode::BadCorner => "E015",
         }
     }
 
@@ -85,6 +90,7 @@ impl ErrorCode {
             ErrorCode::VectorWidth => "vector width disagrees with primary inputs",
             ErrorCode::BadTech => "unknown technology preset or parameter",
             ErrorCode::BadStructure => "missing `end` or content after it",
+            ErrorCode::BadCorner => "unknown, duplicate, or misplaced `corner`",
         }
     }
 }
@@ -218,10 +224,12 @@ mod tests {
             ErrorCode::VectorWidth,
             ErrorCode::BadTech,
             ErrorCode::BadStructure,
+            ErrorCode::BadCorner,
         ];
         let mut codes: Vec<_> = all.iter().map(|c| c.code()).collect();
         assert_eq!(codes[0], "E001");
-        assert_eq!(codes[13], "E014");
+        assert_eq!(codes[13], "E014", "E001–E014 are frozen");
+        assert_eq!(codes[14], "E015");
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), all.len());

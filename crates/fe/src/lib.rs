@@ -180,9 +180,18 @@ impl Design {
     }
 
     /// Serializes the design to canonical `.mtk` text. See
-    /// [`write::write_mtk`].
+    /// [`write::write_mtk`] — panics when the design carries a
+    /// non-finite tech parameter, net cap, or cell drive (no grammar
+    /// representation exists); use [`Design::try_to_mtk`] to get the
+    /// rejection as a value.
     pub fn to_mtk(&self) -> String {
         write::write_mtk(self)
+    }
+
+    /// [`Design::to_mtk`] with non-finite values rejected as a
+    /// [`write::WriteError`] instead of a panic.
+    pub fn try_to_mtk(&self) -> Result<String, write::WriteError> {
+        write::try_write_mtk(self)
     }
 
     /// Runs the structural lint over the netlist.
@@ -239,6 +248,10 @@ pub(crate) const TECH_PARAMS: &[TechParam] = &[
     ("c_drain", |t| t.c_drain, |t, v| t.c_drain = v),
     ("unit_wn", |t| t.unit_wn, |t, v| t.unit_wn = v),
     ("unit_wp", |t| t.unit_wp, |t, v| t.unit_wp = v),
+    ("temp_c", |t| t.temp_c, |t, v| t.temp_c = v),
+    ("sigma_vt", |t| t.sigma_vt, |t, v| t.sigma_vt = v),
+    ("sigma_kp", |t| t.sigma_kp, |t, v| t.sigma_kp = v),
+    ("sigma_w", |t| t.sigma_w, |t, v| t.sigma_w = v),
     ("sub_n", |t| t.subthreshold.n, |t, v| t.subthreshold.n = v),
     (
         "sub_i0",

@@ -15,8 +15,8 @@ use mtk_netlist::tech::Technology;
 use mtk_netlist::NetlistError;
 
 /// The known top-level directives, for "did you mean" suggestions.
-const DIRECTIVES: [&str; 9] = [
-    "circuit", "tech", "net", "input", "output", "tie", "cell", "vector", "end",
+const DIRECTIVES: [&str; 10] = [
+    "circuit", "tech", "corner", "net", "input", "output", "tie", "cell", "vector", "end",
 ];
 
 /// The technology presets a `tech` line may name.
@@ -39,6 +39,7 @@ pub fn parse_str(src: &str, file: &str) -> Result<Design, ParseError> {
         tech: Technology::l07(),
         tech_preset_seen: false,
         tech_override_seen: false,
+        corner_seen: false,
         vectors: Vec::new(),
         source: SourceMap::empty(file),
         end_seen: false,
@@ -90,6 +91,7 @@ struct Parser<'f> {
     tech: Technology,
     tech_preset_seen: bool,
     tech_override_seen: bool,
+    corner_seen: bool,
     vectors: Vec<Stimulus>,
     source: SourceMap,
     end_seen: bool,
@@ -203,6 +205,7 @@ impl Parser<'_> {
         match dir {
             "circuit" => self.circuit(line, toks),
             "tech" => self.tech_preset(line, toks),
+            "corner" => self.corner(line, toks),
             "net" => self.net(line, toks),
             "input" => self.io(line, toks, true),
             "output" => self.io(line, toks, false),
@@ -363,6 +366,14 @@ impl Parser<'_> {
                 "`tech` preset must precede `tech.*` overrides",
             ));
         }
+        if self.corner_seen {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadTech,
+                "`tech` preset must precede `corner`",
+            ));
+        }
         let Some(t) = Technology::preset(toks[1].text) else {
             let mut e = self.err(
                 line,
@@ -377,6 +388,47 @@ impl Parser<'_> {
         };
         self.tech = t;
         self.tech_preset_seen = true;
+        Ok(())
+    }
+
+    /// `corner <name>`: moves the technology to a named PVT corner
+    /// (DESIGN.md §14). The corner is a value transform over the preset,
+    /// so it must come after the `tech` preset (if any) and before any
+    /// `tech.*` fine-tuning override; the canonical writer re-expresses
+    /// its effect as plain `tech.*` overrides.
+    fn corner(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 2, "corner <name>")?;
+        self.netlist_mut(line, toks[0].col)?;
+        if self.corner_seen {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadCorner,
+                "duplicate `corner`",
+            ));
+        }
+        if self.tech_override_seen {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadCorner,
+                "`corner` must precede `tech.*` overrides",
+            ));
+        }
+        let Some(t) = self.tech.at_corner(toks[1].text) else {
+            let mut e = self.err(
+                line,
+                toks[1].col,
+                ErrorCode::BadCorner,
+                format!("unknown corner `{}`", toks[1].text),
+            );
+            if let Some(s) = closest(toks[1].text, Technology::corner_names()) {
+                e = e.with_hint(format!("did you mean `{s}`?"));
+            }
+            return Err(e);
+        };
+        self.tech = t;
+        self.corner_seen = true;
         Ok(())
     }
 
@@ -929,6 +981,74 @@ end
             4,
             1,
         );
+    }
+
+    #[test]
+    fn e015_bad_corner() {
+        let e = expect_err(
+            "mtk 1\ncircuit x\ncorner slw\nend\n",
+            ErrorCode::BadCorner,
+            3,
+            8,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `slow`?"));
+        expect_err(
+            "mtk 1\ncircuit x\ncorner slow\ncorner fast\nend\n",
+            ErrorCode::BadCorner,
+            4,
+            1,
+        );
+        expect_err(
+            "mtk 1\ncircuit x\ntech.vdd 1.0\ncorner slow\nend\n",
+            ErrorCode::BadCorner,
+            4,
+            1,
+        );
+        // A `tech` preset after `corner` is a tech-ordering error (E013).
+        expect_err(
+            "mtk 1\ncircuit x\ncorner slow\ntech l03\nend\n",
+            ErrorCode::BadTech,
+            4,
+            1,
+        );
+        // Arity errors keep their existing code.
+        expect_err("mtk 1\ncircuit x\ncorner\nend\n", ErrorCode::BadArity, 3, 1);
+        // And `corner` before `circuit` is a placement error (E005).
+        expect_err(
+            "mtk 1\ncorner slow\ncircuit x\nend\n",
+            ErrorCode::BadCircuit,
+            2,
+            1,
+        );
+    }
+
+    #[test]
+    fn corner_applies_to_the_preceding_preset_then_overrides_stack() {
+        let src = "\
+mtk 1
+circuit c
+tech l03
+corner slow
+tech.sigma_vt 0.03
+net a
+input a
+end
+";
+        let d = parse_str(src, "c.mtk").unwrap();
+        let mut want = Technology::l03().at_corner("slow").unwrap();
+        want.sigma_vt = 0.03;
+        assert_eq!(d.tech, want);
+        // Without a preset line the corner applies to the l07 default.
+        let d2 = parse_str("mtk 1\ncircuit c\ncorner fast\nend\n", "c.mtk").unwrap();
+        assert_eq!(d2.tech, Technology::l07().at_corner("fast").unwrap());
+        // The corner'd design round-trips through the canonical writer
+        // (as tech.* value overrides — the corner name itself is not
+        // part of the canonical form).
+        let text = d.to_mtk();
+        assert!(!text.contains("corner"), "{text}");
+        let back = parse_str(&text, "c.mtk").unwrap();
+        assert_eq!(back.tech, d.tech);
+        assert_eq!(back.to_mtk(), text);
     }
 
     #[test]

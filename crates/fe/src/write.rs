@@ -13,6 +13,72 @@ use mtk_netlist::logic::Logic;
 use mtk_netlist::tech::Technology;
 use std::fmt::Write as _;
 
+/// A design the canonical writer refuses to serialize: some numeric
+/// field is `inf`/`NaN`, which the grammar cannot express (the parser
+/// rejects non-finite literals with E006), so emitting it would break
+/// the write→parse identity contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteError {
+    /// Which value was non-finite (e.g. `tech.vdd`, `net y cap`,
+    /// `cell g1 drive`).
+    pub what: String,
+    /// The offending value (`inf`, `-inf`, or `NaN`).
+    pub value: f64,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot write design: non-finite value {} in {}",
+            self.value, self.what
+        )
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// The first non-finite numeric field of a design, if any — the value
+/// [`try_write_mtk`] would refuse on. Scan order matches the canonical
+/// section order (tech params, net caps, cell drives).
+pub fn first_non_finite(design: &Design) -> Option<WriteError> {
+    for (name, get, _) in TECH_PARAMS {
+        let v = get(&design.tech);
+        if !v.is_finite() {
+            return Some(WriteError {
+                what: format!("tech.{name}"),
+                value: v,
+            });
+        }
+    }
+    for net in design.netlist.nets() {
+        if !net.extra_cap.is_finite() {
+            return Some(WriteError {
+                what: format!("net {} cap", net.name),
+                value: net.extra_cap,
+            });
+        }
+    }
+    for cell in design.netlist.cells() {
+        if !cell.drive.is_finite() {
+            return Some(WriteError {
+                what: format!("cell {} drive", cell.name),
+                value: cell.drive,
+            });
+        }
+    }
+    None
+}
+
+/// [`write_mtk`] with the non-finite check surfaced as a `Result`
+/// instead of a panic — the form programmatic callers should prefer.
+pub fn try_write_mtk(design: &Design) -> Result<String, WriteError> {
+    match first_non_finite(design) {
+        Some(e) => Err(e),
+        None => Ok(write_mtk(design)),
+    }
+}
+
 /// Serializes a design to canonical `.mtk` text.
 ///
 /// Floats are written in Rust's shortest round-trip form (plain below
@@ -25,7 +91,18 @@ use std::fmt::Write as _;
 ///   (the name itself cannot round-trip);
 /// * stimulus vectors are dropped when the netlist has no primary
 ///   inputs (the grammar cannot express a zero-width vector).
+///
+/// # Panics
+///
+/// Panics when a tech parameter, net cap, or cell drive is `inf`/`NaN`
+/// — such a value has no grammar representation and would silently
+/// break round-tripping. Parsed designs can never contain one (the
+/// parser rejects non-finite literals); programmatic callers that might
+/// should use [`try_write_mtk`].
 pub fn write_mtk(design: &Design) -> String {
+    if let Some(e) = first_non_finite(design) {
+        panic!("{e}");
+    }
     let nl = &design.netlist;
     let mut out = String::new();
     let w = &mut out;
@@ -100,6 +177,7 @@ fn bits(levels: &[Logic]) -> String {
 /// Rust's shortest-digits algorithm, so `fmt_num(v).parse() == v`
 /// exactly for every finite input.
 pub(crate) fn fmt_num(v: f64) -> String {
+    debug_assert!(v.is_finite(), "fmt_num on non-finite {v}");
     let a = v.abs();
     if v == 0.0 || (1e-4..1e6).contains(&a) {
         format!("{v}")
@@ -212,6 +290,63 @@ end
         assert_eq!(parsed.netlist.fingerprint(), d.netlist.fingerprint());
         let twice = parsed.to_mtk();
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_not_emitted() {
+        // A NaN cap used to serialize as `cap=NaN`, which the parser
+        // then rejects (E006) — a silent round-trip break. The writer
+        // now refuses up front.
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        nl.mark_primary_output(y);
+        nl.add_extra_cap(y, f64::NAN);
+        let d = crate::Design::new(nl, Technology::l07());
+        let err = d.try_to_mtk().unwrap_err();
+        assert_eq!(err.what, "net y cap");
+        assert!(err.to_string().contains("non-finite"));
+
+        let mut tech = Technology::l07();
+        tech.sigma_vt = f64::INFINITY;
+        let d2 = crate::Design::new(Netlist::new("t"), tech);
+        assert_eq!(d2.try_to_mtk().unwrap_err().what, "tech.sigma_vt");
+
+        // A finite design is untouched by the check.
+        let ok = crate::Design::new(Netlist::new("ok"), Technology::l07());
+        assert_eq!(ok.try_to_mtk().unwrap(), ok.to_mtk());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn to_mtk_panics_on_non_finite_rather_than_corrupting() {
+        let mut tech = Technology::l07();
+        tech.vdd = f64::NAN;
+        let _ = crate::Design::new(Netlist::new("p"), tech).to_mtk();
+    }
+
+    #[test]
+    fn corner_and_sigma_fields_round_trip_as_tech_overrides() {
+        let mut nl = Netlist::new("mc");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        nl.mark_primary_output(y);
+        let mut tech = Technology::l07().at_corner("slow").unwrap();
+        tech.sigma_vt = 0.03;
+        tech.sigma_kp = 0.05;
+        tech.sigma_w = 0.02;
+        let d = crate::Design::new(nl, tech);
+        let text = d.to_mtk();
+        assert!(text.contains("tech.temp_c 125"), "{text}");
+        assert!(text.contains("tech.sigma_vt 0.03"), "{text}");
+        let parsed = parse_str(&text, "mc.mtk").unwrap();
+        assert_eq!(parsed.tech, d.tech);
+        assert_eq!(parsed.tech.fingerprint(), d.tech.fingerprint());
+        assert_eq!(parsed.to_mtk(), text, "fixpoint");
     }
 
     #[test]

@@ -56,9 +56,84 @@ pub struct Technology {
     pub unit_wn: f64,
     /// Default PMOS aspect ratio of a unit-drive cell.
     pub unit_wp: f64,
+    /// Operating temperature, °C. Presets sit at 25 °C; named corners
+    /// move it (and derate the thresholds/transconductances with it).
+    pub temp_c: f64,
+    /// Per-device threshold-voltage sigma, volts (absolute shift per
+    /// Monte Carlo trial). `0` = no Vt variation.
+    pub sigma_vt: f64,
+    /// Per-device transconductance sigma, relative (a trial scales k′ by
+    /// `1 + sigma_kp·g`). `0` = no k′ variation.
+    pub sigma_kp: f64,
+    /// Device-width sigma, relative (a trial scales the unit aspect
+    /// ratios and the sleep W/L by `1 + sigma_w·g`). `0` = no W variation.
+    pub sigma_w: f64,
     /// Subthreshold parameters for leakage studies.
     pub subthreshold: Subthreshold,
 }
+
+/// A named PVT corner: deterministic scale factors applied on top of a
+/// preset. Corners are *value transforms* — applying one changes the
+/// numeric fields (and therefore [`Technology::fingerprint`]), not the
+/// preset name, so the `.mtk` canonical form can always express the
+/// result as plain `tech.*` overrides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Corner name as accepted by [`Technology::at_corner`] and the
+    /// `.mtk` `corner` directive.
+    pub name: &'static str,
+    /// Multiplier on every threshold (vtn, vtp, vt_high).
+    pub vt_scale: f64,
+    /// Multiplier on both transconductances.
+    pub kp_scale: f64,
+    /// Multiplier on the supply voltage.
+    pub vdd_scale: f64,
+    /// Operating temperature of the corner, °C.
+    pub temp_c: f64,
+}
+
+/// The named corners, typical first. Process letters follow the usual
+/// convention (slow = high Vt / low k′, fast = the reverse); each is
+/// paired with the vdd/temperature condition that makes it the worst
+/// case for its failure mode (slow+hot+low-vdd for delay, fast+cold+
+/// high-vdd for bounce/leakage), plus the two single-axis variants.
+pub const CORNERS: &[Corner] = &[
+    Corner {
+        name: "typ",
+        vt_scale: 1.0,
+        kp_scale: 1.0,
+        vdd_scale: 1.0,
+        temp_c: 25.0,
+    },
+    Corner {
+        name: "slow",
+        vt_scale: 1.1,
+        kp_scale: 0.9,
+        vdd_scale: 0.9,
+        temp_c: 125.0,
+    },
+    Corner {
+        name: "fast",
+        vt_scale: 0.9,
+        kp_scale: 1.1,
+        vdd_scale: 1.1,
+        temp_c: -40.0,
+    },
+    Corner {
+        name: "slow_cold",
+        vt_scale: 1.1,
+        kp_scale: 0.9,
+        vdd_scale: 0.9,
+        temp_c: -40.0,
+    },
+    Corner {
+        name: "fast_hot",
+        vt_scale: 0.9,
+        kp_scale: 1.1,
+        vdd_scale: 1.1,
+        temp_c: 125.0,
+    },
+];
 
 impl Technology {
     /// The 0.7 µm technology of the paper's Fig 4 / Fig 12 experiments.
@@ -79,6 +154,10 @@ impl Technology {
             c_drain: 1.0e-15,
             unit_wn: 1.0,
             unit_wp: 2.0,
+            temp_c: 25.0,
+            sigma_vt: 0.0,
+            sigma_kp: 0.0,
+            sigma_w: 0.0,
             subthreshold: Subthreshold { n: 1.5, i0: 5e-8 },
         }
     }
@@ -101,6 +180,10 @@ impl Technology {
             c_drain: 0.35e-15,
             unit_wn: 1.0,
             unit_wp: 2.0,
+            temp_c: 25.0,
+            sigma_vt: 0.0,
+            sigma_kp: 0.0,
+            sigma_w: 0.0,
             subthreshold: Subthreshold { n: 1.4, i0: 1e-7 },
         }
     }
@@ -113,6 +196,42 @@ impl Technology {
             "l03" => Some(Technology::l03()),
             _ => None,
         }
+    }
+
+    /// Looks up a named PVT corner in [`CORNERS`].
+    pub fn corner(name: &str) -> Option<Corner> {
+        CORNERS.iter().copied().find(|c| c.name == name)
+    }
+
+    /// The names in [`CORNERS`], for diagnostics and CLI help.
+    pub fn corner_names() -> Vec<&'static str> {
+        CORNERS.iter().map(|c| c.name).collect()
+    }
+
+    /// This technology moved to a named corner: thresholds, k′, and vdd
+    /// scaled by the corner's process/voltage factors, then derated to
+    /// the corner temperature (−2 mV/°C on every threshold, mobility
+    /// ∝ T^−1.5 on both k′, both relative to 25 °C). Returns `None` for
+    /// an unknown corner name.
+    ///
+    /// Only numeric fields change — the result round-trips through the
+    /// `.mtk` writer as ordinary `tech.*` overrides, and its
+    /// [`fingerprint`](Technology::fingerprint) differs from the nominal
+    /// one exactly because the values do.
+    pub fn at_corner(&self, name: &str) -> Option<Technology> {
+        let c = Technology::corner(name)?;
+        let mut t = self.clone();
+        let dt = c.temp_c - 25.0;
+        let vt_shift = -2e-3 * dt;
+        let kp_temp = ((c.temp_c + 273.15) / 298.15).powf(-1.5);
+        t.vdd = self.vdd * c.vdd_scale;
+        t.vtn = self.vtn * c.vt_scale + vt_shift;
+        t.vtp = self.vtp * c.vt_scale + vt_shift;
+        t.vt_high = self.vt_high * c.vt_scale + vt_shift;
+        t.kp_n = self.kp_n * c.kp_scale * kp_temp;
+        t.kp_p = self.kp_p * c.kp_scale * kp_temp;
+        t.temp_c = c.temp_c;
+        Some(t)
     }
 
     /// A stable 64-bit fingerprint over every parameter (FNV-1a, same
@@ -137,6 +256,10 @@ impl Technology {
             self.c_drain,
             self.unit_wn,
             self.unit_wp,
+            self.temp_c,
+            self.sigma_vt,
+            self.sigma_kp,
+            self.sigma_w,
             self.subthreshold.n,
             self.subthreshold.i0,
         ] {
@@ -266,8 +389,49 @@ mod tests {
         bump!(c_drain);
         bump!(unit_wn);
         bump!(unit_wp);
+        bump!(temp_c);
+        bump!(sigma_vt);
+        bump!(sigma_kp);
+        bump!(sigma_w);
         bump!(subthreshold.n);
         bump!(subthreshold.i0);
+    }
+
+    #[test]
+    fn corners_resolve_and_typ_is_identity() {
+        let base = Technology::l07();
+        assert_eq!(base.at_corner("typ"), Some(base.clone()));
+        assert_eq!(base.at_corner("ss"), None);
+        assert_eq!(Technology::corner_names()[0], "typ");
+        for name in Technology::corner_names() {
+            let t = base.at_corner(name).expect("listed corner must apply");
+            assert_eq!(t.name, base.name, "corner keeps the preset name");
+            assert!(t.vdd > 0.0 && t.kp_n > 0.0 && t.vtn > 0.0);
+            assert!(
+                t.vdd - t.vt_high > 0.0,
+                "sleep device must stay on at corner {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_moves_the_fingerprint_through_its_values() {
+        let base = Technology::l07();
+        let slow = base.at_corner("slow").unwrap();
+        let fast = base.at_corner("fast").unwrap();
+        assert_ne!(slow.fingerprint(), base.fingerprint());
+        assert_ne!(slow.fingerprint(), fast.fingerprint());
+        // Slow corner: weaker devices, lower rail. (Its 125 °C condition
+        // also *lowers* the thresholds — temperature inversion — so the
+        // process Vt scaling is asserted on the cold variant below.)
+        assert!(slow.kp_n < base.kp_n && slow.vdd < base.vdd);
+        assert!(fast.kp_n > base.kp_n && fast.vdd > base.vdd);
+        assert!(base.at_corner("slow_cold").unwrap().vtn > base.vtn);
+        // Hot corners derate k′ below the cold variant of the same letter.
+        let slow_cold = base.at_corner("slow_cold").unwrap();
+        assert!(slow.kp_n < slow_cold.kp_n, "125 °C mobility < −40 °C");
+        assert_eq!(slow.temp_c, 125.0);
+        assert_eq!(slow_cold.temp_c, -40.0);
     }
 
     #[test]

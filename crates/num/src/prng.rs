@@ -114,10 +114,36 @@ impl Xoshiro256pp {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// A uniform `f64` in `[lo, hi)`.
+    /// A uniform `f64` in `[lo, hi)`, or exactly `lo` when the interval
+    /// is degenerate (`hi == lo`, e.g. an MC sigma range collapsing to
+    /// zero). The degenerate case still consumes one draw so stream
+    /// consumption stays independent of the parameter values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hi < lo` — in release builds too; a reversed
+    /// interval silently returning out-of-range values is exactly the
+    /// kind of bug a Monte Carlo sweep would launder into its statistics.
     pub fn next_f64_in(&mut self, lo: f64, hi: f64) -> f64 {
-        debug_assert!(hi > lo, "empty interval");
-        lo + (hi - lo) * self.next_f64()
+        assert!(hi >= lo, "empty interval");
+        let u = self.next_f64();
+        if hi == lo {
+            return lo;
+        }
+        lo + (hi - lo) * u
+    }
+
+    /// A standard-normal (mean 0, variance 1) deviate via Box–Muller.
+    ///
+    /// Every call consumes exactly two uniform draws and returns one
+    /// deviate (the sine branch is discarded rather than cached), so a
+    /// generator's stream position after `n` calls depends only on `n` —
+    /// the property the per-trial Monte Carlo streams rely on.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // 1 − next_f64() ∈ (0, 1], so the log argument is never zero.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// A uniform boolean.
@@ -251,5 +277,57 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn next_below_rejects_zero() {
         Xoshiro256pp::seed_from_u64(0).next_below(0);
+    }
+
+    /// These three hold in release builds too (the interval check is a
+    /// hard `assert!`, not a `debug_assert!`) — `scripts/ci.sh` runs
+    /// this module's tests under `--release` to pin that.
+    #[test]
+    fn degenerate_interval_returns_lo_exactly() {
+        let mut x = Xoshiro256pp::seed_from_u64(11);
+        for _ in 0..32 {
+            assert_eq!(x.next_f64_in(2.5, 2.5), 2.5);
+        }
+        // The degenerate case must consume a draw like the regular one,
+        // so downstream draws do not shift when a sigma collapses to 0.
+        let mut a = Xoshiro256pp::seed_from_u64(11);
+        let mut b = Xoshiro256pp::seed_from_u64(11);
+        let _ = a.next_f64_in(2.5, 2.5);
+        let _ = b.next_f64_in(0.0, 1.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn reversed_interval_panics_in_every_profile() {
+        Xoshiro256pp::seed_from_u64(0).next_f64_in(3.0, -3.0);
+    }
+
+    /// Box–Muller sanity: deterministic per stream, fixed two-draw
+    /// consumption, and plausible first/second moments.
+    #[test]
+    fn gaussian_is_deterministic_and_standard() {
+        let mut a = Xoshiro256pp::stream(42, 7);
+        let mut b = Xoshiro256pp::stream(42, 7);
+        let ga: Vec<f64> = (0..16).map(|_| a.next_gaussian()).collect();
+        let gb: Vec<f64> = (0..16).map(|_| b.next_gaussian()).collect();
+        assert_eq!(ga, gb, "same (seed, stream) must reproduce");
+
+        // Exactly two uniform draws per call: draining the same number
+        // of u64s by hand lands both generators on the same state.
+        let mut c = Xoshiro256pp::stream(42, 7);
+        for _ in 0..32 {
+            let _ = c.next_u64();
+        }
+        assert_eq!(a.next_u64(), c.next_u64(), "2 draws per deviate");
+
+        let n = 4096usize;
+        let mut x = Xoshiro256pp::seed_from_u64(13);
+        let draws: Vec<f64> = (0..n).map(|_| x.next_gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+        assert!(draws.iter().all(|d| d.is_finite()));
     }
 }

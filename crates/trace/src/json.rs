@@ -408,6 +408,16 @@ impl Parser<'_> {
 pub fn validate_report(input: &str) -> Result<(), String> {
     let root = parse(input)?;
 
+    // No key of the trace schema is ever legitimately null — but the
+    // writer clamps non-finite numbers to `null` (JSON has no NaN/inf),
+    // so a NaN metric would otherwise sail through any check that only
+    // looks for *missing* keys. Reject nulls up front, with the path.
+    if let Some(path) = first_null(&root, String::new()) {
+        return Err(format!(
+            "null value at '{path}' — a non-finite number was clamped by the writer"
+        ));
+    }
+
     let schema = root.get("schema").ok_or("missing 'schema'")?;
     let name = schema
         .get("name")
@@ -454,6 +464,31 @@ pub fn validate_report(input: &str) -> Result<(), String> {
         Some(timing) => validate_timing(timing, phases.len())?,
     }
     Ok(())
+}
+
+/// Depth-first search for the first `null` in a document, returning its
+/// dotted path (array indices in brackets) when found.
+fn first_null(value: &JsonValue, path: String) -> Option<String> {
+    match value {
+        JsonValue::Null => Some(if path.is_empty() {
+            "<root>".into()
+        } else {
+            path
+        }),
+        JsonValue::Array(items) => items
+            .iter()
+            .enumerate()
+            .find_map(|(i, v)| first_null(v, format!("{path}[{i}]"))),
+        JsonValue::Object(members) => members.iter().find_map(|(k, v)| {
+            let sub = if path.is_empty() {
+                k.clone()
+            } else {
+                format!("{path}.{k}")
+            };
+            first_null(v, sub)
+        }),
+        _ => None,
+    }
 }
 
 fn validate_phase(phase: &JsonValue) -> Result<(), String> {
@@ -631,6 +666,47 @@ mod tests {
         let mut s = String::new();
         write_number(&mut s, f64::NAN);
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn validator_flags_null_clamped_numerics_with_their_path() {
+        // Build a valid deterministic report, then corrupt one numeric
+        // leaf the way the writer would for a NaN (clamp to null).
+        let mut phase = crate::PhaseTrace::new("mc");
+        phase.counters.add(CounterId::McTrials, 4);
+        let mut report = crate::TraceReport::new("t");
+        report.push_phase(phase);
+        let good = report.to_json(crate::TraceMode::Deterministic);
+        validate_report(&good).unwrap();
+
+        let bad = good.replacen("\"mc_trials\": 4", "\"mc_trials\": null", 1);
+        let err = validate_report(&bad).unwrap_err();
+        assert!(err.contains("null value at"), "{err}");
+        assert!(err.contains("mc_trials"), "{err}");
+        assert!(err.contains("non-finite"), "{err}");
+
+        // Nulls inside arrays are located too: clamp the first bucket
+        // of the first phase histogram in the parsed tree.
+        let mut root = parse(&good).unwrap();
+        if let JsonValue::Object(members) = &mut root {
+            let phases = &mut members.iter_mut().find(|(k, _)| k == "phases").unwrap().1;
+            if let JsonValue::Array(items) = phases {
+                if let JsonValue::Object(phase) = &mut items[0] {
+                    let hists = &mut phase.iter_mut().find(|(k, _)| k == "histograms").unwrap().1;
+                    if let JsonValue::Object(hs) = hists {
+                        if let JsonValue::Object(h) = &mut hs[0].1 {
+                            let buckets =
+                                &mut h.iter_mut().find(|(k, _)| k == "buckets").unwrap().1;
+                            if let JsonValue::Array(b) = buckets {
+                                b[0] = JsonValue::Null;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err2 = validate_report(&root.to_pretty()).unwrap_err();
+        assert!(err2.contains("buckets[0]"), "{err2}");
     }
 
     #[test]

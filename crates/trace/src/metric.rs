@@ -102,6 +102,22 @@ counter_registry! {
     /// Server requests rejected before execution (malformed, oversized,
     /// or backpressured with `busy`).
     RequestsRejected => ("requests_rejected", Sum),
+    /// Monte Carlo trials attempted (one perturbed-technology sample
+    /// each).
+    McTrials => ("mc_trials", Sum),
+    /// Monte Carlo trials whose worst-vector degradation at the nominal
+    /// sleep width met the target.
+    McPassed => ("mc_passed", Sum),
+    /// Median of worst-vector delay degradation across trials, in basis
+    /// points (degradation × 10⁴, saturating; ∞ ⇒ `u64::MAX`).
+    McP50DegrBp => ("mc_p50_degr_bp", Max),
+    /// 95th percentile of worst-vector degradation, basis points.
+    McP95DegrBp => ("mc_p95_degr_bp", Max),
+    /// 99th percentile of worst-vector degradation, basis points.
+    McP99DegrBp => ("mc_p99_degr_bp", Max),
+    /// 99th percentile of peak virtual-ground bounce across trials, in
+    /// microvolts.
+    McP99BounceUv => ("mc_p99_bounce_uv", Max),
 }
 
 /// A flat, fixed-size set of every registered counter.

@@ -26,7 +26,12 @@ pub const SCHEMA_NAME: &str = "mtk-trace";
 /// History: v2 added the `lu_pattern_reuses` counter. v3 added the
 /// persistence/serving counters `store_hits`, `store_misses`,
 /// `store_corrupt_records`, `conn_timeouts`, `requests_rejected`.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4 added the Monte Carlo counters `mc_trials`, `mc_passed`,
+/// `mc_p50_degr_bp`, `mc_p95_degr_bp`, `mc_p99_degr_bp`,
+/// `mc_p99_bounce_uv` and named extra histograms in the per-phase
+/// `histograms` object (the MC engine emits `mc_degradation_bp` and
+/// `mc_bounce_mv`).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Per-worker sink totals of one phase — real execution costs, therefore
 /// schedule-dependent; exported only in the `timing` section.
@@ -56,6 +61,11 @@ pub struct PhaseTrace {
     pub counters: CounterSet,
     /// Distribution of breakpoints per completed work item.
     pub breakpoints_per_item: Histogram,
+    /// Additional named histograms, emitted after `breakpoints_per_item`
+    /// in the `histograms` object in this order (names must be unique
+    /// and stable — they are part of the schema a consumer sees). The
+    /// MC engine uses this for its per-trial distributions.
+    pub extra_histograms: Vec<(String, Histogram)>,
     /// Indices of quarantined items, in index order.
     pub quarantined: Vec<usize>,
     /// End-to-end wall time of the phase, seconds.
@@ -131,6 +141,23 @@ impl PhaseTrace {
         ))
     }
 
+    /// The Monte Carlo distribution line, when any trial ran.
+    pub fn mc_line(&self) -> Option<String> {
+        let c = &self.counters;
+        let trials = c.get(CounterId::McTrials);
+        if trials == 0 {
+            return None;
+        }
+        Some(format!(
+            "mc: {trials} trials, {} passed; degradation p50/p95/p99 = {}/{}/{} bp, bounce p99 = {} uV",
+            c.get(CounterId::McPassed),
+            c.get(CounterId::McP50DegrBp),
+            c.get(CounterId::McP95DegrBp),
+            c.get(CounterId::McP99DegrBp),
+            c.get(CounterId::McP99BounceUv),
+        ))
+    }
+
     /// The wall-time / per-worker line, when timing was recorded.
     pub fn timing_line(&self) -> Option<String> {
         if self.wall_s.is_none() && self.workers.is_empty() {
@@ -151,16 +178,17 @@ impl PhaseTrace {
     }
 
     fn deterministic_json(&self) -> JsonValue {
+        let mut histograms = vec![(
+            "breakpoints_per_item".to_string(),
+            histogram_json(&self.breakpoints_per_item),
+        )];
+        for (name, h) in &self.extra_histograms {
+            histograms.push((name.clone(), histogram_json(h)));
+        }
         JsonValue::Object(vec![
             ("name".into(), JsonValue::String(self.name.clone())),
             ("counters".into(), counters_json(&self.counters)),
-            (
-                "histograms".into(),
-                JsonValue::Object(vec![(
-                    "breakpoints_per_item".into(),
-                    histogram_json(&self.breakpoints_per_item),
-                )]),
-            ),
+            ("histograms".into(), JsonValue::Object(histograms)),
             (
                 "quarantined".into(),
                 JsonValue::Array(
@@ -333,6 +361,9 @@ impl TraceReport {
             if let Some(line) = phase.spice_line() {
                 let _ = writeln!(out, "  {line}");
             }
+            if let Some(line) = phase.mc_line() {
+                let _ = writeln!(out, "  {line}");
+            }
             if let Some(line) = phase.timing_line() {
                 let _ = writeln!(out, "  {line}");
             }
@@ -377,9 +408,24 @@ mod tests {
         verify.counters.add(CounterId::DtHalvings, 3);
         verify.counters.add(CounterId::NewtonIterations, 900);
 
+        let mut mc = PhaseTrace::new("mc").with_wall(0.5);
+        mc.counters.add(CounterId::McTrials, 64);
+        mc.counters.add(CounterId::McPassed, 60);
+        mc.counters.add(CounterId::McP50DegrBp, 480);
+        mc.counters.add(CounterId::McP95DegrBp, 700);
+        mc.counters.add(CounterId::McP99DegrBp, 950);
+        mc.counters.add(CounterId::McP99BounceUv, 52_000);
+        let mut degr = Histogram::new();
+        degr.record(480);
+        mc.extra_histograms.push(("mc_degradation_bp".into(), degr));
+        let mut bounce = Histogram::new();
+        bounce.record(48);
+        mc.extra_histograms.push(("mc_bounce_mv".into(), bounce));
+
         let mut report = TraceReport::new("unit-test");
         report.push_phase(screen);
         report.push_phase(verify);
+        report.push_phase(mc);
         report.spans.push(Span {
             name: "run".into(),
             wall_s: 1.75,
@@ -428,6 +474,9 @@ mod tests {
         assert!(text.contains("phase screen: 98/100 items ok, 2 quarantined [17, 40]"));
         assert!(text.contains("spice: 0 gmin fallback stages, 3 dt halvings"));
         assert!(text.contains("wall 0.250 s; workers"));
+        assert!(text.contains(
+            "mc: 64 trials, 60 passed; degradation p50/p95/p99 = 480/700/950 bp, bounce p99 = 52000 uV"
+        ));
         assert!(text.contains("totals: 108/110 items ok"));
         // A phase with no cache traffic must not mention the cache.
         assert!(!text.contains("cache"));

@@ -22,6 +22,15 @@ cargo test -q --test fault_injection
 echo "== trace determinism & golden schema contract =="
 cargo test -q --test trace_determinism
 
+echo "== mc determinism contract (thread invariance + warm store) =="
+cargo test -q --test mc_determinism
+
+echo "== numeric edge cases stay hard errors in the release profile =="
+# `next_f64_in` once guarded its interval with debug_assert!, so the
+# release build silently extrapolated on reversed bounds. Pin the
+# release-profile behaviour of the hardened PRNG module.
+cargo test -q --release -p mtk-num prng
+
 echo "== whole workspace must be clippy-clean =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -55,9 +64,29 @@ cargo run --release -p mtk-bench --bin mtk -- screen examples/adder3.mtk \
 echo "== mtk smoke trace validates against the documented schema =="
 cargo run --release -p mtk-bench --bin trace_check -- "$mtk_trace"
 
+echo "== mtk mc smoke: deterministic Monte Carlo + warm store replay =="
+# Cold run writes every trial through to the store; the warm rerun must
+# replay all of them without touching the simulator, and both traces
+# must validate against the schema.
+mc_store="$(mktemp /tmp/ci_mc_store.XXXXXX.bin)"
+mc_trace="$(mktemp /tmp/ci_mc_trace.XXXXXX.json)"
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace"' EXIT
+cargo run --release -p mtk-bench --bin mtk -- mc examples/adder3.mtk \
+  --smoke --sigma-vt 0.03 --sigma-kp 0.05 --sigma-w 0.04 --target 0.25 \
+  --threads 2 --store "$mc_store" --trace-deterministic --trace-json "$mc_trace"
+cargo run --release -p mtk-bench --bin trace_check -- "$mc_trace"
+mc_warm="$(target/release/mtk mc examples/adder3.mtk \
+  --smoke --sigma-vt 0.03 --sigma-kp 0.05 --sigma-w 0.04 --target 0.25 \
+  --threads 8 --store "$mc_store" --trace-deterministic --trace-json "$mc_trace")"
+grep -q ", 0 simulated" <<<"$mc_warm" || {
+  echo "ci: warm mc rerun did simulator work: $mc_warm"
+  exit 1
+}
+cargo run --release -p mtk-bench --bin trace_check -- "$mc_trace"
+
 echo "== hybrid pipeline smoke (4-bit adder screen + top-2 SPICE verify) =="
 trace_json="$(mktemp /tmp/ci_trace.XXXXXX.json)"
-trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json"' EXIT
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$trace_json"' EXIT
 cargo run --release -p mtk-bench --bin ext_screening -- \
   --smoke --adder-bits 4 --stride 259 --top-k 2 --threads 2 \
   --trace-json "$trace_json"
@@ -73,7 +102,7 @@ echo "== serve smoke: store-backed replay + graceful SIGTERM drain =="
 # `cargo test` (crates/store/tests/corruption.rs, tests/store_persistence.rs).
 serve_log="$(mktemp /tmp/ci_serve.XXXXXX.log)"
 serve_store="$(mktemp /tmp/ci_serve_store.XXXXXX.bin)"
-trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock"' EXIT
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock"' EXIT
 target/release/mtk serve --addr 127.0.0.1:0 --store "$serve_store" >"$serve_log" &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -108,7 +137,7 @@ if [[ "${MTK_SKIP_BENCH:-0}" == "1" ]]; then
   echo "bench smoke skipped (MTK_SKIP_BENCH=1)"
 else
   bench_json="$(mktemp /tmp/ci_bench.XXXXXX.json)"
-  trap 'rm -rf "$golden_dir" "$mtk_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock" "$bench_json"' EXIT
+  trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock" "$bench_json"' EXIT
   cargo run --release -p mtk-bench --bin speed_comparison -- \
     --no-spice --samples 3 --warmup 1 \
     --json "$bench_json" --check-against BENCH_speed.json

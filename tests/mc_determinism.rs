@@ -1,0 +1,145 @@
+//! The Monte Carlo acceptance contract (ISSUE 8): an `mtk mc`-shaped
+//! sweep over the adder — 256 trials, process sigmas set, faults
+//! injected — exports a **byte-identical deterministic trace** at 1, 2,
+//! and 8 threads, and a warm rerun against a persistent store replays
+//! every trial with **zero simulator work** while keeping the simulator
+//! telemetry (breakpoints, retries, histograms) bit-identical.
+
+use mtcmos_suite::circuits::adder::RippleAdder;
+use mtcmos_suite::circuits::vectors::exhaustive_transitions;
+use mtcmos_suite::core::health::{FailurePolicy, FaultPlan};
+use mtcmos_suite::core::mc::{run_mc, McOptions, McReport};
+use mtcmos_suite::core::sizing::Transition;
+use mtcmos_suite::netlist::logic::bits_lsb_first;
+use mtcmos_suite::netlist::tech::Technology;
+use mtcmos_suite::store::Store;
+use mtcmos_suite::trace::json::validate_report;
+use mtcmos_suite::trace::{TraceMode, TraceReport};
+use std::path::PathBuf;
+
+/// The adder's exhaustive transition space thinned by a stride, exactly
+/// like `mtk mc --stride` thins it.
+fn adder_transitions(stride: usize) -> Vec<Transition> {
+    exhaustive_transitions(6)
+        .into_iter()
+        .step_by(stride)
+        .map(|p| Transition::new(bits_lsb_first(p.from, 6), bits_lsb_first(p.to, 6)))
+        .collect()
+}
+
+fn varied_tech() -> Technology {
+    Technology {
+        sigma_vt: 0.03,
+        sigma_kp: 0.05,
+        sigma_w: 0.04,
+        ..Technology::l07()
+    }
+}
+
+fn mc_opts(threads: usize) -> McOptions {
+    McOptions {
+        trials: 256,
+        threads,
+        widths: vec![10.0, 40.0],
+        target: 0.25,
+        policy: FailurePolicy::quarantine(8),
+        ..McOptions::default()
+    }
+}
+
+fn run(threads: usize, store: Option<&Store>, fault: &FaultPlan) -> McReport {
+    let add = RippleAdder::paper();
+    let tech = varied_tech();
+    let transitions = adder_transitions(512);
+    run_mc(
+        &add.netlist,
+        &tech,
+        &transitions,
+        None,
+        &mc_opts(threads),
+        store,
+        fault,
+    )
+    .expect("mc sweep")
+}
+
+fn trace_of(report: &McReport) -> String {
+    let mut trace = TraceReport::new("mc_determinism");
+    trace.push_phase(report.to_phase("mc"));
+    trace.to_json(TraceMode::Deterministic)
+}
+
+#[test]
+fn mc_trace_is_byte_identical_across_thread_counts_under_faults() {
+    // Faults exercise the quarantine and retry paths so the pinned
+    // bytes include the degraded machinery, not just the happy path.
+    let faults = FaultPlan {
+        error_at: vec![7],
+        overflow_at: vec![19],
+        persistent_overflow_at: vec![123],
+        ..FaultPlan::default()
+    };
+    let serial = run(1, None, &faults);
+    let serial_json = trace_of(&serial);
+    validate_report(&serial_json).expect("serial trace validates");
+    assert_eq!(serial.samples.len(), 256);
+    assert_eq!(serial.health.quarantined_indices(), vec![7, 123]);
+    assert_eq!(serial.health.retry_successes, 1);
+    // The distributions actually spread under the sigmas.
+    assert!(serial_json.contains("mc_degradation_bp"));
+    assert!(serial.degradation_percentile_bp(99.0) > serial.degradation_percentile_bp(50.0));
+    for threads in [2usize, 8] {
+        let par = run(threads, None, &faults);
+        assert_eq!(
+            trace_of(&par),
+            serial_json,
+            "deterministic mc trace differs at threads={threads}"
+        );
+    }
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut lock = self.0.clone().into_os_string();
+        lock.push(".lock");
+        let _ = std::fs::remove_file(PathBuf::from(lock));
+    }
+}
+
+#[test]
+fn warm_store_mc_rerun_does_zero_simulator_work() {
+    let path = std::env::temp_dir().join(format!("mtk_mc_det_{}.log", std::process::id()));
+    let _cleanup = Cleanup(path.clone());
+    let _ = std::fs::remove_file(&path);
+    let cold = {
+        let store = Store::open(&path).expect("open store");
+        run(2, Some(&store), &FaultPlan::none())
+    };
+    assert_eq!(cold.store_hits(), 0);
+    assert_eq!(cold.store_misses(), 256);
+    // A fresh process over the same log replays everything, at a
+    // different thread count for good measure.
+    let warm = {
+        let store = Store::open(&path).expect("reopen store");
+        run(8, Some(&store), &FaultPlan::none())
+    };
+    assert_eq!(warm.store_hits(), 256, "warm rerun must replay all trials");
+    assert_eq!(warm.store_misses(), 0, "warm rerun must simulate nothing");
+    // Stored RunHealth replays, so the simulator telemetry — including
+    // the per-item breakpoint histogram — is bit-identical to the cold
+    // run; only the store-traffic counters move.
+    assert_eq!(warm.health.runs, cold.health.runs);
+    assert_eq!(
+        warm.health.breakpoints_per_item,
+        cold.health.breakpoints_per_item
+    );
+    let strip = |r: &McReport| {
+        r.completed()
+            .map(|s| (s.degradation, s.bounce, s.pass_at_width.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&warm), strip(&cold));
+    assert_eq!(warm.yield_curve(), cold.yield_curve());
+}

@@ -127,9 +127,18 @@ fn exhaustive_sample(tool: &str) -> TraceReport {
     });
     let mut verify = PhaseTrace::new("verify").with_wall(1.0);
     verify.counters.add(CounterId::Items, 2);
+    let mut mc = PhaseTrace::new("mc").with_wall(0.5);
+    mc.counters.add(CounterId::McTrials, 64);
+    let mut degr = mtcmos_suite::trace::Histogram::new();
+    degr.record(480);
+    mc.extra_histograms.push(("mc_degradation_bp".into(), degr));
+    let mut bounce = mtcmos_suite::trace::Histogram::new();
+    bounce.record(48);
+    mc.extra_histograms.push(("mc_bounce_mv".into(), bounce));
     let mut report = TraceReport::new(tool);
     report.push_phase(screen);
     report.push_phase(verify);
+    report.push_phase(mc);
     report.spans.push(Span {
         name: "run".into(),
         wall_s: 1.25,
@@ -142,11 +151,11 @@ fn exhaustive_sample(tool: &str) -> TraceReport {
     report
 }
 
-/// Every key path of schema v3, spelled out by hand. Adding, removing or
+/// Every key path of schema v4, spelled out by hand. Adding, removing or
 /// renaming any key changes this set; doing so without bumping
 /// [`SCHEMA_VERSION`] (and updating this golden list) is a contract
 /// violation.
-fn golden_v3_paths() -> BTreeSet<String> {
+fn golden_v4_paths() -> BTreeSet<String> {
     let counters = [
         "items",
         "completed",
@@ -170,6 +179,12 @@ fn golden_v3_paths() -> BTreeSet<String> {
         "store_corrupt_records",
         "conn_timeouts",
         "requests_rejected",
+        "mc_trials",
+        "mc_passed",
+        "mc_p50_degr_bp",
+        "mc_p95_degr_bp",
+        "mc_p99_degr_bp",
+        "mc_p99_bounce_uv",
     ];
     let mut golden: BTreeSet<String> = [
         "schema",
@@ -185,6 +200,14 @@ fn golden_v3_paths() -> BTreeSet<String> {
         "phases[].histograms.breakpoints_per_item.count",
         "phases[].histograms.breakpoints_per_item.sum",
         "phases[].histograms.breakpoints_per_item.buckets",
+        "phases[].histograms.mc_degradation_bp",
+        "phases[].histograms.mc_degradation_bp.count",
+        "phases[].histograms.mc_degradation_bp.sum",
+        "phases[].histograms.mc_degradation_bp.buckets",
+        "phases[].histograms.mc_bounce_mv",
+        "phases[].histograms.mc_bounce_mv.count",
+        "phases[].histograms.mc_bounce_mv.sum",
+        "phases[].histograms.mc_bounce_mv.buckets",
         "phases[].quarantined",
         "totals",
         "totals.counters",
@@ -218,18 +241,18 @@ fn golden_v3_paths() -> BTreeSet<String> {
 #[test]
 fn golden_schema_pins_every_key_path_to_the_version() {
     assert_eq!(
-        SCHEMA_VERSION, 3,
-        "SCHEMA_VERSION changed: regenerate golden_v3_paths() for the new \
+        SCHEMA_VERSION, 4,
+        "SCHEMA_VERSION changed: regenerate golden_v4_paths() for the new \
          schema and rename this test's golden set"
     );
     let report = exhaustive_sample("golden");
     let full = paths_of(&report.to_json(TraceMode::Full));
-    let golden = golden_v3_paths();
+    let golden = golden_v4_paths();
     let missing: Vec<_> = golden.difference(&full).collect();
     let extra: Vec<_> = full.difference(&golden).collect();
     assert!(
         missing.is_empty() && extra.is_empty(),
-        "schema v3 key paths drifted without a version bump.\n\
+        "schema v4 key paths drifted without a version bump.\n\
          missing from output: {missing:?}\nnot in golden set: {extra:?}"
     );
     // Deterministic mode is exactly the golden set minus the timing tree.
