@@ -18,7 +18,16 @@
 //! * `mtk screen <file>` — parallel switch-level screening of the
 //!   vector space (`--threads`, `--w-over-l`, `--top`).
 //! * `mtk size <file>` — bisect the sleep-transistor W/L to a target
-//!   degradation (`--target`, `--lo`, `--hi`).
+//!   degradation (`--target`, `--lo`, `--hi`). With `--clusters N` the
+//!   run routes through the cluster co-optimizer instead (same flags as
+//!   `mtk cluster`).
+//! * `mtk cluster <file>` — partition gates into mutually-exclusive
+//!   clusters inferred from the vector set, give each cluster its own
+//!   virtual-ground sleep device, and co-optimize the widths to the
+//!   target (`--clusters`, `--target`, `--lo`, `--hi`, `--threads`,
+//!   `--store`; `--smoke` thins the vector set for CI). The
+//!   single-device solution is always computed too and returned when it
+//!   uses no more total width (the never-worse rule).
 //! * `mtk hybrid <file>` — screen, then SPICE-verify the top-k
 //!   survivors (`--threads`, `--top-k`, `--w-over-l`).
 //! * `mtk mc <file>` — Monte Carlo yield analysis under process
@@ -50,7 +59,10 @@ use mtk_bench::cli::{
 use mtk_bench::design_transitions;
 use mtk_bench::report::{ns, pct, print_table};
 use mtk_bench::serve::{self, ServeConfig, Server};
-use mtk_circuits::golden::golden_designs;
+use mtk_circuits::golden::{generator_catalog, golden_designs};
+use mtk_core::cluster::{
+    exclusive_partition, size_clusters_for_target, ClusterReport, ClusterSizing,
+};
 use mtk_core::health::FaultPlan;
 use mtk_core::hybrid::{run_hybrid, HybridOptions, SpiceRunConfig};
 use mtk_core::mc::{run_mc, McOptions};
@@ -65,10 +77,10 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mtk <lint|sta|screen|size|hybrid|mc> <file.mtk> [flags]\n\
+        "usage: mtk <lint|sta|screen|size|cluster|hybrid|mc> <file.mtk> [flags]\n\
          \x20      mtk gen [--list | --all [--dir D] | <stem>]\n\
          \x20      mtk serve [--addr H:P] [--store PATH] [--threads N] [--job-slots N]\n\
-         \x20      mtk client <host:port> <status|shutdown|screen|size|hybrid> [file.mtk] [flags]\n\
+         \x20      mtk client <host:port> <status|shutdown|screen|size|cluster|hybrid> [file.mtk] [flags]\n\
          run `mtk` on a .mtk netlist; grammar and flags in DESIGN.md §11, protocol in §13"
     );
     std::process::exit(2);
@@ -101,6 +113,7 @@ fn main() {
         "sta" => cmd_sta(&design),
         "screen" => cmd_screen(&design),
         "size" => cmd_size(&design),
+        "cluster" => cmd_cluster(&design),
         "hybrid" => cmd_hybrid(&design),
         "mc" => cmd_mc(&design),
         _ => usage(),
@@ -241,6 +254,11 @@ fn cmd_screen(design: &Design) {
 }
 
 fn cmd_size(design: &Design) {
+    // `--clusters N` routes the whole run through the cluster
+    // co-optimizer — one code path, so the two commands can't drift.
+    if str_flag("--clusters").is_some() {
+        return cmd_cluster(design);
+    }
     warn_lint(design);
     let target = f64_flag("--target", 0.05);
     let lo = f64_flag("--lo", 1.0);
@@ -292,11 +310,126 @@ fn cmd_size(design: &Design) {
     emit_trace(&trace);
 }
 
+/// The shared cluster co-optimization behind `mtk cluster`, `mtk size
+/// --clusters` and `mtk hybrid --clusters`: partition by
+/// mutually-exclusive switching, size one device per cluster, apply the
+/// never-worse rule. Returns the sizing, the execution report and the
+/// wall-clock label of the vector source.
+fn run_cluster(design: &Design) -> (ClusterSizing, ClusterReport, String, usize) {
+    let smoke = bool_flag("--smoke");
+    let max_clusters = flag("--clusters", 8).max(1);
+    let threads = flag("--threads", 1);
+    let target = f64_flag("--target", 0.05);
+    let lo = f64_flag("--lo", 1.0);
+    let hi = f64_flag("--hi", 2000.0);
+    // `--smoke` thins sampled vector sets so the CI run stays fast;
+    // explicit `vector` lines in the file always run in full.
+    let stride = flag("--stride", if smoke { 64 } else { 1 });
+    let samples = flag("--samples", if smoke { 8 } else { 256 });
+    let (transitions, label) = design_transitions(design, stride, samples);
+    println!(
+        "mtk cluster: {} under {} — ≤{max_clusters} cluster(s) over {label}, target {}, W/L in [{lo}, {hi}], {} thread(s)",
+        design.netlist.name(),
+        design.tech.name,
+        pct(target),
+        threads_label(threads)
+    );
+    let partition = match exclusive_partition(&design.netlist, &transitions, max_clusters) {
+        Ok(p) => p,
+        Err(e) => die(e),
+    };
+    println!(
+        "partitioned {} cell(s) into {} cluster(s) ({} conflict edge(s), {} cell(s) folded by the cap)",
+        design.netlist.cells().len(),
+        partition.n_clusters,
+        partition.conflict_edges,
+        partition.folded
+    );
+    let store = str_flag("--store").map(|path| match mtk_store::Store::open(&path) {
+        Ok(s) => s,
+        Err(e) => die(format!("--store {path}: {e}")),
+    });
+    let n_transitions = transitions.len();
+    let (sizing, report) = match size_clusters_for_target(
+        &design.netlist,
+        &design.tech,
+        &transitions,
+        None,
+        &partition,
+        target,
+        (lo, hi),
+        &VbsimOptions::default(),
+        threads,
+        failure_policy(),
+        &FaultPlan::none(),
+        store.as_ref(),
+    ) {
+        Ok(r) => r,
+        Err(e) => die(e),
+    };
+    if store.is_some() {
+        println!(
+            "store: {} evaluation(s) replayed, {} simulated and written through",
+            report.health.runs.cache_hits, report.health.runs.cache_misses
+        );
+    }
+    (sizing, report, label, n_transitions)
+}
+
+fn cmd_cluster(design: &Design) {
+    warn_lint(design);
+    let (sizing, report, _, n_transitions) = run_cluster(design);
+    print_table(
+        "per-cluster sleep devices of the returned solution",
+        &["cluster", "W/L"],
+        &sizing
+            .w_over_ls
+            .iter()
+            .enumerate()
+            .map(|(g, wl)| vec![format!("{g}"), format!("{wl:.2}")])
+            .collect::<Vec<_>>(),
+    );
+    let single = sizing
+        .single_w_over_l
+        .map_or("infeasible".to_string(), |w| format!("{w:.2}"));
+    println!(
+        "clustered total W/L = {:.2} over {n_transitions} transition(s); single-device W/L = {single}; returned the {} solution ({:.2} s wall)",
+        sizing.clustered_width,
+        if sizing.fell_back { "single-device" } else { "clustered" },
+        report.wall
+    );
+    let mut trace = TraceReport::new("mtk_cluster");
+    let mut spans = SpanRecorder::new(trace_config().spans);
+    spans.begin("cluster");
+    spans.end();
+    trace.push_phase(report.to_phase("cluster", &sizing));
+    trace.spans = spans.finish();
+    emit_trace(&trace);
+}
+
 fn cmd_hybrid(design: &Design) {
     warn_lint(design);
     let threads = flag("--threads", 1);
     let top_k = flag("--top-k", 10);
-    let w_over_l = f64_flag("--w-over-l", 10.0);
+    // `--clusters N` co-optimizes per-cluster devices first, then
+    // SPICE-verifies at a single device of the same *total* width — a
+    // conservative lumping (one device of equal width sinks at least
+    // the current of the split devices), so the verification stays
+    // meaningful without teaching the SPICE netlister about partitions.
+    let cluster_phase = if str_flag("--clusters").is_some() {
+        let (sizing, report, _, _) = run_cluster(design);
+        println!(
+            "hybrid verifies at the clustered total W/L = {:.2}",
+            sizing.total_width()
+        );
+        Some((sizing.total_width(), report.to_phase("cluster", &sizing)))
+    } else {
+        None
+    };
+    let w_over_l = match &cluster_phase {
+        Some((total, _)) => *total,
+        None => f64_flag("--w-over-l", 10.0),
+    };
     let policy = failure_policy();
     let (transitions, label) = transitions_of(design);
     println!(
@@ -343,6 +476,9 @@ fn cmd_hybrid(design: &Design) {
             .collect::<Vec<_>>(),
     );
     let mut trace = report.to_trace("mtk_hybrid");
+    if let Some((_, phase)) = cluster_phase {
+        trace.push_phase(phase);
+    }
     let mut spans = SpanRecorder::new(trace_config().spans);
     spans.begin("hybrid");
     spans.end();
@@ -467,8 +603,11 @@ fn cmd_mc(design: &Design) {
 fn cmd_gen(rest: &[String]) {
     let designs = golden_designs();
     if bool_flag("--list") {
-        for (stem, _) in &designs {
-            println!("{stem}");
+        // The stems and descriptions come from `generator_catalog`, the
+        // same single source DESIGN.md §5 renders — a drift-guard test
+        // pins it against `golden_designs`.
+        for (stem, desc) in generator_catalog() {
+            println!("{stem:<12} {desc}");
         }
         return;
     }
@@ -572,7 +711,7 @@ fn cmd_serve() {
     );
 }
 
-/// `mtk client <host:port> <status|shutdown|screen|size|hybrid>
+/// `mtk client <host:port> <status|shutdown|screen|size|cluster|hybrid>
 /// [file.mtk] [flags]`: builds the request line (job designs are sent
 /// in canonical `.mtk` form so identical circuits dedup server-side),
 /// prints the response line, exits 0 on `ok`, 3 on `busy`, 1 on
@@ -588,7 +727,7 @@ fn cmd_client(rest: &[String]) {
     };
     let line = match cmd {
         "status" | "shutdown" => format!("{{\"cmd\":\"{cmd}\"}}"),
-        "screen" | "size" | "hybrid" => {
+        "screen" | "size" | "cluster" | "hybrid" => {
             let path = match rest.get(2) {
                 Some(p) if !p.starts_with("--") => p,
                 _ => usage(),
@@ -614,6 +753,7 @@ fn cmd_client(rest: &[String]) {
                 ("stride", flag("--stride", 1) as f64),
                 ("samples", flag("--samples", 256) as f64),
                 ("top", flag("--top", 10) as f64),
+                ("clusters", flag("--clusters", 8) as f64),
             ];
             for (name, value) in numbers {
                 fields.push((name.to_string(), mtk_trace::json::JsonValue::Number(value)));

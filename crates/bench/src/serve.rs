@@ -6,9 +6,10 @@
 //!
 //! One JSON object per line in each direction. Requests:
 //!
-//! * `{"cmd":"screen"|"size"|"hybrid","design":"<.mtk text>", ...}` —
-//!   run a job. Optional numeric fields: `threads`, `w_over_l`,
-//!   `top_k`, `target`, `lo`, `hi`, `stride`, `samples`, `top`.
+//! * `{"cmd":"screen"|"size"|"cluster"|"hybrid","design":"<.mtk text>",
+//!   ...}` — run a job. Optional numeric fields: `threads`, `w_over_l`,
+//!   `top_k`, `target`, `lo`, `hi`, `stride`, `samples`, `top`,
+//!   `clusters`.
 //! * `{"cmd":"status"}` — health snapshot: serve counters as a schema-v3
 //!   trace report, cache occupancy, store stats, connection gauges.
 //! * `{"cmd":"shutdown"}` — begin a graceful drain.
@@ -40,6 +41,7 @@
 //! the same design+options served at any parallelism dedups to one
 //! record.
 
+use mtk_core::cluster::{exclusive_partition, size_clusters_for_target};
 use mtk_core::health::{FailurePolicy, FaultPlan};
 use mtk_core::hybrid::{run_hybrid, HybridOptions, SpiceRunConfig};
 use mtk_core::sizing::{screen_vectors_par_quarantined, size_for_target_cached, ScreeningCache};
@@ -58,7 +60,7 @@ use std::time::Duration;
 /// Tag prefix of request-level records in the store, versioned
 /// separately from the container: bump when the request fingerprint or
 /// payload layout changes so stale records read as misses.
-const REQUEST_RECORD_TAG: &[u8; 5] = b"req1:";
+const REQUEST_RECORD_TAG: &[u8; 5] = b"req2:";
 
 /// Knobs of one server instance. `Default` is tuned for tests and the
 /// CI smoke; production raises the timeouts and slots.
@@ -404,7 +406,7 @@ fn handle_request(state: &Arc<ServerState>, line: &str) -> (String, bool) {
             state.request_drain();
             (r#"{"status":"ok","draining":true}"#.to_string(), true)
         }
-        Some(cmd @ ("screen" | "size" | "hybrid")) => {
+        Some(cmd @ ("screen" | "size" | "cluster" | "hybrid")) => {
             match JobSpec::from_request(cmd, &request, state.default_threads) {
                 Ok(spec) => (handle_job(state, &spec), false),
                 Err(msg) => {
@@ -416,7 +418,7 @@ fn handle_request(state: &Arc<ServerState>, line: &str) -> (String, bool) {
         _ => {
             state.count(CounterId::RequestsRejected, 1);
             (
-                error_line("unknown cmd (want screen|size|hybrid|status|shutdown)"),
+                error_line("unknown cmd (want screen|size|cluster|hybrid|status|shutdown)"),
                 false,
             )
         }
@@ -515,6 +517,7 @@ struct JobSpec {
     stride: usize,
     samples: usize,
     top: usize,
+    clusters: usize,
 }
 
 fn field_f64(req: &JsonValue, key: &str, default: f64) -> Result<f64, String> {
@@ -542,6 +545,7 @@ impl JobSpec {
         let cmd = match cmd {
             "screen" => "screen",
             "size" => "size",
+            "cluster" => "cluster",
             _ => "hybrid",
         };
         let text = req
@@ -563,6 +567,7 @@ impl JobSpec {
             stride: field_usize(req, "stride", 1)?,
             samples: field_usize(req, "samples", 256)?,
             top: field_usize(req, "top", 10)?,
+            clusters: field_usize(req, "clusters", 8)?.max(1),
         })
     }
 
@@ -581,6 +586,7 @@ impl JobSpec {
             ("stride".into(), JsonValue::Number(self.stride as f64)),
             ("samples".into(), JsonValue::Number(self.samples as f64)),
             ("top".into(), JsonValue::Number(self.top as f64)),
+            ("clusters".into(), JsonValue::Number(self.clusters as f64)),
         ]);
         let mut key = REQUEST_RECORD_TAG.to_vec();
         key.extend_from_slice(obj.to_compact().as_bytes());
@@ -650,6 +656,60 @@ fn execute(state: &ServerState, spec: &JobSpec) -> Result<String, String> {
             phase.counters = health.counters();
             trace.push_phase(phase);
             let result = JsonValue::Object(vec![("w_over_l".into(), JsonValue::Number(w_over_l))]);
+            (result, trace)
+        }
+        "cluster" => {
+            let partition = exclusive_partition(&spec.design.netlist, &transitions, spec.clusters)
+                .map_err(|e| e.to_string())?;
+            let (sizing, report) = size_clusters_for_target(
+                &spec.design.netlist,
+                &spec.design.tech,
+                &transitions,
+                None,
+                &partition,
+                spec.target,
+                (spec.lo, spec.hi),
+                &VbsimOptions::default(),
+                spec.threads,
+                policy,
+                &FaultPlan::none(),
+                state.store.as_ref(),
+            )
+            .map_err(|e| e.to_string())?;
+            let mut trace = TraceReport::new("mtk_cluster");
+            trace.push_phase(report.to_phase("cluster", &sizing));
+            let widths: Vec<JsonValue> = sizing
+                .w_over_ls
+                .iter()
+                .map(|&w| JsonValue::Number(w))
+                .collect();
+            let result = JsonValue::Object(vec![
+                (
+                    "clusters".into(),
+                    JsonValue::Number(report.n_clusters as f64),
+                ),
+                (
+                    "conflict_edges".into(),
+                    JsonValue::Number(report.conflict_edges as f64),
+                ),
+                ("folded".into(), JsonValue::Number(report.folded as f64)),
+                ("w_over_ls".into(), JsonValue::Array(widths)),
+                (
+                    "clustered_width".into(),
+                    JsonValue::Number(sizing.clustered_width),
+                ),
+                (
+                    "single_w_over_l".into(),
+                    sizing
+                        .single_w_over_l
+                        .map_or(JsonValue::Null, JsonValue::Number),
+                ),
+                ("fell_back".into(), JsonValue::Bool(sizing.fell_back)),
+                (
+                    "total_width".into(),
+                    JsonValue::Number(sizing.total_width()),
+                ),
+            ]);
             (result, trace)
         }
         _ => {

@@ -189,6 +189,56 @@ fn concurrent_identical_requests_dedup_to_one_simulation() {
 }
 
 #[test]
+fn clustered_and_flat_requests_never_alias_in_the_store() {
+    let path = scratch("alias");
+    let _c = Cleanup(path.clone());
+    let (addr, _state, handle) = start(ServeConfig {
+        store_path: Some(path),
+        ..ServeConfig::default()
+    });
+
+    // Same design, same target: a flat `size` and a clustered request
+    // must key separate store records.
+    let size_line = job_line("size", ",\"target\":0.08");
+    let cluster_line = job_line("cluster", ",\"target\":0.08,\"clusters\":4");
+    let size1 = request(&addr, &size_line, CLIENT_TIMEOUT).expect("size");
+    assert!(size1.contains("\"status\":\"ok\""), "{size1}");
+    assert!(size1.contains("\"cached\":false"), "{size1}");
+    let cluster1 = request(&addr, &cluster_line, CLIENT_TIMEOUT).expect("cluster");
+    assert!(cluster1.contains("\"status\":\"ok\""), "{cluster1}");
+    assert!(
+        cluster1.contains("\"cached\":false"),
+        "a cluster request must never replay a size record: {cluster1}"
+    );
+    assert!(cluster1.contains("\"clustered_width\":"), "{cluster1}");
+
+    // Reruns hit their *own* records, byte-identical.
+    for (line, first) in [(&size_line, &size1), (&cluster_line, &cluster1)] {
+        let again = request(&addr, line, CLIENT_TIMEOUT).expect("rerun");
+        assert_eq!(
+            &again.replacen("\"cached\":true", "\"cached\":false", 1),
+            first,
+            "rerun must replay its own record byte-identically"
+        );
+    }
+
+    // The cluster cap is part of the key: a different `clusters` value
+    // is a different job, not a replay.
+    let recapped = request(
+        &addr,
+        &job_line("cluster", ",\"target\":0.08,\"clusters\":2"),
+        CLIENT_TIMEOUT,
+    )
+    .expect("recapped");
+    assert!(recapped.contains("\"cached\":false"), "{recapped}");
+
+    let status = request(&addr, r#"{"cmd":"status"}"#, CLIENT_TIMEOUT).expect("status");
+    assert_eq!(counter(&status, "store_misses"), 3, "three distinct jobs");
+    assert_eq!(counter(&status, "store_hits"), 2, "two replays");
+    shutdown(&addr, handle);
+}
+
+#[test]
 fn malformed_and_unknown_requests_are_rejected() {
     let (addr, _state, handle) = start(ServeConfig::default());
     let bad = [

@@ -7,6 +7,7 @@
 //! carry grounded — 2⁶ · 2⁶ = 4096 input-vector transitions.
 
 use mtk_netlist::cell::CellKind;
+use mtk_netlist::hier::Module;
 use mtk_netlist::logic::{bits_lsb_first, Logic};
 use mtk_netlist::netlist::{NetId, Netlist};
 use mtk_netlist::NetlistError;
@@ -123,6 +124,144 @@ impl RippleAdder {
     }
 }
 
+/// A wide ripple-carry adder assembled hierarchically: one `chunk`-bit
+/// adder-with-carry-in [`Module`], instantiated `bits / chunk` times
+/// with the carries chained between instances. Behaviourally identical
+/// to a flat [`RippleAdder`] of the same width; structurally it
+/// exercises the module/instance flattening path, so its nets and cells
+/// carry `u<k>/…` hierarchical names.
+#[derive(Debug)]
+pub struct ChainedAdder {
+    /// The flattened gate-level netlist.
+    pub netlist: Netlist,
+    /// Operand A inputs, LSB first.
+    pub a: Vec<NetId>,
+    /// Operand B inputs, LSB first.
+    pub b: Vec<NetId>,
+    /// Sum outputs, LSB first.
+    pub sum: Vec<NetId>,
+    /// Carry-out.
+    pub cout: NetId,
+}
+
+impl ChainedAdder {
+    /// Builds a `spec.bits`-wide adder from `spec.bits / chunk`
+    /// instances of a `chunk`-bit module. Primary inputs are declared
+    /// `a[0..bits]` then `b[0..bits]` (LSB first), matching
+    /// [`ChainedAdder::input_values`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk >= 1` and `chunk` divides `spec.bits`.
+    pub fn new(spec: &AdderSpec, chunk: usize) -> Result<Self, NetlistError> {
+        assert!(
+            chunk >= 1 && spec.bits >= chunk && spec.bits.is_multiple_of(chunk),
+            "chunk must divide the word width"
+        );
+        // The reusable block: a chunk-bit ripple adder with carry-in.
+        // Port order (the instantiation contract): inputs a0.., b0..,
+        // cin; outputs s0.., cout.
+        let mut body = Netlist::new("add_slice");
+        let ba: Vec<NetId> = (0..chunk)
+            .map(|i| body.add_net(&format!("a{i}")))
+            .collect::<Result<_, _>>()?;
+        let bb: Vec<NetId> = (0..chunk)
+            .map(|i| body.add_net(&format!("b{i}")))
+            .collect::<Result<_, _>>()?;
+        for &net in ba.iter().chain(&bb) {
+            body.mark_primary_input(net)?;
+        }
+        let cin = body.add_net("cin")?;
+        body.mark_primary_input(cin)?;
+        let mut carry = cin;
+        for i in 0..chunk {
+            let (s, c) = full_adder(
+                &mut body,
+                &format!("fa{i}"),
+                ba[i],
+                bb[i],
+                carry,
+                spec.drive,
+            )?;
+            body.mark_primary_output(s);
+            carry = c;
+        }
+        body.mark_primary_output(carry);
+        let module = Module::new(&format!("add{chunk}"), body)?;
+
+        let n = spec.bits;
+        let mut nl = Netlist::new("chained_adder");
+        let a: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("a{i}")))
+            .collect::<Result<_, _>>()?;
+        let b: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("b{i}")))
+            .collect::<Result<_, _>>()?;
+        for &net in a.iter().chain(&b) {
+            nl.mark_primary_input(net)?;
+        }
+        // Initial carry grounded, like the flat adder.
+        let c0 = nl.add_net("c0")?;
+        nl.tie_net(c0, Logic::Zero)?;
+        let sum: Vec<NetId> = (0..n)
+            .map(|i| nl.add_net(&format!("s{i}")))
+            .collect::<Result<_, _>>()?;
+        let mut carry = c0;
+        for k in 0..n / chunk {
+            let carry_out = nl.add_net(&format!("c{}", (k + 1) * chunk))?;
+            let mut inputs: Vec<NetId> = a[k * chunk..(k + 1) * chunk].to_vec();
+            inputs.extend_from_slice(&b[k * chunk..(k + 1) * chunk]);
+            inputs.push(carry);
+            let mut outputs: Vec<NetId> = sum[k * chunk..(k + 1) * chunk].to_vec();
+            outputs.push(carry_out);
+            module.instantiate(&mut nl, &format!("u{k}"), &inputs, &outputs)?;
+            carry = carry_out;
+        }
+        for &s in &sum {
+            nl.add_extra_cap(s, spec.output_load);
+            nl.mark_primary_output(s);
+        }
+        nl.add_extra_cap(carry, spec.output_load);
+        nl.mark_primary_output(carry);
+        Ok(ChainedAdder {
+            netlist: nl,
+            a,
+            b,
+            sum,
+            cout: carry,
+        })
+    }
+
+    /// Word width.
+    pub fn bits(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Primary-input logic levels for operands `(a, b)`, in the
+    /// netlist's declared input order.
+    pub fn input_values(&self, a: u64, b: u64) -> Vec<Logic> {
+        let n = self.bits() as u32;
+        let mut v = bits_lsb_first(a, n);
+        v.extend(bits_lsb_first(b, n));
+        v
+    }
+
+    /// Decodes the sum (including carry-out) from evaluated net values.
+    /// Wide enough for the 64-bit instance (a 65-bit result).
+    pub fn decode_sum(&self, values: &[Logic]) -> Option<u128> {
+        let mut out = 0u128;
+        for (k, &net) in self.sum.iter().enumerate() {
+            out |= (values[net.index()].to_bool()? as u128) << k;
+        }
+        out |= (values[self.cout.index()].to_bool()? as u128) << self.bits();
+        Some(out)
+    }
+}
+
 /// Instantiates one mirror full adder; returns `(sum, carry_out)` nets.
 pub fn full_adder(
     nl: &mut Netlist,
@@ -213,6 +352,102 @@ mod tests {
             let v = add.netlist.evaluate(&add.input_values(a, b)).unwrap();
             assert_eq!(add.decode_sum(&v), Some(a + b), "{a}+{b}");
         }
+    }
+
+    #[test]
+    fn chained_adder_matches_flat_adder_exhaustively() {
+        let chained = ChainedAdder::new(
+            &AdderSpec {
+                bits: 4,
+                ..AdderSpec::default()
+            },
+            2,
+        )
+        .unwrap();
+        let flat = RippleAdder::new(&AdderSpec {
+            bits: 4,
+            ..AdderSpec::default()
+        })
+        .unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let vc = chained
+                    .netlist
+                    .evaluate(&chained.input_values(a, b))
+                    .unwrap();
+                let vf = flat.netlist.evaluate(&flat.input_values(a, b)).unwrap();
+                assert_eq!(chained.decode_sum(&vc), Some((a + b) as u128), "{a}+{b}");
+                assert_eq!(flat.decode_sum(&vf), Some(a + b), "{a}+{b}");
+            }
+        }
+        // Same gate count as the flat adder, different (hierarchical) names.
+        assert_eq!(
+            chained.netlist.total_transistors(),
+            flat.netlist.total_transistors()
+        );
+        assert_ne!(chained.netlist.fingerprint(), flat.netlist.fingerprint());
+    }
+
+    #[test]
+    fn chained_64_bit_adder_matches_integer_addition() {
+        let add = ChainedAdder::new(
+            &AdderSpec {
+                bits: 64,
+                ..AdderSpec::default()
+            },
+            32,
+        )
+        .unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(0xADD64);
+        let mut cases: Vec<(u64, u64)> = vec![(0, 0), (u64::MAX, 1), (u64::MAX, u64::MAX)];
+        for _ in 0..16 {
+            cases.push((rng.next_u64(), rng.next_u64()));
+        }
+        for (a, b) in cases {
+            let v = add.netlist.evaluate(&add.input_values(a, b)).unwrap();
+            assert_eq!(add.decode_sum(&v), Some(a as u128 + b as u128), "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn chained_adder_has_hierarchical_names() {
+        let add = ChainedAdder::new(
+            &AdderSpec {
+                bits: 64,
+                ..AdderSpec::default()
+            },
+            32,
+        )
+        .unwrap();
+        // Internal full-adder nets and cells are prefixed per instance.
+        assert!(add.netlist.find_net("u0/fa0_cob").is_some());
+        assert!(add.netlist.find_net("u1/fa31_sb").is_some());
+        assert!(add.netlist.cells().iter().any(|c| c.name == "u0/fa0_mc"));
+        assert!(add.netlist.cells().iter().any(|c| c.name == "u1/fa31_si"));
+        // The chained carry between instances is a top-level net.
+        assert!(add.netlist.find_net("c32").is_some());
+        // Construction is deterministic.
+        let again = ChainedAdder::new(
+            &AdderSpec {
+                bits: 64,
+                ..AdderSpec::default()
+            },
+            32,
+        )
+        .unwrap();
+        assert_eq!(add.netlist.fingerprint(), again.netlist.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must divide")]
+    fn chained_adder_rejects_nondividing_chunk() {
+        let _ = ChainedAdder::new(
+            &AdderSpec {
+                bits: 8,
+                ..AdderSpec::default()
+            },
+            3,
+        );
     }
 
     #[test]

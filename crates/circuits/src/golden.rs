@@ -8,8 +8,9 @@
 //! disk are pinned to the generators (and, transitively, the writer's
 //! canonical form).
 
-use crate::adder::RippleAdder;
-use crate::multiplier::ArrayMultiplier;
+use crate::adder::{AdderSpec, ChainedAdder, RippleAdder};
+use crate::alu::{AluOp, AluSlice, AluSpec};
+use crate::multiplier::{ArrayMultiplier, MultiplierSpec};
 use crate::nand_adder::{NandAdderSpec, NandRippleAdder};
 use crate::random_logic::{RandomLogic, RandomLogicSpec};
 use crate::tree::InverterTree;
@@ -28,15 +29,42 @@ pub fn stimulus_of(pair: VectorPair, width: u32) -> Stimulus {
     }
 }
 
-/// The golden designs, as `(file stem, design)` pairs.
-///
-/// * `adder3` — the paper's 3-bit mirror-adder (Fig 12), 0.7 µm.
-/// * `nand_adder3` — the NAND-only 3-bit adder, 0.7 µm.
-/// * `invtree` — the Fig 4 inverter tree with its rising-input
-///   stimulus, 0.7 µm.
-/// * `mul8` — the 8×8 carry-save multiplier (Fig 6) with the paper's
-///   vectors A and B, 0.3 µm.
-/// * `rand8x40` — the default seeded random block, 0.7 µm.
+/// The generator catalog: `(file stem, one-line description)` in the
+/// order [`golden_designs`] produces them. This is the **single source
+/// of truth** consumed by both the `mtk gen` listing and the
+/// documentation's generator table — keeping the CLI help and the docs
+/// from drifting apart.
+pub fn generator_catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("adder3", "the paper's 3-bit mirror-adder (Fig 12), 0.7 um"),
+        ("nand_adder3", "NAND-only 3-bit adder, 0.7 um"),
+        (
+            "invtree",
+            "Fig 4 inverter tree with its rising-input stimulus, 0.7 um",
+        ),
+        (
+            "mul8",
+            "8x8 carry-save multiplier (Fig 6) with the paper's vectors A and B, 0.3 um",
+        ),
+        ("rand8x40", "default seeded random block, 0.7 um"),
+        ("adder32", "flat 32-bit mirror-adder, 0.7 um"),
+        (
+            "adder64",
+            "hierarchical 64-bit adder: two chained 32-bit module instances, 0.7 um",
+        ),
+        (
+            "mul16",
+            "16x16 carry-save multiplier with vectors A and B scaled to 16 bits, 0.3 um",
+        ),
+        (
+            "alu4",
+            "4-bit AND/OR/XOR/ADD ALU slice with per-opcode stimulus vectors, 0.7 um",
+        ),
+    ]
+}
+
+/// The golden designs, as `(file stem, design)` pairs — one per
+/// [`generator_catalog`] entry, in the same order.
 pub fn golden_designs() -> Vec<(&'static str, Design)> {
     let adder = RippleAdder::paper();
     let nand_adder =
@@ -46,6 +74,38 @@ pub fn golden_designs() -> Vec<(&'static str, Design)> {
     let mul = ArrayMultiplier::paper();
     let mul_width = mul.netlist.primary_inputs().len() as u32;
     let rand = RandomLogic::new(&RandomLogicSpec::default()).expect("generator is self-consistent");
+    let adder32 = RippleAdder::new(&AdderSpec {
+        bits: 32,
+        ..AdderSpec::default()
+    })
+    .expect("generator is self-consistent");
+    let adder64 = ChainedAdder::new(
+        &AdderSpec {
+            bits: 64,
+            ..AdderSpec::default()
+        },
+        32,
+    )
+    .expect("generator is self-consistent");
+    let mul16 = ArrayMultiplier::new(&MultiplierSpec {
+        bits: 16,
+        ..MultiplierSpec::default()
+    })
+    .expect("generator is self-consistent");
+    let mul16_width = mul16.netlist.primary_inputs().len() as u32;
+    let alu = AluSlice::new(&AluSpec::default()).expect("generator is self-consistent");
+    // Stimuli exercising mutually-exclusive functional units: the same
+    // operand swing under a logic opcode and under ADD.
+    let alu_vectors = vec![
+        Stimulus {
+            from: alu.input_values(0, 0, AluOp::And),
+            to: alu.input_values(0xF, 0x9, AluOp::And),
+        },
+        Stimulus {
+            from: alu.input_values(0, 0, AluOp::Add),
+            to: alu.input_values(0xF, 0x9, AluOp::Add),
+        },
+    ];
     vec![
         ("adder3", Design::new(adder.netlist, Technology::l07())),
         (
@@ -65,6 +125,25 @@ pub fn golden_designs() -> Vec<(&'static str, Design)> {
             ]),
         ),
         ("rand8x40", Design::new(rand.netlist, Technology::l07())),
+        ("adder32", Design::new(adder32.netlist, Technology::l07())),
+        ("adder64", Design::new(adder64.netlist, Technology::l07())),
+        (
+            "mul16",
+            Design::new(mul16.netlist, Technology::l03()).with_vectors(vec![
+                stimulus_of(
+                    VectorPair::from_operands((0, 0), (0xFFFF, 0x8001), 16),
+                    mul16_width,
+                ),
+                stimulus_of(
+                    VectorPair::from_operands((0x7FFF, 0x8001), (0xFFFF, 0x8001), 16),
+                    mul16_width,
+                ),
+            ]),
+        ),
+        (
+            "alu4",
+            Design::new(alu.netlist, Technology::l07()).with_vectors(alu_vectors),
+        ),
     ]
 }
 
@@ -76,11 +155,11 @@ mod tests {
     #[test]
     fn stems_are_unique_and_designs_round_trip() {
         let designs = golden_designs();
-        assert_eq!(designs.len(), 5);
+        assert_eq!(designs.len(), 9);
         let mut stems: Vec<_> = designs.iter().map(|(s, _)| *s).collect();
         stems.sort_unstable();
         stems.dedup();
-        assert_eq!(stems.len(), 5, "duplicate golden stems");
+        assert_eq!(stems.len(), 9, "duplicate golden stems");
         for (stem, design) in &designs {
             let text = design.to_mtk();
             let parsed =
@@ -94,6 +173,22 @@ mod tests {
                 "{stem}: fingerprint identity"
             );
             assert_eq!(parsed.to_mtk(), text, "{stem}: canonical fixpoint");
+        }
+    }
+
+    #[test]
+    fn catalog_matches_designs_exactly() {
+        // The catalog drives `mtk gen` help and the docs; if it drifts
+        // from the actual designs, both lie.
+        let catalog = generator_catalog();
+        let designs = golden_designs();
+        assert_eq!(
+            catalog.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            designs.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            "generator_catalog and golden_designs disagree"
+        );
+        for (_, desc) in &catalog {
+            assert!(!desc.is_empty());
         }
     }
 

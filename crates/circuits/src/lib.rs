@@ -4,7 +4,11 @@
 //!   fanout), whose third stage discharges nine inverters simultaneously
 //!   and bounces the virtual ground.
 //! * [`adder`] — the Fig 12 N-bit ripple-carry adder built from 28T
-//!   mirror full adders (3 bits in the paper's exhaustive experiment).
+//!   mirror full adders (3 bits in the paper's exhaustive experiment),
+//!   plus the hierarchical [`adder::ChainedAdder`] that chains module
+//!   instances of a narrower slice into a wide adder.
+//! * [`alu`] — an AND/OR/XOR/ADD ALU slice behind a one-hot operation
+//!   mux, whose discharge pattern depends on the selected opcode.
 //! * [`multiplier`] — the Fig 6 N×N carry-save (Braun) array multiplier
 //!   (the paper shows the 4×4 and evaluates the 8×8).
 //! * [`nand_adder`] — a NAND-only adder: same function as [`adder`],
@@ -18,6 +22,7 @@
 //!   (the files under `examples/`, pinned by CI).
 
 pub mod adder;
+pub mod alu;
 pub mod golden;
 pub mod multiplier;
 pub mod nand_adder;
@@ -25,7 +30,8 @@ pub mod random_logic;
 pub mod tree;
 pub mod vectors;
 
-pub use adder::RippleAdder;
+pub use adder::{ChainedAdder, RippleAdder};
+pub use alu::AluSlice;
 pub use multiplier::ArrayMultiplier;
 pub use nand_adder::NandRippleAdder;
 pub use random_logic::RandomLogic;

@@ -1,0 +1,1163 @@
+//! Cluster-based sleep-transistor sizing from mutually-exclusive
+//! discharge patterns.
+//!
+//! The paper's future-work direction (developed in the authors' 1998
+//! follow-up) observes that gates which never discharge *at the same
+//! time* can share one sleep transistor sized for the worst single
+//! current instead of the sum. This module derives that structure from
+//! the tool's own vector set — no new simulation semantics:
+//!
+//! * [`exclusive_partition`] — evaluates every transition with the
+//!   existing logic evaluator, marks the cells whose outputs fall, and
+//!   builds a conflict graph (two cells conflict iff some vector
+//!   discharges both). A deterministic first-fit colouring in cell-id
+//!   order groups mutually exclusive cells into clusters, folding into
+//!   `max_clusters` when the conflict structure demands more colours.
+//! * [`size_clusters_for_target`] — one virtual-ground sleep device per
+//!   cluster, co-optimised under a shared degradation budget: each
+//!   cluster's device is bisected as an independent, fault-tolerant
+//!   `mtk_core::par` work item (index-ordered fold, quarantine, retry),
+//!   then the joint solution is verified and uniformly scaled up.
+//!   The **never-worse rule**: the single-device solution for the same
+//!   target is always computed too, and whichever uses less total width
+//!   wins — sequential paths split the delay budget across clusters and
+//!   can genuinely need *more* total width (see
+//!   [`crate::modules::size_modules_for_target`]'s caveat), so clustered
+//!   sizing must not silently regress the area it exists to save.
+//!
+//! Every simulator evaluation can be written through a persistent
+//! [`mtk_store::Store`] under its own record tag, so a warm rerun
+//! replays the whole co-optimisation — including its [`RunHealth`]
+//! telemetry, bit-identically — without simulating anything.
+
+use crate::health::{
+    fold_item_reports, FailurePolicy, FaultPlan, ItemReport, RunHealth, SweepHealth,
+    RETRY_BUDGET_FACTOR,
+};
+use crate::par::{try_parallel_map_with, WorkerStats};
+use crate::sizing::Transition;
+use crate::vbsim::{Engine, PartitionedSleep, SleepNetwork, VbsimOptions, VbsimScratch};
+use crate::CoreError;
+use mtk_netlist::logic::Logic;
+use mtk_netlist::netlist::{NetId, Netlist};
+use mtk_netlist::tech::Technology;
+use std::time::Instant;
+
+/// A partition of a netlist's cells into clusters of (mostly) mutually
+/// exclusive discharging gates, as produced by [`exclusive_partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExclusivePartition {
+    /// Cluster index per cell, indexed by `CellId::index()`.
+    pub assignment: Vec<usize>,
+    /// Number of clusters (colours used by the first-fit colouring).
+    pub n_clusters: usize,
+    /// Edges of the conflict graph: unordered cell pairs that discharge
+    /// together on at least one vector.
+    pub conflict_edges: usize,
+    /// Cells placed into a cluster they conflict with because the
+    /// colouring needed more than `max_clusters` colours. Zero means
+    /// every cluster is genuinely conflict-free.
+    pub folded: usize,
+}
+
+impl ExclusivePartition {
+    /// The per-cluster sleep configuration for a vector of device sizes
+    /// (one W/L per cluster), ready for
+    /// [`Engine::run_partitioned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w_over_ls.len() != self.n_clusters`.
+    pub fn to_sleep(&self, w_over_ls: &[f64]) -> PartitionedSleep {
+        assert_eq!(w_over_ls.len(), self.n_clusters, "one size per cluster");
+        PartitionedSleep {
+            assignment: self.assignment.clone(),
+            networks: w_over_ls
+                .iter()
+                .map(|&wl| SleepNetwork::Transistor { w_over_l: wl })
+                .collect(),
+        }
+    }
+}
+
+/// Whether a cell output moving `from → to` may pull current through
+/// the sleep path. `X` on either side is treated conservatively as a
+/// possible discharge.
+fn may_discharge(from: Logic, to: Logic) -> bool {
+    matches!(from, Logic::One | Logic::X) && matches!(to, Logic::Zero | Logic::X)
+}
+
+/// Partitions the netlist's cells into clusters of mutually-exclusive
+/// discharging gates, inferred from the given vector set.
+///
+/// Two cells *conflict* when some transition discharges both (their
+/// outputs settle high before the step and low after it, with `X`
+/// counted conservatively on either side); conflicting cells must not
+/// share a sleep device, so a first-fit colouring in cell-id order
+/// assigns each cell the lowest conflict-free cluster. When the
+/// conflict structure needs more than `max_clusters` colours, the cell
+/// is folded into the existing cluster it conflicts with least (ties:
+/// lowest cluster index) and counted in
+/// [`ExclusivePartition::folded`] — per-cluster sizing simulates real
+/// currents, so a folded cluster is sized correctly, just less tightly.
+///
+/// The result is a pure function of the netlist and the transition
+/// list: no randomness, no schedule dependence.
+///
+/// # Errors
+///
+/// Propagates logic-evaluation errors ([`CoreError::Netlist`]) — cyclic
+/// netlists, transitions whose width disagrees with the primary inputs.
+///
+/// # Panics
+///
+/// Panics when `max_clusters == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mtk_core::cluster::exclusive_partition;
+/// use mtk_core::sizing::Transition;
+/// use mtk_netlist::cell::CellKind;
+/// use mtk_netlist::logic::Logic;
+/// use mtk_netlist::netlist::Netlist;
+///
+/// let mut nl = Netlist::new("pair");
+/// let a = nl.add_net("a")?;
+/// let b = nl.add_net("b")?;
+/// nl.mark_primary_input(a)?;
+/// nl.mark_primary_input(b)?;
+/// let x = nl.add_net("x")?;
+/// let y = nl.add_net("y")?;
+/// nl.add_cell("i1", CellKind::Inv, vec![a], x, 1.0)?;
+/// nl.add_cell("i2", CellKind::Inv, vec![b], y, 1.0)?;
+///
+/// // a and b never rise together, so the two inverters never
+/// // discharge at once and can share one cluster (and one device).
+/// let exclusive = [
+///     Transition::new(vec![Logic::Zero, Logic::One], vec![Logic::One, Logic::One]),
+///     Transition::new(vec![Logic::One, Logic::Zero], vec![Logic::One, Logic::One]),
+/// ];
+/// let p = exclusive_partition(&nl, &exclusive, 8)?;
+/// assert_eq!(p.assignment, vec![0, 0]);
+/// assert_eq!((p.n_clusters, p.conflict_edges), (1, 0));
+///
+/// // One vector that switches both at once forces them apart.
+/// let both = [Transition::new(
+///     vec![Logic::Zero, Logic::Zero],
+///     vec![Logic::One, Logic::One],
+/// )];
+/// let p = exclusive_partition(&nl, &both, 8)?;
+/// assert_eq!(p.assignment, vec![0, 1]);
+/// assert_eq!((p.n_clusters, p.conflict_edges), (2, 1));
+/// # Ok::<(), mtk_core::CoreError>(())
+/// ```
+pub fn exclusive_partition(
+    netlist: &Netlist,
+    transitions: &[Transition],
+    max_clusters: usize,
+) -> Result<ExclusivePartition, CoreError> {
+    assert!(max_clusters > 0, "need at least one cluster");
+    let n_cells = netlist.cells().len();
+    let words = n_cells.div_ceil(64);
+    // Conflict adjacency as one bitset row per cell.
+    let mut rows = vec![0u64; n_cells * words];
+    let mut discharge = vec![0u64; words];
+    let mut discharging: Vec<usize> = Vec::new();
+    for tr in transitions {
+        let before = netlist.evaluate(&tr.from).map_err(CoreError::Netlist)?;
+        let after = netlist.evaluate(&tr.to).map_err(CoreError::Netlist)?;
+        discharge.iter_mut().for_each(|w| *w = 0);
+        discharging.clear();
+        for (ci, cell) in netlist.cells().iter().enumerate() {
+            let out = cell.output.index();
+            if may_discharge(before[out], after[out]) {
+                discharge[ci / 64] |= 1u64 << (ci % 64);
+                discharging.push(ci);
+            }
+        }
+        for &ci in &discharging {
+            let row = &mut rows[ci * words..(ci + 1) * words];
+            for (r, d) in row.iter_mut().zip(&discharge) {
+                *r |= d;
+            }
+        }
+    }
+    // A cell does not conflict with itself.
+    for ci in 0..n_cells {
+        rows[ci * words + ci / 64] &= !(1u64 << (ci % 64));
+    }
+    let conflict_edges = rows.iter().map(|w| w.count_ones() as usize).sum::<usize>() / 2;
+
+    // First-fit colouring in cell-id order; colours therefore appear in
+    // increasing order of first use, so the labelling is canonical.
+    let mut members: Vec<Vec<u64>> = Vec::new();
+    let mut assignment = vec![0usize; n_cells];
+    let mut folded = 0usize;
+    for ci in 0..n_cells {
+        let row = &rows[ci * words..(ci + 1) * words];
+        let free =
+            (0..members.len()).find(|&k| row.iter().zip(&members[k]).all(|(r, m)| r & m == 0));
+        let k = match free {
+            Some(k) => k,
+            None if members.len() < max_clusters => {
+                members.push(vec![0u64; words]);
+                members.len() - 1
+            }
+            None => {
+                // Fold into the least-conflicting existing cluster.
+                folded += 1;
+                (0..members.len())
+                    .min_by_key(|&k| {
+                        row.iter()
+                            .zip(&members[k])
+                            .map(|(r, m)| (r & m).count_ones())
+                            .sum::<u32>()
+                    })
+                    .expect("max_clusters > 0 so at least one cluster exists")
+            }
+        };
+        members[k][ci / 64] |= 1u64 << (ci % 64);
+        assignment[ci] = k;
+    }
+    Ok(ExclusivePartition {
+        assignment,
+        n_clusters: members.len(),
+        conflict_edges,
+        folded,
+    })
+}
+
+/// Tag prefix of cluster-evaluation records in a persistent store,
+/// versioned separately from the store container format: bump when the
+/// key or value encoding changes so stale records read as misses, never
+/// as wrong answers. Distinct from the screening (`leg1`), serve
+/// (`req1:`) and Monte Carlo (`mct1`) namespaces sharing the same log.
+pub const CLUSTER_RECORD_TAG: &[u8; 4] = b"clu1";
+
+/// FNV-1a, the same hash family the netlist fingerprint uses.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// The shared store-key prefix of every evaluation of one co-optimise
+/// call at one breakpoint budget: record tag, netlist and technology
+/// fingerprints, then a digest over probes, transitions, assignment and
+/// the [`VbsimOptions`] fields the simulator reads. The per-evaluation
+/// suffix is the sizes vector itself.
+fn eval_prefix(
+    engine: &Engine<'_>,
+    outputs: &[NetId],
+    transitions: &[Transition],
+    assignment: &[usize],
+    base: &VbsimOptions,
+) -> Vec<u8> {
+    let mut d = Digest::new();
+    d.write_u64(outputs.len() as u64);
+    for n in outputs {
+        d.write_u64(n.index() as u64);
+    }
+    let level = |l: &Logic| match l {
+        Logic::Zero => 0u8,
+        Logic::One => 1,
+        Logic::X => 2,
+    };
+    d.write_u64(transitions.len() as u64);
+    for tr in transitions {
+        d.write_u64(tr.from.len() as u64);
+        for l in tr.from.iter().chain(&tr.to) {
+            d.write(&[level(l)]);
+        }
+    }
+    d.write_u64(assignment.len() as u64);
+    for &g in assignment {
+        d.write_u64(g as u64);
+    }
+    d.write(&[base.body_effect as u8, base.reverse_conduction as u8]);
+    d.write_u64(base.t_stop.to_bits());
+    d.write_u64(base.max_events as u64);
+    let mut out = Vec::with_capacity(4 + 24);
+    out.extend_from_slice(CLUSTER_RECORD_TAG);
+    out.extend_from_slice(&engine.fingerprint().to_le_bytes());
+    out.extend_from_slice(&engine.tech().fingerprint().to_le_bytes());
+    out.extend_from_slice(&d.0.to_le_bytes());
+    out
+}
+
+/// Byte encoding of one stored evaluation: the worst degradation and
+/// every [`RunHealth`] counter — the stored health is what makes a warm
+/// rerun's telemetry bit-identical to the cold one.
+fn encode_eval(worst: f64, health: &RunHealth) -> Vec<u8> {
+    let mut out = Vec::with_capacity(56);
+    out.extend_from_slice(&worst.to_bits().to_le_bytes());
+    for v in [
+        health.breakpoints,
+        health.max_events,
+        health.glitch_reversals,
+        health.vx_fallbacks,
+        health.cache_hits,
+        health.cache_misses,
+    ] {
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_eval`]; `None` on any shape mismatch — a
+/// malformed record is a miss, never an answer.
+fn decode_eval(bytes: &[u8]) -> Option<(f64, RunHealth)> {
+    if bytes.len() != 56 {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+    Some((
+        f64::from_bits(word(0)),
+        RunHealth {
+            breakpoints: word(1) as usize,
+            max_events: word(2) as usize,
+            glitch_reversals: word(3) as usize,
+            vx_fallbacks: word(4) as usize,
+            cache_hits: word(5) as usize,
+            cache_misses: word(6) as usize,
+        },
+    ))
+}
+
+/// Worst degradation over the transitions for one per-cluster sizes
+/// vector, served from the store when an identical evaluation was
+/// recorded before (replaying its stored health), simulated and written
+/// through otherwise.
+#[allow(clippy::too_many_arguments)]
+fn eval_worst(
+    engine: &Engine<'_>,
+    scratch: &mut VbsimScratch,
+    transitions: &[Transition],
+    outputs: &[NetId],
+    assignment: &[usize],
+    sizes: &[f64],
+    base: &VbsimOptions,
+    prefix: &[u8],
+    store: Option<&mtk_store::Store>,
+    run: &mut RunHealth,
+    stats: &mut WorkerStats,
+) -> Result<f64, CoreError> {
+    let key: Vec<u8> = {
+        let mut k = prefix.to_vec();
+        for &s in sizes {
+            k.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        k
+    };
+    if let Some(store) = store {
+        if let Some((worst, health)) = store.get(&key).and_then(|b| decode_eval(&b)) {
+            run.absorb(&health);
+            run.cache_hits += 1;
+            stats.breakpoints += health.breakpoints as u64;
+            return Ok(worst);
+        }
+    }
+    let partition = PartitionedSleep {
+        assignment: assignment.to_vec(),
+        networks: sizes
+            .iter()
+            .map(|&wl| SleepNetwork::Transistor { w_over_l: wl })
+            .collect(),
+    };
+    let cmos_opts = VbsimOptions {
+        sleep: SleepNetwork::Cmos,
+        ..base.clone()
+    };
+    let mut local = RunHealth::default();
+    let mut simulate = || -> Result<f64, CoreError> {
+        let mut worst = 0.0f64;
+        for tr in transitions {
+            stats.vectors += 1;
+            let cmos = engine.run_with(&tr.from, &tr.to, &cmos_opts, scratch)?;
+            local.absorb(&cmos.health);
+            stats.breakpoints += cmos.health.breakpoints as u64;
+            let Some(d_cmos) = cmos.delay_over(outputs) else {
+                continue;
+            };
+            let mt =
+                engine.run_partitioned_with(&tr.from, &tr.to, Some(&partition), base, scratch)?;
+            local.absorb(&mt.health);
+            stats.breakpoints += mt.health.breakpoints as u64;
+            let d_mt = if mt.stalled || mt.truncated {
+                f64::INFINITY
+            } else {
+                // Per-probe against the baseline: an output that
+                // switched in CMOS but never under MTCMOS stalled
+                // (infinite delay), it is not a probe to skip.
+                mt.delay_over_baseline(outputs, &cmos).unwrap_or(d_cmos)
+            };
+            worst = worst.max((d_mt - d_cmos) / d_cmos);
+        }
+        Ok(worst)
+    };
+    let result = simulate();
+    run.absorb(&local);
+    match result {
+        Ok(worst) => {
+            if let Some(store) = store {
+                run.cache_misses += 1;
+                // A failed write degrades to recompute-on-rerun; it is
+                // not an error.
+                let _ = store.put(&key, &encode_eval(worst, &local));
+            }
+            Ok(worst)
+        }
+        Err(e) => {
+            if let CoreError::EventOverflow { events, .. } = e {
+                // The overflowing run's cost is real — count it.
+                run.breakpoints += events;
+                run.max_events = run.max_events.max(base.max_events);
+                stats.breakpoints += events as u64;
+            }
+            Err(e)
+        }
+    }
+}
+
+/// One bisection attempt for one cluster: fault-injection check, then a
+/// log-space bisection of that cluster's device with every other
+/// cluster pinned at `hi`.
+#[allow(clippy::too_many_arguments)]
+fn cluster_attempt(
+    engine: &Engine<'_>,
+    scratch: &mut VbsimScratch,
+    g: usize,
+    n_clusters: usize,
+    assignment: &[usize],
+    transitions: &[Transition],
+    outputs: &[NetId],
+    target: f64,
+    (lo, hi): (f64, f64),
+    opts: &VbsimOptions,
+    fault: &FaultPlan,
+    attempt: usize,
+    store: Option<&mtk_store::Store>,
+    run: &mut RunHealth,
+    stats: &mut WorkerStats,
+) -> Result<f64, CoreError> {
+    fault.check(g, attempt)?;
+    let prefix = eval_prefix(engine, outputs, transitions, assignment, opts);
+    let (mut glo, mut ghi) = (lo, hi);
+    for _ in 0..24 {
+        let mid = (glo * ghi).sqrt();
+        let mut trial = vec![hi; n_clusters];
+        trial[g] = mid;
+        let worst = eval_worst(
+            engine,
+            scratch,
+            transitions,
+            outputs,
+            assignment,
+            &trial,
+            opts,
+            &prefix,
+            store,
+            run,
+            stats,
+        )?;
+        if worst > target {
+            glo = mid;
+        } else {
+            ghi = mid;
+        }
+        if ghi / glo < 1.02 {
+            break;
+        }
+    }
+    Ok(ghi)
+}
+
+/// One per-cluster work item under the retry policy: a first attempt at
+/// the caller's breakpoint budget, then — only for
+/// [`CoreError::EventOverflow`] — one retry relaxed by
+/// [`RETRY_BUDGET_FACTOR`].
+#[allow(clippy::too_many_arguments)]
+fn cluster_item(
+    engine: &Engine<'_>,
+    scratch: &mut VbsimScratch,
+    g: usize,
+    n_clusters: usize,
+    assignment: &[usize],
+    transitions: &[Transition],
+    outputs: &[NetId],
+    target: f64,
+    bracket: (f64, f64),
+    base: &VbsimOptions,
+    fault: &FaultPlan,
+    store: Option<&mtk_store::Store>,
+    stats: &mut WorkerStats,
+) -> ItemReport<f64> {
+    let mut run = RunHealth::default();
+    let mut value = cluster_attempt(
+        engine,
+        scratch,
+        g,
+        n_clusters,
+        assignment,
+        transitions,
+        outputs,
+        target,
+        bracket,
+        base,
+        fault,
+        0,
+        store,
+        &mut run,
+        stats,
+    );
+    let mut retried = false;
+    if matches!(value, Err(CoreError::EventOverflow { .. })) {
+        retried = true;
+        let relaxed = VbsimOptions {
+            max_events: base.max_events.saturating_mul(RETRY_BUDGET_FACTOR),
+            ..base.clone()
+        };
+        value = cluster_attempt(
+            engine,
+            scratch,
+            g,
+            n_clusters,
+            assignment,
+            transitions,
+            outputs,
+            target,
+            bracket,
+            &relaxed,
+            fault,
+            1,
+            store,
+            &mut run,
+            stats,
+        );
+    }
+    ItemReport {
+        value,
+        retried,
+        run,
+    }
+}
+
+/// The chosen sleep configuration of one [`size_clusters_for_target`]
+/// call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSizing {
+    /// Cluster index per cell of the *returned* solution — the
+    /// partition's assignment, or all zeros when the single-device
+    /// fallback won.
+    pub assignment: Vec<usize>,
+    /// W/L per cluster of the returned solution.
+    pub w_over_ls: Vec<f64>,
+    /// Total sleep width of the clustered candidate (before the
+    /// never-worse comparison).
+    pub clustered_width: f64,
+    /// The single shared device sized for the same target, when
+    /// feasible — the never-worse comparison baseline.
+    pub single_w_over_l: Option<f64>,
+    /// True when the single device used no more total width than the
+    /// clustered candidate and was returned instead.
+    pub fell_back: bool,
+}
+
+impl ClusterSizing {
+    /// Total sleep width of the returned solution.
+    pub fn total_width(&self) -> f64 {
+        self.w_over_ls.iter().sum()
+    }
+}
+
+/// Execution report of one [`size_clusters_for_target`] call.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Per-worker counters of the parallel per-cluster bisection phase.
+    pub workers: Vec<WorkerStats>,
+    /// End-to-end wall time, seconds.
+    pub wall: f64,
+    /// Sweep-level health: quarantined clusters, retries, recovered
+    /// panics, summed run counters (serial verification and the
+    /// single-device baseline included).
+    pub health: SweepHealth,
+    /// Number of clusters sized.
+    pub n_clusters: usize,
+    /// Conflict-graph edges of the partition.
+    pub conflict_edges: usize,
+    /// Cells folded into conflicting clusters by the colouring cap.
+    pub folded: usize,
+}
+
+impl ClusterReport {
+    /// This co-optimisation as a [`mtk_trace::PhaseTrace`]: the health
+    /// counters plus the cluster registry counters, a `cluster_w_over_l`
+    /// histogram of the returned per-cluster sizes, this report's wall
+    /// time and per-worker sinks (timing section).
+    pub fn to_phase(&self, name: &str, sizing: &ClusterSizing) -> mtk_trace::PhaseTrace {
+        let mut phase = self.health.phase(name).with_wall(self.wall);
+        phase.workers = crate::par::worker_traces(&self.workers);
+        phase
+            .counters
+            .add(mtk_trace::CounterId::Clusters, self.n_clusters as u64);
+        phase.counters.add(
+            mtk_trace::CounterId::ClusterConflicts,
+            self.conflict_edges as u64,
+        );
+        phase
+            .counters
+            .add(mtk_trace::CounterId::ClusterFolds, self.folded as u64);
+        phase.counters.add(
+            mtk_trace::CounterId::ClusterFallbacks,
+            sizing.fell_back as u64,
+        );
+        let mut widths = mtk_trace::Histogram::new();
+        for &wl in &sizing.w_over_ls {
+            widths.record(wl.round().max(0.0) as u64);
+        }
+        phase
+            .extra_histograms
+            .push(("cluster_w_over_l".to_string(), widths));
+        phase
+    }
+}
+
+/// Sizes one sleep transistor per cluster so the worst degradation over
+/// `transitions` is at most `target`, then applies the never-worse
+/// rule against the single shared device.
+///
+/// Strategy: feasibility at all-`hi`, per-cluster log-bisection with
+/// the other clusters pinned at `hi` — run as independent
+/// [`crate::par`] work items (deterministic at any `threads`, with
+/// quarantine/retry under `policy` and `fault`) — then joint
+/// verification with uniform ×1.2 scale-up, and finally the
+/// single-device solution for the same target; whichever candidate
+/// uses less total width is returned. A quarantined cluster's device
+/// conservatively stays at `hi`.
+///
+/// With `store`, every simulator evaluation is written through a
+/// persistent log under [`CLUSTER_RECORD_TAG`]; a warm rerun replays
+/// every evaluation — stored health included — so its deterministic
+/// telemetry is bit-identical to the cold run apart from the
+/// hit/miss counters, and nothing is simulated.
+///
+/// # Errors
+///
+/// * [`CoreError::SizingInfeasible`] when even all-`hi` misses the
+///   target.
+/// * Under [`FailurePolicy::FailFast`], the error of the
+///   lowest-indexed failing cluster; under
+///   [`FailurePolicy::Quarantine`], [`CoreError::TooManyFailures`]
+///   past the cap.
+/// * Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics on an empty netlist, a partition whose assignment length
+/// disagrees with the cell count, or an invalid bracket.
+#[allow(clippy::too_many_arguments)]
+pub fn size_clusters_for_target(
+    netlist: &Netlist,
+    tech: &Technology,
+    transitions: &[Transition],
+    probes: Option<&[NetId]>,
+    partition: &ExclusivePartition,
+    target: f64,
+    (lo, hi): (f64, f64),
+    base: &VbsimOptions,
+    threads: usize,
+    policy: FailurePolicy,
+    fault: &FaultPlan,
+    store: Option<&mtk_store::Store>,
+) -> Result<(ClusterSizing, ClusterReport), CoreError> {
+    assert!(
+        partition.assignment.len() == netlist.cells().len() && !partition.assignment.is_empty(),
+        "partition must cover a non-empty netlist"
+    );
+    assert!(lo > 0.0 && hi > lo, "invalid sizing bracket");
+    let t0 = Instant::now();
+    let n = partition.n_clusters;
+    let outputs: Vec<NetId> = match probes {
+        Some(p) => p.to_vec(),
+        None => netlist.primary_outputs().to_vec(),
+    };
+    let engine = Engine::new(netlist, tech);
+    let mut serial_scratch = VbsimScratch::new();
+    let mut serial_run = RunHealth::default();
+    let mut serial_stats = WorkerStats::default();
+    let prefix = eval_prefix(&engine, &outputs, transitions, &partition.assignment, base);
+    let serial_eval = |sizes: &[f64],
+                       run: &mut RunHealth,
+                       scratch: &mut VbsimScratch,
+                       stats: &mut WorkerStats|
+     -> Result<f64, CoreError> {
+        eval_worst(
+            &engine,
+            scratch,
+            transitions,
+            &outputs,
+            &partition.assignment,
+            sizes,
+            base,
+            &prefix,
+            store,
+            run,
+            stats,
+        )
+    };
+    // Feasibility: even with every cluster at hi?
+    let all_hi = vec![hi; n];
+    if serial_eval(
+        &all_hi,
+        &mut serial_run,
+        &mut serial_scratch,
+        &mut serial_stats,
+    )? > target
+    {
+        return Err(CoreError::SizingInfeasible {
+            target,
+            at_w_over_l: hi,
+        });
+    }
+    // Per-cluster bisection as independent, fault-tolerant work items.
+    let items: Vec<usize> = (0..n).collect();
+    let (reports, workers) = try_parallel_map_with(
+        threads,
+        1,
+        &items,
+        || (Engine::new(netlist, tech), VbsimScratch::new()),
+        |(engine, scratch), _index, &g, stats| {
+            cluster_item(
+                engine,
+                scratch,
+                g,
+                n,
+                &partition.assignment,
+                transitions,
+                &outputs,
+                target,
+                (lo, hi),
+                base,
+                fault,
+                store,
+                stats,
+            )
+        },
+    );
+    let (values, mut health) = fold_item_reports(reports, policy)?;
+    let mut sizes: Vec<f64> = values.into_iter().map(|v| v.unwrap_or(hi)).collect();
+    // Joint verification with uniform scale-up: the per-cluster
+    // bisections assumed everyone else at hi, so cross-cluster logic
+    // interaction can push the joint worst case past the target.
+    let mut joint_ok = false;
+    for _ in 0..12 {
+        if serial_eval(
+            &sizes,
+            &mut serial_run,
+            &mut serial_scratch,
+            &mut serial_stats,
+        )? <= target
+        {
+            joint_ok = true;
+            break;
+        }
+        for s in &mut sizes {
+            *s = (*s * 1.2).min(hi);
+        }
+    }
+    if !joint_ok {
+        sizes = vec![hi; n];
+    }
+    let clustered_width: f64 = sizes.iter().sum();
+    // The never-worse rule: a single shared device sized for the same
+    // target with the same machinery. Sequential paths split the delay
+    // budget across clusters, so the clustered candidate can genuinely
+    // need more total width — in that case the single device wins.
+    let single_assignment = vec![0usize; netlist.cells().len()];
+    let single_prefix = eval_prefix(&engine, &outputs, transitions, &single_assignment, base);
+    let mut single_eval = |wl: f64, run: &mut RunHealth, scratch: &mut VbsimScratch| {
+        eval_worst(
+            &engine,
+            scratch,
+            transitions,
+            &outputs,
+            &single_assignment,
+            &[wl],
+            base,
+            &single_prefix,
+            store,
+            run,
+            &mut serial_stats,
+        )
+    };
+    let single_w_over_l = if single_eval(hi, &mut serial_run, &mut serial_scratch)? > target {
+        None
+    } else {
+        let (mut glo, mut ghi) = (lo, hi);
+        for _ in 0..24 {
+            let mid = (glo * ghi).sqrt();
+            if single_eval(mid, &mut serial_run, &mut serial_scratch)? > target {
+                glo = mid;
+            } else {
+                ghi = mid;
+            }
+            if ghi / glo < 1.02 {
+                break;
+            }
+        }
+        Some(ghi)
+    };
+    let fell_back = single_w_over_l.is_some_and(|s| s <= clustered_width);
+    let sizing = if fell_back {
+        ClusterSizing {
+            assignment: single_assignment,
+            w_over_ls: vec![single_w_over_l.unwrap()],
+            clustered_width,
+            single_w_over_l,
+            fell_back,
+        }
+    } else {
+        ClusterSizing {
+            assignment: partition.assignment.clone(),
+            w_over_ls: sizes,
+            clustered_width,
+            single_w_over_l,
+            fell_back,
+        }
+    };
+    // Serial phases (feasibility, joint verify, single baseline) are
+    // identical at any thread count, so merging their counters after
+    // the fold keeps the whole report deterministic.
+    health.runs.absorb(&serial_run);
+    Ok((
+        sizing,
+        ClusterReport {
+            workers,
+            wall: t0.elapsed().as_secs_f64(),
+            health,
+            n_clusters: n,
+            conflict_edges: partition.conflict_edges,
+            folded: partition.folded,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtk_circuits::tree::InverterTree;
+    use mtk_netlist::cell::CellKind;
+
+    fn two_inverters() -> Netlist {
+        let mut nl = Netlist::new("pair");
+        let a = nl.add_net("a").unwrap();
+        let b = nl.add_net("b").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.mark_primary_input(b).unwrap();
+        let x = nl.add_net("x").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![a], x, 1.0).unwrap();
+        nl.add_cell("i2", CellKind::Inv, vec![b], y, 1.0).unwrap();
+        nl.mark_primary_output(x);
+        nl.mark_primary_output(y);
+        nl
+    }
+
+    fn tr(from: &[Logic], to: &[Logic]) -> Transition {
+        Transition::new(from.to_vec(), to.to_vec())
+    }
+
+    use Logic::{One, Zero};
+
+    #[test]
+    fn exclusive_gates_share_a_cluster() {
+        let nl = two_inverters();
+        let p = exclusive_partition(
+            &nl,
+            &[tr(&[Zero, One], &[One, One]), tr(&[One, Zero], &[One, One])],
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.assignment, vec![0, 0]);
+        assert_eq!(p.n_clusters, 1);
+        assert_eq!(p.conflict_edges, 0);
+        assert_eq!(p.folded, 0);
+    }
+
+    #[test]
+    fn co_discharging_gates_are_separated() {
+        let nl = two_inverters();
+        let p = exclusive_partition(&nl, &[tr(&[Zero, Zero], &[One, One])], 8).unwrap();
+        assert_eq!(p.assignment, vec![0, 1]);
+        assert_eq!(p.n_clusters, 2);
+        assert_eq!(p.conflict_edges, 1);
+    }
+
+    #[test]
+    fn x_levels_are_conservative() {
+        // An X→X output may discharge, so it conflicts with anything
+        // that discharges on the same vector.
+        let mut nl = two_inverters();
+        let u = nl.add_net("u").unwrap(); // undriven: evaluates to X
+        let z = nl.add_net("z").unwrap();
+        nl.add_cell("i3", CellKind::Inv, vec![u], z, 1.0).unwrap();
+        let p = exclusive_partition(&nl, &[tr(&[Zero, One], &[One, One])], 8).unwrap();
+        // i1 discharges (x falls), i2 does not, i3 is conservatively
+        // counted as discharging.
+        assert_eq!(p.assignment[0], 0);
+        assert_eq!(p.assignment[1], 0);
+        assert_ne!(p.assignment[2], p.assignment[0]);
+    }
+
+    #[test]
+    fn colouring_folds_at_the_cap_deterministically() {
+        // Three gates that all discharge together need three colours;
+        // capped at two, the third folds and is counted.
+        let mut nl = Netlist::new("trio");
+        let a = nl.add_net("a").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        for i in 0..3 {
+            let o = nl.add_net(&format!("o{i}")).unwrap();
+            nl.add_cell(&format!("g{i}"), CellKind::Inv, vec![a], o, 1.0)
+                .unwrap();
+            nl.mark_primary_output(o);
+        }
+        let full = exclusive_partition(&nl, &[tr(&[Zero], &[One])], 8).unwrap();
+        assert_eq!(full.assignment, vec![0, 1, 2]);
+        assert_eq!(full.conflict_edges, 3);
+        let capped = exclusive_partition(&nl, &[tr(&[Zero], &[One])], 2).unwrap();
+        assert_eq!(capped.n_clusters, 2);
+        assert_eq!(capped.folded, 1);
+        assert!(capped.assignment.iter().all(|&g| g < 2));
+        // Deterministic: same inputs, same partition.
+        let again = exclusive_partition(&nl, &[tr(&[Zero], &[One])], 2).unwrap();
+        assert_eq!(capped, again);
+    }
+
+    #[test]
+    fn partition_is_a_pure_function_of_inputs() {
+        let tree = InverterTree::paper();
+        let trs = [tr(&[Zero], &[One]), tr(&[One], &[Zero])];
+        let a = exclusive_partition(&tree.netlist, &trs, 16).unwrap();
+        let b = exclusive_partition(&tree.netlist, &trs, 16).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.assignment.len(), tree.netlist.cells().len());
+        // The tree's stages lie on one path: stage 1 and stage 3 both
+        // discharge on the rising input, so they must be separated.
+        assert!(a.n_clusters > 1);
+    }
+
+    #[test]
+    fn bad_transition_width_is_reported() {
+        let nl = two_inverters();
+        let err = exclusive_partition(&nl, &[tr(&[Zero], &[One])], 4).unwrap_err();
+        assert!(matches!(err, CoreError::Netlist(_)));
+    }
+
+    fn size_tree(
+        threads: usize,
+        policy: FailurePolicy,
+        fault: &FaultPlan,
+        store: Option<&mtk_store::Store>,
+    ) -> Result<(ClusterSizing, ClusterReport), CoreError> {
+        let tree = InverterTree::paper();
+        let tech = Technology::l07();
+        let trs = [tr(&[Zero], &[One]), tr(&[One], &[Zero])];
+        let partition = exclusive_partition(&tree.netlist, &trs, 4).unwrap();
+        size_clusters_for_target(
+            &tree.netlist,
+            &tech,
+            &trs,
+            None,
+            &partition,
+            0.20,
+            (0.5, 400.0),
+            &VbsimOptions::cmos(),
+            threads,
+            policy,
+            fault,
+            store,
+        )
+    }
+
+    #[test]
+    fn clustered_sizing_meets_target_and_is_never_worse() {
+        let (sizing, report) =
+            size_tree(1, FailurePolicy::FailFast, &FaultPlan::none(), None).unwrap();
+        assert_eq!(report.n_clusters, 4);
+        assert!(sizing.total_width() > 0.0);
+        // Never-worse: whatever was returned uses no more total width
+        // than the feasible single device.
+        if let Some(single) = sizing.single_w_over_l {
+            assert!(
+                sizing.total_width() <= single + 1e-9,
+                "returned {} vs single {single}",
+                sizing.total_width()
+            );
+        }
+        // And the returned solution actually meets the target.
+        let tree = InverterTree::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let worst = crate::modules::worst_degradation_partitioned(
+            &engine,
+            &[tr(&[Zero], &[One]), tr(&[One], &[Zero])],
+            None,
+            &sizing.assignment,
+            &sizing.w_over_ls,
+            &VbsimOptions::cmos(),
+        )
+        .unwrap();
+        assert!(worst <= 0.20 + 1e-9, "worst {worst}");
+    }
+
+    #[test]
+    fn sizing_is_identical_at_any_thread_count() {
+        let (s1, r1) = size_tree(1, FailurePolicy::FailFast, &FaultPlan::none(), None).unwrap();
+        for threads in [2usize, 8] {
+            let (s, r) =
+                size_tree(threads, FailurePolicy::FailFast, &FaultPlan::none(), None).unwrap();
+            assert_eq!(s, s1, "threads={threads}");
+            assert_eq!(r.health.runs, r1.health.runs, "threads={threads}");
+            assert_eq!(
+                r.health.breakpoints_per_item, r1.health.breakpoints_per_item,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantined_cluster_falls_back_to_hi_deterministically() {
+        let fault = FaultPlan {
+            error_at: vec![1],
+            ..FaultPlan::none()
+        };
+        let (sizing, report) = size_tree(2, FailurePolicy::quarantine(2), &fault, None).unwrap();
+        assert_eq!(report.health.quarantined_indices(), vec![1]);
+        if !sizing.fell_back {
+            assert_eq!(
+                sizing.w_over_ls[1], 400.0,
+                "quarantined cluster stays at hi"
+            );
+        }
+        // Same outcome at another thread count.
+        let (s8, r8) = size_tree(8, FailurePolicy::quarantine(2), &fault, None).unwrap();
+        assert_eq!(s8, sizing);
+        assert_eq!(r8.health.quarantined_indices(), vec![1]);
+    }
+
+    #[test]
+    fn infeasible_target_is_reported() {
+        let tree = InverterTree::paper();
+        let tech = Technology::l07();
+        let trs = [tr(&[Zero], &[One])];
+        let partition = exclusive_partition(&tree.netlist, &trs, 4).unwrap();
+        let err = size_clusters_for_target(
+            &tree.netlist,
+            &tech,
+            &trs,
+            None,
+            &partition,
+            1e-9,
+            (0.1, 0.2),
+            &VbsimOptions::cmos(),
+            1,
+            FailurePolicy::FailFast,
+            &FaultPlan::none(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SizingInfeasible { .. }));
+    }
+
+    #[test]
+    fn warm_store_rerun_replays_everything_without_simulating() {
+        let dir = std::env::temp_dir().join(format!("mtk_cluster_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cluster.log");
+        let _ = std::fs::remove_file(&path);
+
+        let store = mtk_store::Store::open(&path).unwrap();
+        let (cold_sizing, cold_report) =
+            size_tree(2, FailurePolicy::FailFast, &FaultPlan::none(), Some(&store)).unwrap();
+        let cold = cold_report.health.runs;
+        assert!(cold.cache_misses > 0, "cold run must simulate");
+        assert_eq!(cold.cache_hits, 0);
+        drop(store);
+
+        // A fresh process over the same log replays every evaluation.
+        let store = mtk_store::Store::open(&path).unwrap();
+        let (warm_sizing, warm_report) =
+            size_tree(8, FailurePolicy::FailFast, &FaultPlan::none(), Some(&store)).unwrap();
+        let warm = warm_report.health.runs;
+        assert_eq!(warm_sizing, cold_sizing, "warm result must be identical");
+        assert_eq!(warm.cache_misses, 0, "warm rerun simulated nothing");
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        // Replayed telemetry is bit-identical apart from the hit/miss
+        // counters themselves.
+        assert_eq!(warm.breakpoints, cold.breakpoints);
+        assert_eq!(warm.glitch_reversals, cold.glitch_reversals);
+        assert_eq!(warm.vx_fallbacks, cold.vx_fallbacks);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn eval_records_roundtrip_and_reject_malformed() {
+        let health = RunHealth {
+            breakpoints: 7,
+            max_events: 4096,
+            glitch_reversals: 2,
+            vx_fallbacks: 1,
+            cache_hits: 0,
+            cache_misses: 3,
+        };
+        let bytes = encode_eval(0.0375, &health);
+        assert_eq!(decode_eval(&bytes), Some((0.0375, health)));
+        assert_eq!(decode_eval(&bytes[..55]), None);
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode_eval(&long), None);
+        // Infinity (a stalled evaluation) survives the roundtrip.
+        let inf = encode_eval(f64::INFINITY, &health);
+        assert_eq!(decode_eval(&inf).unwrap().0, f64::INFINITY);
+    }
+
+    #[test]
+    fn store_keys_do_not_alias_other_record_namespaces() {
+        let tree = InverterTree::paper();
+        let tech = Technology::l07();
+        let engine = Engine::new(&tree.netlist, &tech);
+        let trs = [tr(&[Zero], &[One])];
+        let outputs = tree.netlist.primary_outputs().to_vec();
+        let assignment = vec![0usize; tree.netlist.cells().len()];
+        let prefix = eval_prefix(&engine, &outputs, &trs, &assignment, &VbsimOptions::cmos());
+        assert_eq!(&prefix[..4], CLUSTER_RECORD_TAG);
+        for other in [b"leg1" as &[u8], b"req1", b"mct1"] {
+            assert_ne!(&prefix[..4], other, "cluster records need their own tag");
+        }
+        // Different assignments (clustered vs flat) never share keys.
+        let clustered = exclusive_partition(&tree.netlist, &trs, 4).unwrap();
+        let p2 = eval_prefix(
+            &engine,
+            &outputs,
+            &trs,
+            &clustered.assignment,
+            &VbsimOptions::cmos(),
+        );
+        assert_ne!(prefix, p2);
+    }
+}

@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod energy;
 pub mod health;
 pub mod hybrid;

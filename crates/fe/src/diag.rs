@@ -49,6 +49,15 @@ pub enum ErrorCode {
     /// corner must name an entry of `mtk_netlist::tech::CORNERS` and
     /// precede any `tech.*` override).
     BadCorner,
+    /// E016: a malformed `module` block — nested or unterminated
+    /// definitions, a duplicate module name, a stray `endmodule`, or a
+    /// directive that is not allowed inside (or only allowed inside) a
+    /// module body.
+    BadModule,
+    /// E017: a malformed `inst` line — unknown module name, missing
+    /// `->` separator, or a port-arity mismatch against the module's
+    /// declared inputs/outputs.
+    BadInstance,
 }
 
 impl ErrorCode {
@@ -70,6 +79,8 @@ impl ErrorCode {
             ErrorCode::BadTech => "E013",
             ErrorCode::BadStructure => "E014",
             ErrorCode::BadCorner => "E015",
+            ErrorCode::BadModule => "E016",
+            ErrorCode::BadInstance => "E017",
         }
     }
 
@@ -91,6 +102,8 @@ impl ErrorCode {
             ErrorCode::BadTech => "unknown technology preset or parameter",
             ErrorCode::BadStructure => "missing `end` or content after it",
             ErrorCode::BadCorner => "unknown, duplicate, or misplaced `corner`",
+            ErrorCode::BadModule => "malformed `module` block",
+            ErrorCode::BadInstance => "malformed `inst` line",
         }
     }
 }
@@ -225,11 +238,15 @@ mod tests {
             ErrorCode::BadTech,
             ErrorCode::BadStructure,
             ErrorCode::BadCorner,
+            ErrorCode::BadModule,
+            ErrorCode::BadInstance,
         ];
         let mut codes: Vec<_> = all.iter().map(|c| c.code()).collect();
         assert_eq!(codes[0], "E001");
         assert_eq!(codes[13], "E014", "E001–E014 are frozen");
         assert_eq!(codes[14], "E015");
+        assert_eq!(codes[15], "E016");
+        assert_eq!(codes[16], "E017");
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), all.len());

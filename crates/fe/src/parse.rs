@@ -9,15 +9,31 @@
 use crate::diag::{closest, ErrorCode, ParseError};
 use crate::{Design, SourceMap, Stimulus, FORMAT_VERSION, TECH_PARAMS};
 use mtk_netlist::cell::CellKind;
+use mtk_netlist::hier::Module;
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::{NetId, Netlist};
 use mtk_netlist::tech::Technology;
 use mtk_netlist::NetlistError;
 
 /// The known top-level directives, for "did you mean" suggestions.
-const DIRECTIVES: [&str; 10] = [
-    "circuit", "tech", "corner", "net", "input", "output", "tie", "cell", "vector", "end",
+const DIRECTIVES: [&str; 13] = [
+    "circuit",
+    "tech",
+    "corner",
+    "module",
+    "endmodule",
+    "net",
+    "input",
+    "output",
+    "tie",
+    "cell",
+    "inst",
+    "vector",
+    "end",
 ];
+
+/// The directives legal inside a `module` body.
+const MODULE_DIRECTIVES: [&str; 6] = ["net", "input", "output", "tie", "cell", "endmodule"];
 
 /// The technology presets a `tech` line may name.
 const PRESETS: [&str; 2] = ["l07", "l03"];
@@ -43,6 +59,8 @@ pub fn parse_str(src: &str, file: &str) -> Result<Design, ParseError> {
         vectors: Vec::new(),
         source: SourceMap::empty(file),
         end_seen: false,
+        modules: Vec::new(),
+        current_module: None,
     }
     .run(src)
 }
@@ -95,6 +113,11 @@ struct Parser<'f> {
     vectors: Vec<Stimulus>,
     source: SourceMap,
     end_seen: bool,
+    /// Completed `module` definitions, in declaration order (the order
+    /// matters only for deterministic "did you mean" hints).
+    modules: Vec<(String, Module)>,
+    /// The body of the `module` block being parsed, if any.
+    current_module: Option<(String, Netlist)>,
 }
 
 impl Parser<'_> {
@@ -129,6 +152,14 @@ impl Parser<'_> {
                 1,
                 ErrorCode::BadHeader,
                 "empty input: first line must be `mtk <version>`",
+            ));
+        }
+        if let Some((name, _)) = &self.current_module {
+            return Err(self.err(
+                last_line + 1,
+                1,
+                ErrorCode::BadModule,
+                format!("`module {name}` is not terminated (missing `endmodule`)"),
             ));
         }
         if !self.end_seen {
@@ -198,6 +229,9 @@ impl Parser<'_> {
     }
 
     fn statement(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        if self.current_module.is_some() {
+            return self.module_statement(line, toks);
+        }
         let dir = toks[0].text;
         if let Some(param) = dir.strip_prefix("tech.") {
             return self.tech_override(line, toks, param);
@@ -206,6 +240,14 @@ impl Parser<'_> {
             "circuit" => self.circuit(line, toks),
             "tech" => self.tech_preset(line, toks),
             "corner" => self.corner(line, toks),
+            "module" => self.module_start(line, toks),
+            "endmodule" => Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadModule,
+                "`endmodule` without an open `module`",
+            )),
+            "inst" => self.inst(line, toks),
             "net" => self.net(line, toks),
             "input" => self.io(line, toks, true),
             "output" => self.io(line, toks, false),
@@ -230,6 +272,156 @@ impl Parser<'_> {
                 Err(e)
             }
         }
+    }
+
+    /// Dispatches a statement inside a `module` body. The structural
+    /// body-building directives are reused verbatim by temporarily
+    /// swapping the module body in as the active netlist; everything
+    /// else is a placement error.
+    fn module_statement(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        let dir = toks[0].text;
+        match dir {
+            "module" => Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadModule,
+                "`module` definitions cannot nest",
+            )),
+            "endmodule" => self.module_end(line, toks),
+            "net" | "input" | "output" | "tie" | "cell" => {
+                let (name, body) = self.current_module.take().expect("checked by caller");
+                let saved = self.netlist.replace(body);
+                let r = match dir {
+                    "net" => self.net(line, toks),
+                    "input" => self.io(line, toks, true),
+                    "output" => self.io(line, toks, false),
+                    "tie" => self.tie(line, toks),
+                    _ => self.cell(line, toks),
+                };
+                let body = std::mem::replace(&mut self.netlist, saved).expect("body was swapped");
+                self.current_module = Some((name, body));
+                r
+            }
+            _ => {
+                let known = dir.starts_with("tech.") || DIRECTIVES.contains(&dir);
+                if known {
+                    let name = &self.current_module.as_ref().expect("checked by caller").0;
+                    Err(self.err(
+                        line,
+                        toks[0].col,
+                        ErrorCode::BadModule,
+                        format!("`{dir}` is not allowed inside `module {name}`"),
+                    ))
+                } else {
+                    let mut e = self.err(
+                        line,
+                        toks[0].col,
+                        ErrorCode::UnknownDirective,
+                        format!("unknown directive `{dir}`"),
+                    );
+                    if let Some(s) = closest(dir, MODULE_DIRECTIVES) {
+                        e = e.with_hint(format!("did you mean `{s}`?"));
+                    }
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn module_start(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 2, "module <name>")?;
+        let name = toks[1].text;
+        if self.modules.iter().any(|(n, _)| n == name) {
+            return Err(self.err(
+                line,
+                toks[1].col,
+                ErrorCode::BadModule,
+                format!("duplicate module `{name}`"),
+            ));
+        }
+        self.current_module = Some((name.to_string(), Netlist::new(name)));
+        Ok(())
+    }
+
+    fn module_end(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        self.expect_len(line, toks, 1, "endmodule")?;
+        let (name, body) = self.current_module.take().expect("checked by caller");
+        let module = Module::new(&name, body).map_err(|e| self.clone_err(line, toks[0].col, &e))?;
+        self.modules.push((name, module));
+        Ok(())
+    }
+
+    /// `inst <name> <module> <in>... -> <out>...`: flattens one
+    /// instance of a previously defined module into the circuit under
+    /// the `name/` hierarchical prefix.
+    fn inst(&mut self, line: usize, toks: &[Tok<'_>]) -> Result<(), ParseError> {
+        const USAGE: &str = "inst <name> <module> <in>... -> <out>...";
+        if toks.len() < 3 {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadArity,
+                format!("`inst` is missing tokens (usage: `{USAGE}`)"),
+            ));
+        }
+        self.netlist_mut(line, toks[0].col)?;
+        let iname = &toks[1];
+        let mtok = &toks[2];
+        let Some(module) = self
+            .modules
+            .iter()
+            .find(|(n, _)| n == mtok.text)
+            .map(|(_, m)| m.clone())
+        else {
+            let mut e = self.err(
+                line,
+                mtok.col,
+                ErrorCode::BadInstance,
+                format!("unknown module `{}`", mtok.text),
+            );
+            if let Some(s) = closest(mtok.text, self.modules.iter().map(|(n, _)| n.as_str())) {
+                e = e.with_hint(format!("did you mean `{s}`?"));
+            }
+            return Err(e);
+        };
+        let Some(arrow) = toks[3..].iter().position(|t| t.text == "->") else {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadInstance,
+                format!("`inst` is missing `->` (usage: `{USAGE}`)"),
+            ));
+        };
+        let arrow = arrow + 3;
+        if arrow - 3 != module.n_inputs() || toks.len() - arrow - 1 != module.n_outputs() {
+            return Err(self.err(
+                line,
+                toks[0].col,
+                ErrorCode::BadInstance,
+                format!(
+                    "module `{}` has {} input(s) and {} output(s), `inst` connects {} and {}",
+                    mtok.text,
+                    module.n_inputs(),
+                    module.n_outputs(),
+                    arrow - 3,
+                    toks.len() - arrow - 1,
+                ),
+            ));
+        }
+        let mut inputs = Vec::with_capacity(arrow - 3);
+        for tok in &toks[3..arrow] {
+            inputs.push(self.net_id(line, tok)?);
+        }
+        let mut outputs = Vec::with_capacity(toks.len() - arrow - 1);
+        for tok in &toks[arrow + 1..] {
+            outputs.push(self.net_id(line, tok)?);
+        }
+        let nl = self.netlist.as_mut().expect("netlist_mut checked circuit");
+        module
+            .instantiate(nl, iname.text, &inputs, &outputs)
+            .map_err(|e| self.clone_err(line, iname.col, &e))?;
+        self.source.record_cell(iname.text, line);
+        Ok(())
     }
 
     fn expect_len(
@@ -1049,6 +1241,189 @@ end
         let back = parse_str(&text, "c.mtk").unwrap();
         assert_eq!(back.tech, d.tech);
         assert_eq!(back.to_mtk(), text);
+    }
+
+    fn hier_src() -> &'static str {
+        "\
+mtk 1
+module buf
+net i
+net m
+net o
+input i
+output o
+cell u0 inv i -> m
+cell u1 inv m -> o drive=2
+endmodule
+circuit top
+net a
+net x
+net y
+input a
+output y
+inst b0 buf a -> x
+inst b1 buf x -> y
+vector 0 -> 1
+end
+"
+    }
+
+    #[test]
+    fn modules_flatten_at_parse_time() {
+        let d = parse_str(hier_src(), "top.mtk").unwrap();
+        assert_eq!(d.netlist.name(), "top");
+        // 3 top nets + 1 internal per instance.
+        assert_eq!(d.netlist.nets().len(), 5);
+        assert!(d.netlist.find_net("b0/m").is_some());
+        assert!(d.netlist.find_net("b1/m").is_some());
+        assert_eq!(d.netlist.cells().len(), 4);
+        let u1 = d
+            .netlist
+            .cells()
+            .iter()
+            .find(|c| c.name == "b1/u1")
+            .expect("hierarchical cell name");
+        assert_eq!(u1.drive, 2.0);
+        // Two buffers in series: identity.
+        let v = d.netlist.evaluate(&[Logic::One]).unwrap();
+        let y = d.netlist.find_net("y").unwrap();
+        assert_eq!(v[y.index()], Logic::One);
+        // The canonical form is flat: writing drops the module sugar
+        // and the flat text is a writer fixpoint.
+        let text = d.to_mtk();
+        assert!(!text.contains("module"), "{text}");
+        assert!(!text.contains("inst"), "{text}");
+        let back = parse_str(&text, "top.mtk").unwrap();
+        assert_eq!(back.netlist.fingerprint(), d.netlist.fingerprint());
+        assert_eq!(back.to_mtk(), text);
+    }
+
+    #[test]
+    fn e016_bad_module() {
+        // Nested definition.
+        expect_err(
+            "mtk 1\nmodule a\nmodule b\nendmodule\nend\n",
+            ErrorCode::BadModule,
+            3,
+            1,
+        );
+        // Unterminated (EOF points one past the last line).
+        expect_err("mtk 1\nmodule a\nnet x\n", ErrorCode::BadModule, 4, 1);
+        // `end` inside a module body is a placement error.
+        expect_err("mtk 1\nmodule a\nend\n", ErrorCode::BadModule, 3, 1);
+        // Stray endmodule.
+        expect_err(
+            "mtk 1\ncircuit c\nendmodule\nend\n",
+            ErrorCode::BadModule,
+            3,
+            1,
+        );
+        // Duplicate module name.
+        expect_err(
+            "mtk 1\nmodule a\nendmodule\nmodule a\nendmodule\ncircuit c\nend\n",
+            ErrorCode::BadModule,
+            4,
+            8,
+        );
+        // Directives that have no meaning inside a body.
+        expect_err(
+            "mtk 1\nmodule a\nvector 0 -> 1\nendmodule\ncircuit c\nend\n",
+            ErrorCode::BadModule,
+            3,
+            1,
+        );
+        expect_err(
+            "mtk 1\nmodule a\ntech.vdd 1.0\nendmodule\ncircuit c\nend\n",
+            ErrorCode::BadModule,
+            3,
+            1,
+        );
+        expect_err(
+            "mtk 1\nmodule a\ninst i a -> \nendmodule\ncircuit c\nend\n",
+            ErrorCode::BadModule,
+            3,
+            1,
+        );
+        // Unknown directives inside a body still get E003 + a hint
+        // drawn from the module-legal set.
+        let e = expect_err(
+            "mtk 1\nmodule a\nnett x\nendmodule\ncircuit c\nend\n",
+            ErrorCode::UnknownDirective,
+            3,
+            1,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `net`?"));
+        // Arity errors keep E004.
+        expect_err("mtk 1\nmodule\nend\n", ErrorCode::BadArity, 2, 1);
+        // A cyclic body or an input/output port overlap is a semantic
+        // (E010) rejection at the endmodule.
+        expect_err(
+            "mtk 1\nmodule a\nnet p\ninput p\noutput p\nendmodule\ncircuit c\nend\n",
+            ErrorCode::Semantic,
+            6,
+            1,
+        );
+    }
+
+    #[test]
+    fn e017_bad_instance() {
+        // Unknown module, with a suggestion.
+        let e = expect_err(
+            "mtk 1\nmodule buf\nnet i\nnet o\ninput i\noutput o\ncell u inv i -> o\nendmodule\n\
+circuit c\nnet a\nnet y\ninput a\ninst b0 bfu a -> y\nend\n",
+            ErrorCode::BadInstance,
+            13,
+            9,
+        );
+        assert_eq!(e.hint.as_deref(), Some("did you mean `buf`?"));
+        // Missing arrow.
+        expect_err(
+            "mtk 1\nmodule buf\nnet i\nnet o\ninput i\noutput o\ncell u inv i -> o\nendmodule\n\
+circuit c\nnet a\nnet y\ninput a\ninst b0 buf a y\nend\n",
+            ErrorCode::BadInstance,
+            13,
+            1,
+        );
+        // Port-arity mismatch.
+        expect_err(
+            "mtk 1\nmodule buf\nnet i\nnet o\ninput i\noutput o\ncell u inv i -> o\nendmodule\n\
+circuit c\nnet a\nnet y\ninput a\ninst b0 buf a a -> y\nend\n",
+            ErrorCode::BadInstance,
+            13,
+            1,
+        );
+        // Too few tokens is an arity error (E004), matching `cell`.
+        expect_err(
+            "mtk 1\ncircuit c\ninst b0\nend\n",
+            ErrorCode::BadArity,
+            3,
+            1,
+        );
+        // `inst` before `circuit` is a placement error (E005).
+        expect_err(
+            "mtk 1\nmodule buf\nnet i\nnet o\ninput i\noutput o\ncell u inv i -> o\nendmodule\n\
+inst b0 buf a -> y\ncircuit c\nend\n",
+            ErrorCode::BadCircuit,
+            9,
+            1,
+        );
+        // Unknown actual nets keep E008.
+        expect_err(
+            "mtk 1\nmodule buf\nnet i\nnet o\ninput i\noutput o\ncell u inv i -> o\nendmodule\n\
+circuit c\nnet a\ninput a\ninst b0 buf a -> q\nend\n",
+            ErrorCode::UnknownNet,
+            12,
+            18,
+        );
+        // Builder rejections during flattening keep E010 (here: the
+        // output actual is already driven).
+        expect_err(
+            "mtk 1\nmodule buf\nnet i\nnet o\ninput i\noutput o\ncell u inv i -> o\nendmodule\n\
+circuit c\nnet a\nnet y\ninput a\ncell g inv a -> y\ninst b0 buf a -> y\nend\n",
+            ErrorCode::Semantic,
+            14,
+            6,
+        );
     }
 
     #[test]

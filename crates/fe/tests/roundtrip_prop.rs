@@ -8,6 +8,7 @@
 
 use mtk_fe::{parse_str, Design, Stimulus};
 use mtk_netlist::cell::CellKind;
+use mtk_netlist::hier::Module;
 use mtk_netlist::logic::Logic;
 use mtk_netlist::netlist::Netlist;
 use mtk_netlist::tech::Technology;
@@ -15,6 +16,7 @@ use mtk_num::prng::Xoshiro256pp;
 
 const SEED: u64 = 0xF0F0_1997;
 const TRIALS: u64 = 64;
+const HIER_TRIALS: u64 = 16;
 
 /// A bounded random choice.
 fn pick(rng: &mut Xoshiro256pp, n: usize) -> usize {
@@ -127,6 +129,174 @@ fn random_designs_round_trip_exactly() {
             "trial {trial}: lint findings changed across the round trip"
         );
         assert_eq!(parsed.to_mtk(), text, "trial {trial}: canonical fixpoint");
+    }
+}
+
+/// A random module body: a few inputs, a random gate chain, drives,
+/// caps, an optional tie, and the last gate output as the single
+/// output port.
+fn random_module_body(rng: &mut Xoshiro256pp) -> Netlist {
+    let mut body = Netlist::new("m");
+    let n_in = 1 + pick(rng, 3);
+    let mut readable = Vec::new();
+    for i in 0..n_in {
+        let id = body.add_net(&format!("i{i}")).unwrap();
+        body.mark_primary_input(id).unwrap();
+        readable.push(id);
+    }
+    if rng.next_u64() & 1 == 0 {
+        let id = body.add_net("t0").unwrap();
+        body.tie_net(id, Logic::Zero).unwrap();
+        readable.push(id);
+    }
+    let kinds = CellKind::all();
+    let n_gates = 1 + pick(rng, 6);
+    let mut last = None;
+    for g in 0..n_gates {
+        let kind = kinds[pick(rng, kinds.len())];
+        let inputs: Vec<_> = (0..kind.n_inputs())
+            .map(|_| readable[pick(rng, readable.len())])
+            .collect();
+        let out = body.add_net(&format!("n{g}")).unwrap();
+        let drive = [1.0, 2.0][pick(rng, 2)];
+        body.add_cell(&format!("g{g}"), kind, inputs, out, drive)
+            .unwrap();
+        if pick(rng, 4) == 0 {
+            body.add_extra_cap(out, num(rng) * 1e-15);
+        }
+        readable.push(out);
+        last = Some(out);
+    }
+    body.mark_primary_output(last.expect("at least one gate"));
+    body
+}
+
+/// Renders a netlist as the body of a `module` block, in the same
+/// section order the canonical writer uses (nets, input, output, ties,
+/// cells).
+fn module_text(body: &Netlist) -> String {
+    let mut s = String::from("module m\n");
+    for net in body.nets() {
+        s.push_str(&format!("net {}", net.name));
+        if net.extra_cap > 0.0 {
+            s.push_str(&format!(" cap={}", net.extra_cap));
+        }
+        s.push('\n');
+    }
+    s.push_str("input");
+    for &pi in body.primary_inputs() {
+        s.push_str(&format!(" {}", body.net(pi).name));
+    }
+    s.push('\n');
+    s.push_str("output");
+    for &po in body.primary_outputs() {
+        s.push_str(&format!(" {}", body.net(po).name));
+    }
+    s.push('\n');
+    for net in body.nets() {
+        if let Some(v) = net.tie {
+            s.push_str(&format!(
+                "tie {} {}\n",
+                net.name,
+                if v == Logic::One { "1" } else { "0" }
+            ));
+        }
+    }
+    for cell in body.cells() {
+        s.push_str(&format!("cell {} {}", cell.name, cell.kind.name()));
+        for &i in &cell.inputs {
+            s.push_str(&format!(" {}", body.net(i).name));
+        }
+        s.push_str(&format!(" -> {}", body.net(cell.output).name));
+        if cell.drive != 1.0 {
+            s.push_str(&format!(" drive={}", cell.drive));
+        }
+        s.push('\n');
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+/// Hierarchical sources are non-canonical sugar: a `module`/`inst`
+/// design must parse to exactly the netlist that `Module::instantiate`
+/// builds, and its canonical written form is flat and a fixpoint.
+#[test]
+fn hierarchical_sources_normalise_to_the_flat_canonical_form() {
+    for trial in 0..HIER_TRIALS {
+        let mut rng = Xoshiro256pp::stream(SEED ^ 0x4_1E57, trial);
+        let body = random_module_body(&mut rng);
+        let n_in = body.primary_inputs().len();
+
+        // The hierarchical source: the module, then a top circuit
+        // chaining two instances.
+        let mut src = String::from("mtk 1\n");
+        src.push_str(&module_text(&body));
+        src.push_str(&format!("circuit hier{trial}\n"));
+        for i in 0..n_in {
+            src.push_str(&format!("net a{i}\n"));
+        }
+        src.push_str("net w0\nnet w1\n");
+        src.push_str("input");
+        for i in 0..n_in {
+            src.push_str(&format!(" a{i}"));
+        }
+        src.push('\n');
+        src.push_str("output w1\n");
+        src.push_str("inst u0 m");
+        for i in 0..n_in {
+            src.push_str(&format!(" a{i}"));
+        }
+        src.push_str(" -> w0\n");
+        // The second instance reads the first one's output.
+        src.push_str("inst u1 m w0");
+        for i in 1..n_in {
+            src.push_str(&format!(" a{i}"));
+        }
+        src.push_str(" -> w1\n");
+        src.push_str(&format!(
+            "vector {} -> {}\n",
+            "0".repeat(n_in),
+            "1".repeat(n_in)
+        ));
+        src.push_str("end\n");
+
+        // The same design, flattened programmatically.
+        let module = Module::new("m", body.clone()).unwrap();
+        let mut expect = Netlist::new(&format!("hier{trial}"));
+        let mut tops = Vec::new();
+        for i in 0..n_in {
+            tops.push(expect.add_net(&format!("a{i}")).unwrap());
+        }
+        let w0 = expect.add_net("w0").unwrap();
+        let w1 = expect.add_net("w1").unwrap();
+        for &t in &tops {
+            expect.mark_primary_input(t).unwrap();
+        }
+        expect.mark_primary_output(w1);
+        module.instantiate(&mut expect, "u0", &tops, &[w0]).unwrap();
+        let mut second = vec![w0];
+        second.extend(tops.iter().skip(1).copied());
+        module
+            .instantiate(&mut expect, "u1", &second, &[w1])
+            .unwrap();
+
+        let parsed = parse_str(&src, "hier.mtk").unwrap_or_else(|e| {
+            panic!("trial {trial}: hierarchical text does not parse: {e}\n{src}")
+        });
+        assert_eq!(parsed.netlist, expect, "trial {trial}: flattened netlist");
+        assert_eq!(
+            parsed.netlist.fingerprint(),
+            expect.fingerprint(),
+            "trial {trial}: fingerprint"
+        );
+
+        // Canonical form: flat, and a writer fixpoint.
+        let flat = parsed.to_mtk();
+        assert!(!flat.contains("module"), "trial {trial}:\n{flat}");
+        assert!(!flat.contains("inst "), "trial {trial}:\n{flat}");
+        let back = parse_str(&flat, "hier.mtk").unwrap();
+        assert_eq!(back.netlist, parsed.netlist, "trial {trial}: reparse");
+        assert_eq!(back.to_mtk(), flat, "trial {trial}: canonical fixpoint");
     }
 }
 

@@ -1,0 +1,368 @@
+//! Module-level hierarchy: reusable [`Module`] definitions that flatten
+//! deterministically into a host [`Netlist`].
+//!
+//! A [`Module`] wraps an ordinary gate-level netlist and treats its
+//! primary inputs/outputs as the port list. [`Module::instantiate`]
+//! splices a copy of the body into a target netlist, remapping ports to
+//! caller-supplied actual nets and prefixing every internal net and
+//! cell name with `inst/`. Because internals are copied in body id
+//! order and names are derived purely from the instance name, two
+//! identical instantiations produce byte-identical netlists — and the
+//! hierarchical names flow straight into [`Netlist::fingerprint`], so
+//! structurally different hierarchies never alias in result caches.
+//!
+//! The canonical `.mtk` on-disk form stays *flat*: hierarchy is
+//! build-time (and parse-time) sugar that normalises to the flat
+//! netlist before anything downstream sees it.
+
+use crate::netlist::{NetId, Netlist};
+use crate::NetlistError;
+
+/// A reusable netlist-with-ports. The body's primary inputs and
+/// outputs, in declaration order, are the module's input and output
+/// ports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    name: String,
+    body: Netlist,
+}
+
+impl Module {
+    /// Wraps a netlist as a module. The body's primary inputs/outputs
+    /// become the port list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the body is
+    /// cyclic, and [`NetlistError::MultipleDrivers`] if any net is
+    /// declared both an input and an output port (such a port could
+    /// not be driven by the instance).
+    pub fn new(name: &str, body: Netlist) -> Result<Self, NetlistError> {
+        body.topo_order()?;
+        for &po in body.primary_outputs() {
+            if body.primary_inputs().contains(&po) {
+                return Err(NetlistError::MultipleDrivers(body.net(po).name.clone()));
+            }
+        }
+        Ok(Module {
+            name: name.to_string(),
+            body,
+        })
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped body netlist.
+    pub fn body(&self) -> &Netlist {
+        &self.body
+    }
+
+    /// Number of input ports (the body's primary inputs).
+    pub fn n_inputs(&self) -> usize {
+        self.body.primary_inputs().len()
+    }
+
+    /// Number of output ports (the body's primary outputs).
+    pub fn n_outputs(&self) -> usize {
+        self.body.primary_outputs().len()
+    }
+
+    /// Flattens one instance of this module into `target`.
+    ///
+    /// Input ports map to `inputs` and output ports to `outputs`
+    /// (both in port declaration order). Every internal net and cell
+    /// is copied in body id order under the stable hierarchical name
+    /// `inst/local`; extra capacitance and ties are preserved, and
+    /// extra capacitance on a port net is added onto the actual net.
+    /// The target's primary input/output markings are untouched —
+    /// wiring the actuals is the caller's business.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::ArityMismatch`] when the actual lists don't
+    ///   match the port counts.
+    /// * [`NetlistError::DuplicateNet`] when `inst` collides with an
+    ///   existing hierarchical prefix in `target`.
+    /// * [`NetlistError::MultipleDrivers`] when an output actual is
+    ///   already driven in `target`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mtk_netlist::cell::CellKind;
+    /// use mtk_netlist::hier::Module;
+    /// use mtk_netlist::logic::Logic;
+    /// use mtk_netlist::netlist::Netlist;
+    ///
+    /// // A buffer module: in -> mid -> out.
+    /// let mut body = Netlist::new("buf");
+    /// let i = body.add_net("in")?;
+    /// let m = body.add_net("mid")?;
+    /// let o = body.add_net("out")?;
+    /// body.mark_primary_input(i)?;
+    /// body.mark_primary_output(o);
+    /// body.add_cell("u0", CellKind::Inv, vec![i], m, 1.0)?;
+    /// body.add_cell("u1", CellKind::Inv, vec![m], o, 1.0)?;
+    /// let buf = Module::new("buf", body)?;
+    ///
+    /// // Chain two instances: a -> b0/... -> x -> b1/... -> y.
+    /// let mut top = Netlist::new("top");
+    /// let a = top.add_net("a")?;
+    /// let x = top.add_net("x")?;
+    /// let y = top.add_net("y")?;
+    /// top.mark_primary_input(a)?;
+    /// buf.instantiate(&mut top, "b0", &[a], &[x])?;
+    /// buf.instantiate(&mut top, "b1", &[x], &[y])?;
+    /// top.mark_primary_output(y);
+    ///
+    /// assert!(top.find_net("b0/mid").is_some());
+    /// assert!(top.find_net("b1/mid").is_some());
+    /// let v = top.evaluate(&[Logic::One])?;
+    /// assert_eq!(v[y.index()], Logic::One);
+    /// # Ok::<(), mtk_netlist::NetlistError>(())
+    /// ```
+    pub fn instantiate(
+        &self,
+        target: &mut Netlist,
+        inst: &str,
+        inputs: &[NetId],
+        outputs: &[NetId],
+    ) -> Result<(), NetlistError> {
+        if inputs.len() != self.n_inputs() {
+            return Err(NetlistError::ArityMismatch {
+                cell: format!("{inst} ({}) inputs", self.name),
+                expected: self.n_inputs(),
+                actual: inputs.len(),
+            });
+        }
+        if outputs.len() != self.n_outputs() {
+            return Err(NetlistError::ArityMismatch {
+                cell: format!("{inst} ({}) outputs", self.name),
+                expected: self.n_outputs(),
+                actual: outputs.len(),
+            });
+        }
+        let body = &self.body;
+        let mut map: Vec<Option<NetId>> = vec![None; body.nets().len()];
+        for (&port, &actual) in body.primary_inputs().iter().zip(inputs) {
+            map[port.index()] = Some(actual);
+        }
+        for (&port, &actual) in body.primary_outputs().iter().zip(outputs) {
+            map[port.index()] = Some(actual);
+        }
+        // Internal nets, in body id order, under stable `inst/local`
+        // names; then port caps/ties onto the actuals.
+        for id in body.net_ids() {
+            let net = body.net(id);
+            match map[id.index()] {
+                None => {
+                    let new = target.add_net(&format!("{inst}/{}", net.name))?;
+                    map[id.index()] = Some(new);
+                    if net.extra_cap != 0.0 {
+                        target.add_extra_cap(new, net.extra_cap);
+                    }
+                    if let Some(v) = net.tie {
+                        target.tie_net(new, v)?;
+                    }
+                }
+                Some(actual) => {
+                    if net.extra_cap != 0.0 {
+                        target.add_extra_cap(actual, net.extra_cap);
+                    }
+                    if let Some(v) = net.tie {
+                        target.tie_net(actual, v)?;
+                    }
+                }
+            }
+        }
+        for cell in body.cells() {
+            let ins: Vec<NetId> = cell
+                .inputs
+                .iter()
+                .map(|&n| map[n.index()].expect("every body net is mapped"))
+                .collect();
+            let out = map[cell.output.index()].expect("every body net is mapped");
+            target.add_cell(
+                &format!("{inst}/{}", cell.name),
+                cell.kind,
+                ins,
+                out,
+                cell.drive,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::logic::Logic;
+
+    fn buf_module() -> Module {
+        let mut body = Netlist::new("buf");
+        let i = body.add_net("in").unwrap();
+        let m = body.add_net("mid").unwrap();
+        let o = body.add_net("out").unwrap();
+        body.mark_primary_input(i).unwrap();
+        body.mark_primary_output(o);
+        body.add_cell("u0", CellKind::Inv, vec![i], m, 1.0).unwrap();
+        body.add_cell("u1", CellKind::Inv, vec![m], o, 1.5).unwrap();
+        body.add_extra_cap(m, 2e-15);
+        body.add_extra_cap(o, 5e-15);
+        Module::new("buf", body).unwrap()
+    }
+
+    fn chain_top(insts: &[&str]) -> Netlist {
+        let buf = buf_module();
+        let mut top = Netlist::new("top");
+        let mut prev = top.add_net("a").unwrap();
+        top.mark_primary_input(prev).unwrap();
+        for (k, inst) in insts.iter().enumerate() {
+            let next = top.add_net(&format!("w{k}")).unwrap();
+            buf.instantiate(&mut top, inst, &[prev], &[next]).unwrap();
+            prev = next;
+        }
+        top.mark_primary_output(prev);
+        top
+    }
+
+    #[test]
+    fn flattening_is_deterministic() {
+        // Same construction -> byte-identical structure, same hash.
+        let a = chain_top(&["b0", "b1"]);
+        let b = chain_top(&["b0", "b1"]);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_hierarchy() {
+        // Renaming an instance changes only hierarchical names, and
+        // that alone must change the fingerprint (cache keys must not
+        // alias across different hierarchies).
+        let a = chain_top(&["b0", "b1"]);
+        let renamed = chain_top(&["b0", "bX"]);
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let deeper = chain_top(&["b0", "b1", "b2"]);
+        assert_ne!(a.fingerprint(), deeper.fingerprint());
+    }
+
+    #[test]
+    fn instance_behaves_like_body() {
+        let top = chain_top(&["b0"]);
+        let out = top.primary_outputs()[0];
+        let v = top.evaluate(&[Logic::Zero]).unwrap();
+        assert_eq!(v[out.index()], Logic::Zero); // two inversions
+        let v = top.evaluate(&[Logic::One]).unwrap();
+        assert_eq!(v[out.index()], Logic::One);
+    }
+
+    #[test]
+    fn port_caps_land_on_actuals_and_internals_copy() {
+        let top = chain_top(&["b0"]);
+        let w0 = top.find_net("w0").unwrap();
+        assert!((top.net(w0).extra_cap - 5e-15).abs() < 1e-21);
+        let mid = top.find_net("b0/mid").unwrap();
+        assert!((top.net(mid).extra_cap - 2e-15).abs() < 1e-21);
+        // Drive strengths copy through.
+        let u1 = top
+            .cells()
+            .iter()
+            .find(|c| c.name == "b0/u1")
+            .expect("hierarchical cell name");
+        assert!((u1.drive - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_copy_into_instances() {
+        let mut body = Netlist::new("lowbit");
+        let z = body.add_net("zero").unwrap();
+        let o = body.add_net("out").unwrap();
+        body.tie_net(z, Logic::Zero).unwrap();
+        body.mark_primary_output(o);
+        body.add_cell("u", CellKind::Inv, vec![z], o, 1.0).unwrap();
+        let m = Module::new("lowbit", body).unwrap();
+        let mut top = Netlist::new("top");
+        let y = top.add_net("y").unwrap();
+        m.instantiate(&mut top, "i0", &[], &[y]).unwrap();
+        let z = top.find_net("i0/zero").unwrap();
+        assert_eq!(top.net(z).tie, Some(Logic::Zero));
+        let v = top.evaluate(&[]).unwrap();
+        assert_eq!(v[y.index()], Logic::One);
+    }
+
+    #[test]
+    fn arity_mismatches_rejected() {
+        let buf = buf_module();
+        let mut top = Netlist::new("top");
+        let a = top.add_net("a").unwrap();
+        let y = top.add_net("y").unwrap();
+        assert!(matches!(
+            buf.instantiate(&mut top, "b", &[], &[y]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            buf.instantiate(&mut top, "b", &[a], &[]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn driven_output_actual_rejected() {
+        let buf = buf_module();
+        let mut top = Netlist::new("top");
+        let a = top.add_net("a").unwrap();
+        let y = top.add_net("y").unwrap();
+        top.mark_primary_input(a).unwrap();
+        top.add_cell("g", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        assert!(matches!(
+            buf.instantiate(&mut top, "b", &[a], &[y]),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn colliding_instance_prefix_rejected() {
+        let buf = buf_module();
+        let mut top = Netlist::new("top");
+        let a = top.add_net("a").unwrap();
+        let x = top.add_net("x").unwrap();
+        let y = top.add_net("y").unwrap();
+        top.mark_primary_input(a).unwrap();
+        buf.instantiate(&mut top, "b", &[a], &[x]).unwrap();
+        assert!(matches!(
+            buf.instantiate(&mut top, "b", &[a], &[y]),
+            Err(NetlistError::DuplicateNet(_))
+        ));
+    }
+
+    #[test]
+    fn input_output_port_overlap_rejected() {
+        let mut body = Netlist::new("wire");
+        let a = body.add_net("a").unwrap();
+        body.mark_primary_input(a).unwrap();
+        body.mark_primary_output(a);
+        assert!(matches!(
+            Module::new("wire", body),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_body_rejected() {
+        let mut body = Netlist::new("loop");
+        let a = body.add_net("a").unwrap();
+        let b = body.add_net("b").unwrap();
+        body.add_cell("u0", CellKind::Inv, vec![a], b, 1.0).unwrap();
+        body.add_cell("u1", CellKind::Inv, vec![b], a, 1.0).unwrap();
+        assert!(matches!(
+            Module::new("loop", body),
+            Err(NetlistError::CombinationalLoop(_))
+        ));
+    }
+}

@@ -29,8 +29,11 @@
 //! # Ok::<(), mtk_netlist::NetlistError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cell;
 pub mod expand;
+pub mod hier;
 pub mod lint;
 pub mod logic;
 pub mod netlist;

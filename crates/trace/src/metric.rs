@@ -118,6 +118,16 @@ counter_registry! {
     /// 99th percentile of peak virtual-ground bounce across trials, in
     /// microvolts.
     McP99BounceUv => ("mc_p99_bounce_uv", Max),
+    /// Sleep clusters sized (mutually-exclusive discharge partition).
+    Clusters => ("clusters", Max),
+    /// Conflict-graph edges of the cluster partition (cell pairs that
+    /// co-discharge on at least one vector).
+    ClusterConflicts => ("cluster_conflicts", Max),
+    /// Cells folded into a conflicting cluster by the cluster cap.
+    ClusterFolds => ("cluster_folds", Max),
+    /// Co-optimisations where the single shared device used no more
+    /// total width than the clustered candidate and was returned.
+    ClusterFallbacks => ("cluster_fallbacks", Sum),
 }
 
 /// A flat, fixed-size set of every registered counter.

@@ -30,8 +30,10 @@ pub const SCHEMA_NAME: &str = "mtk-trace";
 /// `mc_p50_degr_bp`, `mc_p95_degr_bp`, `mc_p99_degr_bp`,
 /// `mc_p99_bounce_uv` and named extra histograms in the per-phase
 /// `histograms` object (the MC engine emits `mc_degradation_bp` and
-/// `mc_bounce_mv`).
-pub const SCHEMA_VERSION: u64 = 4;
+/// `mc_bounce_mv`). v5 added the cluster-sizing counters `clusters`,
+/// `cluster_conflicts`, `cluster_folds`, `cluster_fallbacks` (the
+/// cluster engine also emits a `cluster_w_over_l` extra histogram).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Per-worker sink totals of one phase — real execution costs, therefore
 /// schedule-dependent; exported only in the `timing` section.

@@ -84,9 +84,50 @@ grep -q ", 0 simulated" <<<"$mc_warm" || {
 }
 cargo run --release -p mtk-bench --bin trace_check -- "$mc_trace"
 
+echo "== mtk cluster smoke: thread invariance, never-worse gate, warm replay =="
+clu_store="$(mktemp /tmp/ci_clu_store.XXXXXX.bin)"
+clu_a="$(mktemp /tmp/ci_clu_a.XXXXXX.json)"
+clu_b="$(mktemp /tmp/ci_clu_b.XXXXXX.json)"
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$clu_store" "$clu_store.lock" "$clu_a" "$clu_b"' EXIT
+# Deterministic cluster traces must be byte-identical at any thread count.
+cargo run --release -p mtk-bench --bin mtk -- cluster examples/mul16.mtk \
+  --smoke --clusters 4 --threads 1 --trace-deterministic --trace-json "$clu_a" >/dev/null
+for t in 2 8; do
+  target/release/mtk cluster examples/mul16.mtk \
+    --smoke --clusters 4 --threads "$t" --trace-deterministic --trace-json "$clu_b" >/dev/null
+  cmp "$clu_a" "$clu_b" || { echo "ci: cluster trace differs at threads=$t"; exit 1; }
+done
+cargo run --release -p mtk-bench --bin trace_check -- "$clu_a"
+# EXT-CLUSTER width gate on the 16x16 multiplier: the returned solution
+# must use no more total sleep width than the single shared device (the
+# never-worse rule, DESIGN.md §15.3).
+clu_cold="$(target/release/mtk cluster examples/mul16.mtk \
+  --smoke --clusters 4 --threads 2 --store "$clu_store")"
+clu_summary="$(grep 'single-device W/L' <<<"$clu_cold")" || {
+  echo "ci: cluster smoke printed no never-worse summary: $clu_cold"; exit 1; }
+clu_total="$(sed -n 's/^clustered total W\/L = \([0-9.]*\).*/\1/p' <<<"$clu_summary")"
+clu_single="$(sed -n 's/.*single-device W\/L = \([0-9.]*\).*/\1/p' <<<"$clu_summary")"
+[ -n "$clu_single" ] || { echo "ci: single-device solution infeasible in cluster smoke"; exit 1; }
+if grep -q 'returned the single-device solution' <<<"$clu_summary"; then
+  clu_returned="$clu_single"
+else
+  clu_returned="$clu_total"
+fi
+awk -v r="$clu_returned" -v s="$clu_single" 'BEGIN { exit !(r <= s + 1e-9) }' || {
+  echo "ci: never-worse rule violated — returned $clu_returned vs single $clu_single"
+  exit 1
+}
+# The warm rerun must replay every evaluation from the store.
+clu_warm="$(target/release/mtk cluster examples/mul16.mtk \
+  --smoke --clusters 4 --threads 8 --store "$clu_store")"
+grep -q ", 0 simulated" <<<"$clu_warm" || {
+  echo "ci: warm cluster rerun did simulator work: $clu_warm"
+  exit 1
+}
+
 echo "== hybrid pipeline smoke (4-bit adder screen + top-2 SPICE verify) =="
 trace_json="$(mktemp /tmp/ci_trace.XXXXXX.json)"
-trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$trace_json"' EXIT
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$clu_store" "$clu_store.lock" "$clu_a" "$clu_b" "$trace_json"' EXIT
 cargo run --release -p mtk-bench --bin ext_screening -- \
   --smoke --adder-bits 4 --stride 259 --top-k 2 --threads 2 \
   --trace-json "$trace_json"
@@ -102,7 +143,7 @@ echo "== serve smoke: store-backed replay + graceful SIGTERM drain =="
 # `cargo test` (crates/store/tests/corruption.rs, tests/store_persistence.rs).
 serve_log="$(mktemp /tmp/ci_serve.XXXXXX.log)"
 serve_store="$(mktemp /tmp/ci_serve_store.XXXXXX.bin)"
-trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock"' EXIT
+trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$clu_store" "$clu_store.lock" "$clu_a" "$clu_b" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock"' EXIT
 target/release/mtk serve --addr 127.0.0.1:0 --store "$serve_store" >"$serve_log" &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -137,7 +178,7 @@ if [[ "${MTK_SKIP_BENCH:-0}" == "1" ]]; then
   echo "bench smoke skipped (MTK_SKIP_BENCH=1)"
 else
   bench_json="$(mktemp /tmp/ci_bench.XXXXXX.json)"
-  trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock" "$bench_json"' EXIT
+  trap 'rm -rf "$golden_dir" "$mtk_trace" "$mc_store" "$mc_store.lock" "$mc_trace" "$clu_store" "$clu_store.lock" "$clu_a" "$clu_b" "$trace_json" "$serve_log" "$serve_store" "$serve_store.lock" "$bench_json"' EXIT
   cargo run --release -p mtk-bench --bin speed_comparison -- \
     --no-spice --samples 3 --warmup 1 \
     --json "$bench_json" --check-against BENCH_speed.json

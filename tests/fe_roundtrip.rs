@@ -14,6 +14,8 @@ use mtcmos_suite::core::health::{FailurePolicy, FaultPlan};
 use mtcmos_suite::core::sizing::{screen_vectors_par_quarantined, Transition};
 use mtcmos_suite::core::vbsim::VbsimOptions;
 use mtcmos_suite::fe::parse_str;
+use mtcmos_suite::netlist::cell::CellKind;
+use mtcmos_suite::netlist::hier::Module;
 use mtcmos_suite::netlist::logic::bits_lsb_first;
 use mtcmos_suite::netlist::netlist::Netlist;
 use mtcmos_suite::netlist::tech::Technology;
@@ -55,6 +57,73 @@ fn golden_files_match_the_generators_and_are_fixpoints() {
             "{stem}: lint findings changed across the round trip"
         );
     }
+}
+
+/// A hierarchical source: one `module` with two instances. Must flatten
+/// to exactly what [`Module::instantiate`] builds programmatically.
+const HIER_SRC: &str = "\
+mtk 1
+module buf
+net i
+net m
+net o
+input i
+output o
+cell u0 inv i -> m
+cell u1 inv m -> o drive=2
+endmodule
+circuit top
+net a
+net x
+net y
+input a
+output y
+inst b0 buf a -> x
+inst b1 buf x -> y
+vector 0 -> 1
+end
+";
+
+#[test]
+fn hierarchical_mtk_source_matches_the_programmatic_module_expansion() {
+    let parsed = parse_str(HIER_SRC, "top.mtk").expect("hier source parses");
+
+    // The same hierarchy, built through the library API.
+    let mut body = Netlist::new("buf");
+    let i = body.add_net("i").unwrap();
+    let m = body.add_net("m").unwrap();
+    let o = body.add_net("o").unwrap();
+    body.mark_primary_input(i).unwrap();
+    body.mark_primary_output(o);
+    body.add_cell("u0", CellKind::Inv, vec![i], m, 1.0).unwrap();
+    body.add_cell("u1", CellKind::Inv, vec![m], o, 2.0).unwrap();
+    let buf = Module::new("buf", body).expect("module");
+    let mut top = Netlist::new("top");
+    let a = top.add_net("a").unwrap();
+    let x = top.add_net("x").unwrap();
+    let y = top.add_net("y").unwrap();
+    top.mark_primary_input(a).unwrap();
+    buf.instantiate(&mut top, "b0", &[a], &[x]).unwrap();
+    buf.instantiate(&mut top, "b1", &[x], &[y]).unwrap();
+    top.mark_primary_output(y);
+
+    assert_eq!(parsed.netlist, top, "parse-time flattening must agree");
+    assert_eq!(
+        parsed.netlist.fingerprint(),
+        top.fingerprint(),
+        "fingerprint identity"
+    );
+
+    // The canonical on-disk form is FLAT: writing drops the module
+    // sugar, keeps the hierarchical names, and is a fixpoint.
+    let text = parsed.to_mtk();
+    assert!(!text.contains("module"), "{text}");
+    assert!(!text.contains("inst "), "{text}");
+    assert!(text.contains("b0/u1"), "hierarchical names survive: {text}");
+    let back = parse_str(&text, "top.mtk").expect("flat form parses");
+    assert_eq!(back.netlist.fingerprint(), parsed.netlist.fingerprint());
+    assert_eq!(back.vectors, parsed.vectors, "vectors survive");
+    assert_eq!(back.to_mtk(), text, "flat canonical fixpoint");
 }
 
 /// Screens the first `n` exhaustive transitions and returns the

@@ -135,10 +135,18 @@ fn exhaustive_sample(tool: &str) -> TraceReport {
     let mut bounce = mtcmos_suite::trace::Histogram::new();
     bounce.record(48);
     mc.extra_histograms.push(("mc_bounce_mv".into(), bounce));
+    let mut cluster = PhaseTrace::new("cluster").with_wall(0.1);
+    cluster.counters.add(CounterId::Clusters, 4);
+    let mut widths = mtcmos_suite::trace::Histogram::new();
+    widths.record(23);
+    cluster
+        .extra_histograms
+        .push(("cluster_w_over_l".into(), widths));
     let mut report = TraceReport::new(tool);
     report.push_phase(screen);
     report.push_phase(verify);
     report.push_phase(mc);
+    report.push_phase(cluster);
     report.spans.push(Span {
         name: "run".into(),
         wall_s: 1.25,
@@ -151,11 +159,11 @@ fn exhaustive_sample(tool: &str) -> TraceReport {
     report
 }
 
-/// Every key path of schema v4, spelled out by hand. Adding, removing or
+/// Every key path of schema v5, spelled out by hand. Adding, removing or
 /// renaming any key changes this set; doing so without bumping
 /// [`SCHEMA_VERSION`] (and updating this golden list) is a contract
 /// violation.
-fn golden_v4_paths() -> BTreeSet<String> {
+fn golden_v5_paths() -> BTreeSet<String> {
     let counters = [
         "items",
         "completed",
@@ -185,6 +193,10 @@ fn golden_v4_paths() -> BTreeSet<String> {
         "mc_p95_degr_bp",
         "mc_p99_degr_bp",
         "mc_p99_bounce_uv",
+        "clusters",
+        "cluster_conflicts",
+        "cluster_folds",
+        "cluster_fallbacks",
     ];
     let mut golden: BTreeSet<String> = [
         "schema",
@@ -208,6 +220,10 @@ fn golden_v4_paths() -> BTreeSet<String> {
         "phases[].histograms.mc_bounce_mv.count",
         "phases[].histograms.mc_bounce_mv.sum",
         "phases[].histograms.mc_bounce_mv.buckets",
+        "phases[].histograms.cluster_w_over_l",
+        "phases[].histograms.cluster_w_over_l.count",
+        "phases[].histograms.cluster_w_over_l.sum",
+        "phases[].histograms.cluster_w_over_l.buckets",
         "phases[].quarantined",
         "totals",
         "totals.counters",
@@ -241,18 +257,18 @@ fn golden_v4_paths() -> BTreeSet<String> {
 #[test]
 fn golden_schema_pins_every_key_path_to_the_version() {
     assert_eq!(
-        SCHEMA_VERSION, 4,
-        "SCHEMA_VERSION changed: regenerate golden_v4_paths() for the new \
+        SCHEMA_VERSION, 5,
+        "SCHEMA_VERSION changed: regenerate golden_v5_paths() for the new \
          schema and rename this test's golden set"
     );
     let report = exhaustive_sample("golden");
     let full = paths_of(&report.to_json(TraceMode::Full));
-    let golden = golden_v4_paths();
+    let golden = golden_v5_paths();
     let missing: Vec<_> = golden.difference(&full).collect();
     let extra: Vec<_> = full.difference(&golden).collect();
     assert!(
         missing.is_empty() && extra.is_empty(),
-        "schema v4 key paths drifted without a version bump.\n\
+        "schema v5 key paths drifted without a version bump.\n\
          missing from output: {missing:?}\nnot in golden set: {extra:?}"
     );
     // Deterministic mode is exactly the golden set minus the timing tree.
