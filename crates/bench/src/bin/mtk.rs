@@ -39,6 +39,22 @@
 //! * `mtk gen [--list | --all [--dir D] | <stem>]` — export the
 //!   built-in generators as golden `.mtk` files (the `examples/`
 //!   directory; CI regenerates and diffs them).
+//! * `mtk export <file.mtk>` — serialize the transistor-level expansion
+//!   as a SPICE deck with embedded `* mtk:` hints (`--w-over-l`,
+//!   `--cmos` for no footer, `--out PATH`). Importing the result
+//!   reproduces the design byte-exactly.
+//! * `mtk import <file.ckt>` — read a SPICE deck (subcircuits are
+//!   flattened), recover the gate-level design by structural
+//!   recognition, and print/write canonical `.mtk` (`--out PATH`,
+//!   `--tech PRESET` for hint-less decks). When recognition fails the
+//!   command reports the reason and — with `--raw PATH` — still runs a
+//!   SPICE-only transient and writes the rawfile; otherwise exits 1.
+//!
+//! `sta`, `screen`, `size` and `hybrid` take `--raw PATH` / `--vcd
+//! PATH` to export deterministic waveforms of the most interesting
+//! vector (the worst-ranked one where a ranking exists): a binary SPICE
+//! rawfile from a transistor-level transient, a VCD dump from the
+//! switch-level run.
 //!
 //! Vector sourcing for `screen`/`size`/`hybrid`, in precedence order:
 //! `vector` lines from the file; the exhaustive transition space when
@@ -71,16 +87,18 @@ use mtk_core::sizing::{
 };
 use mtk_core::sta::Sta;
 use mtk_core::vbsim::{Engine, VbsimOptions};
+use mtk_fe::interop::{export_deck, import_deck, Imported};
 use mtk_fe::Design;
-use mtk_trace::{PhaseTrace, SpanRecorder, TraceReport};
+use mtk_trace::{CounterId, PhaseTrace, SpanRecorder, TraceReport};
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mtk <lint|sta|screen|size|cluster|hybrid|mc> <file.mtk> [flags]\n\
+        "usage: mtk <lint|sta|screen|size|cluster|hybrid|mc|export> <file.mtk> [flags]\n\
+         \x20      mtk import <file.ckt> [--out F] [--tech PRESET] [--raw F]\n\
          \x20      mtk gen [--list | --all [--dir D] | <stem>]\n\
          \x20      mtk serve [--addr H:P] [--store PATH] [--threads N] [--job-slots N]\n\
-         \x20      mtk client <host:port> <status|shutdown|screen|size|cluster|hybrid> [file.mtk] [flags]\n\
+         \x20      mtk client <host:port> <status|shutdown|import|screen|size|cluster|hybrid> [file] [flags]\n\
          run `mtk` on a .mtk netlist; grammar and flags in DESIGN.md §11, protocol in §13"
     );
     std::process::exit(2);
@@ -103,6 +121,9 @@ fn main() {
     if cmd == "client" {
         return cmd_client(&args[2..]);
     }
+    if cmd == "import" {
+        return cmd_import(&args[2..]);
+    }
     let path = match args.get(2) {
         Some(p) if !p.starts_with("--") => p.clone(),
         _ => usage(),
@@ -116,6 +137,7 @@ fn main() {
         "cluster" => cmd_cluster(&design),
         "hybrid" => cmd_hybrid(&design),
         "mc" => cmd_mc(&design),
+        "export" => cmd_export(&design),
         _ => usage(),
     }
 }
@@ -186,6 +208,84 @@ fn cmd_sta(design: &Design) {
             })
             .collect::<Vec<_>>(),
     );
+    if str_flag("--raw").is_some() || str_flag("--vcd").is_some() {
+        let (transitions, _) = transitions_of(design);
+        export_waves(
+            design,
+            transitions.first(),
+            Some(f64_flag("--w-over-l", 10.0)),
+        );
+    }
+}
+
+/// Handles `--raw PATH` / `--vcd PATH` on the flow commands: one
+/// deterministic waveform export of the given transition — a binary
+/// rawfile from a transistor-level transient, a VCD dump from a
+/// switch-level run. Returns `(raw points, vcd changes)` written, for
+/// the trace counters.
+fn export_waves(design: &Design, tr: Option<&Transition>, w_over_l: Option<f64>) -> (u64, u64) {
+    let raw_path = str_flag("--raw");
+    let vcd_path = str_flag("--vcd");
+    if raw_path.is_none() && vcd_path.is_none() {
+        return (0, 0);
+    }
+    let Some(tr) = tr else {
+        eprintln!("warning: no transition to export waveforms for");
+        return (0, 0);
+    };
+    let mut raw_points = 0u64;
+    let mut vcd_changes = 0u64;
+    if let Some(path) = raw_path {
+        let cfg = SpiceRunConfig::window(f64_flag("--t-stop", 80e-9));
+        let raw = match mtk_bench::wave::raw_from_transition(design, tr, w_over_l, &cfg) {
+            Ok(r) => r,
+            Err(e) => die(format!("--raw: {e}")),
+        };
+        let bytes = match raw.to_bytes() {
+            Ok(b) => b,
+            Err(e) => die(format!("--raw: {e}")),
+        };
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            die(format!("--raw {path}: {e}"));
+        }
+        raw_points = raw.points() as u64;
+        println!(
+            "wrote {path}: {} variable(s), {} point(s)",
+            raw.variables.len(),
+            raw.points()
+        );
+    }
+    if let Some(path) = vcd_path {
+        let opts = match w_over_l {
+            Some(w) => VbsimOptions::mtcmos(w),
+            None => VbsimOptions::cmos(),
+        };
+        let engine = Engine::new(&design.netlist, &design.tech);
+        let run = match engine.run(&tr.from, &tr.to, &opts) {
+            Ok(r) => r,
+            Err(e) => die(format!("--vcd: {e}")),
+        };
+        let vcd = mtk_bench::wave::vcd_from_run(design, &run);
+        let text = match vcd.render() {
+            Ok(t) => t,
+            Err(e) => die(format!("--vcd: {e}")),
+        };
+        if let Err(e) = std::fs::write(&path, text) {
+            die(format!("--vcd {path}: {e}"));
+        }
+        vcd_changes = (vcd.initial.len() + vcd.changes.len()) as u64;
+        println!(
+            "wrote {path}: {} signal(s), {vcd_changes} change(s)",
+            vcd.signals.len()
+        );
+    }
+    (raw_points, vcd_changes)
+}
+
+/// Adds the waveform-export counters to a trace phase.
+fn count_waves(phase: &mut PhaseTrace, raw_points: u64, vcd_changes: u64) {
+    phase.counters.add(CounterId::WaveRawPoints, raw_points);
+    phase.counters.add(CounterId::WaveVcdChanges, vcd_changes);
 }
 
 /// The transitions a flow command runs, per the documented precedence,
@@ -248,7 +348,14 @@ fn cmd_screen(design: &Design) {
             })
             .collect::<Vec<_>>(),
     );
-    trace.push_phase(report.to_phase("screen"));
+    let worst = screened
+        .first()
+        .map(|e| &transitions[e.index])
+        .or_else(|| transitions.first());
+    let (rp, vc) = export_waves(design, worst, Some(w_over_l));
+    let mut phase = report.to_phase("screen");
+    count_waves(&mut phase, rp, vc);
+    trace.push_phase(phase);
     trace.spans = spans.finish();
     emit_trace(&trace);
 }
@@ -303,9 +410,11 @@ fn cmd_size(design: &Design) {
             snap.store_hits, snap.misses
         );
     }
+    let (rp, vc) = export_waves(design, transitions.first(), Some(w_over_l));
     let mut trace = TraceReport::new("mtk_size");
     let mut phase = PhaseTrace::new("size").with_wall(wall);
     phase.counters = health.counters();
+    count_waves(&mut phase, rp, vc);
     trace.push_phase(phase);
     emit_trace(&trace);
 }
@@ -475,7 +584,18 @@ fn cmd_hybrid(design: &Design) {
             })
             .collect::<Vec<_>>(),
     );
+    let worst = report
+        .findings
+        .first()
+        .map(|f| &transitions[f.index])
+        .or_else(|| transitions.first());
+    let (rp, vc) = export_waves(design, worst, Some(w_over_l));
     let mut trace = report.to_trace("mtk_hybrid");
+    if rp + vc > 0 {
+        let mut phase = PhaseTrace::new("wave");
+        count_waves(&mut phase, rp, vc);
+        trace.push_phase(phase);
+    }
     if let Some((_, phase)) = cluster_phase {
         trace.push_phase(phase);
     }
@@ -641,6 +761,146 @@ fn cmd_gen(rest: &[String]) {
     }
 }
 
+/// `mtk export`: serialize the transistor-level expansion of a `.mtk`
+/// design as a SPICE deck with embedded `* mtk:` hint comments, so the
+/// deck re-imports byte-exactly (`mtk import` reproduces the canonical
+/// `.mtk`). `--w-over-l` sizes the footer, `--cmos` omits it, `--out`
+/// writes a file instead of stdout.
+fn cmd_export(design: &Design) {
+    warn_lint(design);
+    let sleep = if bool_flag("--cmos") {
+        None
+    } else {
+        Some(f64_flag("--w-over-l", 10.0))
+    };
+    let deck = match export_deck(design, sleep) {
+        Ok(d) => d,
+        Err(e) => die(e),
+    };
+    match str_flag("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &deck) {
+                die(format!("--out {path}: {e}"));
+            }
+            println!("wrote {path}: {} line(s)", deck.lines().count());
+        }
+        None => print!("{deck}"),
+    }
+}
+
+/// `mtk import`: parse a SPICE deck (flattening subcircuits), recover
+/// the gate-level design by structural recognition, and emit canonical
+/// `.mtk`. Falls back to SPICE-only analysis when recognition fails:
+/// the reason is reported, `--raw PATH` still runs a transient on the
+/// raw circuit and writes the rawfile, and without `--raw` the exit
+/// code is 1.
+fn cmd_import(rest: &[String]) {
+    let path = match rest.first() {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => usage(),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => die(format!("{path}: {e}")),
+    };
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("imported")
+        .to_string();
+    let tech_name = str_flag("--tech").unwrap_or_else(|| "l07".to_string());
+    let tech = match mtk_netlist::tech::Technology::preset(&tech_name) {
+        Some(t) => t,
+        None => die(format!("--tech: unknown preset `{tech_name}`")),
+    };
+    let imported = match import_deck(&text, &name, &tech) {
+        Ok(i) => i,
+        Err(e) => die(e),
+    };
+    let stats = imported.stats().clone();
+    let mut trace = TraceReport::new("mtk_import");
+    let mut phase = PhaseTrace::new("import");
+    phase
+        .counters
+        .add(CounterId::ImportCards, stats.deck.cards as u64);
+    phase.counters.add(
+        CounterId::ImportSubcktsFlattened,
+        stats.deck.instances_flattened as u64,
+    );
+    phase.counters.add(
+        CounterId::ImportGatesRecognized,
+        stats.cells_recognized as u64,
+    );
+    phase
+        .counters
+        .add(CounterId::ImportFallbacks, stats.fallback as u64);
+    match imported {
+        Imported::Design {
+            design,
+            sleep_w_over_l,
+            ..
+        } => {
+            eprintln!(
+                "{path}: {} card(s), {} subckt instance(s) flattened (depth {}), {} gate(s) recognized{}",
+                stats.deck.cards,
+                stats.deck.instances_flattened,
+                stats.deck.max_instance_depth,
+                stats.cells_recognized,
+                sleep_w_over_l
+                    .map(|w| format!(", sleep W/L={w}"))
+                    .unwrap_or_default()
+            );
+            let mtk = design.to_mtk();
+            match str_flag("--out") {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(&out, &mtk) {
+                        die(format!("--out {out}: {e}"));
+                    }
+                    println!("wrote {out}: {} line(s)", mtk.lines().count());
+                }
+                None => print!("{mtk}"),
+            }
+            trace.push_phase(phase);
+            emit_trace(&trace);
+        }
+        Imported::SpiceOnly {
+            circuit, reason, ..
+        } => {
+            eprintln!("{path}: gate recognition failed ({reason}); SPICE-only analysis available");
+            let raw_path = str_flag("--raw");
+            let fell_through = raw_path.is_none();
+            if let Some(out) = raw_path {
+                let opts = mtk_spice::tran::TranOptions::to(f64_flag("--t-stop", 80e-9));
+                let result = match mtk_spice::tran::transient(&circuit, &opts) {
+                    Ok(r) => r,
+                    Err(e) => die(format!("--raw: {e}")),
+                };
+                let raw = mtk_bench::wave::raw_from_tran(&result, &name);
+                phase
+                    .counters
+                    .add(CounterId::WaveRawPoints, raw.points() as u64);
+                let bytes = match raw.to_bytes() {
+                    Ok(b) => b,
+                    Err(e) => die(format!("--raw: {e}")),
+                };
+                if let Err(e) = std::fs::write(&out, &bytes) {
+                    die(format!("--raw {out}: {e}"));
+                }
+                println!(
+                    "wrote {out}: {} variable(s), {} point(s)",
+                    raw.variables.len(),
+                    raw.points()
+                );
+            }
+            trace.push_phase(phase);
+            emit_trace(&trace);
+            if fell_through {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Drain flag set by the SIGTERM handler; polled by a watcher thread
 /// (the handler itself must stay async-signal-safe: one atomic store).
 static TERM_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
@@ -727,6 +987,24 @@ fn cmd_client(rest: &[String]) {
     };
     let line = match cmd {
         "status" | "shutdown" => format!("{{\"cmd\":\"{cmd}\"}}"),
+        "import" => {
+            let path = match rest.get(2) {
+                Some(p) if !p.starts_with("--") => p,
+                _ => usage(),
+            };
+            let deck = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => die(format!("{path}: {e}")),
+            };
+            mtk_trace::json::JsonValue::Object(vec![
+                (
+                    "cmd".to_string(),
+                    mtk_trace::json::JsonValue::String("import".to_string()),
+                ),
+                ("deck".to_string(), mtk_trace::json::JsonValue::String(deck)),
+            ])
+            .to_compact()
+        }
         "screen" | "size" | "cluster" | "hybrid" => {
             let path = match rest.get(2) {
                 Some(p) if !p.starts_with("--") => p,

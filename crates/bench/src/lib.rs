@@ -13,6 +13,7 @@ pub mod serve;
 pub mod speedfile;
 pub mod stats;
 pub mod timing;
+pub mod wave;
 
 use mtk_circuits::vectors::VectorPair;
 use mtk_core::sizing::Transition;

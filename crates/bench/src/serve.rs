@@ -10,6 +10,9 @@
 //!   ...}` — run a job. Optional numeric fields: `threads`, `w_over_l`,
 //!   `top_k`, `target`, `lo`, `hi`, `stride`, `samples`, `top`,
 //!   `clusters`.
+//! * `{"cmd":"import","deck":"<SPICE text>"}` — standard-format import:
+//!   flatten subcircuits, recognize gates, return canonical `.mtk` (or
+//!   `recognized:false` with the reason — the SPICE-only fallback).
 //! * `{"cmd":"status"}` — health snapshot: serve counters as a schema-v3
 //!   trace report, cache occupancy, store stats, connection gauges.
 //! * `{"cmd":"shutdown"}` — begin a graceful drain.
@@ -415,13 +418,66 @@ fn handle_request(state: &Arc<ServerState>, line: &str) -> (String, bool) {
                 }
             }
         }
+        Some("import") => (handle_import(state, &request), false),
         _ => {
             state.count(CounterId::RequestsRejected, 1);
             (
-                error_line("unknown cmd (want screen|size|cluster|hybrid|status|shutdown)"),
+                error_line("unknown cmd (want import|screen|size|cluster|hybrid|status|shutdown)"),
                 false,
             )
         }
+    }
+}
+
+/// `{"cmd":"import","deck":"<SPICE text>"}` — run the standard-format
+/// importer on a deck: subcircuits are flattened, gates recovered by
+/// structural recognition. Responds
+/// `{"status":"ok","recognized":true,"mtk":"<canonical .mtk>","gates":N}`
+/// on success and `{"status":"ok","recognized":false,"reason":"…"}`
+/// when the deck parses but is not a recognizable gate netlist (the
+/// SPICE-only fallback — not an error). Deck parse failures and a
+/// missing `deck` field are errors and count as rejected requests.
+fn handle_import(state: &Arc<ServerState>, request: &JsonValue) -> String {
+    let Some(text) = request.get("deck").and_then(JsonValue::as_str) else {
+        state.count(CounterId::RequestsRejected, 1);
+        return error_line("missing `deck` (the SPICE netlist text)");
+    };
+    let tech = mtk_netlist::tech::Technology::l07();
+    let imported = match mtk_fe::interop::import_deck(text, "<request>", &tech) {
+        Ok(i) => i,
+        Err(e) => {
+            state.count(CounterId::RequestsRejected, 1);
+            return error_line(&e.to_string());
+        }
+    };
+    let stats = imported.stats();
+    state.count(CounterId::ImportCards, stats.deck.cards as u64);
+    state.count(
+        CounterId::ImportSubcktsFlattened,
+        stats.deck.instances_flattened as u64,
+    );
+    state.count(
+        CounterId::ImportGatesRecognized,
+        stats.cells_recognized as u64,
+    );
+    state.count(CounterId::ImportFallbacks, stats.fallback as u64);
+    match imported {
+        mtk_fe::interop::Imported::Design { design, stats, .. } => JsonValue::Object(vec![
+            ("status".into(), JsonValue::String("ok".into())),
+            ("recognized".into(), JsonValue::Bool(true)),
+            ("mtk".into(), JsonValue::String(design.to_mtk())),
+            (
+                "gates".into(),
+                JsonValue::Number(stats.cells_recognized as f64),
+            ),
+        ])
+        .to_compact(),
+        mtk_fe::interop::Imported::SpiceOnly { reason, .. } => JsonValue::Object(vec![
+            ("status".into(), JsonValue::String("ok".into())),
+            ("recognized".into(), JsonValue::Bool(false)),
+            ("reason".into(), JsonValue::String(reason)),
+        ])
+        .to_compact(),
     }
 }
 

@@ -183,7 +183,13 @@ fn deterministic_screen_trace_is_byte_identical_across_threads() {
 fn gen_reproduces_the_checked_in_goldens() {
     let out = mtk(&["gen", "--list"]);
     assert_eq!(out.status.code(), Some(0));
-    let stems: Vec<String> = stdout(&out).lines().map(str::to_string).collect();
+    // Each `--list` line is `<stem>  <description>`; the stem is the
+    // first whitespace-separated token.
+    let stems: Vec<String> = stdout(&out)
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
     assert!(stems.contains(&"adder3".to_string()));
     for stem in &stems {
         let out = mtk(&["gen", stem]);

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod interop;
 pub mod parse;
 pub mod write;
 

@@ -1,0 +1,787 @@
+//! Structural gate recognition: transistor-level [`Circuit`] →
+//! gate-level cells.
+//!
+//! This is the inverse of [`crate::expand`]: given a flat circuit (for
+//! example one imported from a SPICE deck), identify the static-CMOS
+//! pull-up/pull-down pairs and the optional high-V<sub>t</sub> footer
+//! sleep device, and map them back onto [`CellKind`] templates so the
+//! deck can run the whole gate-level pipeline.
+//!
+//! Recognition is purely structural — device names never influence the
+//! result (they only seed the recovered cell *names*):
+//!
+//! 1. **Rails.** `vdd` is the unique body node of the PMOS devices and
+//!    must be driven by a DC source. A DC-driven node whose fanout is
+//!    only NMOS *gates* (every logic input also gates a PMOS in a
+//!    complementary cell, so this is exclusive to the footer) marks the
+//!    sleep control; the footer's drain is the virtual-ground rail.
+//!    Without a footer the pull-downs return to real ground.
+//! 2. **Outputs.** A node touched by both PMOS and NMOS channel
+//!    terminals is a cell output. Source-driven nodes that are neither
+//!    rails nor sleep control are the primary inputs, in device order.
+//! 3. **Networks.** From each output, the PMOS channel subgraph up to
+//!    `vdd` and the NMOS channel subgraph down to the rail are reduced
+//!    series-parallel and unified against every [`CellKind`]'s
+//!    `pun()`/`pdn()` templates with one shared input binding
+//!    (backtracking over parallel-branch permutations; bindings may be
+//!    non-injective, which the mirror-adder templates require).
+//! 4. **Coverage.** Every MOSFET must be consumed by exactly one cell
+//!    (or be the footer); leftover devices fail recognition.
+//!
+//! Failure is a policy outcome, not a panic: [`recognize`] returns a
+//! [`RecognitionError`] naming the first obstruction so importers can
+//! fall back to direct SPICE-only analysis and count the event.
+
+use crate::cell::{CellKind, Network};
+use crate::tech::Technology;
+use mtk_spice::circuit::{Circuit, DeviceKind, NodeId};
+use mtk_spice::mos::Polarity;
+use mtk_spice::source::SourceWave;
+use std::collections::HashMap;
+
+/// Why recognition gave up. The message names the first obstruction;
+/// callers treat any value as "fall back to SPICE-only analysis".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecognitionError(pub String);
+
+impl std::fmt::Display for RecognitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gate recognition failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecognitionError {}
+
+type RecResult<T> = Result<T, RecognitionError>;
+
+fn bail<T>(msg: String) -> RecResult<T> {
+    Err(RecognitionError(msg))
+}
+
+/// One recognized static-CMOS cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecognizedCell {
+    /// Recovered name (longest common device-name prefix, or `g<id>`).
+    pub name: String,
+    /// Matched template.
+    pub kind: CellKind,
+    /// Gate nodes in template input order (length `kind.n_inputs()`).
+    pub inputs: Vec<NodeId>,
+    /// Output node.
+    pub output: NodeId,
+    /// Drive strength: NMOS width over `tech.unit_wn`.
+    pub drive: f64,
+    /// Lowest device index in the cell — recognition orders cells by
+    /// this, which reproduces the original emission order.
+    pub first_device: usize,
+}
+
+/// The full recognition result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecognizedCircuit {
+    /// The V<sub>dd</sub> rail node.
+    pub vdd_node: NodeId,
+    /// Supply voltage of the rail's DC source.
+    pub vdd: f64,
+    /// Footer sleep transistor W/L, when present.
+    pub sleep_w_over_l: Option<f64>,
+    /// Virtual-ground rail (only with a footer).
+    pub vgnd_node: Option<NodeId>,
+    /// Recognized cells, ordered by first device index.
+    pub cells: Vec<RecognizedCell>,
+    /// Primary-input `(source name, driven node)` pairs, in device
+    /// order.
+    pub inputs: Vec<(String, NodeId)>,
+}
+
+/// A series-parallel tree over device indices, oriented top → bottom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SpTree {
+    Leaf(usize),
+    Series(Vec<SpTree>),
+    Parallel(Vec<SpTree>),
+}
+
+impl SpTree {
+    /// Reverses orientation: series order flips recursively, parallel
+    /// branches and leaves are direction-free.
+    fn reversed(self) -> SpTree {
+        match self {
+            SpTree::Leaf(d) => SpTree::Leaf(d),
+            SpTree::Series(mut parts) => {
+                parts.reverse();
+                SpTree::Series(parts.into_iter().map(SpTree::reversed).collect())
+            }
+            SpTree::Parallel(parts) => {
+                SpTree::Parallel(parts.into_iter().map(SpTree::reversed).collect())
+            }
+        }
+    }
+
+    /// Flattens nested same-type nodes (`Series[Series[a,b],c]` →
+    /// `Series[a,b,c]`), matching the shape of the cell templates.
+    fn flattened(self) -> SpTree {
+        match self {
+            SpTree::Leaf(d) => SpTree::Leaf(d),
+            SpTree::Series(parts) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    match p.flattened() {
+                        SpTree::Series(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                if out.len() == 1 {
+                    out.pop().expect("len checked")
+                } else {
+                    SpTree::Series(out)
+                }
+            }
+            SpTree::Parallel(parts) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    match p.flattened() {
+                        SpTree::Parallel(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                if out.len() == 1 {
+                    out.pop().expect("len checked")
+                } else {
+                    SpTree::Parallel(out)
+                }
+            }
+        }
+    }
+}
+
+/// One channel edge of the subgraph under reduction.
+struct SpEdge {
+    a: NodeId,
+    b: NodeId,
+    /// SP structure read from `a` to `b`.
+    tree: SpTree,
+}
+
+/// Reduces a two-terminal channel subgraph to a single SP tree oriented
+/// `top` → `bottom`. Fails on non-series-parallel topologies
+/// (transmission gates, bridges).
+fn sp_reduce(mut edges: Vec<SpEdge>, top: NodeId, bottom: NodeId) -> RecResult<SpTree> {
+    if top == bottom {
+        return bail("network terminals coincide".into());
+    }
+    loop {
+        // Parallel step: merge edge groups sharing both endpoints.
+        let mut merged = false;
+        let mut i = 0;
+        while i < edges.len() {
+            let mut j = i + 1;
+            while j < edges.len() {
+                let same = (edges[i].a == edges[j].a && edges[i].b == edges[j].b)
+                    || (edges[i].a == edges[j].b && edges[i].b == edges[j].a);
+                if same {
+                    let e = edges.remove(j);
+                    let e_tree = if e.a == edges[i].a {
+                        e.tree
+                    } else {
+                        e.tree.reversed()
+                    };
+                    let prev = std::mem::replace(&mut edges[i].tree, SpTree::Series(vec![]));
+                    edges[i].tree = SpTree::Parallel(vec![prev, e_tree]);
+                    merged = true;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+        // Series step: contract an internal node of degree 2.
+        let mut contracted = false;
+        let mut degree: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (k, e) in edges.iter().enumerate() {
+            degree.entry(e.a).or_default().push(k);
+            degree.entry(e.b).or_default().push(k);
+        }
+        let candidate = degree
+            .iter()
+            .filter(|(n, inc)| **n != top && **n != bottom && inc.len() == 2 && inc[0] != inc[1])
+            // Deterministic choice independent of hash order.
+            .min_by_key(|(n, _)| n.index())
+            .map(|(n, inc)| (*n, inc.clone()));
+        if let Some((v, inc)) = candidate {
+            let (k1, k2) = (inc[0], inc[1]);
+            let (lo, hi) = (k1.min(k2), k1.max(k2));
+            let e2 = edges.remove(hi);
+            let e1 = edges.remove(lo);
+            // Orient e1 into v and e2 out of v.
+            let (u, t1) = if e1.b == v {
+                (e1.a, e1.tree)
+            } else {
+                (e1.b, e1.tree.reversed())
+            };
+            let (w, t2) = if e2.a == v {
+                (e2.b, e2.tree)
+            } else {
+                (e2.a, e2.tree.reversed())
+            };
+            edges.push(SpEdge {
+                a: u,
+                b: w,
+                tree: SpTree::Series(vec![t1, t2]),
+            });
+            contracted = true;
+        }
+        if edges.len() == 1 && edges[0].a != edges[0].b {
+            let e = edges.pop().expect("len checked");
+            let tree = if e.a == top {
+                e.tree
+            } else {
+                e.tree.reversed()
+            };
+            return Ok(tree.flattened());
+        }
+        if !merged && !contracted {
+            return bail("network is not series-parallel".into());
+        }
+    }
+}
+
+/// Converts a [`Network`] template to the same tree shape for matching.
+fn template_tree(net: &Network) -> TemplateTree {
+    match net {
+        Network::T(i) => TemplateTree::Leaf(*i),
+        Network::Series(parts) => TemplateTree::Series(parts.iter().map(template_tree).collect()),
+        Network::Parallel(parts) => {
+            TemplateTree::Parallel(parts.iter().map(template_tree).collect())
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TemplateTree {
+    Leaf(usize),
+    Series(Vec<TemplateTree>),
+    Parallel(Vec<TemplateTree>),
+}
+
+impl TemplateTree {
+    fn leaf_count(&self) -> usize {
+        match self {
+            TemplateTree::Leaf(_) => 1,
+            TemplateTree::Series(p) | TemplateTree::Parallel(p) => {
+                p.iter().map(TemplateTree::leaf_count).sum()
+            }
+        }
+    }
+}
+
+/// Unifies a template against an SP tree, extending `binding`
+/// (template input index → gate node). Series children match in order;
+/// parallel children are matched over permutations by backtracking.
+fn unify(
+    tmpl: &TemplateTree,
+    sp: &SpTree,
+    gate_of: &dyn Fn(usize) -> NodeId,
+    binding: &mut HashMap<usize, NodeId>,
+) -> bool {
+    match (tmpl, sp) {
+        (TemplateTree::Leaf(i), SpTree::Leaf(dev)) => {
+            let g = gate_of(*dev);
+            match binding.get(i) {
+                Some(&have) => have == g,
+                None => {
+                    binding.insert(*i, g);
+                    true
+                }
+            }
+        }
+        (TemplateTree::Series(ts), SpTree::Series(ss)) if ts.len() == ss.len() => ts
+            .iter()
+            .zip(ss)
+            .all(|(t, s)| unify(t, s, gate_of, binding)),
+        (TemplateTree::Parallel(ts), SpTree::Parallel(ss)) if ts.len() == ss.len() => {
+            permute_match(ts, ss, &mut vec![false; ss.len()], gate_of, binding)
+        }
+        _ => false,
+    }
+}
+
+/// Backtracking assignment of parallel template branches to SP
+/// branches.
+fn permute_match(
+    ts: &[TemplateTree],
+    ss: &[SpTree],
+    used: &mut Vec<bool>,
+    gate_of: &dyn Fn(usize) -> NodeId,
+    binding: &mut HashMap<usize, NodeId>,
+) -> bool {
+    let Some((t, rest)) = ts.split_first() else {
+        return true;
+    };
+    for (k, s) in ss.iter().enumerate() {
+        if used[k] {
+            continue;
+        }
+        let saved = binding.clone();
+        used[k] = true;
+        if unify(t, s, gate_of, binding) && permute_match(rest, ss, used, gate_of, binding) {
+            return true;
+        }
+        used[k] = false;
+        *binding = saved;
+    }
+    false
+}
+
+/// Longest common prefix of the cell's device names with the trailing
+/// `_p…`/`_n…` emission suffix removed — recovers the exporter's cell
+/// name; unnameable cells get `g<first device index>`.
+fn cell_name(names: &[&str], first_device: usize) -> String {
+    let mut prefix = names.first().map_or("", |n| n).to_string();
+    for n in &names[1..] {
+        let common = prefix
+            .chars()
+            .zip(n.chars())
+            .take_while(|(a, b)| a == b)
+            .count();
+        prefix.truncate(
+            prefix
+                .char_indices()
+                .nth(common)
+                .map_or(prefix.len(), |(i, _)| i),
+        );
+    }
+    let trimmed = prefix.trim_end_matches('_');
+    if trimmed.is_empty() || trimmed.len() == prefix.len() {
+        // No `_p`/`_n` seam — foreign naming; synthesize.
+        format!("g{first_device}")
+    } else {
+        trimmed.to_string()
+    }
+}
+
+struct Mos {
+    dev: usize,
+    name: String,
+    d: NodeId,
+    g: NodeId,
+    s: NodeId,
+    polarity: Polarity,
+    w_over_l: f64,
+}
+
+/// Recognizes the static-CMOS structure of `circuit`.
+///
+/// # Errors
+///
+/// [`RecognitionError`] naming the first obstruction (no rails, a
+/// non-series-parallel network, an unconsumed device, a width that is
+/// not a whole multiple of the technology's unit widths, …).
+pub fn recognize(circuit: &Circuit, tech: &Technology) -> RecResult<RecognizedCircuit> {
+    let mut mosfets: Vec<Mos> = Vec::new();
+    let mut dc_sources: Vec<(usize, String, NodeId, f64)> = Vec::new();
+    let mut all_sources: Vec<(usize, String, NodeId)> = Vec::new();
+    for (dev, d) in circuit.devices().iter().enumerate() {
+        match &d.kind {
+            DeviceKind::Mosfet {
+                d: dd,
+                g,
+                s,
+                b: _,
+                model,
+                w_over_l,
+            } => {
+                mosfets.push(Mos {
+                    dev,
+                    name: d.name.clone(),
+                    d: *dd,
+                    g: *g,
+                    s: *s,
+                    polarity: circuit.model(*model).polarity,
+                    w_over_l: *w_over_l,
+                });
+            }
+            DeviceKind::Vsource { pos, neg, wave } => {
+                if !neg.is_ground() {
+                    return bail(format!("source '{}' not ground-referenced", d.name));
+                }
+                if let SourceWave::Dc(v) = wave {
+                    dc_sources.push((dev, d.name.clone(), *pos, *v));
+                }
+                all_sources.push((dev, d.name.clone(), *pos));
+            }
+            // Caps are parasitics, resistors/current sources have no
+            // place in a recognizable static-CMOS block.
+            DeviceKind::Capacitor { .. } => {}
+            DeviceKind::Resistor { .. } | DeviceKind::Isource { .. } => {
+                return bail(format!("unsupported device '{}' for recognition", d.name));
+            }
+        }
+    }
+    if mosfets.is_empty() {
+        return bail("no MOSFETs".into());
+    }
+
+    // Rail 1: vdd = the unique PMOS body node, DC-driven.
+    let mut vdd_node: Option<NodeId> = None;
+    for (dev, d) in circuit.devices().iter().enumerate() {
+        if let DeviceKind::Mosfet { b, model, .. } = &d.kind {
+            if circuit.model(*model).polarity == Polarity::Pmos {
+                match vdd_node {
+                    None => vdd_node = Some(*b),
+                    Some(have) if have != *b => {
+                        return bail(format!(
+                            "PMOS bodies disagree on the vdd rail (device #{dev})"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    let Some(vdd_node) = vdd_node else {
+        return bail("no PMOS devices — nothing to recognize".into());
+    };
+    let Some(&(_, _, _, vdd_volts)) = dc_sources.iter().find(|&&(_, _, n, _)| n == vdd_node) else {
+        return bail("vdd rail has no DC source".into());
+    };
+
+    // Node → incident channel edges, per polarity.
+    let mut channel: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (k, m) in mosfets.iter().enumerate() {
+        channel.entry(m.d).or_default().push(k);
+        channel.entry(m.s).or_default().push(k);
+    }
+    let touches = |node: NodeId, pol: Polarity| -> bool {
+        channel
+            .get(&node)
+            .is_some_and(|inc| inc.iter().any(|&k| mosfets[k].polarity == pol))
+    };
+
+    // Rail 2: the sleep footer. A DC-driven node whose MOSFET fanout is
+    // exclusively NMOS gates marks the sleep control.
+    let gates_only_nmos = |node: NodeId| -> bool {
+        let gated: Vec<&Mos> = mosfets.iter().filter(|m| m.g == node).collect();
+        !gated.is_empty()
+            && gated.iter().all(|m| m.polarity == Polarity::Nmos)
+            && !touches(node, Polarity::Pmos)
+            && !touches(node, Polarity::Nmos)
+    };
+    let mut sleep: Option<(usize, f64, NodeId)> = None; // (mos idx, w/l, vgnd)
+    let mut sleep_ctl: Option<NodeId> = None;
+    for &(_, ref name, node, _) in &dc_sources {
+        if node == vdd_node || !gates_only_nmos(node) {
+            continue;
+        }
+        let footers: Vec<usize> = (0..mosfets.len())
+            .filter(|&k| mosfets[k].g == node)
+            .collect();
+        if footers.len() != 1 {
+            return bail(format!(
+                "sleep control '{name}' gates {} devices, expected one footer",
+                footers.len()
+            ));
+        }
+        let f = &mosfets[footers[0]];
+        if !f.s.is_ground() {
+            return bail(format!("footer '{}' source is not ground", f.name));
+        }
+        if sleep.is_some() {
+            return bail("multiple sleep-control sources".into());
+        }
+        sleep = Some((footers[0], f.w_over_l, f.d));
+        sleep_ctl = Some(node);
+    }
+    let rail = sleep.map_or(Circuit::GND, |(_, _, vgnd)| vgnd);
+    if let Some((_, _, vgnd)) = sleep {
+        if touches(vgnd, Polarity::Pmos) {
+            return bail("virtual ground touches PMOS channels".into());
+        }
+    }
+
+    // Primary inputs: remaining sources, in device order.
+    let inputs: Vec<(String, NodeId)> = all_sources
+        .iter()
+        .filter(|&&(_, _, n)| n != vdd_node && Some(n) != sleep_ctl)
+        .map(|(_, name, n)| (name.clone(), *n))
+        .collect();
+    for (name, n) in &inputs {
+        if touches(*n, Polarity::Pmos) || touches(*n, Polarity::Nmos) {
+            return bail(format!("input '{name}' drives a channel terminal"));
+        }
+    }
+
+    // Outputs: nodes with both PMOS and NMOS channel contacts.
+    let mut output_nodes: Vec<NodeId> = channel
+        .keys()
+        .filter(|&&n| {
+            n != vdd_node
+                && n != rail
+                && !n.is_ground()
+                && touches(n, Polarity::Pmos)
+                && touches(n, Polarity::Nmos)
+        })
+        .copied()
+        .collect();
+    // Deterministic order (node ids, i.e. first-mention order).
+    output_nodes.sort_by_key(|n| n.index());
+    if output_nodes.is_empty() {
+        return bail("no output nodes (no complementary pairs)".into());
+    }
+
+    // Grow each cell's PUN/PDN by channel reachability from its output.
+    let mut consumed = vec![false; mosfets.len()];
+    if let Some((f, _, _)) = sleep {
+        consumed[f] = true;
+    }
+    let grow = |out: NodeId,
+                pol: Polarity,
+                terminal: NodeId,
+                consumed: &[bool]|
+     -> RecResult<(Vec<usize>, Vec<SpEdge>)> {
+        let mut seen_dev: Vec<usize> = Vec::new();
+        let mut frontier = vec![out];
+        let mut visited_nodes = vec![out];
+        while let Some(n) = frontier.pop() {
+            for &k in channel.get(&n).into_iter().flatten() {
+                let m = &mosfets[k];
+                if m.polarity != pol || seen_dev.contains(&k) {
+                    continue;
+                }
+                if consumed[k] {
+                    return bail(format!("device '{}' claimed by two cells", m.name));
+                }
+                seen_dev.push(k);
+                for nn in [m.d, m.s] {
+                    if nn == terminal || nn == n || visited_nodes.contains(&nn) {
+                        continue;
+                    }
+                    if nn == out || output_nodes.contains(&nn) || nn == vdd_node || nn == rail {
+                        return bail(format!(
+                            "network at '{}' reaches another terminal",
+                            circuit.node_name(out)
+                        ));
+                    }
+                    visited_nodes.push(nn);
+                    frontier.push(nn);
+                }
+            }
+        }
+        seen_dev.sort_unstable();
+        let edges = seen_dev
+            .iter()
+            .map(|&k| SpEdge {
+                a: mosfets[k].d,
+                b: mosfets[k].s,
+                tree: SpTree::Leaf(k),
+            })
+            .collect();
+        Ok((seen_dev, edges))
+    };
+
+    let mut cells: Vec<RecognizedCell> = Vec::new();
+    for &out in &output_nodes {
+        let (pun_devs, pun_edges) = grow(out, Polarity::Pmos, vdd_node, &consumed)?;
+        let (pdn_devs, pdn_edges) = grow(out, Polarity::Nmos, rail, &consumed)?;
+        if pun_devs.is_empty() || pdn_devs.is_empty() {
+            return bail(format!(
+                "output '{}' lacks a complementary network",
+                circuit.node_name(out)
+            ));
+        }
+        let pun = sp_reduce(pun_edges, vdd_node, out)?;
+        let pdn = sp_reduce(pdn_edges, out, rail)?;
+        let gate_of = |k: usize| mosfets[k].g;
+        let mut matched = None;
+        for kind in CellKind::all() {
+            let pdn_t = template_tree(&kind.pdn());
+            let pun_t = template_tree(&kind.pun());
+            if pdn_t.leaf_count() != pdn_devs.len() || pun_t.leaf_count() != pun_devs.len() {
+                continue;
+            }
+            let mut binding: HashMap<usize, NodeId> = HashMap::new();
+            if unify(&pdn_t, &pdn, &gate_of, &mut binding)
+                && unify(&pun_t, &pun, &gate_of, &mut binding)
+                && binding.len() == kind.n_inputs()
+            {
+                matched = Some((kind, binding));
+                break;
+            }
+        }
+        let Some((kind, binding)) = matched else {
+            return bail(format!(
+                "no cell template matches the networks at '{}'",
+                circuit.node_name(out)
+            ));
+        };
+        // Uniform widths → drive.
+        let wn = mosfets[pdn_devs[0]].w_over_l;
+        let wp = mosfets[pun_devs[0]].w_over_l;
+        if pdn_devs.iter().any(|&k| mosfets[k].w_over_l != wn)
+            || pun_devs.iter().any(|&k| mosfets[k].w_over_l != wp)
+        {
+            return bail(format!(
+                "non-uniform transistor widths at '{}'",
+                circuit.node_name(out)
+            ));
+        }
+        let drive = wn / tech.unit_wn;
+        if !(drive.is_finite() && drive > 0.0) || wp != tech.unit_wp * drive {
+            return bail(format!(
+                "widths at '{}' do not fit unit_wn={} / unit_wp={}",
+                circuit.node_name(out),
+                tech.unit_wn,
+                tech.unit_wp
+            ));
+        }
+        let first_device = pun_devs
+            .iter()
+            .chain(&pdn_devs)
+            .map(|&k| mosfets[k].dev)
+            .min()
+            .expect("non-empty networks");
+        let names: Vec<&str> = pun_devs
+            .iter()
+            .chain(&pdn_devs)
+            .map(|&k| mosfets[k].name.as_str())
+            .collect();
+        for &k in pun_devs.iter().chain(&pdn_devs) {
+            consumed[k] = true;
+        }
+        cells.push(RecognizedCell {
+            name: cell_name(&names, first_device),
+            kind,
+            inputs: (0..kind.n_inputs()).map(|i| binding[&i]).collect(),
+            output: out,
+            drive,
+            first_device,
+        });
+    }
+    if let Some(k) = consumed.iter().position(|&c| !c) {
+        return bail(format!(
+            "MOSFET '{}' belongs to no recognized cell",
+            mosfets[k].name
+        ));
+    }
+    cells.sort_by_key(|c| c.first_device);
+    // Recovered names must be unique to survive netlist assembly.
+    let mut seen_names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+    seen_names.sort_unstable();
+    if seen_names.windows(2).any(|w| w[0] == w[1]) {
+        return bail("recovered cell names collide".into());
+    }
+    Ok(RecognizedCircuit {
+        vdd_node,
+        vdd: vdd_volts,
+        sleep_w_over_l: sleep.map(|(_, wl, _)| wl),
+        vgnd_node: sleep.map(|(_, _, vg)| vg),
+        cells,
+        inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::expand::{expand, ExpandOptions};
+    use crate::netlist::Netlist;
+
+    /// One cell of each kind, expanded and recognized back.
+    #[test]
+    fn every_cell_kind_survives_expand_then_recognize() {
+        let tech = Technology::l07();
+        for kind in CellKind::all() {
+            let mut nl = Netlist::new("one");
+            let ins: Vec<_> = (0..kind.n_inputs())
+                .map(|i| {
+                    let n = nl.add_net(&format!("i{i}")).unwrap();
+                    nl.mark_primary_input(n).unwrap();
+                    n
+                })
+                .collect();
+            let y = nl.add_net("y").unwrap();
+            nl.add_cell("u0", kind, ins.clone(), y, 2.0).unwrap();
+            nl.mark_primary_output(y);
+            let ex = expand(&nl, &tech, &ExpandOptions::mtcmos(7.5)).unwrap();
+            let rec =
+                recognize(&ex.circuit, &tech).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(rec.cells.len(), 1, "{}", kind.name());
+            let cell = &rec.cells[0];
+            assert_eq!(cell.kind, kind, "{}", kind.name());
+            assert_eq!(cell.name, "u0", "{}", kind.name());
+            assert_eq!(cell.drive, 2.0, "{}", kind.name());
+            assert_eq!(rec.sleep_w_over_l, Some(7.5));
+            assert_eq!(cell.output, ex.node_of(y));
+            let got: Vec<_> = cell.inputs.clone();
+            let want: Vec<_> = ins.iter().map(|&n| ex.node_of(n)).collect();
+            assert_eq!(got, want, "{}: input binding order", kind.name());
+            assert_eq!(rec.inputs.len(), kind.n_inputs());
+        }
+    }
+
+    #[test]
+    fn recognizes_a_small_network_without_sleep_footer() {
+        let tech = Technology::l07();
+        let mut nl = Netlist::new("pair");
+        let a = nl.add_net("a").unwrap();
+        let b = nl.add_net("b").unwrap();
+        let m = nl.add_net("m").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.mark_primary_input(b).unwrap();
+        nl.add_cell("n1", CellKind::Nand2, vec![a, b], m, 1.0)
+            .unwrap();
+        nl.add_cell("i1", CellKind::Inv, vec![m], y, 3.0).unwrap();
+        nl.mark_primary_output(y);
+        let ex = expand(&nl, &tech, &ExpandOptions::cmos()).unwrap();
+        let rec = recognize(&ex.circuit, &tech).unwrap();
+        assert_eq!(rec.sleep_w_over_l, None);
+        assert_eq!(rec.vgnd_node, None);
+        assert_eq!(rec.cells.len(), 2);
+        assert_eq!(rec.cells[0].name, "n1");
+        assert_eq!(rec.cells[0].kind, CellKind::Nand2);
+        assert_eq!(rec.cells[1].name, "i1");
+        assert_eq!(rec.cells[1].drive, 3.0);
+        // Internal net m is cell 0's output and cell 1's input.
+        assert_eq!(rec.cells[1].inputs[0], rec.cells[0].output);
+    }
+
+    #[test]
+    fn leftover_devices_fail_recognition() {
+        let tech = Technology::l07();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        nl.mark_primary_output(y);
+        let mut ex = expand(&nl, &tech, &ExpandOptions::cmos()).unwrap();
+        // A stray NMOS outside any complementary structure.
+        let stray = ex.circuit.node("stray");
+        let nm = ex.circuit.add_model(tech.nmos_model(false));
+        let g = ex.circuit.node("n_a");
+        ex.circuit
+            .mosfet("stray", stray, g, Circuit::GND, Circuit::GND, nm, 1.0);
+        let err = recognize(&ex.circuit, &tech).unwrap_err();
+        assert!(err.0.contains("belongs to no recognized cell"), "{err}");
+    }
+
+    #[test]
+    fn resistive_sleep_path_is_a_policy_failure_not_a_panic() {
+        let tech = Technology::l07();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.mark_primary_input(a).unwrap();
+        nl.add_cell("i", CellKind::Inv, vec![a], y, 1.0).unwrap();
+        nl.mark_primary_output(y);
+        let opts = ExpandOptions {
+            sleep: crate::expand::SleepImpl::Resistor { ohms: 500.0 },
+            ..ExpandOptions::default()
+        };
+        let ex = expand(&nl, &tech, &opts).unwrap();
+        let err = recognize(&ex.circuit, &tech).unwrap_err();
+        assert!(err.0.contains("unsupported device"), "{err}");
+    }
+}

@@ -34,6 +34,7 @@
 pub mod cell;
 pub mod expand;
 pub mod hier;
+pub mod interop;
 pub mod lint;
 pub mod logic;
 pub mod netlist;

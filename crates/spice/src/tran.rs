@@ -138,6 +138,29 @@ impl TranResult {
         &self.time
     }
 
+    /// Names of the recorded nodes, in recording order (parallel with
+    /// [`Self::node_series`]).
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Per-step voltage samples of recorded node `k` (parallel with
+    /// [`Self::time`]). `None` when `k` is out of range.
+    pub fn node_series(&self, k: usize) -> Option<&[f64]> {
+        self.node_data.get(k).map(Vec::as_slice)
+    }
+
+    /// Names of the voltage sources whose branch currents were recorded.
+    pub fn branch_names(&self) -> &[String] {
+        &self.branch_names
+    }
+
+    /// Per-step branch-current samples of recorded source `k` (parallel
+    /// with [`Self::time`]). `None` when `k` is out of range.
+    pub fn branch_series(&self, k: usize) -> Option<&[f64]> {
+        self.branch_data.get(k).map(Vec::as_slice)
+    }
+
     /// The waveform of a recorded node.
     ///
     /// # Errors

@@ -128,6 +128,22 @@ counter_registry! {
     /// Co-optimisations where the single shared device used no more
     /// total width than the clustered candidate and was returned.
     ClusterFallbacks => ("cluster_fallbacks", Sum),
+    /// Logical SPICE cards parsed by the deck importer (after comment
+    /// stripping and continuation joining).
+    ImportCards => ("import_cards", Sum),
+    /// `X` subcircuit instances flattened during import (counting
+    /// nested instantiations).
+    ImportSubcktsFlattened => ("import_subckts_flattened", Sum),
+    /// Gates recovered from transistor topology by import recognition.
+    ImportGatesRecognized => ("import_gates_recognized", Sum),
+    /// Imports that fell back to SPICE-only analysis (no gate-level
+    /// design recovered).
+    ImportFallbacks => ("import_fallbacks", Sum),
+    /// Data points written to SPICE rawfile waveform exports.
+    WaveRawPoints => ("wave_raw_points", Sum),
+    /// Value changes written to VCD waveform exports (including the
+    /// `$dumpvars` initial block).
+    WaveVcdChanges => ("wave_vcd_changes", Sum),
 }
 
 /// A flat, fixed-size set of every registered counter.

@@ -33,7 +33,10 @@ pub const SCHEMA_NAME: &str = "mtk-trace";
 /// `mc_bounce_mv`). v5 added the cluster-sizing counters `clusters`,
 /// `cluster_conflicts`, `cluster_folds`, `cluster_fallbacks` (the
 /// cluster engine also emits a `cluster_w_over_l` extra histogram).
-pub const SCHEMA_VERSION: u64 = 5;
+/// v6 added the standard-format interop counters `import_cards`,
+/// `import_subckts_flattened`, `import_gates_recognized`,
+/// `import_fallbacks`, `wave_raw_points`, `wave_vcd_changes`.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Per-worker sink totals of one phase — real execution costs, therefore
 /// schedule-dependent; exported only in the `timing` section.

@@ -1,0 +1,45 @@
+//! Standard waveform interchange formats, dependency-free.
+//!
+//! Two formats, both deterministic (no clocks, no environment):
+//!
+//! - [`rawfile`]: the classic binary SPICE rawfile (`Title:` /
+//!   `Plotname:` ASCII header followed by point-major little-endian
+//!   `f64` samples) with both a writer and a reader. A write → read →
+//!   write trip is byte-exact, so external viewers and our own tooling
+//!   see the same artifact.
+//! - [`vcd`]: an IEEE-1364 value-change-dump writer (plus a small
+//!   grammar validator) for switch-level digital views of event traces.
+//!
+//! The crate deliberately has no workspace dependencies: callers adapt
+//! their simulation results into the plain `Vec<f64>` / event forms
+//! here, keeping the formats reusable outside the suite.
+
+pub mod rawfile;
+pub mod vcd;
+
+pub use rawfile::RawFile;
+pub use vcd::Vcd;
+
+/// Errors producing or parsing a waveform artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveError {
+    /// The in-memory description is not writable (shape mismatch,
+    /// embedded newline, empty variable list, …).
+    Invalid(String),
+    /// The byte stream is not a well-formed artifact of this format.
+    Parse(String),
+}
+
+impl std::fmt::Display for WaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveError::Invalid(m) => write!(f, "invalid waveform description: {m}"),
+            WaveError::Parse(m) => write!(f, "waveform parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveError {}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, WaveError>;

@@ -1,0 +1,374 @@
+//! Binary SPICE rawfile writer and reader.
+//!
+//! The format is the spice3/ngspice interchange shape: an ASCII header
+//! (`Title:`, `Date:`, `Plotname:`, `Flags: real`, `No. Variables:`,
+//! `No. Points:`, a tab-indented `Variables:` table) terminated by a
+//! `Binary:` line, followed by `points × variables` little-endian
+//! `f64` samples in point-major order.
+//!
+//! The writer emits one canonical byte form and the reader accepts
+//! exactly the header fields the writer produces (unknown header lines
+//! are rejected, not skipped), so write → read → write is byte-exact —
+//! the round-trip contract CI checks with our own reader after every
+//! export.
+
+use crate::{Result, WaveError};
+
+/// One column of the rawfile: a signal name plus its kind label
+/// (`time`, `voltage`, `current`, …) as shown in the `Variables:`
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    /// Signal name, e.g. `v(out)` or `time`.
+    pub name: String,
+    /// Kind label, e.g. `time`, `voltage`, `current`.
+    pub kind: String,
+}
+
+impl Variable {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: impl Into<String>) -> Self {
+        Variable {
+            name: name.into(),
+            kind: kind.into(),
+        }
+    }
+}
+
+/// An in-memory rawfile: header fields plus one sample series per
+/// variable (series-major; [`RawFile::to_bytes`] interleaves into the
+/// on-disk point-major order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFile {
+    /// `Title:` header line (single line, no tabs/newlines).
+    pub title: String,
+    /// `Date:` header line. Deterministic exports use a fixed string —
+    /// nothing in this crate reads a clock.
+    pub date: String,
+    /// `Plotname:` header line, conventionally `Transient Analysis`.
+    pub plotname: String,
+    /// The columns, first conventionally the time axis.
+    pub variables: Vec<Variable>,
+    /// `data[v][p]`: sample `p` of variable `v`. All series must share
+    /// one length.
+    pub data: Vec<Vec<f64>>,
+}
+
+impl RawFile {
+    /// Number of points per series (0 for an empty file).
+    pub fn points(&self) -> usize {
+        self.data.first().map_or(0, Vec::len)
+    }
+
+    /// The series recorded for `name`, if present.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        let k = self.variables.iter().position(|v| v.name == name)?;
+        self.data.get(k).map(Vec::as_slice)
+    }
+
+    /// Validates the file shape: at least one variable, single-token
+    /// variable names, uniform series lengths, header text free of
+    /// tabs/newlines. [`RawFile::to_bytes`] runs this first.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveError::Invalid`] naming the first violation.
+    pub fn check(&self) -> Result<()> {
+        if self.variables.is_empty() {
+            return Err(WaveError::Invalid("no variables".into()));
+        }
+        if self.variables.len() != self.data.len() {
+            return Err(WaveError::Invalid(format!(
+                "{} variables but {} data series",
+                self.variables.len(),
+                self.data.len()
+            )));
+        }
+        let points = self.points();
+        for (k, series) in self.data.iter().enumerate() {
+            if series.len() != points {
+                return Err(WaveError::Invalid(format!(
+                    "series '{}' has {} points, expected {points}",
+                    self.variables[k].name,
+                    series.len()
+                )));
+            }
+        }
+        for field in [&self.title, &self.date, &self.plotname] {
+            if field.contains('\n') || field.contains('\t') {
+                return Err(WaveError::Invalid(format!(
+                    "header field contains tab/newline: '{field}'"
+                )));
+            }
+        }
+        for v in &self.variables {
+            if v.name.is_empty()
+                || [&v.name, &v.kind]
+                    .iter()
+                    .any(|s| s.contains('\n') || s.contains('\t') || s.contains(' '))
+            {
+                return Err(WaveError::Invalid(format!(
+                    "variable '{}'/'{}' must be non-empty, single-token",
+                    v.name, v.kind
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the canonical binary rawfile byte stream.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveError::Invalid`] when the description is malformed (series
+    /// length mismatch, empty variable list, multi-line header field).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        self.check()?;
+        let points = self.points();
+        let mut out = Vec::new();
+        out.extend_from_slice(format!("Title: {}\n", self.title).as_bytes());
+        out.extend_from_slice(format!("Date: {}\n", self.date).as_bytes());
+        out.extend_from_slice(format!("Plotname: {}\n", self.plotname).as_bytes());
+        out.extend_from_slice(b"Flags: real\n");
+        out.extend_from_slice(format!("No. Variables: {}\n", self.variables.len()).as_bytes());
+        out.extend_from_slice(format!("No. Points: {points}\n").as_bytes());
+        out.extend_from_slice(b"Variables:\n");
+        for (k, v) in self.variables.iter().enumerate() {
+            out.extend_from_slice(format!("\t{k}\t{}\t{}\n", v.name, v.kind).as_bytes());
+        }
+        out.extend_from_slice(b"Binary:\n");
+        for p in 0..points {
+            for series in &self.data {
+                out.extend_from_slice(&series[p].to_le_bytes());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses a binary rawfile produced by [`RawFile::to_bytes`] (or any
+    /// writer of the same canonical shape).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveError::Parse`] on any deviation from the canonical header
+    /// or a truncated/oversized binary section.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RawFile> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let title = cur.field("Title:")?;
+        let date = cur.field("Date:")?;
+        let plotname = cur.field("Plotname:")?;
+        let flags = cur.field("Flags:")?;
+        if flags != "real" {
+            return Err(WaveError::Parse(format!(
+                "unsupported Flags '{flags}' (only 'real')"
+            )));
+        }
+        let n_vars: usize = cur
+            .field("No. Variables:")?
+            .parse()
+            .map_err(|_| WaveError::Parse("bad No. Variables".into()))?;
+        let n_points: usize = cur
+            .field("No. Points:")?
+            .parse()
+            .map_err(|_| WaveError::Parse("bad No. Points".into()))?;
+        let vars_line = cur.next_line("Variables:")?;
+        if vars_line != "Variables:" {
+            return Err(WaveError::Parse(format!(
+                "expected 'Variables:', got '{vars_line}'"
+            )));
+        }
+        let mut variables = Vec::with_capacity(n_vars);
+        for k in 0..n_vars {
+            let line = cur.next_line("variable row")?;
+            let mut cols = line.split('\t');
+            let lead = cols.next().unwrap_or("x");
+            let idx = cols.next().unwrap_or("");
+            let name = cols.next().unwrap_or("");
+            let kind = cols.next().unwrap_or("");
+            if !lead.is_empty() || idx != k.to_string() || name.is_empty() || kind.is_empty() {
+                return Err(WaveError::Parse(format!("bad variable row '{line}'")));
+            }
+            if cols.next().is_some() {
+                return Err(WaveError::Parse(format!(
+                    "trailing columns in variable row '{line}'"
+                )));
+            }
+            variables.push(Variable::new(name, kind));
+        }
+        let bin_line = cur.next_line("Binary:")?;
+        if bin_line != "Binary:" {
+            return Err(WaveError::Parse(format!(
+                "expected 'Binary:', got '{bin_line}'"
+            )));
+        }
+        let payload = &bytes[cur.pos..];
+        let expect = n_vars
+            .checked_mul(n_points)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| WaveError::Parse("point count overflow".into()))?;
+        if payload.len() != expect {
+            return Err(WaveError::Parse(format!(
+                "binary section is {} bytes, expected {expect} ({n_vars} vars × {n_points} points)",
+                payload.len()
+            )));
+        }
+        let mut data = vec![Vec::with_capacity(n_points); n_vars];
+        for (i, chunk) in payload.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            data[i % n_vars].push(f64::from_le_bytes(b));
+        }
+        Ok(RawFile {
+            title,
+            date,
+            plotname,
+            variables,
+            data,
+        })
+    }
+}
+
+/// Header-section scanner: hands out one `\n`-terminated line at a
+/// time, tracking the byte offset where the binary payload starts.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn next_line(&mut self, label: &str) -> Result<String> {
+        let rest = &self.bytes[self.pos..];
+        let nl = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| WaveError::Parse(format!("unterminated header at '{label}'")))?;
+        let line = std::str::from_utf8(&rest[..nl])
+            .map_err(|_| WaveError::Parse(format!("non-UTF8 header line at '{label}'")))?
+            .to_string();
+        self.pos += nl + 1;
+        Ok(line)
+    }
+
+    fn field(&mut self, label: &str) -> Result<String> {
+        let line = self.next_line(label)?;
+        line.strip_prefix(label)
+            .map(|r| r.strip_prefix(' ').unwrap_or(r).to_string())
+            .ok_or_else(|| WaveError::Parse(format!("expected '{label}', got '{line}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RawFile {
+        RawFile {
+            title: "mtk export".into(),
+            date: "deterministic".into(),
+            plotname: "Transient Analysis".into(),
+            variables: vec![
+                Variable::new("time", "time"),
+                Variable::new("v(out)", "voltage"),
+                Variable::new("i(vdd)", "current"),
+            ],
+            data: vec![
+                vec![0.0, 1e-12, 2e-12],
+                vec![0.0, 0.6, 1.2],
+                vec![1e-6, -2e-6, f64::MIN_POSITIVE],
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let raw = sample();
+        let bytes = raw.to_bytes().unwrap();
+        let back = RawFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, raw);
+        assert_eq!(back.to_bytes().unwrap(), bytes, "write→read→write bytes");
+    }
+
+    #[test]
+    fn header_is_the_canonical_ascii_shape() {
+        let bytes = sample().to_bytes().unwrap();
+        let text = String::from_utf8_lossy(&bytes[..bytes.len() - 3 * 3 * 8]);
+        assert!(text.starts_with("Title: mtk export\n"));
+        assert!(text.contains("\nFlags: real\n"));
+        assert!(text.contains("\nNo. Variables: 3\n"));
+        assert!(text.contains("\nNo. Points: 3\n"));
+        assert!(text.contains("\n\t1\tv(out)\tvoltage\n"));
+        assert!(text.ends_with("Binary:\n"));
+    }
+
+    #[test]
+    fn series_lookup_by_name() {
+        let raw = sample();
+        assert_eq!(raw.series("v(out)").unwrap(), &[0.0, 0.6, 1.2]);
+        assert!(raw.series("v(missing)").is_none());
+        assert_eq!(raw.points(), 3);
+    }
+
+    #[test]
+    fn shape_errors_are_invalid() {
+        let mut raw = sample();
+        raw.data[1].pop();
+        assert!(matches!(raw.to_bytes(), Err(WaveError::Invalid(_))));
+        let mut raw = sample();
+        raw.variables.clear();
+        raw.data.clear();
+        assert!(matches!(raw.to_bytes(), Err(WaveError::Invalid(_))));
+        let mut raw = sample();
+        raw.title = "two\nlines".into();
+        assert!(matches!(raw.to_bytes(), Err(WaveError::Invalid(_))));
+        let mut raw = sample();
+        raw.variables[0].name = "with space".into();
+        assert!(matches!(raw.to_bytes(), Err(WaveError::Invalid(_))));
+    }
+
+    #[test]
+    fn truncated_and_corrupt_streams_are_parse_errors() {
+        let bytes = sample().to_bytes().unwrap();
+        assert!(matches!(
+            RawFile::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(WaveError::Parse(_))
+        ));
+        let mut longer = bytes.clone();
+        longer.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            RawFile::from_bytes(&longer),
+            Err(WaveError::Parse(_))
+        ));
+        let mut corrupt = bytes;
+        corrupt[0] = b'X';
+        assert!(matches!(
+            RawFile::from_bytes(&corrupt),
+            Err(WaveError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn nan_and_signed_zero_survive_bit_for_bit() {
+        let mut raw = sample();
+        raw.data[1] = vec![f64::NAN, -0.0, f64::INFINITY];
+        let bytes = raw.to_bytes().unwrap();
+        let back = RawFile::from_bytes(&bytes).unwrap();
+        let s = back.series("v(out)").unwrap();
+        assert!(s[0].is_nan());
+        assert!(s[1].is_sign_negative() && s[1] == 0.0);
+        assert_eq!(s[2], f64::INFINITY);
+        assert_eq!(back.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn empty_point_series_round_trips() {
+        let raw = RawFile {
+            title: "t".into(),
+            date: "d".into(),
+            plotname: "Transient Analysis".into(),
+            variables: vec![Variable::new("time", "time")],
+            data: vec![vec![]],
+        };
+        let bytes = raw.to_bytes().unwrap();
+        assert_eq!(RawFile::from_bytes(&bytes).unwrap(), raw);
+    }
+}

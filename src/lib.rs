@@ -12,3 +12,4 @@ pub use mtk_num as num;
 pub use mtk_spice as spice;
 pub use mtk_store as store;
 pub use mtk_trace as trace;
+pub use mtk_wave as wave;

@@ -1,0 +1,127 @@
+//! Deterministic property test of the SPICE deck round trip:
+//! `to_deck` → `from_deck` must be the identity on canonical decks —
+//! same device count, same node count, and a byte-exact serialization
+//! fixpoint — over every golden design's expansion (CMOS and MTCMOS)
+//! plus seeded random netlists spanning the full cell library, random
+//! drives, ties, and extracted caps. No external property-testing
+//! crate: trials come from `mtk_num::prng` streams, so a failure
+//! reproduces from its trial number alone.
+
+use mtcmos_suite::circuits::golden::golden_designs;
+use mtcmos_suite::netlist::cell::CellKind;
+use mtcmos_suite::netlist::expand::{expand, ExpandOptions};
+use mtcmos_suite::netlist::logic::Logic;
+use mtcmos_suite::netlist::netlist::Netlist;
+use mtcmos_suite::netlist::tech::Technology;
+use mtcmos_suite::num::prng::Xoshiro256pp;
+use mtcmos_suite::spice::circuit::Circuit;
+use mtcmos_suite::spice::deck::{from_deck_with_stats, to_deck};
+
+const SEED: u64 = 0xDECC_1997;
+const TRIALS: u64 = 64;
+
+fn pick(rng: &mut Xoshiro256pp, n: usize) -> usize {
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// The round-trip property: parsing a canonical deck reproduces the
+/// circuit (device and node population) and re-serializing is a
+/// byte-exact fixpoint (which pins node names, device order, model
+/// canonicalization, and every numeric parameter).
+fn assert_deck_round_trip(circuit: &Circuit, label: &str) {
+    let deck = to_deck(circuit, label);
+    let (back, stats) = from_deck_with_stats(&deck)
+        .unwrap_or_else(|e| panic!("{label}: canonical deck rejected: {e:?}"));
+    assert!(
+        !stats.title_skipped,
+        "{label}: canonical decks open with a comment title"
+    );
+    assert_eq!(
+        back.devices().len(),
+        circuit.devices().len(),
+        "{label}: device population"
+    );
+    assert_eq!(
+        back.node_count(),
+        circuit.node_count(),
+        "{label}: node population"
+    );
+    assert_eq!(to_deck(&back, label), deck, "{label}: deck fixpoint");
+}
+
+#[test]
+fn every_golden_expansion_round_trips_through_the_deck() {
+    for (stem, design) in golden_designs() {
+        for (tag, opts) in [
+            ("cmos", ExpandOptions::cmos()),
+            ("mtcmos", ExpandOptions::mtcmos(10.0)),
+        ] {
+            let ex = expand(&design.netlist, &design.tech, &opts)
+                .unwrap_or_else(|e| panic!("{stem}/{tag}: {e}"));
+            assert_deck_round_trip(&ex.circuit, &format!("{stem}/{tag}"));
+        }
+    }
+}
+
+/// A random acyclic netlist over the full cell library: 1–4 primary
+/// inputs, an optional tied net, 1–12 gates with random fan-in chosen
+/// from everything already readable, random drives and extracted caps.
+fn random_design(trial: u64) -> (Netlist, Technology) {
+    let mut rng = Xoshiro256pp::stream(SEED, trial);
+    let tech = if rng.next_u64() & 1 == 0 {
+        Technology::l07()
+    } else {
+        Technology::l03()
+    };
+    let mut nl = Netlist::new(&format!("prop{trial}"));
+    let mut readable = Vec::new();
+    for i in 0..1 + pick(&mut rng, 4) {
+        let id = nl.add_net(&format!("i{i}")).unwrap();
+        nl.mark_primary_input(id).unwrap();
+        readable.push(id);
+    }
+    if rng.next_u64() & 1 == 0 {
+        let id = nl.add_net("t0").unwrap();
+        let level = if rng.next_u64() & 1 == 0 {
+            Logic::Zero
+        } else {
+            Logic::One
+        };
+        nl.tie_net(id, level).unwrap();
+        readable.push(id);
+    }
+    let kinds = CellKind::all();
+    let mut last = None;
+    for g in 0..1 + pick(&mut rng, 12) {
+        let kind = kinds[pick(&mut rng, kinds.len())];
+        let inputs: Vec<_> = (0..kind.n_inputs())
+            .map(|_| readable[pick(&mut rng, readable.len())])
+            .collect();
+        let out = nl.add_net(&format!("n{g}")).unwrap();
+        let drive = [1.0, 2.0, 4.0, 8.0][pick(&mut rng, 4)];
+        nl.add_cell(&format!("g{g}"), kind, inputs, out, drive)
+            .unwrap();
+        if rng.next_u64() & 3 == 0 {
+            nl.add_extra_cap(out, (1 + pick(&mut rng, 40)) as f64 * 1e-15);
+        }
+        readable.push(out);
+        last = Some(out);
+    }
+    nl.mark_primary_output(last.expect("at least one gate"));
+    (nl, tech)
+}
+
+#[test]
+fn seeded_random_expansions_round_trip_through_the_deck() {
+    for trial in 0..TRIALS {
+        let (nl, tech) = random_design(trial);
+        let mut rng = Xoshiro256pp::stream(SEED ^ 0xA5A5, trial);
+        let opts = if rng.next_u64() & 1 == 0 {
+            ExpandOptions::cmos()
+        } else {
+            ExpandOptions::mtcmos(1.0 + pick(&mut rng, 200) as f64 / 4.0)
+        };
+        let ex = expand(&nl, &tech, &opts).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        assert_deck_round_trip(&ex.circuit, &format!("trial {trial}"));
+    }
+}

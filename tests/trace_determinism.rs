@@ -159,11 +159,11 @@ fn exhaustive_sample(tool: &str) -> TraceReport {
     report
 }
 
-/// Every key path of schema v5, spelled out by hand. Adding, removing or
+/// Every key path of schema v6, spelled out by hand. Adding, removing or
 /// renaming any key changes this set; doing so without bumping
 /// [`SCHEMA_VERSION`] (and updating this golden list) is a contract
 /// violation.
-fn golden_v5_paths() -> BTreeSet<String> {
+fn golden_v6_paths() -> BTreeSet<String> {
     let counters = [
         "items",
         "completed",
@@ -197,6 +197,12 @@ fn golden_v5_paths() -> BTreeSet<String> {
         "cluster_conflicts",
         "cluster_folds",
         "cluster_fallbacks",
+        "import_cards",
+        "import_subckts_flattened",
+        "import_gates_recognized",
+        "import_fallbacks",
+        "wave_raw_points",
+        "wave_vcd_changes",
     ];
     let mut golden: BTreeSet<String> = [
         "schema",
@@ -257,13 +263,13 @@ fn golden_v5_paths() -> BTreeSet<String> {
 #[test]
 fn golden_schema_pins_every_key_path_to_the_version() {
     assert_eq!(
-        SCHEMA_VERSION, 5,
-        "SCHEMA_VERSION changed: regenerate golden_v5_paths() for the new \
+        SCHEMA_VERSION, 6,
+        "SCHEMA_VERSION changed: regenerate golden_v6_paths() for the new \
          schema and rename this test's golden set"
     );
     let report = exhaustive_sample("golden");
     let full = paths_of(&report.to_json(TraceMode::Full));
-    let golden = golden_v5_paths();
+    let golden = golden_v6_paths();
     let missing: Vec<_> = golden.difference(&full).collect();
     let extra: Vec<_> = full.difference(&golden).collect();
     assert!(
